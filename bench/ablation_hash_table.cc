@@ -1,0 +1,109 @@
+// Ablation: the DPZip LZ77 encoding design points of §3.2.3 — SRAM-bounded
+// hash table size/associativity, first-fit vs best-of-ways matching, and
+// the skip-on-miss distance. Reports compression ratio on Silesia-like 4 KB
+// pages and the modelled throughput.
+
+#include "bench/bench_util.h"
+#include "src/core/dpzip_codec.h"
+#include "src/core/pipeline_model.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+struct Outcome {
+  double ratio;
+  double gbps;
+  double sram_kb;
+};
+
+Outcome Measure(const DpzipLz77Config& cfg) {
+  DpzipCodec codec(cfg);
+  DpzipPipelineModel model;
+  std::vector<CorpusFile> corpus = SilesiaLikeCorpus(64 * 1024, 42);
+  uint64_t in_bytes = 0;
+  uint64_t out_bytes = 0;
+  SimNanos busy = 0;
+  for (const CorpusFile& f : corpus) {
+    for (size_t off = 0; off + 4096 <= f.data.size(); off += 16384) {
+      ByteVec out;
+      Result<size_t> r = codec.Compress(ByteSpan(f.data.data() + off, 4096), &out);
+      if (!r.ok()) {
+        continue;
+      }
+      in_bytes += 4096;
+      out_bytes += *r;
+      busy += model.CompressLatency(codec.last_stats()).nanos;
+    }
+  }
+  Outcome o;
+  o.ratio = 100.0 * static_cast<double>(out_bytes) / static_cast<double>(in_bytes);
+  o.gbps = busy == 0 ? 0 : GbPerSec(in_bytes, busy);
+  o.sram_kb = static_cast<double>(cfg.hash_buckets) * cfg.ways * 4 / 1024.0;
+  return o;
+}
+
+void Run() {
+  PrintHeader("Ablation", "DPZip LZ77 hash table / matching policy (4 KB pages)");
+
+  std::printf("\n(a) Hash table size (4-way FIFO, first-fit, skip-4)\n");
+  PrintRow({"buckets", "SRAM KB", "ratio %", "GB/s"});
+  PrintRule(4);
+  for (uint32_t buckets : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    DpzipLz77Config cfg;
+    cfg.hash_buckets = buckets;
+    Outcome o = Measure(cfg);
+    PrintRow({Fmt(buckets, 0), Fmt(o.sram_kb, 0), Fmt(o.ratio, 1), Fmt(o.gbps, 2)});
+  }
+
+  std::printf("\n(b) Associativity (2048 buckets)\n");
+  PrintRow({"ways", "SRAM KB", "ratio %", "GB/s"});
+  PrintRule(4);
+  for (uint32_t ways : {1u, 2u, 4u, 8u}) {
+    DpzipLz77Config cfg;
+    cfg.ways = ways;
+    Outcome o = Measure(cfg);
+    PrintRow({Fmt(ways, 0), Fmt(o.sram_kb, 0), Fmt(o.ratio, 1), Fmt(o.gbps, 2)});
+  }
+
+  std::printf("\n(c) Hash functions per word (two-level candidate selection, §3.2.3)\n");
+  PrintRow({"hashes", "ratio %", "GB/s"});
+  PrintRule(3);
+  for (bool dual : {false, true}) {
+    DpzipLz77Config cfg;
+    cfg.dual_hash = dual;
+    Outcome o = Measure(cfg);
+    PrintRow({dual ? "hash0+hash1" : "hash0 only", Fmt(o.ratio, 1), Fmt(o.gbps, 2)});
+  }
+
+  std::printf("\n(d) Matching policy\n");
+  PrintRow({"policy", "ratio %", "GB/s"});
+  PrintRule(3);
+  for (bool first_fit : {true, false}) {
+    DpzipLz77Config cfg;
+    cfg.first_fit = first_fit;
+    Outcome o = Measure(cfg);
+    PrintRow({first_fit ? "first-fit" : "best-of-ways", Fmt(o.ratio, 1), Fmt(o.gbps, 2)});
+  }
+
+  std::printf("\n(e) Skip-on-miss distance (partial-lazy matching)\n");
+  PrintRow({"skip", "ratio %", "GB/s"});
+  PrintRule(3);
+  for (uint32_t skip : {1u, 2u, 4u, 8u}) {
+    DpzipLz77Config cfg;
+    cfg.skip_on_miss = skip;
+    Outcome o = Measure(cfg);
+    PrintRow({Fmt(skip, 0), Fmt(o.ratio, 1), Fmt(o.gbps, 2)});
+  }
+  std::printf("\nDesign point in silicon: 2048 buckets x 4 ways (32 KB SRAM),\n"
+              "first-fit, skip-4 — a few tenths of a point of ratio for a large\n"
+              "simplification in pipeline control (§3.2.3).\n");
+}
+
+}  // namespace
+}  // namespace cdpu
+
+int main() {
+  cdpu::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Wall-clock microbenchmarks (google-benchmark) of the from-scratch software
+// codecs on this machine — the "CPU software" rows of Figures 8/9 measured
+// for real rather than modelled. Throughput counters report bytes of
+// original data processed per second.
+
+#include <benchmark/benchmark.h>
+
+#include "src/codecs/codec.h"
+#include "src/core/dpzip_codec.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+std::vector<uint8_t> BenchData(size_t size) { return GenerateTextLike(size, 42); }
+
+void BM_Compress(benchmark::State& state, const std::string& codec_name) {
+  std::unique_ptr<Codec> codec = MakeCodec(codec_name);
+  size_t chunk = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> data = BenchData(chunk);
+  for (auto _ : state) {
+    ByteVec out;
+    Result<size_t> r = codec->Compress(data, &out);
+    benchmark::DoNotOptimize(out.data());
+    if (!r.ok()) {
+      state.SkipWithError("compress failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(chunk));
+}
+
+void BM_Decompress(benchmark::State& state, const std::string& codec_name) {
+  std::unique_ptr<Codec> codec = MakeCodec(codec_name);
+  size_t chunk = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> data = BenchData(chunk);
+  ByteVec compressed;
+  if (!codec->Compress(data, &compressed).ok()) {
+    state.SkipWithError("compress failed");
+    return;
+  }
+  for (auto _ : state) {
+    ByteVec out;
+    Result<size_t> r = codec->Decompress(compressed, &out);
+    benchmark::DoNotOptimize(out.data());
+    if (!r.ok()) {
+      state.SkipWithError("decompress failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(chunk));
+}
+
+void RegisterAll() {
+  DpzipCodec::RegisterWithFactory();
+  for (const char* name : {"deflate-1", "zstd-1", "lz4", "snappy", "dpzip"}) {
+    for (int64_t chunk : {4096, 65536}) {
+      benchmark::RegisterBenchmark(
+          (std::string("compress/") + name + "/" + std::to_string(chunk)).c_str(),
+          [name](benchmark::State& s) { BM_Compress(s, name); })
+          ->Arg(chunk)
+          ->MinTime(0.1);
+      benchmark::RegisterBenchmark(
+          (std::string("decompress/") + name + "/" + std::to_string(chunk)).c_str(),
+          [name](benchmark::State& s) { BM_Decompress(s, name); })
+          ->Arg(chunk)
+          ->MinTime(0.1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdpu
+
+int main(int argc, char** argv) {
+  cdpu::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

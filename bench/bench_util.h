@@ -1,0 +1,40 @@
+// Shared helpers for the figure-reproduction binaries: aligned table
+// printing and the standard header that names the paper artefact being
+// regenerated.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cdpu {
+
+inline void PrintHeader(const std::string& artefact, const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", artefact.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& c : cells) {
+    std::printf("%-*s", width, c.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline void PrintRule(size_t columns, int width = 14) {
+  std::string line(columns * static_cast<size_t>(width), '-');
+  std::printf("%s\n", line.c_str());
+}
+
+}  // namespace cdpu
+
+#endif  // BENCH_BENCH_UTIL_H_

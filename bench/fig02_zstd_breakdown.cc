@@ -1,0 +1,88 @@
+// Figure 2: Zstd execution-time breakdown across compression granularities
+// (4K-128K), levels, and data entropy. Reproduced with the instrumented
+// MiniZstd codec: per-stage wall-clock shares for LZ77 (match search),
+// Huffman (literals) and FSE (sequences).
+
+#include "bench/bench_util.h"
+#include "src/codecs/mini_zstd.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+struct Shares {
+  double lz77 = 0;
+  double huffman = 0;
+  double fse = 0;
+  double total_ms = 0;
+};
+
+Shares Measure(int level, size_t chunk, double entropy_bits) {
+  MiniZstdCodec codec(level);
+  std::vector<uint8_t> data = entropy_bits < 0
+                                  ? GenerateTextLike(1 << 20, 42)
+                                  : GenerateWithEntropy(entropy_bits, 1 << 20, 42);
+  uint64_t lz = 0;
+  uint64_t huff = 0;
+  uint64_t fse = 0;
+  for (size_t off = 0; off + chunk <= data.size(); off += chunk) {
+    ByteVec out;
+    Result<size_t> r = codec.Compress(ByteSpan(data.data() + off, chunk), &out);
+    if (!r.ok()) {
+      continue;
+    }
+    lz += codec.last_timings().lz77_ns;
+    huff += codec.last_timings().huffman_ns;
+    fse += codec.last_timings().fse_ns;
+  }
+  double total = static_cast<double>(lz + huff + fse);
+  Shares s;
+  if (total > 0) {
+    s.lz77 = 100.0 * static_cast<double>(lz) / total;
+    s.huffman = 100.0 * static_cast<double>(huff) / total;
+    s.fse = 100.0 * static_cast<double>(fse) / total;
+    s.total_ms = total / 1e6;
+  }
+  return s;
+}
+
+void Run() {
+  PrintHeader("Figure 2", "MiniZstd stage breakdown vs chunk size, level, entropy");
+
+  std::printf("\n(a) By compression level (text-like data, 64 KB chunks)\n");
+  PrintRow({"level", "LZ77 %", "Huffman %", "FSE %", "total ms"});
+  PrintRule(5);
+  for (int level : {1, 3, 6, 9, 12}) {
+    Shares s = Measure(level, 64 * 1024, -1);
+    PrintRow({Fmt(level, 0), Fmt(s.lz77, 1), Fmt(s.huffman, 1), Fmt(s.fse, 1),
+              Fmt(s.total_ms, 2)});
+  }
+
+  std::printf("\n(b) By chunk size (text-like data, level 3)\n");
+  PrintRow({"chunk KB", "LZ77 %", "Huffman %", "FSE %", "total ms"});
+  PrintRule(5);
+  for (size_t chunk : {4u, 16u, 64u, 128u}) {
+    Shares s = Measure(3, chunk * 1024, -1);
+    PrintRow({Fmt(chunk, 0), Fmt(s.lz77, 1), Fmt(s.huffman, 1), Fmt(s.fse, 1),
+              Fmt(s.total_ms, 2)});
+  }
+
+  std::printf("\n(c) By data entropy (level 3, 64 KB chunks)\n");
+  PrintRow({"H bits/B", "LZ77 %", "Huffman %", "FSE %", "total ms"});
+  PrintRule(5);
+  for (double h : {1.0, 2.0, 4.0, 6.0, 8.0}) {
+    Shares s = Measure(3, 64 * 1024, h);
+    PrintRow({Fmt(h, 1), Fmt(s.lz77, 1), Fmt(s.huffman, 1), Fmt(s.fse, 1),
+              Fmt(s.total_ms, 2)});
+  }
+  std::printf("\nPaper shape: LZ77 dominates and its share grows with level;\n"
+              "entropy-coding share varies non-linearly with data randomness.\n");
+}
+
+}  // namespace
+}  // namespace cdpu
+
+int main() {
+  cdpu::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 7: compression-ratio distributions over the (synthetic) Silesia
+// corpus at 4 KB and 64 KB granularity for Deflate, Zstd, DPZip, LZ4 and
+// Snappy. Ratio = compressed/original, lower is better. QAT devices run
+// Deflate, so the Deflate row doubles as QAT 8970/4xxx.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/codecs/codec.h"
+#include "src/core/dpzip_codec.h"
+#include "src/common/stats.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+void MeasureCodec(const std::string& name, Codec* codec,
+                  const std::vector<CorpusFile>& corpus, size_t chunk) {
+  SampleSet ratios;
+  for (const CorpusFile& f : corpus) {
+    for (size_t off = 0; off + chunk <= f.data.size(); off += chunk) {
+      ratios.Add(codec->MeasureRatio(ByteSpan(f.data.data() + off, chunk)));
+    }
+  }
+  PrintRow({name, Fmt(ratios.Percentile(10) * 100, 1), Fmt(ratios.Median() * 100, 1),
+            Fmt(ratios.Mean() * 100, 1), Fmt(ratios.Percentile(90) * 100, 1)});
+}
+
+void RunGranularity(const std::vector<CorpusFile>& corpus, size_t chunk) {
+  std::printf("\nGranularity: %zu KB chunks (ratio %%, lower is better)\n", chunk / 1024);
+  PrintRow({"codec", "p10", "median", "mean", "p90"});
+  PrintRule(5);
+  std::unique_ptr<Codec> deflate = MakeCodec("deflate-1");
+  std::unique_ptr<Codec> zstd = MakeCodec("zstd-1");
+  std::unique_ptr<Codec> lz4 = MakeCodec("lz4");
+  std::unique_ptr<Codec> snappy = MakeCodec("snappy");
+  DpzipCodec dpzip;
+
+  MeasureCodec("deflate/QAT", deflate.get(), corpus, chunk);
+  MeasureCodec("zstd-1", zstd.get(), corpus, chunk);
+  if (chunk == 4096) {
+    MeasureCodec("dpzip", &dpzip, corpus, chunk);
+  } else {
+    // DPZip always operates on 4 KB pages regardless of IO size (Finding 1):
+    // chunk the input internally.
+    SampleSet ratios;
+    for (const CorpusFile& f : corpus) {
+      for (size_t off = 0; off + chunk <= f.data.size(); off += chunk) {
+        uint64_t total = 0;
+        for (size_t p = 0; p < chunk; p += 4096) {
+          ByteVec out;
+          Result<size_t> r = dpzip.Compress(ByteSpan(f.data.data() + off + p, 4096), &out);
+          total += r.ok() ? *r : 4096;
+        }
+        ratios.Add(static_cast<double>(total) / static_cast<double>(chunk));
+      }
+    }
+    PrintRow({"dpzip(4K pages)", Fmt(ratios.Percentile(10) * 100, 1),
+              Fmt(ratios.Median() * 100, 1), Fmt(ratios.Mean() * 100, 1),
+              Fmt(ratios.Percentile(90) * 100, 1)});
+  }
+  MeasureCodec("lz4", lz4.get(), corpus, chunk);
+  MeasureCodec("snappy", snappy.get(), corpus, chunk);
+}
+
+void Run() {
+  PrintHeader("Figure 7", "Compression-ratio distributions, Silesia-like corpus");
+  std::vector<CorpusFile> corpus = SilesiaLikeCorpus(192 * 1024, 42);
+  RunGranularity(corpus, 4096);
+  RunGranularity(corpus, 65536);
+  std::printf("\nPaper shape: Deflate/Zstd best, DPZip close behind (4K ~45%% vs 43.1%%),\n"
+              "LZ4/Snappy ~20pp worse; 64K improves windowed codecs, DPZip stays flat.\n");
+}
+
+}  // namespace
+}  // namespace cdpu
+
+int main() {
+  cdpu::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 8: 4 KB-granularity microbenchmark — compression/decompression
+// throughput (a) and request latency (b) for CPU software, QAT 8970,
+// QAT 4xxx, DPZip, plus lightweight software codecs and the 3x DP-CSD
+// aggregate the paper reports.
+
+#include "bench/bench_util.h"
+#include "src/hw/device_configs.h"
+
+namespace cdpu {
+namespace {
+
+constexpr uint64_t kBytes = 4096;
+constexpr double kRatio = 0.45;  // Silesia-like 4 KB pages
+constexpr uint64_t kRequests = 20000;
+
+void Throughput(const std::string& name, const CdpuConfig& cfg, uint32_t threads) {
+  CdpuDevice dev(cfg);
+  ClosedLoopResult c = dev.RunClosedLoop(CdpuOp::kCompress, kRequests, kBytes, kRatio, threads);
+  ClosedLoopResult d =
+      dev.RunClosedLoop(CdpuOp::kDecompress, kRequests, kBytes, kRatio, threads);
+  PrintRow({name, Fmt(c.gbps, 2), Fmt(d.gbps, 2), Fmt(threads, 0),
+            Fmt(c.engine_utilization * 100, 0) + "%"});
+}
+
+void Latency(const std::string& name, const CdpuConfig& cfg) {
+  CdpuDevice dev(cfg);
+  PrintRow({name,
+            Fmt(static_cast<double>(dev.RequestLatency(CdpuOp::kCompress, kBytes, kRatio)) / 1e3,
+                1),
+            Fmt(static_cast<double>(dev.RequestLatency(CdpuOp::kDecompress, kBytes, kRatio)) /
+                    1e3,
+                1)});
+}
+
+void Run() {
+  PrintHeader("Figure 8", "4 KB microbenchmark: throughput and latency");
+
+  std::printf("\n(a) Throughput (GB/s); paper: CPU 4.9/13.6, 8970 5.1/7.6, "
+              "4xxx 4.3/7.0, DPZip 5.6/9.4, snappy 22.8/20.3\n");
+  PrintRow({"scheme", "C GB/s", "D GB/s", "threads", "engine util"});
+  PrintRule(5);
+  Throughput("cpu-deflate", CpuSoftwareConfig("deflate"), 88);
+  Throughput("cpu-zstd", CpuSoftwareConfig("zstd"), 88);
+  Throughput("cpu-snappy", CpuSoftwareConfig("snappy"), 88);
+  Throughput("qat-8970", Qat8970Config(), 64);
+  Throughput("qat-4xxx", Qat4xxxConfig(), 64);
+  Throughput("dpzip", DpzipCdpuConfig(), 16);
+  {
+    ClosedLoopResult c = RunDeviceFleet(DpzipCdpuConfig(), 3, CdpuOp::kCompress, kRequests,
+                                        kBytes, kRatio, 48);
+    ClosedLoopResult d = RunDeviceFleet(DpzipCdpuConfig(), 3, CdpuOp::kDecompress, kRequests,
+                                        kBytes, kRatio, 48);
+    PrintRow({"3x dp-csd", Fmt(c.gbps, 2), Fmt(d.gbps, 2), "48", "-"});
+  }
+
+  std::printf("\n(b) Request latency (us); paper: CPU 70/~20, 8970 28/14, "
+              "4xxx 9/6, DPZip 4.7/2.6, zstd 20.4/7.4, snappy 8.9/3.8\n");
+  PrintRow({"scheme", "C us", "D us"});
+  PrintRule(3);
+  Latency("cpu-deflate", CpuSoftwareConfig("deflate"));
+  Latency("cpu-zstd", CpuSoftwareConfig("zstd"));
+  Latency("cpu-snappy", CpuSoftwareConfig("snappy"));
+  Latency("qat-8970", Qat8970Config());
+  Latency("qat-4xxx", Qat4xxxConfig());
+  Latency("dpzip", DpzipCdpuConfig());
+}
+
+}  // namespace
+}  // namespace cdpu
+
+int main() {
+  cdpu::Run();
+  return 0;
+}

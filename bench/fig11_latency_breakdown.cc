@@ -1,0 +1,67 @@
+// Figures 10/11: request processing flow and latency breakdown. (a) DMA
+// read latency vs chunk size for the PCIe-attached QAT 8970 vs the
+// DDIO-enabled on-chip QAT 4xxx (paper: up to 70x gap, 448 ns for 64 KB on
+// the 4xxx); (b) end-to-end processing latency vs chunk size (paper: 8970
+// 3-5x higher than 4xxx).
+
+#include "bench/bench_util.h"
+#include "src/hw/device_configs.h"
+#include "src/hw/interconnect.h"
+
+namespace cdpu {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 11", "DMA and end-to-end latency vs chunk size");
+
+  Link pcie(Pcie3x16Link());
+  Link cmi(CmiLink());
+
+  std::printf("\n(a) Device DMA read latency (us)\n");
+  PrintRow({"chunk KB", "qat-8970", "qat-4xxx", "gap x"});
+  PrintRule(4);
+  for (uint64_t kb : {4u, 16u, 64u, 128u, 256u, 512u}) {
+    double p = static_cast<double>(pcie.TransferLatency(kb * 1024)) / 1e3;
+    double c = static_cast<double>(cmi.TransferLatency(kb * 1024)) / 1e3;
+    PrintRow({Fmt(kb, 0), Fmt(p, 2), Fmt(c, 3), Fmt(p / c, 0)});
+  }
+
+  std::printf("\n(b) End-to-end compression latency (us)\n");
+  PrintRow({"chunk KB", "qat-8970", "qat-4xxx", "ratio"});
+  PrintRule(4);
+  CdpuDevice qat8970(Qat8970Config());
+  CdpuDevice qat4xxx(Qat4xxxConfig());
+  for (uint64_t kb : {4u, 16u, 64u, 128u, 256u, 512u}) {
+    double l8 = static_cast<double>(
+                    qat8970.RequestLatency(CdpuOp::kCompress, kb * 1024, 0.42)) /
+                1e3;
+    double l4 = static_cast<double>(
+                    qat4xxx.RequestLatency(CdpuOp::kCompress, kb * 1024, 0.42)) /
+                1e3;
+    PrintRow({Fmt(kb, 0), Fmt(l8, 1), Fmt(l4, 1), Fmt(l8 / l4, 1) + "x"});
+  }
+  std::printf("\n(c) 64 KB compression request stage stack (us) — the Figure 10 flow\n");
+  PrintRow({"stage", "qat-8970", "qat-4xxx"});
+  PrintRule(3);
+  CdpuDevice::RequestTrace t8 = qat8970.TraceRequest(CdpuOp::kCompress, 65536, 0.42);
+  CdpuDevice::RequestTrace t4 = qat4xxx.TraceRequest(CdpuOp::kCompress, 65536, 0.42);
+  auto us = [](SimNanos ns) { return Fmt(static_cast<double>(ns) / 1e3, 2); };
+  PrintRow({"submit (driver)", us(t8.submit), us(t4.submit)});
+  PrintRow({"DMA in", us(t8.dma_in), us(t4.dma_in)});
+  PrintRow({"engine + verify", us(t8.service), us(t4.service)});
+  PrintRow({"DMA out", us(t8.dma_out), us(t4.dma_out)});
+  PrintRow({"complete (ISR)", us(t8.complete), us(t4.complete)});
+  PrintRow({"total", us(t8.total()), us(t4.total())});
+
+  std::printf("\nPaper shape: DMA gap grows to ~70x at large chunks (DDIO/LLC);\n"
+              "end-to-end 8970 stays 2-5x above 4xxx despite equal engine specs;\n"
+              "the stage stack shows where the placement difference lives.\n");
+}
+
+}  // namespace
+}  // namespace cdpu
+
+int main() {
+  cdpu::Run();
+  return 0;
+}

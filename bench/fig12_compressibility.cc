@@ -1,0 +1,127 @@
+// Figure 12: throughput vs data compressibility (achievable ratio 10-100%).
+// Device rows use the analytic models; the DP-CSD and DPZip rows run real
+// entropy-dialled data through the functional DPZip codec — DP-CSD through
+// the full SSD (NAND + FTL layout effects), DPZip through a DRAM-backed
+// path (pipeline model only), reproducing the paper's divergence between
+// the two at poor compressibility.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "src/core/dpzip_codec.h"
+#include "src/core/pipeline_model.h"
+#include "src/hw/device_configs.h"
+#include "src/ssd/scheme.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+constexpr uint64_t kBytes = 4096;
+constexpr uint64_t kRequests = 6000;
+
+double DeviceGbps(const CdpuConfig& cfg, CdpuOp op, double ratio, uint32_t threads) {
+  CdpuDevice dev(cfg);
+  return dev.RunClosedLoop(op, kRequests, kBytes, ratio, threads).gbps;
+}
+
+// DPZip functional path: compress real data of the given compressibility,
+// charge the pipeline model (DRAM-backed, no NAND).
+double DpzipFunctionalGbps(double ratio, bool decompress) {
+  DpzipCodec codec;
+  DpzipPipelineModel model;
+  uint64_t bytes = 0;
+  SimNanos busy = 0;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<uint8_t> page = GenerateWithRatio(ratio, kBytes, 100 + i);
+    ByteVec compressed;
+    if (!codec.Compress(page, &compressed).ok()) {
+      continue;
+    }
+    if (decompress) {
+      ByteVec out;
+      if (!codec.Decompress(compressed, &out).ok()) {
+        continue;
+      }
+      busy += model.DecompressLatency(codec.last_stats()).nanos;
+    } else {
+      busy += model.CompressLatency(codec.last_stats()).nanos;
+    }
+    bytes += kBytes;
+  }
+  // Two pipelines run in parallel in the device.
+  return busy == 0 ? 0 : 2.0 * GbPerSec(bytes, busy);
+}
+
+// DP-CSD: same data through the full SSD simulator (FTL packing + NAND),
+// at queue depth 64 like an FIO run — per-lane clocks share the NAND array.
+double DpCsdGbps(double ratio, bool reads) {
+  SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kDpCsd, 32 * 1024));
+  constexpr int kPages = 1024;
+  constexpr int kQueueDepth = 64;
+  std::vector<SimNanos> lane(kQueueDepth, 0);
+  uint64_t bytes = 0;
+  for (int i = 0; i < kPages; ++i) {
+    std::vector<uint8_t> page = GenerateWithRatio(ratio, kBytes, 200 + i);
+    int l = i % kQueueDepth;
+    Result<SsdIoResult> w = ssd.Write(static_cast<uint64_t>(i), page, lane[l]);
+    if (!w.ok()) {
+      break;
+    }
+    lane[l] = w->completion;
+    bytes += kBytes;
+  }
+  SimNanos write_end = *std::max_element(lane.begin(), lane.end());
+  if (!reads) {
+    return GbPerSec(bytes, write_end);
+  }
+  std::fill(lane.begin(), lane.end(), write_end);
+  bytes = 0;
+  for (int i = 0; i < kPages; ++i) {
+    ByteVec out;
+    int l = i % kQueueDepth;
+    Result<SsdIoResult> r = ssd.Read(static_cast<uint64_t>(i), &out, lane[l]);
+    if (!r.ok()) {
+      break;
+    }
+    lane[l] = r->completion;
+    bytes += kBytes;
+  }
+  SimNanos read_end = *std::max_element(lane.begin(), lane.end());
+  return GbPerSec(bytes, read_end - write_end);
+}
+
+void Run() {
+  PrintHeader("Figure 12", "Throughput vs data compressibility (4 KB)");
+
+  std::printf("\n(a) Compression GB/s\n");
+  PrintRow({"ratio %", "qat-8970", "qat-4xxx", "dpzip", "dp-csd"});
+  PrintRule(5);
+  for (double ratio : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    PrintRow({Fmt(ratio * 100, 0),
+              Fmt(DeviceGbps(Qat8970Config(), CdpuOp::kCompress, ratio, 64), 2),
+              Fmt(DeviceGbps(Qat4xxxConfig(), CdpuOp::kCompress, ratio, 64), 2),
+              Fmt(DpzipFunctionalGbps(ratio, false), 2), Fmt(DpCsdGbps(ratio, false), 2)});
+  }
+
+  std::printf("\n(b) Decompression GB/s\n");
+  PrintRow({"ratio %", "qat-8970", "qat-4xxx", "dpzip", "dp-csd"});
+  PrintRule(5);
+  for (double ratio : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    PrintRow({Fmt(ratio * 100, 0),
+              Fmt(DeviceGbps(Qat8970Config(), CdpuOp::kDecompress, ratio, 64), 2),
+              Fmt(DeviceGbps(Qat4xxxConfig(), CdpuOp::kDecompress, ratio, 64), 2),
+              Fmt(DpzipFunctionalGbps(ratio, true), 2), Fmt(DpCsdGbps(ratio, true), 2)});
+  }
+  std::printf("\nPaper shape: QAT 4xxx drops 67%%/77%% on incompressible data, 8970\n"
+              "drops less steeply, DPZip stays within ~15%%; DP-CSD degrades more\n"
+              "than DPZip (FTL layout + NAND) and lacks the 80-100%% rebound.\n");
+}
+
+}  // namespace
+}  // namespace cdpu
+
+int main() {
+  cdpu::Run();
+  return 0;
+}

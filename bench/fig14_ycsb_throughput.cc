@@ -1,0 +1,68 @@
+// Figure 14: YCSB throughput (KOPS) over the LSM store as client threads
+// scale, across the five compression schemes. Finding 6: QAT plateaus from
+// queue ceilings; DP-CSD tracks the OFF baseline and scales furthest.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/kv/ycsb_runner.h"
+
+namespace cdpu {
+namespace {
+
+constexpr uint64_t kRecords = 1500;
+constexpr uint64_t kOps = 4000;
+
+double RunScheme(CompressionScheme scheme, char workload, uint32_t threads) {
+  auto ssd = std::make_unique<SimSsd>(MakeSchemeSsdConfig(scheme, 512 * 1024));
+  LsmConfig cfg;
+  cfg.memtable_bytes = 128 * 1024;
+  cfg.sstable_data_bytes = 128 * 1024;
+  LsmDb db(cfg, ssd.get(), MakeSchemeBackend(scheme));
+
+  YcsbConfig ycfg;
+  ycfg.workload = workload;
+  ycfg.record_count = kRecords;
+  ycfg.value_size = 400;
+  ycfg.seed = 7;
+  YcsbWorkload wl(ycfg);
+
+  SimNanos clock = 0;
+  if (!YcsbLoad(&db, wl, &clock).ok()) {
+    return 0;
+  }
+  Result<YcsbRunResult> r = YcsbRun(&db, &wl, threads, kOps, clock);
+  return r.ok() ? r->kops : 0;
+}
+
+void RunWorkload(char workload) {
+  std::printf("\nWorkload-%c throughput (KOPS)\n", workload);
+  PrintRow({"threads", "OFF", "CPU", "QAT-8970", "QAT-4xxx", "CSD-2000", "DP-CSD"});
+  PrintRule(7);
+  for (uint32_t threads : {1u, 4u, 10u, 24u, 48u, 88u}) {
+    PrintRow({Fmt(threads, 0), Fmt(RunScheme(CompressionScheme::kOff, workload, threads), 0),
+              Fmt(RunScheme(CompressionScheme::kCpu, workload, threads), 0),
+              Fmt(RunScheme(CompressionScheme::kQat8970, workload, threads), 0),
+              Fmt(RunScheme(CompressionScheme::kQat4xxx, workload, threads), 0),
+              Fmt(RunScheme(CompressionScheme::kCsd2000, workload, threads), 0),
+              Fmt(RunScheme(CompressionScheme::kDpCsd, workload, threads), 0)});
+  }
+}
+
+void Run() {
+  PrintHeader("Figure 14", "YCSB throughput vs threads (RocksDB stand-in)");
+  RunWorkload('A');
+  RunWorkload('F');
+  std::printf("\nPaper shape: CPU compression costs ~25%%; QAT recovers it but\n"
+              "plateaus (64-deep queues); the FPGA CSD 2000 collapses under high\n"
+              "concurrency (Finding 7: ~2.5 GB/s internal AXI, 1 engine); DP-CSD\n"
+              "tracks/leads OFF and keeps scaling (1 MOPS at 88 threads).\n");
+}
+
+}  // namespace
+}  // namespace cdpu
+
+int main() {
+  cdpu::Run();
+  return 0;
+}

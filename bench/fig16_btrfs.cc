@@ -1,0 +1,85 @@
+// Figure 16: Btrfs-like filesystem — (a) buffered-write + sync throughput
+// and (b) 4 KB random read latency per scheme. Finding 9: 128 KB compressed
+// extents amplify small reads; Finding 11: async compression + checksumming
+// + writeback copies penalise the filesystem layer.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/fs/btrfs_sim.h"
+#include "src/common/rng.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+constexpr size_t kFileBytes = 4 * 1024 * 1024;
+constexpr size_t kIoBytes = 128 * 1024;
+
+struct FsOutcome {
+  double write_gbps;
+  double read_lat_us;
+  double stored_mb;
+};
+
+FsOutcome RunScheme(CompressionScheme scheme) {
+  auto ssd = std::make_unique<SimSsd>(MakeSchemeSsdConfig(scheme, 512 * 1024));
+  BtrfsSim fs(BtrfsConfig{}, ssd.get(), MakeSchemeBackend(scheme));
+  std::vector<uint8_t> data = GenerateDbTableLike(kFileBytes, 21);
+
+  SimNanos t = 0;
+  for (size_t off = 0; off < data.size(); off += kIoBytes) {
+    Result<SimNanos> w = fs.Write(off, ByteSpan(data.data() + off, kIoBytes), t);
+    if (!w.ok()) {
+      return {0, 0, 0};
+    }
+    t = *w;
+  }
+  Result<SimNanos> s = fs.Sync(t);
+  if (!s.ok()) {
+    return {0, 0, 0};
+  }
+  double write_gbps = GbPerSec(kFileBytes, *s);
+
+  // Cold 4 KB random reads.
+  Rng rng(5);
+  SimNanos rt = *s;
+  double total_us = 0;
+  constexpr int kReads = 64;
+  for (int i = 0; i < kReads; ++i) {
+    uint64_t off = rng.Uniform(kFileBytes / 4096) * 4096;
+    Result<BtrfsSim::ReadOutcome> r = fs.Read(off, 4096, rt);
+    if (!r.ok()) {
+      continue;
+    }
+    total_us += static_cast<double>(r->completion - rt) / 1e3;
+    rt = r->completion;
+  }
+  return {write_gbps, total_us / kReads,
+          static_cast<double>(fs.stored_bytes()) / 1e6};
+}
+
+void Run() {
+  PrintHeader("Figure 16", "Btrfs-like FS: write throughput and 4K read latency");
+  PrintRow({"scheme", "write GB/s", "read us", "stored MB"});
+  PrintRule(4);
+  for (CompressionScheme scheme :
+       {CompressionScheme::kOff, CompressionScheme::kCpu, CompressionScheme::kQat8970,
+        CompressionScheme::kQat4xxx, CompressionScheme::kCsd2000, CompressionScheme::kDpCsd}) {
+    FsOutcome o = RunScheme(scheme);
+    PrintRow({SchemeName(scheme), Fmt(o.write_gbps, 2), Fmt(o.read_lat_us, 1),
+              Fmt(o.stored_mb, 2)});
+  }
+  std::printf("\nPaper shape: DP-CSD highest write throughput; QAT in the FS layer\n"
+              "loses to buffered-IO copies; CPU Deflate worst. Reads: compressed\n"
+              "128 KB extents inflate 4K random-read latency (572 us for CPU in the\n"
+              "paper); DP-CSD/OFF avoid the amplification (~5 us overhead).\n");
+}
+
+}  // namespace
+}  // namespace cdpu
+
+int main() {
+  cdpu::Run();
+  return 0;
+}

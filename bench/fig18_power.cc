@@ -1,0 +1,136 @@
+// Figure 18: power efficiency (MB/J) at the microbenchmark level and
+// through the Btrfs-like filesystem, with CPU utilisation. Finding 12: the
+// DPZip module's ~50x standalone advantage compresses to ~3.5x at system
+// level; Finding 13: DPZip leads at every level (paper: 169.87 MB/J device
+// compress, 288.72 multi-device, 75.63 Btrfs write).
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/fs/btrfs_sim.h"
+#include "src/hw/device_configs.h"
+#include "src/hw/power.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+constexpr uint64_t kBytes = 4096;
+constexpr uint64_t kRequests = 20000;
+
+struct EffRow {
+  double c_mbj;
+  double d_mbj;
+  double cpu_util;
+};
+
+EffRow DeviceEfficiency(const CdpuConfig& cfg, uint32_t threads, double cpu_util) {
+  CdpuDevice dev(cfg);
+  EffRow row{0, 0, cpu_util};
+  for (bool compress : {true, false}) {
+    CdpuOp op = compress ? CdpuOp::kCompress : CdpuOp::kDecompress;
+    ClosedLoopResult r = dev.RunClosedLoop(op, kRequests, kBytes, 0.45, threads);
+    EnergyMeter meter;
+    meter.AddDevice(cfg.name, cfg.active_power_w, cfg.idle_power_w,
+                    static_cast<SimNanos>(r.engine_utilization *
+                                          static_cast<double>(r.makespan)),
+                    r.makespan);
+    meter.AddCpu(cpu_util, r.makespan);
+    double mbj = EnergyMeter::MbPerJoule(kRequests * kBytes, meter.NetJoules());
+    (compress ? row.c_mbj : row.d_mbj) = mbj;
+  }
+  return row;
+}
+
+void Run() {
+  PrintHeader("Figure 18", "Power efficiency: microbench and Btrfs level");
+
+  std::printf("\n(a) Microbench MB/J (paper: DPZip 169.87/165.65, multi-dev 288.72;\n"
+              "    CPU Deflate 41.81; QAT hurt by polling CPU time)\n");
+  PrintRow({"scheme", "C MB/J", "D MB/J", "CPU util"});
+  PrintRule(4);
+  // CPU utilisation during the runs: software uses all threads; QAT burns
+  // polling cores; DPZip needs almost none (paper: <3% vs >14%).
+  struct Case {
+    const char* name;
+    CdpuConfig cfg;
+    uint32_t threads;
+    double cpu_util;
+  };
+  std::vector<Case> cases = {
+      {"cpu-deflate", CpuSoftwareConfig("deflate"), 88, 1.0},
+      {"qat-8970", Qat8970Config(), 64, 0.16},
+      {"qat-4xxx", Qat4xxxConfig(), 64, 0.14},
+      {"dpzip", DpzipCdpuConfig(), 16, 0.03},
+  };
+  for (const Case& c : cases) {
+    EffRow row = DeviceEfficiency(c.cfg, c.threads, c.cpu_util);
+    PrintRow({c.name, Fmt(row.c_mbj, 1), Fmt(row.d_mbj, 1),
+              Fmt(row.cpu_util * 100, 0) + "%"});
+  }
+  {
+    // Multi-device DPZip: 3 drives, energy scales with devices but per-drive
+    // utilisation drops -> efficiency improves.
+    ClosedLoopResult r = RunDeviceFleet(DpzipCdpuConfig(), 3, CdpuOp::kCompress, kRequests,
+                                        kBytes, 0.45, 48);
+    EnergyMeter meter;
+    CdpuConfig cfg = DpzipCdpuConfig();
+    for (int d = 0; d < 3; ++d) {
+      meter.AddDevice(cfg.name, cfg.active_power_w, cfg.idle_power_w,
+                      static_cast<SimNanos>(r.engine_utilization *
+                                            static_cast<double>(r.makespan)),
+                      r.makespan);
+    }
+    meter.AddCpu(0.03, r.makespan);
+    PrintRow({"3x dpzip", Fmt(EnergyMeter::MbPerJoule(kRequests * kBytes, meter.NetJoules()), 1),
+              "-", "3%"});
+  }
+
+  std::printf("\n(b) Btrfs-level MB/J (paper: DPZip 75.63 write / 69.10 read;\n"
+              "    QAT ~11.75 write)\n");
+  PrintRow({"scheme", "write MB/J", "cpu util"});
+  PrintRule(3);
+  for (CompressionScheme scheme :
+       {CompressionScheme::kCpu, CompressionScheme::kQat4xxx, CompressionScheme::kDpCsd,
+        CompressionScheme::kOff}) {
+    auto ssd = std::make_unique<SimSsd>(MakeSchemeSsdConfig(scheme, 512 * 1024));
+    BtrfsSim fs(BtrfsConfig{}, ssd.get(), MakeSchemeBackend(scheme));
+    constexpr size_t kFile = 4 * 1024 * 1024;
+    std::vector<uint8_t> data = GenerateDbTableLike(kFile, 7);
+    SimNanos t = 0;
+    for (size_t off = 0; off < kFile; off += 131072) {
+      Result<SimNanos> w = fs.Write(off, ByteSpan(data.data() + off, 131072), t);
+      if (!w.ok()) {
+        break;
+      }
+      t = *w;
+    }
+    Result<SimNanos> s = fs.Sync(t);
+    if (!s.ok()) {
+      continue;
+    }
+    double cpu_util = scheme == CompressionScheme::kCpu    ? 0.8
+                      : scheme == CompressionScheme::kQat4xxx ? 0.14
+                                                              : 0.03;
+    EnergyMeter meter;
+    meter.AddCpu(cpu_util, *s);
+    CdpuConfig dev_cfg = scheme == CompressionScheme::kQat4xxx ? Qat4xxxConfig()
+                         : scheme == CompressionScheme::kDpCsd ? DpzipCdpuConfig()
+                                                               : CpuSoftwareConfig("deflate");
+    if (scheme == CompressionScheme::kQat4xxx || scheme == CompressionScheme::kDpCsd) {
+      meter.AddDevice(dev_cfg.name, dev_cfg.active_power_w, dev_cfg.idle_power_w, *s / 2, *s);
+    }
+    PrintRow({SchemeName(scheme), Fmt(EnergyMeter::MbPerJoule(kFile, meter.NetJoules()), 1),
+              Fmt(cpu_util * 100, 0) + "%"});
+  }
+  std::printf("\nPaper shape: DPZip ~50x module-level over CPU but ~3.5x end-to-end\n"
+              "(Finding 12); DP-CSD best at device, system and application level.\n");
+}
+
+}  // namespace
+}  // namespace cdpu
+
+int main() {
+  cdpu::Run();
+  return 0;
+}

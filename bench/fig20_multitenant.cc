@@ -1,0 +1,64 @@
+// Figure 20: multi-tenant SR-IOV sharing — each CDPU partitioned into 24
+// VFs mapped to 24 VMs. Finding 15: QAT devices oscillate severely
+// (write CV 51-54%, read CV 80-89%); DP-CSD's per-VF fair scheduling holds
+// CV < 0.5%.
+
+#include "bench/bench_util.h"
+#include "src/virt/sriov.h"
+
+namespace cdpu {
+namespace {
+
+SriovConfig Make(const char* name, VfArbitration arb, double gbps, uint32_t batch,
+                 uint64_t seed) {
+  SriovConfig c;
+  c.name = name;
+  c.arbitration = arb;
+  c.device_gbps = gbps;
+  c.drain_batch = batch;
+  c.seed = seed;
+  return c;
+}
+
+void Report(const SriovConfig& cfg) {
+  MultiTenantResult r = RunMultiTenant(cfg);
+  double min_gbps = 1e18;
+  double max_gbps = 0;
+  for (const TenantOutcome& t : r.tenants) {
+    min_gbps = std::min(min_gbps, t.gbps);
+    max_gbps = std::max(max_gbps, t.gbps);
+  }
+  PrintRow({cfg.name, Fmt(r.total_gbps, 2), Fmt(r.cv_percent, 2) + "%",
+            Fmt(min_gbps * 1000, 1), Fmt(max_gbps * 1000, 1)});
+}
+
+void Run() {
+  PrintHeader("Figure 20", "24 VMs per CDPU via SR-IOV: per-tenant fairness");
+
+  std::printf("\nWrite-path sharing (per-VM MB/s min/max)\n");
+  PrintRow({"device", "total GB/s", "CV", "min MB/s", "max MB/s"});
+  PrintRule(5);
+  Report(Make("qat-8970", VfArbitration::kUnarbitrated, 5.1, 8, 11));
+  Report(Make("qat-4xxx", VfArbitration::kUnarbitrated, 4.3, 8, 12));
+  Report(Make("plain-ssd", VfArbitration::kWeightedFair, 6.0, 8, 13));
+  Report(Make("dp-csd", VfArbitration::kWeightedFair, 5.6, 8, 14));
+
+  std::printf("\nRead-path sharing (larger drain batches amplify capture)\n");
+  PrintRow({"device", "total GB/s", "CV", "min MB/s", "max MB/s"});
+  PrintRule(5);
+  Report(Make("qat-8970", VfArbitration::kUnarbitrated, 7.6, 16, 15));
+  Report(Make("qat-4xxx", VfArbitration::kUnarbitrated, 7.0, 16, 16));
+  Report(Make("plain-ssd", VfArbitration::kWeightedFair, 8.0, 16, 17));
+  Report(Make("dp-csd", VfArbitration::kWeightedFair, 9.4, 16, 18));
+
+  std::printf("\nPaper shape: QAT write CVs 51.14%%/54.39%%, read CVs 80.49%%/89%%;\n"
+              "DP-CSD CV = 0.48%% via front-end QoS with per-VF fair scheduling.\n");
+}
+
+}  // namespace
+}  // namespace cdpu
+
+int main() {
+  cdpu::Run();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table 1: testbed configuration — the modelled devices, their placement,
+// interconnect and engine parameters, printed from the actual configs the
+// other benchmarks run with.
+
+#include "bench/bench_util.h"
+#include "src/hw/device_configs.h"
+
+namespace cdpu {
+namespace {
+
+void PrintDevice(const CdpuConfig& c) {
+  PrintRow({c.name, PlacementName(c.placement), c.link.name, c.algorithm,
+            Fmt(c.engines, 0) + " engines",
+            Fmt(c.compress_gbps * c.engines, 1) + "/" +
+                Fmt(c.decompress_gbps * c.engines, 1) + " GB/s"},
+           16);
+}
+
+void Run() {
+  PrintHeader("Table 1", "Testbed configuration: CDPU instances, placement, interconnect");
+  PrintRow({"CDPU", "Placement", "Interconnect", "Algorithm", "Parallelism", "C/D peak"}, 16);
+  PrintRule(6, 16);
+  PrintDevice(Qat8970Config());
+  PrintDevice(Qat4xxxConfig());
+  PrintDevice(Csd2000CdpuConfig());
+  PrintDevice(DpzipCdpuConfig());
+  PrintDevice(CpuSoftwareConfig("deflate"));
+  std::printf("\nServer model: dual-socket, 88 threads @2.7GHz, DDR5; power floor 350 W.\n");
+  std::printf("All devices share the simulated host; see DESIGN.md for substitutions.\n");
+}
+
+}  // namespace
+}  // namespace cdpu
+
+int main() {
+  cdpu::Run();
+  return 0;
+}

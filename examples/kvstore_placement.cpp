@@ -1,0 +1,68 @@
+// Scenario: choosing a compression placement for an LSM database (the
+// paper's RocksDB study, §5.3.1). Loads the same YCSB dataset under each of
+// the five schemes and reports throughput, read latency, tree shape and
+// storage footprint — the trade-off matrix of Findings 6-8.
+//
+// Run: ./build/examples/kvstore_placement
+
+#include <cstdio>
+#include <memory>
+
+#include "src/kv/ycsb_runner.h"
+
+int main() {
+  using namespace cdpu;
+
+  constexpr uint64_t kRecords = 1200;
+  constexpr uint64_t kOps = 3000;
+  constexpr uint32_t kThreads = 16;
+
+  std::printf("%-12s %-10s %-12s %-10s %-12s %-12s\n", "scheme", "KOPS", "read us",
+              "lsm depth", "logical MB", "stored MB");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  for (CompressionScheme scheme :
+       {CompressionScheme::kOff, CompressionScheme::kCpu, CompressionScheme::kQat8970,
+        CompressionScheme::kQat4xxx, CompressionScheme::kDpCsd}) {
+    auto ssd = std::make_unique<SimSsd>(MakeSchemeSsdConfig(scheme, 512 * 1024));
+    LsmConfig cfg;
+    cfg.memtable_bytes = 96 * 1024;
+    cfg.sstable_data_bytes = 96 * 1024;
+    LsmDb db(cfg, ssd.get(), MakeSchemeBackend(scheme));
+
+    YcsbConfig ycfg;
+    ycfg.workload = 'A';
+    ycfg.record_count = kRecords;
+    ycfg.value_size = 400;
+    YcsbWorkload wl(ycfg);
+
+    SimNanos clock = 0;
+    Status load = YcsbLoad(&db, wl, &clock);
+    if (!load.ok()) {
+      std::printf("%-12s load failed: %s\n", SchemeName(scheme), load.ToString().c_str());
+      continue;
+    }
+    Result<YcsbRunResult> run = YcsbRun(&db, &wl, kThreads, kOps, clock);
+    if (!run.ok()) {
+      std::printf("%-12s run failed: %s\n", SchemeName(scheme),
+                  run.status().ToString().c_str());
+      continue;
+    }
+
+    // Stored footprint: app-level file bytes for CPU/QAT; for DP-CSD the
+    // SSD's internal ratio tells the real story.
+    double logical_mb = static_cast<double>(db.TotalDataBytes()) / 1e6;
+    double stored_mb = static_cast<double>(db.TotalFileBytes()) / 1e6;
+    if (scheme == CompressionScheme::kDpCsd) {
+      stored_mb *= ssd->ftl().PhysicalSpaceRatio();
+    }
+    std::printf("%-12s %-10.0f %-12.1f %-10d %-12.1f %-12.1f\n", SchemeName(scheme),
+                run->kops, run->mean_read_latency_us, db.DepthUsed(), logical_mb, stored_mb);
+  }
+
+  std::printf("\nHow to read this: QAT compression packs SSTables denser (lower read\n"
+              "latency, smaller files) but needs deep application integration; DP-CSD\n"
+              "gets the space savings transparently at OFF-like throughput, paying\n"
+              "only the unchanged logical layout on reads (Finding 8).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Scenario: sizing a multi-tenant compression service (paper §5.5.2).
+// Partitions a QAT-style device and a DP-CSD into 24 virtual functions,
+// runs 24 closed-loop tenants on each, and prints the per-VM throughput
+// distribution — showing why per-VF fair scheduling is a hard requirement
+// for predictable multi-tenant operation (Finding 15).
+//
+// Run: ./build/examples/multitenant_isolation
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/virt/sriov.h"
+
+namespace {
+
+void Histogram(const cdpu::MultiTenantResult& r) {
+  double max_gbps = 0;
+  for (const cdpu::TenantOutcome& t : r.tenants) {
+    max_gbps = std::max(max_gbps, t.gbps);
+  }
+  for (const cdpu::TenantOutcome& t : r.tenants) {
+    int bars = max_gbps > 0 ? static_cast<int>(t.gbps / max_gbps * 40) : 0;
+    std::printf("  vm%02u %7.1f MB/s |%s\n", t.vm, t.gbps * 1000,
+                std::string(static_cast<size_t>(bars), '#').c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace cdpu;
+
+  SriovConfig qat;
+  qat.name = "qat-4xxx (unarbitrated VFs)";
+  qat.arbitration = VfArbitration::kUnarbitrated;
+  qat.device_gbps = 4.3;
+
+  SriovConfig dpcsd;
+  dpcsd.name = "dp-csd (per-VF fair queueing)";
+  dpcsd.arbitration = VfArbitration::kWeightedFair;
+  dpcsd.device_gbps = 5.6;
+
+  for (const SriovConfig& cfg : {qat, dpcsd}) {
+    MultiTenantResult r = RunMultiTenant(cfg);
+    std::printf("\n=== %s ===\n", cfg.name.c_str());
+    std::printf("aggregate: %.2f GB/s across %zu VMs, CV %.2f%%\n", r.total_gbps,
+                r.tenants.size(), r.cv_percent);
+    Histogram(r);
+  }
+
+  std::printf("\nPaper: QAT write CVs exceed 50%% (80-89%% for reads) because the\n"
+              "device drains VF rings without per-VF rate limiting; DP-CSD's\n"
+              "front-end QoS keeps CV at 0.48%%, making it safe to sell per-tenant\n"
+              "performance guarantees.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "src/codecs/codec.h"
+
+#include <map>
+
+#include "src/codecs/deflate_codec.h"
+#include "src/codecs/gzip_codec.h"
+#include "src/codecs/lz4_codec.h"
+#include "src/codecs/mini_zstd.h"
+#include "src/codecs/snappy_codec.h"
+
+namespace cdpu {
+namespace {
+
+std::map<std::string, std::unique_ptr<Codec> (*)()>& Registry() {
+  static std::map<std::string, std::unique_ptr<Codec> (*)()> registry;
+  return registry;
+}
+
+}  // namespace
+
+double Codec::MeasureRatio(ByteSpan input) {
+  if (input.empty()) {
+    return 1.0;
+  }
+  ByteVec out;
+  Result<size_t> r = Compress(input, &out);
+  if (!r.ok()) {
+    return 1.0;
+  }
+  return static_cast<double>(*r) / static_cast<double>(input.size());
+}
+
+std::unique_ptr<Codec> MakeCodec(const std::string& name) {
+  if (name == "deflate" || name == "deflate-1") {
+    return std::make_unique<DeflateCodec>(1);
+  }
+  if (name == "deflate-6") {
+    return std::make_unique<DeflateCodec>(6);
+  }
+  if (name == "deflate-9") {
+    return std::make_unique<DeflateCodec>(9);
+  }
+  if (name.rfind("gzip", 0) == 0) {
+    int level = 1;
+    if (name.size() > 5 && name[4] == '-') {
+      level = std::stoi(name.substr(5));
+    }
+    return std::make_unique<GzipCodec>(level);
+  }
+  if (name == "lz4") {
+    return std::make_unique<Lz4Codec>();
+  }
+  if (name == "snappy") {
+    return std::make_unique<SnappyCodec>();
+  }
+  if (name.rfind("zstd", 0) == 0) {
+    int level = 1;
+    if (name.size() > 5 && name[4] == '-') {
+      level = std::stoi(name.substr(5));
+    }
+    return std::make_unique<MiniZstdCodec>(level);
+  }
+  auto it = Registry().find(name);
+  if (it != Registry().end()) {
+    return it->second();
+  }
+  return nullptr;
+}
+
+void RegisterCodecFactory(const std::string& name, std::unique_ptr<Codec> (*factory)()) {
+  Registry()[name] = factory;
+}
+
+}  // namespace cdpu

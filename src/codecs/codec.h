@@ -1,0 +1,52 @@
+// Common interface for all (de)compressors in the repository: the software
+// baselines (Deflate, LZ4-style, Snappy-style, MiniZstd) and the DPZip
+// hardware-model codec. Compression ratio follows the paper's definition:
+// compressed_size / original_size (smaller is better).
+
+#ifndef SRC_CODECS_CODEC_H_
+#define SRC_CODECS_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cdpu {
+
+using ByteSpan = std::span<const uint8_t>;
+using ByteVec = std::vector<uint8_t>;
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual std::string name() const = 0;
+
+  // Compresses `input`, appending to `*out`. Returns the number of bytes
+  // appended. Implementations must accept empty input.
+  virtual Result<size_t> Compress(ByteSpan input, ByteVec* out) = 0;
+
+  // Decompresses `input` (one full compressed stream produced by Compress),
+  // appending to `*out`. Returns the number of bytes appended.
+  virtual Result<size_t> Decompress(ByteSpan input, ByteVec* out) = 0;
+
+  // compressed/original, in [0, >1]. Returns 1.0 for empty input.
+  double MeasureRatio(ByteSpan input);
+};
+
+// Factory for the codecs used throughout the benchmarks. Names: "deflate",
+// "lz4", "snappy", "zstd" (MiniZstd level 1), "zstd-<level>", "dpzip" is
+// registered by the core library via RegisterCodecFactory.
+std::unique_ptr<Codec> MakeCodec(const std::string& name);
+
+// Extension hook so higher layers (src/core) can expose their codecs through
+// MakeCodec without a dependency cycle.
+void RegisterCodecFactory(const std::string& name,
+                          std::unique_ptr<Codec> (*factory)());
+
+}  // namespace cdpu
+
+#endif  // SRC_CODECS_CODEC_H_

@@ -1,0 +1,541 @@
+#include "src/codecs/deflate_codec.h"
+
+#include <array>
+#include <cstring>
+
+#include "src/codecs/huffman_coder.h"
+#include "src/common/bitstream.h"
+
+namespace cdpu {
+namespace {
+
+constexpr size_t kWindowSize = 32768;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 258;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr int kEndOfBlock = 256;
+constexpr size_t kNumLitLen = 288;
+constexpr size_t kNumDist = 30;
+
+// RFC 1951 §3.2.5: length codes 257..285.
+constexpr uint16_t kLengthBase[29] = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19, 23,
+                                      27, 31, 35, 43, 51, 59, 67, 83, 99,  115, 131, 163, 195, 227,
+                                      258};
+constexpr uint8_t kLengthExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                                      2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+// Distance codes 0..29.
+constexpr uint16_t kDistBase[30] = {1,    2,    3,    4,    5,    7,     9,     13,   17,   25,
+                                    33,   49,   65,   97,   129,  193,   257,   385,  513,  769,
+                                    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr uint8_t kDistExtra[30] = {0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5,  5,  6,
+                                    6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+// Order in which code-length code lengths are transmitted (§3.2.7).
+constexpr uint8_t kClcOrder[19] = {16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+
+int LengthToCode(size_t len) {
+  for (int i = 28; i >= 0; --i) {
+    if (len >= kLengthBase[i]) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+int DistToCode(size_t dist) {
+  for (int i = 29; i >= 0; --i) {
+    if (dist >= kDistBase[i]) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+uint32_t Hash3(const uint8_t* p) {
+  uint32_t v = p[0] | (uint32_t{p[1]} << 8) | (uint32_t{p[2]} << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+struct Token {
+  uint16_t length;  // 0 = literal
+  uint16_t dist;
+  uint8_t literal;
+};
+
+// Fixed Huffman lengths (§3.2.6).
+std::vector<uint8_t> FixedLitLenLengths() {
+  std::vector<uint8_t> l(kNumLitLen);
+  for (size_t i = 0; i <= 143; ++i) {
+    l[i] = 8;
+  }
+  for (size_t i = 144; i <= 255; ++i) {
+    l[i] = 9;
+  }
+  for (size_t i = 256; i <= 279; ++i) {
+    l[i] = 7;
+  }
+  for (size_t i = 280; i <= 287; ++i) {
+    l[i] = 8;
+  }
+  return l;
+}
+
+// All 32 5-bit distance codes exist in the fixed tree (30/31 are reserved
+// but participate in the code space, keeping the code complete — §3.2.6).
+std::vector<uint8_t> FixedDistLengths() { return std::vector<uint8_t>(32, 5); }
+
+class Lz77Parser {
+ public:
+  // The prev ring must be a power of two (indexed by pos & (size-1)) and at
+  // least twice the window so in-window chain entries are never clobbered.
+  Lz77Parser(ByteSpan input, uint32_t max_chain, bool lazy)
+      : in_(input), max_chain_(max_chain), lazy_(lazy), head_(kHashSize, -1),
+        prev_(size_t{1} << 16, -1) {}
+
+  std::vector<Token> Parse() {
+    std::vector<Token> tokens;
+    size_t n = in_.size();
+    size_t pos = 0;
+    while (pos < n) {
+      size_t best_len = 0;
+      size_t best_dist = 0;
+      if (pos + kMinMatch <= n) {
+        FindMatch(pos, &best_len, &best_dist);
+      }
+      if (lazy_ && best_len >= kMinMatch && best_len < 64 && pos + 1 + kMinMatch <= n) {
+        // One-step lazy evaluation: if the next position has a longer match,
+        // emit this byte as a literal instead.
+        Insert(pos);
+        size_t next_len = 0;
+        size_t next_dist = 0;
+        FindMatch(pos + 1, &next_len, &next_dist);
+        if (next_len > best_len) {
+          tokens.push_back(Token{0, 0, in_[pos]});
+          ++pos;
+          continue;  // the longer match is found again next iteration
+        }
+        if (best_len >= kMinMatch) {
+          tokens.push_back(
+              Token{static_cast<uint16_t>(best_len), static_cast<uint16_t>(best_dist), 0});
+          for (size_t i = 1; i < best_len && pos + i + kMinMatch <= n; ++i) {
+            Insert(pos + i);
+          }
+          pos += best_len;
+          continue;
+        }
+      }
+      if (best_len >= kMinMatch) {
+        tokens.push_back(
+            Token{static_cast<uint16_t>(best_len), static_cast<uint16_t>(best_dist), 0});
+        for (size_t i = 0; i < best_len && pos + i + kMinMatch <= n; ++i) {
+          Insert(pos + i);
+        }
+        pos += best_len;
+      } else {
+        if (pos + kMinMatch <= n) {
+          Insert(pos);
+        }
+        tokens.push_back(Token{0, 0, in_[pos]});
+        ++pos;
+      }
+    }
+    return tokens;
+  }
+
+ private:
+  void Insert(size_t pos) {
+    uint32_t h = Hash3(in_.data() + pos);
+    prev_[pos & (prev_.size() - 1)] = head_[h];
+    head_[h] = static_cast<int64_t>(pos);
+  }
+
+  void FindMatch(size_t pos, size_t* best_len, size_t* best_dist) {
+    uint32_t h = Hash3(in_.data() + pos);
+    int64_t cand = head_[h];
+    uint32_t chain = max_chain_;
+    size_t limit = std::min(in_.size() - pos, kMaxMatch);
+    while (cand >= 0 && chain-- > 0) {
+      size_t cpos = static_cast<size_t>(cand);
+      size_t dist = pos - cpos;
+      if (dist > kWindowSize) {
+        break;
+      }
+      size_t len = 0;
+      while (len < limit && in_[cpos + len] == in_[pos + len]) {
+        ++len;
+      }
+      if (len > *best_len) {
+        *best_len = len;
+        *best_dist = dist;
+        if (len >= limit) {
+          break;
+        }
+      }
+      int64_t nxt = prev_[cpos & (prev_.size() - 1)];
+      if (nxt >= cand) {
+        break;  // ring wrapped; stale entry
+      }
+      cand = nxt;
+    }
+  }
+
+  ByteSpan in_;
+  uint32_t max_chain_;
+  bool lazy_;
+  std::vector<int64_t> head_;
+  std::vector<int64_t> prev_;
+};
+
+// Encodes the dynamic-Huffman table header (§3.2.7): code lengths for the
+// litlen+dist alphabets, RLE-compressed with symbols 16/17/18, themselves
+// Huffman coded.
+void WriteDynamicHeader(BitWriter* bw, std::span<const uint8_t> ll_lengths,
+                        std::span<const uint8_t> d_lengths) {
+  size_t hlit = kNumLitLen;
+  while (hlit > 257 && ll_lengths[hlit - 1] == 0) {
+    --hlit;
+  }
+  size_t hdist = kNumDist;
+  while (hdist > 1 && d_lengths[hdist - 1] == 0) {
+    --hdist;
+  }
+
+  // Concatenate and RLE-encode.
+  std::vector<uint8_t> all(ll_lengths.begin(), ll_lengths.begin() + hlit);
+  all.insert(all.end(), d_lengths.begin(), d_lengths.begin() + hdist);
+
+  struct ClcSym {
+    uint8_t sym;
+    uint8_t extra_bits;
+    uint8_t extra_val;
+  };
+  std::vector<ClcSym> rle;
+  for (size_t i = 0; i < all.size();) {
+    uint8_t v = all[i];
+    size_t run = 1;
+    while (i + run < all.size() && all[i + run] == v) {
+      ++run;
+    }
+    i += run;
+    if (v == 0) {
+      while (run >= 3) {
+        size_t take = std::min(run, size_t{138});
+        if (take <= 10) {
+          rle.push_back({17, 3, static_cast<uint8_t>(take - 3)});
+        } else {
+          rle.push_back({18, 7, static_cast<uint8_t>(take - 11)});
+        }
+        run -= take;
+      }
+      for (size_t k = 0; k < run; ++k) {
+        rle.push_back({0, 0, 0});
+      }
+    } else {
+      rle.push_back({v, 0, 0});
+      --run;
+      while (run >= 3) {
+        size_t take = std::min(run, size_t{6});
+        rle.push_back({16, 2, static_cast<uint8_t>(take - 3)});
+        run -= take;
+      }
+      for (size_t k = 0; k < run; ++k) {
+        rle.push_back({v, 0, 0});
+      }
+    }
+  }
+
+  std::array<uint32_t, 19> clc_freq{};
+  for (const ClcSym& s : rle) {
+    ++clc_freq[s.sym];
+  }
+  std::vector<uint8_t> clc_lengths = BuildHuffmanLengths(clc_freq, 7);
+  std::vector<uint16_t> clc_codes;
+  Status st = AssignCanonicalCodes(clc_lengths, &clc_codes);
+  (void)st;
+
+  size_t hclen = 19;
+  while (hclen > 4 && clc_lengths[kClcOrder[hclen - 1]] == 0) {
+    --hclen;
+  }
+
+  bw->Write(hlit - 257, 5);
+  bw->Write(hdist - 1, 5);
+  bw->Write(hclen - 4, 4);
+  for (size_t i = 0; i < hclen; ++i) {
+    bw->Write(clc_lengths[kClcOrder[i]], 3);
+  }
+  for (const ClcSym& s : rle) {
+    bw->Write(ReverseBits(clc_codes[s.sym], clc_lengths[s.sym]), clc_lengths[s.sym]);
+    if (s.extra_bits > 0) {
+      bw->Write(s.extra_val, s.extra_bits);
+    }
+  }
+}
+
+// Writes the token stream with the given codes.
+void WriteTokens(BitWriter* bw, const std::vector<Token>& tokens,
+                 std::span<const uint8_t> ll_lengths, std::span<const uint16_t> ll_codes,
+                 std::span<const uint8_t> d_lengths, std::span<const uint16_t> d_codes) {
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      bw->Write(ReverseBits(ll_codes[t.literal], ll_lengths[t.literal]), ll_lengths[t.literal]);
+    } else {
+      int lc = LengthToCode(t.length);
+      int sym = 257 + lc;
+      bw->Write(ReverseBits(ll_codes[sym], ll_lengths[sym]), ll_lengths[sym]);
+      if (kLengthExtra[lc] > 0) {
+        bw->Write(t.length - kLengthBase[lc], kLengthExtra[lc]);
+      }
+      int dc = DistToCode(t.dist);
+      bw->Write(ReverseBits(d_codes[dc], d_lengths[dc]), d_lengths[dc]);
+      if (kDistExtra[dc] > 0) {
+        bw->Write(t.dist - kDistBase[dc], kDistExtra[dc]);
+      }
+    }
+  }
+  bw->Write(ReverseBits(ll_codes[kEndOfBlock], ll_lengths[kEndOfBlock]),
+            ll_lengths[kEndOfBlock]);
+}
+
+// Cost in bits of coding `tokens` with the given lengths (excluding header).
+uint64_t TokenCost(const std::vector<Token>& tokens, std::span<const uint8_t> ll_lengths,
+                   std::span<const uint8_t> d_lengths) {
+  uint64_t bits = 0;
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      bits += ll_lengths[t.literal];
+    } else {
+      int lc = LengthToCode(t.length);
+      bits += ll_lengths[257 + lc] + kLengthExtra[lc];
+      int dc = DistToCode(t.dist);
+      bits += d_lengths[dc] + kDistExtra[dc];
+    }
+  }
+  bits += ll_lengths[kEndOfBlock];
+  return bits;
+}
+
+}  // namespace
+
+DeflateCodec::DeflateCodec(int level) : level_(level) {
+  if (level <= 1) {
+    max_chain_ = 8;
+    lazy_ = false;
+  } else if (level <= 6) {
+    max_chain_ = 128;
+    lazy_ = true;
+  } else {
+    max_chain_ = 1024;
+    lazy_ = true;
+  }
+}
+
+Result<size_t> DeflateCodec::Compress(ByteSpan input, ByteVec* out) {
+  size_t start_size = out->size();
+
+  Lz77Parser parser(input, max_chain_, lazy_);
+  std::vector<Token> tokens = parser.Parse();
+
+  std::array<uint32_t, kNumLitLen> ll_freq{};
+  std::array<uint32_t, kNumDist> d_freq{};
+  ll_freq[kEndOfBlock] = 1;
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      ++ll_freq[t.literal];
+    } else {
+      ++ll_freq[static_cast<size_t>(257 + LengthToCode(t.length))];
+      ++d_freq[static_cast<size_t>(DistToCode(t.dist))];
+    }
+  }
+
+  std::vector<uint8_t> dyn_ll = BuildHuffmanLengths(ll_freq, 15);
+  std::vector<uint8_t> dyn_d = BuildHuffmanLengths(d_freq, 15);
+  // Deflate requires at least one distance code length when HDIST >= 1; a
+  // single-code tree is legal, zero codes encoded as one zero length.
+  std::vector<uint16_t> dyn_ll_codes;
+  std::vector<uint16_t> dyn_d_codes;
+  CDPU_RETURN_IF_ERROR(AssignCanonicalCodes(dyn_ll, &dyn_ll_codes));
+  CDPU_RETURN_IF_ERROR(AssignCanonicalCodes(dyn_d, &dyn_d_codes));
+
+  std::vector<uint8_t> fix_ll = FixedLitLenLengths();
+  std::vector<uint8_t> fix_d = FixedDistLengths();
+  std::vector<uint16_t> fix_ll_codes;
+  std::vector<uint16_t> fix_d_codes;
+  CDPU_RETURN_IF_ERROR(AssignCanonicalCodes(fix_ll, &fix_ll_codes));
+  CDPU_RETURN_IF_ERROR(AssignCanonicalCodes(fix_d, &fix_d_codes));
+
+  uint64_t dyn_cost = TokenCost(tokens, dyn_ll, dyn_d) + 200;  // ~header estimate
+  uint64_t fix_cost = TokenCost(tokens, fix_ll, fix_d);
+  uint64_t stored_cost = (input.size() + (input.size() / 65535 + 1) * 5) * 8;
+
+  ByteVec coded;
+  {
+    BitWriter bw(&coded);
+    if (dyn_cost <= fix_cost) {
+      bw.Write(1, 1);  // BFINAL
+      bw.Write(2, 2);  // dynamic
+      WriteDynamicHeader(&bw, dyn_ll, dyn_d);
+      WriteTokens(&bw, tokens, dyn_ll, dyn_ll_codes, dyn_d, dyn_d_codes);
+    } else {
+      bw.Write(1, 1);
+      bw.Write(1, 2);  // fixed
+      WriteTokens(&bw, tokens, fix_ll, fix_ll_codes, fix_d, fix_d_codes);
+    }
+    bw.AlignToByte();
+  }
+
+  if (coded.size() * 8 < stored_cost) {
+    out->insert(out->end(), coded.begin(), coded.end());
+  } else {
+    // Stored blocks, 65535-byte max each.
+    ByteVec stored;
+    BitWriter bw(&stored);
+    size_t pos = 0;
+    do {
+      size_t chunk = std::min(input.size() - pos, size_t{65535});
+      bool final_block = pos + chunk == input.size();
+      bw.Write(final_block ? 1 : 0, 1);
+      bw.Write(0, 2);
+      bw.AlignToByte();
+      stored.push_back(static_cast<uint8_t>(chunk & 0xff));
+      stored.push_back(static_cast<uint8_t>(chunk >> 8));
+      stored.push_back(static_cast<uint8_t>(~chunk & 0xff));
+      stored.push_back(static_cast<uint8_t>((~chunk >> 8) & 0xff));
+      stored.insert(stored.end(), input.begin() + pos, input.begin() + pos + chunk);
+      pos += chunk;
+    } while (pos < input.size());
+    out->insert(out->end(), stored.begin(), stored.end());
+  }
+  return out->size() - start_size;
+}
+
+Result<size_t> DeflateCodec::Decompress(ByteSpan input, ByteVec* out) {
+  size_t start_size = out->size();
+  BitReader br(input);
+
+  for (;;) {
+    uint32_t bfinal = static_cast<uint32_t>(br.Read(1));
+    uint32_t btype = static_cast<uint32_t>(br.Read(2));
+    if (br.overflowed()) {
+      return Status::CorruptData("deflate: truncated block header");
+    }
+
+    if (btype == 0) {  // stored
+      br.AlignToByte();
+      uint32_t len = static_cast<uint32_t>(br.Read(16));
+      uint32_t nlen = static_cast<uint32_t>(br.Read(16));
+      if (br.overflowed() || (len ^ nlen) != 0xffff) {
+        return Status::CorruptData("deflate: bad stored header");
+      }
+      for (uint32_t i = 0; i < len; ++i) {
+        uint64_t b = br.Read(8);
+        if (br.overflowed()) {
+          return Status::CorruptData("deflate: truncated stored data");
+        }
+        out->push_back(static_cast<uint8_t>(b));
+      }
+    } else if (btype == 1 || btype == 2) {
+      HuffmanDecoder ll_dec;
+      HuffmanDecoder d_dec;
+      if (btype == 1) {
+        std::vector<uint8_t> fl = FixedLitLenLengths();
+        std::vector<uint8_t> fd = FixedDistLengths();
+        CDPU_RETURN_IF_ERROR(ll_dec.Init(fl));
+        CDPU_RETURN_IF_ERROR(d_dec.Init(fd));
+      } else {
+        size_t hlit = static_cast<size_t>(br.Read(5)) + 257;
+        size_t hdist = static_cast<size_t>(br.Read(5)) + 1;
+        size_t hclen = static_cast<size_t>(br.Read(4)) + 4;
+        if (br.overflowed() || hlit > 286 || hdist > 30) {
+          return Status::CorruptData("deflate: bad dynamic counts");
+        }
+        std::vector<uint8_t> clc_lengths(19, 0);
+        for (size_t i = 0; i < hclen; ++i) {
+          clc_lengths[kClcOrder[i]] = static_cast<uint8_t>(br.Read(3));
+        }
+        HuffmanDecoder clc_dec;
+        CDPU_RETURN_IF_ERROR(clc_dec.Init(clc_lengths));
+
+        std::vector<uint8_t> all(hlit + hdist, 0);
+        size_t i = 0;
+        while (i < all.size()) {
+          uint32_t len = 0;
+          int sym = clc_dec.Decode(static_cast<uint32_t>(br.Peek(clc_dec.max_len())), &len);
+          if (sym < 0 || br.overflowed()) {
+            return Status::CorruptData("deflate: bad code-length symbol");
+          }
+          br.Skip(len);
+          if (sym < 16) {
+            all[i++] = static_cast<uint8_t>(sym);
+          } else if (sym == 16) {
+            if (i == 0) {
+              return Status::CorruptData("deflate: repeat with no previous length");
+            }
+            size_t run = 3 + br.Read(2);
+            uint8_t v = all[i - 1];
+            while (run-- > 0 && i < all.size()) {
+              all[i++] = v;
+            }
+          } else if (sym == 17) {
+            size_t run = 3 + br.Read(3);
+            while (run-- > 0 && i < all.size()) {
+              all[i++] = 0;
+            }
+          } else {
+            size_t run = 11 + br.Read(7);
+            while (run-- > 0 && i < all.size()) {
+              all[i++] = 0;
+            }
+          }
+        }
+        std::vector<uint8_t> ll(all.begin(), all.begin() + hlit);
+        std::vector<uint8_t> dd(all.begin() + hlit, all.end());
+        CDPU_RETURN_IF_ERROR(ll_dec.Init(ll));
+        CDPU_RETURN_IF_ERROR(d_dec.Init(dd));
+      }
+
+      for (;;) {
+        uint32_t len = 0;
+        int sym = ll_dec.Decode(static_cast<uint32_t>(br.Peek(ll_dec.max_len())), &len);
+        if (sym < 0 || br.overflowed()) {
+          return Status::CorruptData("deflate: bad literal/length symbol");
+        }
+        br.Skip(len);
+        if (sym < 256) {
+          out->push_back(static_cast<uint8_t>(sym));
+        } else if (sym == kEndOfBlock) {
+          break;
+        } else {
+          size_t lc = static_cast<size_t>(sym - 257);
+          if (lc >= 29) {
+            return Status::CorruptData("deflate: bad length code");
+          }
+          size_t mlen = kLengthBase[lc] + br.Read(kLengthExtra[lc]);
+          uint32_t dlen = 0;
+          int dsym = d_dec.Decode(static_cast<uint32_t>(br.Peek(d_dec.max_len())), &dlen);
+          if (dsym < 0 || static_cast<size_t>(dsym) >= 30 || br.overflowed()) {
+            return Status::CorruptData("deflate: bad distance symbol");
+          }
+          br.Skip(dlen);
+          size_t dist = kDistBase[dsym] + br.Read(kDistExtra[dsym]);
+          if (dist > out->size() - start_size) {
+            return Status::CorruptData("deflate: distance past start");
+          }
+          size_t src = out->size() - dist;
+          for (size_t k = 0; k < mlen; ++k) {
+            out->push_back((*out)[src + k]);
+          }
+        }
+      }
+    } else {
+      return Status::CorruptData("deflate: reserved block type");
+    }
+
+    if (bfinal) {
+      break;
+    }
+  }
+  return out->size() - start_size;
+}
+
+}  // namespace cdpu

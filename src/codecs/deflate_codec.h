@@ -1,0 +1,38 @@
+// From-scratch RFC 1951 Deflate implementation: 32 KB sliding-window LZ77
+// with hash chains and optional lazy matching, plus stored / fixed-Huffman /
+// dynamic-Huffman block coding chosen by cost.
+//
+// This is the algorithm both QAT devices implement in hardware and the CPU
+// software baseline in the paper (run at level 1 to align with DPZip).
+
+#ifndef SRC_CODECS_DEFLATE_CODEC_H_
+#define SRC_CODECS_DEFLATE_CODEC_H_
+
+#include "src/codecs/codec.h"
+
+namespace cdpu {
+
+class DeflateCodec : public Codec {
+ public:
+  // Levels mirror zlib's speed/ratio dial:
+  //   1: short hash chains, greedy parse (the paper's configuration)
+  //   6: deeper chains, lazy matching
+  //   9: deepest chains, lazy matching
+  explicit DeflateCodec(int level = 1);
+
+  std::string name() const override { return "deflate-" + std::to_string(level_); }
+
+  Result<size_t> Compress(ByteSpan input, ByteVec* out) override;
+  Result<size_t> Decompress(ByteSpan input, ByteVec* out) override;
+
+  int level() const { return level_; }
+
+ private:
+  int level_;
+  uint32_t max_chain_;
+  bool lazy_;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_CODECS_DEFLATE_CODEC_H_

@@ -1,0 +1,31 @@
+#include "src/codecs/entropy.h"
+
+#include <cmath>
+
+namespace cdpu {
+
+std::array<uint32_t, 256> ByteHistogram(std::span<const uint8_t> data) {
+  std::array<uint32_t, 256> hist{};
+  for (uint8_t b : data) {
+    ++hist[b];
+  }
+  return hist;
+}
+
+double ShannonEntropy(std::span<const uint8_t> data) {
+  if (data.empty()) {
+    return 0.0;
+  }
+  std::array<uint32_t, 256> hist = ByteHistogram(data);
+  double n = static_cast<double>(data.size());
+  double h = 0.0;
+  for (uint32_t c : hist) {
+    if (c != 0) {
+      double p = static_cast<double>(c) / n;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,20 @@
+// Shannon entropy and byte-histogram utilities (paper §2.2, footnote 2).
+
+#ifndef SRC_CODECS_ENTROPY_H_
+#define SRC_CODECS_ENTROPY_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace cdpu {
+
+// Byte-frequency histogram of `data`.
+std::array<uint32_t, 256> ByteHistogram(std::span<const uint8_t> data);
+
+// Shannon entropy in bits per byte, in [0, 8]. Returns 0 for empty input.
+double ShannonEntropy(std::span<const uint8_t> data);
+
+}  // namespace cdpu
+
+#endif  // SRC_CODECS_ENTROPY_H_

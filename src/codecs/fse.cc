@@ -1,0 +1,319 @@
+#include "src/codecs/fse.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/bitstream.h"
+#include "src/common/varint.h"
+
+namespace cdpu {
+namespace {
+
+uint32_t HighBit(uint32_t v) { return 31 - static_cast<uint32_t>(__builtin_clz(v)); }
+
+// The standard FSE symbol spread: a co-prime step walks the table, giving
+// each symbol `normalized[s]` cells roughly evenly distributed.
+std::vector<uint8_t> SpreadSymbols(std::span<const uint32_t> normalized, uint32_t table_size) {
+  std::vector<uint8_t> spread(table_size);
+  uint32_t step = (table_size >> 1) + (table_size >> 3) + 3;
+  uint32_t mask = table_size - 1;
+  uint32_t pos = 0;
+  for (size_t s = 0; s < normalized.size(); ++s) {
+    for (uint32_t i = 0; i < normalized[s]; ++i) {
+      spread[pos] = static_cast<uint8_t>(s);
+      pos = (pos + step) & mask;
+    }
+  }
+  return spread;
+}
+
+}  // namespace
+
+uint32_t FseChooseTableLog(std::span<const uint32_t> freqs, uint32_t max_log) {
+  uint32_t present = 0;
+  for (uint32_t f : freqs) {
+    if (f > 0) {
+      ++present;
+    }
+  }
+  uint32_t need = 1;
+  while ((1u << need) < present) {
+    ++need;
+  }
+  uint32_t log = std::clamp(need + 2, kFseMinTableLog, std::min(max_log, kFseMaxTableLog));
+  if ((1u << log) < present) {
+    log = need;  // alphabet bigger than 2^(min+2): give every symbol a slot
+  }
+  return std::min(log, kFseMaxTableLog);
+}
+
+std::vector<uint32_t> FseNormalize(std::span<const uint32_t> freqs, uint32_t table_log) {
+  uint64_t total = std::accumulate(freqs.begin(), freqs.end(), uint64_t{0});
+  if (total == 0) {
+    return {};
+  }
+  uint32_t table_size = 1u << table_log;
+  std::vector<uint32_t> norm(freqs.size(), 0);
+  std::vector<std::pair<double, size_t>> remainders;
+  uint64_t assigned = 0;
+
+  for (size_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] == 0) {
+      continue;
+    }
+    double exact = static_cast<double>(freqs[s]) * table_size / static_cast<double>(total);
+    uint32_t floor_v = std::max<uint32_t>(1, static_cast<uint32_t>(exact));
+    norm[s] = floor_v;
+    assigned += floor_v;
+    remainders.push_back({exact - static_cast<double>(floor_v), s});
+  }
+
+  if (assigned < table_size) {
+    // Hand remaining slots to symbols with the largest fractional parts.
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    uint64_t left = table_size - assigned;
+    size_t i = 0;
+    while (left > 0) {
+      norm[remainders[i % remainders.size()].second] += 1;
+      ++i;
+      --left;
+    }
+  } else if (assigned > table_size) {
+    // Steal from the largest counts (never below 1).
+    uint64_t excess = assigned - table_size;
+    while (excess > 0) {
+      size_t biggest = 0;
+      for (size_t s = 1; s < norm.size(); ++s) {
+        if (norm[s] > norm[biggest]) {
+          biggest = s;
+        }
+      }
+      uint32_t take = static_cast<uint32_t>(
+          std::min<uint64_t>(excess, norm[biggest] > 1 ? norm[biggest] - 1 : 0));
+      if (take == 0) {
+        return {};  // more present symbols than table cells
+      }
+      norm[biggest] -= take;
+      excess -= take;
+    }
+  }
+  return norm;
+}
+
+Status FseEncoder::Init(std::span<const uint32_t> normalized, uint32_t table_log) {
+  if (table_log < kFseMinTableLog || table_log > kFseMaxTableLog) {
+    return Status::InvalidArgument("fse: table_log out of range");
+  }
+  table_log_ = table_log;
+  table_size_ = 1u << table_log;
+  uint64_t sum = std::accumulate(normalized.begin(), normalized.end(), uint64_t{0});
+  if (sum != table_size_) {
+    return Status::InvalidArgument("fse: normalized counts do not sum to table size");
+  }
+  if (normalized.size() > 256) {
+    return Status::InvalidArgument("fse: alphabet too large");
+  }
+  normalized_.assign(normalized.begin(), normalized.end());
+
+  std::vector<uint8_t> spread = SpreadSymbols(normalized, table_size_);
+
+  // stateTable: for each symbol, its cells in spread order map to successive
+  // state values tableSize+u.
+  std::vector<uint32_t> cumul(normalized.size() + 1, 0);
+  for (size_t s = 0; s < normalized.size(); ++s) {
+    cumul[s + 1] = cumul[s] + normalized[s];
+  }
+  state_table_.assign(table_size_, 0);
+  {
+    std::vector<uint32_t> cursor(cumul.begin(), cumul.end() - 1);
+    for (uint32_t u = 0; u < table_size_; ++u) {
+      uint8_t s = spread[u];
+      state_table_[cursor[s]++] = static_cast<uint16_t>(table_size_ + u);
+    }
+  }
+
+  transforms_.assign(normalized.size(), SymbolTransform{0, 0});
+  uint32_t total = 0;
+  for (size_t s = 0; s < normalized.size(); ++s) {
+    uint32_t count = normalized[s];
+    if (count == 0) {
+      continue;
+    }
+    uint32_t max_bits_out = table_log_ - HighBit(count);
+    uint32_t min_state_plus = count << max_bits_out;
+    transforms_[s].delta_nb_bits = (max_bits_out << 16) - min_state_plus;
+    transforms_[s].delta_find_state = static_cast<int32_t>(total) - static_cast<int32_t>(count);
+    total += count;
+  }
+  return Status::Ok();
+}
+
+Status FseEncoder::Encode(std::span<const uint8_t> symbols, std::vector<uint8_t>* out) const {
+  if (table_size_ == 0) {
+    return Status::Internal("fse: encoder not initialised");
+  }
+  MarkedBitWriter bw(out);
+  if (symbols.empty()) {
+    bw.Finish();
+    return Status::Ok();
+  }
+  for (uint8_t s : symbols) {
+    if (s >= normalized_.size() || normalized_[s] == 0) {
+      return Status::InvalidArgument("fse: symbol not in table");
+    }
+  }
+
+  // tANS encodes back-to-front; the decoder then emits front-to-back.
+  size_t i = symbols.size();
+  uint8_t last = symbols[--i];
+  const SymbolTransform& lt = transforms_[last];
+  uint32_t nb_bits = (lt.delta_nb_bits + (1u << 15)) >> 16;
+  uint32_t value = (nb_bits << 16) - lt.delta_nb_bits;
+  uint32_t state =
+      state_table_[static_cast<uint32_t>(static_cast<int32_t>(value >> nb_bits) +
+                                         lt.delta_find_state)];
+
+  while (i > 0) {
+    uint8_t s = symbols[--i];
+    const SymbolTransform& t = transforms_[s];
+    uint32_t bits_out = (state + t.delta_nb_bits) >> 16;
+    bw.Write(state & ((1u << bits_out) - 1), bits_out);
+    state = state_table_[static_cast<uint32_t>(static_cast<int32_t>(state >> bits_out) +
+                                               t.delta_find_state)];
+  }
+  // Flush final state (the decoder's initial state).
+  bw.Write(state - table_size_, table_log_);
+  bw.Finish();
+  return Status::Ok();
+}
+
+Status FseDecoder::Init(std::span<const uint32_t> normalized, uint32_t table_log) {
+  if (table_log < kFseMinTableLog || table_log > kFseMaxTableLog) {
+    return Status::InvalidArgument("fse: table_log out of range");
+  }
+  table_log_ = table_log;
+  uint32_t table_size = 1u << table_log;
+  uint64_t sum = std::accumulate(normalized.begin(), normalized.end(), uint64_t{0});
+  if (sum != table_size) {
+    return Status::InvalidArgument("fse: normalized counts do not sum to table size");
+  }
+
+  std::vector<uint8_t> spread = SpreadSymbols(normalized, table_size);
+  std::vector<uint32_t> symbol_next(normalized.begin(), normalized.end());
+
+  cells_.assign(table_size, Cell{});
+  for (uint32_t u = 0; u < table_size; ++u) {
+    uint8_t s = spread[u];
+    uint32_t next_state = symbol_next[s]++;
+    uint8_t nb_bits = static_cast<uint8_t>(table_log - HighBit(next_state));
+    cells_[u] = Cell{s, nb_bits,
+                     static_cast<uint16_t>((next_state << nb_bits) - table_size)};
+  }
+  return Status::Ok();
+}
+
+Status FseDecoder::Decode(std::span<const uint8_t> data, size_t count,
+                          std::vector<uint8_t>* out) const {
+  if (cells_.empty()) {
+    return Status::Internal("fse: decoder not initialised");
+  }
+  if (count == 0) {
+    return Status::Ok();
+  }
+  if (data.empty() || data.back() == 0) {
+    return Status::CorruptData("fse: missing stream end marker");
+  }
+  BackwardBitReader br(data);
+  uint32_t state = static_cast<uint32_t>(br.Read(table_log_));
+  if (br.overflowed()) {
+    return Status::CorruptData("fse: truncated initial state");
+  }
+  for (size_t k = 0; k < count; ++k) {
+    const Cell& c = cells_[state];
+    out->push_back(c.symbol);
+    if (k + 1 < count) {
+      state = c.new_state_base + static_cast<uint32_t>(br.Read(c.nb_bits));
+      if (br.overflowed()) {
+        return Status::CorruptData("fse: truncated stream");
+      }
+      if (state >= cells_.size()) {
+        return Status::CorruptData("fse: state out of range");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status FseCompressBlock(std::span<const uint8_t> symbols, uint32_t max_log,
+                        std::vector<uint8_t>* out) {
+  std::vector<uint32_t> freqs(256, 0);
+  size_t max_sym = 0;
+  for (uint8_t s : symbols) {
+    ++freqs[s];
+    max_sym = std::max<size_t>(max_sym, s);
+  }
+  freqs.resize(symbols.empty() ? 1 : max_sym + 1);
+
+  uint32_t table_log = FseChooseTableLog(freqs, max_log);
+  std::vector<uint32_t> norm = FseNormalize(freqs, table_log);
+
+  PutVarint32(out, static_cast<uint32_t>(freqs.size()));
+  out->push_back(static_cast<uint8_t>(table_log));
+  if (norm.empty()) {
+    norm.assign(freqs.size(), 0);  // empty input: all-zero table, no payload
+  }
+  for (uint32_t c : norm) {
+    PutVarint32(out, c);
+  }
+  PutVarint64(out, symbols.size());
+  if (symbols.empty()) {
+    PutVarint64(out, 0);
+    return Status::Ok();
+  }
+
+  FseEncoder enc;
+  CDPU_RETURN_IF_ERROR(enc.Init(norm, table_log));
+  std::vector<uint8_t> payload;
+  CDPU_RETURN_IF_ERROR(enc.Encode(symbols, &payload));
+  PutVarint64(out, payload.size());
+  out->insert(out->end(), payload.begin(), payload.end());
+  return Status::Ok();
+}
+
+Status FseDecompressBlock(std::span<const uint8_t> data, size_t* consumed,
+                          std::vector<uint8_t>* out) {
+  size_t pos = 0;
+  std::optional<uint32_t> alphabet = GetVarint32(data, &pos);
+  if (!alphabet.has_value() || pos >= data.size()) {
+    return Status::CorruptData("fse: bad block header");
+  }
+  uint32_t table_log = data[pos++];
+  std::vector<uint32_t> norm(*alphabet);
+  for (uint32_t i = 0; i < *alphabet; ++i) {
+    std::optional<uint32_t> c = GetVarint32(data, &pos);
+    if (!c.has_value()) {
+      return Status::CorruptData("fse: truncated counts");
+    }
+    norm[i] = *c;
+  }
+  std::optional<uint64_t> count = GetVarint64(data, &pos);
+  std::optional<uint64_t> payload_len = GetVarint64(data, &pos);
+  if (!count.has_value() || !payload_len.has_value()) {
+    return Status::CorruptData("fse: truncated count/payload length");
+  }
+  if (pos + *payload_len > data.size()) {
+    return Status::CorruptData("fse: payload past end");
+  }
+  *consumed = pos + *payload_len;
+  if (*count == 0) {
+    return Status::Ok();
+  }
+
+  FseDecoder dec;
+  CDPU_RETURN_IF_ERROR(dec.Init(norm, table_log));
+  CDPU_RETURN_IF_ERROR(dec.Decode(data.subspan(pos, *payload_len), *count, out));
+  return Status::Ok();
+}
+
+}  // namespace cdpu

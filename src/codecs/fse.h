@@ -1,0 +1,84 @@
+// Finite State Entropy (tANS) encoder/decoder, following the construction
+// used by Zstd/FSE: normalised power-of-two frequency tables, the standard
+// symbol spread, per-symbol state transition tables, and a backward-read bit
+// stream. The paper's DPZip FSE engine is "fully compatible with the software
+// implementation in Zstd" (§3.3), so src/core reuses this implementation and
+// wraps it in the hardware timing model.
+
+#ifndef SRC_CODECS_FSE_H_
+#define SRC_CODECS_FSE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cdpu {
+
+constexpr uint32_t kFseMinTableLog = 5;
+constexpr uint32_t kFseMaxTableLog = 12;
+
+// Normalises raw symbol frequencies so they sum to 2^table_log, every present
+// symbol keeping a count >= 1 (largest-remainder method). Returns an empty
+// vector if no symbol is present.
+std::vector<uint32_t> FseNormalize(std::span<const uint32_t> freqs, uint32_t table_log);
+
+// Picks a table_log for an alphabet: large enough to give every present
+// symbol a slot, bounded by [kFseMinTableLog, kFseMaxTableLog].
+uint32_t FseChooseTableLog(std::span<const uint32_t> freqs, uint32_t max_log = 9);
+
+class FseEncoder {
+ public:
+  // `normalized` must sum to 2^table_log.
+  Status Init(std::span<const uint32_t> normalized, uint32_t table_log);
+
+  // Encodes `symbols` appending the FSE stream (with end marker) to `*out`.
+  // Every symbol must have a nonzero normalised count.
+  Status Encode(std::span<const uint8_t> symbols, std::vector<uint8_t>* out) const;
+
+ private:
+  struct SymbolTransform {
+    uint32_t delta_nb_bits;
+    int32_t delta_find_state;
+  };
+
+  uint32_t table_log_ = 0;
+  uint32_t table_size_ = 0;
+  std::vector<uint16_t> state_table_;          // next-state table
+  std::vector<SymbolTransform> transforms_;    // per symbol
+  std::vector<uint32_t> normalized_;
+};
+
+class FseDecoder {
+ public:
+  Status Init(std::span<const uint32_t> normalized, uint32_t table_log);
+
+  // Decodes exactly `count` symbols from `data` (a stream produced by
+  // FseEncoder::Encode with the same table), appending to `*out`.
+  Status Decode(std::span<const uint8_t> data, size_t count, std::vector<uint8_t>* out) const;
+
+ private:
+  struct Cell {
+    uint8_t symbol;
+    uint8_t nb_bits;
+    uint16_t new_state_base;
+  };
+
+  uint32_t table_log_ = 0;
+  std::vector<Cell> cells_;
+};
+
+// Convenience one-shot helpers used by tests and the MiniZstd coder: build a
+// table from the data's own histogram, serialise the normalised counts, and
+// encode; and the inverse. Stream layout:
+//   varint alphabet_size, u8 table_log, varint normalized[alphabet_size],
+//   varint symbol_count, FSE payload.
+Status FseCompressBlock(std::span<const uint8_t> symbols, uint32_t max_log,
+                        std::vector<uint8_t>* out);
+Status FseDecompressBlock(std::span<const uint8_t> data, size_t* consumed,
+                          std::vector<uint8_t>* out);
+
+}  // namespace cdpu
+
+#endif  // SRC_CODECS_FSE_H_

@@ -1,0 +1,89 @@
+#include "src/codecs/gzip_codec.h"
+
+#include "src/common/crc32.h"
+
+namespace cdpu {
+namespace {
+
+constexpr uint8_t kId1 = 0x1f;
+constexpr uint8_t kId2 = 0x8b;
+constexpr uint8_t kCmDeflate = 8;
+
+void PutLe32(ByteVec* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+  out->push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+  out->push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+  out->push_back(static_cast<uint8_t>((v >> 24) & 0xff));
+}
+
+uint32_t GetLe32(ByteSpan data, size_t pos) {
+  return static_cast<uint32_t>(data[pos]) | (static_cast<uint32_t>(data[pos + 1]) << 8) |
+         (static_cast<uint32_t>(data[pos + 2]) << 16) |
+         (static_cast<uint32_t>(data[pos + 3]) << 24);
+}
+
+}  // namespace
+
+Result<size_t> GzipCodec::Compress(ByteSpan input, ByteVec* out) {
+  size_t start_size = out->size();
+  // Header: magic, method, flags, mtime(4, zero), XFL, OS (255 = unknown).
+  out->insert(out->end(), {kId1, kId2, kCmDeflate, 0, 0, 0, 0, 0, 0, 255});
+  Result<size_t> r = deflate_.Compress(input, out);
+  if (!r.ok()) {
+    return r.status();
+  }
+  PutLe32(out, Crc32(input));
+  PutLe32(out, static_cast<uint32_t>(input.size() & 0xffffffff));
+  return out->size() - start_size;
+}
+
+Result<size_t> GzipCodec::Decompress(ByteSpan input, ByteVec* out) {
+  if (input.size() < 18) {
+    return Status::CorruptData("gzip: stream too short");
+  }
+  if (input[0] != kId1 || input[1] != kId2 || input[2] != kCmDeflate) {
+    return Status::CorruptData("gzip: bad magic or method");
+  }
+  uint8_t flg = input[3];
+  size_t pos = 10;
+  if (flg & 0x04) {  // FEXTRA
+    if (pos + 2 > input.size()) {
+      return Status::CorruptData("gzip: truncated FEXTRA");
+    }
+    size_t xlen = input[pos] | (static_cast<size_t>(input[pos + 1]) << 8);
+    pos += 2 + xlen;
+  }
+  for (uint8_t bit : {uint8_t{0x08}, uint8_t{0x10}}) {  // FNAME, FCOMMENT
+    if (flg & bit) {
+      while (pos < input.size() && input[pos] != 0) {
+        ++pos;
+      }
+      ++pos;  // NUL
+    }
+  }
+  if (flg & 0x02) {  // FHCRC
+    pos += 2;
+  }
+  if (pos + 8 > input.size()) {
+    return Status::CorruptData("gzip: truncated stream");
+  }
+
+  size_t body_len = input.size() - pos - 8;
+  size_t out_start = out->size();
+  Result<size_t> r = deflate_.Decompress(input.subspan(pos, body_len), out);
+  if (!r.ok()) {
+    return r.status();
+  }
+  uint32_t want_crc = GetLe32(input, input.size() - 8);
+  uint32_t want_isize = GetLe32(input, input.size() - 4);
+  ByteSpan produced(out->data() + out_start, out->size() - out_start);
+  if (Crc32(produced) != want_crc) {
+    return Status::CorruptData("gzip: CRC mismatch");
+  }
+  if (static_cast<uint32_t>(produced.size() & 0xffffffff) != want_isize) {
+    return Status::CorruptData("gzip: ISIZE mismatch");
+  }
+  return produced.size();
+}
+
+}  // namespace cdpu

@@ -1,0 +1,28 @@
+// Gzip framing (RFC 1952) around the Deflate codec: 10-byte header, Deflate
+// body, CRC-32 + ISIZE trailer. This is the algorithm the CSD 2000's FPGA
+// engine implements (Table 1: "Gzip, 20/24 Gbps"), and the trailer gives the
+// storage stack end-to-end payload integrity checking.
+
+#ifndef SRC_CODECS_GZIP_CODEC_H_
+#define SRC_CODECS_GZIP_CODEC_H_
+
+#include "src/codecs/deflate_codec.h"
+
+namespace cdpu {
+
+class GzipCodec : public Codec {
+ public:
+  explicit GzipCodec(int level = 1) : deflate_(level) {}
+
+  std::string name() const override { return "gzip-" + std::to_string(deflate_.level()); }
+
+  Result<size_t> Compress(ByteSpan input, ByteVec* out) override;
+  Result<size_t> Decompress(ByteSpan input, ByteVec* out) override;
+
+ private:
+  DeflateCodec deflate_;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_CODECS_GZIP_CODEC_H_

@@ -1,0 +1,257 @@
+#include "src/codecs/huffman_coder.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace cdpu {
+namespace {
+
+struct Node {
+  uint64_t freq;
+  int symbol;  // -1 for internal
+  int left;
+  int right;
+};
+
+}  // namespace
+
+std::vector<uint8_t> BuildHuffmanLengths(std::span<const uint32_t> freqs, uint32_t max_bits) {
+  size_t n = freqs.size();
+  std::vector<uint8_t> lengths(n, 0);
+
+  std::vector<Node> nodes;
+  using HeapItem = std::pair<uint64_t, int>;  // (freq, node index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (freqs[i] > 0) {
+      nodes.push_back(Node{freqs[i], static_cast<int>(i), -1, -1});
+      heap.push({freqs[i], static_cast<int>(nodes.size() - 1)});
+    }
+  }
+
+  if (heap.empty()) {
+    return lengths;
+  }
+  if (heap.size() == 1) {
+    lengths[static_cast<size_t>(nodes[0].symbol)] = 1;
+    return lengths;
+  }
+
+  while (heap.size() > 1) {
+    auto [f1, a] = heap.top();
+    heap.pop();
+    auto [f2, b] = heap.top();
+    heap.pop();
+    nodes.push_back(Node{f1 + f2, -1, a, b});
+    heap.push({f1 + f2, static_cast<int>(nodes.size() - 1)});
+  }
+
+  // Depth-first traversal to assign raw depths.
+  struct Frame {
+    int node;
+    uint32_t depth;
+  };
+  std::vector<Frame> stack{{static_cast<int>(nodes.size() - 1), 0}};
+  bool overflow = false;
+  std::vector<uint32_t> length_count(max_bits + 2, 0);
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<size_t>(f.node)];
+    if (node.symbol >= 0) {
+      uint32_t d = f.depth == 0 ? 1 : f.depth;
+      if (d > max_bits) {
+        overflow = true;
+        d = max_bits;
+      }
+      lengths[static_cast<size_t>(node.symbol)] = static_cast<uint8_t>(d);
+      ++length_count[d];
+    } else {
+      stack.push_back({node.left, f.depth + 1});
+      stack.push_back({node.right, f.depth + 1});
+    }
+  }
+
+  if (overflow) {
+    RepairLengthHistogram(length_count, max_bits);
+    // Reassign lengths by frequency order: most frequent symbols get the
+    // shortest lengths, matching the adjusted length histogram.
+    std::vector<int> symbols;
+    for (size_t i = 0; i < n; ++i) {
+      if (freqs[i] > 0) {
+        symbols.push_back(static_cast<int>(i));
+      }
+    }
+    std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+      if (freqs[static_cast<size_t>(a)] != freqs[static_cast<size_t>(b)]) {
+        return freqs[static_cast<size_t>(a)] > freqs[static_cast<size_t>(b)];
+      }
+      return a < b;
+    });
+    size_t idx = 0;
+    for (uint32_t bits = 1; bits <= max_bits; ++bits) {
+      for (uint32_t k = 0; k < length_count[bits]; ++k) {
+        lengths[static_cast<size_t>(symbols[idx++])] = static_cast<uint8_t>(bits);
+      }
+    }
+  }
+  return lengths;
+}
+
+void RepairLengthHistogram(std::vector<uint32_t>& level_count, uint32_t max_bits) {
+  const int64_t capacity = int64_t{1} << max_bits;
+  int64_t kraft = 0;
+  for (uint32_t d = 1; d <= max_bits; ++d) {
+    kraft += static_cast<int64_t>(level_count[d]) << (max_bits - d);
+  }
+  int64_t debt = kraft - capacity;
+
+  // Oversubscribed: demote leaves from the deepest populated shallow level
+  // (smallest Kraft release first), overshooting at most once.
+  while (debt > 0) {
+    uint32_t pick = 0;
+    for (uint32_t d = max_bits - 1; d >= 1; --d) {
+      if (level_count[d] > 0) {
+        pick = d;
+        break;
+      }
+      if (d == 1) {
+        break;
+      }
+    }
+    if (pick == 0) {
+      break;  // nothing demotable (cannot happen for feasible alphabets)
+    }
+    --level_count[pick];
+    ++level_count[pick + 1];
+    debt -= int64_t{1} << (max_bits - pick - 1);
+  }
+
+  // Holes: promote leaves, largest gain that fits first (binary
+  // decomposition of the hole count).
+  int64_t holes = -debt;
+  while (holes > 0) {
+    bool progressed = false;
+    for (uint32_t d = 2; d <= max_bits; ++d) {
+      int64_t gain = int64_t{1} << (max_bits - d);
+      if (gain <= holes && level_count[d] > 0) {
+        --level_count[d];
+        ++level_count[d - 1];
+        holes -= gain;
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) {
+      break;
+    }
+  }
+}
+
+Status AssignCanonicalCodes(std::span<const uint8_t> lengths, std::vector<uint16_t>* codes) {
+  uint32_t max_len = 0;
+  for (uint8_t l : lengths) {
+    max_len = std::max<uint32_t>(max_len, l);
+  }
+  codes->assign(lengths.size(), 0);
+  if (max_len == 0) {
+    return Status::Ok();
+  }
+  if (max_len > 15) {
+    return Status::InvalidArgument("huffman: code length > 15");
+  }
+
+  std::vector<uint32_t> bl_count(max_len + 1, 0);
+  for (uint8_t l : lengths) {
+    if (l > 0) {
+      ++bl_count[l];
+    }
+  }
+  // Kraft check: sum 2^(max-l) must not exceed 2^max.
+  uint64_t kraft = 0;
+  for (uint32_t bits = 1; bits <= max_len; ++bits) {
+    kraft += static_cast<uint64_t>(bl_count[bits]) << (max_len - bits);
+  }
+  if (kraft > (uint64_t{1} << max_len)) {
+    return Status::InvalidArgument("huffman: oversubscribed code lengths");
+  }
+
+  std::vector<uint16_t> next_code(max_len + 1, 0);
+  uint16_t code = 0;
+  for (uint32_t bits = 1; bits <= max_len; ++bits) {
+    code = static_cast<uint16_t>((code + bl_count[bits - 1]) << 1);
+    next_code[bits] = code;
+  }
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] > 0) {
+      (*codes)[i] = next_code[lengths[i]]++;
+    }
+  }
+  return Status::Ok();
+}
+
+uint16_t ReverseBits(uint16_t code, uint32_t len) {
+  uint16_t r = 0;
+  for (uint32_t i = 0; i < len; ++i) {
+    r = static_cast<uint16_t>((r << 1) | ((code >> i) & 1));
+  }
+  return r;
+}
+
+Status HuffmanDecoder::Init(std::span<const uint8_t> lengths) {
+  max_len_ = 0;
+  uint32_t nonzero = 0;
+  for (uint8_t l : lengths) {
+    max_len_ = std::max<uint32_t>(max_len_, l);
+    if (l > 0) {
+      ++nonzero;
+    }
+  }
+  if (max_len_ == 0) {
+    table_.clear();
+    mask_ = 0;
+    return Status::Ok();
+  }
+  if (max_len_ > 15) {
+    return Status::InvalidArgument("huffman: decoder length > 15");
+  }
+
+  std::vector<uint16_t> codes;
+  CDPU_RETURN_IF_ERROR(AssignCanonicalCodes(lengths, &codes));
+
+  // Completeness: a prefix code used for decoding must fill the space
+  // (except the degenerate single-symbol case, mirroring Deflate's
+  // tolerance for one-code distance trees).
+  if (nonzero >= 2) {
+    uint64_t kraft = 0;
+    for (uint8_t l : lengths) {
+      if (l > 0) {
+        kraft += uint64_t{1} << (max_len_ - l);
+      }
+    }
+    if (kraft != (uint64_t{1} << max_len_)) {
+      return Status::InvalidArgument("huffman: incomplete code");
+    }
+  }
+
+  mask_ = (1u << max_len_) - 1;
+  table_.assign(size_t{1} << max_len_, Entry{});
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    uint8_t len = lengths[i];
+    if (len == 0) {
+      continue;
+    }
+    // The stream is read LSB-first, so the table is indexed by the reversed
+    // code, replicated across all suffixes.
+    uint32_t rev = ReverseBits(codes[i], len);
+    uint32_t step = 1u << len;
+    for (uint32_t idx = rev; idx <= mask_; idx += step) {
+      table_[idx].symbol = static_cast<int16_t>(i);
+      table_[idx].len = len;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cdpu

@@ -1,0 +1,74 @@
+// Canonical Huffman building blocks shared by the Deflate and MiniZstd
+// coders: length-limited code construction, canonical code assignment, and a
+// flat table decoder. The DPZip hardware canonicaliser (§3.3) lives in
+// src/core and is a different, latency-bounded algorithm over the same
+// canonical representation.
+
+#ifndef SRC_CODECS_HUFFMAN_CODER_H_
+#define SRC_CODECS_HUFFMAN_CODER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cdpu {
+
+// Builds Huffman code lengths for `freqs`, limited to `max_bits`. Symbols
+// with zero frequency get length 0. If only one symbol has nonzero frequency
+// it is assigned length 1. Uses a heap-built Huffman tree followed by
+// zlib-style overflow repair; the result always satisfies Kraft equality when
+// >= 2 symbols are present.
+std::vector<uint8_t> BuildHuffmanLengths(std::span<const uint32_t> freqs, uint32_t max_bits);
+
+// Assigns canonical codes (numerically increasing within each length, shorter
+// lengths first) for the given lengths. codes[i] is MSB-first. Returns
+// kInvalidArgument if the lengths oversubscribe the code space.
+Status AssignCanonicalCodes(std::span<const uint8_t> lengths, std::vector<uint16_t>* codes);
+
+// Reverses the low `len` bits of `code` (Deflate transmits codes LSB-first).
+uint16_t ReverseBits(uint16_t code, uint32_t len);
+
+// Adjusts a per-level leaf histogram (level_count[d] = leaves with code
+// length d, d in [1, max_bits]) so the Kraft sum equals exactly 2^max_bits,
+// by demoting/promoting leaves between adjacent levels. Exposed for the
+// DPZip hardware canonicaliser, which runs the same repair with bounded
+// stage scheduling.
+void RepairLengthHistogram(std::vector<uint32_t>& level_count, uint32_t max_bits);
+
+// Flat single-level decode table: index by the next `max_len` bits
+// (LSB-first, i.e. already bit-reversed stream order) to get symbol+length.
+class HuffmanDecoder {
+ public:
+  // Builds from canonical code lengths. Incomplete codes are rejected except
+  // for the degenerate 0/1-symbol cases.
+  Status Init(std::span<const uint8_t> lengths);
+
+  // Decodes one symbol from `peeked` low bits; sets *len to bits consumed.
+  // Returns -1 if the prefix is invalid.
+  int Decode(uint32_t peeked, uint32_t* len) const {
+    if (max_len_ == 0) {
+      return -1;
+    }
+    const Entry& e = table_[peeked & mask_];
+    *len = e.len;
+    return e.len == 0 ? -1 : e.symbol;
+  }
+
+  uint32_t max_len() const { return max_len_; }
+
+ private:
+  struct Entry {
+    int16_t symbol = -1;
+    uint8_t len = 0;
+  };
+
+  std::vector<Entry> table_;
+  uint32_t max_len_ = 0;
+  uint32_t mask_ = 0;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_CODECS_HUFFMAN_CODER_H_

@@ -1,0 +1,172 @@
+#include "src/codecs/lz4_codec.h"
+
+#include <cstring>
+
+namespace cdpu {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kHashBits = 16;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr size_t kMaxOffset = 65535;
+// LZ4 spec: the last 5 bytes are always literals, and a match must not start
+// within the last 12 bytes of the block.
+constexpr size_t kLastLiterals = 5;
+constexpr size_t kMatchGuard = 12;
+
+uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint32_t Hash4(uint32_t v) { return (v * 2654435761u) >> (32 - kHashBits); }
+
+void WriteLength(ByteVec* out, size_t len) {
+  while (len >= 255) {
+    out->push_back(255);
+    len -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(len));
+}
+
+// Emits one sequence: literals [lit_begin, lit_end), then a match of `mlen`
+// at `offset`. mlen==0 means the terminating literal-only sequence.
+void EmitSequence(ByteVec* out, const uint8_t* lit_begin, size_t lit_len, size_t offset,
+                  size_t mlen) {
+  size_t token_lit = lit_len < 15 ? lit_len : 15;
+  size_t token_match = 0;
+  if (mlen > 0) {
+    size_t m = mlen - kMinMatch;
+    token_match = m < 15 ? m : 15;
+  }
+  out->push_back(static_cast<uint8_t>((token_lit << 4) | token_match));
+  if (token_lit == 15) {
+    WriteLength(out, lit_len - 15);
+  }
+  out->insert(out->end(), lit_begin, lit_begin + lit_len);
+  if (mlen > 0) {
+    out->push_back(static_cast<uint8_t>(offset & 0xff));
+    out->push_back(static_cast<uint8_t>(offset >> 8));
+    if (token_match == 15) {
+      WriteLength(out, mlen - kMinMatch - 15);
+    }
+  }
+}
+
+}  // namespace
+
+Result<size_t> Lz4Codec::Compress(ByteSpan input, ByteVec* out) {
+  size_t start_size = out->size();
+  const uint8_t* base = input.data();
+  size_t n = input.size();
+
+  if (n == 0) {
+    return size_t{0};
+  }
+  if (n < kMatchGuard + 1) {
+    // Too short for any match: single literal run.
+    EmitSequence(out, base, n, 0, 0);
+    return out->size() - start_size;
+  }
+
+  std::vector<uint32_t> table(kHashSize, 0);  // position+1; 0 = empty
+  size_t anchor = 0;
+  size_t pos = 0;
+  size_t match_limit = n - kMatchGuard;
+
+  while (pos < match_limit) {
+    uint32_t h = Hash4(Load32(base + pos));
+    uint32_t cand = table[h];
+    table[h] = static_cast<uint32_t>(pos + 1);
+    size_t cpos = cand == 0 ? SIZE_MAX : cand - 1;
+
+    if (cpos != SIZE_MAX && pos - cpos <= kMaxOffset &&
+        Load32(base + cpos) == Load32(base + pos)) {
+      // Extend the match forward.
+      size_t mlen = kMinMatch;
+      size_t scan_limit = n - kLastLiterals;
+      while (pos + mlen < scan_limit && base[cpos + mlen] == base[pos + mlen]) {
+        ++mlen;
+      }
+      EmitSequence(out, base + anchor, pos - anchor, pos - cpos, mlen);
+      pos += mlen;
+      anchor = pos;
+      // Prime the table at a couple of positions inside the match so
+      // subsequent matches can reference it.
+      if (pos < match_limit) {
+        table[Hash4(Load32(base + pos - 2))] = static_cast<uint32_t>(pos - 2 + 1);
+      }
+    } else {
+      ++pos;
+    }
+  }
+
+  // Trailing literals.
+  EmitSequence(out, base + anchor, n - anchor, 0, 0);
+  return out->size() - start_size;
+}
+
+Result<size_t> Lz4Codec::Decompress(ByteSpan input, ByteVec* out) {
+  size_t start_size = out->size();
+  size_t pos = 0;
+  size_t n = input.size();
+
+  if (n == 0) {
+    return size_t{0};
+  }
+
+  while (pos < n) {
+    uint8_t token = input[pos++];
+    size_t lit_len = token >> 4;
+    if (lit_len == 15) {
+      uint8_t b;
+      do {
+        if (pos >= n) {
+          return Status::CorruptData("lz4: truncated literal length");
+        }
+        b = input[pos++];
+        lit_len += b;
+      } while (b == 255);
+    }
+    if (pos + lit_len > n) {
+      return Status::CorruptData("lz4: literal run past end");
+    }
+    out->insert(out->end(), input.begin() + pos, input.begin() + pos + lit_len);
+    pos += lit_len;
+    if (pos >= n) {
+      break;  // terminating literal-only sequence
+    }
+
+    if (pos + 2 > n) {
+      return Status::CorruptData("lz4: truncated offset");
+    }
+    size_t offset = input[pos] | (static_cast<size_t>(input[pos + 1]) << 8);
+    pos += 2;
+    if (offset == 0 || offset > out->size() - start_size) {
+      return Status::CorruptData("lz4: offset out of range");
+    }
+
+    size_t mlen = (token & 0x0f);
+    if (mlen == 15) {
+      uint8_t b;
+      do {
+        if (pos >= n) {
+          return Status::CorruptData("lz4: truncated match length");
+        }
+        b = input[pos++];
+        mlen += b;
+      } while (b == 255);
+    }
+    mlen += kMinMatch;
+
+    // Byte-wise copy handles overlapping matches (offset < mlen).
+    size_t src = out->size() - offset;
+    for (size_t i = 0; i < mlen; ++i) {
+      out->push_back((*out)[src + i]);
+    }
+  }
+  return out->size() - start_size;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,23 @@
+// From-scratch implementation of the LZ4 block format (the lightweight
+// dictionary codec the paper benchmarks as "LZ4"). Greedy single-probe hash
+// matching, 64 KB offsets, token/extended-length encoding compatible with the
+// LZ4 block spec.
+
+#ifndef SRC_CODECS_LZ4_CODEC_H_
+#define SRC_CODECS_LZ4_CODEC_H_
+
+#include "src/codecs/codec.h"
+
+namespace cdpu {
+
+class Lz4Codec : public Codec {
+ public:
+  std::string name() const override { return "lz4"; }
+
+  Result<size_t> Compress(ByteSpan input, ByteVec* out) override;
+  Result<size_t> Decompress(ByteSpan input, ByteVec* out) override;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_CODECS_LZ4_CODEC_H_

@@ -1,0 +1,394 @@
+#include "src/codecs/mini_zstd.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "src/codecs/fse.h"
+#include "src/codecs/huffman_coder.h"
+#include "src/common/bitstream.h"
+#include "src/common/varint.h"
+
+namespace cdpu {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxWindow = 128 * 1024;
+constexpr size_t kHashBits = 16;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr uint32_t kHuffMaxBits = 11;  // Zstd caps literal codes at 11 bits
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint32_t Hash4(uint32_t v) { return (v * 2654435761u) >> (32 - kHashBits); }
+
+struct Sequence {
+  uint32_t lit_len;
+  uint32_t match_len;  // >= kMinMatch
+  uint32_t offset;     // >= 1
+};
+
+// Log2 bucket coding: value v -> code HighBit(v+1); `code` extra bits carry
+// (v+1) - 2^code. Alphabet size <= 18 for values < 256 KiB.
+uint8_t BucketCode(uint32_t v) { return static_cast<uint8_t>(31 - __builtin_clz(v + 1)); }
+uint32_t BucketBase(uint8_t code) { return (1u << code) - 1; }
+
+struct ParseResult {
+  std::vector<uint8_t> literals;
+  std::vector<Sequence> sequences;
+};
+
+ParseResult ParseLz77(ByteSpan input, uint32_t max_chain, bool lazy) {
+  ParseResult r;
+  const uint8_t* base = input.data();
+  size_t n = input.size();
+  std::vector<int64_t> head(kHashSize, -1);
+  std::vector<int64_t> prev(size_t{1} << 18, -1);
+  size_t prev_mask = prev.size() - 1;
+
+  auto insert = [&](size_t pos) {
+    uint32_t h = Hash4(Load32(base + pos));
+    prev[pos & prev_mask] = head[h];
+    head[h] = static_cast<int64_t>(pos);
+  };
+
+  auto find = [&](size_t pos, size_t* best_len, size_t* best_off) {
+    uint32_t h = Hash4(Load32(base + pos));
+    int64_t cand = head[h];
+    uint32_t chain = max_chain;
+    size_t limit = n - pos;
+    while (cand >= 0 && chain-- > 0) {
+      size_t cpos = static_cast<size_t>(cand);
+      size_t off = pos - cpos;
+      if (off > kMaxWindow) {
+        break;
+      }
+      if (Load32(base + cpos) == Load32(base + pos)) {
+        size_t len = kMinMatch;
+        while (len < limit && base[cpos + len] == base[pos + len]) {
+          ++len;
+        }
+        if (len > *best_len) {
+          *best_len = len;
+          *best_off = off;
+        }
+      }
+      int64_t nxt = prev[cpos & prev_mask];
+      if (nxt >= cand) {
+        break;
+      }
+      cand = nxt;
+    }
+  };
+
+  size_t pos = 0;
+  size_t lit_anchor = 0;
+  while (pos + kMinMatch <= n) {
+    size_t len = 0;
+    size_t off = 0;
+    find(pos, &len, &off);
+    if (len >= kMinMatch && lazy && pos + 1 + kMinMatch <= n) {
+      insert(pos);
+      size_t len2 = 0;
+      size_t off2 = 0;
+      find(pos + 1, &len2, &off2);
+      if (len2 > len) {
+        ++pos;  // defer; the better match is taken next round
+        continue;
+      }
+    }
+    if (len >= kMinMatch) {
+      r.literals.insert(r.literals.end(), base + lit_anchor, base + pos);
+      r.sequences.push_back(Sequence{static_cast<uint32_t>(pos - lit_anchor),
+                                     static_cast<uint32_t>(len), static_cast<uint32_t>(off)});
+      size_t end = pos + len;
+      size_t insert_limit = n >= kMinMatch ? n - kMinMatch : 0;
+      for (size_t p = pos; p < end && p <= insert_limit; ++p) {
+        insert(p);
+      }
+      pos = end;
+      lit_anchor = pos;
+    } else {
+      insert(pos);
+      ++pos;
+    }
+  }
+  r.literals.insert(r.literals.end(), base + lit_anchor, base + n);
+  return r;
+}
+
+// Literals section: mode byte (0 raw, 1 huffman), varint count, payload.
+// Huffman mode stores RLE'd code lengths then a bit-packed code stream.
+Status WriteLiterals(const std::vector<uint8_t>& lits, ByteVec* out) {
+  std::array<uint32_t, 256> freq{};
+  for (uint8_t b : lits) {
+    ++freq[b];
+  }
+  std::vector<uint8_t> lengths = BuildHuffmanLengths(freq, kHuffMaxBits);
+  std::vector<uint16_t> codes;
+  CDPU_RETURN_IF_ERROR(AssignCanonicalCodes(lengths, &codes));
+
+  uint64_t coded_bits = 0;
+  for (size_t s = 0; s < 256; ++s) {
+    coded_bits += static_cast<uint64_t>(freq[s]) * lengths[s];
+  }
+  // Length table cost: RLE pairs.
+  size_t table_bytes = 0;
+  for (size_t s = 0; s < 256;) {
+    size_t run = 1;
+    while (s + run < 256 && lengths[s + run] == lengths[s]) {
+      ++run;
+    }
+    table_bytes += 2;
+    s += run;
+  }
+
+  bool use_huffman = !lits.empty() && (coded_bits / 8 + table_bytes + 8) < lits.size();
+  out->push_back(use_huffman ? 1 : 0);
+  PutVarint64(out, lits.size());
+  if (!use_huffman) {
+    out->insert(out->end(), lits.begin(), lits.end());
+    return Status::Ok();
+  }
+
+  // RLE code lengths: (run-1, value) byte pairs covering all 256 symbols.
+  for (size_t s = 0; s < 256;) {
+    size_t run = 1;
+    while (s + run < 256 && lengths[s + run] == lengths[s] && run < 256) {
+      ++run;
+    }
+    out->push_back(static_cast<uint8_t>(run - 1));
+    out->push_back(lengths[s]);
+    s += run;
+  }
+
+  ByteVec payload;
+  BitWriter bw(&payload);
+  for (uint8_t b : lits) {
+    bw.Write(ReverseBits(codes[b], lengths[b]), lengths[b]);
+  }
+  bw.AlignToByte();
+  PutVarint64(out, payload.size());
+  out->insert(out->end(), payload.begin(), payload.end());
+  return Status::Ok();
+}
+
+Status ReadLiterals(ByteSpan data, size_t* pos, std::vector<uint8_t>* lits) {
+  if (*pos >= data.size()) {
+    return Status::CorruptData("zstd: missing literals mode");
+  }
+  uint8_t mode = data[(*pos)++];
+  std::optional<uint64_t> count = GetVarint64(data, pos);
+  if (!count.has_value()) {
+    return Status::CorruptData("zstd: bad literal count");
+  }
+  if (mode == 0) {
+    if (*pos + *count > data.size()) {
+      return Status::CorruptData("zstd: raw literals past end");
+    }
+    lits->assign(data.begin() + *pos, data.begin() + *pos + *count);
+    *pos += *count;
+    return Status::Ok();
+  }
+
+  std::vector<uint8_t> lengths(256, 0);
+  size_t s = 0;
+  while (s < 256) {
+    if (*pos + 2 > data.size()) {
+      return Status::CorruptData("zstd: truncated length table");
+    }
+    size_t run = static_cast<size_t>(data[*pos]) + 1;
+    uint8_t v = data[*pos + 1];
+    *pos += 2;
+    if (s + run > 256) {
+      return Status::CorruptData("zstd: length table overrun");
+    }
+    for (size_t k = 0; k < run; ++k) {
+      lengths[s++] = v;
+    }
+  }
+
+  std::optional<uint64_t> payload_len = GetVarint64(data, pos);
+  if (!payload_len.has_value() || *pos + *payload_len > data.size()) {
+    return Status::CorruptData("zstd: bad literal payload");
+  }
+  HuffmanDecoder dec;
+  CDPU_RETURN_IF_ERROR(dec.Init(lengths));
+  BitReader br(data.subspan(*pos, *payload_len));
+  lits->reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    uint32_t len = 0;
+    int sym = dec.Decode(static_cast<uint32_t>(br.Peek(dec.max_len())), &len);
+    if (sym < 0 || br.overflowed()) {
+      return Status::CorruptData("zstd: bad literal symbol");
+    }
+    br.Skip(len);
+    lits->push_back(static_cast<uint8_t>(sym));
+  }
+  *pos += *payload_len;
+  return Status::Ok();
+}
+
+}  // namespace
+
+MiniZstdCodec::MiniZstdCodec(int level) : level_(level) {
+  if (level <= 1) {
+    max_chain_ = 4;
+    lazy_ = false;
+  } else if (level <= 3) {
+    max_chain_ = 32;
+    lazy_ = false;
+  } else if (level <= 6) {
+    max_chain_ = 128;
+    lazy_ = true;
+  } else if (level <= 9) {
+    max_chain_ = 1024;
+    lazy_ = true;
+  } else {
+    max_chain_ = 4096;
+    lazy_ = true;
+  }
+}
+
+Result<size_t> MiniZstdCodec::Compress(ByteSpan input, ByteVec* out) {
+  size_t start_size = out->size();
+  timings_ = ZstdStageTimings{};
+
+  PutVarint64(out, input.size());
+  if (input.empty()) {
+    return out->size() - start_size;
+  }
+
+  uint64_t t0 = NowNs();
+  ParseResult parsed = ParseLz77(input, max_chain_, lazy_);
+  uint64_t t1 = NowNs();
+  timings_.lz77_ns = t1 - t0;
+
+  CDPU_RETURN_IF_ERROR(WriteLiterals(parsed.literals, out));
+  uint64_t t2 = NowNs();
+  timings_.huffman_ns = t2 - t1;
+
+  // Sequences: three bucket-code streams (FSE) + a shared raw extra-bit
+  // stream, in sequence order (ll, ml, of per sequence).
+  PutVarint64(out, parsed.sequences.size());
+  std::vector<uint8_t> ll_codes;
+  std::vector<uint8_t> ml_codes;
+  std::vector<uint8_t> of_codes;
+  ByteVec extra;
+  {
+    BitWriter bw(&extra);
+    for (const Sequence& q : parsed.sequences) {
+      uint8_t lc = BucketCode(q.lit_len);
+      uint8_t mc = BucketCode(q.match_len - kMinMatch);
+      uint8_t oc = BucketCode(q.offset - 1);
+      ll_codes.push_back(lc);
+      ml_codes.push_back(mc);
+      of_codes.push_back(oc);
+      bw.Write(q.lit_len - BucketBase(lc), lc);
+      bw.Write((q.match_len - kMinMatch) - BucketBase(mc), mc);
+      bw.Write((q.offset - 1) - BucketBase(oc), oc);
+    }
+    bw.AlignToByte();
+  }
+  CDPU_RETURN_IF_ERROR(FseCompressBlock(ll_codes, 9, out));
+  CDPU_RETURN_IF_ERROR(FseCompressBlock(ml_codes, 9, out));
+  CDPU_RETURN_IF_ERROR(FseCompressBlock(of_codes, 9, out));
+  PutVarint64(out, extra.size());
+  out->insert(out->end(), extra.begin(), extra.end());
+  timings_.fse_ns = NowNs() - t2;
+
+  return out->size() - start_size;
+}
+
+Result<size_t> MiniZstdCodec::Decompress(ByteSpan input, ByteVec* out) {
+  size_t start_size = out->size();
+  timings_ = ZstdStageTimings{};
+
+  size_t pos = 0;
+  std::optional<uint64_t> original = GetVarint64(input, &pos);
+  if (!original.has_value()) {
+    return Status::CorruptData("zstd: bad frame header");
+  }
+  if (*original == 0) {
+    return size_t{0};
+  }
+
+  uint64_t t0 = NowNs();
+  std::vector<uint8_t> literals;
+  CDPU_RETURN_IF_ERROR(ReadLiterals(input, &pos, &literals));
+  uint64_t t1 = NowNs();
+  timings_.huffman_ns = t1 - t0;
+
+  std::optional<uint64_t> seq_count = GetVarint64(input, &pos);
+  if (!seq_count.has_value()) {
+    return Status::CorruptData("zstd: bad sequence count");
+  }
+  std::vector<uint8_t> ll_codes;
+  std::vector<uint8_t> ml_codes;
+  std::vector<uint8_t> of_codes;
+  size_t consumed = 0;
+  CDPU_RETURN_IF_ERROR(FseDecompressBlock(input.subspan(pos), &consumed, &ll_codes));
+  pos += consumed;
+  CDPU_RETURN_IF_ERROR(FseDecompressBlock(input.subspan(pos), &consumed, &ml_codes));
+  pos += consumed;
+  CDPU_RETURN_IF_ERROR(FseDecompressBlock(input.subspan(pos), &consumed, &of_codes));
+  pos += consumed;
+  if (ll_codes.size() != *seq_count || ml_codes.size() != *seq_count ||
+      of_codes.size() != *seq_count) {
+    return Status::CorruptData("zstd: sequence stream count mismatch");
+  }
+  std::optional<uint64_t> extra_len = GetVarint64(input, &pos);
+  if (!extra_len.has_value() || pos + *extra_len > input.size()) {
+    return Status::CorruptData("zstd: bad extra-bit stream");
+  }
+  BitReader br(input.subspan(pos, *extra_len));
+  uint64_t t2 = NowNs();
+  timings_.fse_ns = t2 - t1;
+
+  // Replay sequences.
+  size_t lit_pos = 0;
+  out->reserve(out->size() + *original);
+  for (uint64_t i = 0; i < *seq_count; ++i) {
+    uint8_t lc = ll_codes[i];
+    uint8_t mc = ml_codes[i];
+    uint8_t oc = of_codes[i];
+    uint32_t lit_len = BucketBase(lc) + static_cast<uint32_t>(br.Read(lc));
+    uint32_t match_len =
+        BucketBase(mc) + static_cast<uint32_t>(br.Read(mc)) + static_cast<uint32_t>(kMinMatch);
+    uint32_t offset = BucketBase(oc) + static_cast<uint32_t>(br.Read(oc)) + 1;
+    if (br.overflowed()) {
+      return Status::CorruptData("zstd: truncated extra bits");
+    }
+    if (lit_pos + lit_len > literals.size()) {
+      return Status::CorruptData("zstd: literal overrun");
+    }
+    out->insert(out->end(), literals.begin() + lit_pos, literals.begin() + lit_pos + lit_len);
+    lit_pos += lit_len;
+    if (offset > out->size() - start_size) {
+      return Status::CorruptData("zstd: offset past start");
+    }
+    size_t src = out->size() - offset;
+    for (uint32_t k = 0; k < match_len; ++k) {
+      out->push_back((*out)[src + k]);
+    }
+  }
+  out->insert(out->end(), literals.begin() + lit_pos, literals.end());
+  timings_.lz77_ns = NowNs() - t2;
+
+  if (out->size() - start_size != *original) {
+    return Status::CorruptData("zstd: size mismatch after decode");
+  }
+  return out->size() - start_size;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,49 @@
+// MiniZstd: a Zstd-shaped codec built from this repo's own primitives —
+// LZ77 parsing with level-controlled search depth, Huffman-coded literals,
+// and FSE-coded sequence streams (literal-length / match-length / offset
+// buckets with raw extra bits).
+//
+// It reproduces Zstd's *structure* so the Figure 2 stage breakdown (LZ77 vs
+// Huffman vs FSE cost as a function of chunk size, level and entropy) can be
+// measured on real code. Each stage is instrumented with wall-clock timers.
+
+#ifndef SRC_CODECS_MINI_ZSTD_H_
+#define SRC_CODECS_MINI_ZSTD_H_
+
+#include "src/codecs/codec.h"
+
+namespace cdpu {
+
+// Wall-clock nanoseconds spent per pipeline stage during the last call.
+struct ZstdStageTimings {
+  uint64_t lz77_ns = 0;
+  uint64_t huffman_ns = 0;
+  uint64_t fse_ns = 0;
+
+  uint64_t total_ns() const { return lz77_ns + huffman_ns + fse_ns; }
+};
+
+class MiniZstdCodec : public Codec {
+ public:
+  // Levels control LZ77 match-search depth and lazy matching, mirroring
+  // Zstd's speed/ratio dial: 1 (fastest) .. 12 (deepest search here).
+  explicit MiniZstdCodec(int level = 1);
+
+  std::string name() const override { return "zstd-" + std::to_string(level_); }
+
+  Result<size_t> Compress(ByteSpan input, ByteVec* out) override;
+  Result<size_t> Decompress(ByteSpan input, ByteVec* out) override;
+
+  const ZstdStageTimings& last_timings() const { return timings_; }
+  int level() const { return level_; }
+
+ private:
+  int level_;
+  uint32_t max_chain_;
+  bool lazy_;
+  ZstdStageTimings timings_;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_CODECS_MINI_ZSTD_H_

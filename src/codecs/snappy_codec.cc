@@ -1,0 +1,210 @@
+#include "src/codecs/snappy_codec.h"
+
+#include <cstring>
+
+#include "src/common/varint.h"
+
+namespace cdpu {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kHashBits = 14;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr size_t kMaxOffset = 65535;
+
+uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint32_t Hash4(uint32_t v) { return (v * 0x1e35a7bdu) >> (32 - kHashBits); }
+
+void EmitLiteral(ByteVec* out, const uint8_t* p, size_t len) {
+  while (len > 0) {
+    size_t chunk = len;
+    size_t l = chunk - 1;
+    if (l < 60) {
+      out->push_back(static_cast<uint8_t>(l << 2));
+    } else if (l < 256) {
+      out->push_back(60 << 2);
+      out->push_back(static_cast<uint8_t>(l));
+    } else if (l < 65536) {
+      out->push_back(61 << 2);
+      out->push_back(static_cast<uint8_t>(l & 0xff));
+      out->push_back(static_cast<uint8_t>(l >> 8));
+    } else {
+      // Cap one element at 64 KB of literals and loop.
+      chunk = 65536;
+      l = chunk - 1;
+      out->push_back(61 << 2);
+      out->push_back(static_cast<uint8_t>(l & 0xff));
+      out->push_back(static_cast<uint8_t>(l >> 8));
+    }
+    out->insert(out->end(), p, p + chunk);
+    p += chunk;
+    len -= chunk;
+  }
+}
+
+// Emits copy elements covering `len` bytes at `offset`, splitting into legal
+// element sizes (copy-2 carries 1..64 bytes).
+void EmitCopy(ByteVec* out, size_t offset, size_t len) {
+  // Prefer the compact copy-1 form (4..11 bytes, offset < 2048).
+  while (len >= 4) {
+    if (offset < 2048 && len < 12) {
+      out->push_back(static_cast<uint8_t>(0x01 | ((len - 4) << 2) | ((offset >> 8) << 5)));
+      out->push_back(static_cast<uint8_t>(offset & 0xff));
+      return;
+    }
+    size_t chunk = len > 64 ? 64 : len;
+    if (len - chunk > 0 && len - chunk < 4) {
+      chunk = len - 4;  // keep the remainder emit-able
+    }
+    out->push_back(static_cast<uint8_t>(0x02 | ((chunk - 1) << 2)));
+    out->push_back(static_cast<uint8_t>(offset & 0xff));
+    out->push_back(static_cast<uint8_t>(offset >> 8));
+    len -= chunk;
+  }
+}
+
+}  // namespace
+
+Result<size_t> SnappyCodec::Compress(ByteSpan input, ByteVec* out) {
+  size_t start_size = out->size();
+  PutVarint64(out, input.size());
+
+  const uint8_t* base = input.data();
+  size_t n = input.size();
+  if (n < kMinMatch + 4) {
+    if (n > 0) {
+      EmitLiteral(out, base, n);
+    }
+    return out->size() - start_size;
+  }
+
+  std::vector<uint32_t> table(kHashSize, 0);
+  size_t anchor = 0;
+  size_t pos = 0;
+  size_t limit = n - 4;  // need 4 loadable bytes
+
+  while (pos < limit) {
+    uint32_t h = Hash4(Load32(base + pos));
+    uint32_t cand = table[h];
+    table[h] = static_cast<uint32_t>(pos + 1);
+    size_t cpos = cand == 0 ? SIZE_MAX : cand - 1;
+
+    if (cpos != SIZE_MAX && pos - cpos <= kMaxOffset &&
+        Load32(base + cpos) == Load32(base + pos)) {
+      size_t mlen = kMinMatch;
+      while (pos + mlen < n && base[cpos + mlen] == base[pos + mlen]) {
+        ++mlen;
+      }
+      if (pos > anchor) {
+        EmitLiteral(out, base + anchor, pos - anchor);
+      }
+      EmitCopy(out, pos - cpos, mlen);
+      pos += mlen;
+      anchor = pos;
+    } else {
+      ++pos;
+    }
+  }
+  if (anchor < n) {
+    EmitLiteral(out, base + anchor, n - anchor);
+  }
+  return out->size() - start_size;
+}
+
+Result<size_t> SnappyCodec::Decompress(ByteSpan input, ByteVec* out) {
+  size_t start_size = out->size();
+  size_t pos = 0;
+  std::optional<uint64_t> expected = GetVarint64(input, &pos);
+  if (!expected.has_value()) {
+    return Status::CorruptData("snappy: bad length preamble");
+  }
+
+  size_t n = input.size();
+  while (pos < n) {
+    uint8_t tag = input[pos++];
+    switch (tag & 0x03) {
+      case 0x00: {  // literal
+        size_t len = (tag >> 2) + 1;
+        if (len > 60) {
+          size_t extra = len - 60;  // 1..4 length bytes
+          if (pos + extra > n) {
+            return Status::CorruptData("snappy: truncated literal length");
+          }
+          len = 0;
+          for (size_t i = 0; i < extra; ++i) {
+            len |= static_cast<size_t>(input[pos + i]) << (8 * i);
+          }
+          len += 1;
+          pos += extra;
+        }
+        if (pos + len > n) {
+          return Status::CorruptData("snappy: literal past end");
+        }
+        out->insert(out->end(), input.begin() + pos, input.begin() + pos + len);
+        pos += len;
+        break;
+      }
+      case 0x01: {  // copy, 1-byte offset
+        if (pos >= n) {
+          return Status::CorruptData("snappy: truncated copy-1");
+        }
+        size_t len = 4 + ((tag >> 2) & 0x07);
+        size_t offset = (static_cast<size_t>(tag >> 5) << 8) | input[pos++];
+        if (offset == 0 || offset > out->size() - start_size) {
+          return Status::CorruptData("snappy: copy-1 offset out of range");
+        }
+        size_t src = out->size() - offset;
+        for (size_t i = 0; i < len; ++i) {
+          out->push_back((*out)[src + i]);
+        }
+        break;
+      }
+      case 0x02: {  // copy, 2-byte offset
+        if (pos + 2 > n) {
+          return Status::CorruptData("snappy: truncated copy-2");
+        }
+        size_t len = (tag >> 2) + 1;
+        size_t offset = input[pos] | (static_cast<size_t>(input[pos + 1]) << 8);
+        pos += 2;
+        if (offset == 0 || offset > out->size() - start_size) {
+          return Status::CorruptData("snappy: copy-2 offset out of range");
+        }
+        size_t src = out->size() - offset;
+        for (size_t i = 0; i < len; ++i) {
+          out->push_back((*out)[src + i]);
+        }
+        break;
+      }
+      default: {  // copy, 4-byte offset (decode-only)
+        if (pos + 4 > n) {
+          return Status::CorruptData("snappy: truncated copy-4");
+        }
+        size_t len = (tag >> 2) + 1;
+        size_t offset = 0;
+        for (size_t i = 0; i < 4; ++i) {
+          offset |= static_cast<size_t>(input[pos + i]) << (8 * i);
+        }
+        pos += 4;
+        if (offset == 0 || offset > out->size() - start_size) {
+          return Status::CorruptData("snappy: copy-4 offset out of range");
+        }
+        size_t src = out->size() - offset;
+        for (size_t i = 0; i < len; ++i) {
+          out->push_back((*out)[src + i]);
+        }
+        break;
+      }
+    }
+  }
+  if (out->size() - start_size != *expected) {
+    return Status::CorruptData("snappy: length mismatch after decode");
+  }
+  return out->size() - start_size;
+}
+
+}  // namespace cdpu

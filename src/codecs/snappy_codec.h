@@ -1,0 +1,22 @@
+// From-scratch implementation of the Snappy format (the other lightweight
+// baseline in the paper). Varint length preamble; literal / copy-1 / copy-2
+// tagged elements; greedy single-probe hash matching.
+
+#ifndef SRC_CODECS_SNAPPY_CODEC_H_
+#define SRC_CODECS_SNAPPY_CODEC_H_
+
+#include "src/codecs/codec.h"
+
+namespace cdpu {
+
+class SnappyCodec : public Codec {
+ public:
+  std::string name() const override { return "snappy"; }
+
+  Result<size_t> Compress(ByteSpan input, ByteVec* out) override;
+  Result<size_t> Decompress(ByteSpan input, ByteVec* out) override;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_CODECS_SNAPPY_CODEC_H_

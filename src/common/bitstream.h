@@ -1,0 +1,203 @@
+// LSB-first bit stream reader/writer (Deflate bit order).
+//
+// BitWriter accumulates bits into a 64-bit register and spills whole bytes to
+// an output vector; BitReader refills a 64-bit register from the input span.
+// Both are used by the Deflate, Huffman and FSE coders. FSE writes LSB-first
+// as well but reads the stream backwards; BackwardBitReader covers that case.
+
+#ifndef SRC_COMMON_BITSTREAM_H_
+#define SRC_COMMON_BITSTREAM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace cdpu {
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  // Appends the low `count` bits of `bits` (count <= 57 per call).
+  void Write(uint64_t bits, uint32_t count) {
+    assert(count <= 57);
+    assert(count == 64 || (bits >> count) == 0);
+    acc_ |= bits << filled_;
+    filled_ += count;
+    while (filled_ >= 8) {
+      out_->push_back(static_cast<uint8_t>(acc_ & 0xff));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  // Pads with zero bits to the next byte boundary and flushes.
+  void AlignToByte() {
+    if (filled_ > 0) {
+      out_->push_back(static_cast<uint8_t>(acc_ & 0xff));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+  // Total bits written so far (including unflushed).
+  uint64_t bit_count() const { return out_->size() * 8 + filled_; }
+
+ private:
+  std::vector<uint8_t>* out_;
+  uint64_t acc_ = 0;
+  uint32_t filled_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const uint8_t> data) : data_(data) {}
+
+  // Reads `count` bits (count <= 57). Reading past the end yields zero bits
+  // and sets overflowed().
+  uint64_t Read(uint32_t count) {
+    assert(count <= 57);
+    Refill();
+    if (count > filled_) {
+      overflowed_ = true;
+      // Zero-pad: decoder loops detect overflow via overflowed().
+      uint64_t v = acc_ & ((count < 64 ? (uint64_t{1} << count) : 0) - 1);
+      acc_ = 0;
+      filled_ = 0;
+      return v;
+    }
+    uint64_t v = acc_ & ((uint64_t{1} << count) - 1);
+    acc_ >>= count;
+    filled_ -= count;
+    return v;
+  }
+
+  // Peeks at up to `count` bits without consuming them.
+  uint64_t Peek(uint32_t count) {
+    assert(count <= 57);
+    Refill();
+    if (count >= 64) {
+      return acc_;
+    }
+    return acc_ & ((uint64_t{1} << count) - 1);
+  }
+
+  // Consumes `count` bits previously peeked. Skipping past the end of the
+  // stream (a peek zero-padded a truncated buffer) flags overflow so decode
+  // loops terminate on corrupt input.
+  void Skip(uint32_t count) {
+    if (count > filled_) {
+      overflowed_ = true;
+      acc_ = 0;
+      filled_ = 0;
+      return;
+    }
+    acc_ >>= count;
+    filled_ -= count;
+  }
+
+  // Discards buffered bits up to the next byte boundary.
+  void AlignToByte() {
+    uint32_t drop = filled_ % 8;
+    acc_ >>= drop;
+    filled_ -= drop;
+  }
+
+  bool overflowed() const { return overflowed_; }
+
+  // Bits still available (buffered + unread bytes).
+  uint64_t BitsRemaining() const { return filled_ + (data_.size() - pos_) * 8; }
+
+ private:
+  void Refill() {
+    while (filled_ <= 56 && pos_ < data_.size()) {
+      acc_ |= uint64_t{data_[pos_++]} << filled_;
+      filled_ += 8;
+    }
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;
+  uint32_t filled_ = 0;
+  bool overflowed_ = false;
+};
+
+// Reads bits starting from the *end* of the buffer, as FSE/tANS decoding
+// requires (the encoder writes forward; the decoder consumes in reverse).
+// The final byte contains a 1-marker bit above the last payload bit.
+class BackwardBitReader {
+ public:
+  // `data` must be non-empty and its last byte non-zero (the marker).
+  explicit BackwardBitReader(std::span<const uint8_t> data) : data_(data) {
+    pos_ = data_.size();
+    Refill();
+    // Drop the marker bit: the highest set bit of the last byte.
+    if (filled_ > 0) {
+      uint32_t marker = 63 - static_cast<uint32_t>(__builtin_clzll(acc_));
+      filled_ = marker;
+      acc_ &= (marker < 64 ? (uint64_t{1} << marker) : 0) - 1;
+    }
+  }
+
+  // Reads the top `count` bits (the bits written most recently before the
+  // current position).
+  uint64_t Read(uint32_t count) {
+    assert(count <= 56);
+    if (count > filled_) {
+      Refill();
+    }
+    if (count > filled_) {
+      overflowed_ = true;
+      uint64_t v = filled_ > 0 ? acc_ << (count - filled_) : 0;
+      filled_ = 0;
+      acc_ = 0;
+      return v & ((uint64_t{1} << count) - 1);
+    }
+    filled_ -= count;
+    uint64_t v = acc_ >> filled_;
+    acc_ &= (filled_ < 64 ? (uint64_t{1} << filled_) : 0) - 1;
+    return v;
+  }
+
+  bool overflowed() const { return overflowed_; }
+  uint64_t BitsRemaining() const { return filled_ + pos_ * 8; }
+
+ private:
+  void Refill() {
+    while (filled_ <= 56 && pos_ > 0) {
+      acc_ = (acc_ << 8) | data_[--pos_];
+      filled_ += 8;
+    }
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;
+  uint32_t filled_ = 0;
+  bool overflowed_ = false;
+};
+
+// Writer counterpart for BackwardBitReader: writes LSB-first forward, then
+// appends a marker bit so the reader can find the stream end.
+class MarkedBitWriter {
+ public:
+  explicit MarkedBitWriter(std::vector<uint8_t>* out) : w_(out) {}
+
+  void Write(uint64_t bits, uint32_t count) { w_.Write(bits, count); }
+
+  // Terminates the stream with the 1-marker and byte-aligns.
+  void Finish() {
+    w_.Write(1, 1);
+    w_.AlignToByte();
+  }
+
+ private:
+  BitWriter w_;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_COMMON_BITSTREAM_H_

@@ -1,0 +1,31 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace cdpu {
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  uint32_t c = seed ^ 0xffffffffu;
+  for (uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,17 @@
+// CRC-32 (ISO-HDLC polynomial, as used by gzip and Btrfs-style checksums).
+// Table-driven, byte at a time; fast enough for simulation payloads.
+
+#ifndef SRC_COMMON_CRC32_H_
+#define SRC_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <span>
+
+namespace cdpu {
+
+// One-shot CRC of `data`. Chain calls by passing the prior result as `seed`.
+uint32_t Crc32(std::span<const uint8_t> data, uint32_t seed = 0);
+
+}  // namespace cdpu
+
+#endif  // SRC_COMMON_CRC32_H_

@@ -1,0 +1,53 @@
+// Deterministic fast RNG (xoshiro256**) for workload generation. All
+// benchmarks and tests seed explicitly so runs are reproducible.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace cdpu {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  uint8_t NextByte() { return static_cast<uint8_t>(Next() & 0xff); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_COMMON_RNG_H_

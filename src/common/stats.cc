@@ -1,0 +1,61 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cdpu {
+
+double SampleSet::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean();
+  double m2 = 0.0;
+  for (double s : samples_) {
+    m2 += (s - mean) * (s - mean);
+  }
+  return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::CvPercent() const {
+  double mean = Mean();
+  return mean != 0.0 ? Stddev() / mean * 100.0 : 0.0;
+}
+
+double SampleSet::Percentile(double p) {
+  assert(!samples_.empty());
+  EnsureSorted();
+  if (p <= 0.0) {
+    return samples_.front();
+  }
+  if (p >= 100.0) {
+    return samples_.back();
+  }
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) {
+    return samples_.back();
+  }
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+void SampleSet::EnsureSorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+}  // namespace cdpu

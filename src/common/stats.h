@@ -1,0 +1,83 @@
+// Descriptive statistics used by the profiling harnesses: running mean and
+// variance (Welford), percentile extraction, and coefficient of variation —
+// the metric Finding 15 uses for multi-tenant isolation.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cdpu {
+
+// Welford online accumulator: numerically stable mean/variance.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) {
+      min_ = x;
+    }
+    if (n_ == 1 || x > max_) {
+      max_ = x;
+    }
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+  // Coefficient of variation as a percentage (stddev/mean * 100).
+  double cv_percent() const { return mean_ != 0.0 ? stddev() / mean_ * 100.0 : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Holds all samples; supports arbitrary percentiles. Used for latency
+// distributions (p50/p99) and the ratio distributions of Figure 7.
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const;
+  double Stddev() const;
+  double CvPercent() const;
+
+  // Linear-interpolated percentile, p in [0,100]. Requires non-empty set.
+  double Percentile(double p);
+
+  double Min() { return Percentile(0); }
+  double Median() { return Percentile(50); }
+  double Max() { return Percentile(100); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted();
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_COMMON_STATS_H_

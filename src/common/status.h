@@ -1,0 +1,116 @@
+// Lightweight error-handling vocabulary used across the repository.
+//
+// Hot paths (codecs, device models, FTL) do not use exceptions; fallible
+// operations return Status or Result<T>. The set of codes is deliberately
+// small: callers almost always either propagate or abort.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cdpu {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kOutOfRange,        // offset/length outside the addressable range
+  kCorruptData,       // compressed stream failed validation
+  kResourceExhausted, // buffer/queue/capacity limit hit
+  kUnavailable,       // device busy or not present
+  kInternal,          // invariant violation inside the library
+};
+
+// Returns a stable human-readable name, e.g. "CORRUPT_DATA".
+const char* StatusCodeName(StatusCode code);
+
+// Value-type status. Ok statuses carry no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status OutOfRange(std::string m) { return Status(StatusCode::kOutOfRange, std::move(m)); }
+  static Status CorruptData(std::string m) {
+    return Status(StatusCode::kCorruptData, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) { return Status(StatusCode::kUnavailable, std::move(m)); }
+  static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(v_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+// Propagates a non-OK status to the caller.
+#define CDPU_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::cdpu::Status _st = (expr);          \
+    if (!_st.ok()) {                      \
+      return _st;                         \
+    }                                     \
+  } while (0)
+
+}  // namespace cdpu
+
+#endif  // SRC_COMMON_STATUS_H_

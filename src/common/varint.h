@@ -1,0 +1,58 @@
+// LEB128-style variable-length integers, used by the Snappy-like codec and
+// on-disk metadata records (SSTable blocks, FTL journal).
+
+#ifndef SRC_COMMON_VARINT_H_
+#define SRC_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace cdpu {
+
+inline void PutVarint32(std::vector<uint8_t>* out, uint32_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+inline void PutVarint64(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+// Decodes a varint32 at data[*pos], advancing *pos. Returns nullopt on
+// truncation or >5-byte encodings.
+inline std::optional<uint32_t> GetVarint32(std::span<const uint8_t> data, size_t* pos) {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift <= 28 && *pos < data.size(); shift += 7) {
+    uint8_t byte = data[(*pos)++];
+    result |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+inline std::optional<uint64_t> GetVarint64(std::span<const uint8_t> data, size_t* pos) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && *pos < data.size(); shift += 7) {
+    uint8_t byte = data[(*pos)++];
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cdpu
+
+#endif  // SRC_COMMON_VARINT_H_

@@ -1,0 +1,271 @@
+#include "src/core/dpzip_codec.h"
+
+#include "src/codecs/fse.h"
+#include "src/common/bitstream.h"
+#include "src/common/crc32.h"
+#include "src/common/varint.h"
+
+namespace cdpu {
+namespace {
+
+constexpr uint8_t kFlagCompressed = 0x01;
+constexpr uint8_t kFlagDictionary = 0x02;
+constexpr uint8_t kFlagFseLiterals = 0x04;
+
+uint8_t BucketCode(uint32_t v) { return static_cast<uint8_t>(31 - __builtin_clz(v + 1)); }
+uint32_t BucketBase(uint8_t code) { return (1u << code) - 1; }
+
+}  // namespace
+
+DpzipLz77Config DpzipLz77ConfigForLevel(int level) {
+  DpzipLz77Config c;  // level 1: the silicon design point
+  if (level >= 2) {
+    c.first_fit = false;
+    c.skip_on_miss = 2;
+  }
+  if (level >= 3) {
+    c.skip_on_miss = 1;
+    c.hash_buckets = 4096;
+    c.ways = 8;
+  }
+  return c;
+}
+
+DpzipCodec::DpzipCodec(const DpzipCodecConfig& config)
+    : config_(config), encoder_(config.lz77), decoder_(config.lz77) {
+  if (!config_.dictionary.empty()) {
+    dict_crc_ = Crc32(config_.dictionary);
+  }
+}
+
+Result<size_t> DpzipCodec::Compress(ByteSpan input, ByteVec* out) {
+  size_t start_size = out->size();
+  stats_ = DpzipBlockStats{};
+  stats_.input_bytes = input.size();
+
+  bool use_dict = !config_.dictionary.empty();
+  bool use_fse = config_.entropy == DpzipEntropyMode::kFse;
+
+  ByteVec frame;
+  uint8_t flags = kFlagCompressed;
+  if (use_dict) {
+    flags |= kFlagDictionary;
+  }
+  if (use_fse) {
+    flags |= kFlagFseLiterals;
+  }
+  frame.push_back(flags);
+  PutVarint64(&frame, input.size());
+  if (use_dict) {
+    PutVarint32(&frame, dict_crc_);
+  }
+
+  std::vector<Lz77Token> tokens;
+  std::vector<uint8_t> literals;
+  if (use_dict) {
+    encoder_.EncodeWithDictionary(config_.dictionary, input, &tokens, &literals,
+                                  &stats_.lz77);
+  } else {
+    encoder_.Encode(input, &tokens, &literals, &stats_.lz77);
+  }
+
+  if (use_fse) {
+    Status st = FseCompressBlock(literals, 11, &frame);
+    if (!st.ok()) {
+      return st;
+    }
+    // The canonicalisation schedule still runs for the sequence tables; the
+    // FSE engine's table build is charged the same bounded schedule (§3.3).
+    stats_.huffman.schedule_cycles = 256 + 10;
+  } else {
+    Status st = DpzipHuffmanEncode(literals, &frame, &stats_.huffman);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  PutVarint64(&frame, literals.size());
+
+  // Sequence streams (token fields), FSE-coded bucket codes + raw extra bits.
+  PutVarint64(&frame, tokens.size());
+  std::vector<uint8_t> ll_codes;
+  std::vector<uint8_t> ml_codes;
+  std::vector<uint8_t> of_codes;
+  ByteVec extra;
+  {
+    BitWriter bw(&extra);
+    for (const Lz77Token& t : tokens) {
+      uint8_t lc = BucketCode(t.lit_len);
+      ll_codes.push_back(lc);
+      bw.Write(t.lit_len - BucketBase(lc), lc);
+      uint8_t mc = BucketCode(t.match_len);
+      ml_codes.push_back(mc);
+      bw.Write(t.match_len - BucketBase(mc), mc);
+      uint8_t oc = BucketCode(t.offset);
+      of_codes.push_back(oc);
+      bw.Write(t.offset - BucketBase(oc), oc);
+    }
+    bw.AlignToByte();
+  }
+  Status st = FseCompressBlock(ll_codes, 9, &frame);
+  if (!st.ok()) {
+    return st;
+  }
+  st = FseCompressBlock(ml_codes, 9, &frame);
+  if (!st.ok()) {
+    return st;
+  }
+  st = FseCompressBlock(of_codes, 9, &frame);
+  if (!st.ok()) {
+    return st;
+  }
+  PutVarint64(&frame, extra.size());
+  frame.insert(frame.end(), extra.begin(), extra.end());
+
+  // Hardware bypass: store raw when compression does not pay.
+  if (frame.size() >= input.size() + 2 + 9) {
+    out->push_back(0);  // raw frame
+    PutVarint64(out, input.size());
+    out->insert(out->end(), input.begin(), input.end());
+    stats_.stored_raw = true;
+  } else {
+    out->insert(out->end(), frame.begin(), frame.end());
+  }
+  stats_.output_bytes = out->size() - start_size;
+  return out->size() - start_size;
+}
+
+Result<size_t> DpzipCodec::Decompress(ByteSpan input, ByteVec* out) {
+  size_t start_size = out->size();
+  stats_ = DpzipBlockStats{};
+  if (input.empty()) {
+    return Status::CorruptData("dpzip: empty frame");
+  }
+  size_t pos = 0;
+  uint8_t flags = input[pos++];
+  std::optional<uint64_t> original = GetVarint64(input, &pos);
+  if (!original.has_value()) {
+    return Status::CorruptData("dpzip: bad frame header");
+  }
+  stats_.input_bytes = input.size();
+
+  if ((flags & kFlagCompressed) == 0) {
+    if (flags != 0) {
+      return Status::CorruptData("dpzip: unknown frame flags");
+    }
+    if (pos + *original > input.size()) {
+      return Status::CorruptData("dpzip: raw payload past end");
+    }
+    out->insert(out->end(), input.begin() + pos, input.begin() + pos + *original);
+    stats_.stored_raw = true;
+    stats_.output_bytes = *original;
+    return out->size() - start_size;
+  }
+
+  bool use_dict = (flags & kFlagDictionary) != 0;
+  bool use_fse = (flags & kFlagFseLiterals) != 0;
+  if (use_dict) {
+    std::optional<uint32_t> crc = GetVarint32(input, &pos);
+    if (!crc.has_value()) {
+      return Status::CorruptData("dpzip: truncated dictionary id");
+    }
+    if (config_.dictionary.empty() || *crc != dict_crc_) {
+      return Status::InvalidArgument("dpzip: frame needs a different preset dictionary");
+    }
+  }
+
+  // Literals.
+  std::vector<uint8_t> literals;
+  if (use_fse) {
+    size_t consumed = 0;
+    CDPU_RETURN_IF_ERROR(FseDecompressBlock(input.subspan(pos), &consumed, &literals));
+    pos += consumed;
+    std::optional<uint64_t> lit_count = GetVarint64(input, &pos);
+    if (!lit_count.has_value() || *lit_count != literals.size()) {
+      return Status::CorruptData("dpzip: literal count mismatch");
+    }
+  } else {
+    // The Huffman block is self-delimiting; lit_count follows it, so scan
+    // the table+payload extent first.
+    size_t table_pos = pos;
+    {
+      size_t p = pos;
+      std::optional<uint32_t> last = GetVarint32(input, &p);
+      if (!last.has_value() || *last > 256) {
+        return Status::CorruptData("dpzip: bad literal table size");
+      }
+      p += (*last + 1) / 2;
+      if (p > input.size()) {
+        return Status::CorruptData("dpzip: truncated literal table");
+      }
+      std::optional<uint64_t> payload_len = GetVarint64(input, &p);
+      if (!payload_len.has_value() || p + *payload_len > input.size()) {
+        return Status::CorruptData("dpzip: bad literal payload length");
+      }
+      pos = p + *payload_len;
+    }
+    std::optional<uint64_t> lit_count = GetVarint64(input, &pos);
+    if (!lit_count.has_value()) {
+      return Status::CorruptData("dpzip: bad literal count");
+    }
+    size_t consumed = 0;
+    CDPU_RETURN_IF_ERROR(
+        DpzipHuffmanDecode(input.subspan(table_pos), *lit_count, &consumed, &literals));
+  }
+
+  std::optional<uint64_t> seq_count = GetVarint64(input, &pos);
+  if (!seq_count.has_value()) {
+    return Status::CorruptData("dpzip: bad sequence count");
+  }
+  std::vector<uint8_t> ll_codes;
+  std::vector<uint8_t> ml_codes;
+  std::vector<uint8_t> of_codes;
+  size_t consumed = 0;
+  CDPU_RETURN_IF_ERROR(FseDecompressBlock(input.subspan(pos), &consumed, &ll_codes));
+  pos += consumed;
+  CDPU_RETURN_IF_ERROR(FseDecompressBlock(input.subspan(pos), &consumed, &ml_codes));
+  pos += consumed;
+  CDPU_RETURN_IF_ERROR(FseDecompressBlock(input.subspan(pos), &consumed, &of_codes));
+  pos += consumed;
+  if (ll_codes.size() != *seq_count || ml_codes.size() != *seq_count ||
+      of_codes.size() != *seq_count) {
+    return Status::CorruptData("dpzip: sequence stream mismatch");
+  }
+  std::optional<uint64_t> extra_len = GetVarint64(input, &pos);
+  if (!extra_len.has_value() || pos + *extra_len > input.size()) {
+    return Status::CorruptData("dpzip: bad extra-bit stream");
+  }
+  BitReader br(input.subspan(pos, *extra_len));
+
+  std::vector<Lz77Token> tokens;
+  tokens.reserve(*seq_count);
+  for (uint64_t i = 0; i < *seq_count; ++i) {
+    Lz77Token t;
+    t.lit_len = BucketBase(ll_codes[i]) + static_cast<uint32_t>(br.Read(ll_codes[i]));
+    t.match_len = BucketBase(ml_codes[i]) + static_cast<uint32_t>(br.Read(ml_codes[i]));
+    t.offset = BucketBase(of_codes[i]) + static_cast<uint32_t>(br.Read(of_codes[i]));
+    if (br.overflowed()) {
+      return Status::CorruptData("dpzip: truncated extra bits");
+    }
+    tokens.push_back(t);
+  }
+
+  if (use_dict) {
+    CDPU_RETURN_IF_ERROR(decoder_.DecodeWithDictionary(tokens, literals, config_.dictionary,
+                                                       out, &stats_.lz77_decode));
+  } else {
+    CDPU_RETURN_IF_ERROR(decoder_.Decode(tokens, literals, out, &stats_.lz77_decode));
+  }
+  if (out->size() - start_size != *original) {
+    return Status::CorruptData("dpzip: size mismatch after decode");
+  }
+  stats_.output_bytes = out->size() - start_size;
+  return out->size() - start_size;
+}
+
+void DpzipCodec::RegisterWithFactory() {
+  RegisterCodecFactory("dpzip", []() -> std::unique_ptr<Codec> {
+    return std::make_unique<DpzipCodec>();
+  });
+}
+
+}  // namespace cdpu

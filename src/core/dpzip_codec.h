@@ -1,0 +1,93 @@
+// DPZip frame codec: the functional compressor/decompressor implemented by
+// the DPZip ASIC (paper §3). Pipeline: hardware-model LZ77 (bounded FIFO
+// hash table, two-level match, partial-lazy) -> dynamic canonical Huffman
+// (11-bit cap) or FSE for literals (§3.1 lists both engines) -> FSE for the
+// sequence bucket streams.
+//
+// Incompressible pages are stored raw behind a flags byte, mirroring the
+// hardware bypass that keeps throughput stable on random data (Finding 5).
+//
+// Two §6 "remaining challenges" are implemented as options:
+//  - preset dictionaries (the paper's earmarked future work): the encoder's
+//    hash table and history are primed with a shared dictionary, recovering
+//    cross-page redundancy lost to the 4 KB page granularity;
+//  - multiple compression levels within the single algorithm
+//    (DpzipLz77ConfigForLevel), trading match-search effort for ratio
+//    without adding a second engine.
+//
+// Frame layout:
+//   u8 flags (bit0 compressed, bit1 dictionary, bit2 fse-literals)
+//   varint original_size
+//   [dictionary: u32 dict crc]
+//   raw: original bytes
+//   compressed:
+//     literal block (Huffman or FSE layout) + varint lit_count
+//     varint sequence count, FSE blocks for LL/ML/OF codes, extra-bit stream
+
+#ifndef SRC_CORE_DPZIP_CODEC_H_
+#define SRC_CORE_DPZIP_CODEC_H_
+
+#include "src/codecs/codec.h"
+#include "src/core/dpzip_huffman.h"
+#include "src/core/dpzip_lz77.h"
+
+namespace cdpu {
+
+enum class DpzipEntropyMode : uint8_t { kHuffman, kFse };
+
+// §6: levels within one algorithm. 1 = the silicon design point (first-fit,
+// skip-4); 2 = best-of-ways, skip-2; 3 = best-of-ways, skip-1, double table.
+DpzipLz77Config DpzipLz77ConfigForLevel(int level);
+
+struct DpzipCodecConfig {
+  DpzipLz77Config lz77;
+  DpzipEntropyMode entropy = DpzipEntropyMode::kHuffman;
+  // Optional preset dictionary shared by compressor and decompressor.
+  std::vector<uint8_t> dictionary;
+};
+
+// Observability for the pipeline timing model: everything the cycle model
+// needs to charge the last (de)compression.
+struct DpzipBlockStats {
+  size_t input_bytes = 0;
+  size_t output_bytes = 0;
+  bool stored_raw = false;
+  Lz77EncodeStats lz77;
+  Lz77DecodeStats lz77_decode;
+  CanonicalizeStats huffman;
+};
+
+class DpzipCodec : public Codec {
+ public:
+  explicit DpzipCodec(const DpzipLz77Config& config) : DpzipCodec(Wrap(config)) {}
+  explicit DpzipCodec(const DpzipCodecConfig& config = {});
+
+  std::string name() const override { return "dpzip"; }
+
+  Result<size_t> Compress(ByteSpan input, ByteVec* out) override;
+  Result<size_t> Decompress(ByteSpan input, ByteVec* out) override;
+
+  const DpzipBlockStats& last_stats() const { return stats_; }
+  const DpzipLz77Config& config() const { return encoder_.config(); }
+  const DpzipCodecConfig& codec_config() const { return config_; }
+
+  // Registers "dpzip" with MakeCodec().
+  static void RegisterWithFactory();
+
+ private:
+  static DpzipCodecConfig Wrap(const DpzipLz77Config& lz77) {
+    DpzipCodecConfig c;
+    c.lz77 = lz77;
+    return c;
+  }
+
+  DpzipCodecConfig config_;
+  DpzipLz77Encoder encoder_;
+  DpzipLz77Decoder decoder_;
+  uint32_t dict_crc_ = 0;
+  DpzipBlockStats stats_;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_CORE_DPZIP_CODEC_H_

@@ -1,0 +1,280 @@
+#include "src/core/dpzip_huffman.h"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "src/codecs/huffman_coder.h"
+#include "src/common/bitstream.h"
+#include "src/common/varint.h"
+
+namespace cdpu {
+namespace {
+
+// Unbounded Huffman depths via the standard two-queue/heap merge. Returns
+// raw depths (possibly > max) as the input to the canonicalisation pipeline.
+std::vector<uint8_t> RawHuffmanDepths(std::span<const uint32_t> freqs) {
+  struct Node {
+    uint64_t freq;
+    int symbol;
+    int left;
+    int right;
+  };
+  std::vector<Node> nodes;
+  using Item = std::pair<uint64_t, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    if (freqs[i] > 0) {
+      nodes.push_back(Node{freqs[i], static_cast<int>(i), -1, -1});
+      heap.push({freqs[i], static_cast<int>(nodes.size() - 1)});
+    }
+  }
+  std::vector<uint8_t> depths(freqs.size(), 0);
+  if (heap.empty()) {
+    return depths;
+  }
+  if (heap.size() == 1) {
+    depths[static_cast<size_t>(nodes[0].symbol)] = 1;
+    return depths;
+  }
+  while (heap.size() > 1) {
+    auto [f1, a] = heap.top();
+    heap.pop();
+    auto [f2, b] = heap.top();
+    heap.pop();
+    nodes.push_back(Node{f1 + f2, -1, a, b});
+    heap.push({f1 + f2, static_cast<int>(nodes.size() - 1)});
+  }
+  struct Frame {
+    int node;
+    uint32_t depth;
+  };
+  std::vector<Frame> stack{{static_cast<int>(nodes.size() - 1), 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes[static_cast<size_t>(f.node)];
+    if (nd.symbol >= 0) {
+      depths[static_cast<size_t>(nd.symbol)] =
+          static_cast<uint8_t>(std::min<uint32_t>(f.depth == 0 ? 1 : f.depth, 255));
+    } else {
+      stack.push_back({nd.left, f.depth + 1});
+      stack.push_back({nd.right, f.depth + 1});
+    }
+  }
+  return depths;
+}
+
+}  // namespace
+
+std::vector<uint8_t> DpzipBuildLengths(std::span<const uint32_t> freqs, uint32_t max_bits,
+                                       CanonicalizeStats* stats) {
+  CanonicalizeStats local;
+  std::vector<uint8_t> lengths = RawHuffmanDepths(freqs);
+
+  uint32_t present = 0;
+  for (uint8_t l : lengths) {
+    if (l > 0) {
+      ++present;
+    }
+  }
+  if (present <= 1) {
+    local.schedule_cycles = 256;
+    if (stats != nullptr) {
+      *stats = local;
+    }
+    return lengths;
+  }
+
+  // Kraft budget in units of 2^-max_bits: capacity is 2^max_bits.
+  const int64_t capacity = int64_t{1} << max_bits;
+  auto kraft_share = [&](uint32_t depth) { return int64_t{1} << (max_bits - depth); };
+
+  // --- Stage 1: Leaf Scan & Cap -------------------------------------------
+  // One streaming pass: clip deep leaves and accumulate the Kraft sum.
+  int64_t kraft = 0;
+  for (uint8_t& l : lengths) {
+    if (l == 0) {
+      continue;
+    }
+    if (l > max_bits) {
+      l = static_cast<uint8_t>(max_bits);
+      ++local.clipped_leaves;
+    }
+    kraft += kraft_share(l);
+  }
+  int64_t debt = kraft - capacity;  // > 0: oversubscribed after clipping
+
+  // Per-level leaf counts for the FSM stages.
+  std::vector<uint32_t> level_count(max_bits + 1, 0);
+  for (uint8_t l : lengths) {
+    if (l > 0) {
+      ++level_count[l];
+    }
+  }
+
+  // --- Stage 2: Deterministic Redistribution ------------------------------
+  // The FSM walks levels (max-1) .. 1, one cycle per level, demoting as
+  // many leaves as the level can absorb in a single counter update
+  // (arithmetic limited to shifts/increments). Demotions populate the next
+  // level, so the walk repeats until the debt is gone; in practice almost
+  // everything resolves at level max-1 (gain = 1 Kraft unit) on the first
+  // pass. The final demotion may overshoot, flipping residual debt into
+  // holes for stage 3.
+  while (debt > 0) {
+    bool changed = false;
+    for (uint32_t d = max_bits - 1; d >= 1 && debt > 0; --d) {
+      int64_t gain = int64_t{1} << (max_bits - d - 1);
+      if (level_count[d] > 0) {
+        // Batch: demote enough leaves to absorb the debt at this level,
+        // rounding up once at the end (bounded overshoot < gain).
+        int64_t want = (debt + gain - 1) / gain;
+        int64_t m = std::min<int64_t>(want, level_count[d]);
+        level_count[d] -= static_cast<uint32_t>(m);
+        level_count[d + 1] += static_cast<uint32_t>(m);
+        debt -= m * gain;
+        local.demotions += static_cast<uint32_t>(m);
+        changed = true;
+      }
+      if (d == 1) {
+        break;
+      }
+    }
+    if (!changed) {
+      break;  // cannot happen when the alphabet fits 2^max_bits codes
+    }
+  }
+
+  // --- Stage 3: Logarithmic Hole Repair -----------------------------------
+  // holes = -debt > 0 means spare capacity. Each cycle promotes a batch of
+  // leaves (d -> d-1, gain 2^(max-d) each) covering the largest power that
+  // fits — the residual at least halves per cycle, so the loop terminates
+  // in <= ceil(log2 holes) iterations (§3.3: <= 8 for a 256-symbol
+  // alphabet's typical hole counts).
+  int64_t holes = -debt;
+  while (holes > 0) {
+    ++local.repair_iterations;
+    bool progressed = false;
+    for (uint32_t d = 2; d <= max_bits; ++d) {
+      int64_t gain = int64_t{1} << (max_bits - d);
+      if (gain <= holes && level_count[d] > 0) {
+        int64_t m = std::min<int64_t>(holes / gain, level_count[d]);
+        level_count[d] -= static_cast<uint32_t>(m);
+        level_count[d - 1] += static_cast<uint32_t>(m);
+        holes -= m * gain;
+        local.promotions += static_cast<uint32_t>(m);
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) {
+      break;  // no promotable leaf; holes stay (code remains prefix-valid)
+    }
+  }
+
+  // Materialise lengths from the adjusted level histogram: most frequent
+  // symbols take the shortest codes (canonical order).
+  std::vector<int> symbols;
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    if (freqs[i] > 0) {
+      symbols.push_back(static_cast<int>(i));
+    }
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+    if (freqs[static_cast<size_t>(a)] != freqs[static_cast<size_t>(b)]) {
+      return freqs[static_cast<size_t>(a)] > freqs[static_cast<size_t>(b)];
+    }
+    return a < b;
+  });
+  size_t idx = 0;
+  for (uint32_t d = 1; d <= max_bits; ++d) {
+    for (uint32_t k = 0; k < level_count[d] && idx < symbols.size(); ++k) {
+      lengths[static_cast<size_t>(symbols[idx++])] = static_cast<uint8_t>(d);
+    }
+  }
+
+  local.schedule_cycles = 256 + (max_bits - 1) + local.repair_iterations;
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return lengths;
+}
+
+Status DpzipHuffmanEncode(std::span<const uint8_t> data, std::vector<uint8_t>* out,
+                          CanonicalizeStats* stats) {
+  std::array<uint32_t, 256> freqs{};
+  for (uint8_t b : data) {
+    ++freqs[b];
+  }
+  std::vector<uint8_t> lengths = DpzipBuildLengths(freqs, kDpzipMaxCodeBits, stats);
+  std::vector<uint16_t> codes;
+  CDPU_RETURN_IF_ERROR(AssignCanonicalCodes(lengths, &codes));
+
+  // Nibble-packed length table over [0, last_nonzero]: lengths are <= 11 so
+  // each fits 4 bits; trailing symbols are implicitly absent. This mirrors
+  // the compact code-length representation the hardware stores in SRAM.
+  size_t last = 256;
+  while (last > 0 && lengths[last - 1] == 0) {
+    --last;
+  }
+  PutVarint32(out, static_cast<uint32_t>(last));
+  for (size_t s = 0; s < last; s += 2) {
+    uint8_t lo = lengths[s];
+    uint8_t hi = s + 1 < last ? lengths[s + 1] : 0;
+    out->push_back(static_cast<uint8_t>(lo | (hi << 4)));
+  }
+
+  std::vector<uint8_t> payload;
+  BitWriter bw(&payload);
+  for (uint8_t b : data) {
+    if (lengths[b] == 0) {
+      return Status::Internal("dpzip-huffman: symbol without code");
+    }
+    bw.Write(ReverseBits(codes[b], lengths[b]), lengths[b]);
+  }
+  bw.AlignToByte();
+  PutVarint64(out, payload.size());
+  out->insert(out->end(), payload.begin(), payload.end());
+  return Status::Ok();
+}
+
+Status DpzipHuffmanDecode(std::span<const uint8_t> stream, size_t count, size_t* consumed,
+                          std::vector<uint8_t>* out) {
+  size_t pos = 0;
+  std::vector<uint8_t> lengths(256, 0);
+  std::optional<uint32_t> last = GetVarint32(stream, &pos);
+  if (!last.has_value() || *last > 256) {
+    return Status::CorruptData("dpzip-huffman: bad table size");
+  }
+  size_t nbytes = (*last + 1) / 2;
+  if (pos + nbytes > stream.size()) {
+    return Status::CorruptData("dpzip-huffman: truncated length table");
+  }
+  for (size_t s = 0; s < *last; ++s) {
+    uint8_t packed = stream[pos + s / 2];
+    lengths[s] = (s % 2 == 0) ? (packed & 0x0f) : (packed >> 4);
+  }
+  pos += nbytes;
+  std::optional<uint64_t> payload_len = GetVarint64(stream, &pos);
+  if (!payload_len.has_value() || pos + *payload_len > stream.size()) {
+    return Status::CorruptData("dpzip-huffman: bad payload length");
+  }
+
+  HuffmanDecoder dec;
+  CDPU_RETURN_IF_ERROR(dec.Init(lengths));
+  BitReader br(stream.subspan(pos, *payload_len));
+  out->reserve(out->size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    int sym = dec.Decode(static_cast<uint32_t>(br.Peek(dec.max_len())), &len);
+    if (sym < 0 || br.overflowed()) {
+      return Status::CorruptData("dpzip-huffman: bad symbol");
+    }
+    br.Skip(len);
+    out->push_back(static_cast<uint8_t>(sym));
+  }
+  *consumed = pos + *payload_len;
+  return Status::Ok();
+}
+
+}  // namespace cdpu

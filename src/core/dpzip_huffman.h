@@ -1,0 +1,56 @@
+// DPZip's dynamic Huffman engine (paper §3.3): canonical Huffman with a
+// hardware-bounded 11-bit depth ceiling enforced by a three-stage,
+// latency-stable canonicalisation pipeline:
+//
+//   1. Leaf Scan & Cap — one streaming pass clips leaves deeper than 11 bits
+//      and tallies the Kraft deficit k.
+//   2. Deterministic Redistribution — an FSM walks levels 10 -> 1 demoting
+//      leaves (shift/increment arithmetic only) to absorb k.
+//   3. Logarithmic Hole Repair — residual holes are repaired by promotions
+//      whose gain halves each iteration; terminates in <= ceil(log2 k) <= 8
+//      iterations for a 256-symbol alphabet.
+//
+// Worst-case schedule T_max = 256 (scan) + 10 (redistribute) + 8 (repair)
+// = 274 cycles — the figure the pipeline model charges per block.
+
+#ifndef SRC_CORE_DPZIP_HUFFMAN_H_
+#define SRC_CORE_DPZIP_HUFFMAN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cdpu {
+
+constexpr uint32_t kDpzipMaxCodeBits = 11;
+
+struct CanonicalizeStats {
+  uint32_t clipped_leaves = 0;      // stage 1: leaves deeper than the cap
+  uint32_t demotions = 0;           // stage 2: leaves moved one level down
+  uint32_t promotions = 0;          // stage 3: leaves moved up to fill holes
+  uint32_t repair_iterations = 0;   // stage 3 loop trips
+  uint32_t schedule_cycles = 0;     // modelled cycles: 256 + levels + repairs
+};
+
+// Builds code lengths for `freqs` (up to 256 symbols) capped at `max_bits`
+// using the hardware three-stage procedure. The result satisfies Kraft
+// equality whenever >= 2 symbols are present.
+std::vector<uint8_t> DpzipBuildLengths(std::span<const uint32_t> freqs,
+                                       uint32_t max_bits = kDpzipMaxCodeBits,
+                                       CanonicalizeStats* stats = nullptr);
+
+// Huffman-codes `data` with a dynamic canonical table built by
+// DpzipBuildLengths. Stream layout: varint symbol count, nibble-packed code
+// lengths, varint payload bytes, bit-packed codes.
+Status DpzipHuffmanEncode(std::span<const uint8_t> data, std::vector<uint8_t>* out,
+                          CanonicalizeStats* stats = nullptr);
+
+// Inverse of DpzipHuffmanEncode. `count` is the number of original bytes.
+Status DpzipHuffmanDecode(std::span<const uint8_t> stream, size_t count, size_t* consumed,
+                          std::vector<uint8_t>* out);
+
+}  // namespace cdpu
+
+#endif  // SRC_CORE_DPZIP_HUFFMAN_H_

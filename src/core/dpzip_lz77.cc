@@ -1,0 +1,234 @@
+#include "src/core/dpzip_lz77.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cdpu {
+namespace {
+
+uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+DpzipLz77Encoder::DpzipLz77Encoder(const DpzipLz77Config& config) : config_(config) {
+  // Round buckets to a power of two for mask indexing.
+  uint32_t b = 1;
+  while (b < config_.hash_buckets) {
+    b <<= 1;
+  }
+  config_.hash_buckets = b;
+  table_.assign(static_cast<size_t>(config_.hash_buckets) * config_.ways, 0);
+  fifo_next_.assign(config_.hash_buckets, 0);
+}
+
+void DpzipLz77Encoder::Encode(std::span<const uint8_t> input, std::vector<Lz77Token>* tokens,
+                              std::vector<uint8_t>* literals, Lz77EncodeStats* stats) {
+  EncodeWithDictionary({}, input, tokens, literals, stats);
+}
+
+void DpzipLz77Encoder::EncodeWithDictionary(std::span<const uint8_t> dict,
+                                            std::span<const uint8_t> input,
+                                            std::vector<Lz77Token>* tokens,
+                                            std::vector<uint8_t>* literals,
+                                            Lz77EncodeStats* stats) {
+  std::fill(table_.begin(), table_.end(), 0);
+  std::fill(fifo_next_.begin(), fifo_next_.end(), 0);
+  Lz77EncodeStats local;
+
+  // The dictionary occupies the low addresses of the window; input follows.
+  std::vector<uint8_t> window;
+  const uint8_t* base;
+  size_t dict_len = dict.size();
+  size_t n;
+  if (dict_len > 0) {
+    window.reserve(dict_len + input.size());
+    window.insert(window.end(), dict.begin(), dict.end());
+    window.insert(window.end(), input.begin(), input.end());
+    base = window.data();
+    n = window.size();
+  } else {
+    base = input.data();
+    n = input.size();
+  }
+  uint32_t mask = config_.hash_buckets - 1;
+  uint32_t min_match = std::max<uint32_t>(config_.min_match, 4);
+
+  // Hash0/Hash1 (§3.2.3): two independent multiplicative hashes over the
+  // same 4-byte word select two candidate buckets.
+  auto hash0 = [&](size_t pos) { return (Load32(base + pos) * 2654435761u >> 16) & mask; };
+  auto hash1 = [&](size_t pos) { return (Load32(base + pos) * 0x9e3779b1u >> 13) & mask; };
+
+  auto insert_into = [&](uint32_t h, size_t pos) {
+    uint32_t slot = fifo_next_[h];
+    table_[static_cast<size_t>(h) * config_.ways + slot] = static_cast<uint32_t>(pos) + 1;
+    fifo_next_[h] = static_cast<uint8_t>((slot + 1) % config_.ways);
+  };
+  auto insert = [&](size_t pos) {
+    insert_into(hash0(pos), pos);
+    if (config_.dual_hash) {
+      // Both hash spaces track the position (dual-port SRAM banks); lookups
+      // then see the union of recent candidates from two index functions.
+      insert_into(hash1(pos), pos);
+    }
+  };
+
+  // Prime the candidate table with the dictionary (one insert per 4 bytes,
+  // matching the hardware's update granularity).
+  for (size_t p = 0; p + min_match <= dict_len; p += 4) {
+    insert(p);
+  }
+
+  size_t pos = dict_len;
+  size_t lit_anchor = dict_len;
+
+  while (pos + min_match <= n) {
+    ++local.positions_processed;
+
+    size_t best_len = 0;
+    size_t best_off = 0;
+    uint32_t cur32 = Load32(base + pos);
+    uint32_t buckets[2] = {hash0(pos), config_.dual_hash ? hash1(pos) : hash0(pos)};
+    uint32_t nbuckets = config_.dual_hash ? 2 : 1;
+    bool accepted = false;
+    for (uint32_t b = 0; b < nbuckets && !accepted; ++b) {
+      uint32_t h = buckets[b];
+      ++local.hash_probes;
+      for (uint32_t w = 0; w < config_.ways; ++w) {
+        uint32_t stored = table_[static_cast<size_t>(h) * config_.ways + w];
+        if (stored == 0) {
+          continue;
+        }
+        size_t cpos = stored - 1;
+        if (cpos >= pos || pos - cpos > config_.max_offset) {
+          continue;
+        }
+        // Stage 1: 4-byte check (the "fast hash check").
+        if (Load32(base + cpos) != cur32) {
+          continue;
+        }
+        // Stage 2: byte-wise history match.
+        ++local.candidate_compares;
+        size_t limit = n - pos;
+        size_t len = 4;
+        while (len < limit && base[cpos + len] == base[pos + len]) {
+          ++len;
+        }
+        if (len >= min_match && len > best_len) {
+          best_len = len;
+          best_off = pos - cpos;
+          if (config_.first_fit) {
+            accepted = true;  // first-fit: accept without scanning further
+            break;
+          }
+        }
+      }
+    }
+
+    if (best_len >= min_match) {
+      literals->insert(literals->end(), base + lit_anchor, base + pos);
+      local.literal_bytes += pos - lit_anchor;
+      tokens->push_back(Lz77Token{static_cast<uint32_t>(pos - lit_anchor),
+                                  static_cast<uint32_t>(best_len),
+                                  static_cast<uint32_t>(best_off)});
+      ++local.matches_emitted;
+      local.match_bytes += best_len;
+      // The hardware updates the table as the match streams through, at a
+      // 4-byte granularity (§3.2.3 "either per iteration or every 4 bytes").
+      size_t end = pos + best_len;
+      for (size_t p = pos; p + min_match <= n && p < end; p += 4) {
+        insert(p);
+      }
+      pos = end;
+      lit_anchor = pos;
+    } else {
+      insert(pos);
+      // Partial-lazy: advance by skip distance on a miss, inserting the
+      // intermediate positions (cheap in hardware: parallel hash units).
+      size_t step = config_.skip_on_miss > 0 ? config_.skip_on_miss : 1;
+      if (step > 1) {
+        ++local.skips;
+        for (size_t p = pos + 1; p < pos + step && p + min_match <= n; ++p) {
+          insert(p);
+        }
+      }
+      pos += step;
+    }
+  }
+
+  literals->insert(literals->end(), base + lit_anchor, base + n);
+  local.literal_bytes += n - lit_anchor;
+  tokens->push_back(Lz77Token{static_cast<uint32_t>(n - lit_anchor), 0, 0});
+
+  if (stats != nullptr) {
+    *stats = local;
+  }
+}
+
+DpzipLz77Decoder::DpzipLz77Decoder(const DpzipLz77Config& config) : config_(config) {}
+
+Status DpzipLz77Decoder::Decode(std::span<const Lz77Token> tokens,
+                                std::span<const uint8_t> literals, std::vector<uint8_t>* out,
+                                Lz77DecodeStats* stats) {
+  return DecodeWithDictionary(tokens, literals, {}, out, stats);
+}
+
+Status DpzipLz77Decoder::DecodeWithDictionary(std::span<const Lz77Token> tokens,
+                                              std::span<const uint8_t> literals,
+                                              std::span<const uint8_t> dict,
+                                              std::vector<uint8_t>* out,
+                                              Lz77DecodeStats* stats) {
+  Lz77DecodeStats local;
+  size_t start_size = out->size();
+  size_t lit_pos = 0;
+
+  for (const Lz77Token& t : tokens) {
+    if (lit_pos + t.lit_len > literals.size()) {
+      return Status::CorruptData("dpzip-lz77: literal stream overrun");
+    }
+    // Literal pipeline: direct byte transfer from the literal buffer.
+    out->insert(out->end(), literals.begin() + lit_pos, literals.begin() + lit_pos + t.lit_len);
+    lit_pos += t.lit_len;
+    local.literal_bytes += t.lit_len;
+
+    if (t.match_len == 0) {
+      continue;  // terminator / literal-only token
+    }
+    size_t produced = out->size() - start_size;
+    if (t.offset == 0 || t.offset > produced + dict.size()) {
+      return Status::CorruptData("dpzip-lz77: offset out of range");
+    }
+    // Match pipeline: replication from the history buffer, which the preset
+    // dictionary (if any) virtually prefixes. Short offsets are served by
+    // the register-backed recent-data buffer (§3.2.4), avoiding dual-port
+    // SRAM read latency; the model only counts the distinction.
+    bool recent = t.offset <= config_.recent_buffer_bytes;
+    for (uint32_t i = 0; i < t.match_len; ++i) {
+      int64_t rel = static_cast<int64_t>(out->size() - start_size) -
+                    static_cast<int64_t>(t.offset);
+      uint8_t byte = rel < 0
+                         ? dict[dict.size() - static_cast<size_t>(-rel)]
+                         : (*out)[start_size + static_cast<size_t>(rel)];
+      out->push_back(byte);
+    }
+    local.match_bytes += t.match_len;
+    if (recent) {
+      local.register_hits += t.match_len;
+    } else {
+      local.sram_reads += t.match_len;
+    }
+  }
+
+  if (lit_pos != literals.size()) {
+    return Status::CorruptData("dpzip-lz77: unconsumed literals");
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return Status::Ok();
+}
+
+}  // namespace cdpu

@@ -1,0 +1,124 @@
+// Hardware-model LZ77 encoder/decoder for DPZip (paper §3.2).
+//
+// Encoder (§3.2.3):
+//  - SRAM-optimised hash table: a small bounded array of buckets, each
+//    holding `ways` candidate positions managed as a circular FIFO, so old
+//    entries age out without pointer-chasing.
+//  - Two-level match processing: a cheap hash check selects candidates, then
+//    a byte-wise compare confirms the match length (no false positives reach
+//    the pipeline).
+//  - Partial-lazy matching: on a miss the pipeline skips ahead `skip`
+//    bytes (4 in silicon); on a hit it accepts the first valid match without
+//    backtracking (first-fit policy).
+//
+// Decoder (§3.2.4):
+//  - Dual-buffer design (literal vs history) with a small register-backed
+//    recent-data buffer (256 B) serving short-offset matches without SRAM
+//    latency. Functionally a plain copy; the model counts register hits vs
+//    SRAM reads so the pipeline model can charge them differently.
+//
+// All parameters are exposed so the ablation benchmarks can vary them.
+
+#ifndef SRC_CORE_DPZIP_LZ77_H_
+#define SRC_CORE_DPZIP_LZ77_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cdpu {
+
+struct DpzipLz77Config {
+  uint32_t hash_buckets = 2048;      // power of two; total SRAM ~ buckets*ways*4B
+  uint32_t ways = 4;                 // candidate slots per bucket (FIFO)
+  // §3.2.3: two hash functions (Hash0/Hash1) index two buckets per 4-byte
+  // word, widening candidate selection without deeper buckets.
+  bool dual_hash = true;
+  uint32_t min_match = 4;
+  uint32_t skip_on_miss = 4;         // partial-lazy skip distance
+  uint32_t max_offset = 64 * 1024;   // window reachable by the offset field
+  bool first_fit = true;             // accept first valid match (no backtrack)
+  uint32_t recent_buffer_bytes = 256;  // decoder register buffer
+};
+
+// <LL, ML, Off> tuple (§3.2.3). A token with match_len == 0 terminates the
+// stream carrying only trailing literals.
+struct Lz77Token {
+  uint32_t lit_len;
+  uint32_t match_len;
+  uint32_t offset;
+};
+
+struct Lz77EncodeStats {
+  uint64_t positions_processed = 0;
+  uint64_t hash_probes = 0;
+  uint64_t candidate_compares = 0;  // stage-2 byte-verify invocations
+  uint64_t matches_emitted = 0;
+  uint64_t match_bytes = 0;
+  uint64_t literal_bytes = 0;
+  uint64_t skips = 0;               // miss-path skip-ahead events
+
+  // Fraction of input bytes covered by matches.
+  double MatchCoverage() const {
+    uint64_t total = match_bytes + literal_bytes;
+    return total == 0 ? 0.0 : static_cast<double>(match_bytes) / static_cast<double>(total);
+  }
+};
+
+struct Lz77DecodeStats {
+  uint64_t literal_bytes = 0;
+  uint64_t match_bytes = 0;
+  uint64_t register_hits = 0;  // short-offset bytes served by the 256B buffer
+  uint64_t sram_reads = 0;     // bytes read from history SRAM
+};
+
+class DpzipLz77Encoder {
+ public:
+  explicit DpzipLz77Encoder(const DpzipLz77Config& config = {});
+
+  // Parses `input` into tokens + a concatenated literal byte stream.
+  // The encoder is stateless across calls (per-page operation, like the
+  // hardware, which resets per 4 KB flash page).
+  void Encode(std::span<const uint8_t> input, std::vector<Lz77Token>* tokens,
+              std::vector<uint8_t>* literals, Lz77EncodeStats* stats);
+
+  // Preset-dictionary variant (§6 future work): the hash table and history
+  // window are primed with `dict`, so matches may reference it (offsets
+  // reach back into the dictionary region). Tokens cover only `input`.
+  void EncodeWithDictionary(std::span<const uint8_t> dict, std::span<const uint8_t> input,
+                            std::vector<Lz77Token>* tokens, std::vector<uint8_t>* literals,
+                            Lz77EncodeStats* stats);
+
+  const DpzipLz77Config& config() const { return config_; }
+
+ private:
+  DpzipLz77Config config_;
+  // Bucketed candidate store: bucket * ways + slot -> position + 1 (0=empty).
+  std::vector<uint32_t> table_;
+  std::vector<uint8_t> fifo_next_;  // per-bucket FIFO cursor
+};
+
+class DpzipLz77Decoder {
+ public:
+  explicit DpzipLz77Decoder(const DpzipLz77Config& config = {});
+
+  // Reconstructs the original bytes from tokens + literals, appending to
+  // `*out`. Validates offsets/literal bounds.
+  Status Decode(std::span<const Lz77Token> tokens, std::span<const uint8_t> literals,
+                std::vector<uint8_t>* out, Lz77DecodeStats* stats);
+
+  // Preset-dictionary variant: the history buffer is preloaded with `dict`.
+  Status DecodeWithDictionary(std::span<const Lz77Token> tokens,
+                              std::span<const uint8_t> literals,
+                              std::span<const uint8_t> dict, std::vector<uint8_t>* out,
+                              Lz77DecodeStats* stats);
+
+ private:
+  DpzipLz77Config config_;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_CORE_DPZIP_LZ77_H_

@@ -1,0 +1,59 @@
+#include "src/core/pipeline_model.h"
+
+#include <cmath>
+
+namespace cdpu {
+
+DpzipPipelineModel::DpzipPipelineModel(const DpzipPipelineConfig& config) : config_(config) {}
+
+DpzipTiming DpzipPipelineModel::CompressLatency(const DpzipBlockStats& stats) const {
+  DpzipTiming t;
+  uint64_t stream_cycles =
+      (stats.input_bytes + config_.bytes_per_cycle - 1) / config_.bytes_per_cycle;
+
+  // Stage-2 compares beyond the replicated match units stall the pipeline.
+  // With dense matching most compares overlap streaming; only the excess
+  // over one compare per group of match_units positions is charged.
+  uint64_t hidden = stats.lz77.positions_processed / std::max(1u, config_.match_units);
+  uint64_t excess =
+      stats.lz77.candidate_compares > hidden ? stats.lz77.candidate_compares - hidden : 0;
+  uint64_t stalls = static_cast<uint64_t>(
+      std::llround(static_cast<double>(excess) * config_.compare_stall_cycles));
+
+  // Dynamic Huffman canonicalisation runs once per block; the 3-stage
+  // schedule is bounded at 256 + 10 + 8 cycles (§3.3). The incompressible
+  // bypass still pays it: the hardware always attempts compression and the
+  // raw/compressed selection happens at the output mux, which is what keeps
+  // DPZip throughput flat across compressibility (Finding 5).
+  uint64_t huffman_cycles = stats.huffman.schedule_cycles;
+
+  t.stall_cycles = stalls;
+  t.cycles = stream_cycles + config_.pipeline_depth + huffman_cycles + stalls;
+  t.nanos = CyclesToNanos(t.cycles);
+  return t;
+}
+
+DpzipTiming DpzipPipelineModel::DecompressLatency(const DpzipBlockStats& stats) const {
+  DpzipTiming t;
+  uint64_t out_bytes = stats.stored_raw ? stats.output_bytes
+                                        : stats.lz77_decode.literal_bytes +
+                                              stats.lz77_decode.match_bytes;
+  uint64_t stream_cycles = (out_bytes + config_.bytes_per_cycle - 1) / config_.bytes_per_cycle;
+
+  // SRAM-served match bytes (recent-buffer misses) pay dual-port SRAM read
+  // latency; register hits are free (§3.2.4).
+  uint64_t sram_bytes = stats.lz77_decode.sram_reads;
+  if (!config_.model_recent_buffer) {
+    sram_bytes += stats.lz77_decode.register_hits;  // ablation: no register buffer
+  }
+  uint64_t sram_groups = (sram_bytes + config_.bytes_per_cycle - 1) / config_.bytes_per_cycle;
+  uint64_t stalls = static_cast<uint64_t>(
+      std::llround(static_cast<double>(sram_groups) * config_.sram_stall_cycles));
+
+  t.stall_cycles = stalls;
+  t.cycles = stream_cycles + config_.pipeline_depth + stalls;
+  t.nanos = CyclesToNanos(t.cycles);
+  return t;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,73 @@
+// Cycle-level timing model of the DPZip pipeline (paper §3.1, §3.3).
+//
+// The ASIC processes 8 bytes per cycle at 1 GHz (so 1 cycle = 1 ns),
+// reaching ~16 GB/s peak and ~2 us for a 4 KB transfer. The model charges:
+//  - streaming cycles: ceil(bytes / bytes_per_cycle)
+//  - pipeline fill/drain: a fixed depth
+//  - dynamic Huffman canonicalisation: the 3-stage schedule (<= 274 cycles)
+//  - encoder stalls: candidate-compare conflicts beyond the replicated
+//    match units
+//  - decoder stalls: SRAM-served match bytes that miss the 256 B recent-data
+//    register buffer (dual-port SRAM read latency)
+//
+// The model is deliberately analytic — it converts the functional codec's
+// observed statistics into deterministic cycle counts, reproducing the
+// *shape* of Figure 8/9/12 rather than silicon-exact numbers.
+
+#ifndef SRC_CORE_PIPELINE_MODEL_H_
+#define SRC_CORE_PIPELINE_MODEL_H_
+
+#include <cstdint>
+
+#include "src/core/dpzip_codec.h"
+#include "src/sim/sim_time.h"
+
+namespace cdpu {
+
+struct DpzipPipelineConfig {
+  double clock_ghz = 1.0;          // 12 nm closure at 1 GHz (§3.3)
+  uint32_t bytes_per_cycle = 8;    // §3.1
+  uint32_t pipeline_depth = 64;    // fill/drain overhead, cycles
+  uint32_t match_units = 4;        // replicated match units (§3.2.2)
+  // Extra cycles per stage-2 compare beyond what the match units hide.
+  double compare_stall_cycles = 0.25;
+  // Extra cycles per SRAM-served match byte group (8B) in the decoder when
+  // the recent-data register buffer misses.
+  double sram_stall_cycles = 0.5;
+  bool model_recent_buffer = true;  // ablation: disable the 256B buffer
+};
+
+struct DpzipTiming {
+  uint64_t cycles = 0;
+  SimNanos nanos = 0;
+  uint64_t stall_cycles = 0;
+};
+
+class DpzipPipelineModel {
+ public:
+  explicit DpzipPipelineModel(const DpzipPipelineConfig& config = {});
+
+  // Latency of compressing a block with the observed stats.
+  DpzipTiming CompressLatency(const DpzipBlockStats& stats) const;
+
+  // Latency of decompressing a block with the observed stats.
+  DpzipTiming DecompressLatency(const DpzipBlockStats& stats) const;
+
+  // Peak streaming throughput in GB/s (no per-block overheads).
+  double PeakThroughputGBps() const {
+    return config_.clock_ghz * config_.bytes_per_cycle;
+  }
+
+  const DpzipPipelineConfig& config() const { return config_; }
+
+ private:
+  SimNanos CyclesToNanos(uint64_t cycles) const {
+    return static_cast<SimNanos>(static_cast<double>(cycles) / config_.clock_ghz);
+  }
+
+  DpzipPipelineConfig config_;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_CORE_PIPELINE_MODEL_H_

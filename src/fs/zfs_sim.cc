@@ -1,0 +1,110 @@
+#include "src/fs/zfs_sim.h"
+
+#include <cmath>
+
+namespace cdpu {
+namespace {
+
+constexpr uint32_t kPageBytes = 4096;
+
+}  // namespace
+
+ZfsSim::ZfsSim(const ZfsConfig& config, SimSsd* ssd, CompressionBackend backend)
+    : config_(config), ssd_(ssd), backend_(std::move(backend)) {}
+
+Result<SimNanos> ZfsSim::WriteRecord(uint64_t offset, ByteSpan data, SimNanos arrival) {
+  if (offset % config_.record_bytes != 0 || data.size() != config_.record_bytes) {
+    return Status::InvalidArgument("zfs: whole record-aligned writes only");
+  }
+  SimNanos t = arrival + static_cast<SimNanos>(std::llround(config_.vfs_overhead_ns));
+
+  Record rec;
+  rec.logical_len = static_cast<uint32_t>(data.size());
+  ByteVec stored;
+  if (backend_.codec != nullptr) {
+    Result<size_t> r = backend_.codec->Compress(data, &stored);
+    if (!r.ok()) {
+      return r.status();
+    }
+    rec.compressed = stored.size() < data.size();
+    if (!rec.compressed) {
+      stored.assign(data.begin(), data.end());
+    }
+    if (backend_.device != nullptr) {
+      double ratio = static_cast<double>(stored.size()) / static_cast<double>(data.size());
+      t = backend_.device->Submit(CdpuOp::kCompress, data.size(), ratio, t);
+    }
+  } else {
+    stored.assign(data.begin(), data.end());
+    rec.compressed = false;
+  }
+
+  rec.stored_len = static_cast<uint32_t>(stored.size());
+  rec.pages = static_cast<uint32_t>((stored.size() + kPageBytes - 1) / kPageBytes);
+  rec.base_lpn = next_lpn_;
+  next_lpn_ += rec.pages;
+  stored.resize(static_cast<size_t>(rec.pages) * kPageBytes, 0);
+
+  Result<SsdIoResult> w = ssd_->WriteMulti(rec.base_lpn, stored, t);
+  if (!w.ok()) {
+    return w.status();
+  }
+
+  auto old = records_.find(offset);
+  if (old != records_.end()) {
+    for (uint32_t p = 0; p < old->second.pages; ++p) {
+      ssd_->Trim(old->second.base_lpn + p);
+    }
+    stored_bytes_ -= old->second.stored_len;
+    logical_bytes_ -= old->second.logical_len;
+  }
+  stored_bytes_ += rec.stored_len;
+  logical_bytes_ += rec.logical_len;
+  records_[offset] = rec;
+  return w->completion;
+}
+
+Result<ZfsSim::ReadOutcome> ZfsSim::Read(uint64_t offset, uint64_t len, SimNanos arrival) {
+  uint64_t rec_off = offset - offset % config_.record_bytes;
+  auto it = records_.find(rec_off);
+  if (it == records_.end()) {
+    return Status::OutOfRange("zfs: record not written");
+  }
+  const Record& rec = it->second;
+  if (offset + len > rec_off + rec.logical_len) {
+    return Status::OutOfRange("zfs: read beyond record");
+  }
+
+  SimNanos t = arrival + static_cast<SimNanos>(std::llround(config_.vfs_overhead_ns));
+  ByteVec raw;
+  Result<SsdIoResult> r = ssd_->ReadMulti(rec.base_lpn, rec.pages, &raw, t);
+  if (!r.ok()) {
+    return r.status();
+  }
+  t = r->completion;
+
+  ReadOutcome out;
+  out.record_bytes_fetched = static_cast<uint64_t>(rec.pages) * kPageBytes;
+
+  ByteVec plain;
+  if (rec.compressed) {
+    ByteSpan stored(raw.data(), rec.stored_len);
+    Result<size_t> d = backend_.codec->Decompress(stored, &plain);
+    if (!d.ok()) {
+      return d.status();
+    }
+    if (backend_.device != nullptr) {
+      double ratio = static_cast<double>(rec.stored_len) / rec.logical_len;
+      t = backend_.device->Submit(CdpuOp::kDecompress, rec.logical_len, ratio, t);
+    }
+  } else {
+    plain.assign(raw.begin(), raw.begin() + rec.logical_len);
+  }
+
+  uint64_t inner = offset - rec_off;
+  out.data.assign(plain.begin() + inner, plain.begin() + inner + len);
+  out.completion = t;
+  return out;
+}
+
+}  // namespace cdpu

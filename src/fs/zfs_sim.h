@@ -1,0 +1,61 @@
+// ZFS-style filesystem simulator (paper §5.3.2, Figure 17): inline
+// synchronous compression at a configurable record size (4K-128K). Reads
+// fetch and decompress exactly one record; writes compress the record
+// before it reaches the SSD. The record size is the experiment's knob —
+// larger records compress better but amplify small random IO.
+
+#ifndef SRC_FS_ZFS_SIM_H_
+#define SRC_FS_ZFS_SIM_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/ssd/scheme.h"
+
+namespace cdpu {
+
+struct ZfsConfig {
+  size_t record_bytes = 128 * 1024;  // 4K .. 128K
+  double vfs_overhead_ns = 2500;     // ARC/DMU path per op
+};
+
+class ZfsSim {
+ public:
+  ZfsSim(const ZfsConfig& config, SimSsd* ssd, CompressionBackend backend);
+
+  // Writes one full record at record-aligned `offset`.
+  Result<SimNanos> WriteRecord(uint64_t offset, ByteSpan data, SimNanos arrival);
+
+  struct ReadOutcome {
+    SimNanos completion = 0;
+    uint64_t record_bytes_fetched = 0;
+    ByteVec data;
+  };
+  // Reads `len` bytes at `offset`; fetches the containing record.
+  Result<ReadOutcome> Read(uint64_t offset, uint64_t len, SimNanos arrival);
+
+  uint64_t stored_bytes() const { return stored_bytes_; }
+  uint64_t logical_bytes() const { return logical_bytes_; }
+  const ZfsConfig& config() const { return config_; }
+
+ private:
+  struct Record {
+    uint64_t base_lpn;
+    uint32_t pages;
+    uint32_t stored_len;
+    uint32_t logical_len;
+    bool compressed;
+  };
+
+  ZfsConfig config_;
+  SimSsd* ssd_;
+  CompressionBackend backend_;
+  uint64_t next_lpn_ = 0;
+  std::map<uint64_t, Record> records_;  // record-aligned offset -> record
+  uint64_t stored_bytes_ = 0;
+  uint64_t logical_bytes_ = 0;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_FS_ZFS_SIM_H_

@@ -1,0 +1,197 @@
+#include "src/hw/cdpu_device.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cdpu {
+
+const char* PlacementName(Placement p) {
+  switch (p) {
+    case Placement::kCpuSoftware:
+      return "cpu";
+    case Placement::kPeripheral:
+      return "peripheral";
+    case Placement::kOnChip:
+      return "on-chip";
+    case Placement::kInStorage:
+      return "in-storage";
+  }
+  return "unknown";
+}
+
+CdpuDevice::CdpuDevice(const CdpuConfig& config) : config_(config), link_(config.link) {}
+
+double CdpuDevice::EffectiveEngineGbps(CdpuOp op, double r, uint32_t active_engines) const {
+  double nominal =
+      op == CdpuOp::kCompress ? config_.compress_gbps : config_.decompress_gbps;
+  double penalty = op == CdpuOp::kCompress ? config_.incompressible_compress_penalty
+                                           : config_.incompressible_decompress_penalty;
+  double rr = std::clamp(r, 0.0, 1.0);
+  double speed = nominal * (1.0 - penalty * rr * rr);
+  // Shared back-end cap (memory bandwidth, shared compression slices).
+  if (config_.aggregate_gbps_cap > 0 && active_engines > 0) {
+    double share = config_.aggregate_gbps_cap / static_cast<double>(active_engines);
+    speed = std::min(speed, share);
+  }
+  return std::max(speed, 1e-3);
+}
+
+SimNanos CdpuDevice::CompressServiceTime(uint64_t bytes, double r,
+                                         uint32_t active_engines) const {
+  double ns = config_.compress_setup_ns +
+              static_cast<double>(bytes) /
+                  EffectiveEngineGbps(CdpuOp::kCompress, r, active_engines);
+  if (config_.verify_after_compress) {
+    // The verify pass decompresses the freshly compressed output (r * bytes
+    // in, bytes out; charge the output side, the engine bottleneck). Its
+    // rate inherits the decompression engine's data-pattern penalty, which
+    // is how decompression slowdowns propagate into compression throughput
+    // (Finding 5 / Figure 12).
+    double base = config_.verify_gbps > 0 ? config_.verify_gbps : config_.decompress_gbps;
+    double penalty = config_.incompressible_decompress_penalty;
+    double rr = std::clamp(r, 0.0, 1.0);
+    double rate = std::max(base * (1.0 - penalty * rr * rr), 1e-3);
+    ns += static_cast<double>(bytes) / rate;
+  }
+  return static_cast<SimNanos>(std::llround(ns));
+}
+
+SimNanos CdpuDevice::DecompressServiceTime(uint64_t bytes, double r,
+                                           uint32_t active_engines) const {
+  double ns = config_.decompress_setup_ns +
+              static_cast<double>(bytes) /
+                  EffectiveEngineGbps(CdpuOp::kDecompress, r, active_engines);
+  return static_cast<SimNanos>(std::llround(ns));
+}
+
+CdpuDevice::RequestTrace CdpuDevice::TraceRequest(CdpuOp op, uint64_t bytes, double r) const {
+  RequestTrace t;
+  double rr = std::clamp(r, 0.05, 1.0);
+  uint64_t in_bytes = op == CdpuOp::kCompress
+                          ? bytes
+                          : static_cast<uint64_t>(static_cast<double>(bytes) * rr);
+  uint64_t out_bytes = op == CdpuOp::kCompress
+                           ? static_cast<uint64_t>(static_cast<double>(bytes) * rr)
+                           : bytes;
+  t.service = op == CdpuOp::kCompress ? CompressServiceTime(bytes, r)
+                                      : DecompressServiceTime(bytes, r);
+  // In-storage engines sit on the write/read path: payload movement is the
+  // IO itself, charged by the SSD model, not the compression request.
+  bool in_storage = config_.placement == Placement::kInStorage;
+  t.dma_in = in_storage ? link_.TransferLatency(0) : link_.TransferLatency(in_bytes);
+  t.dma_out = in_storage ? link_.TransferLatency(0) : link_.TransferLatency(out_bytes);
+  t.submit = static_cast<SimNanos>(std::llround(config_.submit_overhead_ns));
+  t.complete = static_cast<SimNanos>(std::llround(
+      config_.complete_overhead_ns + (op == CdpuOp::kCompress
+                                          ? config_.latency_extra_compress_ns
+                                          : config_.latency_extra_decompress_ns)));
+  return t;
+}
+
+SimNanos CdpuDevice::RequestLatency(CdpuOp op, uint64_t bytes, double r) const {
+  return TraceRequest(op, bytes, r).total();
+}
+
+ClosedLoopResult CdpuDevice::RunClosedLoop(CdpuOp op, uint64_t requests, uint64_t bytes,
+                                           double r, uint32_t threads) const {
+  ClosedLoopResult result;
+  if (requests == 0 || threads == 0) {
+    return result;
+  }
+  uint32_t active = std::min<uint64_t>(threads, config_.engines);
+  double rr = std::clamp(r, 0.05, 1.0);
+
+  // Queue-ceiling contention: once outstanding requests exceed the hardware
+  // queue depth, submissions spin on full rings and per-request software
+  // cost inflates (Finding 6).
+  double submit_ns = config_.submit_overhead_ns;
+  if (config_.queue_limit > 0 && threads > config_.queue_limit) {
+    double over = static_cast<double>(threads) / static_cast<double>(config_.queue_limit);
+    submit_ns *= over;
+  }
+
+  SimNanos service = op == CdpuOp::kCompress ? CompressServiceTime(bytes, r, active)
+                                             : DecompressServiceTime(bytes, r, active);
+  uint64_t in_bytes = op == CdpuOp::kCompress
+                          ? bytes
+                          : static_cast<uint64_t>(static_cast<double>(bytes) * rr);
+  uint64_t out_bytes = op == CdpuOp::kCompress
+                           ? static_cast<uint64_t>(static_cast<double>(bytes) * rr)
+                           : bytes;
+  bool in_storage = config_.placement == Placement::kInStorage;
+  SimNanos dma_in = in_storage ? 0 : link_.TransferLatency(in_bytes);
+  SimNanos dma_out = in_storage ? 0 : link_.TransferLatency(out_bytes);
+
+  // The link is a shared serial resource for payload movement; model it as
+  // a single-server queue in front of the engines. Setup overlaps with
+  // engine work, so only payload occupancy serialises.
+  // PCIe/CMI are full duplex: occupancy is gated by the heavier direction.
+  double link_occupancy_ns =
+      in_storage ? 0.0
+                 : static_cast<double>(std::max(in_bytes, out_bytes)) / link_.EffectiveGbps();
+
+  MultiServerQueue engines(config_.engines);
+  MultiServerQueue link_q(1);
+  std::vector<SimNanos> thread_free(threads, 0);
+  double total_latency = 0;
+
+  for (uint64_t i = 0; i < requests; ++i) {
+    uint32_t tid = static_cast<uint32_t>(i % threads);
+    SimNanos submit_done =
+        thread_free[tid] + static_cast<SimNanos>(std::llround(submit_ns));
+    // Inbound payload crosses the link, then the engine serves it.
+    SimNanos link_in_done = submit_done + dma_in;
+    if (!in_storage && link_occupancy_ns > 0) {
+      ServiceOutcome lo = link_q.Submit(
+          submit_done, static_cast<SimNanos>(std::llround(link_occupancy_ns)));
+      link_in_done = std::max(link_in_done, lo.completion - dma_out);
+    }
+    ServiceOutcome eo = engines.Submit(link_in_done, service);
+    SimNanos done = eo.completion + dma_out +
+                    static_cast<SimNanos>(std::llround(config_.complete_overhead_ns));
+    total_latency += static_cast<double>(done - thread_free[tid]);
+    thread_free[tid] = done;
+  }
+
+  SimNanos makespan = 0;
+  for (SimNanos t : thread_free) {
+    makespan = std::max(makespan, t);
+  }
+  result.makespan = makespan;
+  result.requests = requests;
+  result.gbps = GbPerSec(requests * bytes, makespan);
+  result.mean_latency_ns = total_latency / static_cast<double>(requests);
+  result.engine_utilization =
+      makespan == 0 ? 0.0
+                    : static_cast<double>(engines.busy_ns()) /
+                          (static_cast<double>(makespan) * config_.engines);
+  return result;
+}
+
+ClosedLoopResult RunDeviceFleet(const CdpuConfig& config, uint32_t count, CdpuOp op,
+                                uint64_t requests, uint64_t bytes, double r,
+                                uint32_t threads) {
+  ClosedLoopResult total;
+  if (count == 0) {
+    return total;
+  }
+  CdpuDevice device(config);
+  uint32_t threads_per = std::max<uint32_t>(1, threads / count);
+  uint64_t requests_per = requests / count;
+  double weighted_latency = 0;
+  for (uint32_t d = 0; d < count; ++d) {
+    ClosedLoopResult r1 = device.RunClosedLoop(op, requests_per, bytes, r, threads_per);
+    total.gbps += r1.gbps;
+    total.makespan = std::max(total.makespan, r1.makespan);
+    total.requests += r1.requests;
+    weighted_latency += r1.mean_latency_ns * static_cast<double>(r1.requests);
+    total.engine_utilization += r1.engine_utilization;
+  }
+  total.mean_latency_ns =
+      total.requests == 0 ? 0 : weighted_latency / static_cast<double>(total.requests);
+  total.engine_utilization /= count;
+  return total;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,127 @@
+// Analytic device models for the four (de)compression engines in Table 1:
+// QAT 8970 (peripheral), QAT 4xxx (on-chip), DPZip (in-storage ASIC),
+// CSD 2000 (in-storage FPGA) — plus the CPU software "device".
+//
+// A request's end-to-end latency is composed the way Figure 10 draws it:
+//   submit (driver/API) -> descriptor+payload DMA in -> engine service
+//   [-> verify decompression] -> DMA out -> interrupt/completion.
+// Closed-loop throughput runs `threads` outstanding requests against the
+// engine pool (MultiServerQueue), reproducing the queue-depth ceilings of
+// Finding 6 and the placement-driven latency ordering of Finding 3/4.
+
+#ifndef SRC_HW_CDPU_DEVICE_H_
+#define SRC_HW_CDPU_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/hw/interconnect.h"
+#include "src/sim/queueing.h"
+#include "src/sim/sim_time.h"
+
+namespace cdpu {
+
+enum class Placement : uint8_t {
+  kCpuSoftware,
+  kPeripheral,
+  kOnChip,
+  kInStorage,
+};
+
+const char* PlacementName(Placement p);
+
+struct CdpuConfig {
+  std::string name;
+  Placement placement = Placement::kPeripheral;
+  std::string algorithm = "deflate";
+
+  uint32_t engines = 1;         // parallel engines (8970: 3 co-processors)
+  uint32_t queue_limit = 0;     // concurrency ceiling (QAT: 64); 0 = none
+  double compress_gbps = 2.0;   // per-engine streaming rate
+  double decompress_gbps = 4.0;
+  // Fixed engine time per request (context load, table init). This is what
+  // 64 KB chunks amortise better than 4 KB chunks (Finding 2).
+  double compress_setup_ns = 0;
+  double decompress_setup_ns = 0;
+
+  LinkConfig link;              // payload path to the engine
+  double submit_overhead_ns = 2000;    // driver enqueue + descriptor build
+  double complete_overhead_ns = 2000;  // interrupt + ISR + callback
+  // Extra single-request latency not on the throughput path (e.g. the
+  // 8970's two-pass descriptor chain for dynamic Deflate, which pipelines
+  // across requests but serialises within one).
+  double latency_extra_compress_ns = 0;
+  double latency_extra_decompress_ns = 0;
+  bool verify_after_compress = false;  // hardware verify pass (Finding 5)
+  double verify_gbps = 0.0;            // dedicated verify rate; 0 = use decompress_gbps
+
+  // Compute-throughput loss on incompressible data, in [0,1): the engine
+  // runs at (1 - penalty * r^2) of nominal where r is the data's achieved
+  // compression ratio (1 = incompressible). Figure 12.
+  double incompressible_compress_penalty = 0.0;
+  double incompressible_decompress_penalty = 0.0;
+
+  double active_power_w = 15.0;
+  double idle_power_w = 3.0;
+
+  // Aggregate compute cap across engines (memory bandwidth / shared
+  // back-end), 0 = none. Used by the CPU model and QAT 4xxx shared slices.
+  double aggregate_gbps_cap = 0.0;
+};
+
+enum class CdpuOp : uint8_t { kCompress, kDecompress };
+
+struct ClosedLoopResult {
+  double gbps = 0;                // payload bytes moved / makespan
+  SimNanos makespan = 0;
+  double mean_latency_ns = 0;     // submit-to-completion per request
+  double engine_utilization = 0;  // busy time / (engines * makespan)
+  uint64_t requests = 0;
+};
+
+class CdpuDevice {
+ public:
+  explicit CdpuDevice(const CdpuConfig& config);
+
+  const CdpuConfig& config() const { return config_; }
+
+  // Engine-only service time for one block whose data compresses to ratio
+  // `r` (compressed/original, 1 = incompressible).
+  SimNanos CompressServiceTime(uint64_t bytes, double r, uint32_t active_engines = 1) const;
+  SimNanos DecompressServiceTime(uint64_t bytes, double r, uint32_t active_engines = 1) const;
+
+  // Unloaded end-to-end request latency (Figure 8b/9b).
+  SimNanos RequestLatency(CdpuOp op, uint64_t bytes, double r) const;
+
+  // Per-stage breakdown of one request, the decomposition Figure 10 draws
+  // (and QAT telemetry reports in Figure 11).
+  struct RequestTrace {
+    SimNanos submit = 0;    // driver enqueue + descriptor build
+    SimNanos dma_in = 0;    // payload DMA to the engine
+    SimNanos service = 0;   // engine compute (incl. verify pass)
+    SimNanos dma_out = 0;   // result DMA back
+    SimNanos complete = 0;  // interrupt + ISR + callback (+ extra latency)
+    SimNanos total() const { return submit + dma_in + service + dma_out + complete; }
+  };
+  RequestTrace TraceRequest(CdpuOp op, uint64_t bytes, double r) const;
+
+  // Closed-loop run: `threads` clients each keep one request outstanding,
+  // `requests` total. Reproduces throughput plateaus and queue ceilings.
+  ClosedLoopResult RunClosedLoop(CdpuOp op, uint64_t requests, uint64_t bytes, double r,
+                                 uint32_t threads) const;
+
+ private:
+  double EffectiveEngineGbps(CdpuOp op, double r, uint32_t active_engines) const;
+
+  CdpuConfig config_;
+  Link link_;
+};
+
+// Aggregate throughput of `count` identical devices, clients split evenly
+// (Finding 14: multi-device scaling).
+ClosedLoopResult RunDeviceFleet(const CdpuConfig& config, uint32_t count, CdpuOp op,
+                                uint64_t requests, uint64_t bytes, double r, uint32_t threads);
+
+}  // namespace cdpu
+
+#endif  // SRC_HW_CDPU_DEVICE_H_

@@ -1,0 +1,70 @@
+// Stateful shared-device wrapper: a CdpuDevice plus a persistent engine
+// queue, so independent callers (database flush threads, filesystem
+// writeback, YCSB clients) contend for the same hardware like they do on
+// the real testbed. Calls must arrive in non-decreasing `arrival` order per
+// caller; cross-caller interleaving is handled by the queue.
+
+#ifndef SRC_HW_CDPU_QUEUE_H_
+#define SRC_HW_CDPU_QUEUE_H_
+
+#include <algorithm>
+
+#include "src/hw/cdpu_device.h"
+#include "src/sim/queueing.h"
+
+namespace cdpu {
+
+class CdpuQueue {
+ public:
+  explicit CdpuQueue(const CdpuConfig& config)
+      : device_(config), engines_(config.engines), link_(1) {}
+
+  // Submits one request; returns host-visible completion time.
+  SimNanos Submit(CdpuOp op, uint64_t bytes, double r, SimNanos arrival) {
+    const CdpuConfig& cfg = device_.config();
+    double rr = std::clamp(r, 0.05, 1.0);
+    uint64_t in_bytes =
+        op == CdpuOp::kCompress ? bytes : static_cast<uint64_t>(bytes * rr);
+    uint64_t out_bytes =
+        op == CdpuOp::kCompress ? static_cast<uint64_t>(bytes * rr) : bytes;
+    bool in_storage = cfg.placement == Placement::kInStorage;
+
+    SimNanos t = arrival + static_cast<SimNanos>(cfg.submit_overhead_ns);
+    if (!in_storage) {
+      Link l(cfg.link);
+      SimNanos occupancy = static_cast<SimNanos>(
+          static_cast<double>(std::max(in_bytes, out_bytes)) / l.EffectiveGbps());
+      ServiceOutcome lo = link_.Submit(t, occupancy);
+      t = std::max(t + l.TransferLatency(in_bytes), lo.completion - l.TransferLatency(out_bytes));
+    }
+    uint32_t active = device_.config().engines;
+    SimNanos service = op == CdpuOp::kCompress
+                           ? device_.CompressServiceTime(bytes, r, active)
+                           : device_.DecompressServiceTime(bytes, r, active);
+    ServiceOutcome eo = engines_.Submit(t, service);
+    t = eo.completion;
+    if (!in_storage) {
+      Link l(cfg.link);
+      t += l.TransferLatency(out_bytes);
+    }
+    t += static_cast<SimNanos>(cfg.complete_overhead_ns);
+    busy_ns_ += service;
+    ++requests_;
+    return t;
+  }
+
+  const CdpuConfig& config() const { return device_.config(); }
+  SimNanos busy_ns() const { return busy_ns_; }
+  uint64_t requests() const { return requests_; }
+
+ private:
+  CdpuDevice device_;
+  MultiServerQueue engines_;
+  MultiServerQueue link_;
+  SimNanos busy_ns_ = 0;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_HW_CDPU_QUEUE_H_

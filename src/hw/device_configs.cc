@@ -1,0 +1,151 @@
+#include "src/hw/device_configs.h"
+
+namespace cdpu {
+
+CdpuConfig Qat8970Config() {
+  CdpuConfig c;
+  c.name = "qat-8970";
+  c.placement = Placement::kPeripheral;
+  c.algorithm = "deflate";
+  c.engines = 3;  // the card enumerates as three co-processors (Figure 6)
+  c.queue_limit = 64;
+  c.compress_gbps = 2.9;       // per-engine streaming rate
+  c.compress_setup_ns = 700;   // 4 KB requests pay ~30% setup (Finding 2)
+  c.decompress_gbps = 5.0;     // aggregate becomes PCIe-limited (~7.6 GB/s)
+  c.decompress_setup_ns = 400;
+  c.verify_gbps = 20.0;        // verify path is a fixed-function check
+  c.link = Pcie3x16Link();
+  c.submit_overhead_ns = 5000;   // legacy driver stack + descriptor DMA
+  c.complete_overhead_ns = 3000;
+  // Compression runs a two-pass descriptor chain (header + body) that
+  // pipelines across requests but serialises within one: single-request
+  // compression latency sits ~2x above decompression (Figure 8b: 28/14 us).
+  c.latency_extra_compress_ns = 12000;
+  c.verify_after_compress = true;
+  c.incompressible_compress_penalty = 0.35;   // milder than 4xxx (Figure 12)
+  c.incompressible_decompress_penalty = 0.40;
+  c.active_power_w = 38.0;  // MSRP-class PCIe accelerator card
+  c.idle_power_w = 12.0;
+  return c;
+}
+
+CdpuConfig Qat4xxxConfig() {
+  CdpuConfig c;
+  c.name = "qat-4xxx";
+  c.placement = Placement::kOnChip;
+  c.algorithm = "deflate";
+  c.engines = 2;  // shared compression slices per device
+  c.queue_limit = 64;
+  c.compress_gbps = 4.85;      // raw slice rate; setup drags 4 KB to ~4.3 GB/s
+  c.compress_setup_ns = 700;
+  c.decompress_gbps = 10.0;    // 20 GB/s spec across two slices
+  c.decompress_setup_ns = 760; // 4 KB: ~7 GB/s; 64 KB: ~18 GB/s (Finding 2)
+  c.verify_gbps = 20.0;
+  c.link = CmiLink();
+  c.submit_overhead_ns = 3000;
+  c.complete_overhead_ns = 2500;
+  c.verify_after_compress = true;
+  c.incompressible_compress_penalty = 0.67;   // pronounced drop (Figure 12)
+  c.incompressible_decompress_penalty = 0.77;
+  c.active_power_w = 17.0;  // chiplet share of package power
+  c.idle_power_w = 2.0;
+  return c;
+}
+
+CdpuConfig DpzipCdpuConfig() {
+  CdpuConfig c;
+  c.name = "dpzip";
+  c.placement = Placement::kInStorage;
+  c.algorithm = "zstd-variant";
+  c.engines = 2;  // parallel (de)compression pipelines (§3.1)
+  c.queue_limit = 0;
+  // 8 B/cycle streaming plus per-page overhead: pipeline fill + the 3-stage
+  // Huffman canonicalisation (~274 cycles) + NVMe-side handling. 4 KB pages
+  // land near the paper's 5.6 GB/s; 64 KB chunks amortise to ~12.5 GB/s
+  // before the PCIe 5.0 x4 link caps the drive (Finding 14).
+  c.compress_gbps = 16.0;
+  c.compress_setup_ns = 1000;
+  c.decompress_gbps = 16.0;
+  c.decompress_setup_ns = 600;
+  c.link = ChipletAxiLink();
+  c.submit_overhead_ns = 900;    // NVMe command handling inside the SSD
+  c.complete_overhead_ns = 700;
+  c.verify_after_compress = true;
+  c.verify_gbps = 13.6;  // second pipeline verifies at decompress rate
+  c.incompressible_compress_penalty = 0.12;   // Finding 5: within 15%
+  c.incompressible_decompress_penalty = 0.10;
+  c.active_power_w = 2.5;   // Finding 12
+  c.idle_power_w = 0.3;
+  return c;
+}
+
+CdpuConfig Csd2000CdpuConfig() {
+  CdpuConfig c;
+  c.name = "csd-2000";
+  c.placement = Placement::kInStorage;
+  c.algorithm = "gzip";
+  c.engines = 1;
+  c.queue_limit = 8;         // constrained FPGA processing resources
+  c.compress_gbps = 2.5;     // 20 Gbps spec
+  c.decompress_gbps = 3.0;   // 24 Gbps spec
+  c.link = FpgaAxiLink();
+  c.submit_overhead_ns = 2000;
+  c.complete_overhead_ns = 2000;
+  c.verify_after_compress = false;
+  c.incompressible_compress_penalty = 0.30;
+  c.incompressible_decompress_penalty = 0.30;
+  c.active_power_w = 12.0;
+  c.idle_power_w = 4.0;
+  return c;
+}
+
+CdpuConfig CpuSoftwareConfig(const std::string& algorithm, uint32_t threads) {
+  CdpuConfig c;
+  c.name = "cpu-" + algorithm;
+  c.placement = Placement::kCpuSoftware;
+  c.algorithm = algorithm;
+  c.engines = threads;
+  c.queue_limit = 0;
+  // Per-thread speeds from the paper's single-request latencies; aggregate
+  // caps from its 88-thread throughputs (memory bandwidth and SMT sharing).
+  // Per-thread service = setup + bytes/rate, fitted so 4 KB latency matches
+  // the paper's Figure 8b and 64 KB throughput gains ~30% (Finding 2).
+  if (algorithm == "deflate") {
+    c.compress_setup_ns = 17300;           // 70 us per 4 KB page
+    c.compress_gbps = 4096.0 / 52700.0;
+    c.decompress_setup_ns = 4900;          // ~20 us per 4 KB page
+    c.decompress_gbps = 4096.0 / 15100.0;
+    c.aggregate_gbps_cap = 13.6;
+  } else if (algorithm == "zstd") {
+    c.compress_setup_ns = 3000;            // 20.4 us per 4 KB page
+    c.compress_gbps = 4096.0 / 17400.0;
+    c.decompress_setup_ns = 1100;          // 7.4 us per 4 KB page
+    c.decompress_gbps = 4096.0 / 6300.0;
+    c.aggregate_gbps_cap = 15.0;
+  } else if (algorithm == "snappy") {
+    c.compress_setup_ns = 1300;            // 8.9 us per 4 KB page
+    c.compress_gbps = 4096.0 / 7600.0;
+    c.decompress_setup_ns = 570;           // 3.8 us per 4 KB page
+    c.decompress_gbps = 4096.0 / 3230.0;
+    c.aggregate_gbps_cap = 22.8;
+  } else {  // lz4 and other lightweight codecs
+    c.compress_setup_ns = 1100;
+    c.compress_gbps = 4096.0 / 6400.0;
+    c.decompress_setup_ns = 450;
+    c.decompress_gbps = 4096.0 / 2550.0;
+    c.aggregate_gbps_cap = 24.0;
+  }
+  c.link = LinkConfig{"memory", /*setup_ns=*/0, /*gbps=*/100.0, false, 0.0, 1.0};
+  c.submit_overhead_ns = 150;    // function call + scheduling
+  c.complete_overhead_ns = 150;
+  c.verify_after_compress = false;
+  // Software slows down on incompressible data too (deeper searches), but
+  // bounded by early-exit heuristics.
+  c.incompressible_compress_penalty = 0.25;
+  c.incompressible_decompress_penalty = 0.10;
+  c.active_power_w = 132.0;  // fully-loaded socket share (Finding 12)
+  c.idle_power_w = 30.0;
+  return c;
+}
+
+}  // namespace cdpu

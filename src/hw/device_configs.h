@@ -1,0 +1,42 @@
+// Preset CdpuConfigs for the five compression engines in the paper's
+// testbed (Table 1), calibrated so the analytic models reproduce the
+// *shape* of Figures 8/9 (throughput/latency ordering and rough
+// magnitudes at 4 KB / 64 KB granularity):
+//
+//   CPU Deflate (88 thr): 4.9 / 13.6 GB/s, ~70 us compress latency
+//   QAT 8970 (peripheral): 5.1 / 7.6 GB/s, 28 / 14 us
+//   QAT 4xxx (on-chip):    4.3 / 7.0 GB/s,  9 /  6 us
+//   DPZip (in-storage):    5.6 / 9.4 GB/s, 4.7 / 2.6 us
+//   CSD 2000 (in-storage FPGA): 2.5 / 3.0 GB/s spec, degrades under load
+
+#ifndef SRC_HW_DEVICE_CONFIGS_H_
+#define SRC_HW_DEVICE_CONFIGS_H_
+
+#include "src/hw/cdpu_device.h"
+
+namespace cdpu {
+
+// Intel QAT 8970 PCIe card: three co-processor engines behind PCIe 3.0 x16,
+// hardware verify pass, 64-entry concurrency ceiling.
+CdpuConfig Qat8970Config();
+
+// Intel QAT 4xxx on-CPU chiplet: CMI/DDIO attach, low DMA latency, shared
+// back-end slices; steep degradation on incompressible data (Figure 12).
+CdpuConfig Qat4xxxConfig();
+
+// DPZip engine inside DP-CSD: in-storage placement (no host DMA on the
+// compression path), pipeline-model service rates, robust to data patterns.
+CdpuConfig DpzipCdpuConfig();
+
+// ScaleFlux CSD 2000: in-storage FPGA engine on a ~2.5 GB/s internal AXI,
+// PCIe 3.0 x4 host link; collapses under high concurrency (Finding 7).
+CdpuConfig Csd2000CdpuConfig();
+
+// CPU software compression: `threads` engines, per-thread speed and an
+// aggregate memory-bandwidth-style cap taken from the paper's measurements.
+// `algorithm` in {"deflate", "zstd", "snappy", "lz4"}.
+CdpuConfig CpuSoftwareConfig(const std::string& algorithm, uint32_t threads = 88);
+
+}  // namespace cdpu
+
+#endif  // SRC_HW_DEVICE_CONFIGS_H_

@@ -1,0 +1,56 @@
+// Interconnect models for the four CDPU attachment points the paper studies
+// (Figure 1 / Table 1): PCIe 3.0 x16 (QAT 8970 peripheral card), CMI with
+// DDIO (QAT 4xxx on-chip chiplet), PCIe 5.0 x4 + chiplet AXI (DP-CSD), and
+// the CSD 2000's internal FPGA AXI.
+//
+// A transfer is charged setup + payload/bandwidth. DDIO-capable links model
+// LLC-hit DMA (Figure 10): descriptor and payload reads bypass DRAM, which
+// is where the 4xxx's 448 ns / 64 KB reads come from versus the 8970's
+// ~70x-slower PCIe CMB-style reads (Figure 11a).
+
+#ifndef SRC_HW_INTERCONNECT_H_
+#define SRC_HW_INTERCONNECT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/sim_time.h"
+
+namespace cdpu {
+
+struct LinkConfig {
+  std::string name;
+  double setup_ns = 500;     // per-transfer DMA/doorbell setup
+  double gbps = 8.0;         // sustained payload bandwidth (GB/s = B/ns)
+  bool ddio = false;         // LLC-direct placement (on-chip only)
+  double llc_hit_rate = 0.9; // fraction of DDIO transfers hitting LLC
+  double llc_speedup = 4.0;  // bandwidth multiplier on an LLC hit
+};
+
+class Link {
+ public:
+  explicit Link(const LinkConfig& config) : config_(config) {}
+
+  // Latency to move `bytes` across the link, including setup.
+  SimNanos TransferLatency(uint64_t bytes) const;
+
+  // Steady-state bandwidth in GB/s (DDIO-weighted).
+  double EffectiveGbps() const;
+
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  LinkConfig config_;
+};
+
+// Table 1 presets.
+LinkConfig Pcie3x16Link();    // QAT 8970
+LinkConfig Pcie3x4Link();     // CSD 2000 host link
+LinkConfig Pcie5x4Link();     // DP-CSD host link
+LinkConfig CmiLink();         // QAT 4xxx (cache-coherent mesh + DDIO)
+LinkConfig ChipletAxiLink();  // DPZip inside the SSD controller
+LinkConfig FpgaAxiLink();     // CSD 2000 internal FPGA attach (~2.5 GB/s)
+
+}  // namespace cdpu
+
+#endif  // SRC_HW_INTERCONNECT_H_

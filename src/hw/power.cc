@@ -1,0 +1,28 @@
+#include "src/hw/power.h"
+
+#include <algorithm>
+
+namespace cdpu {
+
+void EnergyMeter::AddDevice(const std::string& name, double active_w, double idle_w,
+                            SimNanos busy, SimNanos span) {
+  if (span == 0) {
+    return;
+  }
+  double util = std::clamp(static_cast<double>(busy) / static_cast<double>(span), 0.0, 1.0);
+  // Net contribution over idle: the device's idle draw is part of the
+  // server idle floor the methodology subtracts.
+  double net_w = (active_w - idle_w) * util;
+  double joules = net_w * ToSecondsF(span);
+  net_joules_ += joules;
+  breakdown_.push_back({name, net_w});
+}
+
+void EnergyMeter::AddCpu(double utilization, SimNanos span) {
+  double util = std::clamp(utilization, 0.0, 1.0);
+  double net_w = util * server_.cpu_core_active_w * server_.cores;
+  net_joules_ += net_w * ToSecondsF(span);
+  breakdown_.push_back({"cpu", net_w});
+}
+
+}  // namespace cdpu

@@ -1,0 +1,71 @@
+// Power and energy accounting (paper §5.4).
+//
+// The paper measures system power out-of-band via the BMC and reports
+//   net power = P_runtime - P_idle,   efficiency = throughput / net power.
+// We reproduce that arithmetic over modelled device wattages and measured
+// simulated throughput: each device contributes idle_w always and
+// (active_w - idle_w) scaled by utilisation while a workload runs; the CPU
+// contributes per-busy-core power.
+
+#ifndef SRC_HW_POWER_H_
+#define SRC_HW_POWER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+
+namespace cdpu {
+
+struct ServerPowerConfig {
+  double idle_server_w = 350.0;   // 2-socket server floor (fans, DRAM, ...)
+  double cpu_core_active_w = 3.0; // incremental watts per busy core
+  uint32_t cores = 88;
+};
+
+struct PowerSample {
+  std::string component;
+  double watts;
+};
+
+// Accumulates energy over a simulated run.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(const ServerPowerConfig& server = {}) : server_(server) {}
+
+  // Device with `active_w`/`idle_w` busy for `busy` out of `span`.
+  void AddDevice(const std::string& name, double active_w, double idle_w, SimNanos busy,
+                 SimNanos span);
+
+  // CPU contribution: `busy_core_seconds` = sum over cores of busy time.
+  void AddCpu(double utilization /*0..1 of all cores*/, SimNanos span);
+
+  // Net energy in joules (excludes the idle server floor, matching the
+  // paper's P_runtime - P_idle methodology).
+  double NetJoules() const { return net_joules_; }
+
+  // Average net power over `span` (watts).
+  double NetWatts(SimNanos span) const {
+    return span == 0 ? 0.0 : net_joules_ / ToSecondsF(span);
+  }
+
+  // Efficiency helpers.
+  static double MbPerJoule(uint64_t bytes, double joules) {
+    return joules <= 0 ? 0.0 : static_cast<double>(bytes) / 1e6 / joules;
+  }
+  static double OpsPerJoule(uint64_t ops, double joules) {
+    return joules <= 0 ? 0.0 : static_cast<double>(ops) / joules;
+  }
+
+  const std::vector<PowerSample>& breakdown() const { return breakdown_; }
+
+ private:
+  ServerPowerConfig server_;
+  double net_joules_ = 0.0;
+  std::vector<PowerSample> breakdown_;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_HW_POWER_H_

@@ -1,0 +1,91 @@
+// LRU block cache (the RocksDB block cache): caches decompressed SSTable
+// data blocks so hot zipfian reads are served from memory instead of flash.
+// Keys are (table identity, block index); capacity is in data bytes.
+
+#ifndef SRC_KV_BLOCK_CACHE_H_
+#define SRC_KV_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kv/skiplist.h"
+
+namespace cdpu {
+
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes = 8 * 1024 * 1024)
+      : capacity_(capacity_bytes) {}
+
+  using Key = uint64_t;
+
+  static Key MakeKey(const void* table, size_t block_index) {
+    return (reinterpret_cast<uint64_t>(table) << 16) ^ static_cast<uint64_t>(block_index);
+  }
+
+  // Returns the cached block or nullptr.
+  const std::vector<Skiplist::Entry>* Get(Key key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return &it->second.entries;
+  }
+
+  void Insert(Key key, std::vector<Skiplist::Entry> entries, size_t bytes) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      return;  // already cached
+    }
+    lru_.push_front(key);
+    map_[key] = Slot{std::move(entries), bytes, lru_.begin()};
+    used_ += bytes;
+    while (used_ > capacity_ && !lru_.empty()) {
+      Key victim = lru_.back();
+      lru_.pop_back();
+      auto vit = map_.find(victim);
+      used_ -= vit->second.bytes;
+      map_.erase(vit);
+    }
+  }
+
+  // Drops every block of `table` (called when compaction releases it).
+  void EraseTable(const void* table, size_t block_count) {
+    for (size_t b = 0; b < block_count; ++b) {
+      auto it = map_.find(MakeKey(table, b));
+      if (it != map_.end()) {
+        used_ -= it->second.bytes;
+        lru_.erase(it->second.lru_pos);
+        map_.erase(it);
+      }
+    }
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t used_bytes() const { return used_; }
+
+ private:
+  struct Slot {
+    std::vector<Skiplist::Entry> entries;
+    size_t bytes;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  size_t capacity_;
+  size_t used_ = 0;
+  std::list<Key> lru_;
+  std::unordered_map<Key, Slot> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_KV_BLOCK_CACHE_H_

@@ -1,0 +1,49 @@
+#include "src/kv/bloom.h"
+
+#include <algorithm>
+
+namespace cdpu {
+
+BloomFilter::BloomFilter(size_t expected_keys, uint32_t bits_per_key) {
+  size_t bits = std::max<size_t>(64, expected_keys * bits_per_key);
+  bits_.assign((bits + 7) / 8, 0);
+  // k = ln2 * bits/keys, clamped to a sane range.
+  probes_ = std::clamp<uint32_t>(static_cast<uint32_t>(bits_per_key * 0.69), 1, 12);
+}
+
+uint64_t BloomFilter::Hash(const std::string& key) {
+  // FNV-1a 64.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void BloomFilter::Add(const std::string& key) {
+  uint64_t h = Hash(key);
+  uint64_t delta = (h >> 33) | (h << 31);  // double hashing
+  size_t nbits = bits_.size() * 8;
+  for (uint32_t i = 0; i < probes_; ++i) {
+    size_t bit = h % nbits;
+    bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    h += delta;
+  }
+}
+
+bool BloomFilter::MayContain(const std::string& key) const {
+  uint64_t h = Hash(key);
+  uint64_t delta = (h >> 33) | (h << 31);
+  size_t nbits = bits_.size() * 8;
+  for (uint32_t i = 0; i < probes_; ++i) {
+    size_t bit = h % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) {
+      return false;
+    }
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,32 @@
+// Bloom filter over SSTable keys (RocksDB-style, double hashing), ~10 bits
+// per key for a ~1% false-positive rate.
+
+#ifndef SRC_KV_BLOOM_H_
+#define SRC_KV_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdpu {
+
+class BloomFilter {
+ public:
+  // `expected_keys` sizes the bit array at bits_per_key bits each.
+  explicit BloomFilter(size_t expected_keys, uint32_t bits_per_key = 10);
+
+  void Add(const std::string& key);
+  bool MayContain(const std::string& key) const;
+
+  size_t bit_count() const { return bits_.size() * 8; }
+
+ private:
+  static uint64_t Hash(const std::string& key);
+
+  std::vector<uint8_t> bits_;
+  uint32_t probes_;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_KV_BLOOM_H_

@@ -1,0 +1,399 @@
+#include "src/kv/lsm.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cdpu {
+namespace {
+
+constexpr double kMemtableInsertNs = 800;  // skiplist insert + WAL append
+
+}  // namespace
+
+LsmDb::LsmDb(const LsmConfig& config, SimSsd* ssd, KvCompressionBackend backend)
+    : config_(config), ssd_(ssd), backend_(std::move(backend)),
+      memtable_(std::make_unique<Skiplist>()) {
+  if (config_.block_cache_bytes > 0) {
+    cache_ = std::make_unique<BlockCache>(config_.block_cache_bytes);
+  }
+  build_ctx_.ssd = ssd_;
+  build_ctx_.lpns = &lpns_;
+  build_ctx_.backend = &backend_;
+  build_ctx_.cache = cache_.get();
+  build_ctx_.block_bytes = config_.block_bytes;
+  levels_.resize(static_cast<size_t>(config_.max_levels));
+}
+
+Result<SimNanos> LsmDb::Put(const std::string& key, const std::string& value,
+                            SimNanos arrival) {
+  ++stats_.puts;
+  return WriteEntry(key, value, false, arrival);
+}
+
+Result<SimNanos> LsmDb::Delete(const std::string& key, SimNanos arrival) {
+  return WriteEntry(key, "", true, arrival);
+}
+
+Result<SimNanos> LsmDb::WriteEntry(const std::string& key, const std::string& value,
+                                   bool tombstone, SimNanos arrival) {
+  memtable_->Put(key, value, tombstone);
+  SimNanos t = arrival + static_cast<SimNanos>(kMemtableInsertNs);
+
+  if (memtable_->approximate_bytes() >= config_.memtable_bytes) {
+    // Synchronous flush: the writer stalls until the SSTable (and its
+    // compression) lands — the coupling Figure 14 measures.
+    std::vector<Skiplist::Entry> entries = memtable_->Drain();
+    memtable_ = std::make_unique<Skiplist>();
+    std::vector<TablePtr> tables;
+    SimNanos flush_done = t;
+    CDPU_RETURN_IF_ERROR(BuildTables(entries, t, &tables, &flush_done));
+    for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
+      l0_.insert(l0_.begin(), *it);  // newest first
+    }
+    ++stats_.flushes;
+    t = flush_done;
+    CDPU_RETURN_IF_ERROR(MaybeCompact(t));
+  }
+  return t;
+}
+
+Status LsmDb::BuildTables(const std::vector<Skiplist::Entry>& entries, SimNanos arrival,
+                          std::vector<TablePtr>* out, SimNanos* completion) {
+  if (entries.empty()) {
+    return Status::Ok();
+  }
+  SimNanos done = arrival;
+  std::vector<Skiplist::Entry> chunk;
+  size_t chunk_bytes = 0;
+  auto emit = [&]() -> Status {
+    if (chunk.empty()) {
+      return Status::Ok();
+    }
+    Result<SsTable::BuildOutcome> b = SsTable::Build(chunk, build_ctx_, arrival);
+    if (!b.ok()) {
+      return b.status();
+    }
+    out->push_back(b->table);
+    done = std::max(done, b->completion);
+    ++stats_.tables_built;
+    chunk.clear();
+    chunk_bytes = 0;
+    return Status::Ok();
+  };
+  for (const Skiplist::Entry& e : entries) {
+    chunk.push_back(e);
+    chunk_bytes += e.key.size() + e.value.size() + 8;
+    if (chunk_bytes >= config_.sstable_data_bytes) {
+      CDPU_RETURN_IF_ERROR(emit());
+    }
+  }
+  CDPU_RETURN_IF_ERROR(emit());
+  *completion = done;
+  return Status::Ok();
+}
+
+Status LsmDb::MaybeCompact(SimNanos arrival) {
+  if (l0_.size() >= static_cast<size_t>(config_.l0_compaction_trigger)) {
+    CDPU_RETURN_IF_ERROR(CompactL0(arrival));
+  }
+  uint64_t budget = config_.level1_bytes;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    uint64_t bytes = 0;
+    for (const TablePtr& t : levels_[level]) {
+      bytes += t->file_bytes();
+    }
+    if (bytes > budget) {
+      CDPU_RETURN_IF_ERROR(CompactLevel(level, arrival));
+    }
+    budget = static_cast<uint64_t>(static_cast<double>(budget) * config_.level_multiplier);
+  }
+  return Status::Ok();
+}
+
+Status LsmDb::CompactL0(SimNanos arrival) {
+  ++stats_.compactions;
+  // Merge all of L0 with every overlapping L1 table. L0 tables overlap each
+  // other, so the whole tier merges at once (RocksDB L0->L1).
+  std::map<std::string, Skiplist::Entry> merged;  // oldest first, newer wins
+
+  std::vector<TablePtr> inputs;
+  std::string lo;
+  std::string hi;
+  for (const TablePtr& t : l0_) {
+    lo = lo.empty() ? t->first_key() : std::min(lo, t->first_key());
+    hi = hi.empty() ? t->last_key() : std::max(hi, t->last_key());
+  }
+  std::vector<TablePtr> l1_keep;
+  for (const TablePtr& t : levels_[0]) {
+    if (t->last_key() < lo || t->first_key() > hi) {
+      l1_keep.push_back(t);
+    } else {
+      inputs.push_back(t);  // overlapping L1, oldest data
+    }
+  }
+  // Apply oldest -> newest so newer entries overwrite.
+  SimNanos t_read = arrival;
+  for (const TablePtr& t : inputs) {
+    SimNanos done = t_read;
+    Result<std::vector<Skiplist::Entry>> entries = t->ReadAll(t_read, &done);
+    if (!entries.ok()) {
+      return entries.status();
+    }
+    for (Skiplist::Entry& e : *entries) {
+      merged[e.key] = std::move(e);
+    }
+  }
+  for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {  // oldest L0 first
+    SimNanos done = t_read;
+    Result<std::vector<Skiplist::Entry>> entries = (*it)->ReadAll(t_read, &done);
+    if (!entries.ok()) {
+      return entries.status();
+    }
+    for (Skiplist::Entry& e : *entries) {
+      merged[e.key] = std::move(e);
+    }
+  }
+
+  std::vector<Skiplist::Entry> flat;
+  flat.reserve(merged.size());
+  bool bottom = true;
+  for (size_t l = 1; l < levels_.size(); ++l) {
+    if (!levels_[l].empty()) {
+      bottom = false;
+      break;
+    }
+  }
+  for (auto& [k, e] : merged) {
+    if (bottom && e.tombstone) {
+      continue;  // drop tombstones when nothing deeper can hold the key
+    }
+    flat.push_back(std::move(e));
+  }
+
+  std::vector<TablePtr> outputs;
+  SimNanos done = arrival;
+  if (!flat.empty()) {
+    CDPU_RETURN_IF_ERROR(BuildTables(flat, arrival, &outputs, &done));
+  }
+  for (const TablePtr& t : inputs) {
+    t->Release();
+  }
+  for (const TablePtr& t : l0_) {
+    t->Release();
+  }
+  l0_.clear();
+  l1_keep.insert(l1_keep.end(), outputs.begin(), outputs.end());
+  std::sort(l1_keep.begin(), l1_keep.end(),
+            [](const TablePtr& a, const TablePtr& b) { return a->first_key() < b->first_key(); });
+  levels_[0] = std::move(l1_keep);
+  return Status::Ok();
+}
+
+Status LsmDb::CompactLevel(size_t level, SimNanos arrival) {
+  if (levels_[level].empty() || level + 1 >= levels_.size()) {
+    return Status::Ok();
+  }
+  ++stats_.compactions;
+  // Move one table (round-robin by key order: pick the first) down a level,
+  // merging with overlapping tables there.
+  TablePtr victim = levels_[level].front();
+  levels_[level].erase(levels_[level].begin());
+
+  std::vector<TablePtr> next_keep;
+  std::vector<TablePtr> overlapping;
+  for (const TablePtr& t : levels_[level + 1]) {
+    if (t->last_key() < victim->first_key() || t->first_key() > victim->last_key()) {
+      next_keep.push_back(t);
+    } else {
+      overlapping.push_back(t);
+    }
+  }
+
+  std::map<std::string, Skiplist::Entry> merged;
+  SimNanos done = arrival;
+  for (const TablePtr& t : overlapping) {  // older data first
+    Result<std::vector<Skiplist::Entry>> entries = t->ReadAll(arrival, &done);
+    if (!entries.ok()) {
+      return entries.status();
+    }
+    for (Skiplist::Entry& e : *entries) {
+      merged[e.key] = std::move(e);
+    }
+  }
+  {
+    Result<std::vector<Skiplist::Entry>> entries = victim->ReadAll(arrival, &done);
+    if (!entries.ok()) {
+      return entries.status();
+    }
+    for (Skiplist::Entry& e : *entries) {
+      merged[e.key] = std::move(e);
+    }
+  }
+
+  bool bottom = true;
+  for (size_t l = level + 2; l < levels_.size(); ++l) {
+    if (!levels_[l].empty()) {
+      bottom = false;
+      break;
+    }
+  }
+  std::vector<Skiplist::Entry> flat;
+  flat.reserve(merged.size());
+  for (auto& [k, e] : merged) {
+    if (bottom && e.tombstone) {
+      continue;
+    }
+    flat.push_back(std::move(e));
+  }
+
+  std::vector<TablePtr> outputs;
+  if (!flat.empty()) {
+    CDPU_RETURN_IF_ERROR(BuildTables(flat, arrival, &outputs, &done));
+  }
+  victim->Release();
+  for (const TablePtr& t : overlapping) {
+    t->Release();
+  }
+  next_keep.insert(next_keep.end(), outputs.begin(), outputs.end());
+  std::sort(next_keep.begin(), next_keep.end(),
+            [](const TablePtr& a, const TablePtr& b) { return a->first_key() < b->first_key(); });
+  levels_[level + 1] = std::move(next_keep);
+  return Status::Ok();
+}
+
+Result<LsmDb::GetOutcome> LsmDb::Get(const std::string& key, SimNanos arrival) {
+  ++stats_.gets;
+  GetOutcome out;
+  SimNanos t = arrival + static_cast<SimNanos>(kMemtableInsertNs / 2);
+
+  const Skiplist::Entry* m = memtable_->Get(key);
+  if (m != nullptr) {
+    out.found = !m->tombstone;
+    out.value = m->value;
+    out.completion = t;
+    return out;
+  }
+
+  auto probe = [&](const TablePtr& table) -> Result<bool> {
+    ++out.tables_probed;
+    Result<SsTable::GetOutcome> g = table->Get(key, t);
+    if (!g.ok()) {
+      return g.status();
+    }
+    t = g->completion;
+    out.pages_read += g->pages_read;
+    if (g->bloom_rejected) {
+      ++stats_.bloom_rejections;
+      return false;
+    }
+    if (g->pages_read > 0) {
+      ++stats_.data_blocks_read;
+    }
+    if (g->found) {
+      out.found = !g->tombstone;
+      out.value = g->value;
+      return true;
+    }
+    return false;
+  };
+
+  for (const TablePtr& table : l0_) {
+    if (key < table->first_key() || key > table->last_key()) {
+      continue;
+    }
+    Result<bool> hit = probe(table);
+    if (!hit.ok()) {
+      return hit.status();
+    }
+    if (*hit) {
+      out.completion = t;
+      return out;
+    }
+  }
+  for (const std::vector<TablePtr>& level : levels_) {
+    // Non-overlapping: binary search for the table covering `key`.
+    auto it = std::upper_bound(level.begin(), level.end(), key,
+                               [](const std::string& k, const TablePtr& tb) {
+                                 return k < tb->first_key();
+                               });
+    if (it == level.begin()) {
+      continue;
+    }
+    --it;
+    if (key > (*it)->last_key()) {
+      continue;
+    }
+    Result<bool> hit = probe(*it);
+    if (!hit.ok()) {
+      return hit.status();
+    }
+    if (*hit) {
+      out.completion = t;
+      return out;
+    }
+  }
+  out.completion = t;
+  return out;
+}
+
+Status LsmDb::FlushMemtable(SimNanos arrival) {
+  if (memtable_->empty()) {
+    return Status::Ok();
+  }
+  std::vector<Skiplist::Entry> entries = memtable_->Drain();
+  memtable_ = std::make_unique<Skiplist>();
+  std::vector<TablePtr> tables;
+  SimNanos done = arrival;
+  CDPU_RETURN_IF_ERROR(BuildTables(entries, arrival, &tables, &done));
+  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
+    l0_.insert(l0_.begin(), *it);
+  }
+  ++stats_.flushes;
+  return MaybeCompact(done);
+}
+
+int LsmDb::DepthUsed() const {
+  int depth = l0_.empty() ? 0 : 1;
+  for (const auto& level : levels_) {
+    if (!level.empty()) {
+      ++depth;
+    }
+  }
+  return depth;
+}
+
+uint64_t LsmDb::TotalFileBytes() const {
+  uint64_t total = 0;
+  for (const TablePtr& t : l0_) {
+    total += t->file_bytes();
+  }
+  for (const auto& level : levels_) {
+    for (const TablePtr& t : level) {
+      total += t->file_bytes();
+    }
+  }
+  return total;
+}
+
+uint64_t LsmDb::TotalDataBytes() const {
+  uint64_t total = 0;
+  for (const TablePtr& t : l0_) {
+    total += t->data_bytes();
+  }
+  for (const auto& level : levels_) {
+    for (const TablePtr& t : level) {
+      total += t->data_bytes();
+    }
+  }
+  return total;
+}
+
+size_t LsmDb::TableCount() const {
+  size_t count = l0_.size();
+  for (const auto& level : levels_) {
+    count += level.size();
+  }
+  return count;
+}
+
+}  // namespace cdpu

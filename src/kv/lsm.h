@@ -1,0 +1,105 @@
+// Leveled LSM-tree key-value store (the RocksDB stand-in for §5.3.1).
+//
+// Writes land in a skiplist memtable; full memtables flush to L0 SSTables
+// (the write path of Figure 13, where application-layer compression runs);
+// L0 reaching its trigger merges into L1, and oversized levels push one
+// table at a time into the next level. Point reads check the memtable, then
+// L0 newest-first, then one range-matching table per deeper level, with
+// bloom filters short-circuiting misses.
+//
+// Timing: Put returns after the memtable insert, plus the flush it
+// triggered (synchronous flush couples compression speed to write
+// throughput, the effect Figure 14 measures). Compaction work advances the
+// shared device/SSD queues (contention) but is not added to any client's
+// completion time — RocksDB runs it in background threads, which is why the
+// paper observes compression placement effects on reads (Finding 8).
+
+#ifndef SRC_KV_LSM_H_
+#define SRC_KV_LSM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kv/sstable.h"
+
+namespace cdpu {
+
+struct LsmConfig {
+  size_t memtable_bytes = 256 * 1024;
+  size_t block_bytes = 4096;
+  size_t block_cache_bytes = 8 * 1024 * 1024;  // 0 disables the cache
+  size_t sstable_data_bytes = 512 * 1024;  // split runs into tables this size
+  int l0_compaction_trigger = 4;
+  uint64_t level1_bytes = 2 * 1024 * 1024;  // stored-file-byte budget for L1
+  double level_multiplier = 4.0;
+  int max_levels = 7;
+};
+
+struct LsmStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t tables_built = 0;
+  uint64_t bloom_rejections = 0;
+  uint64_t data_blocks_read = 0;
+};
+
+class LsmDb {
+ public:
+  LsmDb(const LsmConfig& config, SimSsd* ssd, KvCompressionBackend backend);
+
+  // Inserts; returns the host-visible completion time.
+  Result<SimNanos> Put(const std::string& key, const std::string& value, SimNanos arrival);
+  Result<SimNanos> Delete(const std::string& key, SimNanos arrival);
+
+  struct GetOutcome {
+    bool found = false;
+    std::string value;
+    SimNanos completion = 0;
+    uint32_t tables_probed = 0;
+    uint32_t pages_read = 0;
+  };
+  Result<GetOutcome> Get(const std::string& key, SimNanos arrival);
+
+  // Forces the memtable out (test/bench hook). No-op when empty.
+  Status FlushMemtable(SimNanos arrival);
+
+  // --- observability -------------------------------------------------------
+  const BlockCache* block_cache() const { return cache_.get(); }
+  int DepthUsed() const;            // number of non-empty levels (+ L0)
+  uint64_t TotalFileBytes() const;  // stored footprint after app compression
+  uint64_t TotalDataBytes() const;  // logical KV bytes in tables
+  size_t TableCount() const;
+  const LsmStats& stats() const { return stats_; }
+  const KvCompressionBackend& backend() const { return backend_; }
+
+ private:
+  using TablePtr = std::shared_ptr<SsTable>;
+
+  Result<SimNanos> WriteEntry(const std::string& key, const std::string& value,
+                              bool tombstone, SimNanos arrival);
+  // Builds tables of ~sstable_data_bytes from sorted entries.
+  Status BuildTables(const std::vector<Skiplist::Entry>& entries, SimNanos arrival,
+                     std::vector<TablePtr>* out, SimNanos* completion);
+  Status MaybeCompact(SimNanos arrival);
+  Status CompactL0(SimNanos arrival);
+  Status CompactLevel(size_t level, SimNanos arrival);
+
+  LsmConfig config_;
+  SimSsd* ssd_;
+  KvCompressionBackend backend_;
+  LpnAllocator lpns_;
+  std::unique_ptr<BlockCache> cache_;
+  SsTable::BuildContext build_ctx_;
+
+  std::unique_ptr<Skiplist> memtable_;
+  std::vector<TablePtr> l0_;                      // newest first
+  std::vector<std::vector<TablePtr>> levels_;     // L1.. sorted by first_key
+  LsmStats stats_;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_KV_LSM_H_

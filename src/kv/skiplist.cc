@@ -1,0 +1,76 @@
+#include "src/kv/skiplist.h"
+
+namespace cdpu {
+
+int Skiplist::RandomHeight() {
+  int h = 1;
+  while (h < kMaxHeight && (rng_.Next() & 3) == 0) {  // p = 1/4
+    ++h;
+  }
+  return h;
+}
+
+Skiplist::Node* Skiplist::FindGreaterOrEqual(const std::string& key, Node** prev) const {
+  Node* x = head_.get();
+  int level = height_ - 1;
+  for (;;) {
+    Node* next = x->next[level];
+    if (next != nullptr && next->entry.key < key) {
+      x = next;
+    } else {
+      if (prev != nullptr) {
+        prev[level] = x;
+      }
+      if (level == 0) {
+        return next;
+      }
+      --level;
+    }
+  }
+}
+
+void Skiplist::Put(const std::string& key, const std::string& value, bool tombstone) {
+  Node* prev[kMaxHeight];
+  for (int i = 0; i < kMaxHeight; ++i) {
+    prev[i] = head_.get();
+  }
+  Node* existing = FindGreaterOrEqual(key, prev);
+  if (existing != nullptr && existing->entry.key == key) {
+    bytes_ += value.size() - existing->entry.value.size();
+    existing->entry.value = value;
+    existing->entry.tombstone = tombstone;
+    return;
+  }
+
+  int h = RandomHeight();
+  if (h > height_) {
+    height_ = h;
+  }
+  nodes_.push_back(std::make_unique<Node>(key, value, tombstone, h));
+  Node* node = nodes_.back().get();
+  for (int i = 0; i < h; ++i) {
+    node->next[i] = prev[i]->next[i];
+    prev[i]->next[i] = node;
+  }
+  ++count_;
+  bytes_ += key.size() + value.size() + 24;
+}
+
+const Skiplist::Entry* Skiplist::Get(const std::string& key) const {
+  Node* node = FindGreaterOrEqual(key, nullptr);
+  if (node != nullptr && node->entry.key == key) {
+    return &node->entry;
+  }
+  return nullptr;
+}
+
+std::vector<Skiplist::Entry> Skiplist::Drain() const {
+  std::vector<Entry> out;
+  out.reserve(count_);
+  for (Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+    out.push_back(n->entry);
+  }
+  return out;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,64 @@
+// Skiplist memtable (the RocksDB default memtable structure). String keys
+// and values; a deletion is stored as a tombstone entry.
+
+#ifndef SRC_KV_SKIPLIST_H_
+#define SRC_KV_SKIPLIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace cdpu {
+
+class Skiplist {
+ public:
+  static constexpr int kMaxHeight = 12;
+
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool tombstone;
+  };
+
+  Skiplist() : rng_(0x5eed), head_(new Node("", "", false, kMaxHeight)) {}
+
+  // Inserts or overwrites `key`.
+  void Put(const std::string& key, const std::string& value, bool tombstone = false);
+
+  // Returns the entry if present (including tombstones).
+  const Entry* Get(const std::string& key) const;
+
+  // In-order entries for flushing.
+  std::vector<Entry> Drain() const;
+
+  size_t entry_count() const { return count_; }
+  size_t approximate_bytes() const { return bytes_; }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  struct Node {
+    Entry entry;
+    std::vector<Node*> next;
+
+    Node(std::string k, std::string v, bool tomb, int height)
+        : entry{std::move(k), std::move(v), tomb}, next(height, nullptr) {}
+  };
+
+  int RandomHeight();
+  Node* FindGreaterOrEqual(const std::string& key, Node** prev) const;
+
+  Rng rng_;
+  std::unique_ptr<Node> head_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  int height_ = 1;
+  size_t count_ = 0;
+  size_t bytes_ = 0;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_KV_SKIPLIST_H_

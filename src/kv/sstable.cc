@@ -1,0 +1,254 @@
+#include "src/kv/sstable.h"
+
+#include <algorithm>
+
+#include "src/common/varint.h"
+
+namespace cdpu {
+namespace {
+
+void AppendEntry(ByteVec* buf, const Skiplist::Entry& e) {
+  PutVarint32(buf, static_cast<uint32_t>(e.key.size()));
+  PutVarint32(buf, static_cast<uint32_t>(e.value.size()));
+  buf->push_back(e.tombstone ? 1 : 0);
+  buf->insert(buf->end(), e.key.begin(), e.key.end());
+  buf->insert(buf->end(), e.value.begin(), e.value.end());
+}
+
+Status ParseEntries(ByteSpan data, std::vector<Skiplist::Entry>* out) {
+  size_t pos = 0;
+  while (pos < data.size()) {
+    std::optional<uint32_t> klen = GetVarint32(data, &pos);
+    std::optional<uint32_t> vlen = GetVarint32(data, &pos);
+    if (!klen.has_value() || !vlen.has_value() || pos >= data.size()) {
+      return Status::CorruptData("sstable: bad entry header");
+    }
+    bool tomb = data[pos++] != 0;
+    if (pos + *klen + *vlen > data.size()) {
+      return Status::CorruptData("sstable: entry past block end");
+    }
+    Skiplist::Entry e;
+    e.key.assign(reinterpret_cast<const char*>(data.data() + pos), *klen);
+    pos += *klen;
+    e.value.assign(reinterpret_cast<const char*>(data.data() + pos), *vlen);
+    pos += *vlen;
+    e.tombstone = tomb;
+    out->push_back(std::move(e));
+  }
+  return Status::Ok();
+}
+
+constexpr uint32_t kPageBytes = 4096;
+constexpr double kBloomCheckNs = 200;
+constexpr double kIndexSearchNs = 300;
+constexpr double kCacheHitNs = 900;  // block-cache lookup + memcpy
+
+}  // namespace
+
+Result<SsTable::BuildOutcome> SsTable::Build(const std::vector<Skiplist::Entry>& entries,
+                                             const BuildContext& ctx, SimNanos arrival) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("sstable: no entries");
+  }
+  auto table = std::make_shared<SsTable>();
+  table->ssd_ = ctx.ssd;
+  table->backend_ = ctx.backend;
+  table->cache_ = ctx.cache;
+  table->first_key_ = entries.front().key;
+  table->last_key_ = entries.back().key;
+  table->bloom_ = std::make_unique<BloomFilter>(entries.size());
+
+  ByteVec file;
+  ByteVec block;
+  std::string block_first = entries.front().key;
+  SimNanos compress_done = arrival;
+
+  auto close_block = [&]() -> Status {
+    if (block.empty()) {
+      return Status::Ok();
+    }
+    BlockMeta meta;
+    meta.first_key = block_first;
+    meta.offset = file.size();
+    meta.usize = static_cast<uint32_t>(block.size());
+    table->data_bytes_ += block.size();
+
+    if (ctx.backend->codec != nullptr) {
+      ByteVec compressed;
+      Result<size_t> r = ctx.backend->codec->Compress(block, &compressed);
+      if (!r.ok()) {
+        return r.status();
+      }
+      if (compressed.size() < block.size()) {
+        meta.csize = static_cast<uint32_t>(compressed.size());
+        meta.compressed = true;
+        file.insert(file.end(), compressed.begin(), compressed.end());
+      } else {
+        meta.csize = meta.usize;
+        meta.compressed = false;
+        file.insert(file.end(), block.begin(), block.end());
+      }
+      if (ctx.backend->device != nullptr) {
+        double ratio = static_cast<double>(meta.csize) / meta.usize;
+        compress_done = std::max(
+            compress_done,
+            ctx.backend->device->Submit(CdpuOp::kCompress, meta.usize, ratio, arrival));
+      }
+    } else {
+      meta.csize = meta.usize;
+      meta.compressed = false;
+      file.insert(file.end(), block.begin(), block.end());
+    }
+    table->blocks_.push_back(std::move(meta));
+    block.clear();
+    return Status::Ok();
+  };
+
+  for (const Skiplist::Entry& e : entries) {
+    if (block.empty()) {
+      block_first = e.key;
+    }
+    table->bloom_->Add(e.key);
+    AppendEntry(&block, e);
+    if (block.size() >= ctx.block_bytes) {
+      CDPU_RETURN_IF_ERROR(close_block());
+    }
+  }
+  CDPU_RETURN_IF_ERROR(close_block());
+
+  table->file_bytes_ = file.size();
+  table->file_pages_ = (file.size() + kPageBytes - 1) / kPageBytes;
+  file.resize(table->file_pages_ * kPageBytes, 0);
+  table->base_lpn_ = ctx.lpns->Allocate(table->file_pages_);
+
+  Result<SsdIoResult> w = ctx.ssd->WriteMulti(table->base_lpn_, file, compress_done);
+  if (!w.ok()) {
+    return w.status();
+  }
+  return BuildOutcome{table, w->completion};
+}
+
+Result<std::vector<Skiplist::Entry>> SsTable::LoadBlock(const BlockMeta& meta, SimNanos arrival,
+                                                        SimNanos* completion) const {
+  uint64_t first_page = meta.offset / kPageBytes;
+  uint64_t last_page = (meta.offset + meta.csize - 1) / kPageBytes;
+  uint32_t pages = static_cast<uint32_t>(last_page - first_page + 1);
+
+  ByteVec raw;
+  Result<SsdIoResult> r =
+      ssd_->ReadMulti(base_lpn_ + first_page, pages, &raw, arrival);
+  if (!r.ok()) {
+    return r.status();
+  }
+  SimNanos t = r->completion;
+
+  size_t in_page_off = meta.offset % kPageBytes;
+  ByteSpan stored(raw.data() + in_page_off, meta.csize);
+  ByteVec plain;
+  if (meta.compressed) {
+    Result<size_t> d = backend_->codec->Decompress(stored, &plain);
+    if (!d.ok()) {
+      return d.status();
+    }
+    if (backend_->device != nullptr) {
+      double ratio = static_cast<double>(meta.csize) / meta.usize;
+      t = backend_->device->Submit(CdpuOp::kDecompress, meta.usize, ratio, t);
+    }
+  } else {
+    plain.assign(stored.begin(), stored.end());
+  }
+
+  std::vector<Skiplist::Entry> entries;
+  CDPU_RETURN_IF_ERROR(ParseEntries(plain, &entries));
+  *completion = t;
+  return entries;
+}
+
+Result<SsTable::GetOutcome> SsTable::Get(const std::string& key, SimNanos arrival) const {
+  GetOutcome out;
+  SimNanos t = arrival + static_cast<SimNanos>(kBloomCheckNs);
+  if (!bloom_->MayContain(key)) {
+    out.bloom_rejected = true;
+    out.completion = t;
+    return out;
+  }
+  t += static_cast<SimNanos>(kIndexSearchNs);
+
+  // Last block whose first_key <= key.
+  auto it = std::upper_bound(blocks_.begin(), blocks_.end(), key,
+                             [](const std::string& k, const BlockMeta& m) {
+                               return k < m.first_key;
+                             });
+  if (it == blocks_.begin()) {
+    out.completion = t;
+    return out;
+  }
+  --it;
+  size_t block_index = static_cast<size_t>(it - blocks_.begin());
+
+  // Block cache: hot blocks are served from memory (the RocksDB block
+  // cache), which is what keeps zipfian reads off the flash path.
+  const std::vector<Skiplist::Entry>* entries = nullptr;
+  std::vector<Skiplist::Entry> loaded;
+  SimNanos done = t;
+  if (cache_ != nullptr) {
+    entries = cache_->Get(BlockCache::MakeKey(this, block_index));
+  }
+  if (entries != nullptr) {
+    done = t + static_cast<SimNanos>(kCacheHitNs);
+  } else {
+    Result<std::vector<Skiplist::Entry>> r = LoadBlock(*it, t, &done);
+    if (!r.ok()) {
+      return r.status();
+    }
+    loaded = std::move(*r);
+    if (cache_ != nullptr) {
+      cache_->Insert(BlockCache::MakeKey(this, block_index), loaded, it->usize);
+    }
+    entries = &loaded;
+    uint64_t first_page = it->offset / kPageBytes;
+    uint64_t last_page = (it->offset + it->csize - 1) / kPageBytes;
+    out.pages_read = static_cast<uint32_t>(last_page - first_page + 1);
+  }
+  out.completion = done;
+
+  for (const Skiplist::Entry& e : *entries) {
+    if (e.key == key) {
+      out.found = true;
+      out.tombstone = e.tombstone;
+      out.value = e.value;
+      break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Skiplist::Entry>> SsTable::ReadAll(SimNanos arrival,
+                                                      SimNanos* completion) const {
+  std::vector<Skiplist::Entry> all;
+  SimNanos t = arrival;
+  for (const BlockMeta& meta : blocks_) {
+    SimNanos done = t;
+    Result<std::vector<Skiplist::Entry>> entries = LoadBlock(meta, t, &done);
+    if (!entries.ok()) {
+      return entries.status();
+    }
+    t = done;
+    all.insert(all.end(), entries->begin(), entries->end());
+  }
+  *completion = t;
+  return all;
+}
+
+void SsTable::Release() {
+  if (cache_ != nullptr) {
+    cache_->EraseTable(this, blocks_.size());
+  }
+  if (ssd_ != nullptr) {
+    for (uint64_t p = 0; p < file_pages_; ++p) {
+      ssd_->Trim(base_lpn_ + p);
+    }
+  }
+}
+
+}  // namespace cdpu

@@ -1,0 +1,118 @@
+// Block-based SSTable with a per-block compression hook (the RocksDB
+// structure of Figure 13): sorted entries are packed into ~4 KB blocks, each
+// block is compressed by the configured application-layer backend (CPU
+// Deflate or a QAT device) or stored uncompressed (OFF / DP-CSD-transparent),
+// and the concatenated file image is written to the simulated SSD.
+//
+// The in-memory index (first key + offset per block) and bloom filter follow
+// RocksDB; a point lookup bloom-checks, binary-searches the index, reads the
+// 1-2 flash pages covering the block's byte range, decompresses, and scans.
+
+#ifndef SRC_KV_SSTABLE_H_
+#define SRC_KV_SSTABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/codecs/codec.h"
+#include "src/hw/cdpu_queue.h"
+#include "src/kv/block_cache.h"
+#include "src/kv/bloom.h"
+#include "src/kv/skiplist.h"
+#include "src/ssd/scheme.h"
+#include "src/ssd/ssd.h"
+
+namespace cdpu {
+
+// Application-layer compression backend shared by all tables of a DB.
+using KvCompressionBackend = CompressionBackend;
+
+// Monotonic logical-page allocator for SSTable files on the shared SSD.
+struct LpnAllocator {
+  uint64_t next = 0;
+
+  uint64_t Allocate(uint64_t pages) {
+    uint64_t base = next;
+    next += pages;
+    return base;
+  }
+};
+
+class SsTable {
+ public:
+  struct BuildContext {
+    SimSsd* ssd;
+    LpnAllocator* lpns;
+    KvCompressionBackend* backend;
+    BlockCache* cache = nullptr;  // optional shared block cache
+    size_t block_bytes = 4096;
+  };
+
+  struct BuildOutcome {
+    std::shared_ptr<SsTable> table;
+    SimNanos completion;  // when the file image (incl. compression) landed
+  };
+
+  // Builds from sorted, de-duplicated entries. Entries must be non-empty.
+  static Result<BuildOutcome> Build(const std::vector<Skiplist::Entry>& entries,
+                                    const BuildContext& ctx, SimNanos arrival);
+
+  struct GetOutcome {
+    bool found = false;
+    bool tombstone = false;
+    std::string value;
+    SimNanos completion = 0;
+    uint32_t pages_read = 0;
+    bool bloom_rejected = false;
+  };
+
+  // Point lookup through the storage stack.
+  Result<GetOutcome> Get(const std::string& key, SimNanos arrival) const;
+
+  const std::string& first_key() const { return first_key_; }
+  const std::string& last_key() const { return last_key_; }
+  // Uncompressed KV payload bytes (logical size).
+  uint64_t data_bytes() const { return data_bytes_; }
+  // Stored file bytes after app-level compression (physical footprint on a
+  // plain SSD; DP-CSD compresses further, invisibly).
+  uint64_t file_bytes() const { return file_bytes_; }
+  uint64_t base_lpn() const { return base_lpn_; }
+  uint64_t file_pages() const { return file_pages_; }
+  size_t block_count() const { return blocks_.size(); }
+
+  // Re-reads every entry (for compaction merges). Charges SSD/device time;
+  // returns entries in key order.
+  Result<std::vector<Skiplist::Entry>> ReadAll(SimNanos arrival, SimNanos* completion) const;
+
+  // Releases the table's pages on the SSD.
+  void Release();
+
+ private:
+  struct BlockMeta {
+    std::string first_key;
+    uint64_t offset;   // byte offset within the file image
+    uint32_t csize;    // stored (possibly compressed) size
+    uint32_t usize;    // uncompressed size
+    bool compressed;
+  };
+
+  Result<std::vector<Skiplist::Entry>> LoadBlock(const BlockMeta& meta, SimNanos arrival,
+                                                 SimNanos* completion) const;
+
+  SimSsd* ssd_ = nullptr;
+  KvCompressionBackend* backend_ = nullptr;
+  BlockCache* cache_ = nullptr;
+  std::vector<BlockMeta> blocks_;
+  std::unique_ptr<BloomFilter> bloom_;
+  std::string first_key_;
+  std::string last_key_;
+  uint64_t base_lpn_ = 0;
+  uint64_t file_pages_ = 0;
+  uint64_t file_bytes_ = 0;
+  uint64_t data_bytes_ = 0;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_KV_SSTABLE_H_

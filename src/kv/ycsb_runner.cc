@@ -1,0 +1,96 @@
+#include "src/kv/ycsb_runner.h"
+
+#include <algorithm>
+
+#include "src/common/stats.h"
+
+namespace cdpu {
+
+Status YcsbLoad(LsmDb* db, const YcsbWorkload& workload, SimNanos* clock) {
+  SimNanos t = *clock;
+  for (uint64_t k = 0; k < workload.record_count(); ++k) {
+    std::vector<uint8_t> v = workload.MakeValue(k);
+    Result<SimNanos> w =
+        db->Put(YcsbWorkload::KeyString(k), std::string(v.begin(), v.end()), t);
+    if (!w.ok()) {
+      return w.status();
+    }
+    t = *w;
+  }
+  CDPU_RETURN_IF_ERROR(db->FlushMemtable(t));
+  *clock = t;
+  return Status::Ok();
+}
+
+Result<YcsbRunResult> YcsbRun(LsmDb* db, YcsbWorkload* workload, uint32_t threads,
+                              uint64_t total_ops, SimNanos start) {
+  YcsbRunResult result;
+  if (threads == 0 || total_ops == 0) {
+    return result;
+  }
+  std::vector<SimNanos> clock(threads, start);
+  SampleSet read_latencies;
+
+  for (uint64_t i = 0; i < total_ops; ++i) {
+    uint32_t tid = static_cast<uint32_t>(i % threads);
+    YcsbRequest req = workload->NextRequest();
+    std::string key = YcsbWorkload::KeyString(req.key);
+
+    switch (req.op) {
+      case YcsbOp::kRead: {
+        Result<LsmDb::GetOutcome> g = db->Get(key, clock[tid]);
+        if (!g.ok()) {
+          return g.status();
+        }
+        read_latencies.Add(static_cast<double>(g->completion - clock[tid]) / 1e3);
+        ++result.reads;
+        result.read_hits += g->found ? 1 : 0;
+        clock[tid] = g->completion;
+        break;
+      }
+      case YcsbOp::kUpdate:
+      case YcsbOp::kInsert: {
+        std::vector<uint8_t> v = workload->MakeValue(req.key);
+        Result<SimNanos> w = db->Put(key, std::string(v.begin(), v.end()), clock[tid]);
+        if (!w.ok()) {
+          return w.status();
+        }
+        clock[tid] = *w;
+        break;
+      }
+      case YcsbOp::kReadModifyWrite: {
+        Result<LsmDb::GetOutcome> g = db->Get(key, clock[tid]);
+        if (!g.ok()) {
+          return g.status();
+        }
+        read_latencies.Add(static_cast<double>(g->completion - clock[tid]) / 1e3);
+        ++result.reads;
+        result.read_hits += g->found ? 1 : 0;
+        std::vector<uint8_t> v = workload->MakeValue(req.key);
+        Result<SimNanos> w = db->Put(key, std::string(v.begin(), v.end()), g->completion);
+        if (!w.ok()) {
+          return w.status();
+        }
+        clock[tid] = *w;
+        break;
+      }
+    }
+    ++result.ops;
+  }
+
+  SimNanos end = start;
+  for (SimNanos t : clock) {
+    end = std::max(end, t);
+  }
+  result.makespan = end - start;
+  if (result.makespan > 0) {
+    result.kops = static_cast<double>(result.ops) / ToSecondsF(result.makespan) / 1e3;
+  }
+  if (!read_latencies.empty()) {
+    result.mean_read_latency_us = read_latencies.Mean();
+    result.p99_read_latency_us = read_latencies.Percentile(99);
+  }
+  return result;
+}
+
+}  // namespace cdpu

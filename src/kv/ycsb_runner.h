@@ -1,0 +1,36 @@
+// Multi-client YCSB driver over an LsmDb (paper §5.3.1, Figures 14/15/19).
+//
+// `threads` logical clients each keep one request outstanding against the
+// shared database; per-client simulated clocks advance with each operation's
+// completion time, and shared-resource contention (compression device
+// queues, NAND dies) emerges from the underlying models. Requests are issued
+// round-robin across clients so clocks advance together.
+
+#ifndef SRC_KV_YCSB_RUNNER_H_
+#define SRC_KV_YCSB_RUNNER_H_
+
+#include "src/kv/lsm.h"
+#include "src/workload/ycsb.h"
+
+namespace cdpu {
+
+struct YcsbRunResult {
+  uint64_t ops = 0;
+  uint64_t reads = 0;
+  uint64_t read_hits = 0;
+  SimNanos makespan = 0;
+  double kops = 0;                  // thousand operations per second
+  double mean_read_latency_us = 0;  // cold-ish read path latency
+  double p99_read_latency_us = 0;
+};
+
+// Loads `workload->record_count()` records (single client), then flushes.
+Status YcsbLoad(LsmDb* db, const YcsbWorkload& workload, SimNanos* clock);
+
+// Runs `total_ops` operations across `threads` clients starting at `start`.
+Result<YcsbRunResult> YcsbRun(LsmDb* db, YcsbWorkload* workload, uint32_t threads,
+                              uint64_t total_ops, SimNanos start);
+
+}  // namespace cdpu
+
+#endif  // SRC_KV_YCSB_RUNNER_H_

@@ -1,0 +1,71 @@
+// Minimal discrete-event simulator: a time-ordered queue of callbacks.
+// Ties are broken by insertion order so runs are fully deterministic.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+
+namespace cdpu {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  SimNanos now() const { return now_; }
+
+  // Schedules `fn` at absolute simulated time `at` (>= now).
+  void ScheduleAt(SimNanos at, Handler fn) {
+    events_.push(Event{at < now_ ? now_ : at, next_seq_++, std::move(fn)});
+  }
+
+  void ScheduleAfter(SimNanos delay, Handler fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  // Runs events until the queue is empty (or `until` is reached, if nonzero).
+  // Returns the number of events dispatched.
+  uint64_t Run(SimNanos until = 0) {
+    uint64_t dispatched = 0;
+    while (!events_.empty()) {
+      const Event& top = events_.top();
+      if (until != 0 && top.at > until) {
+        now_ = until;
+        break;
+      }
+      now_ = top.at;
+      Handler fn = std::move(const_cast<Event&>(top).fn);
+      events_.pop();
+      fn();
+      ++dispatched;
+    }
+    return dispatched;
+  }
+
+  bool empty() const { return events_.empty(); }
+
+ private:
+  struct Event {
+    SimNanos at;
+    uint64_t seq;
+    Handler fn;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  SimNanos now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

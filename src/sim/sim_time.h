@@ -1,0 +1,35 @@
+// Simulated time vocabulary. All device/interconnect models operate in
+// simulated nanoseconds (uint64), independent of wall-clock time.
+
+#ifndef SRC_SIM_SIM_TIME_H_
+#define SRC_SIM_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace cdpu {
+
+using SimNanos = uint64_t;
+
+constexpr SimNanos kNanosPerMicro = 1000;
+constexpr SimNanos kNanosPerMilli = 1000 * 1000;
+constexpr SimNanos kNanosPerSec = 1000ull * 1000 * 1000;
+
+constexpr SimNanos Micros(uint64_t us) { return us * kNanosPerMicro; }
+constexpr SimNanos Millis(uint64_t ms) { return ms * kNanosPerMilli; }
+constexpr SimNanos Seconds(uint64_t s) { return s * kNanosPerSec; }
+
+inline double ToMicrosF(SimNanos ns) { return static_cast<double>(ns) / 1e3; }
+inline double ToMillisF(SimNanos ns) { return static_cast<double>(ns) / 1e6; }
+inline double ToSecondsF(SimNanos ns) { return static_cast<double>(ns) / 1e9; }
+
+// Throughput helper: bytes moved over a simulated duration, in GB/s (1e9 B/s).
+inline double GbPerSec(uint64_t bytes, SimNanos elapsed) {
+  if (elapsed == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / static_cast<double>(elapsed);
+}
+
+}  // namespace cdpu
+
+#endif  // SRC_SIM_SIM_TIME_H_

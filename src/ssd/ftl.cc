@@ -1,0 +1,229 @@
+#include "src/ssd/ftl.h"
+
+#include <algorithm>
+
+namespace cdpu {
+
+CompressionFtl::CompressionFtl(const FtlConfig& config) : config_(config) {
+  uint64_t physical_pages = config_.nand.TotalPages();
+  if (config_.logical_pages == 0) {
+    config_.logical_pages = physical_pages * 9 / 10;  // 10% overprovisioning
+  }
+  l2p_.resize(config_.logical_pages);
+  page_residents_.resize(physical_pages);
+  uint64_t num_blocks = physical_pages / config_.nand.pages_per_block;
+  blocks_.resize(num_blocks);
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    free_list_.push_back(b);
+  }
+}
+
+Status CompressionFtl::EnsureOpenBlock() {
+  if (has_open_page_) {
+    return Status::Ok();
+  }
+  if (free_list_.empty()) {
+    return Status::ResourceExhausted("ftl: no free blocks");
+  }
+  open_block_ = free_list_.front();
+  free_list_.pop_front();
+  blocks_[open_block_].free = false;
+  blocks_[open_block_].open = true;
+  write_ppa_ = FirstPpaOf(open_block_);
+  write_offset_ = 0;
+  has_open_page_ = true;
+  return Status::Ok();
+}
+
+Status CompressionFtl::Append(uint64_t lpn, uint32_t len, bool page_aligned, Mapping* mapping,
+                              FtlWriteResult* result) {
+  uint32_t page_bytes = config_.nand.page_bytes;
+  CDPU_RETURN_IF_ERROR(EnsureOpenBlock());
+
+  if (page_aligned && write_offset_ > 0) {
+    // Close the partial page so the uncompressed page starts aligned.
+    result->programmed_pages.push_back(write_ppa_);
+    ++pages_programmed_;
+    if (write_ppa_ + 1 < FirstPpaOf(open_block_) + config_.nand.pages_per_block) {
+      ++write_ppa_;
+      write_offset_ = 0;
+    } else {
+      blocks_[open_block_].open = false;
+      has_open_page_ = false;
+      CDPU_RETURN_IF_ERROR(EnsureOpenBlock());
+    }
+  }
+
+  mapping->valid = true;
+  mapping->pieces = 0;
+  uint32_t remaining = len;
+  while (remaining > 0) {
+    CDPU_RETURN_IF_ERROR(EnsureOpenBlock());
+    uint32_t avail = page_bytes - write_offset_;
+    uint32_t take = std::min(avail, remaining);
+    if (mapping->pieces >= 2) {
+      return Status::Internal("ftl: segment split into more than two pieces");
+    }
+    SegmentLocation& seg = mapping->seg[mapping->pieces];
+    seg.ppa = write_ppa_;
+    seg.offset = write_offset_;
+    seg.len = take;
+    page_residents_[write_ppa_].push_back(Resident{lpn, write_offset_, take, mapping->pieces});
+    blocks_[open_block_].valid_bytes += take;
+    ++mapping->pieces;
+    write_offset_ += take;
+    remaining -= take;
+
+    if (write_offset_ == page_bytes) {
+      result->programmed_pages.push_back(write_ppa_);
+      ++pages_programmed_;
+      if (write_ppa_ + 1 < FirstPpaOf(open_block_) + config_.nand.pages_per_block) {
+        ++write_ppa_;
+        write_offset_ = 0;
+      } else {
+        blocks_[open_block_].open = false;
+        has_open_page_ = false;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void CompressionFtl::Invalidate(const Mapping& mapping) {
+  if (!mapping.valid) {
+    return;
+  }
+  for (uint8_t p = 0; p < mapping.pieces; ++p) {
+    const SegmentLocation& seg = mapping.seg[p];
+    blocks_[BlockOf(seg.ppa)].valid_bytes -= seg.len;
+    auto& residents = page_residents_[seg.ppa];
+    std::erase_if(residents, [&](const Resident& r) {
+      return r.offset == seg.offset && r.len == seg.len;
+    });
+  }
+}
+
+Result<FtlWriteResult> CompressionFtl::Write(uint64_t lpn, uint32_t stored_len) {
+  if (lpn >= config_.logical_pages) {
+    return Status::OutOfRange("ftl: lpn beyond exposed capacity");
+  }
+  uint32_t page_bytes = config_.nand.page_bytes;
+  if (stored_len == 0 || stored_len > page_bytes) {
+    return Status::InvalidArgument("ftl: stored length must be in (0, page]");
+  }
+
+  FtlWriteResult result;
+  host_bytes_ += page_bytes;
+  stored_bytes_ += stored_len;
+
+  Invalidate(l2p_[lpn]);
+  Mapping m;
+  CDPU_RETURN_IF_ERROR(Append(lpn, stored_len, stored_len == page_bytes, &m, &result));
+  l2p_[lpn] = m;
+  for (uint8_t p = 0; p < m.pieces; ++p) {
+    result.segments.push_back(m.seg[p]);
+  }
+  result.split = m.pieces > 1;
+
+  MaybeGc(&result);
+  return result;
+}
+
+Result<FtlReadResult> CompressionFtl::Read(uint64_t lpn) const {
+  if (lpn >= config_.logical_pages) {
+    return Status::OutOfRange("ftl: lpn beyond exposed capacity");
+  }
+  const Mapping& m = l2p_[lpn];
+  if (!m.valid) {
+    return Status::Unavailable("ftl: logical page never written");
+  }
+  FtlReadResult r;
+  for (uint8_t p = 0; p < m.pieces; ++p) {
+    r.segments.push_back(m.seg[p]);
+  }
+  return r;
+}
+
+std::vector<uint64_t> CompressionFtl::Flush() {
+  std::vector<uint64_t> programmed;
+  if (has_open_page_ && write_offset_ > 0) {
+    programmed.push_back(write_ppa_);
+    ++pages_programmed_;
+    if (write_ppa_ + 1 < FirstPpaOf(open_block_) + config_.nand.pages_per_block) {
+      ++write_ppa_;
+      write_offset_ = 0;
+    } else {
+      blocks_[open_block_].open = false;
+      has_open_page_ = false;
+    }
+  }
+  return programmed;
+}
+
+void CompressionFtl::Trim(uint64_t lpn) {
+  if (lpn >= config_.logical_pages) {
+    return;
+  }
+  Invalidate(l2p_[lpn]);
+  l2p_[lpn] = Mapping{};
+}
+
+void CompressionFtl::MaybeGc(FtlWriteResult* result) {
+  if (in_gc_ || free_list_.size() >= config_.gc_low_watermark) {
+    return;
+  }
+  in_gc_ = true;
+  uint64_t block_bytes =
+      static_cast<uint64_t>(config_.nand.pages_per_block) * config_.nand.page_bytes;
+
+  while (free_list_.size() < config_.gc_high_watermark) {
+    // Victim: sealed block with the least valid data.
+    uint64_t victim = blocks_.size();
+    uint64_t best_valid = block_bytes;
+    for (uint64_t b = 0; b < blocks_.size(); ++b) {
+      if (blocks_[b].free || blocks_[b].open) {
+        continue;
+      }
+      if (blocks_[b].valid_bytes < best_valid) {
+        best_valid = blocks_[b].valid_bytes;
+        victim = b;
+      }
+    }
+    if (victim == blocks_.size() || best_valid >= block_bytes) {
+      break;  // nothing reclaimable
+    }
+
+    // Relocate every live logical page touching the victim, whole-LPN at a
+    // time so the two-piece invariant is preserved (GC re-packs segments).
+    uint64_t first = FirstPpaOf(victim);
+    for (uint64_t ppa = first; ppa < first + config_.nand.pages_per_block; ++ppa) {
+      while (!page_residents_[ppa].empty()) {
+        uint64_t lpn = page_residents_[ppa].front().lpn;
+        const Mapping old = l2p_[lpn];
+        uint32_t stored_len = 0;
+        for (uint8_t p = 0; p < old.pieces; ++p) {
+          result->gc_read_pages.push_back(old.seg[p].ppa);
+          stored_len += old.seg[p].len;
+        }
+        Invalidate(old);
+        Mapping fresh;
+        Status st = Append(lpn, stored_len, stored_len == config_.nand.page_bytes, &fresh,
+                           result);
+        if (!st.ok()) {
+          in_gc_ = false;
+          return;  // out of space mid-GC; surface via later writes
+        }
+        l2p_[lpn] = fresh;
+        ++gc_relocations_;
+      }
+    }
+    blocks_[victim].free = true;
+    blocks_[victim].valid_bytes = 0;
+    free_list_.push_back(victim);
+    result->erased_blocks.push_back(victim);
+    ++gc_erases_;
+  }
+  in_gc_ = false;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,146 @@
+// Compression-aware log-structured FTL (paper §4.2, Figure 5).
+//
+// Host pages are compressed before flash write. Compressed segments are
+// packed into the open flash page; a segment that does not fit is split and
+// continued on the next page (at most two pieces for a 4 KB logical page).
+// Incompressible pages are stored uncompressed, page-aligned, to avoid
+// management overhead. The in-DRAM L2P table maps each logical page to its
+// segment location(s); obsolete locations are invalidated for GC. GC picks
+// the fullest-invalid block, relocates live segments through the normal
+// write path, and erases.
+//
+// The FTL is a placement/accounting engine: it decides *where* bytes go and
+// which NAND operations happen; the controller (ssd.h) charges their timing
+// and holds the actual data.
+
+#ifndef SRC_SSD_FTL_H_
+#define SRC_SSD_FTL_H_
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ssd/nand.h"
+
+namespace cdpu {
+
+struct FtlConfig {
+  NandConfig nand;
+  uint64_t logical_pages = 0;      // exposed capacity; 0 = physical * 0.9
+  uint32_t gc_low_watermark = 4;   // free blocks triggering GC
+  uint32_t gc_high_watermark = 8;  // GC target
+};
+
+struct SegmentLocation {
+  uint64_t ppa = 0;
+  uint32_t offset = 0;  // byte offset within the flash page
+  uint32_t len = 0;
+};
+
+struct FtlWriteResult {
+  // Where the logical page now lives (1 segment, or 2 when split).
+  std::vector<SegmentLocation> segments;
+  // Flash pages closed (programmed) by this write, including GC relocations.
+  std::vector<uint64_t> programmed_pages;
+  // Flash pages read by GC relocations triggered by this write.
+  std::vector<uint64_t> gc_read_pages;
+  // Blocks erased by GC.
+  std::vector<uint64_t> erased_blocks;
+  bool split = false;
+};
+
+struct FtlReadResult {
+  std::vector<SegmentLocation> segments;  // flash pages to read (1 or 2)
+};
+
+class CompressionFtl {
+ public:
+  explicit CompressionFtl(const FtlConfig& config);
+
+  // Records a host write of logical page `lpn` whose stored (compressed)
+  // size is `stored_len` bytes (== page size when incompressible).
+  Result<FtlWriteResult> Write(uint64_t lpn, uint32_t stored_len);
+
+  // Looks up the current location(s) of `lpn`.
+  Result<FtlReadResult> Read(uint64_t lpn) const;
+
+  // Commits the open partial page (power-loss flush / shutdown). Returns
+  // the page programmed, if any.
+  std::vector<uint64_t> Flush();
+
+  // NVMe deallocate: drops the mapping so GC can reclaim the segments.
+  void Trim(uint64_t lpn);
+
+  // --- statistics ---------------------------------------------------------
+  uint64_t host_bytes_written() const { return host_bytes_; }
+  uint64_t flash_pages_programmed() const { return pages_programmed_; }
+  uint64_t flash_bytes_programmed() const {
+    return pages_programmed_ * config_.nand.page_bytes;
+  }
+  uint64_t gc_relocated_segments() const { return gc_relocations_; }
+  uint64_t gc_erased_blocks() const { return gc_erases_; }
+  double WriteAmplification() const {
+    return host_bytes_ == 0 ? 0.0
+                            : static_cast<double>(flash_bytes_programmed()) /
+                                  static_cast<double>(host_bytes_);
+  }
+  // Stored (compressed) bytes / host bytes: < 1 for compressible data.
+  double PhysicalSpaceRatio() const {
+    return host_bytes_ == 0
+               ? 0.0
+               : static_cast<double>(stored_bytes_) / static_cast<double>(host_bytes_);
+  }
+  uint32_t free_blocks() const { return static_cast<uint32_t>(free_list_.size()); }
+  const FtlConfig& config() const { return config_; }
+
+ private:
+  struct Mapping {
+    bool valid = false;
+    SegmentLocation seg[2];
+    uint8_t pieces = 0;
+  };
+  struct Resident {  // a live segment piece within a physical page
+    uint64_t lpn;
+    uint32_t offset;
+    uint32_t len;
+    uint8_t piece;  // 0 or 1
+  };
+  struct BlockState {
+    uint64_t valid_bytes = 0;
+    bool open = false;
+    bool free = true;
+  };
+
+  uint64_t BlockOf(uint64_t ppa) const { return ppa / config_.nand.pages_per_block; }
+  uint64_t FirstPpaOf(uint64_t block) const { return block * config_.nand.pages_per_block; }
+
+  Status EnsureOpenBlock();
+  // Appends `len` bytes at the write pointer; fills `pieces`. Closes pages
+  // into `result` as they fill. `page_aligned` forces a fresh page.
+  Status Append(uint64_t lpn, uint32_t len, bool page_aligned, Mapping* mapping,
+                FtlWriteResult* result);
+  void Invalidate(const Mapping& mapping);
+  void MaybeGc(FtlWriteResult* result);
+
+  FtlConfig config_;
+  std::vector<Mapping> l2p_;
+  std::vector<std::vector<Resident>> page_residents_;  // per physical page
+  std::vector<BlockState> blocks_;
+  std::list<uint64_t> free_list_;
+  uint64_t open_block_ = 0;
+  uint64_t write_ppa_ = 0;     // current open page
+  uint32_t write_offset_ = 0;  // byte offset within the open page
+  bool has_open_page_ = false;
+
+  uint64_t host_bytes_ = 0;
+  uint64_t stored_bytes_ = 0;
+  uint64_t pages_programmed_ = 0;
+  uint64_t gc_relocations_ = 0;
+  uint64_t gc_erases_ = 0;
+  bool in_gc_ = false;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_SSD_FTL_H_

@@ -1,0 +1,76 @@
+#include "src/ssd/nand.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdpu {
+
+NandArray::NandArray(const NandConfig& config)
+    : config_(config),
+      die_free_(static_cast<size_t>(config.channels) * config.dies_per_channel, 0),
+      die_read_free_(static_cast<size_t>(config.channels) * config.dies_per_channel, 0),
+      channel_free_(config.channels, 0) {}
+
+uint32_t NandArray::DieOf(uint64_t ppa) const {
+  // Consecutive pages stripe round-robin across all dies (superblock
+  // layout), which is how controllers get multi-die parallelism on
+  // sequential IO.
+  return static_cast<uint32_t>(ppa % die_free_.size());
+}
+
+uint32_t NandArray::ChannelOf(uint64_t ppa) const { return DieOf(ppa) % config_.channels; }
+
+SimNanos NandArray::TransferOut(uint32_t channel, SimNanos ready) {
+  SimNanos xfer = static_cast<SimNanos>(
+      std::llround(static_cast<double>(config_.page_bytes) / config_.channel_gbps));
+  SimNanos start = std::max(ready, channel_free_[channel]);
+  SimNanos done = start + xfer;
+  channel_free_[channel] = done;
+  return done;
+}
+
+SimNanos NandArray::Read(uint64_t ppa, SimNanos arrival) {
+  ++reads_;
+  uint32_t die = DieOf(ppa);
+  uint32_t ch = ChannelOf(ppa);
+  // Reads serialise against other reads on the die; in-flight programs are
+  // suspended (program-suspend-read), costing a small penalty instead of
+  // waiting out the full tProg.
+  SimNanos start = std::max(arrival, die_read_free_[die]);
+  SimNanos suspend = 0;
+  if (die_free_[die] > start) {
+    suspend = static_cast<SimNanos>(std::llround(config_.suspend_us * 1000));
+  }
+  SimNanos cell_done =
+      start + suspend + static_cast<SimNanos>(std::llround(config_.read_us * 1000));
+  SimNanos done = TransferOut(ch, cell_done);
+  die_read_free_[die] = done;
+  busy_ns_ += done - start;
+  return done;
+}
+
+SimNanos NandArray::Program(uint64_t ppa, SimNanos arrival) {
+  ++programs_;
+  uint32_t die = DieOf(ppa);
+  uint32_t ch = ChannelOf(ppa);
+  // Programs wait for prior programs/erases and for in-flight reads.
+  SimNanos start = std::max({arrival, die_free_[die], die_read_free_[die]});
+  SimNanos cell_done =
+      start + static_cast<SimNanos>(std::llround(config_.program_us * 1000));
+  SimNanos done = TransferOut(ch, cell_done);
+  die_free_[die] = done;
+  busy_ns_ += done - start;
+  return done;
+}
+
+SimNanos NandArray::EraseBlock(uint64_t first_ppa, SimNanos arrival) {
+  ++erases_;
+  uint32_t die = DieOf(first_ppa);
+  SimNanos start = std::max(arrival, die_free_[die]);
+  SimNanos done = start + static_cast<SimNanos>(std::llround(config_.erase_us * 1000));
+  die_free_[die] = done;
+  busy_ns_ += done - start;
+  return done;
+}
+
+}  // namespace cdpu

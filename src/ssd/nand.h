@@ -1,0 +1,75 @@
+// NAND flash timing model: channels x dies, per-die read/program/erase
+// occupancy plus per-channel transfer occupancy. Consecutive physical pages
+// stripe round-robin across all dies (superblock layout), the arrangement
+// enterprise controllers use to parallelise sequential IO.
+
+#ifndef SRC_SSD_NAND_H_
+#define SRC_SSD_NAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+
+namespace cdpu {
+
+struct NandConfig {
+  uint32_t channels = 8;
+  uint32_t dies_per_channel = 8;
+  uint32_t page_bytes = 4096;
+  uint32_t pages_per_block = 256;
+  uint32_t blocks_per_die = 1024;
+  double read_us = 50.0;       // tR
+  double program_us = 150.0;   // effective tProg/4KB with multi-plane programming
+  double suspend_us = 8.0;     // program-suspend-read penalty
+  double erase_us = 3000.0;
+  double channel_gbps = 1.2;  // ONFI transfer rate per channel
+
+  uint64_t TotalPages() const {
+    return static_cast<uint64_t>(channels) * dies_per_channel * blocks_per_die *
+           pages_per_block;
+  }
+  uint64_t PagesPerDie() const {
+    return static_cast<uint64_t>(blocks_per_die) * pages_per_block;
+  }
+};
+
+// Occupancy-tracking NAND array. Operations are submitted in non-decreasing
+// arrival order (the FTL serialises per command), and the model returns the
+// completion time accounting for die and channel contention.
+class NandArray {
+ public:
+  explicit NandArray(const NandConfig& config);
+
+  const NandConfig& config() const { return config_; }
+
+  // die = ppa % total_dies (striped); channel = die % channels.
+  uint32_t DieOf(uint64_t ppa) const;
+  uint32_t ChannelOf(uint64_t ppa) const;
+
+  SimNanos Read(uint64_t ppa, SimNanos arrival);
+  SimNanos Program(uint64_t ppa, SimNanos arrival);
+  SimNanos EraseBlock(uint64_t first_ppa, SimNanos arrival);
+
+  uint64_t reads() const { return reads_; }
+  uint64_t programs() const { return programs_; }
+  uint64_t erases() const { return erases_; }
+  // Aggregate die-busy time (for utilisation/power accounting).
+  SimNanos busy_ns() const { return busy_ns_; }
+
+ private:
+  SimNanos TransferOut(uint32_t channel, SimNanos ready);
+
+  NandConfig config_;
+  std::vector<SimNanos> die_free_;       // program/erase occupancy
+  std::vector<SimNanos> die_read_free_;  // read occupancy (suspend-capable)
+  std::vector<SimNanos> channel_free_;
+  uint64_t reads_ = 0;
+  uint64_t programs_ = 0;
+  uint64_t erases_ = 0;
+  SimNanos busy_ns_ = 0;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_SSD_NAND_H_

@@ -1,0 +1,83 @@
+#include "src/ssd/scheme.h"
+
+#include "src/hw/device_configs.h"
+
+namespace cdpu {
+
+const char* SchemeName(CompressionScheme scheme) {
+  switch (scheme) {
+    case CompressionScheme::kOff:
+      return "OFF";
+    case CompressionScheme::kCpu:
+      return "CPU-Deflate";
+    case CompressionScheme::kQat8970:
+      return "QAT-8970";
+    case CompressionScheme::kQat4xxx:
+      return "QAT-4xxx";
+    case CompressionScheme::kCsd2000:
+      return "CSD-2000";
+    case CompressionScheme::kDpCsd:
+      return "DP-CSD";
+  }
+  return "?";
+}
+
+CompressionBackend MakeSchemeBackend(CompressionScheme scheme) {
+  CompressionBackend b;
+  switch (scheme) {
+    case CompressionScheme::kOff:
+    case CompressionScheme::kDpCsd:
+    case CompressionScheme::kCsd2000:
+      b.name = "off";
+      break;
+    case CompressionScheme::kCpu:
+      b.name = "cpu-deflate";
+      b.codec = MakeCodec("deflate-1");
+      b.device = std::make_shared<CdpuQueue>(CpuSoftwareConfig("deflate", 4));  // flush/compaction threads
+      break;
+    case CompressionScheme::kQat8970:
+      b.name = "qat-8970";
+      b.codec = MakeCodec("deflate-1");
+      b.device = std::make_shared<CdpuQueue>(Qat8970Config());
+      break;
+    case CompressionScheme::kQat4xxx:
+      b.name = "qat-4xxx";
+      b.codec = MakeCodec("deflate-1");
+      b.device = std::make_shared<CdpuQueue>(Qat4xxxConfig());
+      break;
+  }
+  return b;
+}
+
+SsdConfig MakeSchemeSsdConfig(CompressionScheme scheme, uint64_t logical_pages) {
+  SsdConfig c;
+  switch (scheme) {
+    case CompressionScheme::kDpCsd:
+      c.compression = SsdCompressionMode::kDpzip;
+      c.name = "dp-csd";
+      break;
+    case CompressionScheme::kCsd2000:
+      c.compression = SsdCompressionMode::kFpgaGzip;
+      c.name = "csd-2000";
+      c.host_link = Pcie3x4Link();
+      c.cdpu_engines = 1;  // single FPGA engine (Finding 7)
+      break;
+    default:
+      c.compression = SsdCompressionMode::kNone;
+      c.name = "plain-nvme";
+      break;
+  }
+  // Room for the logical space plus 25% overprovisioning so benchmarks
+  // exercise packing rather than GC thrash.
+  NandConfig n;
+  n.channels = 8;
+  n.dies_per_channel = 8;
+  n.pages_per_block = 256;
+  uint64_t pages_needed = logical_pages + logical_pages / 4;
+  n.blocks_per_die = static_cast<uint32_t>(pages_needed / (8ull * 8 * 256) + 1);
+  c.ftl.nand = n;
+  c.ftl.logical_pages = logical_pages;
+  return c;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,49 @@
+// Compression placement schemes: the five end-to-end configurations the
+// paper evaluates in RocksDB and the filesystems (Figures 14-19) — OFF,
+// CPU Deflate, QAT 8970 (peripheral), QAT 4xxx (on-chip), all over a plain
+// SSD, and DP-CSD (application-transparent in-storage compression).
+//
+// A CompressionBackend bundles the functional codec (what the bytes look
+// like) with the shared device timing queue (what it costs and who you
+// contend with). Used by the LSM store's SSTable blocks and the filesystem
+// simulators' extents/records.
+
+#ifndef SRC_SSD_SCHEME_H_
+#define SRC_SSD_SCHEME_H_
+
+#include <memory>
+#include <string>
+
+#include "src/codecs/codec.h"
+#include "src/hw/cdpu_queue.h"
+#include "src/ssd/ssd.h"
+
+namespace cdpu {
+
+enum class CompressionScheme : uint8_t {
+  kOff,       // no compression anywhere
+  kCpu,       // Deflate on host CPU, plain SSD
+  kQat8970,   // peripheral QAT card, plain SSD
+  kQat4xxx,   // on-chip QAT, plain SSD
+  kCsd2000,   // app-transparent FPGA CSD
+  kDpCsd,     // app-transparent: DPZip-compressing SSD
+};
+
+const char* SchemeName(CompressionScheme scheme);
+
+struct CompressionBackend {
+  std::string name = "off";
+  std::shared_ptr<Codec> codec;       // nullptr = no app-level compression
+  std::shared_ptr<CdpuQueue> device;  // timing queue; nullptr = free
+};
+
+// App-layer backend for the scheme. kOff/kDpCsd/kCsd2000 are empty (their
+// compression, if any, happens inside the SSD).
+CompressionBackend MakeSchemeBackend(CompressionScheme scheme);
+
+// SSD personality for the scheme. `logical_pages` sizes exposed capacity.
+SsdConfig MakeSchemeSsdConfig(CompressionScheme scheme, uint64_t logical_pages = 1 << 20);
+
+}  // namespace cdpu
+
+#endif  // SRC_SSD_SCHEME_H_

@@ -1,0 +1,311 @@
+#include "src/ssd/ssd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdpu {
+
+SsdConfig::SsdConfig() : host_link(Pcie5x4Link()), fpga_link(FpgaAxiLink()) {}
+
+SimSsd::SimSsd(const SsdConfig& config)
+    : config_(config), host_link_(config.host_link), fpga_link_(config.fpga_link),
+      ftl_(config.ftl), nand_(config.ftl.nand), dpzip_(config.lz77),
+      pipeline_(config.pipeline), cdpu_queue_(std::max(1u, config.cdpu_engines)) {
+  if (config_.compression == SsdCompressionMode::kFpgaGzip) {
+    fpga_codec_ = MakeCodec("gzip-1");  // CSD 2000 implements Gzip (Table 1)
+  }
+}
+
+Result<SsdIoResult> SimSsd::CompressForStore(ByteSpan data, ByteVec* stored, bool* raw) {
+  SsdIoResult io;
+  uint32_t page_bytes = config_.ftl.nand.page_bytes;
+  *raw = false;
+
+  switch (config_.compression) {
+    case SsdCompressionMode::kNone: {
+      stored->assign(data.begin(), data.end());
+      io.stored_len = page_bytes;
+      io.ratio = 1.0;
+      *raw = true;
+      return io;
+    }
+    case SsdCompressionMode::kDpzip: {
+      Result<size_t> r = dpzip_.Compress(data, stored);
+      if (!r.ok()) {
+        return r.status();
+      }
+      DpzipTiming t = pipeline_.CompressLatency(dpzip_.last_stats());
+      io.completion = t.nanos;  // engine service time; caller queues it
+      if (stored->size() >= page_bytes) {
+        // Doesn't pay: store the original page uncompressed.
+        stored->assign(data.begin(), data.end());
+        *raw = true;
+        io.stored_len = page_bytes;
+        io.ratio = 1.0;
+        ++bypass_pages_;
+      } else {
+        io.stored_len = static_cast<uint32_t>(stored->size());
+        io.ratio = static_cast<double>(stored->size()) / static_cast<double>(data.size());
+        ++compressed_pages_;
+      }
+      return io;
+    }
+    case SsdCompressionMode::kFpgaGzip: {
+      Result<size_t> r = fpga_codec_->Compress(data, stored);
+      if (!r.ok()) {
+        return r.status();
+      }
+      // FPGA engine: data crosses the internal AXI in and out, plus the
+      // engine's streaming rate.
+      double engine_ns = static_cast<double>(data.size()) / config_.fpga_compress_gbps;
+      io.completion = fpga_link_.TransferLatency(data.size()) +
+                      static_cast<SimNanos>(std::llround(engine_ns)) +
+                      fpga_link_.TransferLatency(stored->size());
+      if (stored->size() >= page_bytes) {
+        stored->assign(data.begin(), data.end());
+        *raw = true;
+        io.stored_len = page_bytes;
+        io.ratio = 1.0;
+        ++bypass_pages_;
+      } else {
+        io.stored_len = static_cast<uint32_t>(stored->size());
+        io.ratio = static_cast<double>(stored->size()) / static_cast<double>(data.size());
+        ++compressed_pages_;
+      }
+      return io;
+    }
+  }
+  return Status::Internal("ssd: unknown compression mode");
+}
+
+SimNanos SimSsd::DecompressServiceNs(uint32_t stored_len, uint32_t original_len, bool raw) {
+  if (raw || config_.compression == SsdCompressionMode::kNone) {
+    return 0;
+  }
+  if (config_.compression == SsdCompressionMode::kDpzip) {
+    return pipeline_.DecompressLatency(dpzip_.last_stats()).nanos;
+  }
+  double engine_ns = static_cast<double>(original_len) / config_.fpga_decompress_gbps;
+  return fpga_link_.TransferLatency(stored_len) +
+         static_cast<SimNanos>(std::llround(engine_ns)) +
+         fpga_link_.TransferLatency(original_len);
+}
+
+SimNanos SimSsd::CachedNandRead(uint64_t ppa, SimNanos arrival, ReadContext* ctx) {
+  // Intra-command coalescing: within one host command the controller reads
+  // each flash page into the SBM once and serves every segment from it —
+  // essential for packed segments, where logical pages share flash pages.
+  if (ctx != nullptr) {
+    auto it = ctx->fetched.find(ppa);
+    if (it != ctx->fetched.end()) {
+      return std::max(arrival, it->second);
+    }
+  }
+  // Optional cross-command read buffer (off by default; Finding 8 shows the
+  // real device exposes no such benefit to hosts).
+  if (config_.read_cache_pages > 0) {
+    auto it = read_cache_.find(ppa);
+    if (it != read_cache_.end()) {
+      return std::max(arrival, it->second);
+    }
+  }
+  SimNanos done = nand_.Read(ppa, arrival);
+  if (ctx != nullptr) {
+    ctx->fetched[ppa] = done;
+  }
+  if (config_.read_cache_pages > 0) {
+    read_cache_[ppa] = done;
+    read_cache_fifo_.push_back(ppa);
+    while (read_cache_fifo_.size() > config_.read_cache_pages) {
+      read_cache_.erase(read_cache_fifo_.front());
+      read_cache_fifo_.pop_front();
+    }
+  }
+  return done;
+}
+
+Result<SsdIoResult> SimSsd::Write(uint64_t lpn, ByteSpan data, SimNanos arrival) {
+  uint32_t page_bytes = config_.ftl.nand.page_bytes;
+  if (data.size() != page_bytes) {
+    return Status::InvalidArgument("ssd: write must be exactly one page");
+  }
+
+  ByteVec stored;
+  bool raw = false;
+  Result<SsdIoResult> comp = CompressForStore(data, &stored, &raw);
+  if (!comp.ok()) {
+    return comp.status();
+  }
+  SsdIoResult io = *comp;
+
+  Result<FtlWriteResult> fw = ftl_.Write(lpn, io.stored_len);
+  if (!fw.ok()) {
+    return fw.status();
+  }
+  io.split = fw->split;
+
+  // Host-visible timeline: QM -> host DMA -> inline compression (shared
+  // engine pool) -> SBM staging.
+  SimNanos t = arrival + static_cast<SimNanos>(std::llround(config_.queue_manager_ns));
+  t += host_link_.TransferLatency(page_bytes);
+  ServiceOutcome eng = cdpu_queue_.Submit(t, io.completion);
+  cdpu_busy_ns_ += io.completion;
+  t = eng.completion + static_cast<SimNanos>(std::llround(config_.sbm_ns));
+
+  // NAND programs + GC traffic proceed asynchronously after the buffer ack,
+  // but the power-protected SBM has finite slots: when the program backlog
+  // exceeds them, the ack stalls until a slot frees (write backpressure).
+  for (uint64_t ppa : fw->gc_read_pages) {
+    nand_.Read(ppa, t);
+  }
+  for (uint64_t ppa : fw->programmed_pages) {
+    sbm_backlog_.push_back(nand_.Program(ppa, t));
+  }
+  for (uint64_t block : fw->erased_blocks) {
+    nand_.EraseBlock(block * config_.ftl.nand.pages_per_block, t);
+  }
+  while (sbm_backlog_.size() > config_.sbm_buffer_pages) {
+    t = std::max(t, sbm_backlog_.front());
+    sbm_backlog_.pop_front();
+  }
+  io.completion = t;
+
+  if (config_.store_payloads) {
+    contents_[lpn] = StoredPage{std::move(stored), raw};
+  }
+  return io;
+}
+
+Result<SsdIoResult> SimSsd::Read(uint64_t lpn, ByteVec* out, SimNanos arrival) {
+  ReadContext ctx;
+  return ReadInternal(lpn, out, arrival, &ctx);
+}
+
+Result<SsdIoResult> SimSsd::ReadInternal(uint64_t lpn, ByteVec* out, SimNanos arrival,
+                                         ReadContext* ctx) {
+  uint32_t page_bytes = config_.ftl.nand.page_bytes;
+  SsdIoResult io;
+
+  SimNanos t = arrival + static_cast<SimNanos>(std::llround(config_.queue_manager_ns));
+  Result<FtlReadResult> fr = ftl_.Read(lpn);
+  if (!fr.ok()) {
+    if (fr.status().code() == StatusCode::kUnavailable) {
+      // Unwritten page: NVMe returns zeros without touching NAND.
+      out->insert(out->end(), page_bytes, 0);
+      io.completion = t + host_link_.TransferLatency(page_bytes);
+      return io;
+    }
+    return fr.status();
+  }
+
+  // Fetch every flash page holding a piece of this logical page; pieces on
+  // different dies overlap, so the slowest read gates decompression.
+  SimNanos nand_done = t;
+  uint32_t stored_len = 0;
+  for (const SegmentLocation& seg : fr->segments) {
+    nand_done = std::max(nand_done, CachedNandRead(seg.ppa, t, ctx));
+    stored_len += seg.len;
+  }
+  io.flash_reads = static_cast<uint32_t>(fr->segments.size());
+  io.split = fr->segments.size() > 1;
+  io.stored_len = stored_len;
+
+  SimNanos decomp_service = 0;
+  if (config_.store_payloads) {
+    auto it = contents_.find(lpn);
+    if (it == contents_.end()) {
+      return Status::Internal("ssd: mapping exists but payload missing");
+    }
+    if (it->second.raw || config_.compression == SsdCompressionMode::kNone) {
+      out->insert(out->end(), it->second.payload.begin(), it->second.payload.end());
+      decomp_service = DecompressServiceNs(stored_len, page_bytes, true);
+    } else if (config_.compression == SsdCompressionMode::kDpzip) {
+      Result<size_t> r = dpzip_.Decompress(it->second.payload, out);
+      if (!r.ok()) {
+        return r.status();
+      }
+      decomp_service = DecompressServiceNs(stored_len, page_bytes, false);
+    } else {
+      Result<size_t> r = fpga_codec_->Decompress(it->second.payload, out);
+      if (!r.ok()) {
+        return r.status();
+      }
+      decomp_service = DecompressServiceNs(stored_len, page_bytes, false);
+    }
+    io.ratio = static_cast<double>(stored_len) / static_cast<double>(page_bytes);
+  } else {
+    decomp_service = DecompressServiceNs(stored_len, page_bytes, false);
+    out->insert(out->end(), page_bytes, 0);
+  }
+
+  SimNanos after_decomp = nand_done;
+  if (decomp_service > 0) {
+    ServiceOutcome eng = cdpu_queue_.Submit(nand_done, decomp_service);
+    cdpu_busy_ns_ += decomp_service;
+    after_decomp = eng.completion;
+  }
+  io.completion = after_decomp + static_cast<SimNanos>(std::llround(config_.sbm_ns)) +
+                  host_link_.TransferLatency(page_bytes);
+  return io;
+}
+
+Result<SsdIoResult> SimSsd::WriteMulti(uint64_t first_lpn, ByteSpan data, SimNanos arrival) {
+  uint32_t page_bytes = config_.ftl.nand.page_bytes;
+  if (data.size() % page_bytes != 0 || data.empty()) {
+    return Status::InvalidArgument("ssd: multi-write must be whole pages");
+  }
+  SsdIoResult total;
+  uint32_t pages = static_cast<uint32_t>(data.size() / page_bytes);
+  uint64_t stored = 0;
+  // Pages of one command pipeline through QM/DMA/engines: issue them at the
+  // host link's streaming rate and let the shared queues (engines, NAND)
+  // provide backpressure via each page's completion time.
+  SimNanos spacing = static_cast<SimNanos>(
+      static_cast<double>(page_bytes) / host_link_.EffectiveGbps());
+  for (uint32_t p = 0; p < pages; ++p) {
+    ByteSpan page(data.data() + static_cast<size_t>(p) * page_bytes, page_bytes);
+    Result<SsdIoResult> r = Write(first_lpn + p, page, arrival + p * spacing);
+    if (!r.ok()) {
+      return r.status();
+    }
+    total.completion = std::max(total.completion, r->completion);
+    total.split = total.split || r->split;
+    stored += r->stored_len;
+  }
+  total.stored_len = static_cast<uint32_t>(std::min<uint64_t>(stored, UINT32_MAX));
+  total.ratio = static_cast<double>(stored) / static_cast<double>(data.size());
+  return total;
+}
+
+Result<SsdIoResult> SimSsd::ReadMulti(uint64_t first_lpn, uint32_t pages, ByteVec* out,
+                                      SimNanos arrival) {
+  SsdIoResult total;
+  uint64_t stored = 0;
+  ReadContext ctx;  // one command: coalesce same-flash-page segment reads
+  for (uint32_t p = 0; p < pages; ++p) {
+    Result<SsdIoResult> r = ReadInternal(first_lpn + p, out, arrival, &ctx);
+    if (!r.ok()) {
+      return r.status();
+    }
+    total.completion = std::max(total.completion, r->completion);
+    total.split = total.split || r->split;
+    total.flash_reads += r->flash_reads;
+    stored += r->stored_len;
+  }
+  total.stored_len = static_cast<uint32_t>(std::min<uint64_t>(stored, UINT32_MAX));
+  total.ratio = static_cast<double>(stored) /
+                (static_cast<double>(pages) * config_.ftl.nand.page_bytes);
+  return total;
+}
+
+void SimSsd::Trim(uint64_t lpn) {
+  ftl_.Trim(lpn);
+  contents_.erase(lpn);
+}
+
+double SimSsd::EffectiveCapacityGain() const {
+  double ratio = ftl_.PhysicalSpaceRatio();
+  return ratio <= 0 ? 1.0 : 1.0 / ratio;
+}
+
+}  // namespace cdpu

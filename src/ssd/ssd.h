@@ -1,0 +1,139 @@
+// SSD controller simulator (paper §4, Figure 4): NVMe-ish front end with a
+// queue manager, host DMA into the shared buffer memory (SBM), optional
+// inline (de)compression in the IO path, the compression-aware FTL, and the
+// NAND array.
+//
+// Three personalities cover the paper's in-storage devices:
+//   kNone     — plain NVMe SSD (the "OFF" baseline device)
+//   kDpzip    — DP-CSD: DPZip ASIC inline at 8 B/cycle (functional DpzipCodec
+//               + cycle-model timing)
+//   kFpgaGzip — CSD 2000-style FPGA engine behind a ~2.5 GB/s internal AXI
+//
+// Writes complete once data is compressed and staged in the SBM (enterprise
+// SSDs acknowledge at the power-protected buffer, sub-10 us); NAND programs
+// proceed asynchronously but still occupy dies/channels, so reads and GC
+// feel the pressure.
+
+#ifndef SRC_SSD_SSD_H_
+#define SRC_SSD_SSD_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/dpzip_codec.h"
+#include "src/core/pipeline_model.h"
+#include "src/hw/interconnect.h"
+#include "src/sim/queueing.h"
+#include "src/ssd/ftl.h"
+
+namespace cdpu {
+
+enum class SsdCompressionMode : uint8_t { kNone, kDpzip, kFpgaGzip };
+
+struct SsdConfig {
+  std::string name = "dp-csd";
+  SsdCompressionMode compression = SsdCompressionMode::kDpzip;
+  FtlConfig ftl;
+  LinkConfig host_link;                // defaults to PCIe 5.0 x4 in ctor
+  DpzipPipelineConfig pipeline;        // DPZip timing (kDpzip)
+  DpzipLz77Config lz77;                // DPZip functional config
+  double fpga_compress_gbps = 2.5;     // kFpgaGzip engine rate
+  double fpga_decompress_gbps = 3.0;
+  LinkConfig fpga_link;                // internal AXI (kFpgaGzip)
+  double queue_manager_ns = 800;       // NVMe command fetch + parse (QM)
+  double sbm_ns = 200;                 // SRAM staging
+  uint32_t cdpu_engines = 2;           // parallel (de)compression pipelines
+  uint32_t sbm_buffer_pages = 512;     // write-buffer slots before backpressure (2 MiB)
+  uint32_t read_cache_pages = 0;       // same-page read coalescing (0 = off)
+  bool store_payloads = true;          // keep functional data for reads
+  double active_power_w = 11.0;        // whole-drive active (incl. DPZip 2.5W)
+  double idle_power_w = 4.0;
+
+  SsdConfig();
+};
+
+struct SsdIoResult {
+  SimNanos completion = 0;     // host-visible completion time
+  uint32_t stored_len = 0;     // bytes stored after compression
+  double ratio = 1.0;          // stored/original
+  bool split = false;          // segment spans two flash pages
+  uint32_t flash_reads = 0;    // pages touched (read amplification)
+};
+
+class SimSsd {
+ public:
+  explicit SimSsd(const SsdConfig& config);
+
+  // Writes one logical page (must be exactly page_bytes long).
+  Result<SsdIoResult> Write(uint64_t lpn, ByteSpan data, SimNanos arrival);
+
+  // Reads one logical page into *out (appends page_bytes). Unwritten pages
+  // read back as zeros.
+  Result<SsdIoResult> Read(uint64_t lpn, ByteVec* out, SimNanos arrival);
+
+  // Multi-page helpers for larger IO sizes (64 KB = 16 pages). The DPZip
+  // engine still operates at fixed 4 KB granularity (Finding 1).
+  Result<SsdIoResult> WriteMulti(uint64_t first_lpn, ByteSpan data, SimNanos arrival);
+  Result<SsdIoResult> ReadMulti(uint64_t first_lpn, uint32_t pages, ByteVec* out,
+                                SimNanos arrival);
+
+  // NVMe deallocate: releases the logical page (mapping + payload).
+  void Trim(uint64_t lpn);
+
+  // Flash pages already fetched within one host command: the controller
+  // reads a flash page into the SBM once and serves every segment of the
+  // command from it (intra-command coalescing).
+  struct ReadContext {
+    std::unordered_map<uint64_t, SimNanos> fetched;  // ppa -> data-ready time
+  };
+
+  const SsdConfig& config() const { return config_; }
+  const CompressionFtl& ftl() const { return ftl_; }
+  const NandArray& nand() const { return nand_; }
+
+  // Effective capacity multiplier achieved so far (1 / stored ratio).
+  double EffectiveCapacityGain() const;
+
+  uint64_t compressed_pages() const { return compressed_pages_; }
+  uint64_t bypass_pages() const { return bypass_pages_; }
+  // Cumulative busy time of the inline compression engine.
+  SimNanos cdpu_busy_ns() const { return cdpu_busy_ns_; }
+
+ private:
+  struct StoredPage {
+    ByteVec payload;  // compressed (or raw) bytes, exactly stored_len long
+    bool raw;
+  };
+
+  // Compresses `data`, returning stored bytes + engine service time.
+  Result<SsdIoResult> CompressForStore(ByteSpan data, ByteVec* stored, bool* raw);
+  SimNanos DecompressServiceNs(uint32_t stored_len, uint32_t original_len, bool raw);
+  // Reads one flash page with intra-command (and optional cross-command)
+  // read coalescing.
+  SimNanos CachedNandRead(uint64_t ppa, SimNanos arrival, ReadContext* ctx);
+  Result<SsdIoResult> ReadInternal(uint64_t lpn, ByteVec* out, SimNanos arrival,
+                                   ReadContext* ctx);
+
+  SsdConfig config_;
+  Link host_link_;
+  Link fpga_link_;
+  CompressionFtl ftl_;
+  NandArray nand_;
+  DpzipCodec dpzip_;
+  DpzipPipelineModel pipeline_;
+  std::unique_ptr<Codec> fpga_codec_;
+  std::unordered_map<uint64_t, StoredPage> contents_;
+  MultiServerQueue cdpu_queue_;        // shared inline compression engines
+  std::deque<SimNanos> sbm_backlog_;   // outstanding NAND program completions
+  std::unordered_map<uint64_t, SimNanos> read_cache_;  // ppa -> data-ready time
+  std::deque<uint64_t> read_cache_fifo_;
+  uint64_t compressed_pages_ = 0;
+  uint64_t bypass_pages_ = 0;
+  SimNanos cdpu_busy_ns_ = 0;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_SSD_SSD_H_

@@ -1,0 +1,64 @@
+// SR-IOV multi-tenant sharing model (paper §5.5.2, Figure 20): one CDPU
+// partitioned into 24 virtual functions, each assigned to a VM running an
+// independent closed-loop workload.
+//
+// Two arbitration disciplines:
+//  - kUnarbitrated (QAT-style): the device drains VF rings in order with no
+//    per-VF rate limiting. A VF that gets served refills its ring
+//    immediately and keeps capturing service batches, while starved VFs'
+//    guests back off — the positive feedback behind the paper's sustained
+//    oscillations (CV > 50%).
+//  - kWeightedFair (DP-CSD-style): front-end QoS serves backlogged VFs
+//    round-robin one request at a time with per-VF queue accounting, so
+//    equal backlog means equal throughput (CV < 0.5%).
+
+#ifndef SRC_VIRT_SRIOV_H_
+#define SRC_VIRT_SRIOV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace cdpu {
+
+enum class VfArbitration : uint8_t { kUnarbitrated, kWeightedFair };
+
+struct SriovConfig {
+  std::string name = "device";
+  uint32_t vfs = 24;
+  VfArbitration arbitration = VfArbitration::kWeightedFair;
+  double device_gbps = 5.0;        // aggregate engine throughput
+  uint64_t request_bytes = 65536;  // per-VM IO size
+  uint32_t initial_ring_depth = 4;
+  uint32_t max_ring_depth = 64;    // hardware ring size
+  // Batch the arbiter drains per ring visit before moving on. Reads drain
+  // larger batches (faster service), amplifying capture.
+  uint32_t drain_batch = 8;
+  uint64_t seed = 99;
+  // Optional per-VF QoS weights (kWeightedFair only). Empty = equal shares.
+  // A VF with weight w is served w slots per round.
+  std::vector<uint32_t> weights;
+};
+
+struct TenantOutcome {
+  uint32_t vm = 0;
+  uint64_t requests_served = 0;
+  double gbps = 0;
+};
+
+struct MultiTenantResult {
+  std::vector<TenantOutcome> tenants;
+  double total_gbps = 0;
+  double cv_percent = 0;  // coefficient of variation across tenants
+};
+
+// Runs `epochs` scheduling epochs of `epoch_us` each; every VM keeps its
+// ring refilled (closed loop).
+MultiTenantResult RunMultiTenant(const SriovConfig& config, uint32_t epochs = 400,
+                                 double epoch_us = 250);
+
+}  // namespace cdpu
+
+#endif  // SRC_VIRT_SRIOV_H_

@@ -1,0 +1,297 @@
+#include "src/workload/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/rng.h"
+
+namespace cdpu {
+namespace {
+
+const char* const kWords[] = {
+    "the",     "of",      "and",     "storage", "data",     "system",   "compression",
+    "device",  "which",   "their",   "from",    "latency",  "through",  "hardware",
+    "page",    "block",   "write",   "read",    "flash",    "memory",   "buffer",
+    "engine",  "channel", "request", "host",    "driver",   "queue",    "table",
+    "entry",   "record",  "stream",  "value",   "during",   "between",  "design",
+    "under",   "against", "because", "without", "result",   "pattern",  "window",
+    "offset",  "length",  "match",   "symbol",  "encode",   "decode",   "ratio",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+const char* const kNames[] = {"alice", "bob",   "carol", "dave",  "erin",
+                              "frank", "grace", "heidi", "ivan",  "judy"};
+const char* const kCities[] = {"shenzhen", "edinburgh", "seattle", "zurich", "tokyo"};
+
+// Zipf-ish word pick: low ranks much more likely.
+size_t ZipfWord(Rng* rng, size_t n) {
+  double u = rng->NextDouble();
+  double x = std::pow(u, 2.2);  // skew toward 0
+  size_t idx = static_cast<size_t>(x * static_cast<double>(n));
+  return std::min(idx, n - 1);
+}
+
+void AppendStr(std::vector<uint8_t>* out, const char* s) {
+  out->insert(out->end(), s, s + std::strlen(s));
+}
+
+void AppendNum(std::vector<uint8_t>* out, uint64_t v) {
+  char buf[24];
+  int len = std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out->insert(out->end(), buf, buf + len);
+}
+
+}  // namespace
+
+std::vector<uint8_t> GenerateTextLike(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out;
+  out.reserve(size + 64);
+  size_t line_len = 0;
+  while (out.size() < size) {
+    const char* w = kWords[ZipfWord(&rng, kNumWords)];
+    AppendStr(&out, w);
+    line_len += std::strlen(w) + 1;
+    if (rng.Uniform(12) == 0) {
+      out.push_back('.');
+    }
+    if (line_len > 60) {
+      out.push_back('\n');
+      line_len = 0;
+    } else {
+      out.push_back(' ');
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+std::vector<uint8_t> GenerateDbTableLike(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out;
+  out.reserve(size + 128);
+  uint64_t id = 100000;
+  while (out.size() < size) {
+    AppendNum(&out, id++);
+    out.push_back('|');
+    AppendStr(&out, kNames[rng.Uniform(10)]);
+    out.push_back('|');
+    AppendStr(&out, kCities[rng.Uniform(5)]);
+    out.push_back('|');
+    AppendNum(&out, 1000 + rng.Uniform(9000));
+    out.push_back('|');
+    AppendStr(&out, "2026-0");
+    AppendNum(&out, 1 + rng.Uniform(9));
+    out.push_back('-');
+    AppendNum(&out, 10 + rng.Uniform(19));
+    out.push_back('|');
+    AppendStr(&out, rng.Uniform(2) ? "ACTIVE" : "CLOSED");
+    out.push_back('\n');
+  }
+  out.resize(size);
+  return out;
+}
+
+std::vector<uint8_t> GenerateBinaryLike(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out;
+  out.reserve(size + 64);
+  // Instruction-stream flavour: common "opcodes" with small operand fields,
+  // periodic zero padding and embedded string-table fragments.
+  const uint8_t opcodes[] = {0x48, 0x89, 0x8b, 0xe8, 0xc3, 0x55, 0x5d, 0x0f};
+  while (out.size() < size) {
+    uint64_t mode = rng.Uniform(10);
+    if (mode < 6) {
+      out.push_back(opcodes[rng.Uniform(8)]);
+      out.push_back(static_cast<uint8_t>(rng.Uniform(64)));
+      if (rng.Uniform(3) == 0) {
+        uint32_t imm = static_cast<uint32_t>(rng.Uniform(1024));
+        out.push_back(static_cast<uint8_t>(imm & 0xff));
+        out.push_back(static_cast<uint8_t>(imm >> 8));
+        out.push_back(0);
+        out.push_back(0);
+      }
+    } else if (mode < 8) {
+      for (int i = 0; i < 16; ++i) {
+        out.push_back(0);
+      }
+    } else {
+      AppendStr(&out, kWords[ZipfWord(&rng, kNumWords)]);
+      out.push_back(0);
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+std::vector<uint8_t> GenerateXmlLike(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out;
+  out.reserve(size + 256);
+  const char* tags[] = {"record", "field", "item", "entry", "meta"};
+  while (out.size() < size) {
+    const char* tag = tags[rng.Uniform(5)];
+    AppendStr(&out, "<");
+    AppendStr(&out, tag);
+    AppendStr(&out, " id=\"");
+    AppendNum(&out, rng.Uniform(100000));
+    AppendStr(&out, "\">");
+    AppendStr(&out, kWords[ZipfWord(&rng, kNumWords)]);
+    out.push_back(' ');
+    AppendStr(&out, kWords[ZipfWord(&rng, kNumWords)]);
+    AppendStr(&out, "</");
+    AppendStr(&out, tag);
+    AppendStr(&out, ">\n");
+  }
+  out.resize(size);
+  return out;
+}
+
+std::vector<uint8_t> GenerateImageLike(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(size);
+  // Medical-image flavour (x-ray/mr): smooth 12-bit samples with noise —
+  // high local correlation, high byte-level entropy. Nearly incompressible
+  // for byte-oriented LZ, like the real files.
+  int32_t level = 2048;
+  for (size_t i = 0; i < size; i += 2) {
+    level += static_cast<int32_t>(rng.Uniform(65)) - 32;
+    level = std::clamp(level, 0, 4095);
+    int32_t sample = level + static_cast<int32_t>(rng.Uniform(17)) - 8;
+    sample = std::clamp(sample, 0, 4095);
+    out[i] = static_cast<uint8_t>(sample & 0xff);
+    if (i + 1 < size) {
+      out[i + 1] = static_cast<uint8_t>((sample >> 8) & 0x0f);
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> GenerateSourceLike(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out;
+  out.reserve(size + 128);
+  const char* stmts[] = {
+      "  if (status != 0) {\n    return status;\n  }\n",
+      "  for (size_t i = 0; i < count; ++i) {\n",
+      "  buffer[offset] = value;\n",
+      "  static const uint32_t mask = 0x",
+      "}\n\n",
+      "  memcpy(dst, src, length);\n",
+      "  // update the mapping table entry\n",
+  };
+  while (out.size() < size) {
+    AppendStr(&out, stmts[rng.Uniform(7)]);
+    if (rng.Uniform(4) == 0) {
+      AppendNum(&out, rng.Uniform(65536));
+      out.push_back('\n');
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+std::vector<CorpusFile> SilesiaLikeCorpus(size_t file_size, uint64_t seed) {
+  std::vector<CorpusFile> corpus;
+  corpus.push_back({"dickens-like", "text", GenerateTextLike(file_size, seed + 1)});
+  corpus.push_back({"webster-like", "text", GenerateTextLike(file_size, seed + 2)});
+  corpus.push_back({"reymont-like", "text", GenerateTextLike(file_size, seed + 3)});
+  corpus.push_back({"osdb-like", "db", GenerateDbTableLike(file_size, seed + 4)});
+  corpus.push_back({"nci-like", "db", GenerateDbTableLike(file_size, seed + 5)});
+  corpus.push_back({"mozilla-like", "binary", GenerateBinaryLike(file_size, seed + 6)});
+  corpus.push_back({"ooffice-like", "binary", GenerateBinaryLike(file_size, seed + 7)});
+  corpus.push_back({"sao-like", "binary", GenerateBinaryLike(file_size, seed + 8)});
+  corpus.push_back({"xml-like", "xml", GenerateXmlLike(file_size, seed + 9)});
+  corpus.push_back({"samba-like", "source", GenerateSourceLike(file_size, seed + 10)});
+  corpus.push_back({"x-ray-like", "image", GenerateImageLike(file_size, seed + 11)});
+  corpus.push_back({"mr-like", "image", GenerateImageLike(file_size, seed + 12)});
+  return corpus;
+}
+
+std::vector<uint8_t> GenerateWithRatio(double target_ratio, size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(size);
+  if (target_ratio >= 1.0) {
+    for (auto& b : out) {
+      b = rng.NextByte();
+    }
+    return out;
+  }
+  target_ratio = std::max(target_ratio, 0.02);
+
+  // Interleave incompressible random runs with highly compressible repeated
+  // phrases. A random fraction r of the bytes costs ~r of the output; the
+  // repeated remainder costs ~3% (tokens). Solve for the random fraction.
+  double random_frac = std::clamp((target_ratio - 0.03) / 0.97, 0.0, 1.0);
+  const char phrase[] = "compression accelerators for storage systems ";
+  constexpr size_t kPhraseLen = sizeof(phrase) - 1;
+  constexpr size_t kRunLen = 64;
+
+  size_t pos = 0;
+  size_t phrase_pos = 0;
+  while (pos < size) {
+    bool random_run = rng.NextDouble() < random_frac;
+    size_t run = std::min(kRunLen, size - pos);
+    if (random_run) {
+      for (size_t i = 0; i < run; ++i) {
+        out[pos + i] = rng.NextByte();
+      }
+    } else {
+      for (size_t i = 0; i < run; ++i) {
+        out[pos + i] = static_cast<uint8_t>(phrase[phrase_pos]);
+        phrase_pos = (phrase_pos + 1) % kPhraseLen;
+      }
+    }
+    pos += run;
+  }
+  return out;
+}
+
+std::vector<uint8_t> GenerateWithEntropy(double bits_per_byte, size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(size);
+  bits_per_byte = std::clamp(bits_per_byte, 0.0, 8.0);
+  if (bits_per_byte >= 7.99) {
+    for (auto& b : out) {
+      b = rng.NextByte();
+    }
+    return out;
+  }
+  // Draw from 2^ceil(H) symbols with a skew tuned so the realised Shannon
+  // entropy approaches the target: mix a uniform draw over 2^k symbols
+  // (entropy k) with a constant symbol, with mixing weight from H.
+  uint32_t k = static_cast<uint32_t>(std::ceil(bits_per_byte));
+  k = std::max(1u, k);
+  uint32_t alphabet = 1u << k;
+  // H(mix) ~= w * k for small alphabets; refine w by binary search on the
+  // binary-entropy-corrected estimate.
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 40; ++iter) {
+    double w = (lo + hi) / 2;
+    // Distribution: P(const) = 1-w + w/alphabet, others w/alphabet.
+    double p0 = 1.0 - w + w / alphabet;
+    double pi = w / alphabet;
+    double h = -p0 * std::log2(p0);
+    if (pi > 0) {
+      h -= (alphabet - 1) * pi * std::log2(pi);
+    }
+    if (h < bits_per_byte) {
+      lo = w;
+    } else {
+      hi = w;
+    }
+  }
+  double w = (lo + hi) / 2;
+  for (auto& b : out) {
+    if (rng.NextDouble() < w) {
+      b = static_cast<uint8_t>(rng.Uniform(alphabet));
+    } else {
+      b = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,48 @@
+// Synthetic data generators.
+//
+// The paper evaluates on the Silesia corpus (12 files spanning text, database
+// tables, executables, XML and medical images) plus an entropy-controlled
+// sweep for the compressibility experiments (Figure 12). We cannot ship
+// Silesia, so SilesiaLikeCorpus() synthesises the same *family* of patterns;
+// GenerateWithRatio() provides the compressibility dial.
+
+#ifndef SRC_WORKLOAD_DATAGEN_H_
+#define SRC_WORKLOAD_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdpu {
+
+struct CorpusFile {
+  std::string name;     // e.g. "dickens-like"
+  std::string category; // "text", "db", "binary", "xml", "image", "source"
+  std::vector<uint8_t> data;
+};
+
+// Deterministic Silesia-style corpus: 12 files, `file_size` bytes each.
+std::vector<CorpusFile> SilesiaLikeCorpus(size_t file_size = 256 * 1024, uint64_t seed = 42);
+
+// Generates `size` bytes whose *achievable* compression ratio under a
+// mid-strength dictionary coder is approximately `target_ratio`
+// (compressed/original, 0 < target_ratio <= 1). target_ratio >= 1 yields
+// incompressible (uniform random) data.
+std::vector<uint8_t> GenerateWithRatio(double target_ratio, size_t size, uint64_t seed = 1);
+
+// Generates `size` bytes with Shannon entropy close to `bits_per_byte`
+// (in [0, 8]) by drawing from a geometric-ish symbol distribution. This
+// controls entropy-coding difficulty independent of match structure.
+std::vector<uint8_t> GenerateWithEntropy(double bits_per_byte, size_t size, uint64_t seed = 1);
+
+// Individual pattern generators (also used directly by tests).
+std::vector<uint8_t> GenerateTextLike(size_t size, uint64_t seed);
+std::vector<uint8_t> GenerateDbTableLike(size_t size, uint64_t seed);
+std::vector<uint8_t> GenerateBinaryLike(size_t size, uint64_t seed);
+std::vector<uint8_t> GenerateXmlLike(size_t size, uint64_t seed);
+std::vector<uint8_t> GenerateImageLike(size_t size, uint64_t seed);
+std::vector<uint8_t> GenerateSourceLike(size_t size, uint64_t seed);
+
+}  // namespace cdpu
+
+#endif  // SRC_WORKLOAD_DATAGEN_H_

@@ -1,0 +1,82 @@
+#include "src/workload/ycsb.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(n, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) const {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  double v = static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t result = static_cast<uint64_t>(v);
+  return result >= n_ ? n_ - 1 : result;
+}
+
+YcsbWorkload::YcsbWorkload(const YcsbConfig& config)
+    : config_(config), zipf_(config.record_count, 0.99, config.seed),
+      op_rng_(config.seed ^ 0xabcdef) {}
+
+YcsbRequest YcsbWorkload::NextRequest() {
+  double p = op_rng_.NextDouble();
+  switch (config_.workload) {
+    case 'B':  // 95% read / 5% update, zipfian
+      return YcsbRequest{p < 0.95 ? YcsbOp::kRead : YcsbOp::kUpdate, zipf_.Next()};
+    case 'C':  // 100% read, zipfian
+      return YcsbRequest{YcsbOp::kRead, zipf_.Next()};
+    case 'D': {  // 95% read-latest / 5% insert
+      if (p < 0.05) {
+        uint64_t key = config_.record_count + inserted_;
+        ++inserted_;
+        return YcsbRequest{YcsbOp::kInsert, key};
+      }
+      // Read-latest: zipfian over recency — rank 0 is the newest key.
+      uint64_t total = config_.record_count + inserted_;
+      uint64_t back = zipf_.Next() % total;
+      return YcsbRequest{YcsbOp::kRead, total - 1 - back};
+    }
+    case 'F':  // 50% read / 50% read-modify-write
+      return YcsbRequest{p < 0.5 ? YcsbOp::kRead : YcsbOp::kReadModifyWrite, zipf_.Next()};
+    case 'A':
+    default:  // 50% read / 50% update
+      return YcsbRequest{p < 0.5 ? YcsbOp::kRead : YcsbOp::kUpdate, zipf_.Next()};
+  }
+}
+
+std::vector<uint8_t> YcsbWorkload::MakeValue(uint64_t key) const {
+  return GenerateTextLike(config_.value_size, config_.seed * 1315423911ull + key);
+}
+
+std::string YcsbWorkload::KeyString(uint64_t key) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "user%016llu", static_cast<unsigned long long>(key));
+  return std::string(buf);
+}
+
+}  // namespace cdpu

@@ -1,0 +1,84 @@
+// YCSB workload generator (Cooper et al., SoCC'10). The paper uses
+// Workload A (50% read / 50% update, zipfian) and F (50% read / 50%
+// read-modify-write); B (95/5), C (read-only) and D (read-latest with
+// inserts) are included for completeness. Values are compressible field
+// payloads so database compression has something to do.
+
+#ifndef SRC_WORKLOAD_YCSB_H_
+#define SRC_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace cdpu {
+
+// Gray et al. zipfian generator over [0, n) with theta = 0.99 (YCSB default).
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 7);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Rng rng_;
+};
+
+enum class YcsbOp : uint8_t {
+  kRead,
+  kUpdate,
+  kInsert,
+  kReadModifyWrite,
+};
+
+struct YcsbRequest {
+  YcsbOp op;
+  uint64_t key;
+};
+
+struct YcsbConfig {
+  char workload = 'A';          // 'A','B','C','D','F'
+  uint64_t record_count = 10000;
+  size_t value_size = 1000;     // YCSB default: 10 fields x 100 B
+  uint64_t seed = 7;
+};
+
+class YcsbWorkload {
+ public:
+  explicit YcsbWorkload(const YcsbConfig& config);
+
+  // The load phase key sequence is simply 0..record_count-1.
+  uint64_t record_count() const { return config_.record_count; }
+
+  YcsbRequest NextRequest();
+
+  // Total records including workload-D inserts issued so far.
+  uint64_t current_record_count() const { return config_.record_count + inserted_; }
+
+  // Deterministic compressible value for `key` (text-like field payload).
+  std::vector<uint8_t> MakeValue(uint64_t key) const;
+
+  static std::string KeyString(uint64_t key);
+
+ private:
+  YcsbConfig config_;
+  ZipfianGenerator zipf_;
+  Rng op_rng_;
+  uint64_t inserted_ = 0;  // workload D grows the keyspace
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_WORKLOAD_YCSB_H_

@@ -1,0 +1,211 @@
+// Unit tests for src/common: status, bit streams, varints, stats, RNG, CRC.
+
+#include <gtest/gtest.h>
+
+#include "src/common/bitstream.h"
+#include "src/common/crc32.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/varint.h"
+
+namespace cdpu {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::CorruptData("bad magic");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruptData);
+  EXPECT_EQ(s.ToString(), "CORRUPT_DATA: bad magic");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("x"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitstreamTest, RoundTripMixedWidths) {
+  std::vector<uint8_t> buf;
+  BitWriter bw(&buf);
+  bw.Write(0b101, 3);
+  bw.Write(0xbeef, 16);
+  bw.Write(1, 1);
+  bw.Write(0x1234567, 28);
+  bw.AlignToByte();
+
+  BitReader br(buf);
+  EXPECT_EQ(br.Read(3), 0b101u);
+  EXPECT_EQ(br.Read(16), 0xbeefu);
+  EXPECT_EQ(br.Read(1), 1u);
+  EXPECT_EQ(br.Read(28), 0x1234567u);
+  EXPECT_FALSE(br.overflowed());
+}
+
+TEST(BitstreamTest, PeekDoesNotConsume) {
+  std::vector<uint8_t> buf;
+  BitWriter bw(&buf);
+  bw.Write(0xab, 8);
+  bw.AlignToByte();
+
+  BitReader br(buf);
+  EXPECT_EQ(br.Peek(8), 0xabu);
+  EXPECT_EQ(br.Peek(8), 0xabu);
+  EXPECT_EQ(br.Read(8), 0xabu);
+}
+
+TEST(BitstreamTest, OverflowDetected) {
+  std::vector<uint8_t> buf = {0xff};
+  BitReader br(buf);
+  br.Read(8);
+  br.Read(8);
+  EXPECT_TRUE(br.overflowed());
+}
+
+TEST(BitstreamTest, BackwardReaderReadsReverseOrder) {
+  std::vector<uint8_t> buf;
+  MarkedBitWriter bw(&buf);
+  bw.Write(0b110, 3);   // written first
+  bw.Write(0b01, 2);    // written second
+  bw.Finish();
+
+  BackwardBitReader br(buf);
+  EXPECT_EQ(br.Read(2), 0b01u);  // most recently written comes out first
+  EXPECT_EQ(br.Read(3), 0b110u);
+  EXPECT_FALSE(br.overflowed());
+}
+
+TEST(BitstreamTest, BackwardReaderLongStream) {
+  std::vector<uint8_t> buf;
+  MarkedBitWriter bw(&buf);
+  Rng rng(3);
+  std::vector<std::pair<uint64_t, uint32_t>> writes;
+  for (int i = 0; i < 500; ++i) {
+    uint32_t width = 1 + static_cast<uint32_t>(rng.Uniform(24));
+    uint64_t v = rng.Next() & ((uint64_t{1} << width) - 1);
+    writes.push_back({v, width});
+    bw.Write(v, width);
+  }
+  bw.Finish();
+
+  BackwardBitReader br(buf);
+  for (auto it = writes.rbegin(); it != writes.rend(); ++it) {
+    EXPECT_EQ(br.Read(it->second), it->first);
+  }
+  EXPECT_FALSE(br.overflowed());
+}
+
+TEST(VarintTest, RoundTrip32) {
+  std::vector<uint8_t> buf;
+  for (uint32_t v : {0u, 1u, 127u, 128u, 300u, 1u << 20, 0xffffffffu}) {
+    buf.clear();
+    PutVarint32(&buf, v);
+    size_t pos = 0;
+    auto got = GetVarint32(buf, &pos);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, RoundTrip64) {
+  std::vector<uint8_t> buf;
+  for (uint64_t v : {uint64_t{0}, uint64_t{1} << 40, ~uint64_t{0}}) {
+    buf.clear();
+    PutVarint64(&buf, v);
+    size_t pos = 0;
+    auto got = GetVarint64(buf, &pos);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(VarintTest, TruncatedReturnsNullopt) {
+  std::vector<uint8_t> buf = {0x80, 0x80};  // continuation without end
+  size_t pos = 0;
+  EXPECT_FALSE(GetVarint32(buf, &pos).has_value());
+}
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, SampleSetPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Median(), 50.5);
+  EXPECT_NEAR(s.Percentile(99), 99.01, 0.1);
+  EXPECT_EQ(s.Min(), 1.0);
+  EXPECT_EQ(s.Max(), 100.0);
+}
+
+TEST(StatsTest, CvOfConstantIsZero) {
+  SampleSet s;
+  for (int i = 0; i < 10; ++i) {
+    s.Add(3.5);
+  }
+  EXPECT_DOUBLE_EQ(s.CvPercent(), 0.0);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (standard check value).
+  const char* s = "123456789";
+  std::span<const uint8_t> data(reinterpret_cast<const uint8_t*>(s), 9);
+  EXPECT_EQ(Crc32(data), 0xcbf43926u);
+}
+
+TEST(Crc32Test, ChainingMatchesOneShot) {
+  std::vector<uint8_t> data(1000);
+  Rng rng(9);
+  for (auto& b : data) {
+    b = rng.NextByte();
+  }
+  uint32_t whole = Crc32(data);
+  uint32_t part = Crc32(std::span<const uint8_t>(data).subspan(0, 400));
+  part = Crc32(std::span<const uint8_t>(data).subspan(400), part);
+  EXPECT_EQ(whole, part);
+}
+
+}  // namespace
+}  // namespace cdpu

@@ -1,0 +1,447 @@
+// Tests for the DPZip core: hardware-model LZ77, the 3-stage 11-bit Huffman
+// canonicalisation, the frame codec, and the pipeline timing model.
+
+#include <gtest/gtest.h>
+
+#include "src/codecs/entropy.h"
+#include "src/core/dpzip_codec.h"
+#include "src/core/dpzip_huffman.h"
+#include "src/core/dpzip_lz77.h"
+#include "src/core/pipeline_model.h"
+#include "src/common/rng.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> d(n);
+  for (auto& b : d) {
+    b = rng.NextByte();
+  }
+  return d;
+}
+
+// ------------------------------------------------------------------- lz77
+
+TEST(DpzipLz77Test, RoundTripText) {
+  DpzipLz77Encoder enc;
+  DpzipLz77Decoder dec;
+  std::vector<uint8_t> data = GenerateTextLike(4096, 1);
+
+  std::vector<Lz77Token> tokens;
+  std::vector<uint8_t> literals;
+  Lz77EncodeStats es;
+  enc.Encode(data, &tokens, &literals, &es);
+  EXPECT_GT(es.matches_emitted, 0u);
+
+  std::vector<uint8_t> out;
+  Lz77DecodeStats ds;
+  ASSERT_TRUE(dec.Decode(tokens, literals, &out, &ds).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(ds.literal_bytes + ds.match_bytes, data.size());
+}
+
+TEST(DpzipLz77Test, RoundTripAllPatterns) {
+  DpzipLz77Encoder enc;
+  DpzipLz77Decoder dec;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    for (auto gen : {GenerateTextLike, GenerateDbTableLike, GenerateBinaryLike,
+                     GenerateXmlLike, GenerateImageLike}) {
+      std::vector<uint8_t> data = gen(4096, seed + 10);
+      std::vector<Lz77Token> tokens;
+      std::vector<uint8_t> literals;
+      enc.Encode(data, &tokens, &literals, nullptr);
+      std::vector<uint8_t> out;
+      ASSERT_TRUE(dec.Decode(tokens, literals, &out, nullptr).ok());
+      ASSERT_EQ(out, data);
+    }
+  }
+}
+
+TEST(DpzipLz77Test, RoundTripEdgeSizes) {
+  DpzipLz77Encoder enc;
+  DpzipLz77Decoder dec;
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{5}, size_t{16}}) {
+    std::vector<uint8_t> data = RandomBytes(n, n + 1);
+    std::vector<Lz77Token> tokens;
+    std::vector<uint8_t> literals;
+    enc.Encode(data, &tokens, &literals, nullptr);
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(dec.Decode(tokens, literals, &out, nullptr).ok());
+    ASSERT_EQ(out, data) << "size " << n;
+  }
+}
+
+TEST(DpzipLz77Test, OverlappingShortOffsetMatches) {
+  // "aaaa..." forces offset-1 overlapping copies, the §3.2.4 corner case.
+  DpzipLz77Encoder enc;
+  DpzipLz77Decoder dec;
+  std::vector<uint8_t> data(4096, 'a');
+  std::vector<Lz77Token> tokens;
+  std::vector<uint8_t> literals;
+  enc.Encode(data, &tokens, &literals, nullptr);
+  std::vector<uint8_t> out;
+  Lz77DecodeStats ds;
+  ASSERT_TRUE(dec.Decode(tokens, literals, &out, &ds).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_GT(ds.register_hits, 0u);  // offset 1 served by recent-data buffer
+  EXPECT_EQ(ds.sram_reads, 0u);
+}
+
+TEST(DpzipLz77Test, LongOffsetsUseSram) {
+  // Two copies of a block 8 KB apart: offsets beyond the 256 B register
+  // buffer must be charged as SRAM reads.
+  std::vector<uint8_t> unique = RandomBytes(1024, 3);
+  std::vector<uint8_t> data;
+  data.insert(data.end(), unique.begin(), unique.end());
+  data.resize(8192, '.');
+  data.insert(data.end(), unique.begin(), unique.end());
+
+  DpzipLz77Encoder enc;
+  DpzipLz77Decoder dec;
+  std::vector<Lz77Token> tokens;
+  std::vector<uint8_t> literals;
+  enc.Encode(data, &tokens, &literals, nullptr);
+  std::vector<uint8_t> out;
+  Lz77DecodeStats ds;
+  ASSERT_TRUE(dec.Decode(tokens, literals, &out, &ds).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_GT(ds.sram_reads, 0u);
+}
+
+TEST(DpzipLz77Test, IncompressibleEmitsFewCompares) {
+  // Finding 5: the two-level scheme avoids unrewarded matching attempts.
+  DpzipLz77Encoder enc;
+  std::vector<uint8_t> data = RandomBytes(64 * 1024, 4);
+  std::vector<Lz77Token> tokens;
+  std::vector<uint8_t> literals;
+  Lz77EncodeStats es;
+  enc.Encode(data, &tokens, &literals, &es);
+  // Stage-1 hash checks filter almost everything; stage-2 compares are rare.
+  EXPECT_LT(static_cast<double>(es.candidate_compares),
+            0.05 * static_cast<double>(es.positions_processed));
+  EXPECT_GT(es.skips, 0u);
+}
+
+TEST(DpzipLz77Test, FirstFitTradesRatioForSimplicity) {
+  std::vector<uint8_t> data = GenerateTextLike(64 * 1024, 5);
+  DpzipLz77Config first_fit;
+  first_fit.first_fit = true;
+  DpzipLz77Config best_fit;
+  best_fit.first_fit = false;
+
+  auto coverage = [&](const DpzipLz77Config& cfg) {
+    DpzipLz77Encoder enc(cfg);
+    std::vector<Lz77Token> tokens;
+    std::vector<uint8_t> literals;
+    Lz77EncodeStats es;
+    enc.Encode(data, &tokens, &literals, &es);
+    return es.MatchCoverage();
+  };
+  EXPECT_LE(coverage(first_fit), coverage(best_fit) + 0.02);
+}
+
+TEST(DpzipLz77Test, DualHashWidensCandidateSelection) {
+  // §3.2.3: Hash0+Hash1 two-level candidate selection should match at least
+  // as much input as a single hash function over the same table.
+  std::vector<uint8_t> data = GenerateTextLike(64 * 1024, 6);
+  auto coverage = [&](bool dual) {
+    DpzipLz77Config cfg;
+    cfg.dual_hash = dual;
+    DpzipLz77Encoder enc(cfg);
+    double total = 0;
+    for (size_t off = 0; off + 4096 <= data.size(); off += 4096) {
+      std::vector<Lz77Token> tokens;
+      std::vector<uint8_t> literals;
+      Lz77EncodeStats es;
+      enc.Encode(std::span<const uint8_t>(data.data() + off, 4096), &tokens, &literals, &es);
+      total += es.MatchCoverage();
+    }
+    return total;
+  };
+  EXPECT_GE(coverage(true), coverage(false) * 0.99);
+}
+
+TEST(DpzipLz77Test, DecoderRejectsBadOffset) {
+  DpzipLz77Decoder dec;
+  std::vector<Lz77Token> tokens = {{0, 8, 100}};  // offset into nothing
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(dec.Decode(tokens, {}, &out, nullptr).ok());
+}
+
+TEST(DpzipLz77Test, DecoderRejectsLiteralOverrun) {
+  DpzipLz77Decoder dec;
+  std::vector<Lz77Token> tokens = {{10, 0, 0}};
+  std::vector<uint8_t> literals = {1, 2, 3};
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(dec.Decode(tokens, literals, &out, nullptr).ok());
+}
+
+// ---------------------------------------------------------------- huffman
+
+TEST(DpzipHuffmanTest, LengthsRespectElevenBitCap) {
+  // Exponentially skewed frequencies would need >11 bits unbounded.
+  std::vector<uint32_t> freqs(256, 0);
+  uint32_t f = 1;
+  for (size_t i = 0; i < 30; ++i) {
+    freqs[i] = f;
+    f = f < (1u << 26) ? f * 2 : f;
+  }
+  CanonicalizeStats stats;
+  std::vector<uint8_t> lengths = DpzipBuildLengths(freqs, 11, &stats);
+  uint64_t kraft = 0;
+  for (size_t i = 0; i < 256; ++i) {
+    if (freqs[i] > 0) {
+      ASSERT_GT(lengths[i], 0u);
+      ASSERT_LE(lengths[i], 11u);
+      kraft += uint64_t{1} << (11 - lengths[i]);
+    } else {
+      ASSERT_EQ(lengths[i], 0u);
+    }
+  }
+  EXPECT_EQ(kraft, uint64_t{1} << 11);
+  EXPECT_GT(stats.clipped_leaves, 0u);
+}
+
+TEST(DpzipHuffmanTest, ScheduleBoundedBy274) {
+  // T_max = 256 + 10 + 8 (§3.3). Sweep many distributions.
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint32_t> freqs(256, 0);
+    size_t present = 2 + rng.Uniform(254);
+    for (size_t i = 0; i < present; ++i) {
+      freqs[rng.Uniform(256)] = 1 + static_cast<uint32_t>(rng.Next() % 100000);
+    }
+    CanonicalizeStats stats;
+    DpzipBuildLengths(freqs, 11, &stats);
+    EXPECT_LE(stats.schedule_cycles, 274u) << "trial " << trial;
+  }
+}
+
+TEST(DpzipHuffmanTest, EncodeDecodeRoundTrip) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    std::vector<uint8_t> data = GenerateTextLike(4096, seed + 20);
+    std::vector<uint8_t> blob;
+    ASSERT_TRUE(DpzipHuffmanEncode(data, &blob, nullptr).ok());
+    std::vector<uint8_t> decoded;
+    size_t consumed = 0;
+    ASSERT_TRUE(DpzipHuffmanDecode(blob, data.size(), &consumed, &decoded).ok());
+    EXPECT_EQ(decoded, data);
+    EXPECT_EQ(consumed, blob.size());
+  }
+}
+
+TEST(DpzipHuffmanTest, CompressesSkewedText) {
+  std::vector<uint8_t> data = GenerateTextLike(16 * 1024, 21);
+  std::vector<uint8_t> blob;
+  ASSERT_TRUE(DpzipHuffmanEncode(data, &blob, nullptr).ok());
+  EXPECT_LT(blob.size(), data.size() * 0.8);
+}
+
+TEST(DpzipHuffmanTest, CapCostsLittleRatio) {
+  // The 11-bit ceiling should cost only a small ratio penalty vs 15-bit.
+  std::vector<uint8_t> data = GenerateTextLike(64 * 1024, 22);
+  std::array<uint32_t, 256> freqs{};
+  for (uint8_t b : data) {
+    ++freqs[b];
+  }
+  auto cost = [&](uint32_t max_bits) {
+    std::vector<uint8_t> lengths = DpzipBuildLengths(freqs, max_bits, nullptr);
+    uint64_t bits = 0;
+    for (size_t i = 0; i < 256; ++i) {
+      bits += static_cast<uint64_t>(freqs[i]) * lengths[i];
+    }
+    return bits;
+  };
+  uint64_t capped = cost(11);
+  uint64_t wide = cost(15);
+  EXPECT_LE(capped, wide + wide / 50);  // within 2%
+}
+
+// ------------------------------------------------------------------ codec
+
+class DpzipCodecRoundTrip : public ::testing::TestWithParam<std::pair<const char*, size_t>> {};
+
+TEST_P(DpzipCodecRoundTrip, RoundTrips) {
+  auto [pattern, size] = GetParam();
+  std::vector<uint8_t> data;
+  std::string p = pattern;
+  if (p == "text") {
+    data = GenerateTextLike(size, 30);
+  } else if (p == "db") {
+    data = GenerateDbTableLike(size, 31);
+  } else if (p == "binary") {
+    data = GenerateBinaryLike(size, 32);
+  } else if (p == "image") {
+    data = GenerateImageLike(size, 33);
+  } else if (p == "random") {
+    data = RandomBytes(size, 34);
+  } else if (p == "zeros") {
+    data = std::vector<uint8_t>(size, 0);
+  }
+
+  DpzipCodec codec;
+  ByteVec compressed;
+  Result<size_t> cr = codec.Compress(data, &compressed);
+  ASSERT_TRUE(cr.ok()) << cr.status().ToString();
+  ByteVec decompressed;
+  Result<size_t> dr = codec.Decompress(compressed, &decompressed);
+  ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+  EXPECT_EQ(decompressed, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, DpzipCodecRoundTrip,
+    ::testing::Values(std::make_pair("text", size_t{4096}), std::make_pair("db", size_t{4096}),
+                      std::make_pair("binary", size_t{4096}),
+                      std::make_pair("image", size_t{4096}),
+                      std::make_pair("random", size_t{4096}),
+                      std::make_pair("zeros", size_t{4096}),
+                      std::make_pair("text", size_t{65536}),
+                      std::make_pair("db", size_t{65536}),
+                      std::make_pair("random", size_t{1}),
+                      std::make_pair("text", size_t{0})),
+    [](const auto& info) {
+      return std::string(info.param.first) + "_" + std::to_string(info.param.second);
+    });
+
+TEST(DpzipCodecTest, IncompressibleStoredRaw) {
+  DpzipCodec codec;
+  std::vector<uint8_t> data = RandomBytes(4096, 40);
+  ByteVec out;
+  ASSERT_TRUE(codec.Compress(data, &out).ok());
+  EXPECT_TRUE(codec.last_stats().stored_raw);
+  EXPECT_LE(out.size(), data.size() + 16);  // bounded expansion
+}
+
+TEST(DpzipCodecTest, RatioTracksDeflateOn4K) {
+  // Finding 1: DPZip ~tracks Deflate at 4 KB granularity, slightly worse,
+  // and clearly beats the lightweight codecs.
+  std::vector<CorpusFile> corpus = SilesiaLikeCorpus(64 * 1024, 77);
+  DpzipCodec dpzip;
+  auto deflate = MakeCodec("deflate-1");
+  auto lz4 = MakeCodec("lz4");
+
+  double dpzip_sum = 0;
+  double deflate_sum = 0;
+  double lz4_sum = 0;
+  int pages = 0;
+  for (const CorpusFile& f : corpus) {
+    for (size_t off = 0; off + 4096 <= f.data.size(); off += 4096) {
+      ByteSpan page(f.data.data() + off, 4096);
+      dpzip_sum += dpzip.MeasureRatio(page);
+      deflate_sum += deflate->MeasureRatio(page);
+      lz4_sum += lz4->MeasureRatio(page);
+      ++pages;
+      if (pages >= 64) {
+        break;
+      }
+    }
+    if (pages >= 64) {
+      break;
+    }
+  }
+  double dpzip_avg = dpzip_sum / pages;
+  double deflate_avg = deflate_sum / pages;
+  double lz4_avg = lz4_sum / pages;
+  EXPECT_LT(dpzip_avg, lz4_avg);                  // beats lightweight
+  EXPECT_LT(dpzip_avg, deflate_avg + 0.08);       // close to Deflate
+}
+
+TEST(DpzipCodecTest, WorksThroughFactory) {
+  DpzipCodec::RegisterWithFactory();
+  std::unique_ptr<Codec> codec = MakeCodec("dpzip");
+  ASSERT_NE(codec, nullptr);
+  std::vector<uint8_t> data = GenerateTextLike(4096, 41);
+  ByteVec compressed;
+  ASSERT_TRUE(codec->Compress(data, &compressed).ok());
+  ByteVec decompressed;
+  ASSERT_TRUE(codec->Decompress(compressed, &decompressed).ok());
+  EXPECT_EQ(decompressed, data);
+}
+
+TEST(DpzipCodecTest, RejectsCorruptFrame) {
+  DpzipCodec codec;
+  std::vector<uint8_t> data = GenerateTextLike(4096, 42);
+  ByteVec compressed;
+  ASSERT_TRUE(codec.Compress(data, &compressed).ok());
+  compressed[0] = 0x77;  // bad flags
+  ByteVec out;
+  EXPECT_FALSE(codec.Decompress(compressed, &out).ok());
+}
+
+// --------------------------------------------------------- pipeline model
+
+TEST(PipelineModelTest, FourKbLatencyNearTwoMicroseconds) {
+  // §3.1: ~2 us 4 KB transfer latency; our compress path charges the
+  // canonicalisation and stalls on top of 512 streaming cycles.
+  DpzipCodec codec;
+  DpzipPipelineModel model;
+  std::vector<uint8_t> data = GenerateTextLike(4096, 50);
+  ByteVec out;
+  ASSERT_TRUE(codec.Compress(data, &out).ok());
+  DpzipTiming t = model.CompressLatency(codec.last_stats());
+  EXPECT_GT(t.nanos, 500u);
+  EXPECT_LT(t.nanos, 6000u);
+}
+
+TEST(PipelineModelTest, PeakThroughputIs16GBps) {
+  DpzipPipelineModel model;
+  EXPECT_DOUBLE_EQ(model.PeakThroughputGBps(), 8.0);  // 8B/cycle @ 1GHz
+  DpzipPipelineConfig wide;
+  wide.bytes_per_cycle = 16;
+  DpzipPipelineModel wide_model(wide);
+  EXPECT_DOUBLE_EQ(wide_model.PeakThroughputGBps(), 16.0);
+}
+
+TEST(PipelineModelTest, DecompressFasterThanCompress) {
+  DpzipCodec codec;
+  DpzipPipelineModel model;
+  std::vector<uint8_t> data = GenerateTextLike(4096, 51);
+  ByteVec compressed;
+  ASSERT_TRUE(codec.Compress(data, &compressed).ok());
+  DpzipTiming tc = model.CompressLatency(codec.last_stats());
+  ByteVec decompressed;
+  ASSERT_TRUE(codec.Decompress(compressed, &decompressed).ok());
+  DpzipTiming td = model.DecompressLatency(codec.last_stats());
+  EXPECT_LT(td.nanos, tc.nanos);
+}
+
+TEST(PipelineModelTest, RobustAcrossCompressibility) {
+  // Finding 5: DPZip throughput varies < ~15% across compressibility.
+  DpzipCodec codec;
+  DpzipPipelineModel model;
+  double best = 0;
+  double worst = 1e18;
+  for (double ratio : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    std::vector<uint8_t> data = GenerateWithRatio(ratio, 4096, 52);
+    ByteVec out;
+    ASSERT_TRUE(codec.Compress(data, &out).ok());
+    DpzipTiming t = model.CompressLatency(codec.last_stats());
+    double gbps = static_cast<double>(data.size()) / static_cast<double>(t.nanos);
+    best = std::max(best, gbps);
+    worst = std::min(worst, gbps);
+  }
+  EXPECT_GT(worst, best * 0.75);
+}
+
+TEST(PipelineModelTest, RecentBufferAblationSlowsShortOffsets) {
+  DpzipCodec codec;
+  std::vector<uint8_t> data(4096, 'x');  // offset-1 matches everywhere
+  ByteVec compressed;
+  ASSERT_TRUE(codec.Compress(data, &compressed).ok());
+  ByteVec decompressed;
+  ASSERT_TRUE(codec.Decompress(compressed, &decompressed).ok());
+
+  DpzipPipelineModel with_buffer;
+  DpzipPipelineConfig no_buf_cfg;
+  no_buf_cfg.model_recent_buffer = false;
+  DpzipPipelineModel without_buffer(no_buf_cfg);
+  EXPECT_LT(with_buffer.DecompressLatency(codec.last_stats()).nanos,
+            without_buffer.DecompressLatency(codec.last_stats()).nanos);
+}
+
+}  // namespace
+}  // namespace cdpu

@@ -1,0 +1,198 @@
+// Tests for the DPZip §6 extension features: FSE literal coding, preset
+// dictionaries (the paper's earmarked future work), and multi-level
+// operation within the single algorithm.
+
+#include <gtest/gtest.h>
+
+#include "src/core/dpzip_codec.h"
+#include "src/common/rng.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+std::vector<uint8_t> Page(uint64_t seed) { return GenerateDbTableLike(4096, seed); }
+
+// ------------------------------------------------------------- fse literals
+
+TEST(DpzipFseModeTest, RoundTripsAllPatterns) {
+  DpzipCodecConfig cfg;
+  cfg.entropy = DpzipEntropyMode::kFse;
+  DpzipCodec codec(cfg);
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    for (auto gen : {GenerateTextLike, GenerateDbTableLike, GenerateBinaryLike,
+                     GenerateImageLike}) {
+      std::vector<uint8_t> data = gen(4096, seed + 300);
+      ByteVec compressed;
+      ASSERT_TRUE(codec.Compress(data, &compressed).ok());
+      ByteVec restored;
+      ASSERT_TRUE(codec.Decompress(compressed, &restored).ok());
+      ASSERT_EQ(restored, data);
+    }
+  }
+}
+
+TEST(DpzipFseModeTest, ComparableRatioToHuffman) {
+  DpzipCodecConfig fse_cfg;
+  fse_cfg.entropy = DpzipEntropyMode::kFse;
+  DpzipCodec fse(fse_cfg);
+  DpzipCodec huffman;
+  std::vector<uint8_t> data = GenerateTextLike(4096, 301);
+  double r_fse = fse.MeasureRatio(data);
+  double r_huff = huffman.MeasureRatio(data);
+  EXPECT_NEAR(r_fse, r_huff, 0.06);  // both entropy-code the same literals
+}
+
+TEST(DpzipFseModeTest, ModesAreNotCrossCompatibleButSelfDescribing) {
+  // A frame records its literal coding; either codec instance decodes it.
+  DpzipCodecConfig fse_cfg;
+  fse_cfg.entropy = DpzipEntropyMode::kFse;
+  DpzipCodec fse(fse_cfg);
+  DpzipCodec huffman;
+  std::vector<uint8_t> data = Page(302);
+  ByteVec blob;
+  ASSERT_TRUE(fse.Compress(data, &blob).ok());
+  ByteVec restored;
+  ASSERT_TRUE(huffman.Decompress(blob, &restored).ok());  // flags say FSE
+  EXPECT_EQ(restored, data);
+}
+
+// -------------------------------------------------------------- dictionary
+
+DpzipCodecConfig DictConfig(uint64_t seed) {
+  DpzipCodecConfig cfg;
+  cfg.dictionary = GenerateDbTableLike(8192, seed);
+  return cfg;
+}
+
+TEST(DpzipDictionaryTest, RoundTripWithSharedDictionary) {
+  DpzipCodecConfig cfg = DictConfig(500);
+  DpzipCodec codec(cfg);
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    std::vector<uint8_t> data = Page(500 + seed);  // same generator family
+    ByteVec compressed;
+    ASSERT_TRUE(codec.Compress(data, &compressed).ok());
+    ByteVec restored;
+    ASSERT_TRUE(codec.Decompress(compressed, &restored).ok());
+    ASSERT_EQ(restored, data);
+  }
+}
+
+TEST(DpzipDictionaryTest, ImprovesSmallPageRatio) {
+  // §6: preset dictionaries recover cross-page redundancy that the 4 KB
+  // granularity loses. Same-domain dictionary should improve the ratio.
+  DpzipCodecConfig cfg = DictConfig(510);
+  DpzipCodec with_dict(cfg);
+  DpzipCodec without;
+  double sum_with = 0;
+  double sum_without = 0;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    std::vector<uint8_t> data = Page(600 + seed);
+    sum_with += with_dict.MeasureRatio(data);
+    sum_without += without.MeasureRatio(data);
+  }
+  EXPECT_LT(sum_with, sum_without * 0.97);  // >= 3% better on average
+}
+
+TEST(DpzipDictionaryTest, WrongDictionaryRejected) {
+  DpzipCodec a(DictConfig(520));
+  DpzipCodec b(DictConfig(521));  // different dictionary
+  DpzipCodec none;
+  std::vector<uint8_t> data = Page(522);
+  ByteVec blob;
+  ASSERT_TRUE(a.Compress(data, &blob).ok());
+  ByteVec restored;
+  EXPECT_FALSE(b.Decompress(blob, &restored).ok());
+  EXPECT_FALSE(none.Decompress(blob, &restored).ok());
+}
+
+TEST(DpzipDictionaryTest, MatchesReachIntoDictionary) {
+  // A page that is a verbatim chunk of the dictionary should collapse.
+  DpzipCodecConfig cfg;
+  cfg.dictionary = GenerateTextLike(8192, 530);
+  DpzipCodec codec(cfg);
+  std::vector<uint8_t> data(cfg.dictionary.begin() + 1024, cfg.dictionary.begin() + 5120);
+  ByteVec compressed;
+  Result<size_t> r = codec.Compress(data, &compressed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(*r, data.size() / 8);  // nearly pure back-references
+  ByteVec restored;
+  ASSERT_TRUE(codec.Decompress(compressed, &restored).ok());
+  EXPECT_EQ(restored, data);
+}
+
+TEST(DpzipDictionaryTest, IncompressiblePagesStillBypass) {
+  DpzipCodec codec(DictConfig(540));
+  Rng rng(541);
+  std::vector<uint8_t> data(4096);
+  for (auto& b : data) {
+    b = rng.NextByte();
+  }
+  ByteVec compressed;
+  ASSERT_TRUE(codec.Compress(data, &compressed).ok());
+  EXPECT_TRUE(codec.last_stats().stored_raw);
+  ByteVec restored;
+  ASSERT_TRUE(codec.Decompress(compressed, &restored).ok());
+  EXPECT_EQ(restored, data);
+}
+
+// ------------------------------------------------------------------ levels
+
+TEST(DpzipLevelsTest, HigherLevelsNeverMuchWorse) {
+  std::vector<uint8_t> data = GenerateTextLike(65536, 550);
+  double prev = 1.0;
+  for (int level = 1; level <= 3; ++level) {
+    DpzipCodec codec(DpzipLz77ConfigForLevel(level));
+    double ratio = 0;
+    for (size_t off = 0; off + 4096 <= data.size(); off += 4096) {
+      ratio += codec.MeasureRatio(ByteSpan(data.data() + off, 4096));
+    }
+    ratio /= static_cast<double>(data.size() / 4096);
+    EXPECT_LE(ratio, prev + 0.01) << "level " << level;
+    prev = ratio;
+  }
+}
+
+TEST(DpzipLevelsTest, Level3BeatsLevel1Ratio) {
+  std::vector<uint8_t> data = GenerateTextLike(65536, 551);
+  DpzipCodec l1(DpzipLz77ConfigForLevel(1));
+  DpzipCodec l3(DpzipLz77ConfigForLevel(3));
+  double r1 = 0;
+  double r3 = 0;
+  for (size_t off = 0; off + 4096 <= data.size(); off += 4096) {
+    ByteSpan page(data.data() + off, 4096);
+    r1 += l1.MeasureRatio(page);
+    r3 += l3.MeasureRatio(page);
+  }
+  EXPECT_LT(r3, r1);
+}
+
+TEST(DpzipLevelsTest, AllLevelsRoundTrip) {
+  for (int level = 1; level <= 3; ++level) {
+    DpzipCodec codec(DpzipLz77ConfigForLevel(level));
+    std::vector<uint8_t> data = GenerateXmlLike(4096, 560 + level);
+    ByteVec compressed;
+    ASSERT_TRUE(codec.Compress(data, &compressed).ok());
+    ByteVec restored;
+    ASSERT_TRUE(codec.Decompress(compressed, &restored).ok());
+    EXPECT_EQ(restored, data) << "level " << level;
+  }
+}
+
+// Combined: dictionary + FSE + level 3.
+TEST(DpzipExtensionsTest, AllFeaturesTogether) {
+  DpzipCodecConfig cfg;
+  cfg.lz77 = DpzipLz77ConfigForLevel(3);
+  cfg.entropy = DpzipEntropyMode::kFse;
+  cfg.dictionary = GenerateDbTableLike(8192, 570);
+  DpzipCodec codec(cfg);
+  std::vector<uint8_t> data = Page(571);
+  ByteVec compressed;
+  ASSERT_TRUE(codec.Compress(data, &compressed).ok());
+  ByteVec restored;
+  ASSERT_TRUE(codec.Decompress(compressed, &restored).ok());
+  EXPECT_EQ(restored, data);
+}
+
+}  // namespace
+}  // namespace cdpu

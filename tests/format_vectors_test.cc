@@ -1,0 +1,202 @@
+// Wire-format interoperability vectors: hand-assembled byte streams in the
+// real LZ4 / Snappy / Deflate / Gzip formats that our decoders must accept,
+// and spot checks that our encoders emit structurally valid streams. These
+// pin the codecs to the published specifications rather than merely to
+// their own round trips.
+
+#include <gtest/gtest.h>
+
+#include "src/codecs/codec.h"
+#include "src/common/bitstream.h"
+#include "src/common/crc32.h"
+
+namespace cdpu {
+namespace {
+
+ByteVec Bytes(std::initializer_list<int> list) {
+  ByteVec v;
+  for (int b : list) {
+    v.push_back(static_cast<uint8_t>(b));
+  }
+  return v;
+}
+
+std::string AsString(const ByteVec& v) { return std::string(v.begin(), v.end()); }
+
+// -------------------------------------------------------------------- lz4
+
+TEST(Lz4FormatTest, DecodesLiteralOnlyBlock) {
+  // Token 0x50: literal length 5, no match (end of block). "abcde".
+  ByteVec block = Bytes({0x50, 'a', 'b', 'c', 'd', 'e'});
+  ByteVec out;
+  ASSERT_TRUE(MakeCodec("lz4")->Decompress(block, &out).ok());
+  EXPECT_EQ(AsString(out), "abcde");
+}
+
+TEST(Lz4FormatTest, DecodesOverlappingMatch) {
+  // Token 0x13: 1 literal, matchlen 4+3=7; literal 'a'; offset 1 (LE16);
+  // final token 0x00 ends the block: "a" + 7 copies = "aaaaaaaa".
+  ByteVec block = Bytes({0x13, 'a', 0x01, 0x00, 0x00});
+  ByteVec out;
+  ASSERT_TRUE(MakeCodec("lz4")->Decompress(block, &out).ok());
+  EXPECT_EQ(AsString(out), "aaaaaaaa");
+}
+
+TEST(Lz4FormatTest, DecodesExtendedLiteralLength) {
+  // Token 0xF0 + extension byte 5 -> literal run of 15+5=20 bytes.
+  ByteVec block = Bytes({0xF0, 5});
+  for (int i = 0; i < 20; ++i) {
+    block.push_back(static_cast<uint8_t>('A' + i));
+  }
+  ByteVec out;
+  ASSERT_TRUE(MakeCodec("lz4")->Decompress(block, &out).ok());
+  ASSERT_EQ(out.size(), 20u);
+  EXPECT_EQ(out[19], 'T');
+}
+
+TEST(Lz4FormatTest, RejectsZeroOffset) {
+  ByteVec block = Bytes({0x13, 'a', 0x00, 0x00, 0x00});  // offset 0: illegal
+  ByteVec out;
+  EXPECT_FALSE(MakeCodec("lz4")->Decompress(block, &out).ok());
+}
+
+// ----------------------------------------------------------------- snappy
+
+TEST(SnappyFormatTest, DecodesLiteralElement) {
+  // Preamble varint 5, literal tag (len-1)<<2 = 0x10, "hello".
+  ByteVec block = Bytes({0x05, 0x10, 'h', 'e', 'l', 'l', 'o'});
+  ByteVec out;
+  ASSERT_TRUE(MakeCodec("snappy")->Decompress(block, &out).ok());
+  EXPECT_EQ(AsString(out), "hello");
+}
+
+TEST(SnappyFormatTest, DecodesCopyOneByteOffset) {
+  // Preamble 8; literal 'a' (tag 0x00); copy-1: tag 0x01|((7-4)<<2)=0x0D,
+  // offset byte 0x01 -> seven more 'a's.
+  ByteVec block = Bytes({0x08, 0x00, 'a', 0x0D, 0x01});
+  ByteVec out;
+  ASSERT_TRUE(MakeCodec("snappy")->Decompress(block, &out).ok());
+  EXPECT_EQ(AsString(out), "aaaaaaaa");
+}
+
+TEST(SnappyFormatTest, DecodesCopyTwoByteOffset) {
+  // Preamble 10: "abcde" then copy-2 of 5 bytes at offset 5.
+  // copy-2 tag: 0x02 | ((5-1)<<2) = 0x12, offset LE16 = 5.
+  ByteVec block = Bytes({0x0A, 0x10, 'a', 'b', 'c', 'd', 'e', 0x12, 0x05, 0x00});
+  ByteVec out;
+  ASSERT_TRUE(MakeCodec("snappy")->Decompress(block, &out).ok());
+  EXPECT_EQ(AsString(out), "abcdeabcde");
+}
+
+TEST(SnappyFormatTest, RejectsLengthMismatch) {
+  ByteVec block = Bytes({0x09, 0x10, 'h', 'e', 'l', 'l', 'o'});  // claims 9, has 5
+  ByteVec out;
+  EXPECT_FALSE(MakeCodec("snappy")->Decompress(block, &out).ok());
+}
+
+// ---------------------------------------------------------------- deflate
+
+TEST(DeflateFormatTest, DecodesStoredBlock) {
+  // BFINAL=1, BTYPE=00, align, LEN=3, NLEN=~3, "abc".
+  ByteVec block = Bytes({0x01, 0x03, 0x00, 0xFC, 0xFF, 'a', 'b', 'c'});
+  ByteVec out;
+  ASSERT_TRUE(MakeCodec("deflate-1")->Decompress(block, &out).ok());
+  EXPECT_EQ(AsString(out), "abc");
+}
+
+TEST(DeflateFormatTest, DecodesFixedHuffmanLiterals) {
+  // Assemble a fixed-Huffman block for "hi" with our bit writer, following
+  // RFC 1951 §3.2.6: 'h' (0x68) -> code 0x98-0x30+... all literals < 144
+  // use 8-bit codes 0x30+c; EOB (256) is 7-bit code 0.
+  ByteVec block;
+  BitWriter bw(&block);
+  bw.Write(1, 1);  // BFINAL
+  bw.Write(1, 2);  // fixed
+  auto put_lit = [&](uint8_t c) {
+    uint16_t code = static_cast<uint16_t>(0x30 + c);
+    // Codes are transmitted MSB-first -> reverse for the LSB-first stream.
+    uint16_t rev = 0;
+    for (int i = 0; i < 8; ++i) {
+      rev = static_cast<uint16_t>((rev << 1) | ((code >> i) & 1));
+    }
+    bw.Write(rev, 8);
+  };
+  put_lit('h');
+  put_lit('i');
+  bw.Write(0, 7);  // EOB: 7-bit code 0000000
+  bw.AlignToByte();
+
+  ByteVec out;
+  ASSERT_TRUE(MakeCodec("deflate-1")->Decompress(block, &out).ok());
+  EXPECT_EQ(AsString(out), "hi");
+}
+
+TEST(DeflateFormatTest, MultiBlockStream) {
+  // Two stored blocks: "ab" (BFINAL=0) then "cd" (BFINAL=1).
+  ByteVec block = Bytes({0x00, 0x02, 0x00, 0xFD, 0xFF, 'a', 'b',
+                         0x01, 0x02, 0x00, 0xFD, 0xFF, 'c', 'd'});
+  ByteVec out;
+  ASSERT_TRUE(MakeCodec("deflate-1")->Decompress(block, &out).ok());
+  EXPECT_EQ(AsString(out), "abcd");
+}
+
+TEST(DeflateFormatTest, RejectsReservedBlockType) {
+  ByteVec block = Bytes({0x07});  // BFINAL=1, BTYPE=11 (reserved)
+  ByteVec out;
+  EXPECT_FALSE(MakeCodec("deflate-1")->Decompress(block, &out).ok());
+}
+
+TEST(DeflateFormatTest, RejectsBadStoredComplement) {
+  ByteVec block = Bytes({0x01, 0x03, 0x00, 0x00, 0x00, 'a', 'b', 'c'});
+  ByteVec out;
+  EXPECT_FALSE(MakeCodec("deflate-1")->Decompress(block, &out).ok());
+}
+
+// ------------------------------------------------------------------- gzip
+
+TEST(GzipFormatTest, DecodesHandAssembledMember) {
+  // Header + stored-deflate "abc" + CRC32("abc") + ISIZE 3.
+  ByteVec stream = Bytes({0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 255,
+                          0x01, 0x03, 0x00, 0xFC, 0xFF, 'a', 'b', 'c'});
+  ByteVec payload = Bytes({'a', 'b', 'c'});
+  uint32_t crc = Crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    stream.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xff));
+  }
+  stream.insert(stream.end(), {3, 0, 0, 0});
+  ByteVec out;
+  ASSERT_TRUE(MakeCodec("gzip-1")->Decompress(stream, &out).ok());
+  EXPECT_EQ(AsString(out), "abc");
+}
+
+TEST(GzipFormatTest, SkipsOptionalNameField) {
+  // FLG.FNAME set: a NUL-terminated name between header and body.
+  ByteVec stream = Bytes({0x1f, 0x8b, 8, 0x08, 0, 0, 0, 0, 0, 255,
+                          'f', '.', 't', 'x', 't', 0,
+                          0x01, 0x01, 0x00, 0xFE, 0xFF, 'x'});
+  ByteVec payload = Bytes({'x'});
+  uint32_t crc = Crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    stream.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xff));
+  }
+  stream.insert(stream.end(), {1, 0, 0, 0});
+  ByteVec out;
+  ASSERT_TRUE(MakeCodec("gzip-1")->Decompress(stream, &out).ok());
+  EXPECT_EQ(AsString(out), "x");
+}
+
+TEST(GzipFormatTest, EncoderEmitsCanonicalHeader) {
+  ByteVec data = Bytes({'t', 'e', 's', 't'});
+  ByteVec out;
+  ASSERT_TRUE(MakeCodec("gzip-1")->Compress(data, &out).ok());
+  ASSERT_GE(out.size(), 18u);
+  EXPECT_EQ(out[0], 0x1f);
+  EXPECT_EQ(out[1], 0x8b);
+  EXPECT_EQ(out[2], 8);  // deflate method
+  // ISIZE trailer == 4.
+  EXPECT_EQ(out[out.size() - 4], 4);
+  EXPECT_EQ(out[out.size() - 3], 0);
+}
+
+}  // namespace
+}  // namespace cdpu

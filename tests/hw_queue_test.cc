@@ -1,0 +1,110 @@
+// Tests for the shared-device queue (CdpuQueue), the bounded MultiServerQueue
+// rejection path, and the scheme factory wiring.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/cdpu_queue.h"
+#include "src/hw/device_configs.h"
+#include "src/sim/queueing.h"
+#include "src/ssd/scheme.h"
+
+namespace cdpu {
+namespace {
+
+TEST(CdpuQueueTest, SequentialRequestsSerializeOnOneEngine) {
+  CdpuConfig cfg = Qat4xxxConfig();
+  cfg.engines = 1;
+  CdpuQueue q(cfg);
+  SimNanos c1 = q.Submit(CdpuOp::kCompress, 65536, 0.45, 0);
+  SimNanos c2 = q.Submit(CdpuOp::kCompress, 65536, 0.45, 0);
+  // Second request waits for the single engine.
+  EXPECT_GT(c2, c1);
+  EXPECT_EQ(q.requests(), 2u);
+  EXPECT_GT(q.busy_ns(), 0u);
+}
+
+TEST(CdpuQueueTest, ParallelEnginesOverlap) {
+  CdpuConfig cfg = Qat4xxxConfig();
+  CdpuQueue q(cfg);  // 2 engines
+  SimNanos c1 = q.Submit(CdpuOp::kCompress, 65536, 0.45, 0);
+  SimNanos c2 = q.Submit(CdpuOp::kCompress, 65536, 0.45, 0);
+  EXPECT_NEAR(static_cast<double>(c2), static_cast<double>(c1),
+              static_cast<double>(c1) * 0.2);
+}
+
+TEST(CdpuQueueTest, ContentionRaisesLatency) {
+  CdpuQueue q(Qat8970Config());
+  SimNanos base = q.Submit(CdpuOp::kCompress, 4096, 0.45, 0);
+  SimNanos last = 0;
+  for (int i = 0; i < 100; ++i) {
+    last = q.Submit(CdpuOp::kCompress, 4096, 0.45, 0);  // all arrive at t=0
+  }
+  EXPECT_GT(last - 0, (base - 0) * 4);  // deep backlog
+}
+
+TEST(CdpuQueueTest, InStorageSkipsHostLink) {
+  CdpuQueue dpzip(DpzipCdpuConfig());
+  CdpuQueue qat(Qat8970Config());
+  SimNanos d = dpzip.Submit(CdpuOp::kCompress, 4096, 0.45, 0);
+  SimNanos q = qat.Submit(CdpuOp::kCompress, 4096, 0.45, 0);
+  EXPECT_LT(d, q);  // no PCIe DMA, no heavy driver stack
+}
+
+TEST(MultiServerQueueTest, BoundedQueueRejects) {
+  MultiServerQueue q(1, /*queue_limit=*/2);
+  // One in service, two queued; the fourth concurrent arrival is rejected.
+  EXPECT_FALSE(q.Submit(0, 1000).rejected);
+  EXPECT_FALSE(q.Submit(0, 1000).rejected);
+  EXPECT_FALSE(q.Submit(0, 1000).rejected);
+  ServiceOutcome fourth = q.Submit(0, 1000);
+  EXPECT_TRUE(fourth.rejected);
+  EXPECT_EQ(q.rejected(), 1u);
+  // After the backlog drains, new arrivals are admitted again.
+  EXPECT_FALSE(q.Submit(10000, 1000).rejected);
+}
+
+TEST(MultiServerQueueTest, ResetClearsState) {
+  MultiServerQueue q(2);
+  q.Submit(0, 500);
+  q.Reset();
+  EXPECT_EQ(q.completed(), 0u);
+  EXPECT_EQ(q.busy_ns(), 0u);
+  ServiceOutcome o = q.Submit(0, 500);
+  EXPECT_EQ(o.start, 0u);
+}
+
+TEST(SchemeTest, NamesAndBackendsConsistent) {
+  EXPECT_STREQ(SchemeName(CompressionScheme::kOff), "OFF");
+  EXPECT_STREQ(SchemeName(CompressionScheme::kDpCsd), "DP-CSD");
+
+  CompressionBackend off = MakeSchemeBackend(CompressionScheme::kOff);
+  EXPECT_EQ(off.codec, nullptr);
+  EXPECT_EQ(off.device, nullptr);
+
+  CompressionBackend qat = MakeSchemeBackend(CompressionScheme::kQat4xxx);
+  ASSERT_NE(qat.codec, nullptr);
+  ASSERT_NE(qat.device, nullptr);
+  EXPECT_EQ(qat.device->config().placement, Placement::kOnChip);
+
+  CompressionBackend dpcsd = MakeSchemeBackend(CompressionScheme::kDpCsd);
+  EXPECT_EQ(dpcsd.codec, nullptr);  // app-transparent
+}
+
+TEST(SchemeTest, SsdPersonalities) {
+  EXPECT_EQ(MakeSchemeSsdConfig(CompressionScheme::kOff).compression,
+            SsdCompressionMode::kNone);
+  EXPECT_EQ(MakeSchemeSsdConfig(CompressionScheme::kDpCsd).compression,
+            SsdCompressionMode::kDpzip);
+  SsdConfig csd = MakeSchemeSsdConfig(CompressionScheme::kCsd2000);
+  EXPECT_EQ(csd.compression, SsdCompressionMode::kFpgaGzip);
+  EXPECT_EQ(csd.cdpu_engines, 1u);  // single FPGA engine (Finding 7)
+  EXPECT_EQ(csd.host_link.name, "pcie3x4");
+}
+
+TEST(SchemeTest, NandSizedForLogicalSpace) {
+  SsdConfig c = MakeSchemeSsdConfig(CompressionScheme::kOff, 1 << 20);
+  EXPECT_GE(c.ftl.nand.TotalPages(), (1u << 20) + (1u << 18));  // 25% OP
+}
+
+}  // namespace
+}  // namespace cdpu

@@ -1,0 +1,265 @@
+// Tests for the hardware models: interconnects, CDPU device models,
+// closed-loop queueing, fleet scaling, and the power meter. Assertions
+// target the paper's orderings and rough magnitudes (Findings 3, 4, 5, 6,
+// 14), not exact testbed numbers.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/cdpu_device.h"
+#include "src/hw/device_configs.h"
+#include "src/hw/interconnect.h"
+#include "src/hw/power.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/queueing.h"
+
+namespace cdpu {
+namespace {
+
+constexpr uint64_t k4K = 4096;
+constexpr uint64_t k64K = 65536;
+
+// ---------------------------------------------------------------- sim/queue
+
+TEST(EventQueueTest, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(300, [&] { order.push_back(3); });
+  q.ScheduleAt(100, [&] { order.push_back(1); });
+  q.ScheduleAt(200, [&] { order.push_back(2); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 300u);
+}
+
+TEST(EventQueueTest, TiesDispatchInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(100, [&] { order.push_back(1); });
+  q.ScheduleAt(100, [&] { order.push_back(2); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, HandlersCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) {
+      q.ScheduleAfter(10, tick);
+    }
+  };
+  q.ScheduleAt(0, tick);
+  q.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(MultiServerQueueTest, ParallelServersOverlap) {
+  MultiServerQueue q(2);
+  ServiceOutcome a = q.Submit(0, 100);
+  ServiceOutcome b = q.Submit(0, 100);
+  ServiceOutcome c = q.Submit(0, 100);
+  EXPECT_EQ(a.completion, 100u);
+  EXPECT_EQ(b.completion, 100u);
+  EXPECT_EQ(c.start, 100u);  // third waits for a free server
+  EXPECT_EQ(c.completion, 200u);
+}
+
+TEST(MultiServerQueueTest, UtilizationAccounting) {
+  MultiServerQueue q(1);
+  q.Submit(0, 50);
+  q.Submit(100, 50);
+  EXPECT_EQ(q.busy_ns(), 100u);
+  EXPECT_EQ(q.last_completion(), 150u);
+}
+
+// ------------------------------------------------------------ interconnect
+
+TEST(InterconnectTest, OnChipBeatsPeripheralLatency) {
+  // Finding 3: memory proximity. 64 KB over CMI ~ hundreds of ns; over
+  // PCIe 3 with descriptor overheads ~ tens of us (Figure 11a: up to 70x).
+  Link cmi(CmiLink());
+  Link pcie(Pcie3x16Link());
+  SimNanos cmi_64k = cmi.TransferLatency(k64K);
+  SimNanos pcie_64k = pcie.TransferLatency(k64K);
+  EXPECT_LT(cmi_64k, 1000u);
+  EXPECT_GT(static_cast<double>(pcie_64k) / static_cast<double>(cmi_64k), 10.0);
+}
+
+TEST(InterconnectTest, DdioBoostsEffectiveBandwidth) {
+  LinkConfig base = CmiLink();
+  Link with_ddio(base);
+  base.ddio = false;
+  Link without(base);
+  EXPECT_GT(with_ddio.EffectiveGbps(), without.EffectiveGbps());
+}
+
+TEST(InterconnectTest, TransferScalesWithSize) {
+  Link link(Pcie5x4Link());
+  EXPECT_LT(link.TransferLatency(k4K), link.TransferLatency(k64K));
+}
+
+// ------------------------------------------------------------- device model
+
+TEST(CdpuDeviceTest, LatencyOrderingMatchesFinding3And4) {
+  // CPU (70us) > QAT 8970 (28us) > QAT 4xxx (9us) > DPZip (4.7us) compress.
+  CdpuDevice cpu(CpuSoftwareConfig("deflate"));
+  CdpuDevice qat8970(Qat8970Config());
+  CdpuDevice qat4xxx(Qat4xxxConfig());
+  CdpuDevice dpzip(DpzipCdpuConfig());
+  double r = 0.45;
+
+  SimNanos l_cpu = cpu.RequestLatency(CdpuOp::kCompress, k4K, r);
+  SimNanos l_8970 = qat8970.RequestLatency(CdpuOp::kCompress, k4K, r);
+  SimNanos l_4xxx = qat4xxx.RequestLatency(CdpuOp::kCompress, k4K, r);
+  SimNanos l_dpzip = dpzip.RequestLatency(CdpuOp::kCompress, k4K, r);
+
+  EXPECT_GT(l_cpu, l_8970);
+  EXPECT_GT(l_8970, l_4xxx);
+  EXPECT_GT(l_4xxx, l_dpzip);
+  // Magnitudes within ~2x of the paper's Figure 8b.
+  EXPECT_NEAR(static_cast<double>(l_cpu), 70000.0, 35000.0);
+  EXPECT_NEAR(static_cast<double>(l_4xxx), 9000.0, 5000.0);
+  EXPECT_LT(l_dpzip, 8000u);
+}
+
+TEST(CdpuDeviceTest, TraceStagesSumToRequestLatency) {
+  for (const CdpuConfig& cfg : {Qat8970Config(), Qat4xxxConfig(), DpzipCdpuConfig()}) {
+    CdpuDevice dev(cfg);
+    for (CdpuOp op : {CdpuOp::kCompress, CdpuOp::kDecompress}) {
+      CdpuDevice::RequestTrace t = dev.TraceRequest(op, k4K, 0.45);
+      EXPECT_EQ(t.total(), dev.RequestLatency(op, k4K, 0.45)) << cfg.name;
+      EXPECT_GT(t.service, 0u) << cfg.name;
+    }
+  }
+}
+
+TEST(CdpuDeviceTest, TraceShowsPlacementInDmaStage) {
+  // Figure 10/11: the placement difference is the DMA stage, not the engine.
+  CdpuDevice peripheral(Qat8970Config());
+  CdpuDevice onchip(Qat4xxxConfig());
+  CdpuDevice::RequestTrace p = peripheral.TraceRequest(CdpuOp::kCompress, 65536, 0.42);
+  CdpuDevice::RequestTrace o = onchip.TraceRequest(CdpuOp::kCompress, 65536, 0.42);
+  EXPECT_GT(p.dma_in, o.dma_in * 5);
+  EXPECT_GT(p.dma_out, o.dma_out * 5);
+}
+
+TEST(CdpuDeviceTest, DecompressionFasterThanCompression) {
+  for (const CdpuConfig& cfg : {Qat8970Config(), Qat4xxxConfig(), DpzipCdpuConfig()}) {
+    CdpuDevice dev(cfg);
+    EXPECT_LT(dev.RequestLatency(CdpuOp::kDecompress, k4K, 0.45),
+              dev.RequestLatency(CdpuOp::kCompress, k4K, 0.45))
+        << cfg.name;
+  }
+}
+
+TEST(CdpuDeviceTest, ThroughputMagnitudes4K) {
+  // Figure 8a: CPU 4.9, 8970 5.1, 4xxx 4.3, DPZip 5.6 GB/s compress.
+  struct Case {
+    CdpuConfig cfg;
+    double target;
+    uint32_t threads;
+  };
+  std::vector<Case> cases = {
+      {CpuSoftwareConfig("deflate"), 4.9, 88},
+      {Qat8970Config(), 5.1, 64},
+      {Qat4xxxConfig(), 4.3, 64},
+      {DpzipCdpuConfig(), 5.6, 16},
+  };
+  for (const Case& c : cases) {
+    CdpuDevice dev(c.cfg);
+    ClosedLoopResult r = dev.RunClosedLoop(CdpuOp::kCompress, 4000, k4K, 0.45, c.threads);
+    EXPECT_NEAR(r.gbps, c.target, c.target * 0.5) << c.cfg.name;
+  }
+}
+
+TEST(CdpuDeviceTest, LargerChunksRaiseThroughput) {
+  // Finding 2: 64 KB chunks lift hardware CDPU throughput substantially.
+  for (const CdpuConfig& cfg : {Qat8970Config(), Qat4xxxConfig()}) {
+    CdpuDevice dev(cfg);
+    ClosedLoopResult small = dev.RunClosedLoop(CdpuOp::kCompress, 2000, k4K, 0.45, 8);
+    ClosedLoopResult big = dev.RunClosedLoop(CdpuOp::kCompress, 500, k64K, 0.40, 8);
+    EXPECT_GT(big.gbps, small.gbps * 1.3) << cfg.name;
+  }
+}
+
+TEST(CdpuDeviceTest, QatThroughputPlateausBeyondQueueLimit) {
+  // Finding 6: concurrency ceiling.
+  CdpuDevice qat(Qat4xxxConfig());
+  ClosedLoopResult at64 = qat.RunClosedLoop(CdpuOp::kCompress, 4000, k4K, 0.45, 64);
+  ClosedLoopResult at128 = qat.RunClosedLoop(CdpuOp::kCompress, 4000, k4K, 0.45, 128);
+  EXPECT_LT(at128.gbps, at64.gbps * 1.1);  // no scaling past the ceiling
+  EXPECT_GT(at128.mean_latency_ns, at64.mean_latency_ns);  // latency inflates
+}
+
+TEST(CdpuDeviceTest, IncompressibleDataDegradesQatMoreThanDpzip) {
+  // Figure 12 / Finding 5.
+  CdpuDevice qat(Qat4xxxConfig());
+  CdpuDevice dpzip(DpzipCdpuConfig());
+  auto degradation = [&](CdpuDevice& dev) {
+    ClosedLoopResult good = dev.RunClosedLoop(CdpuOp::kCompress, 2000, k4K, 0.1, 32);
+    ClosedLoopResult bad = dev.RunClosedLoop(CdpuOp::kCompress, 2000, k4K, 1.0, 32);
+    return 1.0 - bad.gbps / good.gbps;
+  };
+  double qat_drop = degradation(qat);
+  double dpzip_drop = degradation(dpzip);
+  EXPECT_GT(qat_drop, 0.4);    // paper: 67%
+  EXPECT_LT(dpzip_drop, 0.2);  // paper: <15%
+  EXPECT_GT(qat_drop, dpzip_drop * 2);
+}
+
+TEST(CdpuDeviceTest, FleetScalesNearLinearlyForDpzip) {
+  // Finding 14: DP-CSD scales with device count; QAT 4xxx capped at sockets.
+  ClosedLoopResult one = RunDeviceFleet(DpzipCdpuConfig(), 1, CdpuOp::kCompress, 4000, k64K,
+                                        0.45, 16);
+  ClosedLoopResult eight = RunDeviceFleet(DpzipCdpuConfig(), 8, CdpuOp::kCompress, 4000, k64K,
+                                          0.45, 128);
+  EXPECT_GT(eight.gbps, one.gbps * 6.0);
+}
+
+TEST(CdpuDeviceTest, CpuDecompressBeatsQatAggregate) {
+  // Figure 8a: 88-thread CPU decompress (13.6) beats QAT (~7).
+  CdpuDevice cpu(CpuSoftwareConfig("deflate"));
+  CdpuDevice qat(Qat8970Config());
+  ClosedLoopResult c = cpu.RunClosedLoop(CdpuOp::kDecompress, 8000, k4K, 0.45, 88);
+  ClosedLoopResult q = qat.RunClosedLoop(CdpuOp::kDecompress, 8000, k4K, 0.45, 64);
+  EXPECT_GT(c.gbps, q.gbps);
+}
+
+// ------------------------------------------------------------------- power
+
+TEST(PowerTest, NetEnergyScalesWithUtilization) {
+  EnergyMeter busy;
+  busy.AddDevice("dpzip", 2.5, 0.3, Seconds(10), Seconds(10));
+  EnergyMeter half;
+  half.AddDevice("dpzip", 2.5, 0.3, Seconds(5), Seconds(10));
+  EXPECT_NEAR(busy.NetJoules(), 22.0, 0.1);  // (2.5-0.3)*10
+  EXPECT_NEAR(half.NetJoules(), 11.0, 0.1);
+}
+
+TEST(PowerTest, DpzipEfficiencyDwarfsCpu) {
+  // Finding 12: ~50x standalone module efficiency gap (2.5 W vs 132 W).
+  uint64_t bytes = 5600ull * 1000 * 1000;  // 1s at 5.6 GB/s
+  EnergyMeter dpzip;
+  dpzip.AddDevice("dpzip", 2.5, 0.0, Seconds(1), Seconds(1));
+  EnergyMeter cpu;
+  cpu.AddDevice("cpu", 132.0, 0.0, Seconds(1), Seconds(1));
+  double dpzip_eff = EnergyMeter::MbPerJoule(bytes, dpzip.NetJoules());
+  // CPU moves 4.9 GB in that second.
+  double cpu_eff = EnergyMeter::MbPerJoule(4900ull * 1000 * 1000, cpu.NetJoules());
+  EXPECT_GT(dpzip_eff / cpu_eff, 30.0);
+}
+
+TEST(PowerTest, OpsPerJoule) {
+  EXPECT_DOUBLE_EQ(EnergyMeter::OpsPerJoule(5000, 2.0), 2500.0);
+  EXPECT_DOUBLE_EQ(EnergyMeter::OpsPerJoule(5000, 0.0), 0.0);
+}
+
+TEST(PowerTest, CpuContribution) {
+  EnergyMeter m;
+  m.AddCpu(0.5, Seconds(2));  // half of 88 cores at 3 W/core
+  EXPECT_NEAR(m.NetJoules(), 0.5 * 3.0 * 88 * 2, 1.0);
+}
+
+}  // namespace
+}  // namespace cdpu

@@ -1,0 +1,203 @@
+// Cross-module integration tests: the full stack exercised end-to-end —
+// data integrity from YCSB values through the LSM, SSTable blocks,
+// app-layer codecs, the FTL's packing/GC and the NAND model, plus the
+// consistency properties the paper's system depends on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/fs/btrfs_sim.h"
+#include "src/fs/zfs_sim.h"
+#include "src/kv/ycsb_runner.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+TEST(IntegrationTest, LsmSurvivesHeavyChurnOnEveryScheme) {
+  // Mixed puts/overwrites/deletes across flushes and compactions; final
+  // state must match an in-memory model exactly.
+  for (CompressionScheme scheme :
+       {CompressionScheme::kCpu, CompressionScheme::kDpCsd}) {
+    SimSsd ssd(MakeSchemeSsdConfig(scheme, 256 * 1024));
+    LsmConfig cfg;
+    cfg.memtable_bytes = 24 * 1024;
+    cfg.sstable_data_bytes = 24 * 1024;
+    cfg.level1_bytes = 96 * 1024;
+    LsmDb db(cfg, &ssd, MakeSchemeBackend(scheme));
+
+    std::map<std::string, std::string> model;
+    Rng rng(77);
+    SimNanos t = 0;
+    for (int op = 0; op < 2500; ++op) {
+      std::string key = YcsbWorkload::KeyString(rng.Uniform(400));
+      if (rng.Uniform(10) < 2 && model.count(key)) {
+        Result<SimNanos> d = db.Delete(key, t);
+        ASSERT_TRUE(d.ok());
+        t = *d;
+        model.erase(key);
+      } else {
+        std::vector<uint8_t> v = GenerateTextLike(120 + rng.Uniform(200), op);
+        std::string value(v.begin(), v.end());
+        Result<SimNanos> w = db.Put(key, value, t);
+        ASSERT_TRUE(w.ok());
+        t = *w;
+        model[key] = value;
+      }
+    }
+    ASSERT_TRUE(db.FlushMemtable(t).ok());
+    EXPECT_GT(db.stats().compactions, 0u);
+
+    // Verify both presence and absence.
+    for (uint64_t k = 0; k < 400; ++k) {
+      std::string key = YcsbWorkload::KeyString(k);
+      Result<LsmDb::GetOutcome> g = db.Get(key, t);
+      ASSERT_TRUE(g.ok());
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_FALSE(g->found) << SchemeName(scheme) << " " << key;
+      } else {
+        ASSERT_TRUE(g->found) << SchemeName(scheme) << " " << key;
+        EXPECT_EQ(g->value, it->second) << SchemeName(scheme) << " " << key;
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, DpCsdSpaceAccountingConsistent) {
+  // The bytes the FTL says it stored must match the sum of per-write
+  // stored_len, and effective capacity must be the reciprocal of the ratio.
+  SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kDpCsd, 64 * 1024));
+  SimNanos t = 0;
+  uint64_t stored_sum = 0;
+  for (uint64_t lpn = 0; lpn < 128; ++lpn) {
+    std::vector<uint8_t> page = GenerateXmlLike(4096, lpn);
+    Result<SsdIoResult> w = ssd.Write(lpn, page, t);
+    ASSERT_TRUE(w.ok());
+    stored_sum += w->stored_len;
+    t = w->completion;
+  }
+  double ratio = ssd.ftl().PhysicalSpaceRatio();
+  EXPECT_NEAR(ratio, static_cast<double>(stored_sum) / (128.0 * 4096.0), 1e-9);
+  EXPECT_NEAR(ssd.EffectiveCapacityGain(), 1.0 / ratio, 1e-9);
+  EXPECT_EQ(ssd.compressed_pages() + ssd.bypass_pages(), 128u);
+}
+
+TEST(IntegrationTest, TimeNeverRunsBackwards) {
+  // Completions must be monotone along each dependency chain in every layer.
+  SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kDpCsd, 64 * 1024));
+  SimNanos t = 0;
+  for (uint64_t lpn = 0; lpn < 64; ++lpn) {
+    std::vector<uint8_t> page = GenerateTextLike(4096, lpn);
+    Result<SsdIoResult> w = ssd.Write(lpn, page, t);
+    ASSERT_TRUE(w.ok());
+    EXPECT_GT(w->completion, t);
+    t = w->completion;
+    ByteVec out;
+    Result<SsdIoResult> r = ssd.Read(lpn, &out, t);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r->completion, t);
+    t = r->completion;
+  }
+}
+
+TEST(IntegrationTest, FilesystemAndSsdAgreeOnFootprint) {
+  // Btrfs stored_bytes (app view) vs the SSD's physical ratio (device view)
+  // must compose: with app compression the SSD sees already-compressed
+  // bytes; with DP-CSD the SSD does the shrinking.
+  std::vector<uint8_t> data = GenerateDbTableLike(512 * 1024, 9);
+
+  SimSsd ssd_cpu(MakeSchemeSsdConfig(CompressionScheme::kCpu, 256 * 1024));
+  BtrfsSim fs_cpu(BtrfsConfig{}, &ssd_cpu, MakeSchemeBackend(CompressionScheme::kCpu));
+  SimSsd ssd_csd(MakeSchemeSsdConfig(CompressionScheme::kDpCsd, 256 * 1024));
+  BtrfsSim fs_csd(BtrfsConfig{}, &ssd_csd, MakeSchemeBackend(CompressionScheme::kDpCsd));
+
+  SimNanos t1 = 0;
+  SimNanos t2 = 0;
+  for (size_t o = 0; o < data.size(); o += 131072) {
+    t1 = *fs_cpu.Write(o, ByteSpan(data.data() + o, 131072), t1);
+    t2 = *fs_csd.Write(o, ByteSpan(data.data() + o, 131072), t2);
+  }
+  ASSERT_TRUE(fs_cpu.Sync(t1).ok());
+  ASSERT_TRUE(fs_csd.Sync(t2).ok());
+
+  // App view: CPU scheme shrank the file; DP-CSD did not.
+  EXPECT_LT(fs_cpu.stored_bytes(), data.size() / 2);
+  EXPECT_EQ(fs_csd.stored_bytes(), data.size());
+  // Device view: the DP-CSD shrank it internally instead.
+  EXPECT_LT(ssd_csd.ftl().PhysicalSpaceRatio(), 0.6);
+  // Double compression doesn't pay: CPU-compressed extents stay ~raw inside.
+  EXPECT_GT(ssd_cpu.ftl().PhysicalSpaceRatio(), 0.9);
+}
+
+TEST(IntegrationTest, ZfsOverDpCsdRoundTrips) {
+  SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kDpCsd, 128 * 1024));
+  ZfsConfig cfg;
+  cfg.record_bytes = 16384;
+  ZfsSim fs(cfg, &ssd, MakeSchemeBackend(CompressionScheme::kDpCsd));
+  std::vector<uint8_t> data = GenerateSourceLike(cfg.record_bytes * 8, 10);
+  SimNanos t = 0;
+  for (size_t o = 0; o < data.size(); o += cfg.record_bytes) {
+    Result<SimNanos> w = fs.WriteRecord(o, ByteSpan(data.data() + o, cfg.record_bytes), t);
+    ASSERT_TRUE(w.ok());
+    t = *w;
+  }
+  for (size_t o = 512; o + 4096 < data.size(); o += cfg.record_bytes) {
+    Result<ZfsSim::ReadOutcome> r = fs.Read(o, 4096, t);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(std::equal(r->data.begin(), r->data.end(), data.begin() + o));
+    t = r->completion;
+  }
+  EXPECT_LT(ssd.ftl().PhysicalSpaceRatio(), 0.7);  // source code compresses well
+}
+
+TEST(IntegrationTest, SsdGcPreservesLsmData) {
+  // Shrink the drive so the LSM churn forces FTL garbage collection, then
+  // verify every surviving key.
+  // Thin-provisioned: 4 MiB of flash under a larger logical address space,
+  // so SSTable churn must be reclaimed by GC to keep fitting.
+  SsdConfig ssd_cfg = MakeSchemeSsdConfig(CompressionScheme::kDpCsd, 16384);
+  NandConfig n;
+  n.channels = 2;
+  n.dies_per_channel = 2;
+  n.blocks_per_die = 4;
+  n.pages_per_block = 32;  // 512 physical pages, 2 MiB
+  ssd_cfg.ftl.nand = n;
+  ssd_cfg.ftl.gc_low_watermark = 3;
+  ssd_cfg.ftl.gc_high_watermark = 6;
+  SimSsd ssd(ssd_cfg);
+
+  LsmConfig cfg;
+  cfg.memtable_bytes = 24 * 1024;
+  cfg.sstable_data_bytes = 24 * 1024;
+  cfg.level1_bytes = 96 * 1024;
+  LsmDb db(cfg, &ssd, MakeSchemeBackend(CompressionScheme::kDpCsd));
+
+  std::map<std::string, std::string> model;
+  SimNanos t = 0;
+  Rng rng(11);
+  for (int op = 0; op < 30000; ++op) {
+    std::string key = YcsbWorkload::KeyString(rng.Uniform(250));
+    std::vector<uint8_t> v = GenerateTextLike(150, op);
+    std::string value(v.begin(), v.end());
+    Result<SimNanos> w = db.Put(key, value, t);
+    ASSERT_TRUE(w.ok()) << w.status().ToString() << " at op " << op;
+    t = *w;
+    model[key] = value;
+  }
+  EXPECT_GT(ssd.ftl().gc_erased_blocks() + ssd.ftl().gc_relocated_segments(), 0u);
+  int checked = 0;
+  for (const auto& [key, value] : model) {
+    Result<LsmDb::GetOutcome> g = db.Get(key, t);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(g->found) << key;
+    EXPECT_EQ(g->value, value) << key;
+    if (++checked > 100) {
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdpu

@@ -1,0 +1,359 @@
+// Tests for the LSM KV store: skiplist, bloom filter, SSTable round trips
+// through the storage stack, LSM flush/compaction correctness across all
+// five compression schemes, and the structural effects of Finding 8.
+
+#include <gtest/gtest.h>
+
+#include "src/kv/bloom.h"
+#include "src/kv/lsm.h"
+#include "src/kv/skiplist.h"
+#include "src/workload/datagen.h"
+#include "src/workload/ycsb.h"
+
+namespace cdpu {
+namespace {
+
+// ---------------------------------------------------------------- skiplist
+
+TEST(SkiplistTest, PutGetOverwrite) {
+  Skiplist list;
+  list.Put("b", "1");
+  list.Put("a", "2");
+  list.Put("b", "3");
+  ASSERT_NE(list.Get("a"), nullptr);
+  EXPECT_EQ(list.Get("a")->value, "2");
+  EXPECT_EQ(list.Get("b")->value, "3");
+  EXPECT_EQ(list.Get("c"), nullptr);
+  EXPECT_EQ(list.entry_count(), 2u);
+}
+
+TEST(SkiplistTest, DrainIsSorted) {
+  Skiplist list;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    list.Put(std::to_string(rng.Uniform(10000)), "v");
+  }
+  std::vector<Skiplist::Entry> entries = list.Drain();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].key, entries[i].key);
+  }
+}
+
+TEST(SkiplistTest, TombstonesRetained) {
+  Skiplist list;
+  list.Put("k", "v");
+  list.Put("k", "", true);
+  ASSERT_NE(list.Get("k"), nullptr);
+  EXPECT_TRUE(list.Get("k")->tombstone);
+}
+
+// ------------------------------------------------------------------- bloom
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter bloom(1000);
+  for (int i = 0; i < 1000; ++i) {
+    bloom.Add("key" + std::to_string(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bloom.MayContain("key" + std::to_string(i)));
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilter bloom(1000);
+  for (int i = 0; i < 1000; ++i) {
+    bloom.Add("key" + std::to_string(i));
+  }
+  int fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (bloom.MayContain("other" + std::to_string(i))) {
+      ++fp;
+    }
+  }
+  EXPECT_LT(fp, 400);  // < 4% at 10 bits/key
+}
+
+// ----------------------------------------------------------------- sstable
+
+struct KvFixture {
+  SimSsd ssd;
+  LpnAllocator lpns;
+  KvCompressionBackend backend;
+  SsTable::BuildContext ctx;
+
+  explicit KvFixture(CompressionScheme scheme)
+      : ssd(MakeSchemeSsdConfig(scheme, 64 * 1024)), backend(MakeSchemeBackend(scheme)) {
+    ctx.ssd = &ssd;
+    ctx.lpns = &lpns;
+    ctx.backend = &backend;
+  }
+};
+
+std::vector<Skiplist::Entry> MakeEntries(int count, uint64_t seed) {
+  Skiplist list;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    std::string key = YcsbWorkload::KeyString(rng.Uniform(1000000));
+    std::vector<uint8_t> v = GenerateTextLike(200, seed * 1000 + i);
+    list.Put(key, std::string(v.begin(), v.end()));
+  }
+  return list.Drain();
+}
+
+TEST(SsTableTest, BuildAndGetAllSchemes) {
+  for (CompressionScheme scheme :
+       {CompressionScheme::kOff, CompressionScheme::kCpu, CompressionScheme::kQat8970,
+        CompressionScheme::kDpCsd}) {
+    KvFixture fx(scheme);
+    std::vector<Skiplist::Entry> entries = MakeEntries(500, 7);
+    Result<SsTable::BuildOutcome> b = SsTable::Build(entries, fx.ctx, 0);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+    for (size_t i = 0; i < entries.size(); i += 37) {
+      Result<SsTable::GetOutcome> g = b->table->Get(entries[i].key, b->completion);
+      ASSERT_TRUE(g.ok());
+      EXPECT_TRUE(g->found) << SchemeName(scheme) << " key " << entries[i].key;
+      EXPECT_EQ(g->value, entries[i].value);
+    }
+    Result<SsTable::GetOutcome> miss = b->table->Get("zzz-not-there", b->completion);
+    ASSERT_TRUE(miss.ok());
+    EXPECT_FALSE(miss->found);
+  }
+}
+
+TEST(SsTableTest, AppCompressionShrinksFile) {
+  // Finding 8: QAT/CPU compression makes SSTables physically denser.
+  KvFixture off(CompressionScheme::kOff);
+  KvFixture qat(CompressionScheme::kQat8970);
+  std::vector<Skiplist::Entry> entries = MakeEntries(2000, 8);
+  Result<SsTable::BuildOutcome> b_off = SsTable::Build(entries, off.ctx, 0);
+  Result<SsTable::BuildOutcome> b_qat = SsTable::Build(entries, qat.ctx, 0);
+  ASSERT_TRUE(b_off.ok());
+  ASSERT_TRUE(b_qat.ok());
+  EXPECT_LT(b_qat->table->file_bytes(), b_off->table->file_bytes() * 0.8);
+  EXPECT_EQ(b_qat->table->data_bytes(), b_off->table->data_bytes());
+}
+
+TEST(SsTableTest, DpCsdShrinksPhysicalNotLogical) {
+  // DP-CSD: file (logical) size unchanged, SSD-internal footprint shrinks.
+  KvFixture fx(CompressionScheme::kDpCsd);
+  std::vector<Skiplist::Entry> entries = MakeEntries(2000, 9);
+  Result<SsTable::BuildOutcome> b = SsTable::Build(entries, fx.ctx, 0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(fx.ssd.EffectiveCapacityGain(), 1.3);
+  EXPECT_NEAR(static_cast<double>(b->table->file_bytes()),
+              static_cast<double>(b->table->data_bytes()),
+              static_cast<double>(b->table->data_bytes()) * 0.02);
+}
+
+TEST(SsTableTest, ReadAllReturnsEverythingInOrder) {
+  KvFixture fx(CompressionScheme::kCpu);
+  std::vector<Skiplist::Entry> entries = MakeEntries(800, 10);
+  Result<SsTable::BuildOutcome> b = SsTable::Build(entries, fx.ctx, 0);
+  ASSERT_TRUE(b.ok());
+  SimNanos done = 0;
+  Result<std::vector<Skiplist::Entry>> all = b->table->ReadAll(b->completion, &done);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*all)[i].key, entries[i].key);
+    EXPECT_EQ((*all)[i].value, entries[i].value);
+  }
+}
+
+// --------------------------------------------------------------------- lsm
+
+class LsmSchemeTest : public ::testing::TestWithParam<CompressionScheme> {};
+
+TEST_P(LsmSchemeTest, PutGetThroughFlushAndCompaction) {
+  CompressionScheme scheme = GetParam();
+  SimSsd ssd(MakeSchemeSsdConfig(scheme, 256 * 1024));
+  LsmConfig cfg;
+  cfg.memtable_bytes = 64 * 1024;
+  cfg.sstable_data_bytes = 64 * 1024;
+  cfg.level1_bytes = 256 * 1024;
+  LsmDb db(cfg, &ssd, MakeSchemeBackend(scheme));
+
+  SimNanos t = 0;
+  std::map<std::string, std::string> model;
+  Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    std::string key = YcsbWorkload::KeyString(rng.Uniform(700));
+    std::vector<uint8_t> v = GenerateTextLike(150, i);
+    std::string value(v.begin(), v.end());
+    Result<SimNanos> w = db.Put(key, value, t);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    t = *w;
+    model[key] = value;
+  }
+  ASSERT_TRUE(db.FlushMemtable(t).ok());
+  EXPECT_GT(db.stats().flushes, 1u);
+
+  int checked = 0;
+  for (const auto& [key, value] : model) {
+    Result<LsmDb::GetOutcome> g = db.Get(key, t);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    ASSERT_TRUE(g->found) << SchemeName(scheme) << " key " << key;
+    EXPECT_EQ(g->value, value) << SchemeName(scheme) << " key " << key;
+    if (++checked >= 200) {
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, LsmSchemeTest,
+                         ::testing::Values(CompressionScheme::kOff, CompressionScheme::kCpu,
+                                           CompressionScheme::kQat8970,
+                                           CompressionScheme::kQat4xxx,
+                                           CompressionScheme::kDpCsd),
+                         [](const auto& info) {
+                           std::string n = SchemeName(info.param);
+                           for (char& c : n) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+TEST(LsmTest, DeleteHidesKey) {
+  SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kOff, 64 * 1024));
+  LsmConfig cfg;
+  cfg.memtable_bytes = 16 * 1024;
+  LsmDb db(cfg, &ssd, MakeSchemeBackend(CompressionScheme::kOff));
+  SimNanos t = 0;
+  Result<SimNanos> w = db.Put("k1", "v1", t);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(db.FlushMemtable(*w).ok());
+  Result<SimNanos> d = db.Delete("k1", *w);
+  ASSERT_TRUE(d.ok());
+  Result<LsmDb::GetOutcome> g = db.Get("k1", *d);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->found);
+}
+
+TEST(LsmTest, MissingKeyNotFound) {
+  SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kOff, 64 * 1024));
+  LsmDb db(LsmConfig{}, &ssd, MakeSchemeBackend(CompressionScheme::kOff));
+  Result<LsmDb::GetOutcome> g = db.Get("nothing", 0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->found);
+}
+
+TEST(LsmTest, CompressionReducesTreeFootprint) {
+  // Finding 8 structural effect: same data, smaller stored footprint with
+  // app-level compression; DP-CSD matches OFF logically.
+  auto build = [](CompressionScheme scheme) {
+    auto ssd = std::make_unique<SimSsd>(MakeSchemeSsdConfig(scheme, 256 * 1024));
+    LsmConfig cfg;
+    cfg.memtable_bytes = 64 * 1024;
+    LsmDb db(cfg, ssd.get(), MakeSchemeBackend(scheme));
+    SimNanos t = 0;
+    for (int i = 0; i < 1500; ++i) {
+      std::vector<uint8_t> v = GenerateTextLike(200, i);
+      Result<SimNanos> w =
+          db.Put(YcsbWorkload::KeyString(i), std::string(v.begin(), v.end()), t);
+      EXPECT_TRUE(w.ok());
+      t = *w;
+    }
+    EXPECT_TRUE(db.FlushMemtable(t).ok());
+    return std::make_pair(db.TotalFileBytes(), db.TotalDataBytes());
+  };
+  auto [off_file, off_data] = build(CompressionScheme::kOff);
+  auto [qat_file, qat_data] = build(CompressionScheme::kQat4xxx);
+  EXPECT_NEAR(static_cast<double>(off_data), static_cast<double>(qat_data),
+              static_cast<double>(off_data) * 0.01);
+  EXPECT_LT(qat_file, off_file * 0.8);
+}
+
+TEST(LsmTest, YcsbZipfianSmoke) {
+  // End-to-end smoke: YCSB-A over the DP-CSD configuration.
+  SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kDpCsd, 256 * 1024));
+  LsmConfig cfg;
+  cfg.memtable_bytes = 64 * 1024;
+  LsmDb db(cfg, &ssd, MakeSchemeBackend(CompressionScheme::kDpCsd));
+
+  YcsbConfig ycfg;
+  ycfg.workload = 'A';
+  ycfg.record_count = 300;
+  ycfg.value_size = 300;
+  YcsbWorkload workload(ycfg);
+
+  SimNanos t = 0;
+  for (uint64_t k = 0; k < ycfg.record_count; ++k) {
+    std::vector<uint8_t> v = workload.MakeValue(k);
+    Result<SimNanos> w =
+        db.Put(YcsbWorkload::KeyString(k), std::string(v.begin(), v.end()), t);
+    ASSERT_TRUE(w.ok());
+    t = *w;
+  }
+  uint64_t found = 0;
+  for (int i = 0; i < 500; ++i) {
+    YcsbRequest req = workload.NextRequest();
+    std::string key = YcsbWorkload::KeyString(req.key);
+    if (req.op == YcsbOp::kRead) {
+      Result<LsmDb::GetOutcome> g = db.Get(key, t);
+      ASSERT_TRUE(g.ok());
+      t = g->completion;
+      found += g->found ? 1 : 0;
+    } else {
+      std::vector<uint8_t> v = workload.MakeValue(req.key);
+      Result<SimNanos> w = db.Put(key, std::string(v.begin(), v.end()), t);
+      ASSERT_TRUE(w.ok());
+      t = *w;
+    }
+  }
+  EXPECT_GT(found, 100u);  // zipfian reads of loaded keys succeed
+}
+
+// -------------------------------------------------------------------- ycsb
+
+TEST(YcsbTest, ZipfianSkewed) {
+  ZipfianGenerator zipf(1000, 0.99, 3);
+  std::vector<uint32_t> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Next()];
+  }
+  // Head keys dominate: rank-0 far above uniform (100 hits).
+  EXPECT_GT(counts[0], 2000u);
+  uint64_t head = 0;
+  for (int i = 0; i < 100; ++i) {
+    head += counts[i];
+  }
+  EXPECT_GT(head, 50000u);  // top 10% of keys > 50% of traffic
+}
+
+TEST(YcsbTest, WorkloadMixMatchesSpec) {
+  YcsbConfig cfg;
+  cfg.workload = 'A';
+  YcsbWorkload wl(cfg);
+  int updates = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (wl.NextRequest().op == YcsbOp::kUpdate) {
+      ++updates;
+    }
+  }
+  EXPECT_NEAR(updates, 5000, 300);  // 50% updates
+
+  YcsbConfig cfg_f;
+  cfg_f.workload = 'F';
+  YcsbWorkload wf(cfg_f);
+  int rmw = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (wf.NextRequest().op == YcsbOp::kReadModifyWrite) {
+      ++rmw;
+    }
+  }
+  EXPECT_NEAR(rmw, 5000, 300);
+}
+
+TEST(YcsbTest, ValuesAreCompressible) {
+  YcsbWorkload wl(YcsbConfig{});
+  std::vector<uint8_t> v = wl.MakeValue(42);
+  EXPECT_EQ(v.size(), 1000u);
+  auto codec = MakeCodec("deflate-1");
+  EXPECT_LT(codec->MeasureRatio(v), 0.8);
+}
+
+}  // namespace
+}  // namespace cdpu

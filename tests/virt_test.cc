@@ -1,0 +1,116 @@
+// Tests for the SR-IOV multi-tenant model (Figure 20 / Finding 15).
+
+#include <gtest/gtest.h>
+
+#include "src/virt/sriov.h"
+
+namespace cdpu {
+namespace {
+
+SriovConfig QatLike() {
+  SriovConfig c;
+  c.name = "qat";
+  c.arbitration = VfArbitration::kUnarbitrated;
+  c.device_gbps = 5.0;
+  return c;
+}
+
+SriovConfig DpCsdLike() {
+  SriovConfig c;
+  c.name = "dp-csd";
+  c.arbitration = VfArbitration::kWeightedFair;
+  c.device_gbps = 5.6;
+  return c;
+}
+
+TEST(SriovTest, FairSchedulingYieldsTinyCv) {
+  MultiTenantResult r = RunMultiTenant(DpCsdLike());
+  EXPECT_LT(r.cv_percent, 0.5);  // Finding 15: CV < 0.5%
+  EXPECT_EQ(r.tenants.size(), 24u);
+}
+
+TEST(SriovTest, UnarbitratedYieldsSevereOscillation) {
+  MultiTenantResult r = RunMultiTenant(QatLike());
+  EXPECT_GT(r.cv_percent, 30.0);  // paper: 51-89%
+}
+
+TEST(SriovTest, FairAndUnfairDeliverSimilarAggregate) {
+  // Isolation does not cost aggregate throughput.
+  MultiTenantResult fair = RunMultiTenant(DpCsdLike());
+  MultiTenantResult unfair = RunMultiTenant(QatLike());
+  double fair_norm = fair.total_gbps / 5.6;
+  double unfair_norm = unfair.total_gbps / 5.0;
+  EXPECT_NEAR(fair_norm, unfair_norm, 0.15);
+}
+
+TEST(SriovTest, EveryTenantServedUnderFairness) {
+  MultiTenantResult r = RunMultiTenant(DpCsdLike());
+  for (const TenantOutcome& t : r.tenants) {
+    EXPECT_GT(t.requests_served, 0u) << "vm " << t.vm;
+  }
+}
+
+TEST(SriovTest, StarvationUnderUnarbitrated) {
+  MultiTenantResult r = RunMultiTenant(QatLike());
+  double min_gbps = 1e18;
+  double max_gbps = 0;
+  for (const TenantOutcome& t : r.tenants) {
+    min_gbps = std::min(min_gbps, t.gbps);
+    max_gbps = std::max(max_gbps, t.gbps);
+  }
+  EXPECT_GT(max_gbps, min_gbps * 2.0);  // winners vs starved VMs
+}
+
+TEST(SriovTest, DeterministicForSeed) {
+  MultiTenantResult a = RunMultiTenant(QatLike());
+  MultiTenantResult b = RunMultiTenant(QatLike());
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (size_t i = 0; i < a.tenants.size(); ++i) {
+    EXPECT_EQ(a.tenants[i].requests_served, b.tenants[i].requests_served);
+  }
+}
+
+TEST(SriovTest, ReadsOscillateMoreThanWrites) {
+  // Figure 20: read CVs (80-89%) exceed write CVs (~51-54%). Reads drain in
+  // larger batches (faster engine service), amplifying capture.
+  SriovConfig writes = QatLike();
+  writes.drain_batch = 8;
+  SriovConfig reads = QatLike();
+  reads.drain_batch = 16;
+  reads.device_gbps = 7.0;
+  MultiTenantResult w = RunMultiTenant(writes);
+  MultiTenantResult r = RunMultiTenant(reads);
+  EXPECT_GT(r.cv_percent, w.cv_percent);
+}
+
+TEST(SriovTest, WeightedSharesHonoured) {
+  // Gold tenants (weight 3) should see ~3x the throughput of weight-1
+  // tenants under saturation.
+  SriovConfig c = DpCsdLike();
+  c.weights.assign(24, 1);
+  for (int i = 0; i < 4; ++i) {
+    c.weights[i] = 3;  // four gold tenants
+  }
+  MultiTenantResult r = RunMultiTenant(c);
+  double gold = 0;
+  double silver = 0;
+  for (const TenantOutcome& t : r.tenants) {
+    (t.vm < 4 ? gold : silver) += t.gbps;
+  }
+  gold /= 4;
+  silver /= 20;
+  EXPECT_NEAR(gold / silver, 3.0, 0.4);
+}
+
+TEST(SriovTest, WeightedSharesKeepAggregate) {
+  SriovConfig flat = DpCsdLike();
+  SriovConfig weighted = DpCsdLike();
+  weighted.weights.assign(24, 1);
+  weighted.weights[0] = 8;
+  MultiTenantResult a = RunMultiTenant(flat);
+  MultiTenantResult b = RunMultiTenant(weighted);
+  EXPECT_NEAR(a.total_gbps, b.total_gbps, a.total_gbps * 0.05);
+}
+
+}  // namespace
+}  // namespace cdpu

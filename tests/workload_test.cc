@@ -1,0 +1,274 @@
+// Tests for the workload generators: corpus structure, the compressibility
+// and entropy dials, YCSB runner behaviour, and the block cache.
+
+#include <gtest/gtest.h>
+
+#include "src/codecs/codec.h"
+#include "src/codecs/entropy.h"
+#include "src/kv/block_cache.h"
+#include "src/kv/ycsb_runner.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+// ----------------------------------------------------------------- corpus
+
+TEST(CorpusTest, TwelveFilesWithCategories) {
+  std::vector<CorpusFile> corpus = SilesiaLikeCorpus(16 * 1024, 1);
+  EXPECT_EQ(corpus.size(), 12u);
+  int text = 0;
+  int image = 0;
+  for (const CorpusFile& f : corpus) {
+    EXPECT_EQ(f.data.size(), 16 * 1024u);
+    EXPECT_FALSE(f.name.empty());
+    text += f.category == "text" ? 1 : 0;
+    image += f.category == "image" ? 1 : 0;
+  }
+  EXPECT_GE(text, 2);
+  EXPECT_GE(image, 2);
+}
+
+TEST(CorpusTest, Deterministic) {
+  std::vector<CorpusFile> a = SilesiaLikeCorpus(8192, 7);
+  std::vector<CorpusFile> b = SilesiaLikeCorpus(8192, 7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].data, b[i].data);
+  }
+}
+
+TEST(CorpusTest, CategoriesDifferInCompressibility) {
+  std::vector<CorpusFile> corpus = SilesiaLikeCorpus(64 * 1024, 2);
+  auto codec = MakeCodec("deflate-1");
+  double text_ratio = 0;
+  double image_ratio = 0;
+  int text_n = 0;
+  int image_n = 0;
+  for (const CorpusFile& f : corpus) {
+    double r = codec->MeasureRatio(f.data);
+    if (f.category == "text") {
+      text_ratio += r;
+      ++text_n;
+    } else if (f.category == "image") {
+      image_ratio += r;
+      ++image_n;
+    }
+  }
+  EXPECT_LT(text_ratio / text_n, 0.6);
+  // x-ray/mr-like files are much harder than text for byte-level LZ.
+  EXPECT_GT(image_ratio / image_n, (text_ratio / text_n) * 1.5);
+}
+
+// ------------------------------------------------------------- ratio dial
+
+TEST(RatioDialTest, SweepIsMonotoneAndCoversRange) {
+  auto codec = MakeCodec("deflate-6");
+  double prev = 0;
+  for (double target : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    std::vector<uint8_t> data = GenerateWithRatio(target, 64 * 1024, 3);
+    double achieved = codec->MeasureRatio(data);
+    EXPECT_GT(achieved, prev) << "target " << target;
+    EXPECT_NEAR(achieved, target, 0.18) << "target " << target;
+    prev = achieved;
+  }
+}
+
+TEST(RatioDialTest, IncompressibleIsIncompressible) {
+  std::vector<uint8_t> data = GenerateWithRatio(1.0, 16 * 1024, 4);
+  EXPECT_GT(MakeCodec("deflate-6")->MeasureRatio(data), 0.95);
+  EXPECT_GT(ShannonEntropy(data), 7.9);
+}
+
+// ------------------------------------------------------------ ycsb runner
+
+TEST(YcsbRunnerTest, LoadThenRunProducesThroughput) {
+  SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kOff, 128 * 1024));
+  LsmConfig cfg;
+  cfg.memtable_bytes = 32 * 1024;
+  LsmDb db(cfg, &ssd, MakeSchemeBackend(CompressionScheme::kOff));
+
+  YcsbConfig ycfg;
+  ycfg.record_count = 200;
+  ycfg.value_size = 200;
+  YcsbWorkload wl(ycfg);
+  SimNanos clock = 0;
+  ASSERT_TRUE(YcsbLoad(&db, wl, &clock).ok());
+
+  Result<YcsbRunResult> r = YcsbRun(&db, &wl, 4, 800, clock);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ops, 800u);
+  EXPECT_GT(r->kops, 0.0);
+  EXPECT_GT(r->reads, 200u);
+  EXPECT_GT(r->read_hits, r->reads / 2);  // loaded keys mostly found
+  EXPECT_GT(r->mean_read_latency_us, 0.0);
+  EXPECT_GE(r->p99_read_latency_us, r->mean_read_latency_us);
+}
+
+TEST(YcsbRunnerTest, MoreThreadsMoreThroughputUntilSaturation) {
+  auto run = [](uint32_t threads) {
+    SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kOff, 128 * 1024));
+    LsmConfig cfg;
+    cfg.memtable_bytes = 32 * 1024;
+    LsmDb db(cfg, &ssd, MakeSchemeBackend(CompressionScheme::kOff));
+    YcsbConfig ycfg;
+    ycfg.record_count = 200;
+    ycfg.value_size = 200;
+    YcsbWorkload wl(ycfg);
+    SimNanos clock = 0;
+    EXPECT_TRUE(YcsbLoad(&db, wl, &clock).ok());
+    Result<YcsbRunResult> r = YcsbRun(&db, &wl, threads, 800, clock);
+    EXPECT_TRUE(r.ok());
+    return r->kops;
+  };
+  EXPECT_GT(run(8), run(1) * 1.5);
+}
+
+TEST(YcsbRunnerTest, ZeroOpsIsEmptyResult) {
+  SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kOff, 64 * 1024));
+  LsmDb db(LsmConfig{}, &ssd, MakeSchemeBackend(CompressionScheme::kOff));
+  YcsbWorkload wl(YcsbConfig{});
+  Result<YcsbRunResult> r = YcsbRun(&db, &wl, 4, 0, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ops, 0u);
+}
+
+TEST(YcsbWorkloadsTest, MixRatiosPerWorkload) {
+  auto update_fraction = [](char wl) {
+    YcsbConfig cfg;
+    cfg.workload = wl;
+    YcsbWorkload w(cfg);
+    int writes = 0;
+    for (int i = 0; i < 10000; ++i) {
+      YcsbOp op = w.NextRequest().op;
+      writes += (op == YcsbOp::kUpdate || op == YcsbOp::kInsert ||
+                 op == YcsbOp::kReadModifyWrite)
+                    ? 1
+                    : 0;
+    }
+    return writes / 10000.0;
+  };
+  EXPECT_NEAR(update_fraction('A'), 0.50, 0.03);
+  EXPECT_NEAR(update_fraction('B'), 0.05, 0.01);
+  EXPECT_DOUBLE_EQ(update_fraction('C'), 0.0);
+  EXPECT_NEAR(update_fraction('D'), 0.05, 0.01);
+  EXPECT_NEAR(update_fraction('F'), 0.50, 0.03);
+}
+
+TEST(YcsbWorkloadsTest, WorkloadDReadsSkewToLatest) {
+  YcsbConfig cfg;
+  cfg.workload = 'D';
+  cfg.record_count = 1000;
+  YcsbWorkload w(cfg);
+  uint64_t latest_decile_reads = 0;
+  uint64_t reads = 0;
+  for (int i = 0; i < 20000; ++i) {
+    YcsbRequest r = w.NextRequest();
+    if (r.op == YcsbOp::kRead) {
+      ++reads;
+      if (r.key + 100 >= w.current_record_count()) {
+        ++latest_decile_reads;
+      }
+    }
+  }
+  EXPECT_GT(w.current_record_count(), cfg.record_count);  // inserts happened
+  EXPECT_GT(static_cast<double>(latest_decile_reads) / reads, 0.5);
+}
+
+TEST(YcsbWorkloadsTest, WorkloadDRunsThroughDatabase) {
+  SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kDpCsd, 128 * 1024));
+  LsmConfig cfg;
+  cfg.memtable_bytes = 32 * 1024;
+  LsmDb db(cfg, &ssd, MakeSchemeBackend(CompressionScheme::kDpCsd));
+  YcsbConfig ycfg;
+  ycfg.workload = 'D';
+  ycfg.record_count = 200;
+  ycfg.value_size = 200;
+  YcsbWorkload wl(ycfg);
+  SimNanos clock = 0;
+  ASSERT_TRUE(YcsbLoad(&db, wl, &clock).ok());
+  Result<YcsbRunResult> r = YcsbRun(&db, &wl, 4, 1000, clock);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->read_hits, r->reads / 2);  // inserted keys become readable
+}
+
+// ------------------------------------------------------------ block cache
+
+TEST(BlockCacheTest, HitAfterInsert) {
+  BlockCache cache(1 << 20);
+  int dummy;
+  BlockCache::Key key = BlockCache::MakeKey(&dummy, 3);
+  EXPECT_EQ(cache.Get(key), nullptr);
+  cache.Insert(key, {{"k", "v", false}}, 100);
+  const auto* hit = cache.Get(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0].key, "k");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
+  BlockCache cache(300);
+  int dummy;
+  for (size_t i = 0; i < 4; ++i) {
+    cache.Insert(BlockCache::MakeKey(&dummy, i), {}, 100);  // capacity 3
+  }
+  EXPECT_EQ(cache.Get(BlockCache::MakeKey(&dummy, 0)), nullptr);  // evicted
+  EXPECT_NE(cache.Get(BlockCache::MakeKey(&dummy, 3)), nullptr);
+}
+
+TEST(BlockCacheTest, TouchKeepsEntryAlive) {
+  BlockCache cache(300);
+  int dummy;
+  cache.Insert(BlockCache::MakeKey(&dummy, 0), {}, 100);
+  cache.Insert(BlockCache::MakeKey(&dummy, 1), {}, 100);
+  cache.Insert(BlockCache::MakeKey(&dummy, 2), {}, 100);
+  cache.Get(BlockCache::MakeKey(&dummy, 0));                      // touch 0
+  cache.Insert(BlockCache::MakeKey(&dummy, 3), {}, 100);          // evicts 1
+  EXPECT_NE(cache.Get(BlockCache::MakeKey(&dummy, 0)), nullptr);
+  EXPECT_EQ(cache.Get(BlockCache::MakeKey(&dummy, 1)), nullptr);
+}
+
+TEST(BlockCacheTest, EraseTableDropsAllBlocks) {
+  BlockCache cache(1 << 20);
+  int table_a;
+  int table_b;
+  for (size_t i = 0; i < 5; ++i) {
+    cache.Insert(BlockCache::MakeKey(&table_a, i), {}, 10);
+    cache.Insert(BlockCache::MakeKey(&table_b, i), {}, 10);
+  }
+  cache.EraseTable(&table_a, 5);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(cache.Get(BlockCache::MakeKey(&table_a, i)), nullptr);
+    EXPECT_NE(cache.Get(BlockCache::MakeKey(&table_b, i)), nullptr);
+  }
+  EXPECT_EQ(cache.used_bytes(), 50u);
+}
+
+TEST(BlockCacheTest, CacheSpeedsUpHotReads) {
+  // End-to-end: with a cache, repeated reads of the same key get faster.
+  SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kOff, 64 * 1024));
+  LsmConfig cfg;
+  cfg.memtable_bytes = 16 * 1024;
+  cfg.block_cache_bytes = 1 << 20;
+  LsmDb db(cfg, &ssd, MakeSchemeBackend(CompressionScheme::kOff));
+  SimNanos t = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<uint8_t> v = GenerateTextLike(200, i);
+    Result<SimNanos> w = db.Put(YcsbWorkload::KeyString(i), std::string(v.begin(), v.end()), t);
+    ASSERT_TRUE(w.ok());
+    t = *w;
+  }
+  ASSERT_TRUE(db.FlushMemtable(t).ok());
+
+  Result<LsmDb::GetOutcome> cold = db.Get(YcsbWorkload::KeyString(5), t);
+  ASSERT_TRUE(cold.ok());
+  Result<LsmDb::GetOutcome> warm = db.Get(YcsbWorkload::KeyString(5), cold->completion);
+  ASSERT_TRUE(warm.ok());
+  SimNanos cold_lat = cold->completion - t;
+  SimNanos warm_lat = warm->completion - cold->completion;
+  EXPECT_LT(warm_lat, cold_lat / 2);
+  EXPECT_GT(db.block_cache()->hits(), 0u);
+}
+
+}  // namespace
+}  // namespace cdpu

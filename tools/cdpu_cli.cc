@@ -1,0 +1,186 @@
+// cdpu_cli — command-line front end for the codec suite, in the spirit of
+// the QATzip utility the paper benchmarks with.
+//
+//   cdpu_cli compress   <codec> <in> <out>     one-shot file compression
+//   cdpu_cli decompress <codec> <in> <out>     inverse
+//   cdpu_cli bench      <codec> <in> [chunk]   per-chunk ratio + speed
+//   cdpu_cli entropy    <in> [chunk]           Shannon entropy profile
+//   cdpu_cli list                              available codecs
+//
+// Codecs: deflate[-N], gzip[-N], zstd[-N], lz4, snappy, dpzip.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/codecs/codec.h"
+#include "src/codecs/entropy.h"
+#include "src/core/dpzip_codec.h"
+
+namespace {
+
+using cdpu::ByteSpan;
+using cdpu::ByteVec;
+
+bool ReadFile(const std::string& path, ByteVec* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  out->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool WriteFile(const std::string& path, const ByteVec& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out.good();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cdpu_cli compress|decompress <codec> <in> <out>\n"
+               "       cdpu_cli bench <codec> <in> [chunk_bytes]\n"
+               "       cdpu_cli entropy <in> [chunk_bytes]\n"
+               "       cdpu_cli list\n");
+  return 2;
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int Bench(const std::string& codec_name, const std::string& path, size_t chunk) {
+  std::unique_ptr<cdpu::Codec> codec = cdpu::MakeCodec(codec_name);
+  if (codec == nullptr) {
+    std::fprintf(stderr, "unknown codec: %s\n", codec_name.c_str());
+    return 2;
+  }
+  ByteVec data;
+  if (!ReadFile(path, &data)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  if (chunk == 0 || chunk > data.size()) {
+    chunk = data.size();
+  }
+
+  uint64_t in_bytes = 0;
+  uint64_t out_bytes = 0;
+  double c_seconds = 0;
+  double d_seconds = 0;
+  for (size_t off = 0; off + chunk <= data.size(); off += chunk) {
+    ByteSpan span(data.data() + off, chunk);
+    ByteVec compressed;
+    double t0 = NowSeconds();
+    auto c = codec->Compress(span, &compressed);
+    double t1 = NowSeconds();
+    if (!c.ok()) {
+      std::fprintf(stderr, "compress failed: %s\n", c.status().ToString().c_str());
+      return 1;
+    }
+    ByteVec restored;
+    double t2 = NowSeconds();
+    auto d = codec->Decompress(compressed, &restored);
+    double t3 = NowSeconds();
+    if (!d.ok() || !std::equal(restored.begin(), restored.end(), span.begin())) {
+      std::fprintf(stderr, "round-trip FAILED at offset %zu\n", off);
+      return 1;
+    }
+    in_bytes += chunk;
+    out_bytes += compressed.size();
+    c_seconds += t1 - t0;
+    d_seconds += t3 - t2;
+  }
+  std::printf("%s on %s (%zu-byte chunks):\n", codec->name().c_str(), path.c_str(), chunk);
+  std::printf("  ratio       %.1f%%\n", 100.0 * static_cast<double>(out_bytes) /
+                                            static_cast<double>(in_bytes));
+  std::printf("  compress    %.1f MB/s\n",
+              static_cast<double>(in_bytes) / 1e6 / c_seconds);
+  std::printf("  decompress  %.1f MB/s\n",
+              static_cast<double>(in_bytes) / 1e6 / d_seconds);
+  return 0;
+}
+
+int Entropy(const std::string& path, size_t chunk) {
+  ByteVec data;
+  if (!ReadFile(path, &data)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  if (chunk == 0 || chunk > data.size()) {
+    chunk = data.size();
+  }
+  std::printf("offset        H (bits/byte)\n");
+  for (size_t off = 0; off + chunk <= data.size(); off += chunk) {
+    std::printf("%-12zu  %.3f\n", off,
+                cdpu::ShannonEntropy(ByteSpan(data.data() + off, chunk)));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cdpu::DpzipCodec::RegisterWithFactory();
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string cmd = argv[1];
+
+  if (cmd == "list") {
+    std::printf("deflate[-1|6|9] gzip[-1|6|9] zstd[-1..12] lz4 snappy dpzip\n");
+    return 0;
+  }
+  if (cmd == "entropy") {
+    if (argc < 3) {
+      return Usage();
+    }
+    return Entropy(argv[2], argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0);
+  }
+  if (cmd == "bench") {
+    if (argc < 4) {
+      return Usage();
+    }
+    return Bench(argv[2], argv[3], argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0);
+  }
+  if (cmd != "compress" && cmd != "decompress") {
+    return Usage();
+  }
+  if (argc != 5) {
+    return Usage();
+  }
+
+  std::unique_ptr<cdpu::Codec> codec = cdpu::MakeCodec(argv[2]);
+  if (codec == nullptr) {
+    std::fprintf(stderr, "unknown codec: %s\n", argv[2]);
+    return 2;
+  }
+  ByteVec in;
+  if (!ReadFile(argv[3], &in)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[3]);
+    return 1;
+  }
+  ByteVec out;
+  auto r = cmd == "compress" ? codec->Compress(in, &out) : codec->Decompress(in, &out);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", cmd.c_str(), r.status().ToString().c_str());
+    return 1;
+  }
+  if (!WriteFile(argv[4], out)) {
+    std::fprintf(stderr, "cannot write %s\n", argv[4]);
+    return 1;
+  }
+  std::printf("%s: %zu -> %zu bytes (%.1f%%)\n", cmd.c_str(), in.size(), out.size(),
+              in.empty() ? 0.0 : 100.0 * static_cast<double>(out.size()) / in.size());
+  return 0;
+}
