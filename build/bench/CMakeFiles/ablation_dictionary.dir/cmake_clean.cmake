@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dictionary.dir/ablation_dictionary.cc.o"
+  "CMakeFiles/ablation_dictionary.dir/ablation_dictionary.cc.o.d"
+  "ablation_dictionary"
+  "ablation_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

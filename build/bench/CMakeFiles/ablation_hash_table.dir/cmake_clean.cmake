@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hash_table.dir/ablation_hash_table.cc.o"
+  "CMakeFiles/ablation_hash_table.dir/ablation_hash_table.cc.o.d"
+  "ablation_hash_table"
+  "ablation_hash_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hash_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

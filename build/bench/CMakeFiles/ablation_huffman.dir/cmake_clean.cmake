@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_huffman.dir/ablation_huffman.cc.o"
+  "CMakeFiles/ablation_huffman.dir/ablation_huffman.cc.o.d"
+  "ablation_huffman"
+  "ablation_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

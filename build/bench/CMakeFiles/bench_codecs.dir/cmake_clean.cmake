@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codecs.dir/bench_codecs.cc.o"
+  "CMakeFiles/bench_codecs.dir/bench_codecs.cc.o.d"
+  "bench_codecs"
+  "bench_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_zstd_breakdown.dir/fig02_zstd_breakdown.cc.o"
+  "CMakeFiles/fig02_zstd_breakdown.dir/fig02_zstd_breakdown.cc.o.d"
+  "fig02_zstd_breakdown"
+  "fig02_zstd_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_zstd_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_compression_ratio.dir/fig07_compression_ratio.cc.o"
+  "CMakeFiles/fig07_compression_ratio.dir/fig07_compression_ratio.cc.o.d"
+  "fig07_compression_ratio"
+  "fig07_compression_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_compression_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_micro_4k.dir/fig08_micro_4k.cc.o"
+  "CMakeFiles/fig08_micro_4k.dir/fig08_micro_4k.cc.o.d"
+  "fig08_micro_4k"
+  "fig08_micro_4k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_micro_4k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

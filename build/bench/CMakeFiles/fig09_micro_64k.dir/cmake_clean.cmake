@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_micro_64k.dir/fig09_micro_64k.cc.o"
+  "CMakeFiles/fig09_micro_64k.dir/fig09_micro_64k.cc.o.d"
+  "fig09_micro_64k"
+  "fig09_micro_64k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_micro_64k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_latency_breakdown.dir/fig11_latency_breakdown.cc.o"
+  "CMakeFiles/fig11_latency_breakdown.dir/fig11_latency_breakdown.cc.o.d"
+  "fig11_latency_breakdown"
+  "fig11_latency_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_latency_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_compressibility.dir/fig12_compressibility.cc.o"
+  "CMakeFiles/fig12_compressibility.dir/fig12_compressibility.cc.o.d"
+  "fig12_compressibility"
+  "fig12_compressibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_compressibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

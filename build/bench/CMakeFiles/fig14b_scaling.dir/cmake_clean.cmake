@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14b_scaling.dir/fig14b_scaling.cc.o"
+  "CMakeFiles/fig14b_scaling.dir/fig14b_scaling.cc.o.d"
+  "fig14b_scaling"
+  "fig14b_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14b_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

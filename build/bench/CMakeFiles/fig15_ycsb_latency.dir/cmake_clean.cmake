@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ycsb_latency.dir/fig15_ycsb_latency.cc.o"
+  "CMakeFiles/fig15_ycsb_latency.dir/fig15_ycsb_latency.cc.o.d"
+  "fig15_ycsb_latency"
+  "fig15_ycsb_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ycsb_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

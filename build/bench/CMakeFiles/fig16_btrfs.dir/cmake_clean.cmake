@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_btrfs.dir/fig16_btrfs.cc.o"
+  "CMakeFiles/fig16_btrfs.dir/fig16_btrfs.cc.o.d"
+  "fig16_btrfs"
+  "fig16_btrfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_btrfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

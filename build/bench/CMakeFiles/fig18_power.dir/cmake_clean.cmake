@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_power.dir/fig18_power.cc.o"
+  "CMakeFiles/fig18_power.dir/fig18_power.cc.o.d"
+  "fig18_power"
+  "fig18_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_ycsb_power.dir/fig19_ycsb_power.cc.o"
+  "CMakeFiles/fig19_ycsb_power.dir/fig19_ycsb_power.cc.o.d"
+  "fig19_ycsb_power"
+  "fig19_ycsb_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_ycsb_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

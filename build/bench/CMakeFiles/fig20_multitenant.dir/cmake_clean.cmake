@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_multitenant.dir/fig20_multitenant.cc.o"
+  "CMakeFiles/fig20_multitenant.dir/fig20_multitenant.cc.o.d"
+  "fig20_multitenant"
+  "fig20_multitenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_multitenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_testbed.dir/table01_testbed.cc.o"
+  "CMakeFiles/table01_testbed.dir/table01_testbed.cc.o.d"
+  "table01_testbed"
+  "table01_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

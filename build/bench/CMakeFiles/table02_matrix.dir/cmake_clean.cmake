@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_matrix.dir/table02_matrix.cc.o"
+  "CMakeFiles/table02_matrix.dir/table02_matrix.cc.o.d"
+  "table02_matrix"
+  "table02_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csd_capacity.dir/csd_capacity.cpp.o"
+  "CMakeFiles/csd_capacity.dir/csd_capacity.cpp.o.d"
+  "csd_capacity"
+  "csd_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csd_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

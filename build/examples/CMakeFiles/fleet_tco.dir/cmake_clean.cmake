@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_tco.dir/fleet_tco.cpp.o"
+  "CMakeFiles/fleet_tco.dir/fleet_tco.cpp.o.d"
+  "fleet_tco"
+  "fleet_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_placement.dir/kvstore_placement.cpp.o"
+  "CMakeFiles/kvstore_placement.dir/kvstore_placement.cpp.o.d"
+  "kvstore_placement"
+  "kvstore_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

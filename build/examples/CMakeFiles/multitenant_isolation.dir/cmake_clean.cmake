@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitenant_isolation.dir/multitenant_isolation.cpp.o"
+  "CMakeFiles/multitenant_isolation.dir/multitenant_isolation.cpp.o.d"
+  "multitenant_isolation"
+  "multitenant_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitenant_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multitenant_isolation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codecs/codec.cc" "src/codecs/CMakeFiles/cdpu_codecs.dir/codec.cc.o" "gcc" "src/codecs/CMakeFiles/cdpu_codecs.dir/codec.cc.o.d"
+  "/root/repo/src/codecs/deflate_codec.cc" "src/codecs/CMakeFiles/cdpu_codecs.dir/deflate_codec.cc.o" "gcc" "src/codecs/CMakeFiles/cdpu_codecs.dir/deflate_codec.cc.o.d"
+  "/root/repo/src/codecs/entropy.cc" "src/codecs/CMakeFiles/cdpu_codecs.dir/entropy.cc.o" "gcc" "src/codecs/CMakeFiles/cdpu_codecs.dir/entropy.cc.o.d"
+  "/root/repo/src/codecs/fse.cc" "src/codecs/CMakeFiles/cdpu_codecs.dir/fse.cc.o" "gcc" "src/codecs/CMakeFiles/cdpu_codecs.dir/fse.cc.o.d"
+  "/root/repo/src/codecs/gzip_codec.cc" "src/codecs/CMakeFiles/cdpu_codecs.dir/gzip_codec.cc.o" "gcc" "src/codecs/CMakeFiles/cdpu_codecs.dir/gzip_codec.cc.o.d"
+  "/root/repo/src/codecs/huffman_coder.cc" "src/codecs/CMakeFiles/cdpu_codecs.dir/huffman_coder.cc.o" "gcc" "src/codecs/CMakeFiles/cdpu_codecs.dir/huffman_coder.cc.o.d"
+  "/root/repo/src/codecs/lz4_codec.cc" "src/codecs/CMakeFiles/cdpu_codecs.dir/lz4_codec.cc.o" "gcc" "src/codecs/CMakeFiles/cdpu_codecs.dir/lz4_codec.cc.o.d"
+  "/root/repo/src/codecs/mini_zstd.cc" "src/codecs/CMakeFiles/cdpu_codecs.dir/mini_zstd.cc.o" "gcc" "src/codecs/CMakeFiles/cdpu_codecs.dir/mini_zstd.cc.o.d"
+  "/root/repo/src/codecs/snappy_codec.cc" "src/codecs/CMakeFiles/cdpu_codecs.dir/snappy_codec.cc.o" "gcc" "src/codecs/CMakeFiles/cdpu_codecs.dir/snappy_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_codecs.dir/codec.cc.o"
+  "CMakeFiles/cdpu_codecs.dir/codec.cc.o.d"
+  "CMakeFiles/cdpu_codecs.dir/deflate_codec.cc.o"
+  "CMakeFiles/cdpu_codecs.dir/deflate_codec.cc.o.d"
+  "CMakeFiles/cdpu_codecs.dir/entropy.cc.o"
+  "CMakeFiles/cdpu_codecs.dir/entropy.cc.o.d"
+  "CMakeFiles/cdpu_codecs.dir/fse.cc.o"
+  "CMakeFiles/cdpu_codecs.dir/fse.cc.o.d"
+  "CMakeFiles/cdpu_codecs.dir/gzip_codec.cc.o"
+  "CMakeFiles/cdpu_codecs.dir/gzip_codec.cc.o.d"
+  "CMakeFiles/cdpu_codecs.dir/huffman_coder.cc.o"
+  "CMakeFiles/cdpu_codecs.dir/huffman_coder.cc.o.d"
+  "CMakeFiles/cdpu_codecs.dir/lz4_codec.cc.o"
+  "CMakeFiles/cdpu_codecs.dir/lz4_codec.cc.o.d"
+  "CMakeFiles/cdpu_codecs.dir/mini_zstd.cc.o"
+  "CMakeFiles/cdpu_codecs.dir/mini_zstd.cc.o.d"
+  "CMakeFiles/cdpu_codecs.dir/snappy_codec.cc.o"
+  "CMakeFiles/cdpu_codecs.dir/snappy_codec.cc.o.d"
+  "libcdpu_codecs.a"
+  "libcdpu_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_common.dir/crc32.cc.o"
+  "CMakeFiles/cdpu_common.dir/crc32.cc.o.d"
+  "CMakeFiles/cdpu_common.dir/stats.cc.o"
+  "CMakeFiles/cdpu_common.dir/stats.cc.o.d"
+  "CMakeFiles/cdpu_common.dir/status.cc.o"
+  "CMakeFiles/cdpu_common.dir/status.cc.o.d"
+  "libcdpu_common.a"
+  "libcdpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

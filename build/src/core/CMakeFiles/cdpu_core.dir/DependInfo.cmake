@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dpzip_codec.cc" "src/core/CMakeFiles/cdpu_core.dir/dpzip_codec.cc.o" "gcc" "src/core/CMakeFiles/cdpu_core.dir/dpzip_codec.cc.o.d"
+  "/root/repo/src/core/dpzip_huffman.cc" "src/core/CMakeFiles/cdpu_core.dir/dpzip_huffman.cc.o" "gcc" "src/core/CMakeFiles/cdpu_core.dir/dpzip_huffman.cc.o.d"
+  "/root/repo/src/core/dpzip_lz77.cc" "src/core/CMakeFiles/cdpu_core.dir/dpzip_lz77.cc.o" "gcc" "src/core/CMakeFiles/cdpu_core.dir/dpzip_lz77.cc.o.d"
+  "/root/repo/src/core/pipeline_model.cc" "src/core/CMakeFiles/cdpu_core.dir/pipeline_model.cc.o" "gcc" "src/core/CMakeFiles/cdpu_core.dir/pipeline_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codecs/CMakeFiles/cdpu_codecs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_core.dir/dpzip_codec.cc.o"
+  "CMakeFiles/cdpu_core.dir/dpzip_codec.cc.o.d"
+  "CMakeFiles/cdpu_core.dir/dpzip_huffman.cc.o"
+  "CMakeFiles/cdpu_core.dir/dpzip_huffman.cc.o.d"
+  "CMakeFiles/cdpu_core.dir/dpzip_lz77.cc.o"
+  "CMakeFiles/cdpu_core.dir/dpzip_lz77.cc.o.d"
+  "CMakeFiles/cdpu_core.dir/pipeline_model.cc.o"
+  "CMakeFiles/cdpu_core.dir/pipeline_model.cc.o.d"
+  "libcdpu_core.a"
+  "libcdpu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_fs.dir/btrfs_sim.cc.o"
+  "CMakeFiles/cdpu_fs.dir/btrfs_sim.cc.o.d"
+  "CMakeFiles/cdpu_fs.dir/zfs_sim.cc.o"
+  "CMakeFiles/cdpu_fs.dir/zfs_sim.cc.o.d"
+  "libcdpu_fs.a"
+  "libcdpu_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

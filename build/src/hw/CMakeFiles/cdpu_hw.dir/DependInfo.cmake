@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cdpu_device.cc" "src/hw/CMakeFiles/cdpu_hw.dir/cdpu_device.cc.o" "gcc" "src/hw/CMakeFiles/cdpu_hw.dir/cdpu_device.cc.o.d"
+  "/root/repo/src/hw/device_configs.cc" "src/hw/CMakeFiles/cdpu_hw.dir/device_configs.cc.o" "gcc" "src/hw/CMakeFiles/cdpu_hw.dir/device_configs.cc.o.d"
+  "/root/repo/src/hw/interconnect.cc" "src/hw/CMakeFiles/cdpu_hw.dir/interconnect.cc.o" "gcc" "src/hw/CMakeFiles/cdpu_hw.dir/interconnect.cc.o.d"
+  "/root/repo/src/hw/power.cc" "src/hw/CMakeFiles/cdpu_hw.dir/power.cc.o" "gcc" "src/hw/CMakeFiles/cdpu_hw.dir/power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_hw.dir/cdpu_device.cc.o"
+  "CMakeFiles/cdpu_hw.dir/cdpu_device.cc.o.d"
+  "CMakeFiles/cdpu_hw.dir/device_configs.cc.o"
+  "CMakeFiles/cdpu_hw.dir/device_configs.cc.o.d"
+  "CMakeFiles/cdpu_hw.dir/interconnect.cc.o"
+  "CMakeFiles/cdpu_hw.dir/interconnect.cc.o.d"
+  "CMakeFiles/cdpu_hw.dir/power.cc.o"
+  "CMakeFiles/cdpu_hw.dir/power.cc.o.d"
+  "libcdpu_hw.a"
+  "libcdpu_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

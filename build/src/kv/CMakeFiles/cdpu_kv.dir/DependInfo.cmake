@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/bloom.cc" "src/kv/CMakeFiles/cdpu_kv.dir/bloom.cc.o" "gcc" "src/kv/CMakeFiles/cdpu_kv.dir/bloom.cc.o.d"
+  "/root/repo/src/kv/lsm.cc" "src/kv/CMakeFiles/cdpu_kv.dir/lsm.cc.o" "gcc" "src/kv/CMakeFiles/cdpu_kv.dir/lsm.cc.o.d"
+  "/root/repo/src/kv/skiplist.cc" "src/kv/CMakeFiles/cdpu_kv.dir/skiplist.cc.o" "gcc" "src/kv/CMakeFiles/cdpu_kv.dir/skiplist.cc.o.d"
+  "/root/repo/src/kv/sstable.cc" "src/kv/CMakeFiles/cdpu_kv.dir/sstable.cc.o" "gcc" "src/kv/CMakeFiles/cdpu_kv.dir/sstable.cc.o.d"
+  "/root/repo/src/kv/ycsb_runner.cc" "src/kv/CMakeFiles/cdpu_kv.dir/ycsb_runner.cc.o" "gcc" "src/kv/CMakeFiles/cdpu_kv.dir/ycsb_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssd/CMakeFiles/cdpu_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cdpu_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/codecs/CMakeFiles/cdpu_codecs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cdpu_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cdpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_kv.dir/bloom.cc.o"
+  "CMakeFiles/cdpu_kv.dir/bloom.cc.o.d"
+  "CMakeFiles/cdpu_kv.dir/lsm.cc.o"
+  "CMakeFiles/cdpu_kv.dir/lsm.cc.o.d"
+  "CMakeFiles/cdpu_kv.dir/skiplist.cc.o"
+  "CMakeFiles/cdpu_kv.dir/skiplist.cc.o.d"
+  "CMakeFiles/cdpu_kv.dir/sstable.cc.o"
+  "CMakeFiles/cdpu_kv.dir/sstable.cc.o.d"
+  "CMakeFiles/cdpu_kv.dir/ycsb_runner.cc.o"
+  "CMakeFiles/cdpu_kv.dir/ycsb_runner.cc.o.d"
+  "libcdpu_kv.a"
+  "libcdpu_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_ssd.dir/ftl.cc.o"
+  "CMakeFiles/cdpu_ssd.dir/ftl.cc.o.d"
+  "CMakeFiles/cdpu_ssd.dir/nand.cc.o"
+  "CMakeFiles/cdpu_ssd.dir/nand.cc.o.d"
+  "CMakeFiles/cdpu_ssd.dir/scheme.cc.o"
+  "CMakeFiles/cdpu_ssd.dir/scheme.cc.o.d"
+  "CMakeFiles/cdpu_ssd.dir/ssd.cc.o"
+  "CMakeFiles/cdpu_ssd.dir/ssd.cc.o.d"
+  "libcdpu_ssd.a"
+  "libcdpu_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

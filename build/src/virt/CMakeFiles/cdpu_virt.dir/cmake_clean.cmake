@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_virt.dir/sriov.cc.o"
+  "CMakeFiles/cdpu_virt.dir/sriov.cc.o.d"
+  "libcdpu_virt.a"
+  "libcdpu_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdpu_virt.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_workload.dir/datagen.cc.o"
+  "CMakeFiles/cdpu_workload.dir/datagen.cc.o.d"
+  "CMakeFiles/cdpu_workload.dir/ycsb.cc.o"
+  "CMakeFiles/cdpu_workload.dir/ycsb.cc.o.d"
+  "libcdpu_workload.a"
+  "libcdpu_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codecs_test.dir/codecs_test.cc.o"
+  "CMakeFiles/codecs_test.dir/codecs_test.cc.o.d"
+  "codecs_test"
+  "codecs_test.pdb"
+  "codecs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codecs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

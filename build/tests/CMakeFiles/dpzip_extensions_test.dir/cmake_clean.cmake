@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpzip_extensions_test.dir/dpzip_extensions_test.cc.o"
+  "CMakeFiles/dpzip_extensions_test.dir/dpzip_extensions_test.cc.o.d"
+  "dpzip_extensions_test"
+  "dpzip_extensions_test.pdb"
+  "dpzip_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpzip_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_vectors_test.dir/format_vectors_test.cc.o"
+  "CMakeFiles/format_vectors_test.dir/format_vectors_test.cc.o.d"
+  "format_vectors_test"
+  "format_vectors_test.pdb"
+  "format_vectors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_vectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fs_test.cc" "tests/CMakeFiles/fs_test.dir/fs_test.cc.o" "gcc" "tests/CMakeFiles/fs_test.dir/fs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/cdpu_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cdpu_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/cdpu_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cdpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codecs/CMakeFiles/cdpu_codecs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cdpu_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

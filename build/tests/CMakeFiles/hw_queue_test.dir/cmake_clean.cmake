@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_queue_test.dir/hw_queue_test.cc.o"
+  "CMakeFiles/hw_queue_test.dir/hw_queue_test.cc.o.d"
+  "hw_queue_test"
+  "hw_queue_test.pdb"
+  "hw_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

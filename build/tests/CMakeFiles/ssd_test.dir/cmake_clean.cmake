@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_test.dir/ssd_test.cc.o"
+  "CMakeFiles/ssd_test.dir/ssd_test.cc.o.d"
+  "ssd_test"
+  "ssd_test.pdb"
+  "ssd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_cli.dir/cdpu_cli.cc.o"
+  "CMakeFiles/cdpu_cli.dir/cdpu_cli.cc.o.d"
+  "cdpu_cli"
+  "cdpu_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
