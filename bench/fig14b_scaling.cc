@@ -2,15 +2,58 @@
 // drive count (paper: 12.5 GB/s -> 98.6 GB/s at 8 drives, 64 KB chunks);
 // QAT 4xxx is bounded by CPU sockets (max ~4 per server, 4.77 -> 9.54 GB/s
 // for two); QAT 8970 scales with PCIe slots but contends for them.
+//
+// The final section replays the single-device thread sweep through the
+// offload runtime: real client threads submitting through queue pairs and
+// contending for the device's 64 descriptor slots, instead of the serial
+// closed-loop replay above it.
+
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/hw/device_configs.h"
+#include "src/runtime/offload_runtime.h"
 
 namespace cdpu {
 namespace {
 
 constexpr uint64_t k64K = 65536;
 constexpr uint64_t kRequests = 8000;
+
+// Closed-loop clients chained in simulated time: each thread's next arrival
+// is its previous request's simulated completion.
+RuntimeStats RunViaRuntime(const CdpuConfig& cfg, uint32_t threads, uint64_t jobs_per_thread,
+                           uint64_t bytes, double r) {
+  RuntimeOptions opts;
+  opts.device = cfg;
+  opts.codec = "";  // model-only: timing comes from the device model
+  opts.queue_pairs = std::min(threads, 8u);
+  opts.batch_size = 1;
+  OffloadRuntime runtime(opts);
+
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&runtime, &opts, t, jobs_per_thread, bytes, r] {
+      SimNanos now = 0;
+      for (uint64_t i = 0; i < jobs_per_thread; ++i) {
+        OffloadRequest req;
+        req.op = CdpuOp::kCompress;
+        req.model_bytes = bytes;
+        req.ratio_hint = r;
+        req.arrival = now;
+        req.queue_pair = t % opts.queue_pairs;
+        now = runtime.Submit(std::move(req)).get().sim_completion;
+      }
+    });
+  }
+  for (std::thread& c : clients) {
+    c.join();
+  }
+  runtime.Drain();
+  return runtime.Snapshot();
+}
 
 void Run() {
   PrintHeader("Finding 14", "Multi-device compression scaling (64 KB chunks)");
@@ -42,8 +85,22 @@ void Run() {
               Fmt(qat4.RunClosedLoop(CdpuOp::kCompress, 8000, 4096, 0.45, t).gbps, 2),
               Fmt(qat8.RunClosedLoop(CdpuOp::kCompress, 8000, 4096, 0.45, t).gbps, 2)});
   }
+  std::printf("\nThread scaling through the offload runtime (4 KB compress,\n"
+              "real threads contending for the 64 descriptor slots)\n");
+  PrintRow({"threads", "qat-8970 GB/s", "mean lat us", "ceil delays", "max inflight"});
+  PrintRule(5);
+  for (uint32_t t : {1u, 8u, 32u, 64u, 96u, 128u}) {
+    uint64_t per_thread = 3000 / t + 8;
+    RuntimeStats s = RunViaRuntime(Qat8970Config(), t, per_thread, 4096, 0.45);
+    PrintRow({Fmt(t, 0), Fmt(s.sim_gbps(), 2), Fmt(s.device_latency_us.mean(), 1),
+              Fmt(static_cast<double>(s.ceiling_delays), 0),
+              Fmt(static_cast<double>(s.max_inflight), 0)});
+  }
+
   std::printf("\nPaper shape: DP-CSD near-linear to 8 devices (98.6 GB/s); QAT\n"
-              "throughput plateaus past its 64-deep queues and socket limits.\n");
+              "throughput plateaus past its 64-deep queues and socket limits.\n"
+              "Runtime sweep: throughput climbs with threads until the 64-slot\n"
+              "concurrency ceiling saturates, then latency absorbs the excess.\n");
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 #ifndef SRC_COMMON_STATS_H_
 #define SRC_COMMON_STATS_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -25,6 +27,28 @@ class RunningStats {
     if (n_ == 1 || x > max_) {
       max_ = x;
     }
+  }
+
+  // Folds another accumulator into this one (Chan et al. parallel variance
+  // combine). Lets worker threads keep uncontended thread-local stats and
+  // merge them into a shared sink at snapshot/shutdown time.
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) {
+      return;
+    }
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    uint64_t n = n_ + other.n_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(n_);
+    double nb = static_cast<double>(other.n_);
+    mean_ += delta * nb / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ = n;
   }
 
   uint64_t count() const { return n_; }
@@ -76,6 +100,50 @@ class SampleSet {
 
   std::vector<double> samples_;
   bool sorted_ = false;
+};
+
+// Lock-free byte/operation counters shared across worker threads. Relaxed
+// ordering is sufficient: the counters are monotonic tallies read after a
+// synchronising join/drain, never used for inter-thread handoff.
+class AtomicThroughput {
+ public:
+  void Record(uint64_t bytes_in, uint64_t bytes_out) {
+    ops_.fetch_add(1, std::memory_order_relaxed);
+    bytes_in_.fetch_add(bytes_in, std::memory_order_relaxed);
+    bytes_out_.fetch_add(bytes_out, std::memory_order_relaxed);
+  }
+
+  uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+  uint64_t bytes_in() const { return bytes_in_.load(std::memory_order_relaxed); }
+  uint64_t bytes_out() const { return bytes_out_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    ops_.store(0, std::memory_order_relaxed);
+    bytes_in_.store(0, std::memory_order_relaxed);
+    bytes_out_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+};
+
+// Monotonic high-water mark maintained with a CAS loop; used to audit the
+// runtime's in-flight ceiling (never exceeds the device queue depth).
+class AtomicHighWater {
+ public:
+  void Observe(uint64_t value) {
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> max_{0};
 };
 
 }  // namespace cdpu

@@ -1,0 +1,108 @@
+#include "src/hw/shared_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdpu {
+
+SharedCdpuQueue::SharedCdpuQueue(const CdpuConfig& config)
+    : device_(config), engine_free_(std::max(1u, config.engines), 0) {}
+
+SharedCdpuQueue::Completion SharedCdpuQueue::Submit(CdpuOp op, uint64_t bytes, double r,
+                                                    SimNanos arrival) {
+  const CdpuConfig& cfg = device_.config();
+  double rr = std::clamp(r, 0.05, 1.0);
+  uint64_t in_bytes = op == CdpuOp::kCompress
+                          ? bytes
+                          : static_cast<uint64_t>(static_cast<double>(bytes) * rr);
+  uint64_t out_bytes = op == CdpuOp::kCompress
+                           ? static_cast<uint64_t>(static_cast<double>(bytes) * rr)
+                           : bytes;
+  bool in_storage = cfg.placement == Placement::kInStorage;
+  Link link(cfg.link);
+
+  // Engine-only service; the whole device is contended, so charge the shared
+  // aggregate cap as if all engines are active (same convention as CdpuQueue).
+  SimNanos service = op == CdpuOp::kCompress
+                         ? device_.CompressServiceTime(bytes, r, cfg.engines)
+                         : device_.DecompressServiceTime(bytes, r, cfg.engines);
+
+  std::lock_guard<std::mutex> lock(mu_);
+
+  Completion out;
+  out.admitted = arrival;
+  // Hardware ring admission: with `queue_limit` descriptors in flight at
+  // `arrival`, the submitter spins until one completes. Admission is delayed
+  // to the k-th earliest in-flight completion such that the population drops
+  // below the limit.
+  if (cfg.queue_limit > 0) {
+    // Drop entries that completed before this arrival.
+    while (!inflight_done_.empty() && *inflight_done_.begin() <= out.admitted) {
+      inflight_done_.erase(inflight_done_.begin());
+    }
+    if (inflight_done_.size() >= cfg.queue_limit) {
+      auto it = inflight_done_.begin();
+      std::advance(it, inflight_done_.size() - cfg.queue_limit);
+      out.admitted = std::max(out.admitted, *it);
+      out.ceiling_delayed = true;
+      ++ceiling_delays_;
+      while (!inflight_done_.empty() && *inflight_done_.begin() <= out.admitted) {
+        inflight_done_.erase(inflight_done_.begin());
+      }
+    }
+  }
+
+  SimNanos t = out.admitted + static_cast<SimNanos>(std::llround(cfg.submit_overhead_ns));
+  if (!in_storage) {
+    // Inbound payload crosses the shared full-duplex link; occupancy is gated
+    // by the heavier direction, propagation latency by the inbound transfer.
+    SimNanos occupancy = static_cast<SimNanos>(std::llround(
+        static_cast<double>(std::max(in_bytes, out_bytes)) / link.EffectiveGbps()));
+    SimNanos link_start = std::max(t, link_free_);
+    link_free_ = link_start + occupancy;
+    t = std::max(t + link.TransferLatency(in_bytes),
+                 link_free_ - link.TransferLatency(out_bytes));
+  }
+
+  auto eng = std::min_element(engine_free_.begin(), engine_free_.end());
+  out.start = std::max(t, *eng);
+  SimNanos engine_done = out.start + service;
+  *eng = engine_done;
+
+  t = engine_done;
+  if (!in_storage) {
+    t += link.TransferLatency(out_bytes);
+  }
+  t += static_cast<SimNanos>(std::llround(cfg.complete_overhead_ns));
+  out.completion = t;
+
+  if (cfg.queue_limit > 0) {
+    inflight_done_.insert(out.completion);
+  }
+  busy_ns_ += service;
+  last_completion_ = std::max(last_completion_, out.completion);
+  ++requests_;
+  return out;
+}
+
+SimNanos SharedCdpuQueue::busy_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_ns_;
+}
+
+uint64_t SharedCdpuQueue::requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_;
+}
+
+uint64_t SharedCdpuQueue::ceiling_delays() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ceiling_delays_;
+}
+
+SimNanos SharedCdpuQueue::last_completion() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_completion_;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,61 @@
+// Thread-safe device timing front end. CdpuQueue (cdpu_queue.h) assumes a
+// single caller issuing non-decreasing arrivals — fine for the discrete-event
+// replays, unusable once real threads contend for one device. SharedCdpuQueue
+// serialises the timing computation under a mutex and relaxes the ordering
+// requirement to "arrivals from concurrent threads may interleave": each
+// request reserves the earliest-free engine (and the shared link), and the
+// hardware concurrency ceiling (QAT's 64 descriptors, Finding 6) is enforced
+// by delaying admission until the in-flight population drops below the limit.
+
+#ifndef SRC_HW_SHARED_QUEUE_H_
+#define SRC_HW_SHARED_QUEUE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/hw/cdpu_device.h"
+
+namespace cdpu {
+
+class SharedCdpuQueue {
+ public:
+  explicit SharedCdpuQueue(const CdpuConfig& config);
+
+  struct Completion {
+    SimNanos admitted = 0;    // arrival, possibly delayed by the full ring
+    SimNanos start = 0;       // engine service start
+    SimNanos completion = 0;  // host-visible completion (DMA out + interrupt)
+    bool ceiling_delayed = false;
+  };
+
+  // Computes the simulated timeline of one request arriving at `arrival`.
+  // Safe to call from any thread; arrivals from different threads need not
+  // be ordered.
+  Completion Submit(CdpuOp op, uint64_t bytes, double r, SimNanos arrival);
+
+  const CdpuConfig& config() const { return device_.config(); }
+
+  SimNanos busy_ns() const;
+  uint64_t requests() const;
+  uint64_t ceiling_delays() const;
+  // Latest engine completion seen so far: the simulated makespan.
+  SimNanos last_completion() const;
+
+ private:
+  CdpuDevice device_;
+
+  mutable std::mutex mu_;
+  std::vector<SimNanos> engine_free_;       // per-engine next-free time
+  SimNanos link_free_ = 0;                  // shared full-duplex link
+  std::multiset<SimNanos> inflight_done_;   // completions of admitted requests
+  SimNanos busy_ns_ = 0;
+  SimNanos last_completion_ = 0;
+  uint64_t requests_ = 0;
+  uint64_t ceiling_delays_ = 0;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_HW_SHARED_QUEUE_H_

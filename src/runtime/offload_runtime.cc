@@ -1,0 +1,428 @@
+#include "src/runtime/offload_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace cdpu {
+namespace {
+
+constexpr std::chrono::microseconds kPollSlice(500);
+
+}  // namespace
+
+struct OffloadRuntime::Job {
+  OffloadRequest request;
+  std::promise<OffloadResult> promise;
+  OffloadResult result;
+  uint64_t enqueue_wall = 0;
+  uint64_t model_bytes = 0;  // payload size fed to the timing model
+  bool canceled = false;
+};
+
+struct OffloadRuntime::QueuePair {
+  explicit QueuePair(uint32_t depth) : submit_ring(depth) {}
+
+  SpscRing<Job*> submit_ring;
+  // Producer side: serialises client threads sharing this pair and guards the
+  // doorbell-coalescing state below.
+  std::mutex producer_mu;
+  std::condition_variable space_cv;  // backpressure when the ring is full
+  uint32_t unflushed = 0;            // descriptors written since the last doorbell
+  uint64_t first_unflushed_wall = 0;
+  // Descriptors the dispatcher is allowed to consume (doorbell has been rung).
+  std::atomic<uint64_t> doorbell_avail{0};
+
+  // Completion side: engine threads (and cancellation) post here; the single
+  // reaper drains it.
+  std::mutex complete_mu;
+  std::deque<Job*> completions;
+};
+
+OffloadRuntime::OffloadRuntime(const RuntimeOptions& options)
+    : options_(options), timing_(options.device) {
+  options_.queue_pairs = std::max(1u, options_.queue_pairs);
+  options_.batch_size = std::max(1u, options_.batch_size);
+  options_.ring_depth = std::max(options_.batch_size, std::max(2u, options_.ring_depth));
+  if (options_.engine_threads == 0) {
+    options_.engine_threads = std::max(1u, options_.device.engines);
+  }
+  max_inflight_ =
+      options_.max_inflight > 0 ? options_.max_inflight : options_.device.queue_limit;
+
+  qps_.reserve(options_.queue_pairs);
+  for (uint32_t i = 0; i < options_.queue_pairs; ++i) {
+    qps_.push_back(std::make_unique<QueuePair>(options_.ring_depth));
+  }
+
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  engines_.reserve(options_.engine_threads);
+  for (uint32_t i = 0; i < options_.engine_threads; ++i) {
+    engines_.emplace_back([this, i] { EngineLoop(i); });
+  }
+  reaper_ = std::thread([this] { ReaperLoop(); });
+}
+
+OffloadRuntime::~OffloadRuntime() { Shutdown(ShutdownMode::kDrain); }
+
+void OffloadRuntime::RingDoorbellLocked(QueuePair& qp) {
+  if (qp.unflushed == 0) {
+    return;
+  }
+  qp.doorbell_avail.fetch_add(qp.unflushed, std::memory_order_release);
+  qp.unflushed = 0;
+  doorbells_.fetch_add(1, std::memory_order_relaxed);
+  dispatch_cv_.notify_one();
+}
+
+std::future<OffloadResult> OffloadRuntime::Submit(OffloadRequest request) {
+  Job* job = new Job;
+  job->request = std::move(request);
+  std::future<OffloadResult> fut = job->promise.get_future();
+
+  uint32_t qpi = job->request.queue_pair % static_cast<uint32_t>(qps_.size());
+  job->request.queue_pair = qpi;
+
+  uint64_t payload = job->request.input.size();
+  if (payload == 0) {
+    payload = job->request.model_bytes;
+  } else if (job->request.op == CdpuOp::kDecompress) {
+    // The timing model is parameterised by the *original* (uncompressed)
+    // size; estimate it from the compressed input and the ratio hint.
+    double rr = std::clamp(job->request.ratio_hint, 0.05, 1.0);
+    payload = static_cast<uint64_t>(
+        std::llround(static_cast<double>(job->request.input.size()) / rr));
+  }
+  job->model_bytes = std::max<uint64_t>(payload, 1);
+  job->enqueue_wall = clock_.Now();
+
+  QueuePair& qp = *qps_[qpi];
+  {
+    std::unique_lock<std::mutex> lock(qp.producer_mu);
+    for (;;) {
+      if (state_.load() != State::kRunning) {
+        lock.unlock();
+        job->result.status = Status::Unavailable("offload runtime is shut down");
+        if (job->request.callback) {
+          job->request.callback(job->result);
+        }
+        job->promise.set_value(std::move(job->result));
+        delete job;
+        return fut;
+      }
+      if (qp.submit_ring.TryPush(job)) {
+        break;
+      }
+      qp.space_cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (qp.unflushed++ == 0) {
+      qp.first_unflushed_wall = clock_.Now();
+    }
+    bool window_elapsed =
+        clock_.Now() - qp.first_unflushed_wall >= options_.doorbell_window_ns;
+    if (qp.unflushed >= options_.batch_size || window_elapsed) {
+      RingDoorbellLocked(qp);
+    }
+  }
+  return fut;
+}
+
+void OffloadRuntime::Flush(uint32_t queue_pair) {
+  QueuePair& qp = *qps_[queue_pair % qps_.size()];
+  std::lock_guard<std::mutex> lock(qp.producer_mu);
+  RingDoorbellLocked(qp);
+}
+
+bool OffloadRuntime::AcquireInflightSlot() {
+  std::unique_lock<std::mutex> lock(slots_mu_);
+  slots_cv_.wait(lock, [this] { return max_inflight_ == 0 || inflight_ < max_inflight_; });
+  ++inflight_;
+  max_inflight_seen_ = std::max<uint64_t>(max_inflight_seen_, inflight_);
+  return true;
+}
+
+void OffloadRuntime::ReleaseInflightSlot() {
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    --inflight_;
+  }
+  slots_cv_.notify_one();
+}
+
+void OffloadRuntime::DispatchJob(Job* job) {
+  AcquireInflightSlot();
+  SimNanos arrival =
+      job->request.arrival == kAutoArrival ? clock_.Now() : job->request.arrival;
+  SharedCdpuQueue::Completion c =
+      timing_.Submit(job->request.op, job->model_bytes, job->request.ratio_hint, arrival);
+  job->result.sim_arrival = arrival;
+  job->result.sim_completion = c.completion;
+  job->result.device_latency_ns = c.completion - arrival;
+  job->result.ceiling_delayed = c.ceiling_delayed;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (!first_arrival_set_ || arrival < stats_.sim_first_arrival) {
+      stats_.sim_first_arrival = arrival;
+      first_arrival_set_ = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    engine_queue_.push_back(job);
+  }
+  engine_cv_.notify_one();
+}
+
+void OffloadRuntime::CancelJob(Job* job) {
+  job->canceled = true;
+  job->result.status = Status::Unavailable("canceled: runtime aborted with job queued");
+  PostCompletion(job);
+}
+
+void OffloadRuntime::PostCompletion(Job* job) {
+  QueuePair& qp = *qps_[job->request.queue_pair];
+  {
+    std::lock_guard<std::mutex> lock(qp.complete_mu);
+    qp.completions.push_back(job);
+  }
+  reap_cv_.notify_one();
+}
+
+void OffloadRuntime::DispatcherLoop() {
+  size_t sweep_origin = 0;
+  const uint64_t window = options_.doorbell_window_ns;
+  for (;;) {
+    State st = state_.load();
+    bool dispatched_any = false;
+    for (size_t i = 0; i < qps_.size(); ++i) {
+      QueuePair& qp = *qps_[(sweep_origin + i) % qps_.size()];
+      {
+        // Expire the coalescing window on partial batches the producers have
+        // abandoned (or force-flush everything once shutdown begins).
+        std::lock_guard<std::mutex> lock(qp.producer_mu);
+        if (qp.unflushed > 0 &&
+            (st != State::kRunning ||
+             clock_.Now() - qp.first_unflushed_wall >= window)) {
+          RingDoorbellLocked(qp);
+        }
+      }
+      uint64_t avail = qp.doorbell_avail.load(std::memory_order_acquire);
+      uint64_t take = options_.fair_dispatch ? std::min<uint64_t>(avail, options_.batch_size)
+                                             : avail;
+      for (uint64_t j = 0; j < take; ++j) {
+        Job* job = nullptr;
+        if (!qp.submit_ring.TryPop(&job)) {
+          break;
+        }
+        qp.doorbell_avail.fetch_sub(1, std::memory_order_relaxed);
+        qp.space_cv.notify_all();
+        if (st == State::kAborting) {
+          CancelJob(job);
+        } else {
+          DispatchJob(job);
+        }
+        dispatched_any = true;
+      }
+    }
+    sweep_origin = (sweep_origin + 1) % qps_.size();
+
+    if (st != State::kRunning) {
+      bool all_empty = true;
+      for (auto& qp : qps_) {
+        std::lock_guard<std::mutex> lock(qp->producer_mu);
+        if (qp->unflushed > 0 || !qp->submit_ring.empty()) {
+          all_empty = false;
+          break;
+        }
+      }
+      if (all_empty) {
+        break;
+      }
+      continue;
+    }
+    if (!dispatched_any) {
+      std::unique_lock<std::mutex> lock(dispatch_mu_);
+      dispatch_cv_.wait_for(lock, kPollSlice);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    engines_stopping_ = true;
+  }
+  engine_cv_.notify_all();
+}
+
+void OffloadRuntime::EngineLoop(uint32_t engine_index) {
+  (void)engine_index;
+  std::unique_ptr<Codec> codec;
+  if (!options_.codec.empty()) {
+    codec = MakeCodec(options_.codec);
+  }
+  RunningStats local_service_us;  // thread-local; merged on exit
+
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(engine_mu_);
+      engine_cv_.wait(lock, [this] { return engines_stopping_ || !engine_queue_.empty(); });
+      if (engine_queue_.empty()) {
+        break;  // engines_stopping_ and drained
+      }
+      job = engine_queue_.front();
+      engine_queue_.pop_front();
+    }
+
+    uint64_t t0 = clock_.Now();
+    uint64_t in_bytes = job->request.input.size();
+    uint64_t out_bytes = 0;
+    if (!options_.codec.empty()) {
+      if (codec == nullptr) {
+        job->result.status =
+            Status::InvalidArgument("unknown codec: " + options_.codec);
+      } else if (!job->request.input.empty()) {
+        Result<size_t> r = job->request.op == CdpuOp::kCompress
+                               ? codec->Compress(job->request.input, &job->result.output)
+                               : codec->Decompress(job->request.input, &job->result.output);
+        if (r.ok()) {
+          out_bytes = job->result.output.size();
+        } else {
+          job->result.status = r.status();
+        }
+      }
+    }
+    job->result.input_bytes = in_bytes > 0 ? in_bytes : job->model_bytes;
+    job->result.output_bytes = out_bytes;
+    if (job->request.op == CdpuOp::kCompress) {
+      job->result.ratio = out_bytes > 0 && in_bytes > 0
+                              ? static_cast<double>(out_bytes) / static_cast<double>(in_bytes)
+                              : job->request.ratio_hint;
+    }
+    local_service_us.Add(static_cast<double>(clock_.Now() - t0) / 1e3);
+    throughput_.Record(job->result.input_bytes, out_bytes);
+
+    PostCompletion(job);
+    ReleaseInflightSlot();
+
+    // Fold thread-local stats into the shared sink periodically so Snapshot()
+    // stays fresh without taking stats_mu_ on every job.
+    if (local_service_us.count() >= 64) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.engine_service_us.Merge(local_service_us);
+      local_service_us = RunningStats();
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.engine_service_us.Merge(local_service_us);
+}
+
+void OffloadRuntime::ReaperLoop() {
+  for (;;) {
+    bool reaped_any = false;
+    for (auto& qp : qps_) {
+      for (;;) {
+        Job* job = nullptr;
+        {
+          std::lock_guard<std::mutex> lock(qp->complete_mu);
+          if (qp->completions.empty()) {
+            break;
+          }
+          job = qp->completions.front();
+          qp->completions.pop_front();
+        }
+        job->result.wall_latency_ns = clock_.Now() - job->enqueue_wall;
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          stats_.wall_latency_us.Add(static_cast<double>(job->result.wall_latency_ns) / 1e3);
+          if (!job->canceled) {
+            stats_.device_latency_us.Add(static_cast<double>(job->result.device_latency_ns) /
+                                         1e3);
+          }
+          if (job->canceled) {
+            ++stats_.jobs_canceled;
+          } else if (!job->result.status.ok()) {
+            ++stats_.jobs_failed;
+          }
+        }
+        if (job->request.callback) {
+          job->request.callback(job->result);
+        }
+        job->promise.set_value(std::move(job->result));
+        delete job;
+        jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+        reaped_any = true;
+      }
+    }
+    if (reaped_any) {
+      drain_cv_.notify_all();
+      continue;  // keep polling while completions are flowing
+    }
+    std::unique_lock<std::mutex> lock(reap_mu_);
+    if (reaper_stopping_) {
+      // Engine threads are joined before reaper_stopping_ is set, so no new
+      // completion can arrive after an empty sweep.
+      break;
+    }
+    reap_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  drain_cv_.notify_all();
+}
+
+void OffloadRuntime::Drain() {
+  // Timed predicate wait: the reaper notifies without holding reap_mu_, so a
+  // pure wait could miss the final wake-up.
+  std::unique_lock<std::mutex> lock(reap_mu_);
+  auto drained = [this] {
+    return jobs_completed_.load(std::memory_order_relaxed) >=
+           jobs_submitted_.load(std::memory_order_relaxed);
+  };
+  while (!drain_cv_.wait_for(lock, std::chrono::milliseconds(1), drained)) {
+  }
+}
+
+void OffloadRuntime::Shutdown(ShutdownMode mode) {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (state_.load() == State::kStopped) {
+    return;
+  }
+  state_.store(mode == ShutdownMode::kDrain ? State::kDraining : State::kAborting);
+  dispatch_cv_.notify_all();
+  for (auto& qp : qps_) {
+    qp->space_cv.notify_all();  // wake producers blocked on full rings
+  }
+  dispatcher_.join();
+  engine_cv_.notify_all();
+  for (std::thread& t : engines_) {
+    t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(reap_mu_);
+    reaper_stopping_ = true;
+  }
+  reap_cv_.notify_all();
+  reaper_.join();
+  state_.store(State::kStopped);
+}
+
+RuntimeStats OffloadRuntime::Snapshot() const {
+  RuntimeStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
+  s.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
+  s.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
+  s.bytes_in = throughput_.bytes_in();
+  s.bytes_out = throughput_.bytes_out();
+  s.doorbells = doorbells_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    s.max_inflight = max_inflight_seen_;
+  }
+  s.ceiling_delays = timing_.ceiling_delays();
+  s.sim_makespan = timing_.last_completion();
+  return s;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,73 @@
+// Bounded single-producer/single-consumer ring buffer — the descriptor ring
+// of one queue pair. Lock-free for the SPSC discipline the runtime enforces
+// (the producer side of a queue pair is serialised by a small mutex so many
+// client threads may share one pair; the consumer is always exactly one
+// runtime thread). Capacity is rounded up to a power of two so index
+// wrapping is a mask.
+
+#ifndef SRC_RUNTIME_SPSC_RING_H_
+#define SRC_RUNTIME_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cdpu {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+  // Producer side. Returns false when the ring is full.
+  bool TryPush(T value) {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) {
+      return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate occupancy; exact when called from producer or consumer.
+  size_t size() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_acquire) -
+                               head_.load(std::memory_order_acquire));
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer cursor
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_RUNTIME_SPSC_RING_H_

@@ -1,0 +1,41 @@
+// Bridges monotonic wall-clock time into the simulated-nanosecond domain so
+// real threads can drive the analytic device models. The discrete-event code
+// paths advance SimNanos explicitly; threaded callers instead stamp requests
+// with HostClock::Now(), a monotonic wall-clock offset from the clock's
+// creation. Both domains share the SimNanos vocabulary, so a device model fed
+// wall-clock arrivals returns completions comparable against later Now()
+// readings.
+
+#ifndef SRC_SIM_HOST_CLOCK_H_
+#define SRC_SIM_HOST_CLOCK_H_
+
+#include <chrono>
+
+#include "src/sim/sim_time.h"
+
+namespace cdpu {
+
+// Monotonic wall-clock source expressed in SimNanos since construction.
+// Thread-safe: Now() only reads the immutable origin.
+class HostClock {
+ public:
+  HostClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  SimNanos Now() const {
+    auto delta = std::chrono::steady_clock::now() - origin_;
+    return static_cast<SimNanos>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+// Sentinel arrival meaning "stamp with the runtime's HostClock at submission".
+// Closed-loop simulation clients instead pass explicit virtual arrivals
+// (typically the simulated completion of their previous request).
+constexpr SimNanos kAutoArrival = ~SimNanos{0};
+
+}  // namespace cdpu
+
+#endif  // SRC_SIM_HOST_CLOCK_H_

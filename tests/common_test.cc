@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "src/common/bitstream.h"
 #include "src/common/crc32.h"
 #include "src/common/rng.h"
@@ -193,6 +196,51 @@ TEST(Crc32Test, KnownVector) {
   const char* s = "123456789";
   std::span<const uint8_t> data(reinterpret_cast<const uint8_t*>(s), 9);
   EXPECT_EQ(Crc32(data), 0xcbf43926u);
+}
+
+TEST(RunningStatsTest, MergeMatchesSingleAccumulator) {
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    double x = static_cast<double>(rng.NextByte()) + 0.25 * i;
+    whole.Add(x);
+    (i % 3 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+
+  RunningStats empty;
+  a.Merge(empty);  // merging an empty accumulator is a no-op
+  EXPECT_EQ(a.count(), whole.count());
+  empty.Merge(a);  // merging into an empty accumulator copies
+  EXPECT_NEAR(empty.mean(), whole.mean(), 1e-9);
+}
+
+TEST(AtomicStatsTest, CountersAccumulateAcrossThreads) {
+  AtomicThroughput tp;
+  AtomicHighWater hw;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 1000; ++i) {
+        tp.Record(100, 40);
+        hw.Observe(static_cast<uint64_t>(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(tp.ops(), 4000u);
+  EXPECT_EQ(tp.bytes_in(), 400000u);
+  EXPECT_EQ(tp.bytes_out(), 160000u);
+  EXPECT_EQ(hw.max(), 3999u);
 }
 
 TEST(Crc32Test, ChainingMatchesOneShot) {

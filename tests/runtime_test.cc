@@ -1,0 +1,307 @@
+// Threaded offload-runtime coverage: round-trip correctness under
+// contention, concurrency-ceiling enforcement (in-flight never exceeds the
+// device queue depth), doorbell batching, and graceful shutdown with jobs
+// still queued. These are the tests the TSan CI job gates.
+
+#include "src/runtime/offload_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/hw/device_configs.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+CdpuConfig SmallTestDevice(uint32_t engines, uint32_t queue_limit) {
+  CdpuConfig c;
+  c.name = "test-device";
+  c.placement = Placement::kPeripheral;
+  c.engines = engines;
+  c.queue_limit = queue_limit;
+  c.compress_gbps = 2.0;
+  c.decompress_gbps = 4.0;
+  c.link.name = "test-link";
+  return c;
+}
+
+TEST(SharedCdpuQueueTest, SerialArrivalsMatchEngineCount) {
+  // In-storage placement: no shared host link, so engine contention is the
+  // only queueing effect. Two engines: two simultaneous arrivals run in
+  // parallel, the third queues.
+  CdpuConfig cfg = SmallTestDevice(2, 0);
+  cfg.placement = Placement::kInStorage;
+  SharedCdpuQueue q(cfg);
+  auto a = q.Submit(CdpuOp::kCompress, 65536, 0.5, 0);
+  auto b = q.Submit(CdpuOp::kCompress, 65536, 0.5, 0);
+  auto c = q.Submit(CdpuOp::kCompress, 65536, 0.5, 0);
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_GT(c.start, a.start);
+  EXPECT_EQ(q.requests(), 3u);
+  EXPECT_GT(q.busy_ns(), 0u);
+}
+
+TEST(SharedCdpuQueueTest, ConcurrencyCeilingDelaysAdmission) {
+  constexpr uint32_t kLimit = 64;
+  SharedCdpuQueue q(SmallTestDevice(3, kLimit));
+  uint64_t delayed = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto c = q.Submit(CdpuOp::kCompress, 4096, 0.5, 0);
+    if (c.ceiling_delayed) {
+      ++delayed;
+      EXPECT_GT(c.admitted, 0u);
+    }
+  }
+  // The first 64 simultaneous arrivals are admitted at t=0; later ones wait
+  // for an in-flight descriptor to retire.
+  EXPECT_GT(delayed, 0u);
+  EXPECT_EQ(delayed, q.ceiling_delays());
+  EXPECT_LE(delayed, 100u - kLimit);
+}
+
+TEST(SharedCdpuQueueTest, ThreadedSubmissionsAreAccounted) {
+  SharedCdpuQueue q(SmallTestDevice(2, 16));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&q, t] {
+      SimNanos now = static_cast<SimNanos>(t) * 100;
+      for (int i = 0; i < kPerThread; ++i) {
+        auto c = q.Submit(CdpuOp::kCompress, 4096, 0.5, now);
+        now = c.completion;  // closed loop in simulated time
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(q.requests(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_GT(q.last_completion(), 0u);
+}
+
+TEST(OffloadRuntimeTest, RoundTripUnderContention) {
+  RuntimeOptions opts;
+  opts.device = SmallTestDevice(4, 64);
+  opts.codec = "lz4";
+  opts.queue_pairs = 4;
+  opts.batch_size = 4;
+  opts.engine_threads = 4;
+  OffloadRuntime runtime(opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kJobsPerThread = 24;
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        ByteVec original =
+            GenerateWithRatio(0.3 + 0.05 * (i % 8), 2048 + 512 * (i % 5),
+                              static_cast<uint64_t>(t * 1000 + i));
+        OffloadRequest creq;
+        creq.op = CdpuOp::kCompress;
+        creq.input = original;
+        creq.queue_pair = static_cast<uint32_t>(t % 4);
+        OffloadResult cres = runtime.Submit(std::move(creq)).get();
+        if (!cres.status.ok()) {
+          ++failures;
+          continue;
+        }
+        OffloadRequest dreq;
+        dreq.op = CdpuOp::kDecompress;
+        dreq.input = cres.output;
+        dreq.ratio_hint = cres.ratio;
+        dreq.queue_pair = static_cast<uint32_t>(t % 4);
+        OffloadResult dres = runtime.Submit(std::move(dreq)).get();
+        if (!dres.status.ok()) {
+          ++failures;
+          continue;
+        }
+        if (dres.output != original) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  runtime.Drain();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Engine threads fold their thread-local service stats on exit; shut down
+  // before asserting on the merged view.
+  runtime.Shutdown(OffloadRuntime::ShutdownMode::kDrain);
+  RuntimeStats stats = runtime.Snapshot();
+  EXPECT_EQ(stats.jobs_submitted, static_cast<uint64_t>(kThreads * kJobsPerThread * 2));
+  EXPECT_EQ(stats.jobs_completed, stats.jobs_submitted);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  EXPECT_GT(stats.bytes_in, 0u);
+  EXPECT_GT(stats.wall_latency_us.count(), 0u);
+  EXPECT_GT(stats.engine_service_us.count(), 0u);
+  EXPECT_GT(stats.sim_makespan, 0u);
+}
+
+TEST(OffloadRuntimeTest, InflightNeverExceedsQueueLimit) {
+  constexpr uint32_t kLimit = 8;
+  RuntimeOptions opts;
+  opts.device = SmallTestDevice(4, kLimit);
+  opts.codec = "zstd";  // real work keeps descriptors in flight
+  opts.queue_pairs = 2;
+  opts.batch_size = 4;
+  opts.engine_threads = 4;
+  OffloadRuntime runtime(opts);
+
+  std::vector<ByteVec> payloads;
+  for (int i = 0; i < 48; ++i) {
+    payloads.push_back(GenerateWithRatio(0.4, 32768, static_cast<uint64_t>(i)));
+  }
+  std::vector<std::future<OffloadResult>> futures;
+  for (int i = 0; i < 48; ++i) {
+    OffloadRequest req;
+    req.op = CdpuOp::kCompress;
+    req.input = payloads[static_cast<size_t>(i)];
+    req.queue_pair = static_cast<uint32_t>(i % 2);
+    futures.push_back(runtime.Submit(std::move(req)));
+  }
+  runtime.Flush(0);
+  runtime.Flush(1);
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+  runtime.Drain();
+  RuntimeStats stats = runtime.Snapshot();
+  EXPECT_LE(stats.max_inflight, kLimit);
+  EXPECT_GE(stats.max_inflight, 1u);
+}
+
+TEST(OffloadRuntimeTest, DoorbellCoalescingBatchesDescriptors) {
+  RuntimeOptions opts;
+  opts.device = SmallTestDevice(2, 0);
+  opts.codec = "";  // model-only
+  opts.queue_pairs = 1;
+  opts.batch_size = 8;
+  opts.doorbell_window_ns = Seconds(100);  // never expires during the test
+  OffloadRuntime runtime(opts);
+
+  std::vector<std::future<OffloadResult>> futures;
+  for (int i = 0; i < 32; ++i) {
+    OffloadRequest req;
+    req.model_bytes = 4096;
+    futures.push_back(runtime.Submit(std::move(req)));
+  }
+  runtime.Drain();
+  RuntimeStats stats = runtime.Snapshot();
+  EXPECT_EQ(stats.jobs_completed, 32u);
+  // 32 descriptors with an un-expiring window and batch_size 8: exactly one
+  // doorbell per full batch.
+  EXPECT_EQ(stats.doorbells, 4u);
+}
+
+TEST(OffloadRuntimeTest, DrainShutdownCompletesQueuedJobs) {
+  RuntimeOptions opts;
+  opts.device = SmallTestDevice(2, 16);
+  opts.codec = "";
+  opts.queue_pairs = 2;
+  opts.batch_size = 64;                    // jobs stay below the batch threshold
+  opts.doorbell_window_ns = Seconds(100);  // and the window never fires
+  OffloadRuntime runtime(opts);
+
+  std::vector<std::future<OffloadResult>> futures;
+  for (int i = 0; i < 40; ++i) {
+    OffloadRequest req;
+    req.model_bytes = 8192;
+    req.queue_pair = static_cast<uint32_t>(i % 2);
+    futures.push_back(runtime.Submit(std::move(req)));
+  }
+  // Jobs are sitting unflushed in the rings; a drain shutdown must force the
+  // doorbells and finish everything.
+  runtime.Shutdown(OffloadRuntime::ShutdownMode::kDrain);
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+  RuntimeStats stats = runtime.Snapshot();
+  EXPECT_EQ(stats.jobs_completed, 40u);
+  EXPECT_EQ(stats.jobs_canceled, 0u);
+}
+
+TEST(OffloadRuntimeTest, AbortShutdownCancelsQueuedJobs) {
+  RuntimeOptions opts;
+  opts.device = SmallTestDevice(2, 16);
+  opts.codec = "";
+  opts.queue_pairs = 1;
+  opts.batch_size = 128;                   // nothing reaches the batch threshold
+  opts.doorbell_window_ns = Seconds(100);  // window never fires
+  OffloadRuntime runtime(opts);
+
+  std::vector<std::future<OffloadResult>> futures;
+  for (int i = 0; i < 30; ++i) {
+    OffloadRequest req;
+    req.model_bytes = 4096;
+    futures.push_back(runtime.Submit(std::move(req)));
+  }
+  runtime.Shutdown(OffloadRuntime::ShutdownMode::kAbort);
+  uint64_t canceled = 0;
+  for (auto& f : futures) {
+    OffloadResult r = f.get();
+    if (!r.status.ok()) {
+      EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+      ++canceled;
+    }
+  }
+  // Every job was still queued (no doorbell ever rang), so all are canceled.
+  EXPECT_EQ(canceled, 30u);
+  RuntimeStats stats = runtime.Snapshot();
+  EXPECT_EQ(stats.jobs_canceled, 30u);
+  EXPECT_EQ(stats.jobs_completed, 30u);
+
+  // Submissions after shutdown fail fast instead of hanging.
+  OffloadRequest late;
+  late.model_bytes = 4096;
+  OffloadResult late_result = runtime.Submit(std::move(late)).get();
+  EXPECT_EQ(late_result.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(OffloadRuntimeTest, ClosedLoopSimArrivalsSaturateDevice) {
+  RuntimeOptions opts;
+  opts.device = Qat8970Config();
+  opts.codec = "";
+  opts.queue_pairs = 4;
+  opts.batch_size = 1;
+  OffloadRuntime runtime(opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kJobsPerThread = 32;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      SimNanos now = 0;
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        OffloadRequest req;
+        req.model_bytes = 65536;
+        req.ratio_hint = 0.4;
+        req.arrival = now;
+        req.queue_pair = static_cast<uint32_t>(t % 4);
+        now = runtime.Submit(std::move(req)).get().sim_completion;
+      }
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  runtime.Drain();
+  RuntimeStats stats = runtime.Snapshot();
+  EXPECT_EQ(stats.jobs_completed, static_cast<uint64_t>(kThreads * kJobsPerThread));
+  EXPECT_GT(stats.sim_gbps(), 0.0);
+  EXPECT_GT(stats.device_latency_us.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace cdpu

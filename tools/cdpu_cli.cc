@@ -4,21 +4,32 @@
 //   cdpu_cli compress   <codec> <in> <out>     one-shot file compression
 //   cdpu_cli decompress <codec> <in> <out>     inverse
 //   cdpu_cli bench      <codec> <in> [chunk]   per-chunk ratio + speed
+//   cdpu_cli offload    <codec> <in> [flags]   threaded offload-runtime drive
 //   cdpu_cli entropy    <in> [chunk]           Shannon entropy profile
 //   cdpu_cli list                              available codecs
 //
 // Codecs: deflate[-N], gzip[-N], zstd[-N], lz4, snappy, dpzip.
+//
+// `offload` flags: --threads=N --batch=B --chunk=BYTES --qps=N
+//                  --device=qat8970|qat4xxx|dpzip|csd2000
+// It drives every chunk of <in> through the parallel offload runtime
+// (compress, then decompress + verify) with N client threads contending for
+// the modelled device's descriptor slots.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/codecs/codec.h"
 #include "src/codecs/entropy.h"
 #include "src/core/dpzip_codec.h"
+#include "src/hw/device_configs.h"
+#include "src/runtime/offload_runtime.h"
 
 namespace {
 
@@ -48,6 +59,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: cdpu_cli compress|decompress <codec> <in> <out>\n"
                "       cdpu_cli bench <codec> <in> [chunk_bytes]\n"
+               "       cdpu_cli offload <codec> <in> [--threads=N] [--batch=B]\n"
+               "                [--chunk=BYTES] [--qps=N] [--device=NAME]\n"
                "       cdpu_cli entropy <in> [chunk_bytes]\n"
                "       cdpu_cli list\n");
   return 2;
@@ -111,6 +124,150 @@ int Bench(const std::string& codec_name, const std::string& path, size_t chunk) 
   return 0;
 }
 
+bool ParseFlag(const std::string& arg, const char* name, uint64_t* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  *out = std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
+  return true;
+}
+
+int Offload(const std::string& codec_name, const std::string& path, int argc, char** argv,
+            int first_flag) {
+  uint64_t threads = 4;
+  uint64_t batch = 8;
+  uint64_t chunk = 65536;
+  uint64_t qps = 4;
+  std::string device_name = "qat8970";
+  for (int i = first_flag; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (ParseFlag(arg, "threads", &threads) || ParseFlag(arg, "batch", &batch) ||
+        ParseFlag(arg, "chunk", &chunk) || ParseFlag(arg, "qps", &qps)) {
+      continue;
+    }
+    if (arg.rfind("--device=", 0) == 0) {
+      device_name = arg.substr(9);
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    return Usage();
+  }
+  if (threads == 0 || batch == 0 || chunk == 0 || qps == 0) {
+    std::fprintf(stderr, "--threads/--batch/--chunk/--qps must be positive\n");
+    return 2;
+  }
+
+  cdpu::CdpuConfig device;
+  if (device_name == "qat8970") {
+    device = cdpu::Qat8970Config();
+  } else if (device_name == "qat4xxx") {
+    device = cdpu::Qat4xxxConfig();
+  } else if (device_name == "dpzip") {
+    device = cdpu::DpzipCdpuConfig();
+  } else if (device_name == "csd2000") {
+    device = cdpu::Csd2000CdpuConfig();
+  } else {
+    std::fprintf(stderr, "unknown device: %s\n", device_name.c_str());
+    return 2;
+  }
+
+  if (cdpu::MakeCodec(codec_name) == nullptr) {
+    std::fprintf(stderr, "unknown codec: %s\n", codec_name.c_str());
+    return 2;
+  }
+  ByteVec data;
+  if (!ReadFile(path, &data)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  if (chunk > data.size()) {
+    chunk = data.size();
+  }
+  size_t chunks = data.size() / chunk;
+  if (chunks == 0) {
+    std::fprintf(stderr, "input smaller than one chunk\n");
+    return 1;
+  }
+
+  cdpu::RuntimeOptions opts;
+  opts.device = device;
+  opts.codec = codec_name;
+  opts.queue_pairs = static_cast<uint32_t>(qps);
+  opts.batch_size = static_cast<uint32_t>(batch);
+  opts.engine_threads = static_cast<uint32_t>(
+      std::max<uint64_t>(1, std::min<uint64_t>(threads, device.engines)));
+  cdpu::OffloadRuntime runtime(opts);
+
+  double t0 = NowSeconds();
+  std::vector<std::thread> clients;
+  std::vector<uint64_t> verify_failures(threads, 0);
+  for (uint64_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t c = t; c < chunks; c += threads) {
+        ByteSpan span(data.data() + c * chunk, chunk);
+        cdpu::OffloadRequest creq;
+        creq.op = cdpu::CdpuOp::kCompress;
+        creq.input = span;
+        creq.queue_pair = static_cast<uint32_t>(t % qps);
+        cdpu::OffloadResult cres = runtime.Submit(std::move(creq)).get();
+        if (!cres.status.ok()) {
+          ++verify_failures[t];
+          continue;
+        }
+        cdpu::OffloadRequest dreq;
+        dreq.op = cdpu::CdpuOp::kDecompress;
+        dreq.input = cres.output;
+        dreq.ratio_hint = cres.ratio;
+        dreq.queue_pair = static_cast<uint32_t>(t % qps);
+        cdpu::OffloadResult dres = runtime.Submit(std::move(dreq)).get();
+        if (!dres.status.ok() ||
+            !std::equal(dres.output.begin(), dres.output.end(), span.begin(), span.end())) {
+          ++verify_failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) {
+    c.join();
+  }
+  runtime.Drain();
+  double wall_seconds = NowSeconds() - t0;
+  runtime.Shutdown();  // folds per-engine-thread stats
+
+  uint64_t failures = 0;
+  for (uint64_t f : verify_failures) {
+    failures += f;
+  }
+  cdpu::RuntimeStats s = runtime.Snapshot();
+  std::printf("offload %s on %s via %s (%zu x %llu-byte chunks)\n", codec_name.c_str(),
+              path.c_str(), device.name.c_str(), chunks,
+              static_cast<unsigned long long>(chunk));
+  std::printf("  threads/qps/batch   %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(threads), static_cast<unsigned long long>(qps),
+              static_cast<unsigned long long>(batch));
+  std::printf("  round-trips         %llu ok, %llu failed\n",
+              static_cast<unsigned long long>(chunks - failures),
+              static_cast<unsigned long long>(failures));
+  std::printf("  host throughput     %.1f MB/s (wall)\n",
+              static_cast<double>(s.bytes_in) / 1e6 / wall_seconds);
+  std::printf("  device model        %.2f GB/s over %.1f ms simulated\n", s.sim_gbps(),
+              static_cast<double>(s.sim_makespan) / 1e6);
+  std::printf("  latency (wall)      mean %.1f us  max %.1f us\n", s.wall_latency_us.mean(),
+              s.wall_latency_us.max());
+  std::printf("  latency (device)    mean %.1f us  max %.1f us\n", s.device_latency_us.mean(),
+              s.device_latency_us.max());
+  std::printf("  doorbells           %llu (%.1f descriptors/doorbell)\n",
+              static_cast<unsigned long long>(s.doorbells),
+              s.doorbells == 0 ? 0.0
+                               : static_cast<double>(s.jobs_completed) /
+                                     static_cast<double>(s.doorbells));
+  std::printf("  max in-flight       %llu of %u slots\n",
+              static_cast<unsigned long long>(s.max_inflight),
+              device.queue_limit == 0 ? 0u : device.queue_limit);
+  return failures == 0 ? 0 : 1;
+}
+
 int Entropy(const std::string& path, size_t chunk) {
   ByteVec data;
   if (!ReadFile(path, &data)) {
@@ -152,6 +309,12 @@ int main(int argc, char** argv) {
       return Usage();
     }
     return Bench(argv[2], argv[3], argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0);
+  }
+  if (cmd == "offload") {
+    if (argc < 4) {
+      return Usage();
+    }
+    return Offload(argv[2], argv[3], argc, argv, 4);
   }
   if (cmd != "compress" && cmd != "decompress") {
     return Usage();
