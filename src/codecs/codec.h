@@ -33,6 +33,12 @@ class Codec {
   // appending to `*out`. Returns the number of bytes appended.
   virtual Result<size_t> Decompress(ByteSpan input, ByteVec* out) = 0;
 
+  // True if the stream format carries a payload checksum that Decompress
+  // verifies (e.g. the gzip CRC-32 trailer). Formats without one may return
+  // ok() with wrong bytes on a corrupted stream; integrity-checked formats
+  // must not. The robustness fuzzers key off this.
+  virtual bool checks_integrity() const { return false; }
+
   // compressed/original, in [0, >1]. Returns 1.0 for empty input.
   double MeasureRatio(ByteSpan input);
 };

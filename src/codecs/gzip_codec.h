@@ -19,6 +19,9 @@ class GzipCodec : public Codec {
   Result<size_t> Compress(ByteSpan input, ByteVec* out) override;
   Result<size_t> Decompress(ByteSpan input, ByteVec* out) override;
 
+  // The CRC-32 + ISIZE trailer is verified on every decompression.
+  bool checks_integrity() const override { return true; }
+
  private:
   DeflateCodec deflate_;
 };

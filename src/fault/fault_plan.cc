@@ -1,0 +1,70 @@
+#include "src/fault/fault_plan.h"
+
+namespace cdpu {
+namespace {
+
+// SplitMix64 finaliser: a full-avalanche hash of (seed, kind, draw index).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kVerifyMismatch:
+      return "verify";
+    case FaultKind::kCompletionTimeout:
+      return "timeout";
+    case FaultKind::kEngineStall:
+      return "stall";
+    case FaultKind::kQueueReset:
+      return "reset";
+  }
+  return "unknown";
+}
+
+bool ParseFaultKind(const std::string& name, FaultKind* out) {
+  for (uint32_t k = 0; k < kNumFaultKinds; ++k) {
+    FaultKind kind = static_cast<FaultKind>(k);
+    if (name == FaultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::ShouldInject(FaultKind kind) {
+  uint32_t k = static_cast<uint32_t>(kind);
+  if (plan_.rate[k] <= 0.0 && plan_.period[k] == 0) {
+    return false;
+  }
+  uint64_t n = draws_[k].fetch_add(1, std::memory_order_relaxed);
+  bool inject;
+  if (plan_.period[k] > 0) {
+    inject = (n % plan_.period[k]) == plan_.period[k] - 1;
+  } else {
+    uint64_t h = Mix(plan_.seed ^ (static_cast<uint64_t>(k + 1) << 56) ^ n);
+    // Top 53 bits as a double in [0, 1).
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    inject = u < plan_.rate[k];
+  }
+  if (inject) {
+    injected_[k].fetch_add(1, std::memory_order_relaxed);
+  }
+  return inject;
+}
+
+uint64_t FaultInjector::total_injected() const {
+  uint64_t total = 0;
+  for (uint32_t k = 0; k < kNumFaultKinds; ++k) {
+    total += injected_[k].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace cdpu

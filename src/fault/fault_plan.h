@@ -1,0 +1,108 @@
+// Deterministic, seeded fault injection for the offload path.
+//
+// Hardware offload fails in the field — bit rot past ECC flips verify CRCs,
+// firmware bugs wedge descriptors, engines stall transiently, and queue
+// pairs get reset out from under their tenants. The paper's CDPUs ship a
+// compress-then-verify pipeline precisely because of this, and the SR-IOV
+// study assumes tenants survive each other's failures. A FaultPlan makes
+// those failure modes reproducible: every injection decision is a pure
+// function of (seed, kind, draw index), so a run with the same plan injects
+// the same fault sequence regardless of thread interleaving.
+//
+// Two trigger modes per kind:
+//   - probability: inject on each draw with probability rate[kind];
+//   - schedule:    inject on every period[kind]-th draw (overrides rate).
+//
+// The FaultInjector is the shared runtime object: SharedCdpuQueue consults
+// it for timeline faults (engine stalls, queue-pair resets) and
+// OffloadRuntime consults it for data-path faults (verify-CRC mismatches,
+// descriptor completion timeouts). Counters are lock-free and read at
+// Snapshot() time.
+
+#ifndef SRC_FAULT_FAULT_PLAN_H_
+#define SRC_FAULT_FAULT_PLAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace cdpu {
+
+enum class FaultKind : uint8_t {
+  kVerifyMismatch = 0,   // hardware verify pass flags corrupt compressed output
+  kCompletionTimeout,    // descriptor completion never arrives
+  kEngineStall,          // transient stall: completion arrives late
+  kQueueReset,           // queue pair reset: in-flight descriptors dropped
+};
+
+inline constexpr uint32_t kNumFaultKinds = 4;
+
+// Stable lower-case name, e.g. "verify", "timeout", "stall", "reset".
+const char* FaultKindName(FaultKind kind);
+
+// Parses a FaultKindName back into its kind; returns false on unknown names.
+bool ParseFaultKind(const std::string& name, FaultKind* out);
+
+struct FaultPlan {
+  // Per-kind injection probability in [0, 1], drawn once per consultation.
+  double rate[kNumFaultKinds] = {0, 0, 0, 0};
+  // Per-kind deterministic schedule: when > 0, inject on every period-th
+  // draw of that kind (1 = every draw) and ignore the probability.
+  uint64_t period[kNumFaultKinds] = {0, 0, 0, 0};
+  uint64_t seed = 0x5eedULL;
+
+  // Timeline cost of the timing-model faults.
+  uint64_t stall_ns = 200 * 1000;          // extra service time per stall
+  uint64_t reset_quiesce_ns = 1000 * 1000;  // ring dead time after a reset
+
+  bool enabled() const {
+    for (uint32_t k = 0; k < kNumFaultKinds; ++k) {
+      if (rate[k] > 0.0 || period[k] > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void SetAllRates(double r) {
+    for (double& v : rate) {
+      v = r;
+    }
+  }
+
+  double rate_of(FaultKind k) const { return rate[static_cast<uint32_t>(k)]; }
+  uint64_t period_of(FaultKind k) const { return period[static_cast<uint32_t>(k)]; }
+};
+
+// Thread-safe decision source + tally. Draws are deterministic per
+// (seed, kind, draw index); the per-kind draw index is a relaxed atomic, so
+// under concurrency the *set* of decisions is reproducible even though their
+// assignment to jobs follows the scheduler.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Draws the next decision for `kind`. Never injects when the plan leaves
+  // the kind disabled (rate 0, no period).
+  bool ShouldInject(FaultKind kind);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return plan_.enabled(); }
+
+  uint64_t injected(FaultKind kind) const {
+    return injected_[static_cast<uint32_t>(kind)].load(std::memory_order_relaxed);
+  }
+  uint64_t total_injected() const;
+
+ private:
+  FaultPlan plan_;
+  std::atomic<uint64_t> draws_[kNumFaultKinds] = {};
+  std::atomic<uint64_t> injected_[kNumFaultKinds] = {};
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_FAULT_FAULT_PLAN_H_

@@ -31,6 +31,20 @@ SharedCdpuQueue::Completion SharedCdpuQueue::Submit(CdpuOp op, uint64_t bytes, d
 
   Completion out;
   out.admitted = arrival;
+  if (injector_ != nullptr && injector_->ShouldInject(FaultKind::kQueueReset)) {
+    // Queue-pair reset: the descriptor is dropped before execution and every
+    // in-flight completion is discarded with it. The host sees the reset
+    // after the quiesce period and must resubmit.
+    inflight_done_.clear();
+    out.reset_injected = true;
+    out.completion = arrival + static_cast<SimNanos>(injector_->plan().reset_quiesce_ns);
+    last_completion_ = std::max(last_completion_, out.completion);
+    return out;
+  }
+  if (injector_ != nullptr && injector_->ShouldInject(FaultKind::kEngineStall)) {
+    service += static_cast<SimNanos>(injector_->plan().stall_ns);
+    out.stall_injected = true;
+  }
   // Hardware ring admission: with `queue_limit` descriptors in flight at
   // `arrival`, the submitter spins until one completes. Admission is delayed
   // to the k-th earliest in-flight completion such that the population drops

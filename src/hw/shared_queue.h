@@ -6,6 +6,11 @@
 // request reserves the earliest-free engine (and the shared link), and the
 // hardware concurrency ceiling (QAT's 64 descriptors, Finding 6) is enforced
 // by delaying admission until the in-flight population drops below the limit.
+//
+// An optional FaultInjector threads the timeline-visible failure modes into
+// the model: a transient engine stall stretches one request's service time,
+// and a queue-pair reset quiesces admission and drops the in-flight
+// descriptor window (the submitter must resubmit — OffloadRuntime does).
 
 #ifndef SRC_HW_SHARED_QUEUE_H_
 #define SRC_HW_SHARED_QUEUE_H_
@@ -15,6 +20,7 @@
 #include <set>
 #include <vector>
 
+#include "src/fault/fault_plan.h"
 #include "src/hw/cdpu_device.h"
 
 namespace cdpu {
@@ -28,12 +34,20 @@ class SharedCdpuQueue {
     SimNanos start = 0;       // engine service start
     SimNanos completion = 0;  // host-visible completion (DMA out + interrupt)
     bool ceiling_delayed = false;
+    bool stall_injected = false;  // transient engine stall stretched service
+    bool reset_injected = false;  // queue-pair reset dropped this descriptor
   };
 
   // Computes the simulated timeline of one request arriving at `arrival`.
   // Safe to call from any thread; arrivals from different threads need not
-  // be ordered.
+  // be ordered. When a reset fault fires, `completion` is the time the host
+  // observes the reset; the descriptor did not execute and must be
+  // resubmitted by the caller.
   Completion Submit(CdpuOp op, uint64_t bytes, double r, SimNanos arrival);
+
+  // Wires a fault injector into the timeline (not owned; may be null).
+  // Consulted for kEngineStall and kQueueReset on every Submit.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
   const CdpuConfig& config() const { return device_.config(); }
 
@@ -45,6 +59,7 @@ class SharedCdpuQueue {
 
  private:
   CdpuDevice device_;
+  FaultInjector* injector_ = nullptr;  // optional, not owned
 
   mutable std::mutex mu_;
   std::vector<SimNanos> engine_free_;       // per-engine next-free time

@@ -40,7 +40,7 @@ struct OffloadRuntime::QueuePair {
 };
 
 OffloadRuntime::OffloadRuntime(const RuntimeOptions& options)
-    : options_(options), timing_(options.device) {
+    : options_(options), injector_(options.fault_plan), timing_(options.device) {
   options_.queue_pairs = std::max(1u, options_.queue_pairs);
   options_.batch_size = std::max(1u, options_.batch_size);
   options_.ring_depth = std::max(options_.batch_size, std::max(2u, options_.ring_depth));
@@ -49,6 +49,7 @@ OffloadRuntime::OffloadRuntime(const RuntimeOptions& options)
   }
   max_inflight_ =
       options_.max_inflight > 0 ? options_.max_inflight : options_.device.queue_limit;
+  timing_.SetFaultInjector(&injector_);
 
   qps_.reserve(options_.queue_pairs);
   for (uint32_t i = 0; i < options_.queue_pairs; ++i) {
@@ -152,21 +153,6 @@ void OffloadRuntime::ReleaseInflightSlot() {
 
 void OffloadRuntime::DispatchJob(Job* job) {
   AcquireInflightSlot();
-  SimNanos arrival =
-      job->request.arrival == kAutoArrival ? clock_.Now() : job->request.arrival;
-  SharedCdpuQueue::Completion c =
-      timing_.Submit(job->request.op, job->model_bytes, job->request.ratio_hint, arrival);
-  job->result.sim_arrival = arrival;
-  job->result.sim_completion = c.completion;
-  job->result.device_latency_ns = c.completion - arrival;
-  job->result.ceiling_delayed = c.ceiling_delayed;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    if (!first_arrival_set_ || arrival < stats_.sim_first_arrival) {
-      stats_.sim_first_arrival = arrival;
-      first_arrival_set_ = true;
-    }
-  }
   {
     std::lock_guard<std::mutex> lock(engine_mu_);
     engine_queue_.push_back(job);
@@ -253,11 +239,128 @@ void OffloadRuntime::DispatcherLoop() {
   engine_cv_.notify_all();
 }
 
+bool OffloadRuntime::AcquireDevice(bool* probing) {
+  if (!injector_.enabled()) {
+    return true;  // fault-free fast path: no health bookkeeping at all
+  }
+  std::lock_guard<std::mutex> lock(health_mu_);
+  if (device_healthy_) {
+    return true;
+  }
+  if (clock_.Now() >= static_cast<uint64_t>(reprobe_at_)) {
+    // Half-open probe: let exactly this job try the device; push the next
+    // probe window out in case it fails too.
+    reprobe_at_ = clock_.Now() + options_.reprobe_backoff_ns;
+    reprobes_.fetch_add(1, std::memory_order_relaxed);
+    *probing = true;
+    return true;
+  }
+  return false;
+}
+
+void OffloadRuntime::NoteDeviceSuccess() {
+  if (!injector_.enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(health_mu_);
+  consecutive_failures_ = 0;
+  device_healthy_ = true;
+}
+
+void OffloadRuntime::NoteDeviceFailure() {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  ++consecutive_failures_;
+  if (device_healthy_ && consecutive_failures_ >= options_.unhealthy_threshold) {
+    device_healthy_ = false;
+    reprobe_at_ = clock_.Now() + options_.reprobe_backoff_ns;
+    unhealthy_transitions_.fetch_add(1, std::memory_order_relaxed);
+  } else if (!device_healthy_) {
+    // A failed probe: stay degraded and back the next probe off again.
+    reprobe_at_ = clock_.Now() + options_.reprobe_backoff_ns;
+  }
+}
+
+void OffloadRuntime::RunDeviceAttempts(Job* job) {
+  SimNanos arrival =
+      job->request.arrival == kAutoArrival ? clock_.Now() : job->request.arrival;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (!first_arrival_set_ || arrival < stats_.sim_first_arrival) {
+      stats_.sim_first_arrival = arrival;
+      first_arrival_set_ = true;
+    }
+  }
+
+  bool probing = false;
+  bool use_device = AcquireDevice(&probing);
+  bool device_ok = false;
+  uint32_t attempts = 0;
+  SharedCdpuQueue::Completion c{};
+  if (use_device) {
+    for (;;) {
+      ++attempts;
+      c = timing_.Submit(job->request.op, job->model_bytes, job->request.ratio_hint, arrival);
+      // The timeline injects stalls (late completion, not a failure) and
+      // resets (descriptor dropped). The host-visible data-path faults are
+      // drawn here: a completion that never arrives is detected against a
+      // wall-clock deadline; a verify-CRC mismatch is detected at reap time.
+      bool attempt_failed = false;
+      if (c.reset_injected) {
+        attempt_failed = true;
+      } else if (injector_.ShouldInject(FaultKind::kCompletionTimeout)) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(options_.completion_timeout_ns));
+        attempt_failed = true;
+      } else if (injector_.ShouldInject(FaultKind::kVerifyMismatch)) {
+        attempt_failed = true;
+      }
+      if (!attempt_failed) {
+        device_ok = true;
+        break;
+      }
+      if (attempts > options_.max_retries) {
+        break;
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      uint32_t shift = std::min(attempts - 1, 20u);
+      uint64_t backoff =
+          std::min(options_.retry_backoff_ns << shift, options_.retry_backoff_cap_ns);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      // Closed-loop jobs re-arrive after the failed attempt's simulated
+      // completion; wall-clock jobs re-arrive "now".
+      arrival = job->request.arrival == kAutoArrival ? clock_.Now() : c.completion;
+    }
+  }
+
+  job->result.attempts = attempts;
+  if (device_ok) {
+    NoteDeviceSuccess();
+    job->result.sim_arrival = arrival;
+    job->result.sim_completion = c.completion;
+    job->result.device_latency_ns = c.completion - arrival;
+    job->result.ceiling_delayed = c.ceiling_delayed;
+  } else {
+    if (use_device) {
+      NoteDeviceFailure();
+    }
+    // Graceful degradation: the job completes on the in-process CPU codec.
+    // No simulated device time is charged; the wall latency carries the cost.
+    job->result.fell_back = true;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    job->result.sim_arrival = arrival;
+    job->result.sim_completion = arrival;
+    job->result.device_latency_ns = 0;
+  }
+}
+
 void OffloadRuntime::EngineLoop(uint32_t engine_index) {
   (void)engine_index;
   std::unique_ptr<Codec> codec;
+  std::unique_ptr<Codec> fallback;
   if (!options_.codec.empty()) {
     codec = MakeCodec(options_.codec);
+    const std::string& fb =
+        options_.fallback_codec.empty() ? options_.codec : options_.fallback_codec;
+    fallback = MakeCodec(fb);
   }
   RunningStats local_service_us;  // thread-local; merged on exit
 
@@ -273,17 +376,20 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
       engine_queue_.pop_front();
     }
 
+    RunDeviceAttempts(job);
+
     uint64_t t0 = clock_.Now();
     uint64_t in_bytes = job->request.input.size();
     uint64_t out_bytes = 0;
     if (!options_.codec.empty()) {
-      if (codec == nullptr) {
+      Codec* active = job->result.fell_back ? fallback.get() : codec.get();
+      if (active == nullptr) {
         job->result.status =
             Status::InvalidArgument("unknown codec: " + options_.codec);
       } else if (!job->request.input.empty()) {
         Result<size_t> r = job->request.op == CdpuOp::kCompress
-                               ? codec->Compress(job->request.input, &job->result.output)
-                               : codec->Decompress(job->request.input, &job->result.output);
+                               ? active->Compress(job->request.input, &job->result.output)
+                               : active->Decompress(job->request.input, &job->result.output);
         if (r.ok()) {
           out_bytes = job->result.output.size();
         } else {
@@ -335,7 +441,7 @@ void OffloadRuntime::ReaperLoop() {
         {
           std::lock_guard<std::mutex> lock(stats_mu_);
           stats_.wall_latency_us.Add(static_cast<double>(job->result.wall_latency_ns) / 1e3);
-          if (!job->canceled) {
+          if (!job->canceled && !job->result.fell_back) {
             stats_.device_latency_us.Add(static_cast<double>(job->result.device_latency_ns) /
                                          1e3);
           }
@@ -422,6 +528,18 @@ RuntimeStats OffloadRuntime::Snapshot() const {
   }
   s.ceiling_delays = timing_.ceiling_delays();
   s.sim_makespan = timing_.last_completion();
+  for (uint32_t k = 0; k < kNumFaultKinds; ++k) {
+    s.faults_by_kind[k] = injector_.injected(static_cast<FaultKind>(k));
+  }
+  s.faults_injected = injector_.total_injected();
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  s.unhealthy_transitions = unhealthy_transitions_.load(std::memory_order_relaxed);
+  s.reprobes = reprobes_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    s.device_healthy = device_healthy_;
+  }
   return s;
 }
 

@@ -7,10 +7,10 @@
 //                        │   batched admission, doorbell coalescing window
 //                        ▼
 //                   dispatcher ──► in-flight ceiling (queue_limit slots)
-//                        │         + SharedCdpuQueue simulated timeline
 //                        ▼
-//                   engine pool ──► real codec work (optional) ──► completion
-//                        │                                          rings
+//                   engine pool ──► SharedCdpuQueue simulated timeline
+//                        │          + fault injection / retry / CPU fallback
+//                        │          + real codec work (optional)
 //                        ▼
 //                     reaper ──► futures/callbacks + latency stats
 //
@@ -19,6 +19,20 @@
 // hardware would have done with the same arrival pattern. Closed-loop
 // simulation clients chain explicit arrivals (previous simulated completion);
 // everyone else lets the runtime stamp arrivals from its HostClock.
+//
+// Fault handling (ISSUE 2): a seeded FaultPlan injects verify-CRC
+// mismatches, descriptor completion timeouts, transient engine stalls and
+// queue-pair resets. Recovery policy, per job:
+//   1. retry the device with capped exponential backoff (max_retries times);
+//      completion timeouts are detected against a HostClock deadline;
+//   2. if retries are exhausted, complete the job on the in-process CPU
+//      fallback codec (graceful degradation — the job still succeeds);
+//   3. after unhealthy_threshold consecutive exhausted jobs the device is
+//      marked unhealthy and bypassed entirely; it is re-probed with one job
+//      every reprobe_backoff_ns until a probe succeeds.
+// Faults on the simulated timeline (stalls, resets) are injected inside
+// SharedCdpuQueue; retries resubmit to the timeline, so retry traffic also
+// consumes simulated descriptor slots.
 
 #ifndef SRC_RUNTIME_OFFLOAD_RUNTIME_H_
 #define SRC_RUNTIME_OFFLOAD_RUNTIME_H_
@@ -37,6 +51,7 @@
 #include "src/codecs/codec.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/fault/fault_plan.h"
 #include "src/hw/shared_queue.h"
 #include "src/runtime/spsc_ring.h"
 #include "src/sim/host_clock.h"
@@ -48,15 +63,26 @@ struct RuntimeOptions {
   std::string codec;         // codec for real byte work; empty = model-only
   uint32_t queue_pairs = 4;  // submission/completion ring pairs
   uint32_t ring_depth = 256;
-  uint32_t batch_size = 8;            // descriptors per doorbell
+  uint32_t batch_size = 8;                  // descriptors per doorbell
   uint64_t doorbell_window_ns = 50 * 1000;  // coalescing window (wall-clock)
-  uint32_t engine_threads = 0;        // 0 = device.engines
-  uint32_t max_inflight = 0;          // 0 = device.queue_limit (0 = unbounded)
+  uint32_t engine_threads = 0;              // 0 = device.engines
+  uint32_t max_inflight = 0;                // 0 = device.queue_limit (0 = unbounded)
   // Fair dispatch drains at most one batch per queue pair per sweep
   // (DP-CSD-style per-VF arbitration); unfair dispatch drains each pair
   // completely before moving on, letting early pairs capture the device
   // (the QAT behaviour Finding 15 measures).
   bool fair_dispatch = true;
+
+  // Fault injection + recovery policy. The default plan injects nothing, and
+  // with an all-zero plan every fault/retry/fallback counter stays exactly 0.
+  FaultPlan fault_plan;
+  uint32_t max_retries = 2;                     // device resubmissions per job
+  uint64_t retry_backoff_ns = 50 * 1000;        // backoff base, doubled per retry
+  uint64_t retry_backoff_cap_ns = 1000 * 1000;  // backoff ceiling
+  uint64_t completion_timeout_ns = 200 * 1000;  // descriptor-dead deadline (wall)
+  uint32_t unhealthy_threshold = 3;             // consecutive exhausted jobs
+  uint64_t reprobe_backoff_ns = 5 * 1000 * 1000;  // degraded period before re-probe
+  std::string fallback_codec;                     // CPU fallback; empty = same as `codec`
 };
 
 struct OffloadResult {
@@ -70,6 +96,8 @@ struct OffloadResult {
   SimNanos device_latency_ns = 0;  // simulated submit-to-completion
   uint64_t wall_latency_ns = 0;    // measured submit-to-reap
   bool ceiling_delayed = false;
+  uint32_t attempts = 0;     // device submissions (0 = device bypassed)
+  bool fell_back = false;    // completed on the CPU fallback path
 };
 
 using OffloadCallback = std::function<void(const OffloadResult&)>;
@@ -94,6 +122,14 @@ struct RuntimeStats {
   uint64_t doorbells = 0;       // doorbell rings observed by the dispatcher
   uint64_t max_inflight = 0;    // high-water mark of concurrently admitted jobs
   uint64_t ceiling_delays = 0;  // simulated admissions delayed by a full ring
+  // Fault/recovery path. All exactly 0 when the fault plan is disabled.
+  uint64_t faults_injected = 0;                    // total across all kinds
+  uint64_t faults_by_kind[kNumFaultKinds] = {0};   // indexed by FaultKind
+  uint64_t retries = 0;                            // device resubmissions
+  uint64_t fallbacks = 0;                          // jobs completed on the CPU path
+  uint64_t unhealthy_transitions = 0;              // healthy -> degraded flips
+  uint64_t reprobes = 0;                           // probe jobs sent while degraded
+  bool device_healthy = true;
   RunningStats wall_latency_us;    // measured submit-to-completion
   RunningStats device_latency_us;  // simulated submit-to-completion
   RunningStats engine_service_us;  // per-engine-thread codec time, merged
@@ -153,9 +189,20 @@ class OffloadRuntime {
   bool AcquireInflightSlot();
   void ReleaseInflightSlot();
 
+  // Device-path attempt loop with retry/backoff; fills the job's simulated
+  // timing and fault disposition (attempts, fell_back). Runs on an engine
+  // thread.
+  void RunDeviceAttempts(Job* job);
+  // Health gate: true if this job may use the device (possibly as the
+  // re-probe job while degraded).
+  bool AcquireDevice(bool* probing);
+  void NoteDeviceSuccess();
+  void NoteDeviceFailure();
+
   RuntimeOptions options_;
   uint32_t max_inflight_ = 0;  // resolved ceiling; 0 = unbounded
   HostClock clock_;
+  FaultInjector injector_;
   SharedCdpuQueue timing_;
 
   std::vector<std::unique_ptr<QueuePair>> qps_;
@@ -176,6 +223,12 @@ class OffloadRuntime {
   std::deque<Job*> engine_queue_;
   bool engines_stopping_ = false;
 
+  // Device health (graceful-degradation state machine).
+  mutable std::mutex health_mu_;
+  bool device_healthy_ = true;         // guarded by health_mu_
+  uint32_t consecutive_failures_ = 0;  // guarded by health_mu_
+  SimNanos reprobe_at_ = 0;            // guarded by health_mu_
+
   // Reaper wake-up + drain tracking.
   std::mutex reap_mu_;
   std::condition_variable reap_cv_;
@@ -190,6 +243,10 @@ class OffloadRuntime {
   std::atomic<uint64_t> jobs_submitted_{0};
   std::atomic<uint64_t> jobs_completed_{0};
   std::atomic<uint64_t> doorbells_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> fallbacks_{0};
+  std::atomic<uint64_t> unhealthy_transitions_{0};
+  std::atomic<uint64_t> reprobes_{0};
 
   enum class State { kRunning, kDraining, kAborting, kStopped };
   std::atomic<State> state_{State::kRunning};

@@ -1,0 +1,414 @@
+#include "tests/reference_inflate.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/crc32.h"
+
+namespace cdpu {
+namespace testref {
+namespace {
+
+constexpr int kMaxBits = 15;       // longest Huffman code the format allows
+constexpr int kMaxLitSyms = 288;   // literal/length alphabet size
+constexpr int kMaxDistSyms = 30;   // distance alphabet size
+constexpr size_t kOutputCap = size_t{1} << 31;  // runaway-expansion guard
+
+// LSB-first bit reader over the compressed stream (RFC 1951 §3.1.1).
+class BitReader {
+ public:
+  explicit BitReader(ByteSpan data) : data_(data) {}
+
+  bool GetBits(int n, uint32_t* out) {
+    while (bitcnt_ < n) {
+      if (pos_ >= data_.size()) {
+        return false;
+      }
+      bitbuf_ |= static_cast<uint64_t>(data_[pos_++]) << bitcnt_;
+      bitcnt_ += 8;
+    }
+    *out = static_cast<uint32_t>(bitbuf_ & ((uint64_t{1} << n) - 1));
+    bitbuf_ >>= n;
+    bitcnt_ -= n;
+    return true;
+  }
+
+  // Discards bits up to the next byte boundary (stored-block alignment).
+  void AlignToByte() {
+    int drop = bitcnt_ & 7;
+    bitbuf_ >>= drop;
+    bitcnt_ -= drop;
+  }
+
+  // Byte-granular read; only valid when byte-aligned.
+  bool GetBytes(uint8_t* dst, size_t n) {
+    while (n > 0 && bitcnt_ > 0) {
+      *dst++ = static_cast<uint8_t>(bitbuf_ & 0xff);
+      bitbuf_ >>= 8;
+      bitcnt_ -= 8;
+      --n;
+    }
+    if (data_.size() - pos_ < n) {
+      return false;
+    }
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+  uint64_t bitbuf_ = 0;
+  int bitcnt_ = 0;
+};
+
+// Canonical Huffman decoding table: codes-per-length counts plus the symbols
+// sorted by (code length, symbol value) — the count/symbol representation.
+struct HuffTable {
+  int count[kMaxBits + 1] = {0};
+  std::vector<uint16_t> symbol;
+  bool complete = false;  // code space exactly filled
+};
+
+Status BuildTable(const uint8_t* lengths, int n, HuffTable* table) {
+  table->symbol.assign(static_cast<size_t>(n), 0);
+  for (int i = 0; i <= kMaxBits; ++i) {
+    table->count[i] = 0;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (lengths[i] > kMaxBits) {
+      return Status::CorruptData("inflate: code length exceeds 15 bits");
+    }
+    ++table->count[lengths[i]];
+  }
+  if (table->count[0] == n) {
+    table->complete = false;  // empty code: legal until a symbol is needed
+    return Status::Ok();
+  }
+  // Over-subscription check: each length-l code consumes 2^(15-l) slots of
+  // the code space.
+  int left = 1;
+  for (int len = 1; len <= kMaxBits; ++len) {
+    left <<= 1;
+    left -= table->count[len];
+    if (left < 0) {
+      return Status::CorruptData("inflate: over-subscribed Huffman code");
+    }
+  }
+  table->complete = left == 0;
+  // Sort symbols into canonical order via per-length offsets.
+  int offsets[kMaxBits + 2] = {0};
+  for (int len = 1; len <= kMaxBits; ++len) {
+    offsets[len + 1] = offsets[len] + table->count[len];
+  }
+  for (int i = 0; i < n; ++i) {
+    if (lengths[i] != 0) {
+      table->symbol[static_cast<size_t>(offsets[lengths[i]]++)] = static_cast<uint16_t>(i);
+    }
+  }
+  return Status::Ok();
+}
+
+// Bit-by-bit canonical decode: walk the lengths, tracking the first code and
+// symbol index of each length. Returns the symbol, or -1 on invalid code /
+// truncated input.
+int Decode(BitReader& br, const HuffTable& table) {
+  int code = 0;
+  int first = 0;
+  int index = 0;
+  for (int len = 1; len <= kMaxBits; ++len) {
+    uint32_t bit = 0;
+    if (!br.GetBits(1, &bit)) {
+      return -1;
+    }
+    code |= static_cast<int>(bit);
+    int cnt = table.count[len];
+    if (code - cnt < first) {
+      return table.symbol[static_cast<size_t>(index + (code - first))];
+    }
+    index += cnt;
+    first += cnt;
+    first <<= 1;
+    code <<= 1;
+  }
+  return -1;
+}
+
+// Length/distance symbol expansion tables (RFC 1951 §3.2.5).
+constexpr uint16_t kLengthBase[29] = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19, 23,
+                                      27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195,
+                                      227, 258};
+constexpr uint8_t kLengthExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                                      2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr uint16_t kDistBase[30] = {1,    2,    3,    4,    5,    7,     9,     13,   17,   25,
+                                    33,   49,   65,   97,   129,  193,   257,   385,  513,  769,
+                                    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385,
+                                    24577};
+constexpr uint8_t kDistExtra[30] = {0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5,  5,  6,
+                                    6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+Status InflateBlock(BitReader& br, const HuffTable& lit_table, const HuffTable& dist_table,
+                    ByteVec* out) {
+  for (;;) {
+    int sym = Decode(br, lit_table);
+    if (sym < 0 || sym > 285) {
+      return Status::CorruptData("inflate: invalid literal/length code");
+    }
+    if (sym < 256) {
+      if (out->size() >= kOutputCap) {
+        return Status::ResourceExhausted("inflate: output too large");
+      }
+      out->push_back(static_cast<uint8_t>(sym));
+      continue;
+    }
+    if (sym == 256) {
+      return Status::Ok();  // end of block
+    }
+    // Length code 257..285, then a distance code.
+    int li = sym - 257;
+    if (li >= 29) {
+      return Status::CorruptData("inflate: reserved length code");
+    }
+    uint32_t extra = 0;
+    if (!br.GetBits(kLengthExtra[li], &extra) && kLengthExtra[li] > 0) {
+      return Status::CorruptData("inflate: truncated length extra bits");
+    }
+    size_t length = kLengthBase[li] + extra;
+
+    int dsym = Decode(br, dist_table);
+    if (dsym < 0 || dsym >= 30) {
+      return Status::CorruptData("inflate: invalid distance code");
+    }
+    extra = 0;
+    if (!br.GetBits(kDistExtra[dsym], &extra) && kDistExtra[dsym] > 0) {
+      return Status::CorruptData("inflate: truncated distance extra bits");
+    }
+    size_t distance = kDistBase[dsym] + extra;
+    if (distance > out->size()) {
+      return Status::CorruptData("inflate: distance past start of output");
+    }
+    if (out->size() + length > kOutputCap) {
+      return Status::ResourceExhausted("inflate: output too large");
+    }
+    // Byte-at-a-time copy: overlapping matches (distance < length) replicate.
+    size_t src = out->size() - distance;
+    for (size_t i = 0; i < length; ++i) {
+      out->push_back((*out)[src + i]);
+    }
+  }
+}
+
+Status InflateStored(BitReader& br, ByteVec* out) {
+  br.AlignToByte();
+  uint8_t hdr[4];
+  if (!br.GetBytes(hdr, 4)) {
+    return Status::CorruptData("inflate: truncated stored-block header");
+  }
+  uint16_t len = static_cast<uint16_t>(hdr[0] | (hdr[1] << 8));
+  uint16_t nlen = static_cast<uint16_t>(hdr[2] | (hdr[3] << 8));
+  if (static_cast<uint16_t>(~len) != nlen) {
+    return Status::CorruptData("inflate: stored-block LEN/NLEN mismatch");
+  }
+  size_t old = out->size();
+  if (old + len > kOutputCap) {
+    return Status::ResourceExhausted("inflate: output too large");
+  }
+  out->resize(old + len);
+  if (!br.GetBytes(out->data() + old, len)) {
+    return Status::CorruptData("inflate: truncated stored block");
+  }
+  return Status::Ok();
+}
+
+const HuffTable& FixedLitTable() {
+  static const HuffTable table = [] {
+    uint8_t lengths[kMaxLitSyms];
+    int i = 0;
+    while (i < 144) lengths[i++] = 8;
+    while (i < 256) lengths[i++] = 9;
+    while (i < 280) lengths[i++] = 7;
+    while (i < kMaxLitSyms) lengths[i++] = 8;
+    HuffTable t;
+    BuildTable(lengths, kMaxLitSyms, &t);
+    return t;
+  }();
+  return table;
+}
+
+const HuffTable& FixedDistTable() {
+  static const HuffTable table = [] {
+    uint8_t lengths[30];
+    for (uint8_t& l : lengths) l = 5;
+    HuffTable t;
+    BuildTable(lengths, 30, &t);
+    return t;
+  }();
+  return table;
+}
+
+Status ReadDynamicTables(BitReader& br, HuffTable* lit_table, HuffTable* dist_table) {
+  uint32_t hlit = 0;
+  uint32_t hdist = 0;
+  uint32_t hclen = 0;
+  if (!br.GetBits(5, &hlit) || !br.GetBits(5, &hdist) || !br.GetBits(4, &hclen)) {
+    return Status::CorruptData("inflate: truncated dynamic-block header");
+  }
+  int nlit = static_cast<int>(hlit) + 257;
+  int ndist = static_cast<int>(hdist) + 1;
+  int ncode = static_cast<int>(hclen) + 4;
+  if (nlit > kMaxLitSyms || ndist > kMaxDistSyms + 2) {
+    return Status::CorruptData("inflate: dynamic header counts out of range");
+  }
+  // Code-length code lengths arrive in the fixed permuted order.
+  static constexpr uint8_t kOrder[19] = {16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
+                                         11, 4,  12, 3, 13, 2, 14, 1, 15};
+  uint8_t cl_lengths[19] = {0};
+  for (int i = 0; i < ncode; ++i) {
+    uint32_t v = 0;
+    if (!br.GetBits(3, &v)) {
+      return Status::CorruptData("inflate: truncated code-length lengths");
+    }
+    cl_lengths[kOrder[i]] = static_cast<uint8_t>(v);
+  }
+  HuffTable cl_table;
+  CDPU_RETURN_IF_ERROR(BuildTable(cl_lengths, 19, &cl_table));
+
+  // Run-length-decode the literal + distance code lengths as one sequence.
+  std::vector<uint8_t> lengths(static_cast<size_t>(nlit + ndist), 0);
+  int i = 0;
+  while (i < nlit + ndist) {
+    int sym = Decode(br, cl_table);
+    if (sym < 0 || sym > 18) {
+      return Status::CorruptData("inflate: invalid code-length symbol");
+    }
+    if (sym <= 15) {
+      lengths[static_cast<size_t>(i++)] = static_cast<uint8_t>(sym);
+      continue;
+    }
+    uint8_t value = 0;
+    int repeat = 0;
+    uint32_t extra = 0;
+    if (sym == 16) {
+      if (i == 0) {
+        return Status::CorruptData("inflate: repeat with no previous length");
+      }
+      value = lengths[static_cast<size_t>(i - 1)];
+      if (!br.GetBits(2, &extra)) {
+        return Status::CorruptData("inflate: truncated repeat count");
+      }
+      repeat = 3 + static_cast<int>(extra);
+    } else if (sym == 17) {
+      if (!br.GetBits(3, &extra)) {
+        return Status::CorruptData("inflate: truncated repeat count");
+      }
+      repeat = 3 + static_cast<int>(extra);
+    } else {
+      if (!br.GetBits(7, &extra)) {
+        return Status::CorruptData("inflate: truncated repeat count");
+      }
+      repeat = 11 + static_cast<int>(extra);
+    }
+    if (i + repeat > nlit + ndist) {
+      return Status::CorruptData("inflate: code-length repeat overruns alphabet");
+    }
+    while (repeat-- > 0) {
+      lengths[static_cast<size_t>(i++)] = value;
+    }
+  }
+  if (lengths[256] == 0) {
+    return Status::CorruptData("inflate: dynamic block missing end-of-block code");
+  }
+  CDPU_RETURN_IF_ERROR(BuildTable(lengths.data(), nlit, lit_table));
+  CDPU_RETURN_IF_ERROR(BuildTable(lengths.data() + nlit, ndist, dist_table));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ReferenceInflate(ByteSpan input, ByteVec* out) {
+  BitReader br(input);
+  for (;;) {
+    uint32_t bfinal = 0;
+    uint32_t btype = 0;
+    if (!br.GetBits(1, &bfinal) || !br.GetBits(2, &btype)) {
+      return Status::CorruptData("inflate: truncated block header");
+    }
+    switch (btype) {
+      case 0:
+        CDPU_RETURN_IF_ERROR(InflateStored(br, out));
+        break;
+      case 1:
+        CDPU_RETURN_IF_ERROR(InflateBlock(br, FixedLitTable(), FixedDistTable(), out));
+        break;
+      case 2: {
+        HuffTable lit_table;
+        HuffTable dist_table;
+        CDPU_RETURN_IF_ERROR(ReadDynamicTables(br, &lit_table, &dist_table));
+        CDPU_RETURN_IF_ERROR(InflateBlock(br, lit_table, dist_table, out));
+        break;
+      }
+      default:
+        return Status::CorruptData("inflate: reserved block type");
+    }
+    if (bfinal) {
+      return Status::Ok();
+    }
+  }
+}
+
+Status ReferenceGunzip(ByteSpan input, ByteVec* out) {
+  if (input.size() < 18 || input[0] != 0x1f || input[1] != 0x8b) {
+    return Status::CorruptData("gunzip: bad magic or truncated member");
+  }
+  if (input[2] != 8) {
+    return Status::CorruptData("gunzip: unsupported compression method");
+  }
+  uint8_t flg = input[3];
+  size_t pos = 10;
+  if (flg & 0x04) {  // FEXTRA
+    if (input.size() < pos + 2) {
+      return Status::CorruptData("gunzip: truncated FEXTRA");
+    }
+    size_t xlen = input[pos] | (static_cast<size_t>(input[pos + 1]) << 8);
+    pos += 2 + xlen;
+  }
+  for (uint8_t bit : {uint8_t{0x08}, uint8_t{0x10}}) {  // FNAME, FCOMMENT
+    if (flg & bit) {
+      while (pos < input.size() && input[pos] != 0) {
+        ++pos;
+      }
+      ++pos;  // the terminator
+    }
+  }
+  if (flg & 0x02) {  // FHCRC
+    pos += 2;
+  }
+  if (input.size() < pos + 8) {
+    return Status::CorruptData("gunzip: truncated member");
+  }
+
+  size_t produced_before = out->size();
+  CDPU_RETURN_IF_ERROR(
+      ReferenceInflate(ByteSpan(input.data() + pos, input.size() - pos - 8), out));
+  ByteSpan produced(out->data() + produced_before, out->size() - produced_before);
+
+  const uint8_t* trailer = input.data() + input.size() - 8;
+  uint32_t want_crc = static_cast<uint32_t>(trailer[0]) | (static_cast<uint32_t>(trailer[1]) << 8) |
+                      (static_cast<uint32_t>(trailer[2]) << 16) |
+                      (static_cast<uint32_t>(trailer[3]) << 24);
+  uint32_t want_size = static_cast<uint32_t>(trailer[4]) |
+                       (static_cast<uint32_t>(trailer[5]) << 8) |
+                       (static_cast<uint32_t>(trailer[6]) << 16) |
+                       (static_cast<uint32_t>(trailer[7]) << 24);
+  if (Crc32(produced) != want_crc) {
+    return Status::CorruptData("gunzip: CRC-32 mismatch");
+  }
+  if (static_cast<uint32_t>(produced.size()) != want_size) {
+    return Status::CorruptData("gunzip: ISIZE mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace testref
+}  // namespace cdpu

@@ -1,0 +1,32 @@
+// Independently derived RFC 1951 decoder used as a differential oracle.
+//
+// This is a deliberately separate implementation from src/codecs: a
+// table-driven canonical-Huffman inflate in the style of the classic
+// count/symbol decoders (zlib's contrib puff, mras0/deflate), sharing no
+// code with DeflateCodec. If our from-scratch Deflate encoder emits
+// anything a by-the-RFC decoder cannot reproduce bit-exactly, these entry
+// points catch it.
+
+#ifndef TESTS_REFERENCE_INFLATE_H_
+#define TESTS_REFERENCE_INFLATE_H_
+
+#include "src/codecs/codec.h"
+#include "src/common/status.h"
+
+namespace cdpu {
+namespace testref {
+
+// Decodes one complete raw Deflate stream (RFC 1951), appending to `*out`.
+// Rejects malformed streams: bad block types, over-subscribed Huffman codes,
+// invalid symbols, out-of-window distances, or truncated input.
+Status ReferenceInflate(ByteSpan input, ByteVec* out);
+
+// Decodes one gzip member (RFC 1952): parses the header (including the
+// optional EXTRA/NAME/COMMENT/HCRC fields), inflates the Deflate body, and
+// verifies the CRC-32 + ISIZE trailer.
+Status ReferenceGunzip(ByteSpan input, ByteVec* out);
+
+}  // namespace testref
+}  // namespace cdpu
+
+#endif  // TESTS_REFERENCE_INFLATE_H_

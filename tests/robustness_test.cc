@@ -2,17 +2,36 @@
 // corruption of valid compressed streams — returning an error or producing
 // wrong bytes, never crashing or reading out of bounds. Hardware CDPUs face
 // this on every flash read (bit rot past ECC, firmware bugs), which is why
-// the real devices verify after compression.
+// the real devices verify after compression. The runtime fault-fuzz suite at
+// the bottom drives the whole offload stack (rings, dispatcher, engines,
+// retry/fallback) under every injected fault kind and proves no job is ever
+// lost, duplicated or corrupted.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
 #include "src/codecs/codec.h"
-#include "src/core/dpzip_codec.h"
+#include "src/common/crc32.h"
 #include "src/common/rng.h"
+#include "src/core/dpzip_codec.h"
+#include "src/runtime/offload_runtime.h"
 #include "src/workload/datagen.h"
 
 namespace cdpu {
 namespace {
+
+// Round multiplier for the nightly fuzz CI job (CDPU_FUZZ_ROUNDS=50).
+int FuzzRounds() {
+  const char* env = std::getenv("CDPU_FUZZ_ROUNDS");
+  if (env == nullptr) {
+    return 1;
+  }
+  int rounds = std::atoi(env);
+  return rounds > 0 ? rounds : 1;
+}
 
 void FuzzCodec(Codec* codec, uint64_t seed, int rounds) {
   Rng rng(seed);
@@ -30,9 +49,16 @@ void FuzzCodec(Codec* codec, uint64_t seed, int rounds) {
     ByteVec out;
     Result<size_t> r = codec->Decompress(mutated, &out);
     // Either a clean error or some output; never a crash (checked by
-    // running), and bounded output (no runaway expansion).
+    // running), and bounded output (no runaway expansion). A format that
+    // carries a payload checksum must go further: if it claims ok(), the
+    // bytes must be the original ones — anything else means its integrity
+    // check is broken.
     if (r.ok()) {
       EXPECT_LT(out.size(), 1u << 24);
+      if (codec->checks_integrity()) {
+        EXPECT_EQ(out, ByteVec(data.begin(), data.end()))
+            << codec->name() << " returned ok() with corrupted payload in round " << round;
+      }
     }
   }
 }
@@ -73,7 +99,7 @@ class CodecRobustnessTest : public ::testing::TestWithParam<const char*> {};
 TEST_P(CodecRobustnessTest, SurvivesBitFlips) {
   std::unique_ptr<Codec> codec = MakeCodec(GetParam());
   ASSERT_NE(codec, nullptr);
-  FuzzCodec(codec.get(), 0xf00d, 300);
+  FuzzCodec(codec.get(), 0xf00d, 300 * FuzzRounds());
 }
 
 TEST_P(CodecRobustnessTest, SurvivesTruncation) {
@@ -102,7 +128,7 @@ INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRobustnessTest,
 
 TEST(DpzipRobustnessTest, SurvivesBitFlips) {
   DpzipCodec codec;
-  FuzzCodec(&codec, 0xd00d, 300);
+  FuzzCodec(&codec, 0xd00d, 300 * FuzzRounds());
 }
 
 TEST(DpzipRobustnessTest, SurvivesTruncationAndGarbage) {
@@ -146,6 +172,206 @@ TEST(GzipRoundTripTest, RejectsBadMagic) {
   ByteVec not_gzip(64, 0x42);
   ByteVec out;
   EXPECT_FALSE(codec->Decompress(not_gzip, &out).ok());
+}
+
+TEST_P(CodecRobustnessTest, TruncationToZeroAndHeaderOnly) {
+  // The two degenerate prefixes every storage stack eventually feeds a
+  // decoder: a zero-byte read, and a stream cut off right after its framing
+  // header. Neither may be reported as a successful decode of real payload.
+  std::unique_ptr<Codec> codec = MakeCodec(GetParam());
+  ASSERT_NE(codec, nullptr);
+  std::vector<uint8_t> data = GenerateTextLike(4096, 0x720);
+  ByteVec compressed;
+  ASSERT_TRUE(codec->Compress(data, &compressed).ok());
+
+  // Truncation to zero bytes: ok() is only acceptable as an empty result.
+  ByteVec out;
+  Result<size_t> zero = codec->Decompress(ByteSpan(compressed.data(), 0), &out);
+  if (zero.ok()) {
+    EXPECT_TRUE(out.empty());
+  }
+
+  // Header-only: keep just the first few framing bytes, no payload.
+  for (size_t header : {size_t{1}, size_t{2}, size_t{4}, size_t{10}}) {
+    if (header >= compressed.size()) {
+      continue;
+    }
+    ByteVec header_out;
+    Result<size_t> r = codec->Decompress(ByteSpan(compressed.data(), header), &header_out);
+    if (r.ok()) {
+      EXPECT_NE(header_out, ByteVec(data.begin(), data.end()))
+          << codec->name() << " reproduced the payload from a " << header << "-byte prefix";
+      if (codec->checks_integrity()) {
+        ADD_FAILURE() << codec->name() << " accepted a " << header
+                      << "-byte header-only stream despite integrity checking";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime fault fuzzing: drive the full offload path (rings -> dispatcher ->
+// engines -> retry/fallback -> reaper) with faults injected, under
+// concurrent clients. Invariants, per fault kind and with all kinds at once:
+// every submitted job completes exactly once, every future resolves ok()
+// (recovery must mask the fault), and every round-trip is bit-exact
+// (CRC-32-verified). Fast recovery constants keep the suite quick.
+// ---------------------------------------------------------------------------
+
+RuntimeOptions FaultFuzzOptions() {
+  RuntimeOptions opts;
+  opts.device.name = "fuzz-device";
+  opts.device.placement = Placement::kPeripheral;
+  opts.device.engines = 4;
+  opts.device.queue_limit = 32;
+  opts.device.compress_gbps = 2.0;
+  opts.device.decompress_gbps = 4.0;
+  opts.device.link.name = "fuzz-link";
+  opts.codec = "lz4";
+  opts.queue_pairs = 4;
+  opts.batch_size = 4;
+  opts.engine_threads = 4;
+  opts.max_retries = 2;
+  opts.retry_backoff_ns = 5 * 1000;         // 5 us: keep retries cheap in-test
+  opts.retry_backoff_cap_ns = 40 * 1000;
+  opts.completion_timeout_ns = 20 * 1000;   // 20 us simulated descriptor death
+  opts.unhealthy_threshold = 3;
+  opts.reprobe_backoff_ns = 200 * 1000;     // re-probe fast so tests see recovery
+  return opts;
+}
+
+// Runs kThreads concurrent clients, each doing compress->decompress round
+// trips through the runtime, and checks the no-loss/no-corruption
+// invariants. Returns the final stats snapshot.
+RuntimeStats RunFaultFuzz(const RuntimeOptions& opts, uint64_t seed) {
+  OffloadRuntime runtime(opts);
+  constexpr int kThreads = 8;
+  constexpr int kJobsPerThread = 12;
+  std::atomic<int> failures{0};
+  std::atomic<int> corruptions{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        ByteVec original = GenerateWithRatio(0.3 + 0.05 * (i % 8), 2048 + 512 * (i % 5),
+                                             seed ^ static_cast<uint64_t>(t * 1000 + i));
+        uint32_t original_crc = Crc32(original);
+        OffloadRequest creq;
+        creq.op = CdpuOp::kCompress;
+        creq.input = original;
+        creq.queue_pair = static_cast<uint32_t>(t % 4);
+        OffloadResult cres = runtime.Submit(std::move(creq)).get();
+        if (!cres.status.ok()) {
+          ++failures;
+          continue;
+        }
+        OffloadRequest dreq;
+        dreq.op = CdpuOp::kDecompress;
+        dreq.input = cres.output;
+        dreq.ratio_hint = cres.ratio;
+        dreq.queue_pair = static_cast<uint32_t>(t % 4);
+        OffloadResult dres = runtime.Submit(std::move(dreq)).get();
+        if (!dres.status.ok()) {
+          ++failures;
+          continue;
+        }
+        if (Crc32(dres.output) != original_crc ||
+            dres.output != original) {
+          ++corruptions;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  runtime.Shutdown(OffloadRuntime::ShutdownMode::kDrain);
+
+  EXPECT_EQ(failures.load(), 0) << "recovery failed to mask an injected fault";
+  EXPECT_EQ(corruptions.load(), 0) << "fault injection corrupted a round trip";
+  RuntimeStats stats = runtime.Snapshot();
+  // No job lost or duplicated: completions exactly match submissions.
+  EXPECT_EQ(stats.jobs_submitted, static_cast<uint64_t>(kThreads * kJobsPerThread * 2));
+  EXPECT_EQ(stats.jobs_completed, stats.jobs_submitted);
+  EXPECT_EQ(stats.jobs_canceled, 0u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  return stats;
+}
+
+class RuntimeFaultFuzzTest : public ::testing::TestWithParam<FaultKind> {};
+
+TEST_P(RuntimeFaultFuzzTest, SingleKindMaskedByRecovery) {
+  const FaultKind kind = GetParam();
+  RuntimeOptions opts = FaultFuzzOptions();
+  opts.fault_plan.seed = 0xfa157 + static_cast<uint64_t>(kind);
+  opts.fault_plan.rate[static_cast<int>(kind)] = 0.3;
+  opts.fault_plan.stall_ns = 50 * 1000;
+  opts.fault_plan.reset_quiesce_ns = 100 * 1000;
+
+  RuntimeStats stats = RunFaultFuzz(opts, 0x5eed0 + static_cast<uint64_t>(kind));
+  EXPECT_GT(stats.faults_injected, 0u) << "rate 0.3 over 192 jobs injected nothing";
+  EXPECT_EQ(stats.faults_injected, stats.faults_by_kind[static_cast<int>(kind)]);
+  // Stalls only stretch the simulated timeline; every other kind forces a
+  // device resubmission.
+  if (kind != FaultKind::kEngineStall) {
+    EXPECT_GT(stats.retries, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFaultKinds, RuntimeFaultFuzzTest,
+                         ::testing::Values(FaultKind::kVerifyMismatch,
+                                           FaultKind::kCompletionTimeout,
+                                           FaultKind::kEngineStall, FaultKind::kQueueReset),
+                         [](const auto& info) { return std::string(FaultKindName(info.param)); });
+
+TEST(RuntimeFaultFuzzTest, AllKindsTogetherMaskedByRecovery) {
+  RuntimeOptions opts = FaultFuzzOptions();
+  opts.fault_plan.seed = 0xa11;
+  opts.fault_plan.SetAllRates(0.15);
+  RuntimeStats stats = RunFaultFuzz(opts, 0xa11f00d);
+  EXPECT_GT(stats.faults_injected, 0u);
+  EXPECT_GT(stats.retries, 0u);
+}
+
+TEST(RuntimeFaultFuzzTest, DeterministicScheduleCountsExactly) {
+  // Period mode is exact: every 4th verify draw fails. One draw per device
+  // attempt, so injected counts are reproducible run to run.
+  RuntimeOptions opts = FaultFuzzOptions();
+  opts.fault_plan.period[static_cast<int>(FaultKind::kVerifyMismatch)] = 4;
+  RuntimeStats stats = RunFaultFuzz(opts, 0xdef);
+  EXPECT_GT(stats.faults_injected, 0u);
+  EXPECT_EQ(stats.faults_injected,
+            stats.faults_by_kind[static_cast<int>(FaultKind::kVerifyMismatch)]);
+  EXPECT_GT(stats.retries, 0u);
+}
+
+TEST(RuntimeFaultFuzzTest, TotalDeviceFailureDegradesGracefully) {
+  // Rate 1.0 verify mismatch: the device never produces a good completion.
+  // Every job must still succeed via the CPU fallback, and the health
+  // machine must mark the device unhealthy and start re-probing.
+  RuntimeOptions opts = FaultFuzzOptions();
+  opts.fault_plan.seed = 0xdead;
+  opts.fault_plan.rate[static_cast<int>(FaultKind::kVerifyMismatch)] = 1.0;
+  RuntimeStats stats = RunFaultFuzz(opts, 0xdeadbeef);
+  EXPECT_GT(stats.fallbacks, 0u);
+  EXPECT_GE(stats.unhealthy_transitions, 1u);
+  EXPECT_FALSE(stats.device_healthy);
+  EXPECT_GT(stats.reprobes, 0u);
+}
+
+TEST(RuntimeFaultFuzzTest, DisabledPlanKeepsFaultPathSilent) {
+  // The acceptance bar for the fast path: with no fault plan, every
+  // fault/recovery counter is exactly zero — not merely small.
+  RuntimeStats stats = RunFaultFuzz(FaultFuzzOptions(), 0xc1ea);
+  EXPECT_EQ(stats.faults_injected, 0u);
+  for (uint64_t by_kind : stats.faults_by_kind) {
+    EXPECT_EQ(by_kind, 0u);
+  }
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+  EXPECT_EQ(stats.unhealthy_transitions, 0u);
+  EXPECT_EQ(stats.reprobes, 0u);
+  EXPECT_TRUE(stats.device_healthy);
 }
 
 }  // namespace

@@ -12,9 +12,13 @@
 //
 // `offload` flags: --threads=N --batch=B --chunk=BYTES --qps=N
 //                  --device=qat8970|qat4xxx|dpzip|csd2000
+//                  --fault-rate=P --fault-kinds=verify,timeout,stall,reset
+//                  --fault-seed=S
 // It drives every chunk of <in> through the parallel offload runtime
 // (compress, then decompress + verify) with N client threads contending for
-// the modelled device's descriptor slots.
+// the modelled device's descriptor slots. --fault-rate enables the seeded
+// fault injector on the listed kinds (default: all four); the recovery
+// policy (retry + CPU fallback) must still round-trip every chunk.
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +32,7 @@
 #include "src/codecs/codec.h"
 #include "src/codecs/entropy.h"
 #include "src/core/dpzip_codec.h"
+#include "src/fault/fault_plan.h"
 #include "src/hw/device_configs.h"
 #include "src/runtime/offload_runtime.h"
 
@@ -61,6 +66,7 @@ int Usage() {
                "       cdpu_cli bench <codec> <in> [chunk_bytes]\n"
                "       cdpu_cli offload <codec> <in> [--threads=N] [--batch=B]\n"
                "                [--chunk=BYTES] [--qps=N] [--device=NAME]\n"
+               "                [--fault-rate=P] [--fault-kinds=K,K,...] [--fault-seed=S]\n"
                "       cdpu_cli entropy <in> [chunk_bytes]\n"
                "       cdpu_cli list\n");
   return 2;
@@ -139,15 +145,31 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   uint64_t batch = 8;
   uint64_t chunk = 65536;
   uint64_t qps = 4;
+  uint64_t fault_seed = 0x5eed;
+  double fault_rate = 0.0;
+  std::string fault_kinds = "verify,timeout,stall,reset";
   std::string device_name = "qat8970";
   for (int i = first_flag; i < argc; ++i) {
     std::string arg = argv[i];
     if (ParseFlag(arg, "threads", &threads) || ParseFlag(arg, "batch", &batch) ||
-        ParseFlag(arg, "chunk", &chunk) || ParseFlag(arg, "qps", &qps)) {
+        ParseFlag(arg, "chunk", &chunk) || ParseFlag(arg, "qps", &qps) ||
+        ParseFlag(arg, "fault-seed", &fault_seed)) {
       continue;
     }
     if (arg.rfind("--device=", 0) == 0) {
       device_name = arg.substr(9);
+      continue;
+    }
+    if (arg.rfind("--fault-rate=", 0) == 0) {
+      fault_rate = std::strtod(arg.c_str() + 13, nullptr);
+      if (fault_rate < 0.0 || fault_rate > 1.0) {
+        std::fprintf(stderr, "--fault-rate must be in [0, 1]\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--fault-kinds=", 0) == 0) {
+      fault_kinds = arg.substr(14);
       continue;
     }
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -197,6 +219,26 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   opts.batch_size = static_cast<uint32_t>(batch);
   opts.engine_threads = static_cast<uint32_t>(
       std::max<uint64_t>(1, std::min<uint64_t>(threads, device.engines)));
+  opts.fault_plan.seed = fault_seed;
+  if (fault_rate > 0.0) {
+    size_t pos = 0;
+    while (pos <= fault_kinds.size()) {
+      size_t comma = fault_kinds.find(',', pos);
+      std::string token = fault_kinds.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      cdpu::FaultKind kind;
+      if (!cdpu::ParseFaultKind(token, &kind)) {
+        std::fprintf(stderr, "unknown fault kind: %s (verify|timeout|stall|reset)\n",
+                     token.c_str());
+        return 2;
+      }
+      opts.fault_plan.rate[static_cast<uint32_t>(kind)] = fault_rate;
+      if (comma == std::string::npos) {
+        break;
+      }
+      pos = comma + 1;
+    }
+  }
   cdpu::OffloadRuntime runtime(opts);
 
   double t0 = NowSeconds();
@@ -265,6 +307,22 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   std::printf("  max in-flight       %llu of %u slots\n",
               static_cast<unsigned long long>(s.max_inflight),
               device.queue_limit == 0 ? 0u : device.queue_limit);
+  if (opts.fault_plan.enabled()) {
+    std::printf("  faults injected     %llu (", static_cast<unsigned long long>(s.faults_injected));
+    for (uint32_t k = 0; k < cdpu::kNumFaultKinds; ++k) {
+      std::printf("%s%s %llu", k == 0 ? "" : ", ",
+                  cdpu::FaultKindName(static_cast<cdpu::FaultKind>(k)),
+                  static_cast<unsigned long long>(s.faults_by_kind[k]));
+    }
+    std::printf(")\n");
+    std::printf("  recovery            %llu retries, %llu CPU fallbacks\n",
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.fallbacks));
+    std::printf("  device health       %s (%llu degradations, %llu re-probes)\n",
+                s.device_healthy ? "healthy" : "degraded",
+                static_cast<unsigned long long>(s.unhealthy_transitions),
+                static_cast<unsigned long long>(s.reprobes));
+  }
   return failures == 0 ? 0 : 1;
 }
 
