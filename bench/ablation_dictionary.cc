@@ -6,12 +6,15 @@
 
 #include <memory>
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
 #include "src/core/dpzip_codec.h"
 #include "src/workload/datagen.h"
 
 namespace cdpu {
 namespace {
+
+using bench::ExperimentContext;
+using obs::Column;
 
 double MeanPageRatio(DpzipCodec* codec, const std::vector<uint8_t>& data) {
   double sum = 0;
@@ -23,84 +26,88 @@ double MeanPageRatio(DpzipCodec* codec, const std::vector<uint8_t>& data) {
   return pages == 0 ? 1.0 : sum / static_cast<double>(pages);
 }
 
-void Run() {
-  PrintHeader("Ablation", "Preset dictionaries and literal-engine choice (4 KB pages)");
+struct Family {
+  const char* name;
+  std::vector<uint8_t> (*gen)(size_t, uint64_t);
+};
 
-  struct Family {
-    const char* name;
-    std::vector<uint8_t> (*gen)(size_t, uint64_t);
-  };
-  std::vector<Family> families = {
-      {"text", GenerateTextLike},       {"db-table", GenerateDbTableLike},
-      {"binary", GenerateBinaryLike},   {"xml", GenerateXmlLike},
+const std::vector<Family>& Families() {
+  static const std::vector<Family> kFamilies = {
+      {"text", GenerateTextLike},     {"db-table", GenerateDbTableLike},
+      {"binary", GenerateBinaryLike}, {"xml", GenerateXmlLike},
       {"source", GenerateSourceLike},
   };
+  return kFamilies;
+}
 
-  std::printf("\n(a) Same-domain preset dictionary (8 KB) vs none (ratio %%)\n");
-  PrintRow({"family", "no dict", "with dict", "gain pp"});
-  PrintRule(4);
-  for (const Family& f : families) {
-    std::vector<uint8_t> data = f.gen(128 * 1024, 900);
+void Run(ExperimentContext& ctx) {
+  const size_t data_bytes = ctx.Pick(64, 128) * 1024;
+
+  obs::Table& same = ctx.AddTable(
+      "same_domain", "(a) Same-domain preset dictionary (8 KB) vs none (ratio %)",
+      {Column("family"), Column("no_dict", "no dict", 1), Column("with_dict", "with dict", 1),
+       Column("gain_pp", "gain pp", 1)});
+  for (const Family& f : Families()) {
+    std::vector<uint8_t> data = f.gen(data_bytes, 900);
     DpzipCodec plain;
     DpzipCodecConfig cfg;
     cfg.dictionary = f.gen(8192, 901);  // trained on the same family
     DpzipCodec with_dict(cfg);
     double r0 = MeanPageRatio(&plain, data) * 100;
     double r1 = MeanPageRatio(&with_dict, data) * 100;
-    PrintRow({f.name, Fmt(r0, 1), Fmt(r1, 1), Fmt(r0 - r1, 1)});
+    same.AddRow({f.name, r0, r1, r0 - r1});
   }
 
-  std::printf("\n(b) Dictionary size sweep (db-table pages)\n");
-  PrintRow({"dict KB", "ratio %", "gain pp"});
-  PrintRule(3);
-  std::vector<uint8_t> data = GenerateDbTableLike(128 * 1024, 902);
+  obs::Table& size_tbl = ctx.AddTable(
+      "dict_size", "(b) Dictionary size sweep (db-table pages)",
+      {Column("dict_kb", "dict KB", 0), Column("ratio_pct", "ratio %", 1),
+       Column("gain_pp", "gain pp", 1)});
+  std::vector<uint8_t> data = GenerateDbTableLike(data_bytes, 902);
   DpzipCodec plain;
   double base = MeanPageRatio(&plain, data) * 100;
   for (size_t kb : {0u, 2u, 4u, 8u, 16u, 32u}) {
     if (kb == 0) {
-      PrintRow({"0", Fmt(base, 1), "0.0"});
+      size_tbl.AddRow({0u, base, 0.0});
       continue;
     }
     DpzipCodecConfig cfg;
     cfg.dictionary = GenerateDbTableLike(kb * 1024, 903);
     DpzipCodec codec(cfg);
     double r = MeanPageRatio(&codec, data) * 100;
-    PrintRow({Fmt(kb, 0), Fmt(r, 1), Fmt(base - r, 1)});
+    size_tbl.AddRow({kb, r, base - r});
   }
 
-  std::printf("\n(c) Cross-domain dictionary (mismatched training data)\n");
-  PrintRow({"dict domain", "ratio %", "gain pp"});
-  PrintRule(3);
-  for (const Family& f : families) {
+  obs::Table& cross = ctx.AddTable(
+      "cross_domain", "(c) Cross-domain dictionary (mismatched training data)",
+      {Column("dict_domain", "dict domain"), Column("ratio_pct", "ratio %", 1),
+       Column("gain_pp", "gain pp", 1)});
+  for (const Family& f : Families()) {
     DpzipCodecConfig cfg;
     cfg.dictionary = f.gen(8192, 904);
     DpzipCodec codec(cfg);
     double r = MeanPageRatio(&codec, data) * 100;
-    PrintRow({f.name, Fmt(r, 1), Fmt(base - r, 1)});
+    cross.AddRow({f.name, r, base - r});
   }
 
-  std::printf("\n(d) Literal entropy engine: Huffman (11-bit) vs FSE\n");
-  PrintRow({"family", "huffman %", "fse %"});
-  PrintRule(3);
-  for (const Family& f : families) {
-    std::vector<uint8_t> d = f.gen(128 * 1024, 905);
+  obs::Table& entropy = ctx.AddTable(
+      "literal_engine", "(d) Literal entropy engine: Huffman (11-bit) vs FSE",
+      {Column("family"), Column("huffman_pct", "huffman %", 1), Column("fse_pct", "fse %", 1)});
+  for (const Family& f : Families()) {
+    std::vector<uint8_t> d = f.gen(data_bytes, 905);
     DpzipCodec huffman;
     DpzipCodecConfig cfg;
     cfg.entropy = DpzipEntropyMode::kFse;
     DpzipCodec fse(cfg);
-    PrintRow({f.name, Fmt(MeanPageRatio(&huffman, d) * 100, 1),
-              Fmt(MeanPageRatio(&fse, d) * 100, 1)});
+    entropy.AddRow({f.name, MeanPageRatio(&huffman, d) * 100, MeanPageRatio(&fse, d) * 100});
   }
 
-  std::printf("\n§6: dictionaries recover part of the 4 KB-granularity ratio loss\n"
-              "when trained in-domain; mismatched dictionaries help little. FSE\n"
-              "and the capped Huffman land within ~1 pp of each other.\n");
+  ctx.Note("§6: dictionaries recover part of the 4 KB-granularity ratio loss\n"
+           "when trained in-domain; mismatched dictionaries help little. FSE\n"
+           "and the capped Huffman land within ~1 pp of each other.");
 }
+
+CDPU_REGISTER_EXPERIMENT("ablation_dictionary", "Ablation",
+                         "Preset dictionaries and literal-engine choice (4 KB pages)", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

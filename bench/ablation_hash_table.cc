@@ -3,7 +3,7 @@
 // the skip-on-miss distance. Reports compression ratio on Silesia-like 4 KB
 // pages and the modelled throughput.
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
 #include "src/core/dpzip_codec.h"
 #include "src/core/pipeline_model.h"
 #include "src/workload/datagen.h"
@@ -11,21 +11,24 @@
 namespace cdpu {
 namespace {
 
+using bench::ExperimentContext;
+using obs::Column;
+
 struct Outcome {
   double ratio;
   double gbps;
   double sram_kb;
 };
 
-Outcome Measure(const DpzipLz77Config& cfg) {
+Outcome Measure(const DpzipLz77Config& cfg, size_t file_bytes, size_t stride) {
   DpzipCodec codec(cfg);
   DpzipPipelineModel model;
-  std::vector<CorpusFile> corpus = SilesiaLikeCorpus(64 * 1024, 42);
+  std::vector<CorpusFile> corpus = SilesiaLikeCorpus(file_bytes, 42);
   uint64_t in_bytes = 0;
   uint64_t out_bytes = 0;
   SimNanos busy = 0;
   for (const CorpusFile& f : corpus) {
-    for (size_t off = 0; off + 4096 <= f.data.size(); off += 16384) {
+    for (size_t off = 0; off + 4096 <= f.data.size(); off += stride) {
       ByteVec out;
       Result<size_t> r = codec.Compress(ByteSpan(f.data.data() + off, 4096), &out);
       if (!r.ok()) {
@@ -43,67 +46,69 @@ Outcome Measure(const DpzipLz77Config& cfg) {
   return o;
 }
 
-void Run() {
-  PrintHeader("Ablation", "DPZip LZ77 hash table / matching policy (4 KB pages)");
+void Run(ExperimentContext& ctx) {
+  const size_t file_bytes = 64 * 1024;
+  const size_t stride = ctx.Pick(32768, 16384);  // quick: half the pages
 
-  std::printf("\n(a) Hash table size (4-way FIFO, first-fit, skip-4)\n");
-  PrintRow({"buckets", "SRAM KB", "ratio %", "GB/s"});
-  PrintRule(4);
+  obs::Table& size_tbl = ctx.AddTable(
+      "hash_size", "(a) Hash table size (4-way FIFO, first-fit, skip-4)",
+      {Column("buckets", "", 0), Column("sram_kb", "SRAM KB", 0),
+       Column("ratio_pct", "ratio %", 1), Column("gbps", "GB/s")});
   for (uint32_t buckets : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
     DpzipLz77Config cfg;
     cfg.hash_buckets = buckets;
-    Outcome o = Measure(cfg);
-    PrintRow({Fmt(buckets, 0), Fmt(o.sram_kb, 0), Fmt(o.ratio, 1), Fmt(o.gbps, 2)});
+    Outcome o = Measure(cfg, file_bytes, stride);
+    size_tbl.AddRow({buckets, o.sram_kb, o.ratio, o.gbps});
   }
 
-  std::printf("\n(b) Associativity (2048 buckets)\n");
-  PrintRow({"ways", "SRAM KB", "ratio %", "GB/s"});
-  PrintRule(4);
+  obs::Table& ways_tbl = ctx.AddTable(
+      "associativity", "(b) Associativity (2048 buckets)",
+      {Column("ways", "", 0), Column("sram_kb", "SRAM KB", 0),
+       Column("ratio_pct", "ratio %", 1), Column("gbps", "GB/s")});
   for (uint32_t ways : {1u, 2u, 4u, 8u}) {
     DpzipLz77Config cfg;
     cfg.ways = ways;
-    Outcome o = Measure(cfg);
-    PrintRow({Fmt(ways, 0), Fmt(o.sram_kb, 0), Fmt(o.ratio, 1), Fmt(o.gbps, 2)});
+    Outcome o = Measure(cfg, file_bytes, stride);
+    ways_tbl.AddRow({ways, o.sram_kb, o.ratio, o.gbps});
   }
 
-  std::printf("\n(c) Hash functions per word (two-level candidate selection, §3.2.3)\n");
-  PrintRow({"hashes", "ratio %", "GB/s"});
-  PrintRule(3);
+  obs::Table& hashes_tbl = ctx.AddTable(
+      "hash_functions", "(c) Hash functions per word (two-level candidate selection, §3.2.3)",
+      {Column("hashes"), Column("ratio_pct", "ratio %", 1), Column("gbps", "GB/s")});
   for (bool dual : {false, true}) {
     DpzipLz77Config cfg;
     cfg.dual_hash = dual;
-    Outcome o = Measure(cfg);
-    PrintRow({dual ? "hash0+hash1" : "hash0 only", Fmt(o.ratio, 1), Fmt(o.gbps, 2)});
+    Outcome o = Measure(cfg, file_bytes, stride);
+    hashes_tbl.AddRow({dual ? "hash0+hash1" : "hash0 only", o.ratio, o.gbps});
   }
 
-  std::printf("\n(d) Matching policy\n");
-  PrintRow({"policy", "ratio %", "GB/s"});
-  PrintRule(3);
+  obs::Table& policy_tbl = ctx.AddTable(
+      "matching_policy", "(d) Matching policy",
+      {Column("policy"), Column("ratio_pct", "ratio %", 1), Column("gbps", "GB/s")});
   for (bool first_fit : {true, false}) {
     DpzipLz77Config cfg;
     cfg.first_fit = first_fit;
-    Outcome o = Measure(cfg);
-    PrintRow({first_fit ? "first-fit" : "best-of-ways", Fmt(o.ratio, 1), Fmt(o.gbps, 2)});
+    Outcome o = Measure(cfg, file_bytes, stride);
+    policy_tbl.AddRow({first_fit ? "first-fit" : "best-of-ways", o.ratio, o.gbps});
   }
 
-  std::printf("\n(e) Skip-on-miss distance (partial-lazy matching)\n");
-  PrintRow({"skip", "ratio %", "GB/s"});
-  PrintRule(3);
+  obs::Table& skip_tbl = ctx.AddTable(
+      "skip_distance", "(e) Skip-on-miss distance (partial-lazy matching)",
+      {Column("skip", "", 0), Column("ratio_pct", "ratio %", 1), Column("gbps", "GB/s")});
   for (uint32_t skip : {1u, 2u, 4u, 8u}) {
     DpzipLz77Config cfg;
     cfg.skip_on_miss = skip;
-    Outcome o = Measure(cfg);
-    PrintRow({Fmt(skip, 0), Fmt(o.ratio, 1), Fmt(o.gbps, 2)});
+    Outcome o = Measure(cfg, file_bytes, stride);
+    skip_tbl.AddRow({skip, o.ratio, o.gbps});
   }
-  std::printf("\nDesign point in silicon: 2048 buckets x 4 ways (32 KB SRAM),\n"
-              "first-fit, skip-4 — a few tenths of a point of ratio for a large\n"
-              "simplification in pipeline control (§3.2.3).\n");
+
+  ctx.Note("Design point in silicon: 2048 buckets x 4 ways (32 KB SRAM),\n"
+           "first-fit, skip-4 — a few tenths of a point of ratio for a large\n"
+           "simplification in pipeline control (§3.2.3).");
 }
+
+CDPU_REGISTER_EXPERIMENT("ablation_hash_table", "Ablation",
+                         "DPZip LZ77 hash table / matching policy (4 KB pages)", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

@@ -2,23 +2,28 @@
 // canonicalisation (§3.3) — ratio cost of the cap vs unbounded codes, and
 // the bounded cycle schedule (T_max = 256 + 10 + 8 = 274).
 
+#include <algorithm>
 #include <array>
 
-#include "bench/bench_util.h"
-#include "src/core/dpzip_huffman.h"
+#include "bench/harness/experiment.h"
 #include "src/common/rng.h"
+#include "src/core/dpzip_huffman.h"
 #include "src/workload/datagen.h"
 
 namespace cdpu {
 namespace {
 
-void Run() {
-  PrintHeader("Ablation", "DPZip dynamic Huffman: depth cap and schedule");
+using bench::ExperimentContext;
+using obs::Column;
 
-  std::printf("\n(a) Code-length ceiling vs coding cost (exponentially skewed symbols,\n"
-              "    the worst case for bounded-depth codes; text barely exceeds 9 bits)\n");
-  PrintRow({"max bits", "bits/byte", "vs 15-bit", "decode tbl KB"});
-  PrintRule(4);
+void Run(ExperimentContext& ctx) {
+  obs::Table& cap = ctx.AddTable(
+      "depth_cap",
+      "(a) Code-length ceiling vs coding cost (exponentially skewed symbols,\n"
+      "    the worst case for bounded-depth codes; text barely exceeds 9 bits)",
+      {Column("max_bits", "max bits", 0), Column("bits_per_byte", "bits/byte", 3),
+       Column("vs_15bit", "vs 15-bit", 2, "%", /*plus=*/true),
+       Column("decode_tbl_kb", "decode tbl KB", 0)});
   // Geometric distribution over 64 symbols: unbounded Huffman wants deep
   // codes for the tail.
   std::array<uint32_t, 256> freqs{};
@@ -44,20 +49,23 @@ void Run() {
     }
     // Flat decode table: 2^max_bits entries x 4 B.
     double table_kb = static_cast<double>(1u << max_bits) * 4 / 1024.0;
-    PrintRow({Fmt(max_bits, 0), Fmt(bpb, 3), "+" + Fmt((bpb / baseline - 1) * 100, 2) + "%",
-              Fmt(table_kb, 0)});
+    cap.AddRow({max_bits, bpb, (bpb / baseline - 1) * 100, table_kb});
   }
 
-  std::printf("\n(b) Canonicalisation schedule over 2000 random distributions\n");
-  PrintRow({"metric", "min", "mean", "max", "bound"});
-  PrintRule(5);
+  const int trials = static_cast<int>(ctx.Pick(500, 2000));
+  obs::Table& sched = ctx.AddTable(
+      "schedule",
+      "(b) Canonicalisation schedule over " + std::to_string(trials) +
+          " random distributions",
+      {Column("metric"), Column("min", "", 0), Column("mean", "", 1), Column("max", "", 0),
+       Column("bound")});
   Rng rng(7);
   uint32_t min_cycles = UINT32_MAX;
   uint32_t max_cycles = 0;
   uint64_t sum_cycles = 0;
   uint32_t max_repair = 0;
   uint32_t clipped_runs = 0;
-  for (int trial = 0; trial < 2000; ++trial) {
+  for (int trial = 0; trial < trials; ++trial) {
     std::vector<uint32_t> f(256, 0);
     size_t present = 2 + rng.Uniform(255);
     for (size_t i = 0; i < present; ++i) {
@@ -72,19 +80,18 @@ void Run() {
     max_repair = std::max(max_repair, stats.repair_iterations);
     clipped_runs += stats.clipped_leaves > 0 ? 1 : 0;
   }
-  PrintRow({"schedule cycles", Fmt(min_cycles, 0), Fmt(sum_cycles / 2000.0, 1),
-            Fmt(max_cycles, 0), "274"});
-  PrintRow({"repair iterations", "-", "-", Fmt(max_repair, 0), "8"});
-  PrintRow({"runs needing clip", "-", Fmt(clipped_runs / 20.0, 1) + "%", "-", "-"});
-  std::printf("\n§3.3: the 11-bit cap costs ~3%% even on adversarially skewed data (and\n"
-              "well under 1%% on text), shrinks the flat decode table 16x, and bounds\n"
-              "the schedule at 274 cycles for 1 GHz timing closure.\n");
+  sched.AddRow({"schedule cycles", min_cycles,
+                static_cast<double>(sum_cycles) / trials, max_cycles, "274"});
+  sched.AddRow({"repair iterations", "-", "-", max_repair, "8"});
+  sched.AddRow({"runs needing clip", "-",
+                Fmt(100.0 * clipped_runs / trials, 1) + "%", "-", "-"});
+  ctx.Note("§3.3: the 11-bit cap costs ~3% even on adversarially skewed data (and\n"
+           "well under 1% on text), shrinks the flat decode table 16x, and bounds\n"
+           "the schedule at 274 cycles for 1 GHz timing closure.");
 }
+
+CDPU_REGISTER_EXPERIMENT("ablation_huffman", "Ablation",
+                         "DPZip dynamic Huffman: depth cap and schedule", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

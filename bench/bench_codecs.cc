@@ -1,10 +1,13 @@
-// Wall-clock microbenchmarks (google-benchmark) of the from-scratch software
-// codecs on this machine — the "CPU software" rows of Figures 8/9 measured
-// for real rather than modelled. Throughput counters report bytes of
-// original data processed per second.
+// Wall-clock microbenchmarks of the from-scratch software codecs on this
+// machine — the "CPU software" rows of Figures 8/9 measured for real rather
+// than modelled. Unlike every other experiment these rows report host
+// wall-clock throughput, so they vary run to run with the machine.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <memory>
+#include <string>
 
+#include "bench/harness/experiment.h"
 #include "src/codecs/codec.h"
 #include "src/core/dpzip_codec.h"
 #include "src/workload/datagen.h"
@@ -12,72 +15,72 @@
 namespace cdpu {
 namespace {
 
-std::vector<uint8_t> BenchData(size_t size) { return GenerateTextLike(size, 42); }
+using bench::ExperimentContext;
+using obs::Column;
 
-void BM_Compress(benchmark::State& state, const std::string& codec_name) {
-  std::unique_ptr<Codec> codec = MakeCodec(codec_name);
-  size_t chunk = static_cast<size_t>(state.range(0));
-  std::vector<uint8_t> data = BenchData(chunk);
-  for (auto _ : state) {
-    ByteVec out;
-    Result<size_t> r = codec->Compress(data, &out);
-    benchmark::DoNotOptimize(out.data());
-    if (!r.ok()) {
-      state.SkipWithError("compress failed");
-      return;
+struct WallResult {
+  double mbps = 0;
+  uint64_t iterations = 0;
+};
+
+// Runs op repeatedly until min_seconds of wall-clock has elapsed.
+template <typename Op>
+WallResult TimeLoop(double min_seconds, uint64_t bytes_per_iter, Op op) {
+  using Clock = std::chrono::steady_clock;
+  WallResult r;
+  Clock::time_point start = Clock::now();
+  double elapsed = 0;
+  do {
+    if (!op()) {
+      return WallResult{};
     }
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(chunk));
+    ++r.iterations;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  r.mbps = static_cast<double>(r.iterations * bytes_per_iter) / 1e6 / elapsed;
+  return r;
 }
 
-void BM_Decompress(benchmark::State& state, const std::string& codec_name) {
-  std::unique_ptr<Codec> codec = MakeCodec(codec_name);
-  size_t chunk = static_cast<size_t>(state.range(0));
-  std::vector<uint8_t> data = BenchData(chunk);
-  ByteVec compressed;
-  if (!codec->Compress(data, &compressed).ok()) {
-    state.SkipWithError("compress failed");
-    return;
-  }
-  for (auto _ : state) {
-    ByteVec out;
-    Result<size_t> r = codec->Decompress(compressed, &out);
-    benchmark::DoNotOptimize(out.data());
-    if (!r.ok()) {
-      state.SkipWithError("decompress failed");
-      return;
-    }
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(chunk));
-}
-
-void RegisterAll() {
+void Run(ExperimentContext& ctx) {
+  const double min_seconds = ctx.quick() ? 0.02 : 0.1;
   DpzipCodec::RegisterWithFactory();
-  for (const char* name : {"deflate-1", "zstd-1", "lz4", "snappy", "dpzip"}) {
-    for (int64_t chunk : {4096, 65536}) {
-      benchmark::RegisterBenchmark(
-          (std::string("compress/") + name + "/" + std::to_string(chunk)).c_str(),
-          [name](benchmark::State& s) { BM_Compress(s, name); })
-          ->Arg(chunk)
-          ->MinTime(0.1);
-      benchmark::RegisterBenchmark(
-          (std::string("decompress/") + name + "/" + std::to_string(chunk)).c_str(),
-          [name](benchmark::State& s) { BM_Decompress(s, name); })
-          ->Arg(chunk)
-          ->MinTime(0.1);
+
+  for (size_t chunk : {4096u, 65536u}) {
+    obs::Table& t = ctx.AddTable(
+        "wallclock_" + std::to_string(chunk / 1024) + "k",
+        "Host wall-clock, " + std::to_string(chunk / 1024) + " KB chunks (text-like data)",
+        {Column("codec"), Column("c_mbps", "C MB/s", 1), Column("d_mbps", "D MB/s", 1),
+         Column("ratio_pct", "ratio %", 1), Column("c_iters", "C iters", 0),
+         Column("d_iters", "D iters", 0)});
+    std::vector<uint8_t> data = GenerateTextLike(chunk, 42);
+    for (const char* name : {"deflate-1", "zstd-1", "lz4", "snappy", "dpzip"}) {
+      std::unique_ptr<Codec> codec = MakeCodec(name);
+      if (!codec) {
+        continue;
+      }
+      ByteVec compressed;
+      if (!codec->Compress(data, &compressed).ok()) {
+        continue;
+      }
+      WallResult c = TimeLoop(min_seconds, chunk, [&] {
+        ByteVec out;
+        return codec->Compress(data, &out).ok();
+      });
+      WallResult d = TimeLoop(min_seconds, chunk, [&] {
+        ByteVec out;
+        return codec->Decompress(compressed, &out).ok();
+      });
+      t.AddRow({name, c.mbps, d.mbps,
+                100.0 * static_cast<double>(compressed.size()) / static_cast<double>(chunk),
+                c.iterations, d.iterations});
     }
   }
+  ctx.Note("Wall-clock rows measure this host, not the simulated devices:\n"
+           "absolute numbers vary with the machine; ratios are deterministic.");
 }
+
+CDPU_REGISTER_EXPERIMENT("codecs_wallclock", "Codec wall-clock",
+                         "Host wall-clock software codec throughput (real time)", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main(int argc, char** argv) {
-  cdpu::RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}

@@ -3,12 +3,15 @@
 // MiniZstd codec: per-stage wall-clock shares for LZ77 (match search),
 // Huffman (literals) and FSE (sequences).
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
 #include "src/codecs/mini_zstd.h"
 #include "src/workload/datagen.h"
 
 namespace cdpu {
 namespace {
+
+using bench::ExperimentContext;
+using obs::Column;
 
 struct Shares {
   double lz77 = 0;
@@ -17,11 +20,11 @@ struct Shares {
   double total_ms = 0;
 };
 
-Shares Measure(int level, size_t chunk, double entropy_bits) {
+Shares Measure(int level, size_t chunk, double entropy_bits, size_t input_bytes) {
   MiniZstdCodec codec(level);
   std::vector<uint8_t> data = entropy_bits < 0
-                                  ? GenerateTextLike(1 << 20, 42)
-                                  : GenerateWithEntropy(entropy_bits, 1 << 20, 42);
+                                  ? GenerateTextLike(input_bytes, 42)
+                                  : GenerateWithEntropy(entropy_bits, input_bytes, 42);
   uint64_t lz = 0;
   uint64_t huff = 0;
   uint64_t fse = 0;
@@ -46,43 +49,44 @@ Shares Measure(int level, size_t chunk, double entropy_bits) {
   return s;
 }
 
-void Run() {
-  PrintHeader("Figure 2", "MiniZstd stage breakdown vs chunk size, level, entropy");
-
-  std::printf("\n(a) By compression level (text-like data, 64 KB chunks)\n");
-  PrintRow({"level", "LZ77 %", "Huffman %", "FSE %", "total ms"});
-  PrintRule(5);
-  for (int level : {1, 3, 6, 9, 12}) {
-    Shares s = Measure(level, 64 * 1024, -1);
-    PrintRow({Fmt(level, 0), Fmt(s.lz77, 1), Fmt(s.huffman, 1), Fmt(s.fse, 1),
-              Fmt(s.total_ms, 2)});
-  }
-
-  std::printf("\n(b) By chunk size (text-like data, level 3)\n");
-  PrintRow({"chunk KB", "LZ77 %", "Huffman %", "FSE %", "total ms"});
-  PrintRule(5);
-  for (size_t chunk : {4u, 16u, 64u, 128u}) {
-    Shares s = Measure(3, chunk * 1024, -1);
-    PrintRow({Fmt(chunk, 0), Fmt(s.lz77, 1), Fmt(s.huffman, 1), Fmt(s.fse, 1),
-              Fmt(s.total_ms, 2)});
-  }
-
-  std::printf("\n(c) By data entropy (level 3, 64 KB chunks)\n");
-  PrintRow({"H bits/B", "LZ77 %", "Huffman %", "FSE %", "total ms"});
-  PrintRule(5);
-  for (double h : {1.0, 2.0, 4.0, 6.0, 8.0}) {
-    Shares s = Measure(3, 64 * 1024, h);
-    PrintRow({Fmt(h, 1), Fmt(s.lz77, 1), Fmt(s.huffman, 1), Fmt(s.fse, 1),
-              Fmt(s.total_ms, 2)});
-  }
-  std::printf("\nPaper shape: LZ77 dominates and its share grows with level;\n"
-              "entropy-coding share varies non-linearly with data randomness.\n");
+std::vector<Column> ShareColumns(const char* key, const char* label) {
+  return {Column(key, label, key == std::string("entropy") ? 1 : 0),
+          Column("lz77", "LZ77 %", 1), Column("huffman", "Huffman %", 1),
+          Column("fse", "FSE %", 1), Column("total_ms", "total ms", 2)};
 }
+
+void Run(ExperimentContext& ctx) {
+  const size_t input = ctx.Pick(256 * 1024, 1 << 20);
+
+  obs::Table& by_level =
+      ctx.AddTable("by_level", "(a) By compression level (text-like data, 64 KB chunks)",
+                   ShareColumns("level", "level"));
+  for (int level : {1, 3, 6, 9, 12}) {
+    Shares s = Measure(level, 64 * 1024, -1, input);
+    by_level.AddRow({level, s.lz77, s.huffman, s.fse, s.total_ms});
+  }
+
+  obs::Table& by_chunk =
+      ctx.AddTable("by_chunk", "(b) By chunk size (text-like data, level 3)",
+                   ShareColumns("chunk_kb", "chunk KB"));
+  for (size_t chunk : {4u, 16u, 64u, 128u}) {
+    Shares s = Measure(3, chunk * 1024, -1, input);
+    by_chunk.AddRow({static_cast<uint64_t>(chunk), s.lz77, s.huffman, s.fse, s.total_ms});
+  }
+
+  obs::Table& by_entropy =
+      ctx.AddTable("by_entropy", "(c) By data entropy (level 3, 64 KB chunks)",
+                   ShareColumns("entropy", "H bits/B"));
+  for (double h : {1.0, 2.0, 4.0, 6.0, 8.0}) {
+    Shares s = Measure(3, 64 * 1024, h, input);
+    by_entropy.AddRow({h, s.lz77, s.huffman, s.fse, s.total_ms});
+  }
+  ctx.Note("Paper shape: LZ77 dominates and its share grows with level;\n"
+           "entropy-coding share varies non-linearly with data randomness.");
+}
+
+CDPU_REGISTER_EXPERIMENT("fig02", "Figure 2",
+                         "MiniZstd stage breakdown vs chunk size, level, entropy", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

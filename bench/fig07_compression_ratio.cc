@@ -5,16 +5,24 @@
 
 #include <memory>
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
 #include "src/codecs/codec.h"
-#include "src/core/dpzip_codec.h"
 #include "src/common/stats.h"
+#include "src/core/dpzip_codec.h"
 #include "src/workload/datagen.h"
 
 namespace cdpu {
 namespace {
 
-void MeasureCodec(const std::string& name, Codec* codec,
+using bench::ExperimentContext;
+using obs::Column;
+
+void AddRatioRow(obs::Table& t, const std::string& name, SampleSet* ratios) {
+  t.AddRow({name, ratios->Percentile(10) * 100, ratios->Median() * 100, ratios->Mean() * 100,
+            ratios->Percentile(90) * 100});
+}
+
+void MeasureCodec(obs::Table& t, const std::string& name, Codec* codec,
                   const std::vector<CorpusFile>& corpus, size_t chunk) {
   SampleSet ratios;
   for (const CorpusFile& f : corpus) {
@@ -22,24 +30,26 @@ void MeasureCodec(const std::string& name, Codec* codec,
       ratios.Add(codec->MeasureRatio(ByteSpan(f.data.data() + off, chunk)));
     }
   }
-  PrintRow({name, Fmt(ratios.Percentile(10) * 100, 1), Fmt(ratios.Median() * 100, 1),
-            Fmt(ratios.Mean() * 100, 1), Fmt(ratios.Percentile(90) * 100, 1)});
+  AddRatioRow(t, name, &ratios);
 }
 
-void RunGranularity(const std::vector<CorpusFile>& corpus, size_t chunk) {
-  std::printf("\nGranularity: %zu KB chunks (ratio %%, lower is better)\n", chunk / 1024);
-  PrintRow({"codec", "p10", "median", "mean", "p90"});
-  PrintRule(5);
+void RunGranularity(ExperimentContext& ctx, const std::vector<CorpusFile>& corpus,
+                    size_t chunk) {
+  obs::Table& t = ctx.AddTable(
+      "ratio_" + std::to_string(chunk / 1024) + "k",
+      "Granularity: " + std::to_string(chunk / 1024) + " KB chunks (ratio %, lower is better)",
+      {Column("codec"), Column("p10", "", 1), Column("median", "", 1), Column("mean", "", 1),
+       Column("p90", "", 1)});
   std::unique_ptr<Codec> deflate = MakeCodec("deflate-1");
   std::unique_ptr<Codec> zstd = MakeCodec("zstd-1");
   std::unique_ptr<Codec> lz4 = MakeCodec("lz4");
   std::unique_ptr<Codec> snappy = MakeCodec("snappy");
   DpzipCodec dpzip;
 
-  MeasureCodec("deflate/QAT", deflate.get(), corpus, chunk);
-  MeasureCodec("zstd-1", zstd.get(), corpus, chunk);
+  MeasureCodec(t, "deflate/QAT", deflate.get(), corpus, chunk);
+  MeasureCodec(t, "zstd-1", zstd.get(), corpus, chunk);
   if (chunk == 4096) {
-    MeasureCodec("dpzip", &dpzip, corpus, chunk);
+    MeasureCodec(t, "dpzip", &dpzip, corpus, chunk);
   } else {
     // DPZip always operates on 4 KB pages regardless of IO size (Finding 1):
     // chunk the input internally.
@@ -55,27 +65,23 @@ void RunGranularity(const std::vector<CorpusFile>& corpus, size_t chunk) {
         ratios.Add(static_cast<double>(total) / static_cast<double>(chunk));
       }
     }
-    PrintRow({"dpzip(4K pages)", Fmt(ratios.Percentile(10) * 100, 1),
-              Fmt(ratios.Median() * 100, 1), Fmt(ratios.Mean() * 100, 1),
-              Fmt(ratios.Percentile(90) * 100, 1)});
+    AddRatioRow(t, "dpzip(4K pages)", &ratios);
   }
-  MeasureCodec("lz4", lz4.get(), corpus, chunk);
-  MeasureCodec("snappy", snappy.get(), corpus, chunk);
+  MeasureCodec(t, "lz4", lz4.get(), corpus, chunk);
+  MeasureCodec(t, "snappy", snappy.get(), corpus, chunk);
 }
 
-void Run() {
-  PrintHeader("Figure 7", "Compression-ratio distributions, Silesia-like corpus");
-  std::vector<CorpusFile> corpus = SilesiaLikeCorpus(192 * 1024, 42);
-  RunGranularity(corpus, 4096);
-  RunGranularity(corpus, 65536);
-  std::printf("\nPaper shape: Deflate/Zstd best, DPZip close behind (4K ~45%% vs 43.1%%),\n"
-              "LZ4/Snappy ~20pp worse; 64K improves windowed codecs, DPZip stays flat.\n");
+void Run(ExperimentContext& ctx) {
+  std::vector<CorpusFile> corpus =
+      SilesiaLikeCorpus(ctx.Pick(96, 192) * 1024, 42);
+  RunGranularity(ctx, corpus, 4096);
+  RunGranularity(ctx, corpus, 65536);
+  ctx.Note("Paper shape: Deflate/Zstd best, DPZip close behind (4K ~45% vs 43.1%),\n"
+           "LZ4/Snappy ~20pp worse; 64K improves windowed codecs, DPZip stays flat.");
 }
+
+CDPU_REGISTER_EXPERIMENT("fig07", "Figure 7",
+                         "Compression-ratio distributions, Silesia-like corpus", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

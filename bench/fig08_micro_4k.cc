@@ -3,72 +3,62 @@
 // QAT 4xxx, DPZip, plus lightweight software codecs and the 3x DP-CSD
 // aggregate the paper reports.
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
+#include "bench/harness/scenario.h"
 #include "src/hw/device_configs.h"
 
 namespace cdpu {
 namespace {
 
+using bench::DeviceCase;
+using bench::ExperimentContext;
+using obs::Column;
+
 constexpr uint64_t kBytes = 4096;
 constexpr double kRatio = 0.45;  // Silesia-like 4 KB pages
-constexpr uint64_t kRequests = 20000;
 
-void Throughput(const std::string& name, const CdpuConfig& cfg, uint32_t threads) {
-  CdpuDevice dev(cfg);
-  ClosedLoopResult c = dev.RunClosedLoop(CdpuOp::kCompress, kRequests, kBytes, kRatio, threads);
-  ClosedLoopResult d =
-      dev.RunClosedLoop(CdpuOp::kDecompress, kRequests, kBytes, kRatio, threads);
-  PrintRow({name, Fmt(c.gbps, 2), Fmt(d.gbps, 2), Fmt(threads, 0),
-            Fmt(c.engine_utilization * 100, 0) + "%"});
-}
+void Run(ExperimentContext& ctx) {
+  const uint64_t requests = ctx.Pick(2000, 20000);
 
-void Latency(const std::string& name, const CdpuConfig& cfg) {
-  CdpuDevice dev(cfg);
-  PrintRow({name,
-            Fmt(static_cast<double>(dev.RequestLatency(CdpuOp::kCompress, kBytes, kRatio)) / 1e3,
-                1),
-            Fmt(static_cast<double>(dev.RequestLatency(CdpuOp::kDecompress, kBytes, kRatio)) /
-                    1e3,
-                1)});
-}
-
-void Run() {
-  PrintHeader("Figure 8", "4 KB microbenchmark: throughput and latency");
-
-  std::printf("\n(a) Throughput (GB/s); paper: CPU 4.9/13.6, 8970 5.1/7.6, "
-              "4xxx 4.3/7.0, DPZip 5.6/9.4, snappy 22.8/20.3\n");
-  PrintRow({"scheme", "C GB/s", "D GB/s", "threads", "engine util"});
-  PrintRule(5);
-  Throughput("cpu-deflate", CpuSoftwareConfig("deflate"), 88);
-  Throughput("cpu-zstd", CpuSoftwareConfig("zstd"), 88);
-  Throughput("cpu-snappy", CpuSoftwareConfig("snappy"), 88);
-  Throughput("qat-8970", Qat8970Config(), 64);
-  Throughput("qat-4xxx", Qat4xxxConfig(), 64);
-  Throughput("dpzip", DpzipCdpuConfig(), 16);
+  obs::Table& tput = ctx.AddTable(
+      "throughput",
+      "(a) Throughput (GB/s); paper: CPU 4.9/13.6, 8970 5.1/7.6, "
+      "4xxx 4.3/7.0, DPZip 5.6/9.4, snappy 22.8/20.3",
+      {Column("scheme"), Column("c_gbps", "C GB/s"), Column("d_gbps", "D GB/s"),
+       Column("threads", "", 0), Column("engine_util", "engine util", 0, "%")});
+  for (const DeviceCase& dev : bench::MicrobenchDeviceCases()) {
+    CdpuDevice device(dev.config);
+    ClosedLoopResult c =
+        device.RunClosedLoop(CdpuOp::kCompress, requests, kBytes, kRatio, dev.threads);
+    ClosedLoopResult d =
+        device.RunClosedLoop(CdpuOp::kDecompress, requests, kBytes, kRatio, dev.threads);
+    tput.AddRow({dev.name, c.gbps, d.gbps, dev.threads, c.engine_utilization * 100});
+  }
   {
-    ClosedLoopResult c = RunDeviceFleet(DpzipCdpuConfig(), 3, CdpuOp::kCompress, kRequests,
+    ClosedLoopResult c = RunDeviceFleet(DpzipCdpuConfig(), 3, CdpuOp::kCompress, requests,
                                         kBytes, kRatio, 48);
-    ClosedLoopResult d = RunDeviceFleet(DpzipCdpuConfig(), 3, CdpuOp::kDecompress, kRequests,
+    ClosedLoopResult d = RunDeviceFleet(DpzipCdpuConfig(), 3, CdpuOp::kDecompress, requests,
                                         kBytes, kRatio, 48);
-    PrintRow({"3x dp-csd", Fmt(c.gbps, 2), Fmt(d.gbps, 2), "48", "-"});
+    tput.AddRow({"3x dp-csd", c.gbps, d.gbps, 48u, obs::Json()});
   }
 
-  std::printf("\n(b) Request latency (us); paper: CPU 70/~20, 8970 28/14, "
-              "4xxx 9/6, DPZip 4.7/2.6, zstd 20.4/7.4, snappy 8.9/3.8\n");
-  PrintRow({"scheme", "C us", "D us"});
-  PrintRule(3);
-  Latency("cpu-deflate", CpuSoftwareConfig("deflate"));
-  Latency("cpu-zstd", CpuSoftwareConfig("zstd"));
-  Latency("cpu-snappy", CpuSoftwareConfig("snappy"));
-  Latency("qat-8970", Qat8970Config());
-  Latency("qat-4xxx", Qat4xxxConfig());
-  Latency("dpzip", DpzipCdpuConfig());
+  obs::Table& lat = ctx.AddTable(
+      "latency",
+      "(b) Request latency (us); paper: CPU 70/~20, 8970 28/14, "
+      "4xxx 9/6, DPZip 4.7/2.6, zstd 20.4/7.4, snappy 8.9/3.8",
+      {Column("scheme"), Column("c_us", "C us", 1), Column("d_us", "D us", 1)});
+  for (const DeviceCase& dev : bench::MicrobenchDeviceCases()) {
+    CdpuDevice device(dev.config);
+    lat.AddRow(
+        {dev.name,
+         static_cast<double>(device.RequestLatency(CdpuOp::kCompress, kBytes, kRatio)) / 1e3,
+         static_cast<double>(device.RequestLatency(CdpuOp::kDecompress, kBytes, kRatio)) /
+             1e3});
+  }
 }
+
+CDPU_REGISTER_EXPERIMENT("fig08", "Figure 8", "4 KB microbenchmark: throughput and latency",
+                         Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

@@ -3,52 +3,54 @@
 // up to 177% (decompress); software gains ~30%. Includes the 3x DP-CSD
 // aggregate (37.5 GB/s in the paper).
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
+#include "bench/harness/scenario.h"
 #include "src/hw/device_configs.h"
 
 namespace cdpu {
 namespace {
 
+using bench::DeviceCase;
+using bench::ExperimentContext;
+using obs::Column;
+
 constexpr uint64_t k4K = 4096;
 constexpr uint64_t k64K = 65536;
 constexpr double kRatio = 0.40;  // 64 KB chunks compress a little better
-constexpr uint64_t kRequests = 8000;
 
-void Row(const std::string& name, const CdpuConfig& cfg, uint32_t threads) {
-  CdpuDevice dev(cfg);
-  ClosedLoopResult c4 = dev.RunClosedLoop(CdpuOp::kCompress, kRequests, k4K, 0.45, threads);
-  ClosedLoopResult c64 = dev.RunClosedLoop(CdpuOp::kCompress, kRequests / 4, k64K, kRatio,
-                                           threads);
-  ClosedLoopResult d4 = dev.RunClosedLoop(CdpuOp::kDecompress, kRequests, k4K, 0.45, threads);
-  ClosedLoopResult d64 = dev.RunClosedLoop(CdpuOp::kDecompress, kRequests / 4, k64K, kRatio,
-                                           threads);
-  double c_gain = c4.gbps > 0 ? (c64.gbps / c4.gbps - 1.0) * 100 : 0;
-  double d_gain = d4.gbps > 0 ? (d64.gbps / d4.gbps - 1.0) * 100 : 0;
-  PrintRow({name, Fmt(c64.gbps, 2), Fmt(d64.gbps, 2), "+" + Fmt(c_gain, 0) + "%",
-            "+" + Fmt(d_gain, 0) + "%"});
-}
+void Run(ExperimentContext& ctx) {
+  const uint64_t requests = ctx.Pick(1000, 8000);
 
-void Run() {
-  PrintHeader("Figure 9", "64 KB microbenchmark: throughput and gain over 4 KB");
-  PrintRow({"scheme", "C GB/s", "D GB/s", "C gain", "D gain"});
-  PrintRule(5);
-  Row("cpu-deflate", CpuSoftwareConfig("deflate"), 88);
-  Row("qat-8970", Qat8970Config(), 64);
-  Row("qat-4xxx", Qat4xxxConfig(), 64);
-  Row("dpzip", DpzipCdpuConfig(), 16);
-  {
-    ClosedLoopResult c = RunDeviceFleet(DpzipCdpuConfig(), 3, CdpuOp::kCompress, 6000, k64K,
-                                        kRatio, 48);
-    PrintRow({"3x dp-csd", Fmt(c.gbps, 2), "-", "-", "-"});
+  obs::Table& t = ctx.AddTable(
+      "gain_over_4k", "",
+      {Column("scheme"), Column("c_gbps", "C GB/s"), Column("d_gbps", "D GB/s"),
+       Column("c_gain", "C gain", 0, "%", /*plus=*/true),
+       Column("d_gain", "D gain", 0, "%", /*plus=*/true)});
+  for (const DeviceCase& dev : bench::HardwareComparisonCases()) {
+    CdpuDevice device(dev.config);
+    ClosedLoopResult c4 =
+        device.RunClosedLoop(CdpuOp::kCompress, requests, k4K, 0.45, dev.threads);
+    ClosedLoopResult c64 =
+        device.RunClosedLoop(CdpuOp::kCompress, requests / 4, k64K, kRatio, dev.threads);
+    ClosedLoopResult d4 =
+        device.RunClosedLoop(CdpuOp::kDecompress, requests, k4K, 0.45, dev.threads);
+    ClosedLoopResult d64 =
+        device.RunClosedLoop(CdpuOp::kDecompress, requests / 4, k64K, kRatio, dev.threads);
+    double c_gain = c4.gbps > 0 ? (c64.gbps / c4.gbps - 1.0) * 100 : 0;
+    double d_gain = d4.gbps > 0 ? (d64.gbps / d4.gbps - 1.0) * 100 : 0;
+    t.AddRow({dev.name, c64.gbps, d64.gbps, c_gain, d_gain});
   }
-  std::printf("\nPaper shape: software +30%%; hardware compression +74-120%%, "
-              "decompression up to +177%%; 3x DP-CSD reaches 37.5 GB/s.\n");
+  {
+    ClosedLoopResult c = RunDeviceFleet(DpzipCdpuConfig(), 3, CdpuOp::kCompress,
+                                        ctx.Pick(800, 6000), k64K, kRatio, 48);
+    t.AddRow({"3x dp-csd", c.gbps, obs::Json(), obs::Json(), obs::Json()});
+  }
+  ctx.Note("Paper shape: software +30%; hardware compression +74-120%, "
+           "decompression up to +177%; 3x DP-CSD reaches 37.5 GB/s.");
 }
+
+CDPU_REGISTER_EXPERIMENT("fig09", "Figure 9",
+                         "64 KB microbenchmark: throughput and gain over 4 KB", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

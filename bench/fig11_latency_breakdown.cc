@@ -4,31 +4,34 @@
 // the 4xxx); (b) end-to-end processing latency vs chunk size (paper: 8970
 // 3-5x higher than 4xxx).
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
 #include "src/hw/device_configs.h"
 #include "src/hw/interconnect.h"
 
 namespace cdpu {
 namespace {
 
-void Run() {
-  PrintHeader("Figure 11", "DMA and end-to-end latency vs chunk size");
+using bench::ExperimentContext;
+using obs::Column;
 
+void Run(ExperimentContext& ctx) {
   Link pcie(Pcie3x16Link());
   Link cmi(CmiLink());
 
-  std::printf("\n(a) Device DMA read latency (us)\n");
-  PrintRow({"chunk KB", "qat-8970", "qat-4xxx", "gap x"});
-  PrintRule(4);
+  obs::Table& dma = ctx.AddTable(
+      "dma_latency", "(a) Device DMA read latency (us)",
+      {Column("chunk_kb", "chunk KB", 0), Column("qat_8970", "qat-8970", 2),
+       Column("qat_4xxx", "qat-4xxx", 3), Column("gap", "gap x", 0)});
   for (uint64_t kb : {4u, 16u, 64u, 128u, 256u, 512u}) {
     double p = static_cast<double>(pcie.TransferLatency(kb * 1024)) / 1e3;
     double c = static_cast<double>(cmi.TransferLatency(kb * 1024)) / 1e3;
-    PrintRow({Fmt(kb, 0), Fmt(p, 2), Fmt(c, 3), Fmt(p / c, 0)});
+    dma.AddRow({kb, p, c, p / c});
   }
 
-  std::printf("\n(b) End-to-end compression latency (us)\n");
-  PrintRow({"chunk KB", "qat-8970", "qat-4xxx", "ratio"});
-  PrintRule(4);
+  obs::Table& e2e = ctx.AddTable(
+      "end_to_end", "(b) End-to-end compression latency (us)",
+      {Column("chunk_kb", "chunk KB", 0), Column("qat_8970", "qat-8970", 1),
+       Column("qat_4xxx", "qat-4xxx", 1), Column("ratio", "", 1, "x")});
   CdpuDevice qat8970(Qat8970Config());
   CdpuDevice qat4xxx(Qat4xxxConfig());
   for (uint64_t kb : {4u, 16u, 64u, 128u, 256u, 512u}) {
@@ -38,30 +41,29 @@ void Run() {
     double l4 = static_cast<double>(
                     qat4xxx.RequestLatency(CdpuOp::kCompress, kb * 1024, 0.42)) /
                 1e3;
-    PrintRow({Fmt(kb, 0), Fmt(l8, 1), Fmt(l4, 1), Fmt(l8 / l4, 1) + "x"});
+    e2e.AddRow({kb, l8, l4, l8 / l4});
   }
-  std::printf("\n(c) 64 KB compression request stage stack (us) — the Figure 10 flow\n");
-  PrintRow({"stage", "qat-8970", "qat-4xxx"});
-  PrintRule(3);
+
+  obs::Table& stages = ctx.AddTable(
+      "stage_stack",
+      "(c) 64 KB compression request stage stack (us) — the Figure 10 flow",
+      {Column("stage"), Column("qat_8970", "qat-8970", 2), Column("qat_4xxx", "qat-4xxx", 2)});
   CdpuDevice::RequestTrace t8 = qat8970.TraceRequest(CdpuOp::kCompress, 65536, 0.42);
   CdpuDevice::RequestTrace t4 = qat4xxx.TraceRequest(CdpuOp::kCompress, 65536, 0.42);
-  auto us = [](SimNanos ns) { return Fmt(static_cast<double>(ns) / 1e3, 2); };
-  PrintRow({"submit (driver)", us(t8.submit), us(t4.submit)});
-  PrintRow({"DMA in", us(t8.dma_in), us(t4.dma_in)});
-  PrintRow({"engine + verify", us(t8.service), us(t4.service)});
-  PrintRow({"DMA out", us(t8.dma_out), us(t4.dma_out)});
-  PrintRow({"complete (ISR)", us(t8.complete), us(t4.complete)});
-  PrintRow({"total", us(t8.total()), us(t4.total())});
+  auto us = [](SimNanos ns) { return static_cast<double>(ns) / 1e3; };
+  stages.AddRow({"submit (driver)", us(t8.submit), us(t4.submit)});
+  stages.AddRow({"DMA in", us(t8.dma_in), us(t4.dma_in)});
+  stages.AddRow({"engine + verify", us(t8.service), us(t4.service)});
+  stages.AddRow({"DMA out", us(t8.dma_out), us(t4.dma_out)});
+  stages.AddRow({"complete (ISR)", us(t8.complete), us(t4.complete)});
+  stages.AddRow({"total", us(t8.total()), us(t4.total())});
 
-  std::printf("\nPaper shape: DMA gap grows to ~70x at large chunks (DDIO/LLC);\n"
-              "end-to-end 8970 stays 2-5x above 4xxx despite equal engine specs;\n"
-              "the stage stack shows where the placement difference lives.\n");
+  ctx.Note("Paper shape: DMA gap grows to ~70x at large chunks (DDIO/LLC);\n"
+           "end-to-end 8970 stays 2-5x above 4xxx despite equal engine specs;\n"
+           "the stage stack shows where the placement difference lives.");
 }
+
+CDPU_REGISTER_EXPERIMENT("fig11", "Figure 11", "DMA and end-to-end latency vs chunk size", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

@@ -7,7 +7,7 @@
 
 #include <algorithm>
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
 #include "src/core/dpzip_codec.h"
 #include "src/core/pipeline_model.h"
 #include "src/hw/device_configs.h"
@@ -17,22 +17,31 @@
 namespace cdpu {
 namespace {
 
-constexpr uint64_t kBytes = 4096;
-constexpr uint64_t kRequests = 6000;
+using bench::ExperimentContext;
+using obs::Column;
 
-double DeviceGbps(const CdpuConfig& cfg, CdpuOp op, double ratio, uint32_t threads) {
+constexpr uint64_t kBytes = 4096;
+
+struct Scale {
+  uint64_t requests;
+  int dpzip_pages;
+  int csd_pages;
+};
+
+double DeviceGbps(const CdpuConfig& cfg, CdpuOp op, double ratio, uint32_t threads,
+                  uint64_t requests) {
   CdpuDevice dev(cfg);
-  return dev.RunClosedLoop(op, kRequests, kBytes, ratio, threads).gbps;
+  return dev.RunClosedLoop(op, requests, kBytes, ratio, threads).gbps;
 }
 
 // DPZip functional path: compress real data of the given compressibility,
 // charge the pipeline model (DRAM-backed, no NAND).
-double DpzipFunctionalGbps(double ratio, bool decompress) {
+double DpzipFunctionalGbps(double ratio, bool decompress, int pages) {
   DpzipCodec codec;
   DpzipPipelineModel model;
   uint64_t bytes = 0;
   SimNanos busy = 0;
-  for (int i = 0; i < 64; ++i) {
+  for (int i = 0; i < pages; ++i) {
     std::vector<uint8_t> page = GenerateWithRatio(ratio, kBytes, 100 + i);
     ByteVec compressed;
     if (!codec.Compress(page, &compressed).ok()) {
@@ -55,13 +64,12 @@ double DpzipFunctionalGbps(double ratio, bool decompress) {
 
 // DP-CSD: same data through the full SSD simulator (FTL packing + NAND),
 // at queue depth 64 like an FIO run — per-lane clocks share the NAND array.
-double DpCsdGbps(double ratio, bool reads) {
+double DpCsdGbps(double ratio, bool reads, int pages) {
   SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kDpCsd, 32 * 1024));
-  constexpr int kPages = 1024;
   constexpr int kQueueDepth = 64;
   std::vector<SimNanos> lane(kQueueDepth, 0);
   uint64_t bytes = 0;
-  for (int i = 0; i < kPages; ++i) {
+  for (int i = 0; i < pages; ++i) {
     std::vector<uint8_t> page = GenerateWithRatio(ratio, kBytes, 200 + i);
     int l = i % kQueueDepth;
     Result<SsdIoResult> w = ssd.Write(static_cast<uint64_t>(i), page, lane[l]);
@@ -77,7 +85,7 @@ double DpCsdGbps(double ratio, bool reads) {
   }
   std::fill(lane.begin(), lane.end(), write_end);
   bytes = 0;
-  for (int i = 0; i < kPages; ++i) {
+  for (int i = 0; i < pages; ++i) {
     ByteVec out;
     int l = i % kQueueDepth;
     Result<SsdIoResult> r = ssd.Read(static_cast<uint64_t>(i), &out, lane[l]);
@@ -91,37 +99,35 @@ double DpCsdGbps(double ratio, bool reads) {
   return GbPerSec(bytes, read_end - write_end);
 }
 
-void Run() {
-  PrintHeader("Figure 12", "Throughput vs data compressibility (4 KB)");
-
-  std::printf("\n(a) Compression GB/s\n");
-  PrintRow({"ratio %", "qat-8970", "qat-4xxx", "dpzip", "dp-csd"});
-  PrintRule(5);
+void RunDirection(ExperimentContext& ctx, const Scale& scale, bool decompress) {
+  CdpuOp op = decompress ? CdpuOp::kDecompress : CdpuOp::kCompress;
+  obs::Table& t = ctx.AddTable(
+      decompress ? "decompress_gbps" : "compress_gbps",
+      decompress ? "(b) Decompression GB/s" : "(a) Compression GB/s",
+      {Column("ratio_pct", "ratio %", 0), Column("qat_8970", "qat-8970"),
+       Column("qat_4xxx", "qat-4xxx"), Column("dpzip"), Column("dp_csd", "dp-csd")});
   for (double ratio : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
-    PrintRow({Fmt(ratio * 100, 0),
-              Fmt(DeviceGbps(Qat8970Config(), CdpuOp::kCompress, ratio, 64), 2),
-              Fmt(DeviceGbps(Qat4xxxConfig(), CdpuOp::kCompress, ratio, 64), 2),
-              Fmt(DpzipFunctionalGbps(ratio, false), 2), Fmt(DpCsdGbps(ratio, false), 2)});
+    t.AddRow({ratio * 100, DeviceGbps(Qat8970Config(), op, ratio, 64, scale.requests),
+              DeviceGbps(Qat4xxxConfig(), op, ratio, 64, scale.requests),
+              DpzipFunctionalGbps(ratio, decompress, scale.dpzip_pages),
+              DpCsdGbps(ratio, decompress, scale.csd_pages)});
   }
-
-  std::printf("\n(b) Decompression GB/s\n");
-  PrintRow({"ratio %", "qat-8970", "qat-4xxx", "dpzip", "dp-csd"});
-  PrintRule(5);
-  for (double ratio : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
-    PrintRow({Fmt(ratio * 100, 0),
-              Fmt(DeviceGbps(Qat8970Config(), CdpuOp::kDecompress, ratio, 64), 2),
-              Fmt(DeviceGbps(Qat4xxxConfig(), CdpuOp::kDecompress, ratio, 64), 2),
-              Fmt(DpzipFunctionalGbps(ratio, true), 2), Fmt(DpCsdGbps(ratio, true), 2)});
-  }
-  std::printf("\nPaper shape: QAT 4xxx drops 67%%/77%% on incompressible data, 8970\n"
-              "drops less steeply, DPZip stays within ~15%%; DP-CSD degrades more\n"
-              "than DPZip (FTL layout + NAND) and lacks the 80-100%% rebound.\n");
 }
+
+void Run(ExperimentContext& ctx) {
+  Scale scale;
+  scale.requests = ctx.Pick(1200, 6000);
+  scale.dpzip_pages = static_cast<int>(ctx.Pick(24, 64));
+  scale.csd_pages = static_cast<int>(ctx.Pick(256, 1024));
+  RunDirection(ctx, scale, /*decompress=*/false);
+  RunDirection(ctx, scale, /*decompress=*/true);
+  ctx.Note("Paper shape: QAT 4xxx drops 67%/77% on incompressible data, 8970\n"
+           "drops less steeply, DPZip stays within ~15%; DP-CSD degrades more\n"
+           "than DPZip (FTL layout + NAND) and lacks the 80-100% rebound.");
+}
+
+CDPU_REGISTER_EXPERIMENT("fig12", "Figure 12",
+                         "Throughput vs data compressibility (4 KB)", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

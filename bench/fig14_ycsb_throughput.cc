@@ -4,65 +4,64 @@
 
 #include <memory>
 
-#include "bench/bench_util.h"
-#include "src/kv/ycsb_runner.h"
+#include "bench/harness/experiment.h"
+#include "bench/harness/scenario.h"
 
 namespace cdpu {
 namespace {
 
-constexpr uint64_t kRecords = 1500;
-constexpr uint64_t kOps = 4000;
+using bench::ExperimentContext;
+using obs::Column;
 
-double RunScheme(CompressionScheme scheme, char workload, uint32_t threads) {
-  auto ssd = std::make_unique<SimSsd>(MakeSchemeSsdConfig(scheme, 512 * 1024));
-  LsmConfig cfg;
-  cfg.memtable_bytes = 128 * 1024;
-  cfg.sstable_data_bytes = 128 * 1024;
-  LsmDb db(cfg, ssd.get(), MakeSchemeBackend(scheme));
-
-  YcsbConfig ycfg;
-  ycfg.workload = workload;
-  ycfg.record_count = kRecords;
-  ycfg.value_size = 400;
-  ycfg.seed = 7;
-  YcsbWorkload wl(ycfg);
-
-  SimNanos clock = 0;
-  if (!YcsbLoad(&db, wl, &clock).ok()) {
+double RunScheme(ExperimentContext& ctx, CompressionScheme scheme, char workload,
+                 uint32_t threads) {
+  bench::YcsbScenarioParams params;
+  params.workload = workload;
+  params.record_count = ctx.Pick(600, 1500);
+  params.sstable_data_bytes = 128 * 1024;
+  Result<std::unique_ptr<bench::YcsbScenario>> sc = bench::MakeYcsbScenario(scheme, params);
+  if (!sc.ok()) {
     return 0;
   }
-  Result<YcsbRunResult> r = YcsbRun(&db, &wl, threads, kOps, clock);
+  Result<YcsbRunResult> r =
+      YcsbRun((*sc)->db.get(), (*sc)->workload.get(), threads, ctx.Pick(1200, 4000),
+              (*sc)->clock);
   return r.ok() ? r->kops : 0;
 }
 
-void RunWorkload(char workload) {
-  std::printf("\nWorkload-%c throughput (KOPS)\n", workload);
-  PrintRow({"threads", "OFF", "CPU", "QAT-8970", "QAT-4xxx", "CSD-2000", "DP-CSD"});
-  PrintRule(7);
-  for (uint32_t threads : {1u, 4u, 10u, 24u, 48u, 88u}) {
-    PrintRow({Fmt(threads, 0), Fmt(RunScheme(CompressionScheme::kOff, workload, threads), 0),
-              Fmt(RunScheme(CompressionScheme::kCpu, workload, threads), 0),
-              Fmt(RunScheme(CompressionScheme::kQat8970, workload, threads), 0),
-              Fmt(RunScheme(CompressionScheme::kQat4xxx, workload, threads), 0),
-              Fmt(RunScheme(CompressionScheme::kCsd2000, workload, threads), 0),
-              Fmt(RunScheme(CompressionScheme::kDpCsd, workload, threads), 0)});
+void RunWorkload(ExperimentContext& ctx, char workload) {
+  obs::Table& t = ctx.AddTable(
+      std::string("workload_") + workload,
+      std::string("Workload-") + workload + " throughput (KOPS)",
+      {Column("threads", "", 0), Column("off", "OFF", 0), Column("cpu", "CPU", 0),
+       Column("qat_8970", "QAT-8970", 0), Column("qat_4xxx", "QAT-4xxx", 0),
+       Column("csd_2000", "CSD-2000", 0), Column("dp_csd", "DP-CSD", 0)});
+  std::vector<uint32_t> thread_counts =
+      ctx.quick() ? std::vector<uint32_t>{1, 10, 48, 88}
+                  : std::vector<uint32_t>{1, 4, 10, 24, 48, 88};
+  for (uint32_t threads : thread_counts) {
+    std::vector<obs::Json> row;
+    row.push_back(threads);
+    for (CompressionScheme scheme : bench::AllSchemes()) {
+      row.push_back(RunScheme(ctx, scheme, workload, threads));
+    }
+    t.AddRow(std::move(row));
   }
 }
 
-void Run() {
-  PrintHeader("Figure 14", "YCSB throughput vs threads (RocksDB stand-in)");
-  RunWorkload('A');
-  RunWorkload('F');
-  std::printf("\nPaper shape: CPU compression costs ~25%%; QAT recovers it but\n"
-              "plateaus (64-deep queues); the FPGA CSD 2000 collapses under high\n"
-              "concurrency (Finding 7: ~2.5 GB/s internal AXI, 1 engine); DP-CSD\n"
-              "tracks/leads OFF and keeps scaling (1 MOPS at 88 threads).\n");
+void Run(ExperimentContext& ctx) {
+  RunWorkload(ctx, 'A');
+  if (!ctx.quick()) {
+    RunWorkload(ctx, 'F');
+  }
+  ctx.Note("Paper shape: CPU compression costs ~25%; QAT recovers it but\n"
+           "plateaus (64-deep queues); the FPGA CSD 2000 collapses under high\n"
+           "concurrency (Finding 7: ~2.5 GB/s internal AXI, 1 engine); DP-CSD\n"
+           "tracks/leads OFF and keeps scaling (1 MOPS at 88 threads).");
 }
+
+CDPU_REGISTER_EXPERIMENT("fig14", "Figure 14",
+                         "YCSB throughput vs threads (RocksDB stand-in)", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

@@ -8,105 +8,86 @@
 // contending for the device's 64 descriptor slots, instead of the serial
 // closed-loop replay above it.
 
-#include <thread>
-#include <vector>
-
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
+#include "bench/harness/scenario.h"
 #include "src/hw/device_configs.h"
-#include "src/runtime/offload_runtime.h"
+#include "src/runtime/stats_export.h"
 
 namespace cdpu {
 namespace {
 
+using bench::ExperimentContext;
+using obs::Column;
+
 constexpr uint64_t k64K = 65536;
-constexpr uint64_t kRequests = 8000;
 
-// Closed-loop clients chained in simulated time: each thread's next arrival
-// is its previous request's simulated completion.
-RuntimeStats RunViaRuntime(const CdpuConfig& cfg, uint32_t threads, uint64_t jobs_per_thread,
-                           uint64_t bytes, double r) {
-  RuntimeOptions opts;
-  opts.device = cfg;
-  opts.codec = "";  // model-only: timing comes from the device model
-  opts.queue_pairs = std::min(threads, 8u);
-  opts.batch_size = 1;
-  OffloadRuntime runtime(opts);
+void Run(ExperimentContext& ctx) {
+  const uint64_t fleet_requests = ctx.Pick(1500, 8000);
+  const uint64_t sweep_requests = ctx.Pick(1500, 8000);
 
-  std::vector<std::thread> clients;
-  clients.reserve(threads);
-  for (uint32_t t = 0; t < threads; ++t) {
-    clients.emplace_back([&runtime, &opts, t, jobs_per_thread, bytes, r] {
-      SimNanos now = 0;
-      for (uint64_t i = 0; i < jobs_per_thread; ++i) {
-        OffloadRequest req;
-        req.op = CdpuOp::kCompress;
-        req.model_bytes = bytes;
-        req.ratio_hint = r;
-        req.arrival = now;
-        req.queue_pair = t % opts.queue_pairs;
-        now = runtime.Submit(std::move(req)).get().sim_completion;
-      }
-    });
-  }
-  for (std::thread& c : clients) {
-    c.join();
-  }
-  runtime.Drain();
-  return runtime.Snapshot();
-}
-
-void Run() {
-  PrintHeader("Finding 14", "Multi-device compression scaling (64 KB chunks)");
-  PrintRow({"devices", "dp-csd GB/s", "qat-4xxx GB/s", "qat-8970 GB/s"});
-  PrintRule(4);
+  obs::Table& fleet = ctx.AddTable(
+      "device_scaling", "Multi-device compression scaling (64 KB chunks)",
+      {Column("devices", "", 0), Column("dp_csd", "dp-csd GB/s"),
+       Column("qat_4xxx", "qat-4xxx GB/s"), Column("qat_8970", "qat-8970 GB/s")});
   for (uint32_t n : {1u, 2u, 4u, 8u}) {
-    ClosedLoopResult dpcsd = RunDeviceFleet(DpzipCdpuConfig(), n, CdpuOp::kCompress, kRequests,
-                                            k64K, 0.40, 16 * n);
+    ClosedLoopResult dpcsd = RunDeviceFleet(DpzipCdpuConfig(), n, CdpuOp::kCompress,
+                                            fleet_requests, k64K, 0.40, 16 * n);
     // QAT 4xxx: at most 2 devices on this dual-socket platform (4 on quad).
-    std::string qat4 = n <= 2 ? Fmt(RunDeviceFleet(Qat4xxxConfig(), n, CdpuOp::kCompress,
-                                                   kRequests, k64K, 0.40, 64 * n)
-                                        .gbps,
-                                    2)
-                              : "n/a (sockets)";
-    ClosedLoopResult qat8 = RunDeviceFleet(Qat8970Config(), n, CdpuOp::kCompress, kRequests,
-                                           k64K, 0.40, 64 * n);
-    PrintRow({Fmt(n, 0), Fmt(dpcsd.gbps, 2), qat4, Fmt(qat8.gbps, 2)});
+    obs::Json qat4 = n <= 2
+                         ? obs::Json(RunDeviceFleet(Qat4xxxConfig(), n, CdpuOp::kCompress,
+                                                    fleet_requests, k64K, 0.40, 64 * n)
+                                         .gbps)
+                         : obs::Json("n/a (sockets)");
+    ClosedLoopResult qat8 = RunDeviceFleet(Qat8970Config(), n, CdpuOp::kCompress,
+                                           fleet_requests, k64K, 0.40, 64 * n);
+    fleet.AddRow({n, dpcsd.gbps, std::move(qat4), qat8.gbps});
   }
 
-  std::printf("\nThread scaling on one device (4 KB compress GB/s)\n");
-  PrintRow({"threads", "dp-csd", "qat-4xxx", "qat-8970"});
-  PrintRule(4);
+  obs::Table& threads_tbl = ctx.AddTable(
+      "thread_scaling", "Thread scaling on one device (4 KB compress GB/s)",
+      {Column("threads", "", 0), Column("dp_csd", "dp-csd"), Column("qat_4xxx", "qat-4xxx"),
+       Column("qat_8970", "qat-8970")});
   CdpuDevice dpcsd(DpzipCdpuConfig());
   CdpuDevice qat4(Qat4xxxConfig());
   CdpuDevice qat8(Qat8970Config());
   for (uint32_t t : {1u, 8u, 32u, 64u, 128u}) {
-    PrintRow({Fmt(t, 0),
-              Fmt(dpcsd.RunClosedLoop(CdpuOp::kCompress, 8000, 4096, 0.45, t).gbps, 2),
-              Fmt(qat4.RunClosedLoop(CdpuOp::kCompress, 8000, 4096, 0.45, t).gbps, 2),
-              Fmt(qat8.RunClosedLoop(CdpuOp::kCompress, 8000, 4096, 0.45, t).gbps, 2)});
-  }
-  std::printf("\nThread scaling through the offload runtime (4 KB compress,\n"
-              "real threads contending for the 64 descriptor slots)\n");
-  PrintRow({"threads", "qat-8970 GB/s", "mean lat us", "ceil delays", "max inflight"});
-  PrintRule(5);
-  for (uint32_t t : {1u, 8u, 32u, 64u, 96u, 128u}) {
-    uint64_t per_thread = 3000 / t + 8;
-    RuntimeStats s = RunViaRuntime(Qat8970Config(), t, per_thread, 4096, 0.45);
-    PrintRow({Fmt(t, 0), Fmt(s.sim_gbps(), 2), Fmt(s.device_latency_us.mean(), 1),
-              Fmt(static_cast<double>(s.ceiling_delays), 0),
-              Fmt(static_cast<double>(s.max_inflight), 0)});
+    threads_tbl.AddRow(
+        {t, dpcsd.RunClosedLoop(CdpuOp::kCompress, sweep_requests, 4096, 0.45, t).gbps,
+         qat4.RunClosedLoop(CdpuOp::kCompress, sweep_requests, 4096, 0.45, t).gbps,
+         qat8.RunClosedLoop(CdpuOp::kCompress, sweep_requests, 4096, 0.45, t).gbps});
   }
 
-  std::printf("\nPaper shape: DP-CSD near-linear to 8 devices (98.6 GB/s); QAT\n"
-              "throughput plateaus past its 64-deep queues and socket limits.\n"
-              "Runtime sweep: throughput climbs with threads until the 64-slot\n"
-              "concurrency ceiling saturates, then latency absorbs the excess.\n");
+  obs::Table& rt = ctx.AddTable(
+      "runtime_scaling",
+      "Thread scaling through the offload runtime (4 KB compress,\n"
+      "real threads contending for the 64 descriptor slots)",
+      {Column("threads", "", 0), Column("gbps", "qat-8970 GB/s"),
+       Column("mean_lat_us", "mean lat us", 1), Column("ceil_delays", "ceil delays", 0),
+       Column("max_inflight", "max inflight", 0)});
+  const uint64_t rt_jobs = ctx.Pick(800, 3000);
+  for (uint32_t t : {1u, 8u, 32u, 64u, 96u, 128u}) {
+    bench::RuntimeSweepParams params;
+    params.device = Qat8970Config();
+    params.threads = t;
+    params.jobs_per_thread = rt_jobs / t + 8;
+    params.bytes = 4096;
+    params.ratio = 0.45;
+    RuntimeStats s = bench::RunRuntimeClosedLoop(params);
+    rt.AddRow({t, s.sim_gbps(), s.device_latency_us.mean(), s.ceiling_delays, s.max_inflight});
+    if (t == 64) {
+      // Full structured snapshot for one representative point.
+      ExportRuntimeStats(s, "runtime_t64", &ctx.metrics());
+    }
+  }
+
+  ctx.Note("Paper shape: DP-CSD near-linear to 8 devices (98.6 GB/s); QAT\n"
+           "throughput plateaus past its 64-deep queues and socket limits.\n"
+           "Runtime sweep: throughput climbs with threads until the 64-slot\n"
+           "concurrency ceiling saturates, then latency absorbs the excess.");
 }
+
+CDPU_REGISTER_EXPERIMENT("fig14b", "Finding 14",
+                         "Multi-device and thread scaling, incl. offload runtime", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

@@ -5,74 +5,65 @@
 
 #include <memory>
 
-#include "bench/bench_util.h"
-#include "src/kv/ycsb_runner.h"
+#include "bench/harness/experiment.h"
+#include "bench/harness/scenario.h"
 
 namespace cdpu {
 namespace {
 
-constexpr uint64_t kRecords = 2000;
-constexpr uint64_t kOps = 2500;
+using bench::ExperimentContext;
+using obs::Column;
 
 struct LatencyPoint {
-  double mean_us;
-  double p99_us;
-  int depth;
-  uint64_t file_kb;
+  double mean_us = 0;
+  double p99_us = 0;
+  int depth = 0;
+  uint64_t file_kb = 0;
 };
 
-LatencyPoint RunScheme(CompressionScheme scheme, uint32_t threads) {
-  auto ssd = std::make_unique<SimSsd>(MakeSchemeSsdConfig(scheme, 512 * 1024));
-  LsmConfig cfg;
-  cfg.memtable_bytes = 96 * 1024;
-  cfg.sstable_data_bytes = 96 * 1024;
-  cfg.level1_bytes = 384 * 1024;
-  LsmDb db(cfg, ssd.get(), MakeSchemeBackend(scheme));
-
-  YcsbConfig ycfg;
-  ycfg.workload = 'A';
-  ycfg.record_count = kRecords;
-  ycfg.value_size = 400;
-  YcsbWorkload wl(ycfg);
-
-  SimNanos clock = 0;
-  LatencyPoint p{0, 0, 0, 0};
-  if (!YcsbLoad(&db, wl, &clock).ok()) {
+LatencyPoint RunScheme(ExperimentContext& ctx, CompressionScheme scheme, uint32_t threads) {
+  bench::YcsbScenarioParams params;
+  params.workload = 'A';
+  params.record_count = ctx.Pick(800, 2000);
+  params.memtable_bytes = 96 * 1024;
+  params.sstable_data_bytes = 96 * 1024;
+  params.level1_bytes = 384 * 1024;
+  LatencyPoint p;
+  Result<std::unique_ptr<bench::YcsbScenario>> sc = bench::MakeYcsbScenario(scheme, params);
+  if (!sc.ok()) {
     return p;
   }
-  Result<YcsbRunResult> r = YcsbRun(&db, &wl, threads, kOps, clock);
+  Result<YcsbRunResult> r = YcsbRun((*sc)->db.get(), (*sc)->workload.get(), threads,
+                                    ctx.Pick(1000, 2500), (*sc)->clock);
   if (r.ok()) {
     p.mean_us = r->mean_read_latency_us;
     p.p99_us = r->p99_read_latency_us;
   }
-  p.depth = db.DepthUsed();
-  p.file_kb = db.TotalFileBytes() / 1024;
+  p.depth = (*sc)->db->DepthUsed();
+  p.file_kb = (*sc)->db->TotalFileBytes() / 1024;
   return p;
 }
 
-void Run() {
-  PrintHeader("Figure 15", "YCSB read latency (us) and LSM shape vs scheme");
-  for (uint32_t threads : {4u, 24u, 64u}) {
-    std::printf("\nthreads = %u\n", threads);
-    PrintRow({"scheme", "mean us", "p99 us", "lsm depth", "files KB"});
-    PrintRule(5);
-    for (CompressionScheme scheme :
-         {CompressionScheme::kOff, CompressionScheme::kCpu, CompressionScheme::kQat8970,
-          CompressionScheme::kQat4xxx, CompressionScheme::kDpCsd}) {
-      LatencyPoint p = RunScheme(scheme, threads);
-      PrintRow({SchemeName(scheme), Fmt(p.mean_us, 1), Fmt(p.p99_us, 1), Fmt(p.depth, 0),
-                Fmt(p.file_kb, 0)});
+void Run(ExperimentContext& ctx) {
+  std::vector<uint32_t> thread_counts =
+      ctx.quick() ? std::vector<uint32_t>{4, 64} : std::vector<uint32_t>{4, 24, 64};
+  for (uint32_t threads : thread_counts) {
+    obs::Table& t = ctx.AddTable(
+        "threads_" + std::to_string(threads), "threads = " + std::to_string(threads),
+        {Column("scheme"), Column("mean_us", "mean us", 1), Column("p99_us", "p99 us", 1),
+         Column("lsm_depth", "lsm depth", 0), Column("files_kb", "files KB", 0)});
+    for (CompressionScheme scheme : bench::PrimarySchemes()) {
+      LatencyPoint p = RunScheme(ctx, scheme, threads);
+      t.AddRow({SchemeName(scheme), p.mean_us, p.p99_us, p.depth, p.file_kb});
     }
   }
-  std::printf("\nPaper shape: QAT-based compression gives the lowest read latency\n"
-              "(denser SSTables, shallower tree); DP-CSD matches OFF logically and\n"
-              "gains no read-latency benefit despite the physical space savings.\n");
+  ctx.Note("Paper shape: QAT-based compression gives the lowest read latency\n"
+           "(denser SSTables, shallower tree); DP-CSD matches OFF logically and\n"
+           "gains no read-latency benefit despite the physical space savings.");
 }
+
+CDPU_REGISTER_EXPERIMENT("fig15", "Figure 15",
+                         "YCSB read latency (us) and LSM shape vs scheme", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

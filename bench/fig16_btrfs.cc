@@ -5,15 +5,18 @@
 
 #include <memory>
 
-#include "bench/bench_util.h"
-#include "src/fs/btrfs_sim.h"
+#include "bench/harness/experiment.h"
+#include "bench/harness/scenario.h"
 #include "src/common/rng.h"
+#include "src/fs/btrfs_sim.h"
 #include "src/workload/datagen.h"
 
 namespace cdpu {
 namespace {
 
-constexpr size_t kFileBytes = 4 * 1024 * 1024;
+using bench::ExperimentContext;
+using obs::Column;
+
 constexpr size_t kIoBytes = 128 * 1024;
 
 struct FsOutcome {
@@ -22,10 +25,10 @@ struct FsOutcome {
   double stored_mb;
 };
 
-FsOutcome RunScheme(CompressionScheme scheme) {
+FsOutcome RunScheme(CompressionScheme scheme, size_t file_bytes, int reads) {
   auto ssd = std::make_unique<SimSsd>(MakeSchemeSsdConfig(scheme, 512 * 1024));
   BtrfsSim fs(BtrfsConfig{}, ssd.get(), MakeSchemeBackend(scheme));
-  std::vector<uint8_t> data = GenerateDbTableLike(kFileBytes, 21);
+  std::vector<uint8_t> data = GenerateDbTableLike(file_bytes, 21);
 
   SimNanos t = 0;
   for (size_t off = 0; off < data.size(); off += kIoBytes) {
@@ -39,15 +42,14 @@ FsOutcome RunScheme(CompressionScheme scheme) {
   if (!s.ok()) {
     return {0, 0, 0};
   }
-  double write_gbps = GbPerSec(kFileBytes, *s);
+  double write_gbps = GbPerSec(file_bytes, *s);
 
   // Cold 4 KB random reads.
   Rng rng(5);
   SimNanos rt = *s;
   double total_us = 0;
-  constexpr int kReads = 64;
-  for (int i = 0; i < kReads; ++i) {
-    uint64_t off = rng.Uniform(kFileBytes / 4096) * 4096;
+  for (int i = 0; i < reads; ++i) {
+    uint64_t off = rng.Uniform(file_bytes / 4096) * 4096;
     Result<BtrfsSim::ReadOutcome> r = fs.Read(off, 4096, rt);
     if (!r.ok()) {
       continue;
@@ -55,31 +57,28 @@ FsOutcome RunScheme(CompressionScheme scheme) {
     total_us += static_cast<double>(r->completion - rt) / 1e3;
     rt = r->completion;
   }
-  return {write_gbps, total_us / kReads,
-          static_cast<double>(fs.stored_bytes()) / 1e6};
+  return {write_gbps, total_us / reads, static_cast<double>(fs.stored_bytes()) / 1e6};
 }
 
-void Run() {
-  PrintHeader("Figure 16", "Btrfs-like FS: write throughput and 4K read latency");
-  PrintRow({"scheme", "write GB/s", "read us", "stored MB"});
-  PrintRule(4);
-  for (CompressionScheme scheme :
-       {CompressionScheme::kOff, CompressionScheme::kCpu, CompressionScheme::kQat8970,
-        CompressionScheme::kQat4xxx, CompressionScheme::kCsd2000, CompressionScheme::kDpCsd}) {
-    FsOutcome o = RunScheme(scheme);
-    PrintRow({SchemeName(scheme), Fmt(o.write_gbps, 2), Fmt(o.read_lat_us, 1),
-              Fmt(o.stored_mb, 2)});
+void Run(ExperimentContext& ctx) {
+  const size_t file_bytes = ctx.Pick(1, 4) * 1024 * 1024;
+  const int reads = static_cast<int>(ctx.Pick(32, 64));
+  obs::Table& t = ctx.AddTable(
+      "fs_outcome", "",
+      {Column("scheme"), Column("write_gbps", "write GB/s"), Column("read_us", "read us", 1),
+       Column("stored_mb", "stored MB")});
+  for (CompressionScheme scheme : bench::AllSchemes()) {
+    FsOutcome o = RunScheme(scheme, file_bytes, reads);
+    t.AddRow({SchemeName(scheme), o.write_gbps, o.read_lat_us, o.stored_mb});
   }
-  std::printf("\nPaper shape: DP-CSD highest write throughput; QAT in the FS layer\n"
-              "loses to buffered-IO copies; CPU Deflate worst. Reads: compressed\n"
-              "128 KB extents inflate 4K random-read latency (572 us for CPU in the\n"
-              "paper); DP-CSD/OFF avoid the amplification (~5 us overhead).\n");
+  ctx.Note("Paper shape: DP-CSD highest write throughput; QAT in the FS layer\n"
+           "loses to buffered-IO copies; CPU Deflate worst. Reads: compressed\n"
+           "128 KB extents inflate 4K random-read latency (572 us for CPU in the\n"
+           "paper); DP-CSD/OFF avoid the amplification (~5 us overhead).");
 }
+
+CDPU_REGISTER_EXPERIMENT("fig16", "Figure 16",
+                         "Btrfs-like FS: write throughput and 4K read latency", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

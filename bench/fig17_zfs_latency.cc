@@ -5,29 +5,32 @@
 
 #include <memory>
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
 #include "src/fs/zfs_sim.h"
+#include "src/ssd/scheme.h"
 #include "src/workload/datagen.h"
 
 namespace cdpu {
 namespace {
+
+using bench::ExperimentContext;
+using obs::Column;
 
 struct Point {
   double write_us;
   double read_us;
 };
 
-Point RunScheme(CompressionScheme scheme, size_t record_bytes) {
+Point RunScheme(CompressionScheme scheme, size_t record_bytes, int records) {
   auto ssd = std::make_unique<SimSsd>(MakeSchemeSsdConfig(scheme, 256 * 1024));
   ZfsConfig cfg;
   cfg.record_bytes = record_bytes;
   ZfsSim fs(cfg, ssd.get(), MakeSchemeBackend(scheme));
 
-  constexpr int kRecords = 16;
-  std::vector<uint8_t> data = GenerateTextLike(record_bytes * kRecords, 31);
+  std::vector<uint8_t> data = GenerateTextLike(record_bytes * records, 31);
   SimNanos t = 0;
   double write_us = 0;
-  for (int i = 0; i < kRecords; ++i) {
+  for (int i = 0; i < records; ++i) {
     Result<SimNanos> w = fs.WriteRecord(static_cast<uint64_t>(i) * record_bytes,
                                         ByteSpan(data.data() + i * record_bytes, record_bytes),
                                         t);
@@ -38,8 +41,8 @@ Point RunScheme(CompressionScheme scheme, size_t record_bytes) {
     t = *w;
   }
   double read_us = 0;
-  for (int k = 0; k < kRecords; ++k) {
-    int i = (k * 7) % kRecords;  // strided order: no adjacent-record reuse
+  for (int k = 0; k < records; ++k) {
+    int i = (k * 7) % records;  // strided order: no adjacent-record reuse
     Result<ZfsSim::ReadOutcome> r =
         fs.Read(static_cast<uint64_t>(i) * record_bytes, 4096, t);
     if (!r.ok()) {
@@ -48,36 +51,33 @@ Point RunScheme(CompressionScheme scheme, size_t record_bytes) {
     read_us += static_cast<double>(r->completion - t) / 1e3;
     t = r->completion;
   }
-  return {write_us / kRecords, read_us / kRecords};
+  return {write_us / records, read_us / records};
 }
 
-void Run() {
-  PrintHeader("Figure 17", "ZFS-like FS latency vs record size");
-  for (const char* metric : {"write", "read(4K)"}) {
-    std::printf("\n%s latency (us)\n", metric);
-    PrintRow({"record KB", "OFF", "CPU", "QAT-8970", "DP-CSD"});
-    PrintRule(5);
+void Run(ExperimentContext& ctx) {
+  const int records = static_cast<int>(ctx.Pick(8, 16));
+  for (bool write : {true, false}) {
+    obs::Table& t = ctx.AddTable(
+        write ? "write_latency" : "read_latency",
+        write ? "write latency (us)" : "read(4K) latency (us)",
+        {Column("record_kb", "record KB", 0), Column("off", "OFF", 1),
+         Column("cpu", "CPU", 1), Column("qat_8970", "QAT-8970", 1),
+         Column("dp_csd", "DP-CSD", 1)});
     for (size_t kb : {4u, 8u, 16u, 32u, 64u, 128u}) {
-      bool write = metric[0] == 'w';
-      Point off = RunScheme(CompressionScheme::kOff, kb * 1024);
-      Point cpu = RunScheme(CompressionScheme::kCpu, kb * 1024);
-      Point qat = RunScheme(CompressionScheme::kQat8970, kb * 1024);
-      Point csd = RunScheme(CompressionScheme::kDpCsd, kb * 1024);
-      PrintRow({Fmt(kb, 0), Fmt(write ? off.write_us : off.read_us, 1),
-                Fmt(write ? cpu.write_us : cpu.read_us, 1),
-                Fmt(write ? qat.write_us : qat.read_us, 1),
-                Fmt(write ? csd.write_us : csd.read_us, 1)});
+      Point off = RunScheme(CompressionScheme::kOff, kb * 1024, records);
+      Point cpu = RunScheme(CompressionScheme::kCpu, kb * 1024, records);
+      Point qat = RunScheme(CompressionScheme::kQat8970, kb * 1024, records);
+      Point csd = RunScheme(CompressionScheme::kDpCsd, kb * 1024, records);
+      t.AddRow({kb, write ? off.write_us : off.read_us, write ? cpu.write_us : cpu.read_us,
+                write ? qat.write_us : qat.read_us, write ? csd.write_us : csd.read_us});
     }
   }
-  std::printf("\nPaper shape: CPU Deflate worst and worsening with record size;\n"
-              "QAT 8970 only slightly better (driver stack); DP-CSD tracks OFF\n"
-              "with minimal overhead at every size (Finding 10).\n");
+  ctx.Note("Paper shape: CPU Deflate worst and worsening with record size;\n"
+           "QAT 8970 only slightly better (driver stack); DP-CSD tracks OFF\n"
+           "with minimal overhead at every size (Finding 10).");
 }
+
+CDPU_REGISTER_EXPERIMENT("fig17", "Figure 17", "ZFS-like FS latency vs record size", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

@@ -6,7 +6,8 @@
 
 #include <memory>
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
+#include "bench/harness/scenario.h"
 #include "src/fs/btrfs_sim.h"
 #include "src/hw/device_configs.h"
 #include "src/hw/power.h"
@@ -15,8 +16,10 @@
 namespace cdpu {
 namespace {
 
+using bench::ExperimentContext;
+using obs::Column;
+
 constexpr uint64_t kBytes = 4096;
-constexpr uint64_t kRequests = 20000;
 
 struct EffRow {
   double c_mbj;
@@ -24,54 +27,44 @@ struct EffRow {
   double cpu_util;
 };
 
-EffRow DeviceEfficiency(const CdpuConfig& cfg, uint32_t threads, double cpu_util) {
+EffRow DeviceEfficiency(const CdpuConfig& cfg, uint32_t threads, double cpu_util,
+                        uint64_t requests) {
   CdpuDevice dev(cfg);
   EffRow row{0, 0, cpu_util};
   for (bool compress : {true, false}) {
     CdpuOp op = compress ? CdpuOp::kCompress : CdpuOp::kDecompress;
-    ClosedLoopResult r = dev.RunClosedLoop(op, kRequests, kBytes, 0.45, threads);
+    ClosedLoopResult r = dev.RunClosedLoop(op, requests, kBytes, 0.45, threads);
     EnergyMeter meter;
     meter.AddDevice(cfg.name, cfg.active_power_w, cfg.idle_power_w,
                     static_cast<SimNanos>(r.engine_utilization *
                                           static_cast<double>(r.makespan)),
                     r.makespan);
     meter.AddCpu(cpu_util, r.makespan);
-    double mbj = EnergyMeter::MbPerJoule(kRequests * kBytes, meter.NetJoules());
+    double mbj = EnergyMeter::MbPerJoule(requests * kBytes, meter.NetJoules());
     (compress ? row.c_mbj : row.d_mbj) = mbj;
   }
   return row;
 }
 
-void Run() {
-  PrintHeader("Figure 18", "Power efficiency: microbench and Btrfs level");
+void Run(ExperimentContext& ctx) {
+  const uint64_t requests = ctx.Pick(3000, 20000);
 
-  std::printf("\n(a) Microbench MB/J (paper: DPZip 169.87/165.65, multi-dev 288.72;\n"
-              "    CPU Deflate 41.81; QAT hurt by polling CPU time)\n");
-  PrintRow({"scheme", "C MB/J", "D MB/J", "CPU util"});
-  PrintRule(4);
+  obs::Table& micro = ctx.AddTable(
+      "microbench_mbj",
+      "(a) Microbench MB/J (paper: DPZip 169.87/165.65, multi-dev 288.72;\n"
+      "    CPU Deflate 41.81; QAT hurt by polling CPU time)",
+      {Column("scheme"), Column("c_mbj", "C MB/J", 1), Column("d_mbj", "D MB/J", 1),
+       Column("cpu_util", "CPU util", 0, "%")});
   // CPU utilisation during the runs: software uses all threads; QAT burns
   // polling cores; DPZip needs almost none (paper: <3% vs >14%).
-  struct Case {
-    const char* name;
-    CdpuConfig cfg;
-    uint32_t threads;
-    double cpu_util;
-  };
-  std::vector<Case> cases = {
-      {"cpu-deflate", CpuSoftwareConfig("deflate"), 88, 1.0},
-      {"qat-8970", Qat8970Config(), 64, 0.16},
-      {"qat-4xxx", Qat4xxxConfig(), 64, 0.14},
-      {"dpzip", DpzipCdpuConfig(), 16, 0.03},
-  };
-  for (const Case& c : cases) {
-    EffRow row = DeviceEfficiency(c.cfg, c.threads, c.cpu_util);
-    PrintRow({c.name, Fmt(row.c_mbj, 1), Fmt(row.d_mbj, 1),
-              Fmt(row.cpu_util * 100, 0) + "%"});
+  for (const bench::DeviceCase& c : bench::HardwareComparisonCases()) {
+    EffRow row = DeviceEfficiency(c.config, c.threads, c.cpu_util, requests);
+    micro.AddRow({c.name, row.c_mbj, row.d_mbj, row.cpu_util * 100});
   }
   {
     // Multi-device DPZip: 3 drives, energy scales with devices but per-drive
     // utilisation drops -> efficiency improves.
-    ClosedLoopResult r = RunDeviceFleet(DpzipCdpuConfig(), 3, CdpuOp::kCompress, kRequests,
+    ClosedLoopResult r = RunDeviceFleet(DpzipCdpuConfig(), 3, CdpuOp::kCompress, requests,
                                         kBytes, 0.45, 48);
     EnergyMeter meter;
     CdpuConfig cfg = DpzipCdpuConfig();
@@ -82,23 +75,25 @@ void Run() {
                       r.makespan);
     }
     meter.AddCpu(0.03, r.makespan);
-    PrintRow({"3x dpzip", Fmt(EnergyMeter::MbPerJoule(kRequests * kBytes, meter.NetJoules()), 1),
-              "-", "3%"});
+    micro.AddRow({"3x dpzip", EnergyMeter::MbPerJoule(requests * kBytes, meter.NetJoules()),
+                  obs::Json(), 3.0});
   }
 
-  std::printf("\n(b) Btrfs-level MB/J (paper: DPZip 75.63 write / 69.10 read;\n"
-              "    QAT ~11.75 write)\n");
-  PrintRow({"scheme", "write MB/J", "cpu util"});
-  PrintRule(3);
+  obs::Table& fs_tbl = ctx.AddTable(
+      "btrfs_mbj",
+      "(b) Btrfs-level MB/J (paper: DPZip 75.63 write / 69.10 read;\n"
+      "    QAT ~11.75 write)",
+      {Column("scheme"), Column("write_mbj", "write MB/J", 1),
+       Column("cpu_util", "cpu util", 0, "%")});
+  const size_t file_bytes = ctx.Pick(1, 4) * 1024 * 1024;
   for (CompressionScheme scheme :
        {CompressionScheme::kCpu, CompressionScheme::kQat4xxx, CompressionScheme::kDpCsd,
         CompressionScheme::kOff}) {
     auto ssd = std::make_unique<SimSsd>(MakeSchemeSsdConfig(scheme, 512 * 1024));
     BtrfsSim fs(BtrfsConfig{}, ssd.get(), MakeSchemeBackend(scheme));
-    constexpr size_t kFile = 4 * 1024 * 1024;
-    std::vector<uint8_t> data = GenerateDbTableLike(kFile, 7);
+    std::vector<uint8_t> data = GenerateDbTableLike(file_bytes, 7);
     SimNanos t = 0;
-    for (size_t off = 0; off < kFile; off += 131072) {
+    for (size_t off = 0; off < file_bytes; off += 131072) {
       Result<SimNanos> w = fs.Write(off, ByteSpan(data.data() + off, 131072), t);
       if (!w.ok()) {
         break;
@@ -120,17 +115,15 @@ void Run() {
     if (scheme == CompressionScheme::kQat4xxx || scheme == CompressionScheme::kDpCsd) {
       meter.AddDevice(dev_cfg.name, dev_cfg.active_power_w, dev_cfg.idle_power_w, *s / 2, *s);
     }
-    PrintRow({SchemeName(scheme), Fmt(EnergyMeter::MbPerJoule(kFile, meter.NetJoules()), 1),
-              Fmt(cpu_util * 100, 0) + "%"});
+    fs_tbl.AddRow({SchemeName(scheme),
+                   EnergyMeter::MbPerJoule(file_bytes, meter.NetJoules()), cpu_util * 100});
   }
-  std::printf("\nPaper shape: DPZip ~50x module-level over CPU but ~3.5x end-to-end\n"
-              "(Finding 12); DP-CSD best at device, system and application level.\n");
+  ctx.Note("Paper shape: DPZip ~50x module-level over CPU but ~3.5x end-to-end\n"
+           "(Finding 12); DP-CSD best at device, system and application level.");
 }
+
+CDPU_REGISTER_EXPERIMENT("fig18", "Figure 18",
+                         "Power efficiency: microbench and Btrfs level", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

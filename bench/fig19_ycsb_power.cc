@@ -4,40 +4,36 @@
 
 #include <memory>
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
+#include "bench/harness/scenario.h"
 #include "src/hw/device_configs.h"
 #include "src/hw/power.h"
-#include "src/kv/ycsb_runner.h"
 
 namespace cdpu {
 namespace {
 
-constexpr uint64_t kRecords = 1500;
-constexpr uint64_t kOps = 4000;
+using bench::ExperimentContext;
+using obs::Column;
 
-void RunScheme(CompressionScheme scheme, double cpu_util) {
-  auto ssd = std::make_unique<SimSsd>(MakeSchemeSsdConfig(scheme, 512 * 1024));
-  LsmConfig cfg;
-  cfg.memtable_bytes = 128 * 1024;
-  LsmDb db(cfg, ssd.get(), MakeSchemeBackend(scheme));
-
-  YcsbConfig ycfg;
-  ycfg.workload = 'A';
-  ycfg.record_count = kRecords;
-  ycfg.value_size = 400;
-  YcsbWorkload wl(ycfg);
-
-  SimNanos clock = 0;
-  if (!YcsbLoad(&db, wl, &clock).ok()) {
+void RunScheme(ExperimentContext& ctx, obs::Table& t, CompressionScheme scheme,
+               double cpu_util) {
+  bench::YcsbScenarioParams params;
+  params.workload = 'A';
+  params.record_count = ctx.Pick(600, 1500);
+  Result<std::unique_ptr<bench::YcsbScenario>> sc = bench::MakeYcsbScenario(scheme, params);
+  if (!sc.ok()) {
     return;
   }
-  Result<YcsbRunResult> r = YcsbRun(&db, &wl, 24, kOps, clock);
+  Result<YcsbRunResult> r = YcsbRun((*sc)->db.get(), (*sc)->workload.get(), 24,
+                                    ctx.Pick(1200, 4000), (*sc)->clock);
   if (!r.ok()) {
     return;
   }
 
   EnergyMeter meter;
   meter.AddCpu(cpu_util, r->makespan);
+  // CPU utilisation: DB work itself plus compression (software) or polling
+  // (QAT busy-wait, the paper's culprit for QAT's poor OPs/J).
   if (scheme == CompressionScheme::kQat8970) {
     CdpuConfig dev = Qat8970Config();
     meter.AddDevice(dev.name, dev.active_power_w, dev.idle_power_w, r->makespan / 2,
@@ -51,30 +47,25 @@ void RunScheme(CompressionScheme scheme, double cpu_util) {
     meter.AddDevice(dev.name, dev.active_power_w, dev.idle_power_w, r->makespan / 2,
                     r->makespan);
   }
-  PrintRow({SchemeName(scheme), Fmt(r->kops, 0),
-            Fmt(EnergyMeter::OpsPerJoule(r->ops, meter.NetJoules()), 0),
-            Fmt(cpu_util * 100, 0) + "%"});
+  t.AddRow({SchemeName(scheme), r->kops,
+            EnergyMeter::OpsPerJoule(r->ops, meter.NetJoules()), cpu_util * 100});
 }
 
-void Run() {
-  PrintHeader("Figure 19", "YCSB-A power efficiency (OPs/J)");
-  PrintRow({"scheme", "KOPS", "OPs/J", "cpu util"});
-  PrintRule(4);
-  // CPU utilisation: DB work itself plus compression (software) or polling
-  // (QAT busy-wait, the paper's culprit for QAT's poor OPs/J).
-  RunScheme(CompressionScheme::kOff, 0.35);
-  RunScheme(CompressionScheme::kCpu, 0.85);
-  RunScheme(CompressionScheme::kQat8970, 0.60);
-  RunScheme(CompressionScheme::kQat4xxx, 0.55);
-  RunScheme(CompressionScheme::kDpCsd, 0.35);
-  std::printf("\nPaper shape: DPZip ~5224 OPs/J, QAT < 3800 (polling overhead puts\n"
-              "QAT near software), DP-CSD near the OFF baseline.\n");
+void Run(ExperimentContext& ctx) {
+  obs::Table& t = ctx.AddTable(
+      "ops_per_joule", "",
+      {Column("scheme"), Column("kops", "KOPS", 0), Column("ops_per_j", "OPs/J", 0),
+       Column("cpu_util", "cpu util", 0, "%")});
+  RunScheme(ctx, t, CompressionScheme::kOff, 0.35);
+  RunScheme(ctx, t, CompressionScheme::kCpu, 0.85);
+  RunScheme(ctx, t, CompressionScheme::kQat8970, 0.60);
+  RunScheme(ctx, t, CompressionScheme::kQat4xxx, 0.55);
+  RunScheme(ctx, t, CompressionScheme::kDpCsd, 0.35);
+  ctx.Note("Paper shape: DPZip ~5224 OPs/J, QAT < 3800 (polling overhead puts\n"
+           "QAT near software), DP-CSD near the OFF baseline.");
 }
+
+CDPU_REGISTER_EXPERIMENT("fig19", "Figure 19", "YCSB-A power efficiency (OPs/J)", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

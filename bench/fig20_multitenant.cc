@@ -8,17 +8,22 @@
 // device. Fair dispatch (one batch per VF per sweep, DP-CSD-style) versus
 // greedy dispatch (drain each VF completely, the QAT capture behaviour).
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
 #include "src/common/stats.h"
 #include "src/hw/device_configs.h"
 #include "src/runtime/offload_runtime.h"
+#include "src/runtime/stats_export.h"
 #include "src/virt/sriov.h"
 
 namespace cdpu {
 namespace {
+
+using bench::ExperimentContext;
+using obs::Column;
 
 SriovConfig Make(const char* name, VfArbitration arb, double gbps, uint32_t batch,
                  uint64_t seed) {
@@ -31,23 +36,25 @@ SriovConfig Make(const char* name, VfArbitration arb, double gbps, uint32_t batc
   return c;
 }
 
-void Report(const SriovConfig& cfg) {
+void Report(obs::Table& t, const SriovConfig& cfg) {
   MultiTenantResult r = RunMultiTenant(cfg);
   double min_gbps = 1e18;
   double max_gbps = 0;
-  for (const TenantOutcome& t : r.tenants) {
-    min_gbps = std::min(min_gbps, t.gbps);
-    max_gbps = std::max(max_gbps, t.gbps);
+  for (const TenantOutcome& tenant : r.tenants) {
+    min_gbps = std::min(min_gbps, tenant.gbps);
+    max_gbps = std::max(max_gbps, tenant.gbps);
   }
-  PrintRow({cfg.name, Fmt(r.total_gbps, 2), Fmt(r.cv_percent, 2) + "%",
-            Fmt(min_gbps * 1000, 1), Fmt(max_gbps * 1000, 1)});
+  t.AddRow({cfg.name, r.total_gbps, r.cv_percent, min_gbps * 1000, max_gbps * 1000});
 }
 
 // Per-tenant simulated throughput when `tenants` threads burst
 // `jobs_per_tenant` requests (arrival 0) at one shared device.
-void ReportRuntimeArbitration(const char* label, bool fair_dispatch) {
+void ReportRuntimeArbitration(ExperimentContext& ctx, obs::Table& t, const char* label,
+                              bool fair_dispatch) {
   constexpr uint32_t kTenants = 24;
-  constexpr uint32_t kJobsPerTenant = 48;
+  // Must stay >1 batch per tenant (batch_size below) or fair and greedy
+  // dispatch degenerate to the same single-batch drain order.
+  const uint32_t jobs_per_tenant = static_cast<uint32_t>(ctx.Pick(32, 48));
   constexpr uint64_t kBytes = 65536;
 
   RuntimeOptions opts;
@@ -62,75 +69,79 @@ void ReportRuntimeArbitration(const char* label, bool fair_dispatch) {
   std::vector<std::vector<std::future<OffloadResult>>> futures(kTenants);
   std::vector<std::thread> tenants;
   tenants.reserve(kTenants);
-  for (uint32_t t = 0; t < kTenants; ++t) {
-    tenants.emplace_back([&runtime, &futures, t] {
-      for (uint32_t i = 0; i < kJobsPerTenant; ++i) {
+  for (uint32_t tid = 0; tid < kTenants; ++tid) {
+    tenants.emplace_back([&runtime, &futures, tid, jobs_per_tenant] {
+      for (uint32_t i = 0; i < jobs_per_tenant; ++i) {
         OffloadRequest req;
         req.op = CdpuOp::kCompress;
         req.model_bytes = kBytes;
         req.ratio_hint = 0.4;
         req.arrival = 0;  // simultaneous burst: arbitration decides the order
-        req.queue_pair = t;
-        futures[t].push_back(runtime.Submit(std::move(req)));
+        req.queue_pair = tid;
+        futures[tid].push_back(runtime.Submit(std::move(req)));
       }
-      runtime.Flush(t);
+      runtime.Flush(tid);
     });
   }
-  for (std::thread& t : tenants) {
-    t.join();
+  for (std::thread& tenant : tenants) {
+    tenant.join();
   }
   runtime.Drain();
 
   RunningStats per_tenant_gbps;
-  for (uint32_t t = 0; t < kTenants; ++t) {
+  for (uint32_t tid = 0; tid < kTenants; ++tid) {
     SimNanos last = 0;
-    for (auto& f : futures[t]) {
+    for (auto& f : futures[tid]) {
       last = std::max(last, f.get().sim_completion);
     }
     if (last > 0) {
-      per_tenant_gbps.Add(static_cast<double>(kJobsPerTenant) * kBytes /
+      per_tenant_gbps.Add(static_cast<double>(jobs_per_tenant) * kBytes /
                           static_cast<double>(last));
     }
   }
   RuntimeStats stats = runtime.Snapshot();
-  PrintRow({label, Fmt(stats.sim_gbps(), 2), Fmt(per_tenant_gbps.cv_percent(), 2) + "%",
-            Fmt(per_tenant_gbps.min() * 1000, 1), Fmt(per_tenant_gbps.max() * 1000, 1)});
+  ExportRuntimeStats(stats, fair_dispatch ? "fair" : "greedy", &ctx.metrics());
+  t.AddRow({label, stats.sim_gbps(), per_tenant_gbps.cv_percent(),
+            per_tenant_gbps.min() * 1000, per_tenant_gbps.max() * 1000});
 }
 
-void Run() {
-  PrintHeader("Figure 20", "24 VMs per CDPU via SR-IOV: per-tenant fairness");
-
-  std::printf("\nWrite-path sharing (per-VM MB/s min/max)\n");
-  PrintRow({"device", "total GB/s", "CV", "min MB/s", "max MB/s"});
-  PrintRule(5);
-  Report(Make("qat-8970", VfArbitration::kUnarbitrated, 5.1, 8, 11));
-  Report(Make("qat-4xxx", VfArbitration::kUnarbitrated, 4.3, 8, 12));
-  Report(Make("plain-ssd", VfArbitration::kWeightedFair, 6.0, 8, 13));
-  Report(Make("dp-csd", VfArbitration::kWeightedFair, 5.6, 8, 14));
-
-  std::printf("\nRead-path sharing (larger drain batches amplify capture)\n");
-  PrintRow({"device", "total GB/s", "CV", "min MB/s", "max MB/s"});
-  PrintRule(5);
-  Report(Make("qat-8970", VfArbitration::kUnarbitrated, 7.6, 16, 15));
-  Report(Make("qat-4xxx", VfArbitration::kUnarbitrated, 7.0, 16, 16));
-  Report(Make("plain-ssd", VfArbitration::kWeightedFair, 8.0, 16, 17));
-  Report(Make("dp-csd", VfArbitration::kWeightedFair, 9.4, 16, 18));
-
-  std::printf("\nOffload-runtime arbitration (24 tenant threads bursting 64 KB\n"
-              "writes at one device; per-tenant MB/s min/max)\n");
-  PrintRow({"dispatch", "total GB/s", "CV", "min MB/s", "max MB/s"});
-  PrintRule(5);
-  ReportRuntimeArbitration("fair (dp-csd)", /*fair_dispatch=*/true);
-  ReportRuntimeArbitration("greedy (qat)", /*fair_dispatch=*/false);
-
-  std::printf("\nPaper shape: QAT write CVs 51.14%%/54.39%%, read CVs 80.49%%/89%%;\n"
-              "DP-CSD CV = 0.48%% via front-end QoS with per-VF fair scheduling.\n");
+std::vector<Column> FairnessColumns(const char* first_key, const char* first_label) {
+  return {Column(first_key, first_label), Column("total_gbps", "total GB/s"),
+          Column("cv", "CV", 2, "%"), Column("min_mbps", "min MB/s", 1),
+          Column("max_mbps", "max MB/s", 1)};
 }
+
+void Run(ExperimentContext& ctx) {
+  obs::Table& write_tbl = ctx.AddTable("write_sharing",
+                                       "Write-path sharing (per-VM MB/s min/max)",
+                                       FairnessColumns("device", "device"));
+  Report(write_tbl, Make("qat-8970", VfArbitration::kUnarbitrated, 5.1, 8, 11));
+  Report(write_tbl, Make("qat-4xxx", VfArbitration::kUnarbitrated, 4.3, 8, 12));
+  Report(write_tbl, Make("plain-ssd", VfArbitration::kWeightedFair, 6.0, 8, 13));
+  Report(write_tbl, Make("dp-csd", VfArbitration::kWeightedFair, 5.6, 8, 14));
+
+  obs::Table& read_tbl = ctx.AddTable(
+      "read_sharing", "Read-path sharing (larger drain batches amplify capture)",
+      FairnessColumns("device", "device"));
+  Report(read_tbl, Make("qat-8970", VfArbitration::kUnarbitrated, 7.6, 16, 15));
+  Report(read_tbl, Make("qat-4xxx", VfArbitration::kUnarbitrated, 7.0, 16, 16));
+  Report(read_tbl, Make("plain-ssd", VfArbitration::kWeightedFair, 8.0, 16, 17));
+  Report(read_tbl, Make("dp-csd", VfArbitration::kWeightedFair, 9.4, 16, 18));
+
+  obs::Table& rt_tbl = ctx.AddTable(
+      "runtime_arbitration",
+      "Offload-runtime arbitration (24 tenant threads bursting 64 KB\n"
+      "writes at one device; per-tenant MB/s min/max)",
+      FairnessColumns("dispatch", "dispatch"));
+  ReportRuntimeArbitration(ctx, rt_tbl, "fair (dp-csd)", /*fair_dispatch=*/true);
+  ReportRuntimeArbitration(ctx, rt_tbl, "greedy (qat)", /*fair_dispatch=*/false);
+
+  ctx.Note("Paper shape: QAT write CVs 51.14%/54.39%, read CVs 80.49%/89%;\n"
+           "DP-CSD CV = 0.48% via front-end QoS with per-VF fair scheduling.");
+}
+
+CDPU_REGISTER_EXPERIMENT("fig20", "Figure 20",
+                         "24 VMs per CDPU via SR-IOV: per-tenant fairness", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

@@ -14,17 +14,20 @@
 #include <thread>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
 #include "src/common/crc32.h"
 #include "src/hw/device_configs.h"
 #include "src/runtime/offload_runtime.h"
+#include "src/runtime/stats_export.h"
 #include "src/workload/datagen.h"
 
 namespace cdpu {
 namespace {
 
+using bench::ExperimentContext;
+using obs::Column;
+
 constexpr uint32_t kClientThreads = 8;
-constexpr uint64_t kJobsPerThread = 60;
 constexpr size_t kChunk = 65536;
 
 struct SweepPoint {
@@ -34,7 +37,7 @@ struct SweepPoint {
   uint64_t corrupt = 0;
 };
 
-SweepPoint RunAtRate(double rate) {
+SweepPoint RunAtRate(double rate, uint64_t jobs_per_thread) {
   RuntimeOptions opts;
   opts.device = Qat8970Config();
   opts.codec = "lz4";
@@ -59,7 +62,7 @@ SweepPoint RunAtRate(double rate) {
     clients.emplace_back([&, t] {
       const ByteVec& original = payloads[t];
       uint32_t want_crc = Crc32(original);
-      for (uint64_t i = 0; i < kJobsPerThread; ++i) {
+      for (uint64_t i = 0; i < jobs_per_thread; ++i) {
         OffloadRequest creq;
         creq.op = CdpuOp::kCompress;
         creq.input = original;
@@ -89,53 +92,56 @@ SweepPoint RunAtRate(double rate) {
   runtime.Shutdown(OffloadRuntime::ShutdownMode::kDrain);
 
   SweepPoint point;
-  point.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  point.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   point.stats = runtime.Snapshot();
   point.verified = verified.load();
   point.corrupt = corrupt.load();
   return point;
 }
 
-void Run() {
-  PrintHeader("Fault degradation",
-              "Goodput vs injected fault rate (8 clients, 64 KB lz4 round trips)");
-  PrintRow({"rate", "goodput MB/s", "verified", "faults", "retries", "fallbacks", "degraded"},
-           12);
-  PrintRule(7, 12);
-  for (double rate : {0.0, 0.02, 0.05, 0.1, 0.2}) {
-    SweepPoint p = RunAtRate(rate);
-    double goodput =
-        static_cast<double>(p.verified) * kChunk / 1e6 / (p.wall_seconds > 0 ? p.wall_seconds : 1);
-    PrintRow({Fmt(rate, 2), Fmt(goodput, 1),
-              Fmt(static_cast<double>(p.verified), 0) + "/" +
-                  Fmt(static_cast<double>(kClientThreads * kJobsPerThread), 0),
-              Fmt(static_cast<double>(p.stats.faults_injected), 0),
-              Fmt(static_cast<double>(p.stats.retries), 0),
-              Fmt(static_cast<double>(p.stats.fallbacks), 0),
-              Fmt(static_cast<double>(p.stats.unhealthy_transitions), 0)},
-             12);
+void Run(ExperimentContext& ctx) {
+  const uint64_t jobs_per_thread = ctx.Pick(20, 60);
+  const uint64_t total_jobs = kClientThreads * jobs_per_thread;
+
+  obs::Table& t = ctx.AddTable(
+      "goodput_vs_rate",
+      "Goodput vs injected fault rate (8 clients, 64 KB lz4 round trips)",
+      {Column("rate", "", 2), Column("goodput_mbps", "goodput MB/s", 1), Column("verified"),
+       Column("faults", "", 0), Column("retries", "", 0), Column("fallbacks", "", 0),
+       Column("degraded", "", 0)});
+  std::vector<double> rates = ctx.quick() ? std::vector<double>{0.0, 0.05, 0.2}
+                                          : std::vector<double>{0.0, 0.02, 0.05, 0.1, 0.2};
+  for (double rate : rates) {
+    SweepPoint p = RunAtRate(rate, jobs_per_thread);
+    double goodput = static_cast<double>(p.verified) * kChunk / 1e6 /
+                     (p.wall_seconds > 0 ? p.wall_seconds : 1);
+    t.AddRow({rate, goodput,
+              std::to_string(p.verified) + "/" + std::to_string(total_jobs),
+              p.stats.faults_injected, p.stats.retries, p.stats.fallbacks,
+              p.stats.unhealthy_transitions});
     if (p.corrupt != 0) {
-      std::printf("!! %llu corrupt round trips at rate %.2f — recovery failed\n",
-                  static_cast<unsigned long long>(p.corrupt), rate);
+      ctx.Note("!! " + std::to_string(p.corrupt) + " corrupt round trips at rate " +
+               Fmt(rate, 2) + " — recovery failed");
     }
   }
 
-  std::printf("\nDead device (every fault kind at rate 1.0): full CPU fallback\n");
-  SweepPoint dead = RunAtRate(1.0);
-  std::printf("  verified %llu/%llu, fallbacks %llu, degradations %llu, re-probes %llu\n",
-              static_cast<unsigned long long>(dead.verified),
-              static_cast<unsigned long long>(kClientThreads * kJobsPerThread),
-              static_cast<unsigned long long>(dead.stats.fallbacks),
-              static_cast<unsigned long long>(dead.stats.unhealthy_transitions),
-              static_cast<unsigned long long>(dead.stats.reprobes));
-  std::printf("\nEvery row must keep verified at 100%%: injected faults cost\n"
-              "goodput (retries, backoff, CPU fallback) but never correctness.\n");
+  obs::Table& dead_tbl = ctx.AddTable(
+      "dead_device", "Dead device (every fault kind at rate 1.0): full CPU fallback",
+      {Column("verified"), Column("fallbacks", "", 0), Column("degradations", "", 0),
+       Column("reprobes", "re-probes", 0)});
+  SweepPoint dead = RunAtRate(1.0, jobs_per_thread);
+  dead_tbl.AddRow({std::to_string(dead.verified) + "/" + std::to_string(total_jobs),
+                   dead.stats.fallbacks, dead.stats.unhealthy_transitions,
+                   dead.stats.reprobes});
+  ExportRuntimeStats(dead.stats, "dead_device", &ctx.metrics());
+
+  ctx.Note("Every row must keep verified at 100%: injected faults cost\n"
+           "goodput (retries, backoff, CPU fallback) but never correctness.");
 }
+
+CDPU_REGISTER_EXPERIMENT("fault_degradation", "Fault degradation",
+                         "Goodput vs injected fault rate through the offload runtime", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

@@ -1,0 +1,254 @@
+#include "bench/harness/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench/harness/experiment.h"
+
+namespace cdpu {
+namespace bench {
+namespace {
+
+int Usage(const std::string& prog) {
+  std::fprintf(stderr,
+               "usage: %s list\n"
+               "       %s run <name>... [--preset=quick|paper] [--json=PATH]\n"
+               "                [--out-dir=DIR] [--no-json] [--quiet]\n"
+               "       %s run --all [flags]\n"
+               "       %s validate <file.json>...\n",
+               prog.c_str(), prog.c_str(), prog.c_str(), prog.c_str());
+  return 2;
+}
+
+int ListExperiments() {
+  const ExperimentRegistry& registry = ExperimentRegistry::Global();
+  size_t width = 0;
+  for (const ExperimentInfo* e : registry.All()) {
+    width = std::max(width, e->name.size());
+  }
+  for (const ExperimentInfo* e : registry.All()) {
+    std::printf("%-*s  %-10s %s\n", static_cast<int>(width), e->name.c_str(),
+                ("[" + e->title + "]").c_str(), e->description.c_str());
+  }
+  std::printf("\n%zu experiments; run with: cdpu_bench run <name> [--preset=quick|paper]\n",
+              registry.size());
+  return 0;
+}
+
+struct RunFlags {
+  Preset preset = Preset::kQuick;
+  std::string json_path;  // single-experiment override
+  std::string out_dir;
+  bool write_json = true;
+  bool quiet = false;
+};
+
+int RunOne(const ExperimentInfo& experiment, const RunFlags& flags) {
+  obs::Reporter reporter;
+  reporter.SetRun(experiment.name, experiment.title, experiment.description,
+                  PresetName(flags.preset));
+  reporter.Meta("generator", "cdpu_bench");
+
+  ExperimentContext ctx(flags.preset, &reporter);
+  auto start = std::chrono::steady_clock::now();
+  experiment.fn(ctx);
+  double wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                            .count();
+  reporter.Meta("wall_seconds", wall_seconds);
+
+  if (!flags.quiet) {
+    reporter.PrintHuman(stdout);
+  }
+  if (!flags.write_json) {
+    return 0;
+  }
+  std::string path = flags.json_path;
+  if (path.empty()) {
+    path = "BENCH_" + experiment.name + ".json";
+    if (!flags.out_dir.empty()) {
+      path = flags.out_dir + "/" + path;
+    }
+  }
+  Status s = reporter.WriteJsonFile(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", experiment.name.c_str(), s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(flags.quiet ? stdout : stderr, "%s: wrote %s (%.1fs)\n",
+               experiment.name.c_str(), path.c_str(), wall_seconds);
+  return 0;
+}
+
+int RunCommand(const std::string& prog, const std::vector<std::string>& args) {
+  RunFlags flags;
+  bool run_all = false;
+  std::vector<std::string> names;
+  for (const std::string& arg : args) {
+    if (arg == "--all") {
+      run_all = true;
+    } else if (arg.rfind("--preset=", 0) == 0) {
+      if (!ParsePreset(arg.substr(9), &flags.preset)) {
+        std::fprintf(stderr, "unknown preset \"%s\" (quick|paper)\n", arg.substr(9).c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--json=", 0) == 0) {
+      flags.json_path = arg.substr(7);
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      flags.out_dir = arg.substr(10);
+    } else if (arg == "--no-json") {
+      flags.write_json = false;
+    } else if (arg == "--quiet") {
+      flags.quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(prog);
+    } else {
+      names.push_back(arg);
+    }
+  }
+  if (!run_all && names.empty()) {
+    return Usage(prog);
+  }
+  if (run_all && !names.empty()) {
+    std::fprintf(stderr, "--all cannot be combined with experiment names\n");
+    return 2;
+  }
+  std::vector<const ExperimentInfo*> selected;
+  if (run_all) {
+    selected = ExperimentRegistry::Global().All();
+  } else {
+    if (!flags.json_path.empty() && names.size() > 1) {
+      std::fprintf(stderr, "--json only applies to a single experiment; use --out-dir\n");
+      return 2;
+    }
+    for (const std::string& name : names) {
+      Result<const ExperimentInfo*> e = ExperimentRegistry::Global().Find(name);
+      if (!e.ok()) {
+        std::fprintf(stderr, "%s\n", e.status().ToString().c_str());
+        return 2;
+      }
+      selected.push_back(*e);
+    }
+  }
+  int rc = 0;
+  for (const ExperimentInfo* e : selected) {
+    rc = std::max(rc, RunOne(*e, flags));
+  }
+  return rc;
+}
+
+Status CheckStringField(const obs::Json& doc, const char* key) {
+  const obs::Json* v = doc.Find(key);
+  if (v == nullptr || !v->is_string() || v->AsString().empty()) {
+    return Status::CorruptData(std::string("missing or empty \"") + key + "\"");
+  }
+  return Status::Ok();
+}
+
+int ValidateCommand(const std::string& prog, const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Usage(prog);
+  }
+  int rc = 0;
+  for (const std::string& path : args) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+      rc = 1;
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<obs::Json> doc = obs::Json::Parse(text.str());
+    Status s = doc.ok() ? ValidateBenchDocument(*doc) : doc.status();
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(), s.ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("%s: ok (%s, %zu tables)\n", path.c_str(),
+                doc->Find("experiment")->AsString().c_str(), doc->Find("tables")->size());
+  }
+  return rc;
+}
+
+}  // namespace
+
+Status ValidateBenchDocument(const obs::Json& doc) {
+  if (!doc.is_object()) {
+    return Status::CorruptData("document is not a JSON object");
+  }
+  const obs::Json* version = doc.Find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    return Status::CorruptData("missing numeric \"schema_version\"");
+  }
+  if (version->AsInt() != obs::kSchemaVersion) {
+    return Status::CorruptData("unsupported schema_version " +
+                               std::to_string(version->AsInt()));
+  }
+  CDPU_RETURN_IF_ERROR(CheckStringField(doc, "experiment"));
+  CDPU_RETURN_IF_ERROR(CheckStringField(doc, "title"));
+  CDPU_RETURN_IF_ERROR(CheckStringField(doc, "description"));
+  CDPU_RETURN_IF_ERROR(CheckStringField(doc, "preset"));
+  const obs::Json* tables = doc.Find("tables");
+  if (tables == nullptr || !tables->is_array()) {
+    return Status::CorruptData("missing \"tables\" array");
+  }
+  if (tables->size() == 0) {
+    return Status::CorruptData("experiment emitted no tables");
+  }
+  for (const obs::Json& table : tables->items()) {
+    if (!table.is_object()) {
+      return Status::CorruptData("table entry is not an object");
+    }
+    CDPU_RETURN_IF_ERROR(CheckStringField(table, "name"));
+    const obs::Json* columns = table.Find("columns");
+    const obs::Json* rows = table.Find("rows");
+    if (columns == nullptr || !columns->is_array() || columns->size() == 0) {
+      return Status::CorruptData("table \"" + table.Find("name")->AsString() +
+                                 "\" has no columns");
+    }
+    if (rows == nullptr || !rows->is_array()) {
+      return Status::CorruptData("table \"" + table.Find("name")->AsString() +
+                                 "\" has no rows array");
+    }
+    for (const obs::Json& row : rows->items()) {
+      if (!row.is_object() || row.size() != columns->size()) {
+        return Status::CorruptData("table \"" + table.Find("name")->AsString() +
+                                   "\" row does not match its columns");
+      }
+      for (const obs::Json& col : columns->items()) {
+        if (row.Find(col.AsString()) == nullptr) {
+          return Status::CorruptData("table \"" + table.Find("name")->AsString() +
+                                     "\" row missing column \"" + col.AsString() + "\"");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+int BenchMain(const std::string& prog, const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Usage(prog);
+  }
+  const std::string& cmd = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (cmd == "list") {
+    return ListExperiments();
+  }
+  if (cmd == "run") {
+    return RunCommand(prog, rest);
+  }
+  if (cmd == "validate") {
+    return ValidateCommand(prog, rest);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return Usage(prog);
+}
+
+}  // namespace bench
+}  // namespace cdpu

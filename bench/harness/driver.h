@@ -1,0 +1,39 @@
+// Command-line driver for the experiment harness, shared between the
+// cdpu_bench binary and cdpu_cli's `bench` passthrough.
+//
+//   cdpu_bench list
+//   cdpu_bench run <name>... [--preset=quick|paper] [--json=PATH]
+//                            [--out-dir=DIR] [--no-json] [--quiet]
+//   cdpu_bench run --all [same flags]
+//   cdpu_bench validate <file.json>...
+//
+// Every run writes BENCH_<name>.json (schema obs::kSchemaVersion) next to
+// the working directory unless --out-dir/--json redirect it or --no-json
+// suppresses it. `validate` re-parses emitted files and checks the schema,
+// which is what the CI bench-smoke job gates on.
+
+#ifndef BENCH_HARNESS_DRIVER_H_
+#define BENCH_HARNESS_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/json.h"
+
+namespace cdpu {
+namespace bench {
+
+// argv[0] is the first word after the program name (e.g. "list"). `prog` is
+// used in usage/error text. Returns a process exit code.
+int BenchMain(const std::string& prog, const std::vector<std::string>& args);
+
+// Schema check used by `validate` and the smoke tests: schema_version,
+// required header fields, and structurally sound tables (every row holds
+// exactly the declared columns).
+Status ValidateBenchDocument(const obs::Json& doc);
+
+}  // namespace bench
+}  // namespace cdpu
+
+#endif  // BENCH_HARNESS_DRIVER_H_

@@ -1,0 +1,120 @@
+#include "bench/harness/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace cdpu {
+namespace bench {
+
+const char* PresetName(Preset preset) {
+  switch (preset) {
+    case Preset::kQuick:
+      return "quick";
+    case Preset::kPaper:
+      return "paper";
+  }
+  return "unknown";
+}
+
+bool ParsePreset(const std::string& name, Preset* out) {
+  if (name == "quick") {
+    *out = Preset::kQuick;
+    return true;
+  }
+  if (name == "paper") {
+    *out = Preset::kPaper;
+    return true;
+  }
+  return false;
+}
+
+ExperimentRegistry& ExperimentRegistry::Global() {
+  static ExperimentRegistry* registry = new ExperimentRegistry();
+  return *registry;
+}
+
+Status ExperimentRegistry::Register(ExperimentInfo info) {
+  if (info.name.empty() || info.fn == nullptr) {
+    return Status::InvalidArgument("experiment needs a name and a function");
+  }
+  for (const ExperimentInfo& e : experiments_) {
+    if (e.name == info.name) {
+      return Status::InvalidArgument("duplicate experiment name \"" + info.name + "\"");
+    }
+  }
+  experiments_.push_back(std::move(info));
+  return Status::Ok();
+}
+
+namespace {
+
+// Levenshtein distance, used for did-you-mean hints on unknown names.
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) {
+    row[j] = j;
+  }
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t next_diag = row[j];
+      size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+      diag = next_diag;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+Result<const ExperimentInfo*> ExperimentRegistry::Find(const std::string& name) const {
+  for (const ExperimentInfo& e : experiments_) {
+    if (e.name == name) {
+      return &e;
+    }
+  }
+  size_t best = 3;  // suggest only names within edit distance 2
+  for (const ExperimentInfo& e : experiments_) {
+    best = std::min(best, EditDistance(e.name, name));
+  }
+  std::string hint;
+  for (const ExperimentInfo& e : experiments_) {
+    bool prefix = e.name.rfind(name, 0) == 0 || name.rfind(e.name, 0) == 0;
+    if (prefix || (best <= 2 && EditDistance(e.name, name) == best)) {
+      hint += hint.empty() ? " (did you mean " : ", ";
+      hint += e.name;
+    }
+  }
+  if (!hint.empty()) {
+    hint += "?)";
+  }
+  return Status::InvalidArgument("unknown experiment \"" + name + "\"" + hint +
+                                 "; run `cdpu_bench list`");
+}
+
+std::vector<const ExperimentInfo*> ExperimentRegistry::All() const {
+  std::vector<const ExperimentInfo*> out;
+  out.reserve(experiments_.size());
+  for (const ExperimentInfo& e : experiments_) {
+    out.push_back(&e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExperimentInfo* a, const ExperimentInfo* b) { return a->name < b->name; });
+  return out;
+}
+
+ExperimentRegistrar::ExperimentRegistrar(const char* name, const char* title,
+                                         const char* description, ExperimentFn fn) {
+  Status s = ExperimentRegistry::Global().Register({name, title, description, fn});
+  if (!s.ok()) {
+    std::fprintf(stderr, "experiment registration failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace bench
+}  // namespace cdpu

@@ -1,0 +1,99 @@
+// Unified experiment harness: every figure/table reproduction registers
+// itself here (static initialisation) instead of hand-rolling a main().
+// The cdpu_bench driver lists, runs and validates experiments; each run
+// renders human tables and writes a schema-versioned BENCH_<name>.json
+// from the same structured rows.
+
+#ifndef BENCH_HARNESS_EXPERIMENT_H_
+#define BENCH_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/format.h"
+#include "src/obs/report.h"
+
+namespace cdpu {
+namespace bench {
+
+// Workload scale. kQuick is sized for CI smoke runs (the whole suite in a
+// few seconds); kPaper reproduces the figures at the fidelity documented in
+// EXPERIMENTS.md.
+enum class Preset : uint8_t { kQuick, kPaper };
+
+const char* PresetName(Preset preset);
+bool ParsePreset(const std::string& name, Preset* out);
+
+class ExperimentContext {
+ public:
+  ExperimentContext(Preset preset, obs::Reporter* reporter)
+      : preset_(preset), reporter_(reporter) {}
+
+  Preset preset() const { return preset_; }
+  bool quick() const { return preset_ == Preset::kQuick; }
+
+  // Picks the workload size for the active preset.
+  uint64_t Pick(uint64_t quick_value, uint64_t paper_value) const {
+    return quick() ? quick_value : paper_value;
+  }
+
+  obs::Reporter& reporter() { return *reporter_; }
+  obs::MetricSet& metrics() { return reporter_->metrics(); }
+
+  obs::Table& AddTable(std::string name, std::string title,
+                       std::vector<obs::Column> columns) {
+    return reporter_->AddTable(std::move(name), std::move(title), std::move(columns));
+  }
+  void Note(std::string note) { reporter_->Note(std::move(note)); }
+
+ private:
+  Preset preset_;
+  obs::Reporter* reporter_;
+};
+
+using ExperimentFn = void (*)(ExperimentContext&);
+
+struct ExperimentInfo {
+  std::string name;         // registry key, e.g. "fig08"
+  std::string title;        // paper artefact, e.g. "Figure 8"
+  std::string description;  // one-line summary
+  ExperimentFn fn = nullptr;
+};
+
+class ExperimentRegistry {
+ public:
+  // The process-wide registry populated by static registrars.
+  static ExperimentRegistry& Global();
+
+  // Rejects duplicate names and empty/missing fields.
+  Status Register(ExperimentInfo info);
+
+  // Unknown names yield an error naming the nearest candidates.
+  Result<const ExperimentInfo*> Find(const std::string& name) const;
+
+  // All experiments sorted by name.
+  std::vector<const ExperimentInfo*> All() const;
+
+  size_t size() const { return experiments_.size(); }
+
+ private:
+  std::vector<ExperimentInfo> experiments_;
+};
+
+// Static registrar used by CDPU_REGISTER_EXPERIMENT; aborts on duplicate
+// registration (a build-time authoring error, not a runtime condition).
+struct ExperimentRegistrar {
+  ExperimentRegistrar(const char* name, const char* title, const char* description,
+                      ExperimentFn fn);
+};
+
+#define CDPU_REGISTER_EXPERIMENT(name, title, description, fn)                       \
+  static const ::cdpu::bench::ExperimentRegistrar kCdpuExperimentRegistrar{name, title, \
+                                                                           description, fn}
+
+}  // namespace bench
+}  // namespace cdpu
+
+#endif  // BENCH_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,14 @@
+// cdpu_bench — the single driver for every figure/table reproduction.
+// See bench/harness/driver.h for the command set.
+
+#include <string>
+#include <vector>
+
+#include "bench/harness/driver.h"
+#include "src/core/dpzip_codec.h"
+
+int main(int argc, char** argv) {
+  cdpu::DpzipCodec::RegisterWithFactory();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return cdpu::bench::BenchMain("cdpu_bench", args);
+}

@@ -1,0 +1,110 @@
+#include "bench/harness/scenario.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace cdpu {
+namespace bench {
+
+const std::vector<DeviceCase>& MicrobenchDeviceCases() {
+  static const std::vector<DeviceCase>* cases = new std::vector<DeviceCase>{
+      {"cpu-deflate", CpuSoftwareConfig("deflate"), 88, 1.0, true},
+      {"cpu-zstd", CpuSoftwareConfig("zstd"), 88, 1.0, true},
+      {"cpu-snappy", CpuSoftwareConfig("snappy"), 88, 1.0, true},
+      {"qat-8970", Qat8970Config(), 64, 0.16, false},
+      {"qat-4xxx", Qat4xxxConfig(), 64, 0.14, false},
+      {"dpzip", DpzipCdpuConfig(), 16, 0.03, false},
+  };
+  return *cases;
+}
+
+std::vector<DeviceCase> HardwareComparisonCases() {
+  std::vector<DeviceCase> out;
+  for (const DeviceCase& c : MicrobenchDeviceCases()) {
+    if (!c.software || c.name == "cpu-deflate") {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const std::vector<CompressionScheme>& AllSchemes() {
+  static const std::vector<CompressionScheme>* schemes = new std::vector<CompressionScheme>{
+      CompressionScheme::kOff,     CompressionScheme::kCpu,
+      CompressionScheme::kQat8970, CompressionScheme::kQat4xxx,
+      CompressionScheme::kCsd2000, CompressionScheme::kDpCsd,
+  };
+  return *schemes;
+}
+
+const std::vector<CompressionScheme>& PrimarySchemes() {
+  static const std::vector<CompressionScheme>* schemes = new std::vector<CompressionScheme>{
+      CompressionScheme::kOff, CompressionScheme::kCpu, CompressionScheme::kQat8970,
+      CompressionScheme::kQat4xxx, CompressionScheme::kDpCsd,
+  };
+  return *schemes;
+}
+
+Result<std::unique_ptr<YcsbScenario>> MakeYcsbScenario(CompressionScheme scheme,
+                                                       const YcsbScenarioParams& params) {
+  auto scenario = std::make_unique<YcsbScenario>();
+  scenario->ssd =
+      std::make_unique<SimSsd>(MakeSchemeSsdConfig(scheme, params.ssd_logical_pages));
+
+  LsmConfig cfg;
+  cfg.memtable_bytes = params.memtable_bytes;
+  if (params.sstable_data_bytes != 0) {
+    cfg.sstable_data_bytes = params.sstable_data_bytes;
+  }
+  if (params.level1_bytes != 0) {
+    cfg.level1_bytes = params.level1_bytes;
+  }
+  scenario->db =
+      std::make_unique<LsmDb>(cfg, scenario->ssd.get(), MakeSchemeBackend(scheme));
+
+  YcsbConfig ycfg;
+  ycfg.workload = params.workload;
+  ycfg.record_count = params.record_count;
+  ycfg.value_size = params.value_size;
+  ycfg.seed = params.seed;
+  scenario->workload = std::make_unique<YcsbWorkload>(ycfg);
+
+  CDPU_RETURN_IF_ERROR(YcsbLoad(scenario->db.get(), *scenario->workload, &scenario->clock));
+  return scenario;
+}
+
+RuntimeStats RunRuntimeClosedLoop(const RuntimeSweepParams& params) {
+  RuntimeOptions opts;
+  opts.device = params.device;
+  opts.codec = "";  // model-only: timing comes from the device model
+  opts.queue_pairs =
+      params.queue_pairs != 0 ? params.queue_pairs : std::min(params.threads, 8u);
+  opts.batch_size = 1;
+  OffloadRuntime runtime(opts);
+
+  std::vector<std::thread> clients;
+  clients.reserve(params.threads);
+  for (uint32_t t = 0; t < params.threads; ++t) {
+    clients.emplace_back([&runtime, &opts, &params, t] {
+      SimNanos now = 0;
+      for (uint64_t i = 0; i < params.jobs_per_thread; ++i) {
+        OffloadRequest req;
+        req.op = CdpuOp::kCompress;
+        req.model_bytes = params.bytes;
+        req.ratio_hint = params.ratio;
+        req.arrival = now;
+        req.queue_pair = t % opts.queue_pairs;
+        now = runtime.Submit(std::move(req)).get().sim_completion;
+      }
+    });
+  }
+  for (std::thread& c : clients) {
+    c.join();
+  }
+  runtime.Drain();
+  runtime.Shutdown();
+  return runtime.Snapshot();
+}
+
+}  // namespace bench
+}  // namespace cdpu

@@ -1,0 +1,83 @@
+// Shared scenario builders for the experiment suite: the device cases,
+// compression-scheme sets, YCSB/LSM setups and offload-runtime client
+// sweeps that used to be copy-pasted across the figure binaries.
+
+#ifndef BENCH_HARNESS_SCENARIO_H_
+#define BENCH_HARNESS_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/device_configs.h"
+#include "src/kv/ycsb_runner.h"
+#include "src/runtime/offload_runtime.h"
+#include "src/ssd/scheme.h"
+
+namespace cdpu {
+namespace bench {
+
+// One device under test in the microbenchmark figures (8/9/18): row label,
+// timing model, closed-loop client threads, and the modelled host CPU share
+// the power figures charge for the run (software burns all threads, QAT
+// burns polling cores, DPZip nearly none — paper Finding 12).
+struct DeviceCase {
+  std::string name;
+  CdpuConfig config;
+  uint32_t threads = 1;
+  double cpu_util = 0.0;
+  bool software = false;
+};
+
+// cpu-deflate, cpu-zstd, cpu-snappy, qat-8970, qat-4xxx, dpzip.
+const std::vector<DeviceCase>& MicrobenchDeviceCases();
+
+// Subset of MicrobenchDeviceCases: cpu-deflate plus the hardware CDPUs —
+// the set Figures 9 and 18 sweep.
+std::vector<DeviceCase> HardwareComparisonCases();
+
+// The five/six end-to-end compression schemes of the system-level figures.
+const std::vector<CompressionScheme>& AllSchemes();      // incl. CSD 2000
+const std::vector<CompressionScheme>& PrimarySchemes();  // excl. CSD 2000
+
+// A loaded YCSB-over-LSM scenario ready to run (Figures 14/15/19). Owns the
+// SSD, database and workload; `clock` is the simulated time after load.
+struct YcsbScenario {
+  std::unique_ptr<SimSsd> ssd;
+  std::unique_ptr<LsmDb> db;
+  std::unique_ptr<YcsbWorkload> workload;
+  SimNanos clock = 0;
+};
+
+struct YcsbScenarioParams {
+  char workload = 'A';
+  uint64_t record_count = 1500;
+  uint32_t value_size = 400;
+  uint64_t seed = 7;
+  uint64_t memtable_bytes = 128 * 1024;
+  uint64_t sstable_data_bytes = 0;  // 0 = LsmConfig default
+  uint64_t level1_bytes = 0;        // 0 = LsmConfig default
+  uint64_t ssd_logical_pages = 512 * 1024;
+};
+
+Result<std::unique_ptr<YcsbScenario>> MakeYcsbScenario(CompressionScheme scheme,
+                                                       const YcsbScenarioParams& params);
+
+// Drives `threads` closed-loop clients through an OffloadRuntime against one
+// modelled device: each client's next simulated arrival is its previous
+// request's completion (the Figure 14b thread-scaling shape).
+struct RuntimeSweepParams {
+  CdpuConfig device;
+  uint32_t threads = 1;
+  uint64_t jobs_per_thread = 1;
+  uint64_t bytes = 4096;
+  double ratio = 0.45;
+  uint32_t queue_pairs = 0;  // 0 = min(threads, 8)
+};
+
+RuntimeStats RunRuntimeClosedLoop(const RuntimeSweepParams& params);
+
+}  // namespace bench
+}  // namespace cdpu
+
+#endif  // BENCH_HARNESS_SCENARIO_H_

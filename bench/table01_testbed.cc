@@ -2,37 +2,39 @@
 // interconnect and engine parameters, printed from the actual configs the
 // other benchmarks run with.
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
 #include "src/hw/device_configs.h"
 
 namespace cdpu {
 namespace {
 
-void PrintDevice(const CdpuConfig& c) {
-  PrintRow({c.name, PlacementName(c.placement), c.link.name, c.algorithm,
+using bench::ExperimentContext;
+using obs::Column;
+
+void AddDevice(obs::Table& t, const CdpuConfig& c) {
+  t.AddRow({c.name, PlacementName(c.placement), c.link.name, c.algorithm,
             Fmt(c.engines, 0) + " engines",
             Fmt(c.compress_gbps * c.engines, 1) + "/" +
-                Fmt(c.decompress_gbps * c.engines, 1) + " GB/s"},
-           16);
+                Fmt(c.decompress_gbps * c.engines, 1) + " GB/s"});
 }
 
-void Run() {
-  PrintHeader("Table 1", "Testbed configuration: CDPU instances, placement, interconnect");
-  PrintRow({"CDPU", "Placement", "Interconnect", "Algorithm", "Parallelism", "C/D peak"}, 16);
-  PrintRule(6, 16);
-  PrintDevice(Qat8970Config());
-  PrintDevice(Qat4xxxConfig());
-  PrintDevice(Csd2000CdpuConfig());
-  PrintDevice(DpzipCdpuConfig());
-  PrintDevice(CpuSoftwareConfig("deflate"));
-  std::printf("\nServer model: dual-socket, 88 threads @2.7GHz, DDR5; power floor 350 W.\n");
-  std::printf("All devices share the simulated host; see DESIGN.md for substitutions.\n");
+void Run(ExperimentContext& ctx) {
+  obs::Table& t = ctx.AddTable(
+      "testbed", "",
+      {Column("cdpu", "CDPU"), Column("placement", "Placement"),
+       Column("interconnect", "Interconnect"), Column("algorithm", "Algorithm"),
+       Column("parallelism", "Parallelism"), Column("cd_peak", "C/D peak")});
+  AddDevice(t, Qat8970Config());
+  AddDevice(t, Qat4xxxConfig());
+  AddDevice(t, Csd2000CdpuConfig());
+  AddDevice(t, DpzipCdpuConfig());
+  AddDevice(t, CpuSoftwareConfig("deflate"));
+  ctx.Note("Server model: dual-socket, 88 threads @2.7GHz, DDR5; power floor 350 W.");
+  ctx.Note("All devices share the simulated host; see DESIGN.md for substitutions.");
 }
+
+CDPU_REGISTER_EXPERIMENT("table01", "Table 1",
+                         "Testbed configuration: CDPU instances, placement, interconnect", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

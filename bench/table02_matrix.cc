@@ -2,17 +2,20 @@
 // the qualitative feature matrix, with each cell derived from a measured
 // run of the models rather than asserted.
 
-#include "bench/bench_util.h"
+#include "bench/harness/experiment.h"
 #include "src/hw/device_configs.h"
 
 namespace cdpu {
 namespace {
 
+using bench::ExperimentContext;
+using obs::Column;
+
 const char* Yes() { return "yes"; }
 const char* No() { return "no"; }
 
-void Run() {
-  PrintHeader("Table 2", "CPU software vs hardware CDPU placements");
+void Run(ExperimentContext& ctx) {
+  const uint64_t requests = ctx.Pick(1500, 4000);
 
   CdpuDevice cpu(CpuSoftwareConfig("deflate"));
   CdpuDevice qat8970(Qat8970Config());
@@ -20,9 +23,9 @@ void Run() {
   CdpuDevice dpzip(DpzipCdpuConfig());
 
   // Measured evidence backing the matrix cells.
-  auto thread_scaling = [](CdpuDevice& d, uint32_t lo, uint32_t hi) {
-    double a = d.RunClosedLoop(CdpuOp::kCompress, 4000, 4096, 0.45, lo).gbps;
-    double b = d.RunClosedLoop(CdpuOp::kCompress, 4000, 4096, 0.45, hi).gbps;
+  auto thread_scaling = [requests](CdpuDevice& d, uint32_t lo, uint32_t hi) {
+    double a = d.RunClosedLoop(CdpuOp::kCompress, requests, 4096, 0.45, lo).gbps;
+    double b = d.RunClosedLoop(CdpuOp::kCompress, requests, 4096, 0.45, hi).gbps;
     return b / a;
   };
   double cpu_scale = thread_scaling(cpu, 8, 88);
@@ -31,33 +34,31 @@ void Run() {
   double dpzip_scale = thread_scaling(dpzip, 8, 88);
 
   double dpzip_multi =
-      RunDeviceFleet(DpzipCdpuConfig(), 8, CdpuOp::kCompress, 4000, 65536, 0.4, 64).gbps /
-      RunDeviceFleet(DpzipCdpuConfig(), 1, CdpuOp::kCompress, 4000, 65536, 0.4, 8).gbps;
+      RunDeviceFleet(DpzipCdpuConfig(), 8, CdpuOp::kCompress, requests, 65536, 0.4, 64).gbps /
+      RunDeviceFleet(DpzipCdpuConfig(), 1, CdpuOp::kCompress, requests, 65536, 0.4, 8).gbps;
 
-  PrintRow({"property", "CPU", "peripheral", "on-chip", "in-storage"}, 26);
-  PrintRule(5, 26);
-  PrintRow({"CPU offloading", No(), Yes(), Yes(), Yes()}, 26);
-  PrintRow({"compression acceleration", No(), Yes(), Yes(), Yes()}, 26);
-  PrintRow({"cost reduction", No(), "partial ($882 card)", Yes(), Yes()}, 26);
-  PrintRow({"power efficiency", No(), No(), "partial", Yes()}, 26);
-  PrintRow({"multi-thread scalability",
-            Fmt(cpu_scale, 1) + "x (8->88 thr)", Fmt(qat8970_scale, 1) + "x",
-            Fmt(qat4xxx_scale, 1) + "x", Fmt(dpzip_scale, 1) + "x"},
-           26);
-  PrintRow({"multi-device scalability", No(), "PCIe slots", "sockets (<=4)",
-            Fmt(dpzip_multi, 1) + "x at 8 drives"},
-           26);
-  PrintRow({"plug and play", No(), No(), No(), Yes()}, 26);
-  PrintRow({"compression ratio", "best", "best", "best", "-2pp (4K pages)"}, 26);
-  PrintRow({"algorithm configurability", Yes(), "partial", No(), No()}, 26);
-  std::printf("\nCells marked with measurements come from the closed-loop models;\n"
-              "the rest restate architectural properties (Table 2 of the paper).\n");
+  obs::Table& t = ctx.AddTable(
+      "placement_matrix", "",
+      {Column("property"), Column("cpu", "CPU"), Column("peripheral"), Column("on_chip", "on-chip"),
+       Column("in_storage", "in-storage")});
+  t.AddRow({"CPU offloading", No(), Yes(), Yes(), Yes()});
+  t.AddRow({"compression acceleration", No(), Yes(), Yes(), Yes()});
+  t.AddRow({"cost reduction", No(), "partial ($882 card)", Yes(), Yes()});
+  t.AddRow({"power efficiency", No(), No(), "partial", Yes()});
+  t.AddRow({"multi-thread scalability", Fmt(cpu_scale, 1) + "x (8->88 thr)",
+            Fmt(qat8970_scale, 1) + "x", Fmt(qat4xxx_scale, 1) + "x",
+            Fmt(dpzip_scale, 1) + "x"});
+  t.AddRow({"multi-device scalability", No(), "PCIe slots", "sockets (<=4)",
+            Fmt(dpzip_multi, 1) + "x at 8 drives"});
+  t.AddRow({"plug and play", No(), No(), No(), Yes()});
+  t.AddRow({"compression ratio", "best", "best", "best", "-2pp (4K pages)"});
+  t.AddRow({"algorithm configurability", Yes(), "partial", No(), No()});
+  ctx.Note("Cells marked with measurements come from the closed-loop models;\n"
+           "the rest restate architectural properties (Table 2 of the paper).");
 }
+
+CDPU_REGISTER_EXPERIMENT("table02", "Table 2",
+                         "CPU software vs hardware CDPU placements", Run);
 
 }  // namespace
 }  // namespace cdpu
-
-int main() {
-  cdpu::Run();
-  return 0;
-}

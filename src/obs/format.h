@@ -1,0 +1,54 @@
+// Shared numeric formatting helpers, deduplicated from the bench binaries
+// and cdpu_cli. Everything renders into std::string so call sites can
+// compose cells for the table renderer.
+
+#ifndef SRC_OBS_FORMAT_H_
+#define SRC_OBS_FORMAT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace cdpu {
+
+// Fixed-precision decimal, e.g. Fmt(3.14159, 2) == "3.14".
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+// Signed fixed-precision decimal: always carries a leading + or -.
+inline std::string FmtSigned(double v, int precision = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%+.*f", precision, v);
+  return buf;
+}
+
+// Fraction (0..1) rendered as a percentage: FmtPercent(0.45) == "45%".
+inline std::string FmtPercent(double fraction, int precision = 0) {
+  return Fmt(fraction * 100.0, precision) + "%";
+}
+
+// Bytes-per-second quantities.
+inline std::string FmtGbps(double gbps, int precision = 2) { return Fmt(gbps, precision); }
+inline std::string FmtMbps(double bytes, double seconds, int precision = 1) {
+  return Fmt(seconds > 0 ? bytes / 1e6 / seconds : 0.0, precision);
+}
+
+// Byte counts with a binary-ish human unit, e.g. "4 KB", "2.5 MB".
+inline std::string FmtBytes(uint64_t bytes) {
+  if (bytes < 1024) {
+    return std::to_string(bytes) + " B";
+  }
+  if (bytes < 1024 * 1024) {
+    double kb = static_cast<double>(bytes) / 1024.0;
+    return Fmt(kb, bytes % 1024 == 0 ? 0 : 1) + " KB";
+  }
+  double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  return Fmt(mb, bytes % (1024 * 1024) == 0 ? 0 : 1) + " MB";
+}
+
+}  // namespace cdpu
+
+#endif  // SRC_OBS_FORMAT_H_

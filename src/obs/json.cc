@@ -1,0 +1,420 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdpu {
+namespace obs {
+
+Json& Json::operator[](const std::string& key) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      return v;
+    }
+  }
+  members_.emplace_back(key, Json());
+  return members_.back().second;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";  // JSON has no NaN/inf; null means "not measured"
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shortest representation that still round-trips.
+  char shorter[40];
+  std::snprintf(shorter, sizeof(shorter), "%.15g", v);
+  if (std::strtod(shorter, nullptr) == v) {
+    *out += shorter;
+  } else {
+    *out += buf;
+  }
+}
+
+void AppendNewlineIndent(std::string* out, int indent, int depth) {
+  if (indent < 0) {
+    return;
+  }
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Kind::kUint:
+      *out += std::to_string(uint_);
+      break;
+    case Kind::kDouble:
+      AppendDouble(out, double_);
+      break;
+    case Kind::kString:
+      out->push_back('"');
+      *out += JsonEscape(string_);
+      out->push_back('"');
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& v : array_) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        AppendNewlineIndent(out, indent, depth + 1);
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) {
+        AppendNewlineIndent(out, indent, depth);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        AppendNewlineIndent(out, indent, depth + 1);
+        out->push_back('"');
+        *out += JsonEscape(k);
+        *out += indent < 0 ? "\":" : "\": ";
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!members_.empty()) {
+        AppendNewlineIndent(out, indent, depth);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipSpace();
+    Json root;
+    CDPU_RETURN_IF_ERROR(ParseValue(&root));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return root;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::CorruptData("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    size_t len = std::string(w).size();
+    if (text_.compare(pos_, len, w) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '"') {
+      std::string s;
+      CDPU_RETURN_IF_ERROR(ParseString(&s));
+      *out = Json(std::move(s));
+      return Status::Ok();
+    }
+    if (ConsumeWord("null")) {
+      *out = Json();
+      return Status::Ok();
+    }
+    if (ConsumeWord("true")) {
+      *out = Json(true);
+      return Status::Ok();
+    }
+    if (ConsumeWord("false")) {
+      *out = Json(false);
+      return Status::Ok();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(Json* out) {
+    ++pos_;  // '{'
+    *out = Json::Object();
+    SkipSpace();
+    if (Consume('}')) {
+      return Status::Ok();
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      CDPU_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) {
+        return Fail("expected ':' in object");
+      }
+      if (out->Find(key) != nullptr) {
+        return Fail("duplicate object key \"" + key + "\"");
+      }
+      CDPU_RETURN_IF_ERROR(ParseValue(&(*out)[key]));
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return Status::Ok();
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(Json* out) {
+    ++pos_;  // '['
+    *out = Json::Array();
+    SkipSpace();
+    if (Consume(']')) {
+      return Status::Ok();
+    }
+    while (true) {
+      Json v;
+      CDPU_RETURN_IF_ERROR(ParseValue(&v));
+      out->push_back(std::move(v));
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return Status::Ok();
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return Status::Ok();
+      }
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) {
+          return Fail("unescaped control character in string");
+        }
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode (BMP only; surrogate pairs are not emitted by us).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    bool negative = Consume('-');
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (negative && pos_ == start + 1)) {
+      return Fail("invalid number");
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    if (is_double) {
+      char* end = nullptr;
+      double v = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size()) {
+        return Fail("invalid number \"" + token + "\"");
+      }
+      *out = Json(v);
+      return Status::Ok();
+    }
+    if (negative) {
+      *out = Json(static_cast<int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
+    } else {
+      *out = Json(static_cast<uint64_t>(std::strtoull(token.c_str(), nullptr, 10)));
+    }
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) { return Parser(text).Parse(); }
+
+}  // namespace obs
+}  // namespace cdpu

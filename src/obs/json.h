@@ -1,0 +1,119 @@
+// Minimal JSON document model for the experiment harness: a writer with
+// deterministic (insertion-order) object keys and a strict parser used to
+// validate emitted BENCH_*.json files without external dependencies.
+//
+// Non-finite doubles cannot be represented in JSON; Dump() serialises NaN
+// and +/-inf as null, which is the documented schema behaviour (consumers
+// treat null cells as "not measured").
+
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cdpu {
+namespace obs {
+
+class Json {
+ public:
+  enum class Kind : uint8_t {
+    kNull,
+    kBool,
+    kInt,     // int64
+    kUint,    // uint64 (kept separate so large counters round-trip exactly)
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}                // NOLINT
+  Json(int v) : kind_(Kind::kInt), int_(v) {}                   // NOLINT
+  Json(int64_t v) : kind_(Kind::kInt), int_(v) {}               // NOLINT
+  Json(uint32_t v) : kind_(Kind::kUint), uint_(v) {}            // NOLINT
+  Json(uint64_t v) : kind_(Kind::kUint), uint_(v) {}            // NOLINT
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}          // NOLINT
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}     // NOLINT
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint || kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return kind_ == Kind::kUint ? static_cast<int64_t>(uint_)
+           : kind_ == Kind::kDouble ? static_cast<int64_t>(double_)
+                                    : int_;
+  }
+  uint64_t AsUint() const {
+    return kind_ == Kind::kInt ? static_cast<uint64_t>(int_)
+           : kind_ == Kind::kDouble ? static_cast<uint64_t>(double_)
+                                    : uint_;
+  }
+  double AsDouble() const {
+    return kind_ == Kind::kInt    ? static_cast<double>(int_)
+           : kind_ == Kind::kUint ? static_cast<double>(uint_)
+                                  : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  void push_back(Json v) { array_.push_back(std::move(v)); }
+  size_t size() const { return kind_ == Kind::kObject ? members_.size() : array_.size(); }
+  const std::vector<Json>& items() const { return array_; }
+  const Json& at(size_t i) const { return array_[i]; }
+
+  // Object access; insertion order is preserved and is the serialised order.
+  Json& operator[](const std::string& key);
+  const Json* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const { return members_; }
+
+  // Serialises the document. indent < 0 = compact single line; otherwise
+  // pretty-printed with `indent` spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+// Escapes a string for embedding in a JSON document (adds no quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace cdpu
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,107 @@
+#include "src/obs/metrics.h"
+
+namespace cdpu {
+namespace obs {
+
+Json SummarizeRunningStats(const RunningStats& stats) {
+  Json j = Json::Object();
+  j["count"] = stats.count();
+  j["mean"] = stats.mean();
+  j["stddev"] = stats.stddev();
+  j["min"] = stats.count() > 0 ? Json(stats.min()) : Json();
+  j["max"] = stats.count() > 0 ? Json(stats.max()) : Json();
+  return j;
+}
+
+Json SummarizeSampleSet(SampleSet* samples) {
+  Json j = Json::Object();
+  j["count"] = static_cast<uint64_t>(samples->count());
+  if (samples->empty()) {
+    return j;
+  }
+  j["mean"] = samples->Mean();
+  j["stddev"] = samples->Stddev();
+  j["min"] = samples->Min();
+  j["p50"] = samples->Percentile(50);
+  j["p90"] = samples->Percentile(90);
+  j["p99"] = samples->Percentile(99);
+  j["max"] = samples->Max();
+  return j;
+}
+
+void MetricSet::Count(const std::string& name, uint64_t delta) {
+  if (uint64_t* c = FindOrNull(counters_, name)) {
+    *c += delta;
+  } else {
+    counters_.emplace_back(name, delta);
+  }
+}
+
+void MetricSet::Gauge(const std::string& name, double value) {
+  if (double* g = FindOrNull(gauges_, name)) {
+    *g = value;
+  } else {
+    gauges_.emplace_back(name, value);
+  }
+}
+
+void MetricSet::AddTimerNs(const std::string& name, uint64_t nanos) {
+  if (uint64_t* t = FindOrNull(timers_, name)) {
+    *t += nanos;
+  } else {
+    timers_.emplace_back(name, nanos);
+  }
+}
+
+void MetricSet::Observe(const std::string& series, double value) {
+  if (SampleSet* s = FindOrNull(series_, series)) {
+    s->Add(value);
+  } else {
+    series_.emplace_back(series, SampleSet());
+    series_.back().second.Add(value);
+  }
+}
+
+void MetricSet::Summary(const std::string& name, Json summary) {
+  if (Json* s = FindOrNull(summaries_, name)) {
+    *s = std::move(summary);
+  } else {
+    summaries_.emplace_back(name, std::move(summary));
+  }
+}
+
+Json MetricSet::ToJson() const {
+  Json j = Json::Object();
+  if (!counters_.empty()) {
+    Json& c = j["counters"] = Json::Object();
+    for (const auto& [k, v] : counters_) {
+      c[k] = v;
+    }
+  }
+  if (!gauges_.empty()) {
+    Json& g = j["gauges"] = Json::Object();
+    for (const auto& [k, v] : gauges_) {
+      g[k] = v;
+    }
+  }
+  if (!timers_.empty()) {
+    Json& t = j["timers_us"] = Json::Object();
+    for (const auto& [k, v] : timers_) {
+      t[k] = static_cast<double>(v) / 1e3;
+    }
+  }
+  if (!series_.empty() || !summaries_.empty()) {
+    Json& s = j["series"] = Json::Object();
+    for (auto& [k, v] : series_) {
+      SampleSet copy = v;  // Percentile() sorts; keep the stored set intact
+      s[k] = SummarizeSampleSet(&copy);
+    }
+    for (const auto& [k, v] : summaries_) {
+      s[k] = v;
+    }
+  }
+  return j;
+}
+
+}  // namespace obs
+}  // namespace cdpu

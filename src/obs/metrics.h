@@ -1,0 +1,99 @@
+// Metric model for the experiment harness: named counters (monotonic
+// tallies), gauges (point-in-time doubles), timers (accumulated wall-clock
+// nanoseconds) and series (sample distributions summarised via
+// src/common/stats). Experiments and the offload runtime write into a
+// MetricSet; the Reporter serialises it under the "metrics" key of every
+// BENCH_*.json.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/obs/json.h"
+
+namespace cdpu {
+namespace obs {
+
+// Summarises an online accumulator into an ordered JSON object
+// (count/mean/stddev/min/max). This is how RunningStats-based telemetry
+// (e.g. RuntimeStats latency distributions) enters the metric model.
+Json SummarizeRunningStats(const RunningStats& stats);
+
+// Summarises a full sample set, adding percentiles (p50/p90/p99).
+Json SummarizeSampleSet(SampleSet* samples);
+
+class MetricSet {
+ public:
+  // Monotonic counter; creates the counter at 0 on first use.
+  void Count(const std::string& name, uint64_t delta = 1);
+  // Point-in-time value; overwrites.
+  void Gauge(const std::string& name, double value);
+  // Accumulates wall-clock nanoseconds under `name`.
+  void AddTimerNs(const std::string& name, uint64_t nanos);
+  // Adds one observation to the named series.
+  void Observe(const std::string& series, double value);
+  // Attaches a pre-summarised distribution (e.g. from RunningStats).
+  void Summary(const std::string& name, Json summary);
+
+  // RAII wall-clock timer accumulating into AddTimerNs(name) on destruction.
+  class ScopedTimer {
+   public:
+    ScopedTimer(MetricSet* set, std::string name)
+        : set_(set), name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+    ~ScopedTimer() {
+      auto elapsed = std::chrono::steady_clock::now() - start_;
+      set_->AddTimerNs(
+          name_,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+   private:
+    MetricSet* set_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+  ScopedTimer Time(std::string name) { return ScopedTimer(this, std::move(name)); }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && timers_.empty() && series_.empty() &&
+           summaries_.empty();
+  }
+
+  // {"counters": {...}, "gauges": {...}, "timers_us": {...}, "series": {...}}
+  // with every section in first-touch order; empty sections are omitted.
+  Json ToJson() const;
+
+ private:
+  template <typename T>
+  using NamedVec = std::vector<std::pair<std::string, T>>;
+
+  template <typename T>
+  static T* FindOrNull(NamedVec<T>& vec, const std::string& name) {
+    for (auto& [k, v] : vec) {
+      if (k == name) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+
+  NamedVec<uint64_t> counters_;
+  NamedVec<double> gauges_;
+  NamedVec<uint64_t> timers_;  // nanoseconds
+  NamedVec<SampleSet> series_;
+  NamedVec<Json> summaries_;
+};
+
+}  // namespace obs
+}  // namespace cdpu
+
+#endif  // SRC_OBS_METRICS_H_

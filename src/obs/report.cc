@@ -1,0 +1,82 @@
+#include "src/obs/report.h"
+
+#include <fstream>
+
+namespace cdpu {
+namespace obs {
+
+void Reporter::SetRun(std::string experiment, std::string title, std::string description,
+                      std::string preset) {
+  experiment_ = std::move(experiment);
+  title_ = std::move(title);
+  description_ = std::move(description);
+  preset_ = std::move(preset);
+}
+
+void Reporter::Meta(const std::string& key, Json value) { meta_[key] = std::move(value); }
+
+Table& Reporter::AddTable(std::string name, std::string title, std::vector<Column> columns) {
+  tables_.push_back(
+      std::make_unique<Table>(std::move(name), std::move(title), std::move(columns)));
+  return *tables_.back();
+}
+
+void Reporter::Note(std::string note) { notes_.push_back(std::move(note)); }
+
+void Reporter::PrintHuman(std::FILE* out) const {
+  std::fprintf(out, "================================================================\n");
+  std::fprintf(out, "%s — %s\n", title_.c_str(), description_.c_str());
+  std::fprintf(out, "================================================================\n");
+  for (const auto& table : tables_) {
+    std::fputc('\n', out);
+    table->Print(out);
+  }
+  if (!notes_.empty()) {
+    std::fputc('\n', out);
+    for (const std::string& note : notes_) {
+      std::fprintf(out, "%s\n", note.c_str());
+    }
+  }
+}
+
+Json Reporter::ToJson() const {
+  Json j = Json::Object();
+  j["schema_version"] = kSchemaVersion;
+  j["experiment"] = experiment_;
+  j["title"] = title_;
+  j["description"] = description_;
+  j["preset"] = preset_;
+  if (meta_.size() > 0) {
+    j["meta"] = meta_;
+  }
+  Json& tables = j["tables"] = Json::Array();
+  for (const auto& table : tables_) {
+    tables.push_back(table->ToJson());
+  }
+  if (!metrics_.empty()) {
+    j["metrics"] = metrics_.ToJson();
+  }
+  if (!notes_.empty()) {
+    Json& notes = j["notes"] = Json::Array();
+    for (const std::string& n : notes_) {
+      notes.push_back(n);
+    }
+  }
+  return j;
+}
+
+Status Reporter::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open " + path + " for writing");
+  }
+  out << ToJson().Dump(2) << '\n';
+  out.flush();
+  if (!out.good()) {
+    return Status::Unavailable("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace cdpu

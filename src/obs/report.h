@@ -1,0 +1,82 @@
+// Reporter: collects one experiment run's metadata, tables and metrics and
+// serialises them to the sinks — an aligned-table stream for humans and a
+// schema-versioned JSON document (BENCH_<name>.json) for machines. Both
+// sinks render from the same structured rows.
+//
+// JSON schema (kSchemaVersion):
+//   {
+//     "schema_version": 1,
+//     "experiment":  "<registry name>",
+//     "title":       "<paper artefact, e.g. 'Figure 8'>",
+//     "description": "<one-line summary>",
+//     "preset":      "quick" | "paper",
+//     "meta":        { free-form string/number pairs, insertion-ordered },
+//     "tables":      [ {name, title?, columns, rows, notes?}, ... ],
+//     "metrics":     { counters?, gauges?, timers_us?, series? },   // optional
+//     "notes":       [ "...", ... ]                                 // optional
+//   }
+// Non-finite doubles are serialised as null ("not measured").
+
+#ifndef SRC_OBS_REPORT_H_
+#define SRC_OBS_REPORT_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/table.h"
+
+namespace cdpu {
+namespace obs {
+
+inline constexpr int kSchemaVersion = 1;
+
+class Reporter {
+ public:
+  Reporter() = default;
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  // Run identity, surfaced both in the JSON header and the table stream.
+  void SetRun(std::string experiment, std::string title, std::string description,
+              std::string preset);
+
+  // Extra metadata key/value pairs under "meta" (insertion-ordered).
+  void Meta(const std::string& key, Json value);
+
+  // Declares a new table; the returned reference stays valid for the
+  // Reporter's lifetime. Tables appear in both sinks in creation order.
+  Table& AddTable(std::string name, std::string title, std::vector<Column> columns);
+
+  // Run-level free-text note (printed after the tables, stored under "notes").
+  void Note(std::string note);
+
+  MetricSet& metrics() { return metrics_; }
+
+  const std::vector<std::unique_ptr<Table>>& tables() const { return tables_; }
+
+  // Human sink: banner header, every table, then the notes.
+  void PrintHuman(std::FILE* out = stdout) const;
+
+  // Machine sink.
+  Json ToJson() const;
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  std::string experiment_;
+  std::string title_;
+  std::string description_;
+  std::string preset_;
+  Json meta_ = Json::Object();
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::string> notes_;
+  MetricSet metrics_;
+};
+
+}  // namespace obs
+}  // namespace cdpu
+
+#endif  // SRC_OBS_REPORT_H_

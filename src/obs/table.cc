@@ -1,0 +1,126 @@
+#include "src/obs/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/obs/format.h"
+
+namespace cdpu {
+namespace obs {
+
+void Table::AddRow(std::vector<Json> cells) {
+  assert(cells.size() == columns_.size() && "row width must match declared columns");
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::RenderCell(const Json& cell, const Column& col) const {
+  switch (cell.kind()) {
+    case Json::Kind::kNull:
+      return "-";
+    case Json::Kind::kBool:
+      return cell.AsBool() ? "yes" : "no";
+    case Json::Kind::kString:
+      return cell.AsString();
+    case Json::Kind::kInt:
+    case Json::Kind::kUint:
+    case Json::Kind::kDouble: {
+      double v = cell.AsDouble();
+      if (!std::isfinite(v)) {
+        return "-";
+      }
+      std::string s = col.show_plus ? FmtSigned(v, col.precision) : Fmt(v, col.precision);
+      return s + col.suffix;
+    }
+    default:
+      return cell.Dump();
+  }
+}
+
+std::string Table::Render() const {
+  std::string out;
+  if (!title_.empty()) {
+    out += title_;
+    out += '\n';
+  }
+  // Size every column to its widest rendered cell (or its header).
+  std::vector<size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].label.size();
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      cells.push_back(RenderCell(row[c], columns_[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  auto append_line = [&out, &widths](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      if (c + 1 < cells.size()) {
+        out.append(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  std::vector<std::string> header;
+  header.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    header.push_back(col.label);
+  }
+  append_line(header);
+  size_t rule = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& cells : rendered) {
+    append_line(cells);
+  }
+  for (const std::string& note : notes_) {
+    out += note;
+    out += '\n';
+  }
+  return out;
+}
+
+void Table::Print(std::FILE* out) const { std::fputs(Render().c_str(), out); }
+
+Json Table::ToJson() const {
+  Json j = Json::Object();
+  j["name"] = name_;
+  if (!title_.empty()) {
+    j["title"] = title_;
+  }
+  Json& cols = j["columns"] = Json::Array();
+  for (const Column& col : columns_) {
+    cols.push_back(col.key);
+  }
+  Json& rows = j["rows"] = Json::Array();
+  for (const auto& row : rows_) {
+    Json r = Json::Object();
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      r[columns_[c].key] = row[c];
+    }
+    rows.push_back(std::move(r));
+  }
+  if (!notes_.empty()) {
+    Json& notes = j["notes"] = Json::Array();
+    for (const std::string& n : notes_) {
+      notes.push_back(n);
+    }
+  }
+  return j;
+}
+
+}  // namespace obs
+}  // namespace cdpu

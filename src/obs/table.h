@@ -1,0 +1,76 @@
+// Structured result tables: the single source of truth for both the
+// human-readable output (columns sized to content, unlike the old
+// fixed-14-char PrintRow) and the machine-readable rows in BENCH_*.json.
+//
+// A Table declares typed columns (key + display label + render hints), then
+// collects rows of JSON values. Cells may be numbers (rendered with the
+// column's precision/suffix) or strings (rendered verbatim, e.g.
+// "n/a (sockets)"); the JSON sink always receives the typed value.
+
+#ifndef SRC_OBS_TABLE_H_
+#define SRC_OBS_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace cdpu {
+namespace obs {
+
+struct Column {
+  std::string key;     // JSON field name, e.g. "c_gbps"
+  std::string label;   // table header, e.g. "C GB/s"; defaults to key
+  int precision = 2;   // decimals for double cells
+  std::string suffix;  // appended to rendered numeric cells, e.g. "%", "x"
+  bool show_plus = false;  // render numeric cells with an explicit sign
+
+  Column(std::string k) : key(std::move(k)), label(key) {}  // NOLINT
+  Column(std::string k, std::string l, int prec = 2, std::string suf = "", bool plus = false)
+      : key(std::move(k)),
+        label(l.empty() ? key : std::move(l)),
+        precision(prec),
+        suffix(std::move(suf)),
+        show_plus(plus) {}
+};
+
+class Table {
+ public:
+  Table(std::string name, std::string title, std::vector<Column> columns)
+      : name_(std::move(name)), title_(std::move(title)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& title() const { return title_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t row_count() const { return rows_.size(); }
+
+  // Positional row: one value per declared column.
+  void AddRow(std::vector<Json> cells);
+
+  // Free-text context printed under the table and carried in the JSON.
+  void AddNote(std::string note) { notes_.push_back(std::move(note)); }
+
+  // Renders one cell the way the table renderer would (precision/suffix).
+  std::string RenderCell(const Json& cell, const Column& col) const;
+
+  // Human-readable rendering; every column is sized to its widest cell.
+  std::string Render() const;
+  void Print(std::FILE* out = stdout) const;
+
+  // {"name":..., "title":..., "columns":[...], "rows":[{col:val,...}], "notes":[...]}
+  Json ToJson() const;
+
+ private:
+  std::string name_;
+  std::string title_;
+  std::vector<Column> columns_;
+  std::vector<std::vector<Json>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace obs
+}  // namespace cdpu
+
+#endif  // SRC_OBS_TABLE_H_

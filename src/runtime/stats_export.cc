@@ -1,0 +1,43 @@
+#include "src/runtime/stats_export.h"
+
+namespace cdpu {
+
+void ExportRuntimeStats(const RuntimeStats& stats, const std::string& prefix,
+                        obs::MetricSet* metrics) {
+  metrics->Count(prefix + "jobs_submitted", stats.jobs_submitted);
+  metrics->Count(prefix + "jobs_completed", stats.jobs_completed);
+  metrics->Count(prefix + "jobs_canceled", stats.jobs_canceled);
+  metrics->Count(prefix + "jobs_failed", stats.jobs_failed);
+  metrics->Count(prefix + "bytes_in", stats.bytes_in);
+  metrics->Count(prefix + "bytes_out", stats.bytes_out);
+  metrics->Count(prefix + "doorbells", stats.doorbells);
+  metrics->Count(prefix + "ceiling_delays", stats.ceiling_delays);
+  metrics->Gauge(prefix + "max_inflight", static_cast<double>(stats.max_inflight));
+  metrics->Gauge(prefix + "sim_gbps", stats.sim_gbps());
+  metrics->Summary(prefix + "wall_latency_us", obs::SummarizeRunningStats(stats.wall_latency_us));
+  metrics->Summary(prefix + "device_latency_us",
+                   obs::SummarizeRunningStats(stats.device_latency_us));
+  if (stats.engine_service_us.count() > 0) {
+    metrics->Summary(prefix + "engine_service_us",
+                     obs::SummarizeRunningStats(stats.engine_service_us));
+  }
+
+  bool fault_path_touched = stats.faults_injected > 0 || stats.retries > 0 ||
+                            stats.fallbacks > 0 || stats.unhealthy_transitions > 0 ||
+                            stats.reprobes > 0 || !stats.device_healthy;
+  if (!fault_path_touched) {
+    return;
+  }
+  metrics->Count(prefix + "faults_injected", stats.faults_injected);
+  for (uint32_t k = 0; k < kNumFaultKinds; ++k) {
+    metrics->Count(prefix + "faults." + FaultKindName(static_cast<FaultKind>(k)),
+                   stats.faults_by_kind[k]);
+  }
+  metrics->Count(prefix + "retries", stats.retries);
+  metrics->Count(prefix + "fallbacks", stats.fallbacks);
+  metrics->Count(prefix + "unhealthy_transitions", stats.unhealthy_transitions);
+  metrics->Count(prefix + "reprobes", stats.reprobes);
+  metrics->Gauge(prefix + "device_healthy", stats.device_healthy ? 1.0 : 0.0);
+}
+
+}  // namespace cdpu

@@ -1,0 +1,26 @@
+// Bridges the offload runtime's RuntimeStats into the obs metric model so
+// runtime counters, latency distributions and fault/recovery tallies appear
+// in experiment output (and therefore in BENCH_*.json) alongside the
+// experiment's own tables.
+
+#ifndef SRC_RUNTIME_STATS_EXPORT_H_
+#define SRC_RUNTIME_STATS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/runtime/offload_runtime.h"
+
+namespace cdpu {
+
+// Exports every RuntimeStats field under `prefix` (e.g. "runtime.fair.").
+// Counters go to counters, the latency RunningStats become summarised
+// series, and derived rates (sim_gbps) become gauges. Fault/recovery
+// counters are only exported when non-zero or when a fault plan ran, so
+// fault-free experiments stay uncluttered.
+void ExportRuntimeStats(const RuntimeStats& stats, const std::string& prefix,
+                        obs::MetricSet* metrics);
+
+}  // namespace cdpu
+
+#endif  // SRC_RUNTIME_STATS_EXPORT_H_

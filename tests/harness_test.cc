@@ -1,0 +1,170 @@
+// Tests for the bench harness: registry semantics (duplicate / unknown
+// names) and a smoke pass that runs every registered experiment at the
+// quick preset and validates the JSON document each one produces.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "bench/harness/driver.h"
+#include "bench/harness/experiment.h"
+#include "src/core/dpzip_codec.h"
+#include "src/obs/report.h"
+
+namespace cdpu {
+namespace bench {
+namespace {
+
+void NopExperiment(ExperimentContext&) {}
+
+ExperimentInfo MakeInfo(const std::string& name) {
+  ExperimentInfo info;
+  info.name = name;
+  info.title = "Title " + name;
+  info.description = "Description " + name;
+  info.fn = NopExperiment;
+  return info;
+}
+
+TEST(ExperimentRegistryTest, RegisterAndFind) {
+  ExperimentRegistry registry;
+  ASSERT_TRUE(registry.Register(MakeInfo("fig08")).ok());
+  ASSERT_TRUE(registry.Register(MakeInfo("fig09")).ok());
+  EXPECT_EQ(registry.size(), 2u);
+
+  auto found = registry.Find("fig08");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->title, "Title fig08");
+}
+
+TEST(ExperimentRegistryTest, RejectsDuplicateName) {
+  ExperimentRegistry registry;
+  ASSERT_TRUE(registry.Register(MakeInfo("fig08")).ok());
+  Status dup = registry.Register(MakeInfo("fig08"));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_NE(dup.message().find("fig08"), std::string::npos);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ExperimentRegistryTest, RejectsIncompleteInfo) {
+  ExperimentRegistry registry;
+  ExperimentInfo no_name = MakeInfo("");
+  EXPECT_FALSE(registry.Register(no_name).ok());
+
+  ExperimentInfo no_fn = MakeInfo("fig08");
+  no_fn.fn = nullptr;
+  EXPECT_FALSE(registry.Register(no_fn).ok());
+}
+
+TEST(ExperimentRegistryTest, UnknownNameNamesNearestCandidate) {
+  ExperimentRegistry registry;
+  ASSERT_TRUE(registry.Register(MakeInfo("fig08")).ok());
+  ASSERT_TRUE(registry.Register(MakeInfo("fig14b")).ok());
+
+  auto missing = registry.Find("fig8");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("fig8"), std::string::npos);
+  // The error should steer the user towards a close registered name.
+  EXPECT_NE(missing.status().message().find("fig08"), std::string::npos);
+}
+
+TEST(ExperimentRegistryTest, AllIsSortedByName) {
+  ExperimentRegistry registry;
+  ASSERT_TRUE(registry.Register(MakeInfo("zeta")).ok());
+  ASSERT_TRUE(registry.Register(MakeInfo("alpha")).ok());
+  ASSERT_TRUE(registry.Register(MakeInfo("mid")).ok());
+
+  auto all = registry.All();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->name, "alpha");
+  EXPECT_EQ(all[1]->name, "mid");
+  EXPECT_EQ(all[2]->name, "zeta");
+}
+
+TEST(GlobalRegistryTest, HoldsEveryFigureExperiment) {
+  const auto all = ExperimentRegistry::Global().All();
+  std::set<std::string> names;
+  for (const auto* info : all) {
+    names.insert(info->name);
+  }
+  // Spot-check the full figure sweep rather than pinning an exact count so
+  // new experiments can land without touching this test.
+  for (const char* expected :
+       {"table01", "table02", "fig02", "fig07", "fig08", "fig09", "fig11", "fig12", "fig14",
+        "fig14b", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fault_degradation",
+        "ablation_dictionary", "ablation_hash_table", "ablation_huffman", "codecs_wallclock"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing experiment: " << expected;
+  }
+}
+
+TEST(ValidateBenchDocumentTest, RejectsStructurallyBrokenDocuments) {
+  obs::Reporter reporter;
+  reporter.SetRun("fig08", "Figure 8", "4 KiB microbenchmark", "quick");
+  auto& table = reporter.AddTable("throughput", "Throughput",
+                                  {obs::Column("device"), obs::Column("gbps", "GB/s", 2)});
+  table.AddRow({obs::Json("dpzip"), obs::Json(7.25)});
+  obs::Json good = reporter.ToJson();
+  EXPECT_TRUE(ValidateBenchDocument(good).ok());
+  EXPECT_FALSE(ValidateBenchDocument(obs::Json(42)).ok());
+
+  obs::Json wrong_version = good;
+  wrong_version["schema_version"] = obs::Json(99);
+  EXPECT_FALSE(ValidateBenchDocument(wrong_version).ok());
+
+  obs::Json empty_name = good;
+  empty_name["experiment"] = obs::Json("");
+  EXPECT_FALSE(ValidateBenchDocument(empty_name).ok());
+
+  // A reporter that never emitted a table must fail validation.
+  obs::Reporter empty_reporter;
+  empty_reporter.SetRun("fig08", "Figure 8", "4 KiB microbenchmark", "quick");
+  EXPECT_FALSE(ValidateBenchDocument(empty_reporter.ToJson()).ok());
+
+  // A row that does not carry exactly the declared columns must fail.
+  obs::Json ragged = good;
+  obs::Json bad_table = obs::Json::Object();
+  bad_table["name"] = obs::Json("ragged");
+  obs::Json columns = obs::Json::Array();
+  columns.push_back(obs::Json("a"));
+  columns.push_back(obs::Json("b"));
+  bad_table["columns"] = std::move(columns);
+  obs::Json row = obs::Json::Object();
+  row["a"] = obs::Json(1);
+  obs::Json rows = obs::Json::Array();
+  rows.push_back(std::move(row));
+  bad_table["rows"] = std::move(rows);
+  obs::Json tables = obs::Json::Array();
+  tables.push_back(std::move(bad_table));
+  ragged["tables"] = std::move(tables);
+  EXPECT_FALSE(ValidateBenchDocument(ragged).ok());
+}
+
+// Every registered experiment must complete at the quick preset and emit a
+// schema-valid document with at least one table. This is the same gate the
+// CI bench-smoke job applies to the emitted BENCH_*.json files.
+TEST(ExperimentSmokeTest, EveryExperimentProducesValidJsonAtQuickPreset) {
+  DpzipCodec::RegisterWithFactory();
+  const auto all = ExperimentRegistry::Global().All();
+  ASSERT_GE(all.size(), 21u);
+  for (const auto* info : all) {
+    SCOPED_TRACE(info->name);
+    obs::Reporter reporter;
+    reporter.SetRun(info->name, info->title, info->description, "quick");
+    ExperimentContext ctx(Preset::kQuick, &reporter);
+    info->fn(ctx);
+
+    obs::Json doc = reporter.ToJson();
+    Status valid = ValidateBenchDocument(doc);
+    EXPECT_TRUE(valid.ok()) << valid.message();
+
+    // The document must survive a serialise/parse round trip unchanged.
+    auto reparsed = obs::Json::Parse(doc.Dump(2));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+    EXPECT_EQ(reparsed->Dump(), doc.Dump());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cdpu

@@ -1,0 +1,280 @@
+// Tests for the observability layer: the JSON document model (round-trip,
+// key ordering, NaN/inf policy), the content-sized table renderer that
+// replaced the fixed-width PrintRow, the shared format helpers, and the
+// metric model feeding the Reporter's machine sink.
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/format.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/report.h"
+#include "src/obs/table.h"
+
+namespace cdpu {
+namespace obs {
+namespace {
+
+TEST(JsonTest, ScalarDump) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(-17).Dump(), "-17");
+  EXPECT_EQ(Json(uint64_t{18446744073709551615ull}).Dump(), "18446744073709551615");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+  EXPECT_EQ(Json(2.5).Dump(), "2.5");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json doc = Json::Object();
+  doc["zebra"] = 1;
+  doc["alpha"] = 2;
+  doc["mu"] = 3;
+  EXPECT_EQ(doc.Dump(), "{\"zebra\":1,\"alpha\":2,\"mu\":3}");
+  // Re-assignment updates in place without reordering.
+  doc["alpha"] = 9;
+  EXPECT_EQ(doc.Dump(), "{\"zebra\":1,\"alpha\":9,\"mu\":3}");
+}
+
+TEST(JsonTest, DumpIsDeterministic) {
+  auto build = [] {
+    Json doc = Json::Object();
+    doc["a"] = 1;
+    Json arr = Json::Array();
+    arr.push_back("x");
+    arr.push_back(2.25);
+    doc["b"] = std::move(arr);
+    return doc;
+  };
+  EXPECT_EQ(build().Dump(), build().Dump());
+  EXPECT_EQ(build().Dump(2), build().Dump(2));
+}
+
+TEST(JsonTest, RoundTripThroughParser) {
+  Json doc = Json::Object();
+  doc["schema_version"] = 1;
+  doc["name"] = "fig08 \"quoted\" \\ / \n\t";
+  doc["pi"] = 3.141592653589793;
+  doc["neg"] = -12345;
+  doc["big"] = uint64_t{9007199254740993ull};  // not representable as double
+  Json rows = Json::Array();
+  Json row = Json::Object();
+  row["x"] = 0.1;
+  row["y"] = Json();
+  rows.push_back(std::move(row));
+  doc["rows"] = std::move(rows);
+
+  Result<Json> parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), doc.Dump());
+  EXPECT_EQ(parsed->Find("big")->AsUint(), 9007199254740993ull);
+  EXPECT_DOUBLE_EQ(parsed->Find("pi")->AsDouble(), 3.141592653589793);
+  EXPECT_TRUE(parsed->Find("rows")->at(0).Find("y")->is_null());
+}
+
+TEST(JsonTest, PrettyPrintRoundTrips) {
+  Json doc = Json::Object();
+  doc["a"] = 1;
+  Json inner = Json::Object();
+  inner["b"] = "two";
+  doc["nested"] = std::move(inner);
+  Result<Json> parsed = Json::Parse(doc.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), doc.Dump());
+}
+
+TEST(JsonTest, NonFiniteDoublesSerializeAsNull) {
+  Json doc = Json::Object();
+  doc["nan"] = std::nan("");
+  doc["inf"] = std::numeric_limits<double>::infinity();
+  doc["ninf"] = -std::numeric_limits<double>::infinity();
+  doc["ok"] = 1.0;
+  EXPECT_EQ(doc.Dump(), "{\"nan\":null,\"inf\":null,\"ninf\":null,\"ok\":1}");
+  // The emitted document must stay parseable.
+  Result<Json> parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("nan")->is_null());
+}
+
+TEST(JsonTest, EscapesControlCharactersAndUnicodePassthrough) {
+  Json doc = Json::Object();
+  doc["s"] = std::string("tab\there \x01 and µ");
+  Result<Json> parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("s")->AsString(), "tab\there \x01 and µ");
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Json::Parse("[1,2] trailing").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":nul}").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("{'a':1}").ok());
+  // NaN/inf are not JSON.
+  EXPECT_FALSE(Json::Parse("NaN").ok());
+  EXPECT_FALSE(Json::Parse("[Infinity]").ok());
+}
+
+TEST(JsonTest, ParserRejectsDuplicateKeys) {
+  EXPECT_FALSE(Json::Parse("{\"a\":1,\"a\":2}").ok());
+}
+
+TEST(FormatTest, Helpers) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(2.0, 0), "2");
+  EXPECT_EQ(FmtSigned(1.5, 1), "+1.5");
+  EXPECT_EQ(FmtSigned(-1.5, 1), "-1.5");
+  EXPECT_EQ(FmtPercent(0.45), "45%");
+  EXPECT_EQ(FmtPercent(0.4567, 1), "45.7%");
+  EXPECT_EQ(FmtMbps(2e6, 2.0), "1.0");
+  EXPECT_EQ(FmtMbps(2e6, 0.0), "0.0");
+  EXPECT_EQ(FmtBytes(512), "512 B");
+  EXPECT_EQ(FmtBytes(4096), "4 KB");
+  EXPECT_EQ(FmtBytes(2 * 1024 * 1024), "2 MB");
+}
+
+TEST(TableTest, ColumnsSizeToContent) {
+  // The old bench_util PrintRow used fixed 14-char columns: a cell of 14+
+  // characters collided with its neighbour. The renderer must keep at least
+  // two spaces between the widest cell and the next column.
+  Table t("wide", "", {Column("scheme"), Column("value", "", 0)});
+  t.AddRow({"a-very-long-scheme-name-over-14-chars", 42});
+  t.AddRow({"short", 7});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("a-very-long-scheme-name-over-14-chars  "), std::string::npos) << out;
+  // Every data line must be at least as wide as the longest cell + gutter.
+  EXPECT_NE(out.find("short"), std::string::npos);
+}
+
+TEST(TableTest, RenderCellHonorsHints) {
+  Table t("hints", "",
+          {Column("plain"), Column("pct", "", 1, "%"), Column("gain", "", 0, "%", true)});
+  const std::vector<Column>& cols = t.columns();
+  EXPECT_EQ(t.RenderCell(Json(3.14159), cols[0]), "3.14");
+  EXPECT_EQ(t.RenderCell(Json(12.34), cols[1]), "12.3%");
+  EXPECT_EQ(t.RenderCell(Json(74.0), cols[2]), "+74%");
+  EXPECT_EQ(t.RenderCell(Json(), cols[0]), "-");
+  EXPECT_EQ(t.RenderCell(Json("n/a (sockets)"), cols[1]), "n/a (sockets)");
+  EXPECT_EQ(t.RenderCell(Json(true), cols[0]), "yes");
+  EXPECT_EQ(t.RenderCell(Json(false), cols[0]), "no");
+}
+
+TEST(TableTest, ToJsonKeysRowsByColumn) {
+  Table t("tp", "Throughput", {Column("scheme"), Column("gbps", "GB/s")});
+  t.AddRow({"qat-8970", 5.1});
+  t.AddNote("a note");
+  Json j = t.ToJson();
+  EXPECT_EQ(j.Find("name")->AsString(), "tp");
+  EXPECT_EQ(j.Find("columns")->at(0).AsString(), "scheme");
+  const Json& row = j.Find("rows")->at(0);
+  EXPECT_EQ(row.Find("scheme")->AsString(), "qat-8970");
+  EXPECT_DOUBLE_EQ(row.Find("gbps")->AsDouble(), 5.1);
+  EXPECT_EQ(j.Find("notes")->at(0).AsString(), "a note");
+}
+
+TEST(MetricsTest, SectionsAndOrdering) {
+  MetricSet m;
+  EXPECT_TRUE(m.empty());
+  m.Count("jobs", 2);
+  m.Count("jobs", 3);
+  m.Gauge("gbps", 5.5);
+  m.Gauge("gbps", 6.5);  // overwrite
+  m.AddTimerNs("run", 1500);
+  m.Observe("lat", 1.0);
+  m.Observe("lat", 3.0);
+  EXPECT_FALSE(m.empty());
+
+  Json j = m.ToJson();
+  EXPECT_EQ(j.Find("counters")->Find("jobs")->AsUint(), 5u);
+  EXPECT_DOUBLE_EQ(j.Find("gauges")->Find("gbps")->AsDouble(), 6.5);
+  EXPECT_DOUBLE_EQ(j.Find("timers_us")->Find("run")->AsDouble(), 1.5);
+  const Json* lat = j.Find("series")->Find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Find("count")->AsUint(), 2u);
+  EXPECT_DOUBLE_EQ(lat->Find("mean")->AsDouble(), 2.0);
+}
+
+TEST(MetricsTest, EmptySectionsOmitted) {
+  MetricSet m;
+  m.Count("only_counter");
+  Json j = m.ToJson();
+  EXPECT_NE(j.Find("counters"), nullptr);
+  EXPECT_EQ(j.Find("gauges"), nullptr);
+  EXPECT_EQ(j.Find("timers_us"), nullptr);
+  EXPECT_EQ(j.Find("series"), nullptr);
+}
+
+TEST(MetricsTest, SummarizeRunningStats) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(3.0);
+  Json j = SummarizeRunningStats(s);
+  EXPECT_EQ(j.Find("count")->AsUint(), 3u);
+  EXPECT_DOUBLE_EQ(j.Find("mean")->AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(j.Find("min")->AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(j.Find("max")->AsDouble(), 3.0);
+}
+
+TEST(ReporterTest, JsonDocumentShape) {
+  Reporter r;
+  r.SetRun("figXX", "Figure XX", "a test experiment", "quick");
+  r.Meta("generator", "obs_test");
+  Table& t = r.AddTable("tp", "", {Column("scheme"), Column("gbps")});
+  t.AddRow({"dev", 1.25});
+  r.Note("note text");
+  r.metrics().Count("jobs", 7);
+
+  Json doc = r.ToJson();
+  EXPECT_EQ(doc.Find("schema_version")->AsInt(), kSchemaVersion);
+  EXPECT_EQ(doc.Find("experiment")->AsString(), "figXX");
+  EXPECT_EQ(doc.Find("preset")->AsString(), "quick");
+  EXPECT_EQ(doc.Find("meta")->Find("generator")->AsString(), "obs_test");
+  EXPECT_EQ(doc.Find("tables")->size(), 1u);
+  EXPECT_EQ(doc.Find("notes")->at(0).AsString(), "note text");
+  EXPECT_EQ(doc.Find("metrics")->Find("counters")->Find("jobs")->AsUint(), 7u);
+
+  // The header keys come first and in schema order.
+  const auto& members = doc.members();
+  ASSERT_GE(members.size(), 5u);
+  EXPECT_EQ(members[0].first, "schema_version");
+  EXPECT_EQ(members[1].first, "experiment");
+  EXPECT_EQ(members[2].first, "title");
+  EXPECT_EQ(members[3].first, "description");
+  EXPECT_EQ(members[4].first, "preset");
+}
+
+TEST(ReporterTest, WriteJsonFileRoundTrips) {
+  Reporter r;
+  r.SetRun("figwrite", "Figure W", "writes a file", "paper");
+  Table& t = r.AddTable("only", "", {Column("k"), Column("v", "", 3)});
+  t.AddRow({"a", 0.125});
+
+  std::string path = testing::TempDir() + "/BENCH_figwrite.json";
+  ASSERT_TRUE(r.WriteJsonFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  Result<Json> parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), r.ToJson().Dump());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cdpu

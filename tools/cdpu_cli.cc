@@ -4,6 +4,7 @@
 //   cdpu_cli compress   <codec> <in> <out>     one-shot file compression
 //   cdpu_cli decompress <codec> <in> <out>     inverse
 //   cdpu_cli bench      <codec> <in> [chunk]   per-chunk ratio + speed
+//   cdpu_cli bench      list|run|validate ...  forwards to the cdpu_bench driver
 //   cdpu_cli offload    <codec> <in> [flags]   threaded offload-runtime drive
 //   cdpu_cli entropy    <in> [chunk]           Shannon entropy profile
 //   cdpu_cli list                              available codecs
@@ -29,11 +30,13 @@
 #include <thread>
 #include <vector>
 
+#include "bench/harness/driver.h"
 #include "src/codecs/codec.h"
 #include "src/codecs/entropy.h"
 #include "src/core/dpzip_codec.h"
 #include "src/fault/fault_plan.h"
 #include "src/hw/device_configs.h"
+#include "src/obs/format.h"
 #include "src/runtime/offload_runtime.h"
 
 namespace {
@@ -64,6 +67,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: cdpu_cli compress|decompress <codec> <in> <out>\n"
                "       cdpu_cli bench <codec> <in> [chunk_bytes]\n"
+               "       cdpu_cli bench list|run|validate ...   (the cdpu_bench experiment driver)\n"
                "       cdpu_cli offload <codec> <in> [--threads=N] [--batch=B]\n"
                "                [--chunk=BYTES] [--qps=N] [--device=NAME]\n"
                "                [--fault-rate=P] [--fault-kinds=K,K,...] [--fault-seed=S]\n"
@@ -121,12 +125,11 @@ int Bench(const std::string& codec_name, const std::string& path, size_t chunk) 
     d_seconds += t3 - t2;
   }
   std::printf("%s on %s (%zu-byte chunks):\n", codec->name().c_str(), path.c_str(), chunk);
-  std::printf("  ratio       %.1f%%\n", 100.0 * static_cast<double>(out_bytes) /
-                                            static_cast<double>(in_bytes));
-  std::printf("  compress    %.1f MB/s\n",
-              static_cast<double>(in_bytes) / 1e6 / c_seconds);
-  std::printf("  decompress  %.1f MB/s\n",
-              static_cast<double>(in_bytes) / 1e6 / d_seconds);
+  std::printf("  ratio       %s\n",
+              cdpu::FmtPercent(static_cast<double>(out_bytes) / static_cast<double>(in_bytes), 1)
+                  .c_str());
+  std::printf("  compress    %s MB/s\n", cdpu::FmtMbps(in_bytes, c_seconds).c_str());
+  std::printf("  decompress  %s MB/s\n", cdpu::FmtMbps(in_bytes, d_seconds).c_str());
   return 0;
 }
 
@@ -363,6 +366,16 @@ int main(int argc, char** argv) {
     return Entropy(argv[2], argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0);
   }
   if (cmd == "bench") {
+    if (argc < 3) {
+      return Usage();
+    }
+    std::string sub = argv[2];
+    if (sub == "list" || sub == "run" || sub == "validate") {
+      // Forward the experiment-driver commands to the unified harness: the
+      // experiments are linked into this binary too.
+      std::vector<std::string> args(argv + 2, argv + argc);
+      return cdpu::bench::BenchMain("cdpu_cli bench", args);
+    }
     if (argc < 4) {
       return Usage();
     }
