@@ -1,0 +1,104 @@
+// Compression-as-a-service walkthrough: stand up the epoll service endpoint
+// in-process, speak to it over a real TCP socket with the client library,
+// and watch the admission controller push back when the offered load
+// exceeds the device's in-flight budget.
+//
+//   1. Round trip: compress a generated payload over the wire, decompress
+//      it back, and byte-compare — the service path must be lossless.
+//   2. Codec menu: the same connection carries zstd, lz4 and snappy jobs;
+//      each request names its codec, the runtime resolves it per job.
+//   3. Backpressure: an admission ceiling of 2 with eight eager clients
+//      turns the overflow into retryable BUSY responses, never queueing.
+//
+// Build: cmake --build build --target service_roundtrip
+// Run:   ./build/examples/service_roundtrip
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/hw/device_configs.h"
+#include "src/svc/client.h"
+#include "src/svc/loadgen.h"
+#include "src/svc/server.h"
+#include "src/workload/datagen.h"
+
+using namespace cdpu;
+
+int main() {
+  svc::ServerOptions sopts;
+  sopts.runtime.device = Qat8970Config();
+  svc::ServiceServer server(sopts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("service listening on 127.0.0.1:%u\n\n", server.port());
+
+  // --- 1. One verified round trip over TCP. ---------------------------------
+  svc::ClientOptions copts;
+  copts.port = server.port();
+  svc::ServiceClient client(copts);
+
+  ByteVec payload = GenerateWithRatio(0.4, 256 * 1024, /*seed=*/42);
+  svc::CallResult compressed = client.Compress("zstd-3", payload);
+  if (!compressed.status.ok()) {
+    std::fprintf(stderr, "compress: %s\n", compressed.status.ToString().c_str());
+    return 1;
+  }
+  svc::CallResult restored = client.Decompress("zstd-3", compressed.output);
+  bool lossless = restored.status.ok() && restored.output == payload;
+  std::printf("round trip   %zu -> %zu -> %zu bytes  %s\n", payload.size(),
+              compressed.output.size(), restored.output.size(),
+              lossless ? "(bit-exact)" : "(MISMATCH)");
+  if (!lossless) {
+    return 1;
+  }
+
+  // --- 2. Per-request codecs on one connection. -----------------------------
+  std::printf("\ncodec menu (same service, per-request codec)\n");
+  for (const char* codec : {"zstd-1", "lz4", "snappy", "deflate-6"}) {
+    svc::CallResult r = client.Compress(codec, payload);
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "  %-10s %s\n", codec, r.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-10s %zu -> %zu bytes (%.1f%%)  %.1f us\n", codec, payload.size(),
+                r.output.size(), 100.0 * static_cast<double>(r.output.size()) / payload.size(),
+                static_cast<double>(r.wall_ns) / 1e3);
+  }
+
+  // --- 3. Backpressure: a tiny ceiling versus eager clients. ----------------
+  svc::ServerOptions tight = sopts;
+  tight.admission.max_inflight = 2;
+  svc::ServiceServer tight_server(tight);
+  if (!tight_server.Start().ok()) {
+    std::fprintf(stderr, "tight server failed to start\n");
+    return 1;
+  }
+  svc::LoadGenOptions lopts;
+  lopts.port = tight_server.port();
+  lopts.clients = 8;
+  lopts.requests_per_client = 16;
+  lopts.payload_bytes = 64 * 1024;
+  Result<svc::LoadGenReport> run = RunClosedLoop(lopts);
+  if (!run.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  svc::LoadGenReport report = std::move(run).value();
+  tight_server.Stop();
+  svc::ServiceStats stats = tight_server.Snapshot();
+  std::printf("\nbackpressure (ceiling 2, 8 closed-loop clients)\n");
+  std::printf("  verified round trips  %llu of %llu (failures %llu)\n",
+              static_cast<unsigned long long>(report.requests_ok),
+              static_cast<unsigned long long>(lopts.clients * lopts.requests_per_client),
+              static_cast<unsigned long long>(report.requests_failed));
+  std::printf("  BUSY responses        %llu absorbed by client retries\n",
+              static_cast<unsigned long long>(stats.requests_busy));
+  std::printf("  server never queued: every admit went straight to the runtime\n");
+
+  server.Stop();
+  return report.requests_failed == 0 && report.verify_failures == 0 ? 0 : 1;
+}

@@ -1,6 +1,8 @@
 // LRU block cache (the RocksDB block cache): caches decompressed SSTable
 // data blocks so hot zipfian reads are served from memory instead of flash.
-// Keys are (table identity, block index); capacity is in data bytes.
+// Keys are (table id, block index) — the id is a monotonic per-table serial,
+// never a pointer, so recycled allocations cannot alias cached blocks.
+// Capacity is in data bytes.
 
 #ifndef SRC_KV_BLOCK_CACHE_H_
 #define SRC_KV_BLOCK_CACHE_H_
@@ -22,8 +24,12 @@ class BlockCache {
 
   using Key = uint64_t;
 
-  static Key MakeKey(const void* table, size_t block_index) {
-    return (reinterpret_cast<uint64_t>(table) << 16) ^ static_cast<uint64_t>(block_index);
+  // Table ids must be unique for the cache's lifetime (SsTable draws them
+  // from a monotonic counter). A pointer is NOT a valid identity here: the
+  // allocator reuses freed addresses, so a recycled table would silently
+  // alias a dead table's cached blocks.
+  static Key MakeKey(uint64_t table_id, size_t block_index) {
+    return (table_id << 32) | (static_cast<uint64_t>(block_index) & 0xffffffffULL);
   }
 
   // Returns the cached block or nullptr.
@@ -55,10 +61,10 @@ class BlockCache {
     }
   }
 
-  // Drops every block of `table` (called when compaction releases it).
-  void EraseTable(const void* table, size_t block_count) {
+  // Drops every block of the table (called when compaction releases it).
+  void EraseTable(uint64_t table_id, size_t block_count) {
     for (size_t b = 0; b < block_count; ++b) {
-      auto it = map_.find(MakeKey(table, b));
+      auto it = map_.find(MakeKey(table_id, b));
       if (it != map_.end()) {
         used_ -= it->second.bytes;
         lru_.erase(it->second.lru_pos);

@@ -1,11 +1,17 @@
 #include "src/kv/sstable.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/common/varint.h"
 
 namespace cdpu {
 namespace {
+
+// Monotonic table-id source shared by every DB in the process. Ids are never
+// reused, so block-cache keys stay unique even after a table is destroyed
+// and its heap address is recycled.
+std::atomic<uint64_t> g_next_table_id{1};
 
 void AppendEntry(ByteVec* buf, const Skiplist::Entry& e) {
   PutVarint32(buf, static_cast<uint32_t>(e.key.size()));
@@ -54,6 +60,7 @@ Result<SsTable::BuildOutcome> SsTable::Build(const std::vector<Skiplist::Entry>&
   table->ssd_ = ctx.ssd;
   table->backend_ = ctx.backend;
   table->cache_ = ctx.cache;
+  table->table_id_ = g_next_table_id.fetch_add(1, std::memory_order_relaxed);
   table->first_key_ = entries.front().key;
   table->last_key_ = entries.back().key;
   table->bloom_ = std::make_unique<BloomFilter>(entries.size());
@@ -192,7 +199,7 @@ Result<SsTable::GetOutcome> SsTable::Get(const std::string& key, SimNanos arriva
   std::vector<Skiplist::Entry> loaded;
   SimNanos done = t;
   if (cache_ != nullptr) {
-    entries = cache_->Get(BlockCache::MakeKey(this, block_index));
+    entries = cache_->Get(BlockCache::MakeKey(table_id_, block_index));
   }
   if (entries != nullptr) {
     done = t + static_cast<SimNanos>(kCacheHitNs);
@@ -203,7 +210,7 @@ Result<SsTable::GetOutcome> SsTable::Get(const std::string& key, SimNanos arriva
     }
     loaded = std::move(*r);
     if (cache_ != nullptr) {
-      cache_->Insert(BlockCache::MakeKey(this, block_index), loaded, it->usize);
+      cache_->Insert(BlockCache::MakeKey(table_id_, block_index), loaded, it->usize);
     }
     entries = &loaded;
     uint64_t first_page = it->offset / kPageBytes;
@@ -242,7 +249,7 @@ Result<std::vector<Skiplist::Entry>> SsTable::ReadAll(SimNanos arrival,
 
 void SsTable::Release() {
   if (cache_ != nullptr) {
-    cache_->EraseTable(this, blocks_.size());
+    cache_->EraseTable(table_id_, blocks_.size());
   }
   if (ssd_ != nullptr) {
     for (uint64_t p = 0; p < file_pages_; ++p) {

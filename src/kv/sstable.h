@@ -80,6 +80,8 @@ class SsTable {
   uint64_t base_lpn() const { return base_lpn_; }
   uint64_t file_pages() const { return file_pages_; }
   size_t block_count() const { return blocks_.size(); }
+  // Process-unique monotonic serial; the block cache keys on it.
+  uint64_t table_id() const { return table_id_; }
 
   // Re-reads every entry (for compaction merges). Charges SSD/device time;
   // returns entries in key order.
@@ -111,6 +113,7 @@ class SsTable {
   uint64_t file_pages_ = 0;
   uint64_t file_bytes_ = 0;
   uint64_t data_bytes_ = 0;
+  uint64_t table_id_ = 0;
 };
 
 }  // namespace cdpu

@@ -25,6 +25,7 @@ Json SummarizeSampleSet(SampleSet* samples) {
   j["p50"] = samples->Percentile(50);
   j["p90"] = samples->Percentile(90);
   j["p99"] = samples->Percentile(99);
+  j["p999"] = samples->Percentile(99.9);
   j["max"] = samples->Max();
   return j;
 }

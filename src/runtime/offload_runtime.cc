@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <unordered_map>
 
 namespace cdpu {
 namespace {
@@ -354,14 +355,17 @@ void OffloadRuntime::RunDeviceAttempts(Job* job) {
 
 void OffloadRuntime::EngineLoop(uint32_t engine_index) {
   (void)engine_index;
-  std::unique_ptr<Codec> codec;
-  std::unique_ptr<Codec> fallback;
-  if (!options_.codec.empty()) {
-    codec = MakeCodec(options_.codec);
-    const std::string& fb =
-        options_.fallback_codec.empty() ? options_.codec : options_.fallback_codec;
-    fallback = MakeCodec(fb);
-  }
+  // Thread-local codec instances, keyed by factory name. Jobs name their own
+  // codec (OffloadRequest::codec) or inherit the runtime default; a cached
+  // nullptr records an unknown name so it is not re-resolved per job.
+  std::unordered_map<std::string, std::unique_ptr<Codec>> codecs;
+  auto resolve = [&codecs](const std::string& name) -> Codec* {
+    auto it = codecs.find(name);
+    if (it == codecs.end()) {
+      it = codecs.emplace(name, MakeCodec(name)).first;
+    }
+    return it->second.get();
+  };
   RunningStats local_service_us;  // thread-local; merged on exit
 
   for (;;) {
@@ -381,11 +385,20 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
     uint64_t t0 = clock_.Now();
     uint64_t in_bytes = job->request.input.size();
     uint64_t out_bytes = 0;
-    if (!options_.codec.empty()) {
-      Codec* active = job->result.fell_back ? fallback.get() : codec.get();
+    const std::string& job_codec =
+        job->request.codec.empty() ? options_.codec : job->request.codec;
+    if (!job_codec.empty()) {
+      // The CPU fallback must emit the same stream format the caller asked
+      // for, so a per-job codec falls back to itself; only the runtime
+      // default codec may be substituted via RuntimeOptions::fallback_codec.
+      const std::string& active_name =
+          (job->result.fell_back && job->request.codec.empty() &&
+           !options_.fallback_codec.empty())
+              ? options_.fallback_codec
+              : job_codec;
+      Codec* active = resolve(active_name);
       if (active == nullptr) {
-        job->result.status =
-            Status::InvalidArgument("unknown codec: " + options_.codec);
+        job->result.status = Status::InvalidArgument("unknown codec: " + active_name);
       } else if (!job->request.input.empty()) {
         Result<size_t> r = job->request.op == CdpuOp::kCompress
                                ? active->Compress(job->request.input, &job->result.output)

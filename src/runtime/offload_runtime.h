@@ -104,6 +104,12 @@ using OffloadCallback = std::function<void(const OffloadResult&)>;
 
 struct OffloadRequest {
   CdpuOp op = CdpuOp::kCompress;
+  // Per-job codec override ("" = RuntimeOptions::codec). Lets one runtime
+  // serve heterogeneous traffic — the network service dispatches whatever
+  // codec each request names on the wire. Engine threads cache codec
+  // instances by name, so mixing codecs costs one construction per
+  // (engine, codec) pair.
+  std::string codec;
   ByteSpan input{};          // real payload; may be empty in model-only jobs
   uint64_t model_bytes = 0;  // payload size for the timing model when input is empty
   double ratio_hint = 0.5;   // expected compressed/original for the model

@@ -1,0 +1,75 @@
+#include "src/svc/admission.h"
+
+#include <algorithm>
+
+namespace cdpu {
+namespace svc {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options) : options_(options) {
+  if (options_.arbitration == VfArbitration::kWeightedFair) {
+    per_tenant_limit_ = options_.per_tenant_inflight;
+    if (per_tenant_limit_ == 0 && options_.max_inflight > 0) {
+      per_tenant_limit_ =
+          std::max(1u, options_.max_inflight / std::max(1u, options_.expected_tenants));
+    }
+  }
+}
+
+Status AdmissionController::TryAdmit(uint32_t tenant, uint64_t bytes_in) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantSnapshot& t = tenants_[tenant];
+  t.tenant = tenant;
+  if (options_.max_inflight > 0 && inflight_ >= options_.max_inflight) {
+    ++t.rejected;
+    return Status::ResourceExhausted("service at in-flight ceiling");
+  }
+  if (per_tenant_limit_ > 0 && t.inflight >= per_tenant_limit_) {
+    ++t.rejected;
+    return Status::ResourceExhausted("tenant at fair-share ceiling");
+  }
+  ++inflight_;
+  ++t.inflight;
+  ++t.admitted;
+  t.bytes_in += bytes_in;
+  return Status::Ok();
+}
+
+void AdmissionController::Complete(uint32_t tenant, uint64_t bytes_out, uint64_t wall_ns,
+                                   bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantSnapshot& t = tenants_[tenant];
+  if (inflight_ > 0) {
+    --inflight_;
+  }
+  if (t.inflight > 0) {
+    --t.inflight;
+  }
+  ++t.completed;
+  if (!ok) {
+    ++t.failed;
+  }
+  t.bytes_out += bytes_out;
+  t.wall_latency_us.Add(static_cast<double>(wall_ns) / 1e3);
+}
+
+uint32_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+std::vector<TenantSnapshot> AdmissionController::Snapshot() const {
+  std::vector<TenantSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(tenants_.size());
+    for (const auto& [id, t] : tenants_) {
+      out.push_back(t);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TenantSnapshot& a, const TenantSnapshot& b) { return a.tenant < b.tenant; });
+  return out;
+}
+
+}  // namespace svc
+}  // namespace cdpu

@@ -1,0 +1,83 @@
+// Admission control for the compression service: queue-depth backpressure
+// plus per-tenant accounting. This is the service-level twin of the SR-IOV
+// arbitration study (src/virt, paper Figure 20): an unarbitrated endpoint
+// lets one greedy tenant capture every in-flight slot (QAT-style), while
+// weighted-fair admission holds each tenant to its share so equal offered
+// load means equal admitted throughput (DP-CSD-style front-end QoS).
+//
+// The controller never queues: a request either takes an in-flight slot
+// immediately or is rejected with kResourceExhausted (the wire-visible
+// retryable BUSY). Bounding the server to slot-or-reject is what keeps the
+// epoll loop non-blocking and the server's memory use independent of
+// offered load.
+
+#ifndef SRC_SVC_ADMISSION_H_
+#define SRC_SVC_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/virt/sriov.h"
+
+namespace cdpu {
+namespace svc {
+
+struct AdmissionOptions {
+  // Global in-flight ceiling across all tenants (0 = unbounded). The server
+  // clamps this so admitted work can never block the event loop.
+  uint32_t max_inflight = 64;
+  // kWeightedFair: each tenant is additionally capped at its share;
+  // kUnarbitrated: only the global ceiling applies (first come, all served).
+  VfArbitration arbitration = VfArbitration::kWeightedFair;
+  // Fair-mode per-tenant cap. 0 derives max(1, max_inflight /
+  // expected_tenants) — the equal-share split of the device queue depth.
+  uint32_t per_tenant_inflight = 0;
+  uint32_t expected_tenants = 4;
+};
+
+struct TenantSnapshot {
+  uint32_t tenant = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;   // BUSY responses
+  uint64_t completed = 0;
+  uint64_t failed = 0;     // completed with a non-OK status
+  uint64_t bytes_in = 0;   // request payload bytes admitted
+  uint64_t bytes_out = 0;  // response payload bytes
+  uint32_t inflight = 0;
+  RunningStats wall_latency_us;  // admit-to-completion, server side
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  // Takes an in-flight slot for `tenant` or returns kResourceExhausted.
+  Status TryAdmit(uint32_t tenant, uint64_t bytes_in);
+
+  // Releases the slot taken by TryAdmit and records the outcome.
+  void Complete(uint32_t tenant, uint64_t bytes_out, uint64_t wall_ns, bool ok);
+
+  uint32_t inflight() const;
+  uint32_t per_tenant_limit() const { return per_tenant_limit_; }
+  const AdmissionOptions& options() const { return options_; }
+
+  // Tenants sorted by id.
+  std::vector<TenantSnapshot> Snapshot() const;
+
+ private:
+  AdmissionOptions options_;
+  uint32_t per_tenant_limit_ = 0;  // 0 = uncapped (greedy mode)
+
+  mutable std::mutex mu_;
+  uint32_t inflight_ = 0;
+  std::unordered_map<uint32_t, TenantSnapshot> tenants_;
+};
+
+}  // namespace svc
+}  // namespace cdpu
+
+#endif  // SRC_SVC_ADMISSION_H_

@@ -1,0 +1,203 @@
+#include "src/svc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace cdpu {
+namespace svc {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+Status FromWireStatus(uint8_t code) {
+  if (code == 0) {
+    return Status::Ok();
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Internal("unknown wire status " + std::to_string(code));
+  }
+  StatusCode sc = static_cast<StatusCode>(code);
+  return Status(sc, std::string("server: ") + StatusCodeName(sc));
+}
+
+}  // namespace
+
+ServiceConnection::~ServiceConnection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<ServiceConnection>> ServiceConnection::Dial(const std::string& host,
+                                                                   uint16_t port,
+                                                                   uint64_t io_timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("host must be an IPv4 literal: " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::Unavailable("connect " + host + ":" + std::to_string(port) + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(io_timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((io_timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  return std::unique_ptr<ServiceConnection>(new ServiceConnection(fd));
+}
+
+Status ServiceConnection::Call(const Frame& request, Frame* response) {
+  if (!healthy_) {
+    return Status::Unavailable("connection poisoned by an earlier error");
+  }
+  ByteVec wire = EncodeFrame(request);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      healthy_ = false;
+      return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    Frame frame;
+    FrameParser::Event ev = parser_.Next(&frame);
+    if (ev == FrameParser::Event::kError) {
+      healthy_ = false;
+      return parser_.error();
+    }
+    if (ev == FrameParser::Event::kFrame) {
+      if (frame.type != FrameType::kResponse || frame.request_id != request.request_id) {
+        healthy_ = false;
+        return Status::Internal("response does not match request " +
+                                std::to_string(request.request_id));
+      }
+      *response = std::move(frame);
+      return Status::Ok();
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      parser_.Feed(ByteSpan(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    healthy_ = false;
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+CallResult ServiceClient::Compress(const std::string& codec_name, ByteSpan payload) {
+  return Call(/*decompress=*/false, codec_name, payload);
+}
+
+CallResult ServiceClient::Decompress(const std::string& codec_name, ByteSpan payload) {
+  return Call(/*decompress=*/true, codec_name, payload);
+}
+
+CallResult ServiceClient::Call(bool decompress, const std::string& codec_name,
+                               ByteSpan payload) {
+  CallResult result;
+  Frame request;
+  request.type = FrameType::kRequest;
+  if (!WireCodecFromName(codec_name, &request.codec, &request.level)) {
+    result.status = Status::InvalidArgument("unknown codec: " + codec_name);
+    return result;
+  }
+  request.flags = decompress ? kFlagDecompress : 0;
+  request.tenant_id = options_.tenant;
+  request.payload.assign(payload.begin(), payload.end());
+
+  uint64_t t0 = NowNs();
+  Result<std::unique_ptr<ServiceConnection>> conn = Acquire();
+  if (!conn.ok()) {
+    result.status = conn.status();
+    return result;
+  }
+  std::unique_ptr<ServiceConnection> connection = std::move(conn.value());
+
+  for (uint32_t attempt = 0;; ++attempt) {
+    request.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    Frame response;
+    Status transport = connection->Call(request, &response);
+    if (!transport.ok()) {
+      result.status = transport;  // connection is poisoned; do not pool it
+      result.wall_ns = NowNs() - t0;
+      return result;
+    }
+    Status server = FromWireStatus(response.status);
+    if (server.code() == StatusCode::kResourceExhausted && attempt < options_.busy_retries) {
+      ++result.busy_retries;
+      uint32_t shift = std::min(attempt, 20u);
+      uint64_t backoff_us =
+          std::min(options_.busy_backoff_us << shift, options_.busy_backoff_cap_us);
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      continue;
+    }
+    result.status = server;
+    result.output = std::move(response.payload);
+    result.wall_ns = NowNs() - t0;
+    Release(std::move(connection));
+    return result;
+  }
+}
+
+Result<std::unique_ptr<ServiceConnection>> ServiceClient::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!idle_.empty()) {
+      std::unique_ptr<ServiceConnection> c = std::move(idle_.back());
+      idle_.pop_back();
+      return c;
+    }
+  }
+  return ServiceConnection::Dial(options_.host, options_.port, options_.io_timeout_ms);
+}
+
+void ServiceClient::Release(std::unique_ptr<ServiceConnection> connection) {
+  if (connection == nullptr || !connection->healthy()) {
+    return;  // discarded: destructor closes the socket
+  }
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (idle_.size() < options_.max_connections) {
+    idle_.push_back(std::move(connection));
+  }
+}
+
+}  // namespace svc
+}  // namespace cdpu

@@ -1,0 +1,106 @@
+// Client library for the compression service: blocking request/response
+// connections, a small connection pool, and a retry loop for the server's
+// admission BUSY. This is the library an application links instead of the
+// codec suite when compression runs behind a service endpoint.
+//
+// Threading: ServiceClient is safe to call from many threads — each call
+// checks a connection out of the pool (dialling a new one when the pool is
+// empty and under max_connections) and returns it on success. Connections
+// that see a transport error are discarded, never reused.
+//
+// BUSY handling: a response carrying kResourceExhausted is the server's
+// backpressure signal, not a failure. Call() retries it with capped
+// exponential backoff up to busy_retries times; the terminal BUSY (or
+// busy_retries = 0) surfaces to the caller, who owns the final policy.
+
+#ifndef SRC_SVC_CLIENT_H_
+#define SRC_SVC_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/svc/wire.h"
+
+namespace cdpu {
+namespace svc {
+
+// One blocking TCP connection speaking the frame protocol.
+class ServiceConnection {
+ public:
+  ~ServiceConnection();
+  ServiceConnection(const ServiceConnection&) = delete;
+  ServiceConnection& operator=(const ServiceConnection&) = delete;
+
+  static Result<std::unique_ptr<ServiceConnection>> Dial(const std::string& host, uint16_t port,
+                                                         uint64_t io_timeout_ms = 30'000);
+
+  // Writes `request` and blocks for the matching response (the protocol is
+  // strictly request/response per connection). Any transport or framing
+  // failure poisons the connection.
+  Status Call(const Frame& request, Frame* response);
+
+  bool healthy() const { return healthy_; }
+
+ private:
+  explicit ServiceConnection(int fd) : fd_(fd) {}
+
+  int fd_;
+  bool healthy_ = true;
+  FrameParser parser_;
+};
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t tenant = 0;
+  uint32_t max_connections = 4;
+  // BUSY retry policy: exponential backoff from busy_backoff_us, doubled per
+  // attempt, capped at busy_backoff_cap_us. 0 retries = surface BUSY.
+  uint32_t busy_retries = 8;
+  uint64_t busy_backoff_us = 200;
+  uint64_t busy_backoff_cap_us = 20'000;
+  uint64_t io_timeout_ms = 30'000;
+};
+
+struct CallResult {
+  Status status;             // OK, the server's error, or a transport error
+  ByteVec output;
+  uint32_t busy_retries = 0;  // BUSY responses absorbed before this outcome
+  uint64_t wall_ns = 0;       // first submit to final response
+};
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(const ClientOptions& options) : options_(options) {}
+  ~ServiceClient() = default;
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  // `codec_name` is a factory name ("zstd-3", "lz4", ...).
+  CallResult Compress(const std::string& codec_name, ByteSpan payload);
+  CallResult Decompress(const std::string& codec_name, ByteSpan payload);
+
+  const ClientOptions& options() const { return options_; }
+
+ private:
+  CallResult Call(bool decompress, const std::string& codec_name, ByteSpan payload);
+  Result<std::unique_ptr<ServiceConnection>> Acquire();
+  void Release(std::unique_ptr<ServiceConnection> connection);
+
+  ClientOptions options_;
+  std::atomic<uint64_t> next_request_id_{1};
+
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<ServiceConnection>> idle_;
+};
+
+}  // namespace svc
+}  // namespace cdpu
+
+#endif  // SRC_SVC_CLIENT_H_

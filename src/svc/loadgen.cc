@@ -1,0 +1,126 @@
+#include "src/svc/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "src/codecs/codec.h"
+#include "src/svc/client.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace svc {
+namespace {
+
+struct WorkerOutcome {
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  uint64_t verify_failures = 0;
+  uint64_t busy = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  SampleSet latency_us;
+  uint32_t tenant = 0;
+};
+
+}  // namespace
+
+Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
+  if (options.clients == 0 || options.requests_per_client == 0) {
+    return Status::InvalidArgument("clients and requests_per_client must be positive");
+  }
+  if (MakeCodec(options.codec) == nullptr) {
+    return Status::InvalidArgument("unknown codec: " + options.codec);
+  }
+
+  // Fail fast if the server is unreachable, before spawning threads.
+  {
+    Result<std::unique_ptr<ServiceConnection>> probe =
+        ServiceConnection::Dial(options.host, options.port);
+    if (!probe.ok()) {
+      return probe.status();
+    }
+  }
+
+  std::vector<WorkerOutcome> outcomes(options.clients);
+  std::vector<std::thread> workers;
+  workers.reserve(options.clients);
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint32_t w = 0; w < options.clients; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerOutcome& out = outcomes[w];
+      out.tenant = w % std::max(1u, options.tenants);
+
+      ClientOptions copts;
+      copts.host = options.host;
+      copts.port = options.port;
+      copts.tenant = out.tenant;
+      copts.max_connections = 1;  // closed loop: one connection per client
+      copts.busy_retries = options.busy_retries;
+      copts.busy_backoff_us = options.busy_backoff_us;
+      ServiceClient client(copts);
+
+      ByteVec payload =
+          GenerateWithRatio(options.target_ratio, options.payload_bytes, options.seed + w);
+      for (uint64_t i = 0; i < options.requests_per_client; ++i) {
+        CallResult c = client.Compress(options.codec, payload);
+        out.busy += c.busy_retries;
+        if (!c.status.ok()) {
+          ++out.failed;
+          continue;
+        }
+        out.latency_us.Add(static_cast<double>(c.wall_ns) / 1e3);
+        out.bytes_in += payload.size();
+        out.bytes_out += c.output.size();
+        if (options.verify) {
+          CallResult d = client.Decompress(options.codec, c.output);
+          out.busy += d.busy_retries;
+          if (!d.status.ok()) {
+            ++out.failed;
+            continue;
+          }
+          if (d.output.size() != payload.size() ||
+              !std::equal(d.output.begin(), d.output.end(), payload.begin())) {
+            ++out.verify_failures;
+            continue;
+          }
+        }
+        ++out.ok;
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  LoadGenReport report;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::map<uint32_t, TenantLoadStats> tenants;
+  for (WorkerOutcome& out : outcomes) {
+    report.requests_ok += out.ok;
+    report.requests_failed += out.failed;
+    report.verify_failures += out.verify_failures;
+    report.busy_rejections += out.busy;
+    report.bytes_in += out.bytes_in;
+    report.bytes_out += out.bytes_out;
+    TenantLoadStats& t = tenants[out.tenant];
+    t.tenant = out.tenant;
+    t.ok += out.ok;
+    t.bytes_in += out.bytes_in;
+    for (double sample : out.latency_us.samples()) {
+      report.latency_us.Add(sample);
+      t.latency_us.Add(sample);
+    }
+  }
+  report.tenants.reserve(tenants.size());
+  for (auto& [id, t] : tenants) {
+    report.tenants.push_back(std::move(t));
+  }
+  return report;
+}
+
+}  // namespace svc
+}  // namespace cdpu

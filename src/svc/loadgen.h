@@ -1,0 +1,66 @@
+// Closed-loop load generator for the compression service: N client threads,
+// each with its own connection, each keeping exactly one request in flight
+// (YCSB-style closed loop). Every compress is optionally verified by a
+// decompress round trip and a byte comparison, so the loadgen doubles as an
+// end-to-end correctness oracle — under fault injection the count of
+// verified round trips must still equal the offered count.
+
+#ifndef SRC_SVC_LOADGEN_H_
+#define SRC_SVC_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/status.h"
+
+namespace cdpu {
+namespace svc {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t clients = 4;          // closed-loop threads
+  uint32_t tenants = 2;          // client i presents as tenant i % tenants
+  uint64_t requests_per_client = 64;
+  size_t payload_bytes = 65536;
+  std::string codec = "zstd-1";
+  double target_ratio = 0.4;     // payload compressibility dial
+  bool verify = true;            // decompress + compare every round trip
+  uint64_t seed = 0x10adULL;
+  uint32_t busy_retries = 64;    // generous: closed-loop clients wait out BUSY
+  uint64_t busy_backoff_us = 100;
+};
+
+struct TenantLoadStats {
+  uint32_t tenant = 0;
+  uint64_t ok = 0;
+  uint64_t bytes_in = 0;
+  SampleSet latency_us;  // client-observed compress latency
+};
+
+struct LoadGenReport {
+  uint64_t requests_ok = 0;       // verified (or completed, if !verify) round trips
+  uint64_t requests_failed = 0;   // terminal errors (incl. terminal BUSY)
+  uint64_t verify_failures = 0;   // decompressed bytes differed
+  uint64_t busy_rejections = 0;   // BUSY responses absorbed by retries
+  uint64_t bytes_in = 0;          // original payload bytes offered
+  uint64_t bytes_out = 0;         // compressed bytes received
+  double wall_seconds = 0;
+  SampleSet latency_us;           // per-compress client-observed latency
+  std::vector<TenantLoadStats> tenants;
+
+  double throughput_mbps() const {
+    return wall_seconds > 0 ? static_cast<double>(bytes_in) / 1e6 / wall_seconds : 0;
+  }
+};
+
+// Runs the closed loop to completion. Fails only on setup errors (bad codec
+// name, unreachable server); per-request failures are reported as counts.
+Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options);
+
+}  // namespace svc
+}  // namespace cdpu
+
+#endif  // SRC_SVC_LOADGEN_H_

@@ -1,0 +1,474 @@
+#include "src/svc/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace cdpu {
+namespace svc {
+namespace {
+
+// epoll user-data sentinels; session ids start at 1.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = UINT64_MAX;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(const ServerOptions& options) : options_(options) {}
+
+ServiceServer::~ServiceServer() { Stop(); }
+
+Status ServiceServer::Start() {
+  if (running_.load() || loop_.joinable()) {
+    return Status::Internal("server already started");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Errno("socket");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    Stop();
+    return Status::InvalidArgument("bad bind address: " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("bind " + options_.bind_address + ":" + std::to_string(options_.port));
+    Stop();
+    return st;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status st = Errno("listen");
+    Stop();
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status st = Errno("getsockname");
+    Stop();
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Status st = Errno("epoll_create1/eventfd");
+    Stop();
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  runtime_ = std::make_unique<OffloadRuntime>(options_.runtime);
+
+  // Clamp the admission ceiling below what the runtime can absorb without
+  // Submit() blocking: its in-flight slots plus one submission ring. An
+  // unbounded runtime (queue_limit 0) still gets a finite service ceiling —
+  // "the server never queues unboundedly" is the service contract.
+  const RuntimeOptions& ro = runtime_->options();
+  uint32_t runtime_slots =
+      ro.max_inflight > 0 ? ro.max_inflight : ro.device.queue_limit;
+  admission_ceiling_ = options_.admission.max_inflight;
+  if (admission_ceiling_ == 0) {
+    admission_ceiling_ = runtime_slots > 0 ? runtime_slots : 1024;
+  }
+  if (runtime_slots > 0) {
+    admission_ceiling_ = std::min(admission_ceiling_, runtime_slots + ro.ring_depth);
+  }
+  AdmissionOptions resolved = options_.admission;
+  resolved.max_inflight = admission_ceiling_;
+  admission_ = std::make_unique<AdmissionController>(resolved);
+
+  stopping_.store(false);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { EventLoop(); });
+  return Status::Ok();
+}
+
+void ServiceServer::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  stopping_.store(true);
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+  if (loop_.joinable()) {
+    loop_.join();
+  }
+  running_.store(false, std::memory_order_release);
+  if (runtime_ != nullptr) {
+    runtime_->Shutdown(OffloadRuntime::ShutdownMode::kDrain);
+  }
+  // Completions that raced the shutdown have no session to go to.
+  std::vector<Completion> leftover;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    leftover.swap(completions_);
+  }
+  for (Completion& c : leftover) {
+    if (admission_ != nullptr) {
+      admission_->Complete(c.tenant_id, c.output.size(), NowNs() - c.enqueue_wall,
+                           c.status.ok());
+    }
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.responses_dropped;
+  }
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+void ServiceServer::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        HandleAccept();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t drain = 0;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      auto it = sessions_.find(tag);
+      if (it == sessions_.end()) {
+        continue;  // closed earlier in this batch
+      }
+      Session* session = it->second.get();
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseSession(tag, /*protocol_error=*/false);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        FlushOutbox(session);
+        if (sessions_.find(tag) == sessions_.end()) {
+          continue;  // write error closed it
+        }
+      }
+      if (events[i].events & EPOLLIN) {
+        HandleReadable(session);
+      }
+    }
+  }
+  // Drop every session; in-flight completions are counted as dropped by
+  // Stop() once the runtime drains.
+  std::vector<uint64_t> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) {
+    ids.push_back(id);
+  }
+  for (uint64_t id : ids) {
+    CloseSession(id, /*protocol_error=*/false);
+  }
+}
+
+void ServiceServer::HandleAccept() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;  // EAGAIN or transient error; epoll will re-arm
+    }
+    if (sessions_.size() >= options_.max_sessions) {
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.sessions_rejected;
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    uint64_t id = next_session_id_.fetch_add(1);
+    auto session = std::make_unique<Session>(options_.max_payload);
+    session->id = id;
+    session->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    sessions_.emplace(id, std::move(session));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.sessions_accepted;
+  }
+}
+
+void ServiceServer::HandleReadable(Session* session) {
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(session->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.bytes_rx += static_cast<uint64_t>(n);
+      }
+      session->parser.Feed(ByteSpan(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      CloseSession(session->id, /*protocol_error=*/false);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    CloseSession(session->id, /*protocol_error=*/false);
+    return;
+  }
+
+  uint64_t id = session->id;
+  for (;;) {
+    Frame frame;
+    FrameParser::Event ev = session->parser.Next(&frame);
+    if (ev == FrameParser::Event::kNeedMore) {
+      return;
+    }
+    if (ev == FrameParser::Event::kError) {
+      CloseSession(id, /*protocol_error=*/true);
+      return;
+    }
+    HandleRequest(session, std::move(frame));
+    if (sessions_.find(id) == sessions_.end()) {
+      return;  // request handling closed the session
+    }
+  }
+}
+
+void ServiceServer::HandleRequest(Session* session, Frame&& frame) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests_received;
+  }
+  if (frame.type != FrameType::kRequest) {
+    // Structurally valid but semantically impossible from a client; treat it
+    // like a protocol violation rather than guessing at intent.
+    CloseSession(session->id, /*protocol_error=*/true);
+    return;
+  }
+
+  std::string codec_name = WireCodecToName(frame.codec, frame.level);
+  if (codec_name.empty() || MakeCodec(codec_name) == nullptr) {
+    Respond(session, frame.request_id, frame.tenant_id, frame.codec, frame.level, frame.flags,
+            StatusCode::kInvalidArgument, {});
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests_failed;
+    return;
+  }
+
+  Status admit = admission_->TryAdmit(frame.tenant_id, frame.payload.size());
+  if (!admit.ok()) {
+    Respond(session, frame.request_id, frame.tenant_id, frame.codec, frame.level, frame.flags,
+            StatusCode::kResourceExhausted, {});
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests_busy;
+    return;
+  }
+
+  // The payload must outlive Submit(): park it on the heap and let the
+  // completion callback reclaim it.
+  auto* payload = new ByteVec(std::move(frame.payload));
+  Completion meta;
+  meta.session_id = session->id;
+  meta.request_id = frame.request_id;
+  meta.tenant_id = frame.tenant_id;
+  meta.codec = frame.codec;
+  meta.level = frame.level;
+  meta.flags = frame.flags;
+  meta.enqueue_wall = NowNs();
+
+  OffloadRequest req;
+  req.op = (frame.flags & kFlagDecompress) != 0 ? CdpuOp::kDecompress : CdpuOp::kCompress;
+  req.input = *payload;
+  req.codec = codec_name;
+  req.queue_pair = static_cast<uint32_t>(session->id % runtime_->options().queue_pairs);
+  req.callback = [this, payload, meta](const OffloadResult& result) {
+    Completion c = meta;
+    c.status = result.status;
+    c.output = result.output;  // copy: the result object is reused for the future
+    delete payload;
+    PostCompletion(std::move(c));
+  };
+  uint32_t qp = req.queue_pair;
+  runtime_->Submit(std::move(req));
+  if (options_.flush_every_request) {
+    runtime_->Flush(qp);
+  }
+}
+
+void ServiceServer::PostCompletion(Completion&& completion) {
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    completions_.push_back(std::move(completion));
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void ServiceServer::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& c : batch) {
+    admission_->Complete(c.tenant_id, c.output.size(), NowNs() - c.enqueue_wall,
+                         c.status.ok());
+    auto it = sessions_.find(c.session_id);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (c.status.ok()) {
+        ++stats_.requests_ok;
+      } else {
+        ++stats_.requests_failed;
+      }
+      if (it == sessions_.end()) {
+        ++stats_.responses_dropped;
+      }
+    }
+    if (it != sessions_.end()) {
+      Respond(it->second.get(), c.request_id, c.tenant_id, c.codec, c.level, c.flags,
+              c.status.ok() ? StatusCode::kOk : c.status.code(), std::move(c.output));
+    }
+  }
+}
+
+void ServiceServer::Respond(Session* session, uint64_t request_id, uint32_t tenant_id,
+                            uint8_t codec, uint8_t level, uint16_t flags, StatusCode code,
+                            ByteVec payload) {
+  Frame response;
+  response.type = FrameType::kResponse;
+  response.codec = codec;
+  response.level = level;
+  response.status = static_cast<uint8_t>(code);
+  response.flags = flags;
+  response.request_id = request_id;
+  response.tenant_id = tenant_id;
+  response.payload = std::move(payload);
+  session->outbox.push_back(EncodeFrame(response));
+  FlushOutbox(session);
+}
+
+void ServiceServer::FlushOutbox(Session* session) {
+  while (!session->outbox.empty()) {
+    const ByteVec& front = session->outbox.front();
+    size_t remaining = front.size() - session->outbox_offset;
+    ssize_t n = ::send(session->fd, front.data() + session->outbox_offset, remaining,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.bytes_tx += static_cast<uint64_t>(n);
+      }
+      session->outbox_offset += static_cast<size_t>(n);
+      if (session->outbox_offset == front.size()) {
+        session->outbox.pop_front();
+        session->outbox_offset = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!session->want_write) {
+        session->want_write = true;
+        UpdateEpoll(session);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    CloseSession(session->id, /*protocol_error=*/false);
+    return;
+  }
+  if (session->want_write) {
+    session->want_write = false;
+    UpdateEpoll(session);
+  }
+}
+
+void ServiceServer::UpdateEpoll(Session* session) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (session->want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = session->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, session->fd, &ev);
+}
+
+void ServiceServer::CloseSession(uint64_t session_id, bool protocol_error) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  sessions_.erase(it);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.sessions_closed;
+  if (protocol_error) {
+    ++stats_.protocol_errors;
+  }
+}
+
+ServiceStats ServiceServer::Snapshot() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
+  if (admission_ != nullptr) {
+    s.tenants = admission_->Snapshot();
+  }
+  if (runtime_ != nullptr) {
+    s.runtime = runtime_->Snapshot();
+  }
+  return s;
+}
+
+}  // namespace svc
+}  // namespace cdpu

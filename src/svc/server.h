@@ -1,0 +1,170 @@
+// Compression-as-a-service endpoint: an epoll-based TCP server fronting the
+// parallel offload runtime, the way QATzip-style deployments front the
+// accelerator with a service socket instead of linking it in-process.
+//
+//   clients ──TCP──► epoll loop ──► FrameParser ──► AdmissionController
+//                      ▲                               │ slot or BUSY
+//                      │ eventfd                       ▼
+//                  completion queue ◄── reaper ◄── OffloadRuntime
+//                                                  (faults / retries /
+//                                                   CPU fallback intact)
+//
+// One event-loop thread owns every socket: non-blocking accept, read,
+// frame parsing, admission and response writes all happen there, so session
+// state needs no locking. Accepted requests are submitted to the
+// OffloadRuntime (whose dispatcher/engine/reaper threads do the work); the
+// completion callback runs on the runtime's reaper thread and hands the
+// result back to the loop through a mutex-guarded queue plus an eventfd
+// wake-up. A session that dies with requests in flight just loses its
+// responses — the admission slot is still released when the job completes,
+// and no other session is disturbed.
+//
+// Backpressure contract: the server never queues a request it cannot start.
+// The admission ceiling is clamped below the runtime's own capacity
+// (in-flight slots + one submission ring), so OffloadRuntime::Submit can
+// never block the event loop; anything beyond the ceiling is answered
+// immediately with a retryable BUSY (kResourceExhausted on the wire).
+
+#ifndef SRC_SVC_SERVER_H_
+#define SRC_SVC_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/offload_runtime.h"
+#include "src/svc/admission.h"
+#include "src/svc/wire.h"
+
+namespace cdpu {
+namespace svc {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
+  uint32_t max_sessions = 256;
+  size_t max_payload = kMaxPayloadBytes;
+  AdmissionOptions admission;
+  // Ring the runtime doorbell after every submission instead of waiting for
+  // a full batch or the coalescing window. A service answering closed-loop
+  // clients wants the doorbell immediately; batch-oriented callers can turn
+  // this off to recover doorbell coalescing.
+  bool flush_every_request = true;
+  // Device model, engine threads, fault plan and recovery policy for the
+  // backing runtime. `runtime.codec` is a default only — every request
+  // names its own codec on the wire.
+  RuntimeOptions runtime;
+};
+
+struct ServiceStats {
+  uint64_t sessions_accepted = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t sessions_rejected = 0;  // over max_sessions
+  uint64_t protocol_errors = 0;    // sessions dropped for malformed frames
+  uint64_t requests_received = 0;  // well-formed request frames
+  uint64_t requests_ok = 0;
+  uint64_t requests_busy = 0;      // admission rejections (wire BUSY)
+  uint64_t requests_failed = 0;    // non-OK completions (bad codec, codec error)
+  uint64_t responses_dropped = 0;  // session closed before its completion
+  uint64_t bytes_rx = 0;           // raw socket bytes in
+  uint64_t bytes_tx = 0;           // raw socket bytes out
+  std::vector<TenantSnapshot> tenants;
+  RuntimeStats runtime;  // the backing OffloadRuntime's own counters
+};
+
+class ServiceServer {
+ public:
+  explicit ServiceServer(const ServerOptions& options);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  // Binds + listens and spawns the event-loop thread. Not restartable.
+  Status Start();
+
+  // Stops accepting, closes every session, drains the runtime. Idempotent.
+  void Stop();
+
+  // Valid after a successful Start(); resolves port 0 to the bound port.
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServiceStats Snapshot() const;
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameParser parser;
+    std::deque<ByteVec> outbox;  // pending writes; front may be partially sent
+    size_t outbox_offset = 0;
+    bool want_write = false;
+
+    explicit Session(size_t max_payload) : parser(max_payload) {}
+  };
+
+  // A completed offload job travelling reaper thread -> event loop.
+  struct Completion {
+    uint64_t session_id = 0;
+    uint64_t request_id = 0;
+    uint32_t tenant_id = 0;
+    uint8_t codec = 0;
+    uint8_t level = 0;
+    uint16_t flags = 0;
+    uint64_t enqueue_wall = 0;
+    Status status;
+    ByteVec output;
+  };
+
+  void EventLoop();
+  void HandleAccept();
+  void HandleReadable(Session* session);
+  void HandleRequest(Session* session, Frame&& frame);
+  void Respond(Session* session, uint64_t request_id, uint32_t tenant_id, uint8_t codec,
+               uint8_t level, uint16_t flags, StatusCode code, ByteVec payload);
+  void FlushOutbox(Session* session);
+  void UpdateEpoll(Session* session);
+  void CloseSession(uint64_t session_id, bool protocol_error);
+  void DrainCompletions();
+  void PostCompletion(Completion&& completion);
+
+  ServerOptions options_;
+  uint32_t admission_ceiling_ = 0;  // resolved + clamped global ceiling
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<OffloadRuntime> runtime_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions + Stop() both kick the loop
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_session_id_{1};
+
+  // Owned by the event-loop thread exclusively.
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+
+  // Reaper -> event loop handoff.
+  std::mutex completion_mu_;
+  std::vector<Completion> completions_;
+
+  // Counters shared with Snapshot().
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+
+  std::thread loop_;
+  std::mutex stop_mu_;  // serialises Stop() callers
+};
+
+}  // namespace svc
+}  // namespace cdpu
+
+#endif  // SRC_SVC_SERVER_H_

@@ -1,0 +1,35 @@
+#include "src/svc/stats_export.h"
+
+#include "src/runtime/stats_export.h"
+
+namespace cdpu {
+namespace svc {
+
+void ExportServiceStats(const ServiceStats& stats, const std::string& prefix,
+                        obs::MetricSet* metrics) {
+  metrics->Count(prefix + "sessions_accepted", stats.sessions_accepted);
+  metrics->Count(prefix + "sessions_closed", stats.sessions_closed);
+  metrics->Count(prefix + "sessions_rejected", stats.sessions_rejected);
+  metrics->Count(prefix + "protocol_errors", stats.protocol_errors);
+  metrics->Count(prefix + "requests_received", stats.requests_received);
+  metrics->Count(prefix + "requests_ok", stats.requests_ok);
+  metrics->Count(prefix + "requests_busy", stats.requests_busy);
+  metrics->Count(prefix + "requests_failed", stats.requests_failed);
+  metrics->Count(prefix + "responses_dropped", stats.responses_dropped);
+  metrics->Count(prefix + "bytes_rx", stats.bytes_rx);
+  metrics->Count(prefix + "bytes_tx", stats.bytes_tx);
+  for (const TenantSnapshot& t : stats.tenants) {
+    const std::string tp = prefix + "tenant" + std::to_string(t.tenant) + ".";
+    metrics->Count(tp + "admitted", t.admitted);
+    metrics->Count(tp + "rejected", t.rejected);
+    metrics->Count(tp + "completed", t.completed);
+    metrics->Count(tp + "failed", t.failed);
+    metrics->Count(tp + "bytes_in", t.bytes_in);
+    metrics->Count(tp + "bytes_out", t.bytes_out);
+    metrics->Summary(tp + "wall_latency_us", obs::SummarizeRunningStats(t.wall_latency_us));
+  }
+  ExportRuntimeStats(stats.runtime, prefix + "runtime.", metrics);
+}
+
+}  // namespace svc
+}  // namespace cdpu

@@ -1,0 +1,27 @@
+// Bridges ServiceStats (per-session and per-tenant service counters) into
+// the obs metric model, the same way src/runtime/stats_export.h bridges
+// RuntimeStats. Experiments and the serve CLI use this so service telemetry
+// lands in the Reporter's BENCH_*.json alongside runtime counters.
+
+#ifndef SRC_SVC_STATS_EXPORT_H_
+#define SRC_SVC_STATS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/svc/server.h"
+
+namespace cdpu {
+namespace svc {
+
+// Exports every ServiceStats field under `prefix` (e.g. "svc."): session and
+// request counters, byte tallies, and one summary + counter set per tenant
+// under "<prefix>tenant<id>.". The embedded RuntimeStats are exported via
+// ExportRuntimeStats under "<prefix>runtime.".
+void ExportServiceStats(const ServiceStats& stats, const std::string& prefix,
+                        obs::MetricSet* metrics);
+
+}  // namespace svc
+}  // namespace cdpu
+
+#endif  // SRC_SVC_STATS_EXPORT_H_

@@ -1,0 +1,213 @@
+#include "src/svc/wire.h"
+
+#include <cstring>
+
+#include "src/common/crc32.h"
+
+namespace cdpu {
+namespace svc {
+namespace {
+
+void PutU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+void PutU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+struct CodecNameEntry {
+  WireCodec codec;
+  const char* base;   // factory base name
+  bool has_levels;    // accepts a "-<level>" suffix
+  uint8_t min_level;
+  uint8_t max_level;
+};
+
+constexpr CodecNameEntry kCodecNames[] = {
+    {WireCodec::kDeflate, "deflate", true, 1, 9},
+    {WireCodec::kGzip, "gzip", true, 1, 9},
+    {WireCodec::kZstd, "zstd", true, 1, 12},
+    {WireCodec::kLz4, "lz4", false, 0, 0},
+    {WireCodec::kSnappy, "snappy", false, 0, 0},
+    {WireCodec::kDpzip, "dpzip", false, 0, 0},
+};
+
+}  // namespace
+
+bool WireCodecFromName(const std::string& name, uint8_t* codec, uint8_t* level) {
+  for (const CodecNameEntry& e : kCodecNames) {
+    std::string base(e.base);
+    if (name == base) {
+      *codec = static_cast<uint8_t>(e.codec);
+      *level = 0;
+      return true;
+    }
+    if (e.has_levels && name.size() > base.size() + 1 && name.compare(0, base.size(), base) == 0 &&
+        name[base.size()] == '-') {
+      const std::string digits = name.substr(base.size() + 1);
+      if (digits.empty() || digits.size() > 2) {
+        return false;
+      }
+      unsigned parsed = 0;
+      for (char c : digits) {
+        if (c < '0' || c > '9') {
+          return false;
+        }
+        parsed = parsed * 10 + static_cast<unsigned>(c - '0');
+      }
+      if (parsed < e.min_level || parsed > e.max_level) {
+        return false;
+      }
+      *codec = static_cast<uint8_t>(e.codec);
+      *level = static_cast<uint8_t>(parsed);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string WireCodecToName(uint8_t codec, uint8_t level) {
+  for (const CodecNameEntry& e : kCodecNames) {
+    if (static_cast<uint8_t>(e.codec) != codec) {
+      continue;
+    }
+    if (level == 0 || !e.has_levels) {
+      return e.base;
+    }
+    if (level < e.min_level || level > e.max_level) {
+      return "";
+    }
+    return std::string(e.base) + "-" + std::to_string(level);
+  }
+  return "";
+}
+
+void AppendFrame(const Frame& frame, ByteVec* out) {
+  uint8_t header[kHeaderBytes] = {0};
+  PutU32(header + 0, kWireMagic);
+  header[4] = kWireVersion;
+  header[5] = static_cast<uint8_t>(frame.type);
+  header[6] = frame.codec;
+  header[7] = frame.level;
+  header[8] = frame.status;
+  header[9] = 0;
+  PutU16(header + 10, frame.flags);
+  PutU64(header + 12, frame.request_id);
+  PutU32(header + 20, frame.tenant_id);
+  PutU32(header + 24, static_cast<uint32_t>(frame.payload.size()));
+  PutU32(header + 28, Crc32(frame.payload));
+  PutU32(header + 32, Crc32(ByteSpan(header, 32)));
+  PutU32(header + 36, 0);
+  out->insert(out->end(), header, header + kHeaderBytes);
+  out->insert(out->end(), frame.payload.begin(), frame.payload.end());
+}
+
+ByteVec EncodeFrame(const Frame& frame) {
+  ByteVec out;
+  out.reserve(kHeaderBytes + frame.payload.size());
+  AppendFrame(frame, &out);
+  return out;
+}
+
+void FrameParser::Feed(ByteSpan data) {
+  if (!error_.ok()) {
+    return;  // poisoned; drop everything
+  }
+  // Compact the consumed prefix before growing: sessions that speak many
+  // small frames would otherwise accumulate an unbounded buffer.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+FrameParser::Event FrameParser::Next(Frame* out) {
+  if (!error_.ok()) {
+    return Event::kError;
+  }
+  if (buffered() < kHeaderBytes) {
+    return Event::kNeedMore;
+  }
+  const uint8_t* h = buf_.data() + pos_;
+  if (GetU32(h) != kWireMagic) {
+    error_ = Status::CorruptData("bad frame magic");
+    return Event::kError;
+  }
+  if (h[4] != kWireVersion) {
+    error_ = Status::InvalidArgument("unsupported wire version " + std::to_string(h[4]));
+    return Event::kError;
+  }
+  const uint8_t type = h[5];
+  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+      type != static_cast<uint8_t>(FrameType::kResponse)) {
+    error_ = Status::InvalidArgument("unknown frame type " + std::to_string(type));
+    return Event::kError;
+  }
+  if (h[9] != 0 || GetU32(h + 36) != 0) {
+    error_ = Status::InvalidArgument("nonzero reserved header bytes");
+    return Event::kError;
+  }
+  const uint32_t payload_len = GetU32(h + 24);
+  if (payload_len > max_payload_) {
+    error_ = Status::ResourceExhausted("frame payload " + std::to_string(payload_len) +
+                                       " exceeds limit " + std::to_string(max_payload_));
+    return Event::kError;
+  }
+  if (GetU32(h + 32) != Crc32(ByteSpan(h, 32))) {
+    error_ = Status::CorruptData("header CRC mismatch");
+    return Event::kError;
+  }
+  if (buffered() < kHeaderBytes + payload_len) {
+    return Event::kNeedMore;
+  }
+  const uint8_t* payload = h + kHeaderBytes;
+  if (GetU32(h + 28) != Crc32(ByteSpan(payload, payload_len))) {
+    error_ = Status::CorruptData("payload CRC mismatch");
+    return Event::kError;
+  }
+
+  out->type = static_cast<FrameType>(type);
+  out->codec = h[6];
+  out->level = h[7];
+  out->status = h[8];
+  out->flags = GetU16(h + 10);
+  out->request_id = GetU64(h + 12);
+  out->tenant_id = GetU32(h + 20);
+  out->payload.assign(payload, payload + payload_len);
+  pos_ += kHeaderBytes + payload_len;
+  return Event::kFrame;
+}
+
+}  // namespace svc
+}  // namespace cdpu

@@ -1,0 +1,118 @@
+// Wire protocol for the compression service (src/svc): length-prefixed
+// binary frames over TCP, QATzip-endpoint style. Every frame is a fixed
+// 40-byte header followed by `payload_len` payload bytes:
+//
+//   offset  size  field
+//   0       4     magic        0x5A504443 ("CDPZ", little-endian)
+//   4       1     version      kWireVersion
+//   5       1     type         1 = request, 2 = response
+//   6       1     codec        WireCodec id (echoed in responses)
+//   7       1     level        codec level, 0 = codec default
+//   8       1     status       StatusCode (responses; 0 in requests)
+//   9       1     reserved     must be 0
+//   10      2     flags        bit 0 = decompress (default is compress)
+//   12      8     request_id   client-chosen, echoed verbatim
+//   20      4     tenant_id    admission/accounting identity
+//   24      4     payload_len  payload bytes following the header
+//   28      4     payload_crc  CRC-32 (ISO-HDLC) of the payload
+//   32      4     header_crc   CRC-32 of header bytes [0, 32)
+//   36      4     reserved2    must be 0 (future: deadline/priority)
+//   40            payload
+//
+// All multi-byte fields are little-endian. The header CRC lets the parser
+// reject a corrupted or misaligned header before trusting payload_len; the
+// payload CRC catches payload corruption end-to-end. A frame that fails any
+// structural check (magic, version, type, reserved bytes, oversized
+// payload, either CRC) is a *protocol error*: the server drops the session,
+// because nothing downstream of a bad length field can be trusted. A
+// well-formed request the server cannot satisfy (unknown codec, admission
+// BUSY, codec failure) gets a response frame carrying a non-OK status
+// instead.
+
+#ifndef SRC_SVC_WIRE_H_
+#define SRC_SVC_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/codecs/codec.h"
+#include "src/common/status.h"
+
+namespace cdpu {
+namespace svc {
+
+inline constexpr uint32_t kWireMagic = 0x5A504443;  // "CDPZ"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kHeaderBytes = 40;
+// Hard payload ceiling; ServerOptions/FrameParser may tighten it further.
+inline constexpr size_t kMaxPayloadBytes = 64u * 1024 * 1024;
+
+enum class FrameType : uint8_t { kRequest = 1, kResponse = 2 };
+
+// Stable wire ids for the codec suite. Levels ride in the separate `level`
+// byte so e.g. deflate-1 and deflate-9 share an id.
+enum class WireCodec : uint8_t {
+  kDeflate = 0,
+  kGzip = 1,
+  kZstd = 2,
+  kLz4 = 3,
+  kSnappy = 4,
+  kDpzip = 5,
+};
+inline constexpr uint8_t kNumWireCodecs = 6;
+
+// Request flag bits.
+inline constexpr uint16_t kFlagDecompress = 1u << 0;
+
+// Maps a factory codec name ("zstd-3", "deflate", "lz4", ...) to its wire
+// (codec, level) pair. Returns false for names MakeCodec would reject.
+bool WireCodecFromName(const std::string& name, uint8_t* codec, uint8_t* level);
+
+// Inverse mapping; returns "" for out-of-range codec ids. level 0 yields
+// the bare codec name (the factory default level).
+std::string WireCodecToName(uint8_t codec, uint8_t level);
+
+// One decoded frame. `status` carries a StatusCode value on responses.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  uint8_t codec = 0;
+  uint8_t level = 0;
+  uint8_t status = 0;
+  uint16_t flags = 0;
+  uint64_t request_id = 0;
+  uint32_t tenant_id = 0;
+  ByteVec payload;
+};
+
+// Serialises `frame` (computing both CRCs) and appends it to `*out`.
+void AppendFrame(const Frame& frame, ByteVec* out);
+ByteVec EncodeFrame(const Frame& frame);
+
+// Incremental frame decoder for a non-blocking byte stream. Feed() raw
+// socket bytes, then call Next() until it stops returning kFrame. Once a
+// structural error is detected the parser is poisoned: every subsequent
+// Next() returns kError and the session must be dropped.
+class FrameParser {
+ public:
+  explicit FrameParser(size_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload < kMaxPayloadBytes ? max_payload : kMaxPayloadBytes) {}
+
+  void Feed(ByteSpan data);
+
+  enum class Event { kFrame, kNeedMore, kError };
+  Event Next(Frame* out);
+
+  const Status& error() const { return error_; }
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_payload_;
+  ByteVec buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  Status error_;
+};
+
+}  // namespace svc
+}  // namespace cdpu
+
+#endif  // SRC_SVC_WIRE_H_

@@ -1,0 +1,256 @@
+// End-to-end loopback tests for the compression service: server and clients
+// in one process over real TCP sockets. Covers every codec the wire protocol
+// names, concurrent multi-tenant sessions, admission backpressure (the BUSY
+// path), semantic error responses, and — the critical one — a fault-injected
+// run where the offload runtime's retry/CPU-fallback machinery is active and
+// the closed-loop verifier proves no request was lost, duplicated or
+// corrupted on its way through sockets, rings and recovery.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/dpzip_codec.h"
+#include "src/fault/fault_plan.h"
+#include "src/hw/device_configs.h"
+#include "src/svc/client.h"
+#include "src/svc/loadgen.h"
+#include "src/svc/server.h"
+#include "src/svc/wire.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace svc {
+namespace {
+
+int FuzzRounds() {
+  const char* env = std::getenv("CDPU_FUZZ_ROUNDS");
+  if (env == nullptr) {
+    return 1;
+  }
+  int rounds = std::atoi(env);
+  return rounds > 0 ? rounds : 1;
+}
+
+TEST(SvcLoopbackTest, EveryCodecRoundTripsBitExact) {
+  DpzipCodec::RegisterWithFactory();  // dpzip is opt-in, exactly as in the CLI
+  ServerOptions sopts;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.port = server.port();
+  ServiceClient client(copts);
+
+  ByteVec payload = GenerateWithRatio(0.45, 96 * 1024, /*seed=*/3);
+  for (const char* codec : {"deflate-1", "deflate-9", "gzip", "zstd-1", "zstd-9", "lz4",
+                            "snappy", "dpzip"}) {
+    CallResult c = client.Compress(codec, payload);
+    ASSERT_TRUE(c.status.ok()) << codec << ": " << c.status.ToString();
+    EXPECT_FALSE(c.output.empty()) << codec;
+    CallResult d = client.Decompress(codec, c.output);
+    ASSERT_TRUE(d.status.ok()) << codec << ": " << d.status.ToString();
+    EXPECT_EQ(d.output, payload) << codec << " corrupted the payload";
+  }
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  EXPECT_EQ(stats.requests_failed, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(SvcLoopbackTest, EmptyAndTinyPayloads) {
+  ServerOptions sopts;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ClientOptions copts;
+  copts.port = server.port();
+  ServiceClient client(copts);
+
+  for (size_t size : {size_t{0}, size_t{1}, size_t{2}, size_t{100}}) {
+    ByteVec payload = GenerateWithRatio(0.5, size, size + 1);
+    payload.resize(size);
+    CallResult c = client.Compress("zstd-1", payload);
+    ASSERT_TRUE(c.status.ok()) << size << ": " << c.status.ToString();
+    CallResult d = client.Decompress("zstd-1", c.output);
+    ASSERT_TRUE(d.status.ok()) << size;
+    EXPECT_EQ(d.output, payload) << size;
+  }
+  server.Stop();
+}
+
+TEST(SvcLoopbackTest, UnknownCodecIsAnErrorResponseNotADrop) {
+  ServerOptions sopts;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Speak the frame protocol directly: a well-formed request naming a codec
+  // id past the table must earn a kInvalidArgument *response* — the session
+  // survives and carries a good request afterwards.
+  Result<std::unique_ptr<ServiceConnection>> conn =
+      ServiceConnection::Dial("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+
+  Frame bad;
+  bad.type = FrameType::kRequest;
+  bad.codec = kNumWireCodecs + 3;
+  bad.request_id = 11;
+  Frame response;
+  ASSERT_TRUE((*conn)->Call(bad, &response).ok());
+  EXPECT_EQ(response.status, static_cast<uint8_t>(StatusCode::kInvalidArgument));
+  EXPECT_EQ(response.request_id, 11u);
+
+  ByteVec payload = GenerateWithRatio(0.5, 4096, 5);
+  Frame good;
+  good.type = FrameType::kRequest;
+  uint8_t codec = 0;
+  uint8_t level = 0;
+  ASSERT_TRUE(WireCodecFromName("lz4", &codec, &level));
+  good.codec = codec;
+  good.level = level;
+  good.request_id = 12;
+  good.payload = payload;
+  ASSERT_TRUE((*conn)->Call(good, &response).ok());
+  EXPECT_EQ(response.status, static_cast<uint8_t>(StatusCode::kOk));
+  EXPECT_EQ(response.request_id, 12u);
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.requests_failed, 1u);
+  EXPECT_EQ(stats.requests_ok, 1u);
+}
+
+TEST(SvcLoopbackTest, BackpressureEngagesAndIsRetryable) {
+  ServerOptions sopts;
+  sopts.admission.max_inflight = 1;  // everything beyond one request is BUSY
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions lopts;
+  lopts.port = server.port();
+  lopts.clients = 6;
+  lopts.requests_per_client = 8;
+  lopts.payload_bytes = 32 * 1024;
+  Result<LoadGenReport> run = RunClosedLoop(lopts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  // With 6 eager clients against a ceiling of 1 the server must have pushed
+  // back — and every rejection must have been absorbed by retries, not
+  // surfaced as a failure or queued unboundedly.
+  EXPECT_GT(stats.requests_busy, 0u);
+  EXPECT_EQ(run->busy_rejections, stats.requests_busy);
+  EXPECT_EQ(run->requests_ok, 6u * 8u);
+  EXPECT_EQ(run->requests_failed, 0u);
+  EXPECT_EQ(run->verify_failures, 0u);
+}
+
+TEST(SvcLoopbackTest, ConcurrentTenantsAllVerify) {
+  ServerOptions sopts;
+  sopts.admission.expected_tenants = 4;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions lopts;
+  lopts.port = server.port();
+  lopts.clients = 8;
+  lopts.tenants = 4;
+  lopts.requests_per_client = 8 * FuzzRounds();
+  lopts.payload_bytes = 16 * 1024;
+  Result<LoadGenReport> run = RunClosedLoop(lopts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  EXPECT_EQ(run->requests_ok, 8u * lopts.requests_per_client);
+  EXPECT_EQ(run->requests_failed, 0u);
+  EXPECT_EQ(run->verify_failures, 0u);
+  ASSERT_EQ(run->tenants.size(), 4u);
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  ASSERT_EQ(stats.tenants.size(), 4u);
+  uint64_t completed = 0;
+  for (const TenantSnapshot& t : stats.tenants) {
+    EXPECT_EQ(t.failed, 0u);
+    EXPECT_EQ(t.inflight, 0u);  // every admission slot was released
+    completed += t.completed;
+  }
+  // compress + decompress per verified round trip, all accounted per-tenant.
+  EXPECT_EQ(completed, 2u * run->requests_ok);
+}
+
+// The tentpole guarantee: with the fault injector firing inside the offload
+// runtime (verify mismatches, timeouts, stalls, resets) the service must
+// still verify every round trip — recovery (retry + CPU fallback) is
+// invisible at the wire, and nothing is lost, duplicated or corrupted.
+TEST(SvcLoopbackTest, FaultInjectedRunLosesNothing) {
+  ServerOptions sopts;
+  sopts.runtime.device = Qat8970Config();
+  sopts.runtime.fault_plan.seed = 0xFA17ull;
+  for (uint32_t kind = 0; kind < kNumFaultKinds; ++kind) {
+    sopts.runtime.fault_plan.rate[kind] = 0.05;
+  }
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions lopts;
+  lopts.port = server.port();
+  lopts.clients = 6;
+  lopts.tenants = 3;
+  lopts.requests_per_client = 12 * FuzzRounds();
+  lopts.payload_bytes = 24 * 1024;
+  lopts.codec = "zstd-1";
+  Result<LoadGenReport> run = RunClosedLoop(lopts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  // Faults actually fired...
+  EXPECT_GT(stats.runtime.faults_injected, 0u);
+  // ...and recovery hid every one of them from the wire.
+  EXPECT_EQ(run->requests_ok, 6u * lopts.requests_per_client);
+  EXPECT_EQ(run->requests_failed, 0u);
+  EXPECT_EQ(run->verify_failures, 0u);
+  EXPECT_EQ(stats.responses_dropped, 0u);
+  // Request conservation: every admitted request completed exactly once.
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  for (const TenantSnapshot& t : stats.tenants) {
+    admitted += t.admitted;
+    completed += t.completed;
+    EXPECT_EQ(t.inflight, 0u);
+  }
+  EXPECT_EQ(admitted, completed);
+  EXPECT_EQ(stats.requests_ok + stats.requests_failed, completed);
+}
+
+// Stop() with sessions still connected must not lose accounting: admission
+// slots all return and the runtime drains.
+TEST(SvcLoopbackTest, StopWithLiveSessionsIsClean) {
+  ServerOptions sopts;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.port = server.port();
+  ServiceClient client(copts);
+  ByteVec payload = GenerateWithRatio(0.5, 8192, 17);
+  CallResult c = client.Compress("lz4", payload);
+  ASSERT_TRUE(c.status.ok());
+
+  // Leave the connection open (client keeps it pooled) and stop the server.
+  server.Stop();
+  server.Stop();  // idempotent
+  ServiceStats stats = server.Snapshot();
+  EXPECT_EQ(stats.requests_ok, 1u);
+  for (const TenantSnapshot& t : stats.tenants) {
+    EXPECT_EQ(t.inflight, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace cdpu

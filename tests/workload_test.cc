@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/codecs/codec.h"
 #include "src/codecs/entropy.h"
 #include "src/kv/block_cache.h"
+#include "src/kv/sstable.h"
 #include "src/kv/ycsb_runner.h"
 #include "src/workload/datagen.h"
 
@@ -195,8 +198,7 @@ TEST(YcsbWorkloadsTest, WorkloadDRunsThroughDatabase) {
 
 TEST(BlockCacheTest, HitAfterInsert) {
   BlockCache cache(1 << 20);
-  int dummy;
-  BlockCache::Key key = BlockCache::MakeKey(&dummy, 3);
+  BlockCache::Key key = BlockCache::MakeKey(7, 3);
   EXPECT_EQ(cache.Get(key), nullptr);
   cache.Insert(key, {{"k", "v", false}}, 100);
   const auto* hit = cache.Get(key);
@@ -208,40 +210,76 @@ TEST(BlockCacheTest, HitAfterInsert) {
 
 TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
   BlockCache cache(300);
-  int dummy;
   for (size_t i = 0; i < 4; ++i) {
-    cache.Insert(BlockCache::MakeKey(&dummy, i), {}, 100);  // capacity 3
+    cache.Insert(BlockCache::MakeKey(1, i), {}, 100);  // capacity 3
   }
-  EXPECT_EQ(cache.Get(BlockCache::MakeKey(&dummy, 0)), nullptr);  // evicted
-  EXPECT_NE(cache.Get(BlockCache::MakeKey(&dummy, 3)), nullptr);
+  EXPECT_EQ(cache.Get(BlockCache::MakeKey(1, 0)), nullptr);  // evicted
+  EXPECT_NE(cache.Get(BlockCache::MakeKey(1, 3)), nullptr);
 }
 
 TEST(BlockCacheTest, TouchKeepsEntryAlive) {
   BlockCache cache(300);
-  int dummy;
-  cache.Insert(BlockCache::MakeKey(&dummy, 0), {}, 100);
-  cache.Insert(BlockCache::MakeKey(&dummy, 1), {}, 100);
-  cache.Insert(BlockCache::MakeKey(&dummy, 2), {}, 100);
-  cache.Get(BlockCache::MakeKey(&dummy, 0));                      // touch 0
-  cache.Insert(BlockCache::MakeKey(&dummy, 3), {}, 100);          // evicts 1
-  EXPECT_NE(cache.Get(BlockCache::MakeKey(&dummy, 0)), nullptr);
-  EXPECT_EQ(cache.Get(BlockCache::MakeKey(&dummy, 1)), nullptr);
+  cache.Insert(BlockCache::MakeKey(1, 0), {}, 100);
+  cache.Insert(BlockCache::MakeKey(1, 1), {}, 100);
+  cache.Insert(BlockCache::MakeKey(1, 2), {}, 100);
+  cache.Get(BlockCache::MakeKey(1, 0));                      // touch 0
+  cache.Insert(BlockCache::MakeKey(1, 3), {}, 100);          // evicts 1
+  EXPECT_NE(cache.Get(BlockCache::MakeKey(1, 0)), nullptr);
+  EXPECT_EQ(cache.Get(BlockCache::MakeKey(1, 1)), nullptr);
 }
 
 TEST(BlockCacheTest, EraseTableDropsAllBlocks) {
   BlockCache cache(1 << 20);
-  int table_a;
-  int table_b;
   for (size_t i = 0; i < 5; ++i) {
-    cache.Insert(BlockCache::MakeKey(&table_a, i), {}, 10);
-    cache.Insert(BlockCache::MakeKey(&table_b, i), {}, 10);
+    cache.Insert(BlockCache::MakeKey(1, i), {}, 10);
+    cache.Insert(BlockCache::MakeKey(2, i), {}, 10);
   }
-  cache.EraseTable(&table_a, 5);
+  cache.EraseTable(1, 5);
   for (size_t i = 0; i < 5; ++i) {
-    EXPECT_EQ(cache.Get(BlockCache::MakeKey(&table_a, i)), nullptr);
-    EXPECT_NE(cache.Get(BlockCache::MakeKey(&table_b, i)), nullptr);
+    EXPECT_EQ(cache.Get(BlockCache::MakeKey(1, i)), nullptr);
+    EXPECT_NE(cache.Get(BlockCache::MakeKey(2, i)), nullptr);
   }
   EXPECT_EQ(cache.used_bytes(), 50u);
+}
+
+// Regression: the key was once derived from the table's heap address
+// ((ptr << 16) ^ index), which collides across tables — the shift discards
+// the address's high bits and XOR lets (table, index) pairs alias — and
+// breaks outright when the allocator recycles a freed table's address.
+// Monotonic ids must produce distinct keys across a dense (table, block)
+// cross product.
+TEST(BlockCacheTest, KeysAreUniqueAcrossTablesAndBlocks) {
+  std::set<BlockCache::Key> keys;
+  for (uint64_t table = 1; table <= 64; ++table) {
+    for (size_t block = 0; block < 64; ++block) {
+      EXPECT_TRUE(keys.insert(BlockCache::MakeKey(table, block)).second)
+          << "collision at table " << table << " block " << block;
+    }
+  }
+}
+
+// Regression: tables must carry distinct cache identities even when one is
+// destroyed and another is built at the same heap address. With id-based
+// keys a fresh table can never observe a dead table's cached blocks.
+TEST(BlockCacheTest, RecycledTablesGetFreshIdentities) {
+  SimSsd ssd(MakeSchemeSsdConfig(CompressionScheme::kOff, 64 * 1024));
+  LpnAllocator lpns;
+  KvCompressionBackend backend = MakeSchemeBackend(CompressionScheme::kOff);
+  BlockCache cache(1 << 20);
+  SsTable::BuildContext ctx{&ssd, &lpns, &backend, &cache};
+
+  std::vector<Skiplist::Entry> entries{{"a", "old-value", false}};
+  std::set<uint64_t> ids;
+  for (int round = 0; round < 8; ++round) {
+    Result<SsTable::BuildOutcome> built = SsTable::Build(entries, ctx, 0);
+    ASSERT_TRUE(built.ok());
+    // Populate the cache with this table's block, then release the table;
+    // the next build may land on the same heap address.
+    Result<SsTable::GetOutcome> got = built->table->Get("a", built->completion);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(ids.insert(built->table->table_id()).second);
+    built->table->Release();
+  }
 }
 
 TEST(BlockCacheTest, CacheSpeedsUpHotReads) {

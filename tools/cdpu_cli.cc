@@ -6,6 +6,8 @@
 //   cdpu_cli bench      <codec> <in> [chunk]   per-chunk ratio + speed
 //   cdpu_cli bench      list|run|validate ...  forwards to the cdpu_bench driver
 //   cdpu_cli offload    <codec> <in> [flags]   threaded offload-runtime drive
+//   cdpu_cli serve      [flags]                compression service endpoint
+//   cdpu_cli client     compress|decompress <codec> <in> <out> [flags]
 //   cdpu_cli entropy    <in> [chunk]           Shannon entropy profile
 //   cdpu_cli list                              available codecs
 //
@@ -20,8 +22,23 @@
 // the modelled device's descriptor slots. --fault-rate enables the seeded
 // fault injector on the listed kinds (default: all four); the recovery
 // policy (retry + CPU fallback) must still round-trip every chunk.
+//
+// `serve` flags: --host=A --port=N (0 = ephemeral) --device=NAME
+//                --engines=N --max-inflight=N --greedy --tenants=N
+//                --max-sessions=N --max-seconds=S --port-file=PATH
+//                --fault-rate/--fault-kinds/--fault-seed (as `offload`)
+// It runs the epoll compression service over the offload runtime until
+// SIGINT/SIGTERM (or --max-seconds) and prints service + per-tenant stats
+// on shutdown. --port-file writes the bound port for scripted clients.
+//
+// `client` flags: --host=A --port=N --tenant=T --retries=N
+// One compress/decompress round trip over a real TCP socket; the output
+// file carries the server's response payload.
+
+#include <csignal>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -38,6 +55,9 @@
 #include "src/hw/device_configs.h"
 #include "src/obs/format.h"
 #include "src/runtime/offload_runtime.h"
+#include "src/svc/client.h"
+#include "src/svc/server.h"
+#include "src/svc/wire.h"
 
 namespace {
 
@@ -71,9 +91,52 @@ int Usage() {
                "       cdpu_cli offload <codec> <in> [--threads=N] [--batch=B]\n"
                "                [--chunk=BYTES] [--qps=N] [--device=NAME]\n"
                "                [--fault-rate=P] [--fault-kinds=K,K,...] [--fault-seed=S]\n"
+               "       cdpu_cli serve [--host=A] [--port=N] [--device=NAME] [--engines=N]\n"
+               "                [--max-inflight=N] [--greedy] [--tenants=N]\n"
+               "                [--max-sessions=N] [--max-seconds=S] [--port-file=PATH]\n"
+               "                [--fault-rate=P] [--fault-kinds=K,K,...] [--fault-seed=S]\n"
+               "       cdpu_cli client compress|decompress <codec> <in> <out>\n"
+               "                [--host=A] [--port=N] [--tenant=T] [--retries=N]\n"
                "       cdpu_cli entropy <in> [chunk_bytes]\n"
                "       cdpu_cli list\n");
   return 2;
+}
+
+// Applies `rate` to every kind named in the comma-separated `kinds` list.
+bool ApplyFaultKinds(const std::string& kinds, double rate, cdpu::FaultPlan* plan) {
+  size_t pos = 0;
+  while (pos <= kinds.size()) {
+    size_t comma = kinds.find(',', pos);
+    std::string token =
+        kinds.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    cdpu::FaultKind kind;
+    if (!cdpu::ParseFaultKind(token, &kind)) {
+      std::fprintf(stderr, "unknown fault kind: %s (verify|timeout|stall|reset)\n",
+                   token.c_str());
+      return false;
+    }
+    plan->rate[static_cast<uint32_t>(kind)] = rate;
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return true;
+}
+
+bool DeviceByName(const std::string& name, cdpu::CdpuConfig* out) {
+  if (name == "qat8970") {
+    *out = cdpu::Qat8970Config();
+  } else if (name == "qat4xxx") {
+    *out = cdpu::Qat4xxxConfig();
+  } else if (name == "dpzip") {
+    *out = cdpu::DpzipCdpuConfig();
+  } else if (name == "csd2000") {
+    *out = cdpu::Csd2000CdpuConfig();
+  } else {
+    return false;
+  }
+  return true;
 }
 
 double NowSeconds() {
@@ -184,15 +247,7 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   }
 
   cdpu::CdpuConfig device;
-  if (device_name == "qat8970") {
-    device = cdpu::Qat8970Config();
-  } else if (device_name == "qat4xxx") {
-    device = cdpu::Qat4xxxConfig();
-  } else if (device_name == "dpzip") {
-    device = cdpu::DpzipCdpuConfig();
-  } else if (device_name == "csd2000") {
-    device = cdpu::Csd2000CdpuConfig();
-  } else {
+  if (!DeviceByName(device_name, &device)) {
     std::fprintf(stderr, "unknown device: %s\n", device_name.c_str());
     return 2;
   }
@@ -223,24 +278,8 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   opts.engine_threads = static_cast<uint32_t>(
       std::max<uint64_t>(1, std::min<uint64_t>(threads, device.engines)));
   opts.fault_plan.seed = fault_seed;
-  if (fault_rate > 0.0) {
-    size_t pos = 0;
-    while (pos <= fault_kinds.size()) {
-      size_t comma = fault_kinds.find(',', pos);
-      std::string token = fault_kinds.substr(
-          pos, comma == std::string::npos ? std::string::npos : comma - pos);
-      cdpu::FaultKind kind;
-      if (!cdpu::ParseFaultKind(token, &kind)) {
-        std::fprintf(stderr, "unknown fault kind: %s (verify|timeout|stall|reset)\n",
-                     token.c_str());
-        return 2;
-      }
-      opts.fault_plan.rate[static_cast<uint32_t>(kind)] = fault_rate;
-      if (comma == std::string::npos) {
-        break;
-      }
-      pos = comma + 1;
-    }
+  if (fault_rate > 0.0 && !ApplyFaultKinds(fault_kinds, fault_rate, &opts.fault_plan)) {
+    return 2;
   }
   cdpu::OffloadRuntime runtime(opts);
 
@@ -329,6 +368,204 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   return failures == 0 ? 0 : 1;
 }
 
+std::atomic<bool> g_stop_serving{false};
+
+void HandleStopSignal(int) { g_stop_serving.store(true); }
+
+int Serve(int argc, char** argv, int first_flag) {
+  cdpu::svc::ServerOptions opts;
+  std::string device_name = "qat8970";
+  std::string fault_kinds = "verify,timeout,stall,reset";
+  std::string port_file;
+  double fault_rate = 0.0;
+  uint64_t port = 0;
+  uint64_t engines = 0;
+  uint64_t max_inflight = 0;
+  uint64_t tenants = 4;
+  uint64_t max_sessions = 256;
+  uint64_t max_seconds = 0;
+  uint64_t fault_seed = 0x5eed;
+  for (int i = first_flag; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (ParseFlag(arg, "port", &port) || ParseFlag(arg, "engines", &engines) ||
+        ParseFlag(arg, "max-inflight", &max_inflight) || ParseFlag(arg, "tenants", &tenants) ||
+        ParseFlag(arg, "max-sessions", &max_sessions) ||
+        ParseFlag(arg, "max-seconds", &max_seconds) ||
+        ParseFlag(arg, "fault-seed", &fault_seed)) {
+      continue;
+    }
+    if (arg.rfind("--host=", 0) == 0) {
+      opts.bind_address = arg.substr(7);
+      continue;
+    }
+    if (arg.rfind("--device=", 0) == 0) {
+      device_name = arg.substr(9);
+      continue;
+    }
+    if (arg.rfind("--port-file=", 0) == 0) {
+      port_file = arg.substr(12);
+      continue;
+    }
+    if (arg == "--greedy") {
+      opts.admission.arbitration = cdpu::VfArbitration::kUnarbitrated;
+      continue;
+    }
+    if (arg.rfind("--fault-rate=", 0) == 0) {
+      fault_rate = std::strtod(arg.c_str() + 13, nullptr);
+      if (fault_rate < 0.0 || fault_rate > 1.0) {
+        std::fprintf(stderr, "--fault-rate must be in [0, 1]\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--fault-kinds=", 0) == 0) {
+      fault_kinds = arg.substr(14);
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    return Usage();
+  }
+  if (!DeviceByName(device_name, &opts.runtime.device)) {
+    std::fprintf(stderr, "unknown device: %s\n", device_name.c_str());
+    return 2;
+  }
+  opts.port = static_cast<uint16_t>(port);
+  opts.max_sessions = static_cast<uint32_t>(max_sessions);
+  opts.admission.max_inflight = static_cast<uint32_t>(max_inflight);
+  opts.admission.expected_tenants = static_cast<uint32_t>(std::max<uint64_t>(1, tenants));
+  if (engines > 0) {
+    opts.runtime.engine_threads = static_cast<uint32_t>(engines);
+  }
+  opts.runtime.fault_plan.seed = fault_seed;
+  if (fault_rate > 0.0 &&
+      !ApplyFaultKinds(fault_kinds, fault_rate, &opts.runtime.fault_plan)) {
+    return 2;
+  }
+
+  cdpu::svc::ServiceServer server(opts);
+  cdpu::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file, std::ios::trunc);
+    pf << server.port() << "\n";
+  }
+  std::printf("serving on %s:%u (device %s, %s admission, ceiling auto)\n",
+              opts.bind_address.c_str(), server.port(), opts.runtime.device.name.c_str(),
+              opts.admission.arbitration == cdpu::VfArbitration::kWeightedFair ? "fair"
+                                                                               : "greedy");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  double started = NowSeconds();
+  while (!g_stop_serving.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (max_seconds > 0 && NowSeconds() - started >= static_cast<double>(max_seconds)) {
+      break;
+    }
+  }
+  server.Stop();
+
+  cdpu::svc::ServiceStats s = server.Snapshot();
+  std::printf("service stats\n");
+  std::printf("  sessions            %llu accepted, %llu closed, %llu protocol errors\n",
+              static_cast<unsigned long long>(s.sessions_accepted),
+              static_cast<unsigned long long>(s.sessions_closed),
+              static_cast<unsigned long long>(s.protocol_errors));
+  std::printf("  requests            %llu ok, %llu busy, %llu failed\n",
+              static_cast<unsigned long long>(s.requests_ok),
+              static_cast<unsigned long long>(s.requests_busy),
+              static_cast<unsigned long long>(s.requests_failed));
+  std::printf("  socket bytes        %llu rx, %llu tx\n",
+              static_cast<unsigned long long>(s.bytes_rx),
+              static_cast<unsigned long long>(s.bytes_tx));
+  for (const cdpu::svc::TenantSnapshot& t : s.tenants) {
+    std::printf("  tenant %-4u         %llu admitted, %llu busy, mean %.1f us\n", t.tenant,
+                static_cast<unsigned long long>(t.admitted),
+                static_cast<unsigned long long>(t.rejected), t.wall_latency_us.mean());
+  }
+  if (opts.runtime.fault_plan.enabled()) {
+    std::printf("  recovery            %llu faults, %llu retries, %llu CPU fallbacks\n",
+                static_cast<unsigned long long>(s.runtime.faults_injected),
+                static_cast<unsigned long long>(s.runtime.retries),
+                static_cast<unsigned long long>(s.runtime.fallbacks));
+  }
+  return 0;
+}
+
+int Client(int argc, char** argv, int first_arg) {
+  if (argc < first_arg + 4) {
+    return Usage();
+  }
+  std::string op = argv[first_arg];
+  std::string codec_name = argv[first_arg + 1];
+  std::string in_path = argv[first_arg + 2];
+  std::string out_path = argv[first_arg + 3];
+  if (op != "compress" && op != "decompress") {
+    return Usage();
+  }
+  cdpu::svc::ClientOptions copts;
+  copts.port = 0;
+  uint64_t port = 0;
+  uint64_t tenant = 0;
+  uint64_t retries = 8;
+  for (int i = first_arg + 4; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (ParseFlag(arg, "port", &port) || ParseFlag(arg, "tenant", &tenant) ||
+        ParseFlag(arg, "retries", &retries)) {
+      continue;
+    }
+    if (arg.rfind("--host=", 0) == 0) {
+      copts.host = arg.substr(7);
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    return Usage();
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "client needs --port=N\n");
+    return 2;
+  }
+  copts.port = static_cast<uint16_t>(port);
+  copts.tenant = static_cast<uint32_t>(tenant);
+  copts.busy_retries = static_cast<uint32_t>(retries);
+
+  uint8_t codec_id = 0;
+  uint8_t level = 0;
+  if (!cdpu::svc::WireCodecFromName(codec_name, &codec_id, &level)) {
+    std::fprintf(stderr, "unknown codec: %s\n", codec_name.c_str());
+    return 2;
+  }
+  ByteVec in;
+  if (!ReadFile(in_path, &in)) {
+    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
+    return 1;
+  }
+
+  cdpu::svc::ServiceClient client(copts);
+  cdpu::svc::CallResult r =
+      op == "compress" ? client.Compress(codec_name, in) : client.Decompress(codec_name, in);
+  if (!r.status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", op.c_str(), r.status.ToString().c_str());
+    return 1;
+  }
+  if (!WriteFile(out_path, r.output)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("%s via %s:%u: %zu -> %zu bytes (%.1f%%), %.1f us%s\n", op.c_str(),
+              copts.host.c_str(), copts.port, in.size(), r.output.size(),
+              in.empty() ? 0.0 : 100.0 * static_cast<double>(r.output.size()) / in.size(),
+              static_cast<double>(r.wall_ns) / 1e3,
+              r.busy_retries > 0
+                  ? (" (" + std::to_string(r.busy_retries) + " BUSY retries)").c_str()
+                  : "");
+  return 0;
+}
+
 int Entropy(const std::string& path, size_t chunk) {
   ByteVec data;
   if (!ReadFile(path, &data)) {
@@ -386,6 +623,12 @@ int main(int argc, char** argv) {
       return Usage();
     }
     return Offload(argv[2], argv[3], argc, argv, 4);
+  }
+  if (cmd == "serve") {
+    return Serve(argc, argv, 2);
+  }
+  if (cmd == "client") {
+    return Client(argc, argv, 2);
   }
   if (cmd != "compress" && cmd != "decompress") {
     return Usage();
