@@ -6,6 +6,8 @@
 // largest sweep point, the service-layer analogue of Figure 20's
 // multi-tenant fairness story.
 
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,8 @@
 #include "src/svc/loadgen.h"
 #include "src/svc/server.h"
 #include "src/svc/stats_export.h"
+#include "src/trace/breakdown.h"
+#include "src/trace/trace.h"
 
 namespace cdpu {
 namespace {
@@ -42,6 +46,18 @@ void Run(ExperimentContext& ctx) {
   sopts.runtime.device = Qat8970Config();
   sopts.admission.arbitration = VfArbitration::kWeightedFair;
   sopts.admission.expected_tenants = 2;
+  // CDPU_SVC_TRACE=1 runs the whole sweep with full-rate tracing wired into
+  // the server — the configuration the tracing-overhead acceptance check
+  // compares against the default untraced run. Off by default so the
+  // perf-gate baselines measure the production configuration.
+  std::unique_ptr<trace::TraceSink> sink;
+  const char* trace_env = std::getenv("CDPU_SVC_TRACE");
+  if (trace_env != nullptr && trace_env[0] == '1') {
+    trace::TraceSinkOptions topts;
+    topts.sample_rate = 1.0;
+    sink = std::make_unique<trace::TraceSink>(topts);
+    sopts.trace_sink = sink.get();
+  }
   svc::ServiceServer server(sopts);
   Status started = server.Start();
   if (!started.ok()) {
@@ -120,6 +136,12 @@ void Run(ExperimentContext& ctx) {
 
   server.Stop();
   ExportServiceStats(server.Snapshot(), "svc.", &ctx.metrics());
+  if (sink != nullptr) {
+    sink->Stop();
+    std::vector<trace::SpanRecord> spans = sink->Snapshot();
+    trace::Breakdown breakdown = trace::BuildBreakdown(spans, sink.get());
+    trace::ExportBreakdown(breakdown, sink->counters(), "trace.", &ctx.reporter());
+  }
   ctx.Note("Every compress is verified by a decompress + byte compare; BUSY counts\n"
            "admission backpressure absorbed by client retries, not failures.");
 }

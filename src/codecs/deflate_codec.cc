@@ -2,9 +2,11 @@
 
 #include <array>
 #include <cstring>
+#include <optional>
 
 #include "src/codecs/huffman_coder.h"
 #include "src/common/bitstream.h"
+#include "src/trace/trace.h"
 
 namespace cdpu {
 namespace {
@@ -334,8 +336,16 @@ Result<size_t> DeflateCodec::Compress(ByteSpan input, ByteVec* out) {
   size_t start_size = out->size();
 
   Lz77Parser parser(input, max_chain_, lazy_);
-  std::vector<Token> tokens = parser.Parse();
+  std::vector<Token> tokens;
+  {
+    trace::CodecPhaseSpan lz77_span(trace::Phase::kCodecLz77);
+    tokens = parser.Parse();
+  }
 
+  // Entropy phase: frequency counting, tree builds and token coding; ends
+  // (via reset) before the stored-block fallback comparison.
+  std::optional<trace::CodecPhaseSpan> entropy_span(std::in_place,
+                                                    trace::Phase::kCodecEntropy);
   std::array<uint32_t, kNumLitLen> ll_freq{};
   std::array<uint32_t, kNumDist> d_freq{};
   ll_freq[kEndOfBlock] = 1;
@@ -383,6 +393,7 @@ Result<size_t> DeflateCodec::Compress(ByteSpan input, ByteVec* out) {
     }
     bw.AlignToByte();
   }
+  entropy_span.reset();
 
   if (coded.size() * 8 < stored_cost) {
     out->insert(out->end(), coded.begin(), coded.end());
@@ -411,6 +422,9 @@ Result<size_t> DeflateCodec::Compress(ByteSpan input, ByteVec* out) {
 
 Result<size_t> DeflateCodec::Decompress(ByteSpan input, ByteVec* out) {
   size_t start_size = out->size();
+  // Inflate interleaves Huffman decode with match copy-back per token, so the
+  // whole pass is attributed to the entropy sub-phase (the decode dominates).
+  trace::CodecPhaseSpan entropy_span(trace::Phase::kCodecEntropy);
   BitReader br(input);
 
   for (;;) {

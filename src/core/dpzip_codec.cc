@@ -4,6 +4,7 @@
 #include "src/common/bitstream.h"
 #include "src/common/crc32.h"
 #include "src/common/varint.h"
+#include "src/trace/trace.h"
 
 namespace cdpu {
 namespace {
@@ -62,13 +63,20 @@ Result<size_t> DpzipCodec::Compress(ByteSpan input, ByteVec* out) {
 
   std::vector<Lz77Token> tokens;
   std::vector<uint8_t> literals;
-  if (use_dict) {
-    encoder_.EncodeWithDictionary(config_.dictionary, input, &tokens, &literals,
-                                  &stats_.lz77);
-  } else {
-    encoder_.Encode(input, &tokens, &literals, &stats_.lz77);
+  {
+    trace::CodecPhaseSpan lz77_span(trace::Phase::kCodecLz77);
+    if (use_dict) {
+      encoder_.EncodeWithDictionary(config_.dictionary, input, &tokens, &literals,
+                                    &stats_.lz77);
+    } else {
+      encoder_.Encode(input, &tokens, &literals, &stats_.lz77);
+    }
   }
 
+  // Entropy phase: literal coding plus the FSE sequence streams; ends (via
+  // reset) before the store-raw bypass decision.
+  std::optional<trace::CodecPhaseSpan> entropy_span(std::in_place,
+                                                    trace::Phase::kCodecEntropy);
   if (use_fse) {
     Status st = FseCompressBlock(literals, 11, &frame);
     if (!st.ok()) {
@@ -120,6 +128,7 @@ Result<size_t> DpzipCodec::Compress(ByteSpan input, ByteVec* out) {
   }
   PutVarint64(&frame, extra.size());
   frame.insert(frame.end(), extra.begin(), extra.end());
+  entropy_span.reset();
 
   // Hardware bypass: store raw when compression does not pay.
   if (frame.size() >= input.size() + 2 + 9) {
@@ -173,7 +182,9 @@ Result<size_t> DpzipCodec::Decompress(ByteSpan input, ByteVec* out) {
     }
   }
 
-  // Literals.
+  // Literals. Entropy phase: literal + sequence-stream decode.
+  std::optional<trace::CodecPhaseSpan> entropy_span(std::in_place,
+                                                    trace::Phase::kCodecEntropy);
   std::vector<uint8_t> literals;
   if (use_fse) {
     size_t consumed = 0;
@@ -230,12 +241,15 @@ Result<size_t> DpzipCodec::Decompress(ByteSpan input, ByteVec* out) {
       of_codes.size() != *seq_count) {
     return Status::CorruptData("dpzip: sequence stream mismatch");
   }
+  entropy_span.reset();
   std::optional<uint64_t> extra_len = GetVarint64(input, &pos);
   if (!extra_len.has_value() || pos + *extra_len > input.size()) {
     return Status::CorruptData("dpzip: bad extra-bit stream");
   }
   BitReader br(input.subspan(pos, *extra_len));
 
+  // LZ77 phase: token reconstruction + match copy-back.
+  trace::CodecPhaseSpan lz77_span(trace::Phase::kCodecLz77);
   std::vector<Lz77Token> tokens;
   tokens.reserve(*seq_count);
   for (uint64_t i = 0; i < *seq_count; ++i) {

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 
 namespace cdpu {
 namespace {
 
 constexpr std::chrono::microseconds kPollSlice(500);
+
+using trace::EmitSpan;
 
 }  // namespace
 
@@ -19,6 +22,16 @@ struct OffloadRuntime::Job {
   uint64_t enqueue_wall = 0;
   uint64_t model_bytes = 0;  // payload size fed to the timing model
   bool canceled = false;
+  // Tracing: phase-boundary timestamps in the trace::NowNs domain. Each
+  // boundary is stamped by the thread that crosses it and read by the next
+  // thread downstream; the completion-queue handoff orders those accesses.
+  // All zero (and never read) when the job is untraced.
+  uint16_t trace_label = 0;  // interned codec name; set on the engine thread
+  uint64_t t_enqueue_ns = 0;   // Submit() accepted the descriptor
+  uint64_t t_dispatch_ns = 0;  // dispatcher popped it from the submit ring
+  uint64_t t_engine_ns = 0;    // engine thread picked it up
+  uint64_t t_device_ns = 0;    // device-model attempts finished
+  uint64_t t_codec_ns = 0;     // codec work finished (completion posted)
 };
 
 struct OffloadRuntime::QueuePair {
@@ -97,6 +110,17 @@ std::future<OffloadResult> OffloadRuntime::Submit(OffloadRequest request) {
   }
   job->model_bytes = std::max<uint64_t>(payload, 1);
   job->enqueue_wall = clock_.Now();
+
+  if (options_.trace_sink != nullptr) {
+    if (job->request.trace_id == kTraceNone) {
+      job->request.trace_id = 0;  // upstream sampler said no: stay untraced
+    } else if (job->request.trace_id == 0) {
+      job->request.trace_id = options_.trace_sink->StartRequest();
+    }
+    if (job->request.trace_id != 0) {
+      job->t_enqueue_ns = trace::NowNs();
+    }
+  }
 
   QueuePair& qp = *qps_[qpi];
   {
@@ -179,6 +203,9 @@ void OffloadRuntime::PostCompletion(Job* job) {
 void OffloadRuntime::DispatcherLoop() {
   size_t sweep_origin = 0;
   const uint64_t window = options_.doorbell_window_ns;
+  trace::TraceSink::Writer* tw =
+      options_.trace_sink != nullptr ? options_.trace_sink->RegisterWriter("dispatcher")
+                                     : nullptr;
   for (;;) {
     State st = state_.load();
     bool dispatched_any = false;
@@ -204,6 +231,11 @@ void OffloadRuntime::DispatcherLoop() {
         }
         qp.doorbell_avail.fetch_sub(1, std::memory_order_relaxed);
         qp.space_cv.notify_all();
+        if (tw != nullptr && job->request.trace_id != 0) {
+          job->t_dispatch_ns = trace::NowNs();
+          EmitSpan(tw, job->request.trace_id, job->request.tenant, 0,
+                   trace::Phase::kQueueSubmit, job->t_enqueue_ns, job->t_dispatch_ns);
+        }
         if (st == State::kAborting) {
           CancelJob(job);
         } else {
@@ -354,7 +386,6 @@ void OffloadRuntime::RunDeviceAttempts(Job* job) {
 }
 
 void OffloadRuntime::EngineLoop(uint32_t engine_index) {
-  (void)engine_index;
   // Thread-local codec instances, keyed by factory name. Jobs name their own
   // codec (OffloadRequest::codec) or inherit the runtime default; a cached
   // nullptr records an unknown name so it is not re-resolved per job.
@@ -368,6 +399,14 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
   };
   RunningStats local_service_us;  // thread-local; merged on exit
 
+  trace::TraceSink* sink = options_.trace_sink;
+  trace::TraceSink::Writer* tw =
+      sink != nullptr ? sink->RegisterWriter("engine-" + std::to_string(engine_index))
+                      : nullptr;
+  // Per-thread label cache so interning (a mutex) happens once per codec
+  // name, not once per traced job.
+  std::unordered_map<std::string, uint16_t> label_ids;
+
   for (;;) {
     Job* job = nullptr;
     {
@@ -380,7 +419,20 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
       engine_queue_.pop_front();
     }
 
+    const bool traced = tw != nullptr && job->request.trace_id != 0;
+    if (traced) {
+      job->t_engine_ns = trace::NowNs();
+      EmitSpan(tw, job->request.trace_id, job->request.tenant, 0,
+               trace::Phase::kQueueEngine, job->t_dispatch_ns, job->t_engine_ns);
+    }
+
     RunDeviceAttempts(job);
+
+    if (traced) {
+      job->t_device_ns = trace::NowNs();
+      EmitSpan(tw, job->request.trace_id, job->request.tenant, 0, trace::Phase::kDevice,
+               job->t_engine_ns, job->t_device_ns);
+    }
 
     uint64_t t0 = clock_.Now();
     uint64_t in_bytes = job->request.input.size();
@@ -397,9 +449,22 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
               ? options_.fallback_codec
               : job_codec;
       Codec* active = resolve(active_name);
+      if (traced) {
+        auto lit = label_ids.find(active_name);
+        if (lit == label_ids.end()) {
+          lit = label_ids.emplace(active_name, sink->InternLabel(active_name)).first;
+        }
+        job->trace_label = lit->second;
+      }
       if (active == nullptr) {
         job->result.status = Status::InvalidArgument("unknown codec: " + active_name);
       } else if (!job->request.input.empty()) {
+        // Install the thread-local trace context so codec-internal hooks
+        // (LZ77 / entropy sub-spans) attribute to this request.
+        std::optional<trace::ScopedTraceContext> tctx;
+        if (traced) {
+          tctx.emplace(tw, job->request.trace_id, job->request.tenant, job->trace_label);
+        }
         Result<size_t> r = job->request.op == CdpuOp::kCompress
                                ? active->Compress(job->request.input, &job->result.output)
                                : active->Decompress(job->request.input, &job->result.output);
@@ -420,6 +485,12 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
     local_service_us.Add(static_cast<double>(clock_.Now() - t0) / 1e3);
     throughput_.Record(job->result.input_bytes, out_bytes);
 
+    if (traced) {
+      job->t_codec_ns = trace::NowNs();
+      EmitSpan(tw, job->request.trace_id, job->request.tenant, job->trace_label,
+               trace::Phase::kCodec, job->t_device_ns, job->t_codec_ns);
+    }
+
     PostCompletion(job);
     ReleaseInflightSlot();
 
@@ -437,6 +508,9 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
 }
 
 void OffloadRuntime::ReaperLoop() {
+  trace::TraceSink::Writer* tw =
+      options_.trace_sink != nullptr ? options_.trace_sink->RegisterWriter("reaper")
+                                     : nullptr;
   for (;;) {
     bool reaped_any = false;
     for (auto& qp : qps_) {
@@ -451,6 +525,12 @@ void OffloadRuntime::ReaperLoop() {
           qp->completions.pop_front();
         }
         job->result.wall_latency_ns = clock_.Now() - job->enqueue_wall;
+        // Canceled jobs never reached an engine (t_codec_ns == 0): their
+        // lone queue_submit span leaves an incomplete chain by design.
+        if (tw != nullptr && job->request.trace_id != 0 && job->t_codec_ns != 0) {
+          EmitSpan(tw, job->request.trace_id, job->request.tenant, job->trace_label,
+                   trace::Phase::kComplete, job->t_codec_ns, trace::NowNs());
+        }
         {
           std::lock_guard<std::mutex> lock(stats_mu_);
           stats_.wall_latency_us.Add(static_cast<double>(job->result.wall_latency_ns) / 1e3);

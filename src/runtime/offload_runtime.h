@@ -55,6 +55,7 @@
 #include "src/hw/shared_queue.h"
 #include "src/runtime/spsc_ring.h"
 #include "src/sim/host_clock.h"
+#include "src/trace/trace.h"
 
 namespace cdpu {
 
@@ -83,6 +84,14 @@ struct RuntimeOptions {
   uint32_t unhealthy_threshold = 3;             // consecutive exhausted jobs
   uint64_t reprobe_backoff_ns = 5 * 1000 * 1000;  // degraded period before re-probe
   std::string fallback_codec;                     // CPU fallback; empty = same as `codec`
+
+  // Optional per-request tracing (ISSUE 6). Not owned; must outlive the
+  // runtime. When null every instrumentation site reduces to one branch on
+  // a zero trace id — the fast path stays untouched. When set, sampled jobs
+  // leave a contiguous span chain (queue_submit -> queue_engine -> device ->
+  // codec -> complete) plus nested codec sub-phases, and the sink's
+  // sample_rate decides which jobs are traced.
+  trace::TraceSink* trace_sink = nullptr;
 };
 
 struct OffloadResult {
@@ -102,6 +111,10 @@ struct OffloadResult {
 
 using OffloadCallback = std::function<void(const OffloadResult&)>;
 
+// OffloadRequest::trace_id sentinel: an upstream sampler already decided NOT
+// to trace this request, so Submit() must not draw a fresh id for it.
+inline constexpr uint64_t kTraceNone = ~uint64_t{0};
+
 struct OffloadRequest {
   CdpuOp op = CdpuOp::kCompress;
   // Per-job codec override ("" = RuntimeOptions::codec). Lets one runtime
@@ -116,6 +129,13 @@ struct OffloadRequest {
   SimNanos arrival = kAutoArrival;  // explicit sim arrival, or auto (wall clock)
   uint32_t queue_pair = 0;
   OffloadCallback callback;  // optional; runs on the reaper thread
+  // Tracing (ignored when RuntimeOptions::trace_sink is null). trace_id 0
+  // asks the runtime to draw one from the sink's sampler in Submit();
+  // callers that already opened a trace upstream (the network service spans
+  // wire decode + admission) pass their id through so the whole request
+  // shares one chain. `tenant` tags the breakdown's per-tenant grouping.
+  uint64_t trace_id = 0;
+  uint32_t tenant = 0;
 };
 
 struct RuntimeStats {

@@ -89,6 +89,11 @@ Status ServiceServer::Start() {
   ev.data.u64 = kWakeTag;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
+  // One sink traces the whole path: service-side spans come from the event
+  // loop, runtime spans from the runtime's own threads, all on one chain.
+  if (options_.trace_sink != nullptr && options_.runtime.trace_sink == nullptr) {
+    options_.runtime.trace_sink = options_.trace_sink;
+  }
   runtime_ = std::make_unique<OffloadRuntime>(options_.runtime);
 
   // Clamp the admission ceiling below what the runtime can absorb without
@@ -154,6 +159,9 @@ void ServiceServer::Stop() {
 void ServiceServer::EventLoop() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
+  if (options_.trace_sink != nullptr) {
+    trace_writer_ = options_.trace_sink->RegisterWriter("svc-loop");
+  }
   while (!stopping_.load(std::memory_order_acquire)) {
     int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
     if (n < 0) {
@@ -266,6 +274,7 @@ void ServiceServer::HandleReadable(Session* session) {
 
   uint64_t id = session->id;
   for (;;) {
+    uint64_t decode_start = trace_writer_ != nullptr ? trace::NowNs() : 0;
     Frame frame;
     FrameParser::Event ev = session->parser.Next(&frame);
     if (ev == FrameParser::Event::kNeedMore) {
@@ -275,14 +284,16 @@ void ServiceServer::HandleReadable(Session* session) {
       CloseSession(id, /*protocol_error=*/true);
       return;
     }
-    HandleRequest(session, std::move(frame));
+    uint64_t decode_end = trace_writer_ != nullptr ? trace::NowNs() : 0;
+    HandleRequest(session, std::move(frame), decode_start, decode_end);
     if (sessions_.find(id) == sessions_.end()) {
       return;  // request handling closed the session
     }
   }
 }
 
-void ServiceServer::HandleRequest(Session* session, Frame&& frame) {
+void ServiceServer::HandleRequest(Session* session, Frame&& frame, uint64_t decode_start,
+                                  uint64_t decode_end) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.requests_received;
@@ -294,6 +305,17 @@ void ServiceServer::HandleRequest(Session* session, Frame&& frame) {
     return;
   }
 
+  // Sampling decision for the whole request chain: the id drawn here rides
+  // the OffloadRequest so runtime spans join the service-side ones.
+  uint64_t trace_id = 0;
+  if (trace_writer_ != nullptr) {
+    trace_id = options_.trace_sink->StartRequest();
+    if (trace_id != 0) {
+      trace::EmitSpan(trace_writer_, trace_id, frame.tenant_id, 0,
+                      trace::Phase::kWireDecode, decode_start, decode_end);
+    }
+  }
+
   std::string codec_name = WireCodecToName(frame.codec, frame.level);
   if (codec_name.empty() || MakeCodec(codec_name) == nullptr) {
     Respond(session, frame.request_id, frame.tenant_id, frame.codec, frame.level, frame.flags,
@@ -303,7 +325,12 @@ void ServiceServer::HandleRequest(Session* session, Frame&& frame) {
     return;
   }
 
+  uint64_t admit_start = trace_id != 0 ? trace::NowNs() : 0;
   Status admit = admission_->TryAdmit(frame.tenant_id, frame.payload.size());
+  if (trace_id != 0) {
+    trace::EmitSpan(trace_writer_, trace_id, frame.tenant_id, 0, trace::Phase::kAdmission,
+                    admit_start, trace::NowNs());
+  }
   if (!admit.ok()) {
     Respond(session, frame.request_id, frame.tenant_id, frame.codec, frame.level, frame.flags,
             StatusCode::kResourceExhausted, {});
@@ -323,12 +350,19 @@ void ServiceServer::HandleRequest(Session* session, Frame&& frame) {
   meta.level = frame.level;
   meta.flags = frame.flags;
   meta.enqueue_wall = NowNs();
+  meta.trace_id = trace_id;
 
   OffloadRequest req;
   req.op = (frame.flags & kFlagDecompress) != 0 ? CdpuOp::kDecompress : CdpuOp::kCompress;
   req.input = *payload;
   req.codec = codec_name;
   req.queue_pair = static_cast<uint32_t>(session->id % runtime_->options().queue_pairs);
+  if (trace_writer_ != nullptr) {
+    // An unsampled request must stay unsampled downstream, not be re-rolled
+    // by the runtime's own sampler.
+    req.trace_id = trace_id != 0 ? trace_id : kTraceNone;
+  }
+  req.tenant = frame.tenant_id;
   req.callback = [this, payload, meta](const OffloadResult& result) {
     Completion c = meta;
     c.status = result.status;
@@ -374,8 +408,14 @@ void ServiceServer::DrainCompletions() {
       }
     }
     if (it != sessions_.end()) {
+      uint64_t respond_start =
+          (c.trace_id != 0 && trace_writer_ != nullptr) ? trace::NowNs() : 0;
       Respond(it->second.get(), c.request_id, c.tenant_id, c.codec, c.level, c.flags,
               c.status.ok() ? StatusCode::kOk : c.status.code(), std::move(c.output));
+      if (respond_start != 0) {
+        trace::EmitSpan(trace_writer_, c.trace_id, c.tenant_id, 0, trace::Phase::kResponse,
+                        respond_start, trace::NowNs());
+      }
     }
   }
 }

@@ -60,6 +60,12 @@ struct ServerOptions {
   // backing runtime. `runtime.codec` is a default only — every request
   // names its own codec on the wire.
   RuntimeOptions runtime;
+  // Optional end-to-end tracing (not owned; must outlive the server). The
+  // event loop draws the trace id at frame decode, brackets the service-side
+  // phases (wire_decode / admission / response), and passes the id through
+  // the OffloadRequest so the runtime's spans join the same chain. Also
+  // propagated to runtime.trace_sink if that is unset.
+  trace::TraceSink* trace_sink = nullptr;
 };
 
 struct ServiceStats {
@@ -120,6 +126,7 @@ class ServiceServer {
     uint8_t level = 0;
     uint16_t flags = 0;
     uint64_t enqueue_wall = 0;
+    uint64_t trace_id = 0;  // 0 = request not sampled
     Status status;
     ByteVec output;
   };
@@ -127,7 +134,10 @@ class ServiceServer {
   void EventLoop();
   void HandleAccept();
   void HandleReadable(Session* session);
-  void HandleRequest(Session* session, Frame&& frame);
+  // decode_start/decode_end bracket this frame's parse (header/payload CRC +
+  // copy) in the trace::NowNs domain; both 0 when tracing is off.
+  void HandleRequest(Session* session, Frame&& frame, uint64_t decode_start,
+                     uint64_t decode_end);
   void Respond(Session* session, uint64_t request_id, uint32_t tenant_id, uint8_t codec,
                uint8_t level, uint16_t flags, StatusCode code, ByteVec payload);
   void FlushOutbox(Session* session);
@@ -151,6 +161,7 @@ class ServiceServer {
 
   // Owned by the event-loop thread exclusively.
   std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+  trace::TraceSink::Writer* trace_writer_ = nullptr;  // event-loop thread only
 
   // Reaper -> event loop handoff.
   std::mutex completion_mu_;

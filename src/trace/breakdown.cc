@@ -1,0 +1,286 @@
+#include "src/trace/breakdown.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <unordered_map>
+
+namespace cdpu {
+namespace trace {
+namespace {
+
+constexpr std::array<Phase, 5> kRuntimeChain = {
+    Phase::kQueueSubmit, Phase::kQueueEngine, Phase::kDevice, Phase::kCodec,
+    Phase::kComplete};
+
+double Us(uint64_t start_ns, uint64_t end_ns) {
+  return end_ns >= start_ns ? static_cast<double>(end_ns - start_ns) / 1e3 : 0.0;
+}
+
+}  // namespace
+
+double Breakdown::phase_mean_sum_us() const {
+  double sum = 0;
+  for (const PhaseStats& p : phases) {
+    if (IsRuntimePhase(p.phase)) {
+      sum += p.mean_us();
+    }
+  }
+  return sum;
+}
+
+double Breakdown::phase_p50_sum_us() {
+  double sum = 0;
+  for (PhaseStats& p : phases) {
+    if (IsRuntimePhase(p.phase) && !p.latency_us.empty()) {
+      sum += p.latency_us.Percentile(50);
+    }
+  }
+  return sum;
+}
+
+Breakdown BuildBreakdown(const std::vector<SpanRecord>& spans, const TraceSink* sink) {
+  Breakdown b;
+  std::array<PhaseStats, kNumPhases> by_phase;
+  for (uint32_t i = 0; i < kNumPhases; ++i) {
+    by_phase[i].phase = static_cast<Phase>(i);
+  }
+
+  // Per-request runtime chain for the end-to-end cross-check. Phases are
+  // recorded per id; a chain is complete when every runtime phase appeared
+  // exactly once (drops or cancellations leave holes).
+  struct Chain {
+    std::array<uint8_t, kNumPhases> seen{};
+    uint64_t start_ns = 0;  // queue_submit start
+    uint64_t end_ns = 0;    // complete end
+    uint16_t label = 0;
+    uint32_t tenant = 0;
+  };
+  std::unordered_map<uint64_t, Chain> chains;
+
+  for (const SpanRecord& r : spans) {
+    uint32_t pi = static_cast<uint32_t>(r.phase);
+    if (pi >= kNumPhases) {
+      continue;  // corrupt record; ignore
+    }
+    PhaseStats& p = by_phase[pi];
+    double us = Us(r.start_ns, r.end_ns);
+    ++p.count;
+    p.total_us += us;
+    p.latency_us.Add(us);
+
+    if (IsRuntimePhase(r.phase) && r.request_id != 0) {
+      Chain& c = chains[r.request_id];
+      ++c.seen[pi];
+      if (r.phase == Phase::kQueueSubmit) {
+        c.start_ns = r.start_ns;
+        c.tenant = r.tenant;
+      }
+      if (r.phase == Phase::kCodec) {
+        // The codec label is interned on the engine thread, so it rides the
+        // codec span (earlier phases carry label 0).
+        c.label = r.label;
+      }
+      if (r.phase == Phase::kComplete) {
+        c.end_ns = r.end_ns;
+      }
+    }
+  }
+
+  for (uint32_t i = 0; i < kNumPhases; ++i) {
+    Phase ph = static_cast<Phase>(i);
+    if (by_phase[i].count == 0) {
+      continue;
+    }
+    if (ph == Phase::kCodecLz77 || ph == Phase::kCodecEntropy) {
+      b.codec_phases.push_back(std::move(by_phase[i]));
+    } else {
+      b.phases.push_back(std::move(by_phase[i]));
+    }
+  }
+
+  std::unordered_map<uint64_t, size_t> group_index;  // (label<<32|tenant) -> idx
+  for (auto& [id, c] : chains) {
+    bool complete = true;
+    for (Phase ph : kRuntimeChain) {
+      if (c.seen[static_cast<uint32_t>(ph)] != 1) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete || c.end_ns < c.start_ns) {
+      ++b.incomplete_requests;
+      continue;
+    }
+    ++b.complete_requests;
+    double e2e = Us(c.start_ns, c.end_ns);
+    b.e2e_us.Add(e2e);
+
+    uint64_t key = (static_cast<uint64_t>(c.label) << 32) | c.tenant;
+    auto it = group_index.find(key);
+    if (it == group_index.end()) {
+      GroupStats g;
+      g.codec = sink != nullptr ? sink->LabelName(c.label) : "";
+      g.tenant = c.tenant;
+      it = group_index.emplace(key, b.groups.size()).first;
+      b.groups.push_back(std::move(g));
+    }
+    GroupStats& g = b.groups[it->second];
+    ++g.requests;
+    g.e2e_us.Add(e2e);
+  }
+  std::sort(b.groups.begin(), b.groups.end(), [](const GroupStats& a, const GroupStats& c) {
+    return a.codec != c.codec ? a.codec < c.codec : a.tenant < c.tenant;
+  });
+  return b;
+}
+
+void ExportBreakdown(Breakdown& b, const TraceCounters& counters,
+                     const std::string& metric_prefix, obs::Reporter* reporter) {
+  double runtime_total_us = 0;
+  for (const PhaseStats& p : b.phases) {
+    if (IsRuntimePhase(p.phase)) {
+      runtime_total_us += p.total_us;
+    }
+  }
+
+  obs::Table& phases = reporter->AddTable(
+      "trace_phases", "Live latency breakdown by phase (from per-request spans)",
+      {obs::Column("phase"), obs::Column("count", "spans", 0),
+       obs::Column("mean_us", "mean us", 1), obs::Column("p50_us", "p50 us", 1),
+       obs::Column("p99_us", "p99 us", 1), obs::Column("total_ms", "total ms", 2),
+       obs::Column("share", "share", 1, "%")});
+  for (PhaseStats& p : b.phases) {
+    double share = IsRuntimePhase(p.phase) && runtime_total_us > 0
+                       ? 100.0 * p.total_us / runtime_total_us
+                       : 0.0;
+    phases.AddRow({PhaseName(p.phase), p.count, p.mean_us(), p.latency_us.Percentile(50),
+                   p.latency_us.Percentile(99), p.total_us / 1e3, share});
+    const std::string mp = metric_prefix + "phase." + PhaseName(p.phase) + ".";
+    reporter->metrics().Gauge(mp + "mean_us", p.mean_us());
+    reporter->metrics().Gauge(mp + "p50_us", p.latency_us.Percentile(50));
+    reporter->metrics().Gauge(mp + "p99_us", p.latency_us.Percentile(99));
+  }
+  phases.AddNote("share = fraction of total runtime-phase time "
+                 "(queue_submit + queue_engine + device + codec + complete)");
+
+  if (!b.codec_phases.empty()) {
+    obs::Table& sub = reporter->AddTable(
+        "trace_codec_phases",
+        "Codec sub-phases (nested inside `codec`; not part of the contiguous sum)",
+        {obs::Column("phase"), obs::Column("count", "spans", 0),
+         obs::Column("mean_us", "mean us", 1), obs::Column("p50_us", "p50 us", 1),
+         obs::Column("p99_us", "p99 us", 1)});
+    for (PhaseStats& p : b.codec_phases) {
+      sub.AddRow({PhaseName(p.phase), p.count, p.mean_us(), p.latency_us.Percentile(50),
+                  p.latency_us.Percentile(99)});
+      const std::string mp = metric_prefix + "phase." + PhaseName(p.phase) + ".";
+      reporter->metrics().Gauge(mp + "mean_us", p.mean_us());
+      reporter->metrics().Gauge(mp + "p50_us", p.latency_us.Percentile(50));
+    }
+  }
+
+  if (!b.groups.empty()) {
+    obs::Table& groups = reporter->AddTable(
+        "trace_by_group", "End-to-end latency per (codec, tenant)",
+        {obs::Column("codec"), obs::Column("tenant", "tenant", 0),
+         obs::Column("requests", "requests", 0), obs::Column("mean_us", "mean us", 1),
+         obs::Column("p50_us", "p50 us", 1), obs::Column("p99_us", "p99 us", 1)});
+    for (GroupStats& g : b.groups) {
+      groups.AddRow({g.codec.empty() ? "(default)" : g.codec, g.tenant, g.requests,
+                     g.e2e_us.Mean(), g.e2e_us.Percentile(50), g.e2e_us.Percentile(99)});
+    }
+  }
+
+  double e2e_mean = b.e2e_us.empty() ? 0 : b.e2e_us.Mean();
+  double e2e_p50 = b.e2e_us.empty() ? 0 : b.e2e_us.Percentile(50);
+  double mean_sum = b.phase_mean_sum_us();
+  double p50_sum = b.phase_p50_sum_us();
+  obs::Table& consistency = reporter->AddTable(
+      "trace_consistency",
+      "Cross-check: phase sums vs measured end-to-end latency (submit -> reap)",
+      {obs::Column("statistic"), obs::Column("e2e_us", "e2e us", 1),
+       obs::Column("phase_sum_us", "phase sum us", 1), obs::Column("ratio", "", 3, "x")});
+  consistency.AddRow({"mean", e2e_mean, mean_sum, e2e_mean > 0 ? mean_sum / e2e_mean : 0.0});
+  consistency.AddRow({"p50", e2e_p50, p50_sum, e2e_p50 > 0 ? p50_sum / e2e_p50 : 0.0});
+  consistency.AddNote(
+      "phases are contiguous per request, so the mean sum matches the mean e2e exactly\n"
+      "(for complete chains); percentile sums are approximate by construction");
+
+  obs::MetricSet& m = reporter->metrics();
+  m.Gauge(metric_prefix + "e2e_mean_us", e2e_mean);
+  m.Gauge(metric_prefix + "e2e_p50_us", e2e_p50);
+  m.Gauge(metric_prefix + "e2e_p99_us", b.e2e_us.empty() ? 0 : b.e2e_us.Percentile(99));
+  m.Gauge(metric_prefix + "phase_mean_sum_us", mean_sum);
+  m.Gauge(metric_prefix + "phase_p50_sum_us", p50_sum);
+  m.Count(metric_prefix + "requests_complete", b.complete_requests);
+  m.Count(metric_prefix + "requests_incomplete", b.incomplete_requests);
+  m.Count(metric_prefix + "spans_emitted", counters.emitted);
+  m.Count(metric_prefix + "spans_collected", counters.collected);
+  m.Count(metric_prefix + "spans_dropped_ring", counters.dropped_ring);
+  m.Count(metric_prefix + "spans_dropped_buffer", counters.dropped_buffer);
+  m.Count(metric_prefix + "requests_sampled", counters.sampled);
+  m.Count(metric_prefix + "requests_unsampled", counters.unsampled);
+}
+
+Status WriteChromeTrace(const std::vector<SpanRecord>& spans, const TraceSink* sink,
+                        const std::string& path) {
+  uint64_t origin = ~uint64_t{0};
+  for (const SpanRecord& r : spans) {
+    origin = std::min(origin, r.start_ns);
+  }
+  if (spans.empty()) {
+    origin = 0;
+  }
+
+  obs::Json doc = obs::Json::Object();
+  obs::Json events = obs::Json::Array();
+  {
+    // Process-name metadata event so trace viewers label the track group.
+    obs::Json meta = obs::Json::Object();
+    meta["name"] = "process_name";
+    meta["ph"] = "M";
+    meta["pid"] = uint64_t{1};
+    obs::Json args = obs::Json::Object();
+    args["name"] = "cdpu";
+    meta["args"] = std::move(args);
+    events.push_back(std::move(meta));
+  }
+  for (const SpanRecord& r : spans) {
+    obs::Json ev = obs::Json::Object();
+    ev["name"] = PhaseName(r.phase);
+    ev["cat"] = IsRuntimePhase(r.phase) ? "runtime" : "service";
+    ev["ph"] = "X";
+    ev["ts"] = static_cast<double>(r.start_ns - origin) / 1e3;  // microseconds
+    ev["dur"] = static_cast<double>(r.end_ns - r.start_ns) / 1e3;
+    ev["pid"] = uint64_t{1};
+    // One track per request: the viewer shows each request's phase chain as
+    // a row, which is the per-request timeline the paper's figure implies.
+    ev["tid"] = r.request_id;
+    obs::Json args = obs::Json::Object();
+    args["request_id"] = r.request_id;
+    args["tenant"] = r.tenant;
+    if (sink != nullptr && r.label != 0) {
+      args["codec"] = sink->LabelName(r.label);
+    }
+    ev["args"] = std::move(args);
+    events.push_back(std::move(ev));
+  }
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+
+  std::string text = doc.Dump();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path);
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  int rc = std::fclose(f);
+  if (written != text.size() || rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace trace
+}  // namespace cdpu

@@ -1,0 +1,84 @@
+// Aggregation pass over raw span records: rebuilds the paper's
+// latency-breakdown view (queueing vs transfer vs per-phase service time)
+// from live traces, grouped overall, per phase, and per (codec label,
+// tenant). Also the Chrome trace_event exporter for timeline inspection and
+// the obs::Reporter bridge that renders the breakdown as human tables and
+// schema-versioned JSON.
+
+#ifndef SRC_TRACE_BREAKDOWN_H_
+#define SRC_TRACE_BREAKDOWN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/obs/report.h"
+#include "src/trace/trace.h"
+
+namespace cdpu {
+namespace trace {
+
+struct PhaseStats {
+  Phase phase = Phase::kQueueSubmit;
+  uint64_t count = 0;
+  double total_us = 0;
+  SampleSet latency_us;  // one sample per span
+
+  double mean_us() const { return count > 0 ? total_us / static_cast<double>(count) : 0; }
+};
+
+// Per-(codec label, tenant) end-to-end view.
+struct GroupStats {
+  std::string codec;  // resolved label name; "" when untagged
+  uint32_t tenant = 0;
+  uint64_t requests = 0;
+  SampleSet e2e_us;
+};
+
+struct Breakdown {
+  // Top-level phases in pipeline order (only phases that appeared).
+  std::vector<PhaseStats> phases;
+  // Codec sub-phases (lz77/entropy), reported separately because they nest
+  // inside kCodec and must not be double-counted in the contiguous sum.
+  std::vector<PhaseStats> codec_phases;
+  std::vector<GroupStats> groups;
+
+  // Requests with a full contiguous runtime chain (queue_submit..complete).
+  uint64_t complete_requests = 0;
+  // Requests skipped because ring/buffer drops left their chain incomplete.
+  uint64_t incomplete_requests = 0;
+
+  SampleSet e2e_us;  // per-request queue_submit.start -> complete.end
+
+  // Sum over runtime phases of the per-phase statistic. Because the phases
+  // are contiguous, sum_of_means equals mean(e2e) exactly (for complete
+  // requests); sum_of_p50s only approximates p50(e2e) — percentiles are not
+  // additive — which is exactly the cross-check the consistency table shows.
+  double phase_mean_sum_us() const;
+  double phase_p50_sum_us();
+};
+
+// Builds the breakdown from a span snapshot. `sink` resolves label names;
+// may be null (labels render as "").
+Breakdown BuildBreakdown(const std::vector<SpanRecord>& spans, const TraceSink* sink);
+
+// Renders the breakdown into the Reporter: a "trace_phases" table, a
+// "trace_codec_phases" table (when codec sub-spans exist), a
+// "trace_by_group" table (when >1 group), a consistency table comparing
+// phase sums against measured end-to-end latency, and gauges under
+// `metric_prefix` (e.g. "trace.") for machine consumers.
+void ExportBreakdown(Breakdown& breakdown, const TraceCounters& counters,
+                     const std::string& metric_prefix, obs::Reporter* reporter);
+
+// Writes the span snapshot as Chrome trace_event JSON (catapult / Perfetto
+// "trace viewer" format): one complete ("ph":"X") event per span, one track
+// per request id, timestamps in microseconds.
+Status WriteChromeTrace(const std::vector<SpanRecord>& spans, const TraceSink* sink,
+                        const std::string& path);
+
+}  // namespace trace
+}  // namespace cdpu
+
+#endif  // SRC_TRACE_BREAKDOWN_H_

@@ -1,0 +1,186 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+
+namespace cdpu {
+namespace trace {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kWireDecode:
+      return "wire_decode";
+    case Phase::kAdmission:
+      return "admission";
+    case Phase::kQueueSubmit:
+      return "queue_submit";
+    case Phase::kQueueEngine:
+      return "queue_engine";
+    case Phase::kDevice:
+      return "device";
+    case Phase::kCodec:
+      return "codec";
+    case Phase::kCodecLz77:
+      return "codec.lz77";
+    case Phase::kCodecEntropy:
+      return "codec.entropy";
+    case Phase::kComplete:
+      return "complete";
+    case Phase::kResponse:
+      return "response";
+    case Phase::kNumPhases:
+      break;
+  }
+  return "unknown";
+}
+
+bool IsRuntimePhase(Phase phase) {
+  switch (phase) {
+    case Phase::kQueueSubmit:
+    case Phase::kQueueEngine:
+    case Phase::kDevice:
+    case Phase::kCodec:
+    case Phase::kComplete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TraceSink::TraceSink(const TraceSinkOptions& options) : options_(options) {
+  options_.ring_capacity = std::max<size_t>(2, options_.ring_capacity);
+  options_.buffer_capacity = std::max<size_t>(2, options_.buffer_capacity);
+  options_.sample_rate = std::clamp(options_.sample_rate, 0.0, 1.0);
+  if (options_.start_collector) {
+    collector_ = std::thread([this] { CollectorLoop(); });
+  }
+}
+
+TraceSink::~TraceSink() { Stop(); }
+
+TraceSink::Writer* TraceSink::RegisterWriter(std::string name) {
+  std::lock_guard<std::mutex> lock(writers_mu_);
+  writers_.push_back(
+      std::unique_ptr<Writer>(new Writer(std::move(name), options_.ring_capacity)));
+  return writers_.back().get();
+}
+
+uint64_t TraceSink::StartRequest() {
+  uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.sample_rate >= 1.0) {
+    sampled_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+  if (options_.sample_rate <= 0.0) {
+    unsampled_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  // Deterministic per-id decision (Fibonacci hash): rate r keeps ~r of ids,
+  // and a rerun with the same arrival order traces the same requests.
+  uint64_t h = id * 0x9e3779b97f4a7c15ULL;
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+  if (u < options_.sample_rate) {
+    sampled_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+  unsampled_.fetch_add(1, std::memory_order_relaxed);
+  return 0;
+}
+
+uint16_t TraceSink::InternLabel(const std::string& label) {
+  std::lock_guard<std::mutex> lock(labels_mu_);
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) {
+      return static_cast<uint16_t>(i + 1);
+    }
+  }
+  if (labels_.size() >= 0xfffe) {
+    return 0;  // label space exhausted; spans fall back to "no label"
+  }
+  labels_.push_back(label);
+  return static_cast<uint16_t>(labels_.size());
+}
+
+std::string TraceSink::LabelName(uint16_t id) const {
+  std::lock_guard<std::mutex> lock(labels_mu_);
+  if (id == 0 || id > labels_.size()) {
+    return "";
+  }
+  return labels_[id - 1];
+}
+
+size_t TraceSink::CollectOnce() {
+  std::lock_guard<std::mutex> collect_lock(collect_mu_);
+  // Snapshot the writer list; writers are append-only and never destroyed
+  // before the sink, so raw pointers stay valid outside writers_mu_.
+  std::vector<Writer*> writers;
+  {
+    std::lock_guard<std::mutex> lock(writers_mu_);
+    writers.reserve(writers_.size());
+    for (const auto& w : writers_) {
+      writers.push_back(w.get());
+    }
+  }
+  size_t moved = 0;
+  std::lock_guard<std::mutex> lock(buffer_mu_);
+  for (Writer* w : writers) {
+    SpanRecord r;
+    while (w->ring_.TryPop(&r)) {
+      if (buffer_.size() < options_.buffer_capacity) {
+        buffer_.push_back(r);
+        ++collected_;
+        ++moved;
+      } else {
+        ++dropped_buffer_;
+      }
+    }
+  }
+  return moved;
+}
+
+void TraceSink::CollectorLoop() {
+  const auto interval = std::chrono::microseconds(options_.collect_interval_us);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    CollectOnce();
+    std::this_thread::sleep_for(interval);
+  }
+}
+
+void TraceSink::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (collector_.joinable()) {
+    collector_.join();
+  }
+  CollectOnce();  // final drain; also the only drain when start_collector=false
+}
+
+std::vector<SpanRecord> TraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(buffer_mu_);
+  return buffer_;
+}
+
+TraceCounters TraceSink::counters() const {
+  TraceCounters c;
+  {
+    std::lock_guard<std::mutex> lock(writers_mu_);
+    for (const auto& w : writers_) {
+      c.emitted += w->emitted_.load(std::memory_order_relaxed);
+      c.dropped_ring += w->dropped_.load(std::memory_order_relaxed);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    c.dropped_buffer = dropped_buffer_;
+    c.collected = collected_;
+  }
+  c.sampled = sampled_.load(std::memory_order_relaxed);
+  c.unsampled = unsampled_.load(std::memory_order_relaxed);
+  return c;
+}
+
+ThreadTraceContext* CurrentThreadTrace() {
+  thread_local ThreadTraceContext ctx;
+  return &ctx;
+}
+
+}  // namespace trace
+}  // namespace cdpu

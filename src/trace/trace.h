@@ -1,0 +1,277 @@
+// Low-overhead per-request tracing: the live counterpart of the paper's
+// profiling methodology. Every traced request leaves a chain of timestamped
+// span records as it crosses layers — wire decode, admission, submission
+// ring, engine queue, device model, codec phases (LZ77 / entropy), reaper,
+// response encode — so the fig11-style latency breakdown can be computed
+// from what the runtime actually did instead of from the analytic model.
+//
+// Design constraints, in order:
+//  1. Tracing off (no TraceSink wired) must cost nothing on the hot path —
+//     every instrumentation site is gated on a per-job trace id.
+//  2. Tracing on must be safe to leave enabled under load: writer threads
+//     push fixed-size records into private SPSC rings (the descriptor-ring
+//     pattern from src/runtime/spsc_ring.h) and never block; a full ring
+//     drops the record and counts the drop.
+//  3. A background collector drains the rings into one bounded in-memory
+//     buffer (drop-counted too), preserving per-writer emit order.
+//
+// Span timestamps use a single process-wide monotonic base (trace::NowNs),
+// so spans emitted by the service event loop, the runtime threads and codec
+// instrumentation hooks all land on one comparable timeline.
+
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/spsc_ring.h"
+
+namespace cdpu {
+namespace trace {
+
+// Monotonic nanoseconds on the process-wide steady clock. All spans share
+// this base regardless of which layer emitted them.
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Request lifecycle phases. The kQueueSubmit..kComplete phases are contiguous
+// per request (each starts where the previous ended), so their per-request
+// sum equals the measured submit-to-reap wall latency exactly. kWireDecode /
+// kAdmission / kResponse bracket the runtime phases on the service side, and
+// the kCodec* phases are sub-spans nested inside kCodec.
+enum class Phase : uint8_t {
+  kWireDecode = 0,  // service: frame parse (header/payload CRC + copy)
+  kAdmission,       // service: admission-controller decision
+  kQueueSubmit,     // submit ring + doorbell coalescing wait
+  kQueueEngine,     // in-flight slot wait + engine work-queue wait
+  kDevice,          // device-model attempts incl. retry backoff (wall time)
+  kCodec,           // real codec work on the engine thread
+  kCodecLz77,       // codec sub-span: match search
+  kCodecEntropy,    // codec sub-span: Huffman/FSE coding
+  kComplete,        // completion queue wait until the reaper posts the result
+  kResponse,        // service: response encode + socket write
+  kNumPhases,
+};
+
+inline constexpr uint32_t kNumPhases = static_cast<uint32_t>(Phase::kNumPhases);
+
+const char* PhaseName(Phase phase);
+
+// The contiguous wall-clock phases whose per-request sum is the end-to-end
+// runtime latency (submit -> reap).
+bool IsRuntimePhase(Phase phase);
+
+// Fixed-size span record written by instrumentation sites. 32 bytes.
+struct SpanRecord {
+  uint64_t request_id = 0;  // nonzero; 0 marks "not sampled" at call sites
+  uint64_t start_ns = 0;    // trace::NowNs() domain
+  uint64_t end_ns = 0;
+  uint32_t tenant = 0;
+  uint16_t label = 0;       // interned label (codec name etc.); 0 = none
+  Phase phase = Phase::kQueueSubmit;
+  uint8_t flags = 0;        // reserved
+};
+static_assert(sizeof(SpanRecord) == 32, "span records are copied in bulk");
+
+struct TraceSinkOptions {
+  size_t ring_capacity = 4096;      // records per writer ring
+  size_t buffer_capacity = 1 << 20; // central buffer ceiling (records)
+  double sample_rate = 1.0;         // fraction of requests traced, [0,1]
+  // Collector sweep period. 2ms keeps the collector to ~500 wakeups/sec —
+  // cheap even on a single core — while a 4096-entry ring per writer gives
+  // each thread millisecond-scale headroom before spans drop.
+  uint64_t collect_interval_us = 2000;
+  bool start_collector = true;      // tests drain manually with CollectOnce
+};
+
+struct TraceCounters {
+  uint64_t emitted = 0;         // records accepted by writer rings
+  uint64_t dropped_ring = 0;    // records lost to a full writer ring
+  uint64_t dropped_buffer = 0;  // records lost to the full central buffer
+  uint64_t collected = 0;       // records moved into the central buffer
+  uint64_t sampled = 0;         // requests that drew a trace id
+  uint64_t unsampled = 0;       // requests skipped by the sampler
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(const TraceSinkOptions& options = {});
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // One writer per emitting thread (SPSC: that thread is the only producer).
+  // The returned pointer stays valid for the sink's lifetime; writers are
+  // never unregistered. Thread-safe.
+  class Writer {
+   public:
+    void Emit(const SpanRecord& record) {
+      if (ring_.TryPush(record)) {
+        emitted_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    const std::string& name() const { return name_; }
+
+   private:
+    friend class TraceSink;
+    Writer(std::string name, size_t capacity) : name_(std::move(name)), ring_(capacity) {}
+
+    std::string name_;
+    SpscRing<SpanRecord> ring_;
+    std::atomic<uint64_t> emitted_{0};
+    std::atomic<uint64_t> dropped_{0};
+  };
+  Writer* RegisterWriter(std::string name);
+
+  // Draws a trace id for a new request: nonzero (unique, monotonic) when the
+  // request is sampled, 0 otherwise. The decision is deterministic in the
+  // id, so a given sample rate reproduces the same subset across runs.
+  uint64_t StartRequest();
+
+  // Interns a small label (codec name, experiment tag) into a 16-bit id for
+  // embedding in fixed-size records. Idempotent; call sites should cache.
+  uint16_t InternLabel(const std::string& label);
+  std::string LabelName(uint16_t id) const;  // "" for 0/unknown
+
+  // One collector sweep over all writer rings; safe from any single thread
+  // at a time (the background collector or a test driving collection by
+  // hand after Stop()). Returns records moved.
+  size_t CollectOnce();
+
+  // Stops the background collector (if any) and performs a final drain so
+  // Snapshot() sees every record emitted before the call. Idempotent.
+  void Stop();
+
+  // Copy of the central buffer in collection order (per-writer emit order is
+  // preserved within the buffer).
+  std::vector<SpanRecord> Snapshot() const;
+
+  TraceCounters counters() const;
+  double sample_rate() const { return options_.sample_rate; }
+
+ private:
+  void CollectorLoop();
+
+  TraceSinkOptions options_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> sampled_{0};
+  std::atomic<uint64_t> unsampled_{0};
+
+  mutable std::mutex writers_mu_;
+  std::vector<std::unique_ptr<Writer>> writers_;
+
+  mutable std::mutex labels_mu_;
+  std::vector<std::string> labels_;  // id = index + 1; 0 = "no label"
+
+  mutable std::mutex buffer_mu_;
+  std::vector<SpanRecord> buffer_;
+  uint64_t dropped_buffer_ = 0;  // guarded by buffer_mu_
+  uint64_t collected_ = 0;       // guarded by buffer_mu_
+
+  std::mutex collect_mu_;  // serialises CollectOnce callers
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  // guarded by collect_mu_
+  std::thread collector_;
+};
+
+// Convenience for instrumentation sites that already know the span bounds.
+inline void EmitSpan(TraceSink::Writer* w, uint64_t request_id, uint32_t tenant,
+                     uint16_t label, Phase phase, uint64_t start_ns, uint64_t end_ns) {
+  SpanRecord r;
+  r.request_id = request_id;
+  r.start_ns = start_ns;
+  r.end_ns = end_ns;
+  r.tenant = tenant;
+  r.label = label;
+  r.phase = phase;
+  w->Emit(r);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local trace context: lets instrumentation hooks buried inside codec
+// implementations emit sub-spans for the request currently being processed
+// on this thread without threading a sink through every signature.
+
+struct ThreadTraceContext {
+  TraceSink::Writer* writer = nullptr;  // null = tracing inactive
+  uint64_t request_id = 0;
+  uint32_t tenant = 0;
+  uint16_t label = 0;
+};
+
+// The calling thread's context slot (never null; writer null when inactive).
+ThreadTraceContext* CurrentThreadTrace();
+
+// RAII: installs a context for the duration of a codec call, restoring the
+// previous one on destruction (contexts may nest).
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(TraceSink::Writer* writer, uint64_t request_id, uint32_t tenant,
+                     uint16_t label) {
+    ThreadTraceContext* slot = CurrentThreadTrace();
+    saved_ = *slot;
+    slot->writer = writer;
+    slot->request_id = request_id;
+    slot->tenant = tenant;
+    slot->label = label;
+  }
+  ~ScopedTraceContext() { *CurrentThreadTrace() = saved_; }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  ThreadTraceContext saved_;
+};
+
+// RAII codec-phase span: emits [construction, destruction] under the current
+// thread context. A no-op (one branch, no clock read) when no context is
+// installed — this is the only cost codec hooks add to untraced calls.
+class CodecPhaseSpan {
+ public:
+  explicit CodecPhaseSpan(Phase phase) : phase_(phase) {
+    const ThreadTraceContext* ctx = CurrentThreadTrace();
+    if (ctx->writer != nullptr) {
+      start_ = NowNs();
+    }
+  }
+  ~CodecPhaseSpan() {
+    if (start_ == 0) {
+      return;
+    }
+    const ThreadTraceContext* ctx = CurrentThreadTrace();
+    SpanRecord r;
+    r.request_id = ctx->request_id;
+    r.start_ns = start_;
+    r.end_ns = NowNs();
+    r.tenant = ctx->tenant;
+    r.label = ctx->label;
+    r.phase = phase_;
+    ctx->writer->Emit(r);
+  }
+
+  CodecPhaseSpan(const CodecPhaseSpan&) = delete;
+  CodecPhaseSpan& operator=(const CodecPhaseSpan&) = delete;
+
+ private:
+  Phase phase_;
+  uint64_t start_ = 0;
+};
+
+}  // namespace trace
+}  // namespace cdpu
+
+#endif  // SRC_TRACE_TRACE_H_

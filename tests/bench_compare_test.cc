@@ -1,0 +1,140 @@
+// Tests for the CI perf-regression gate (tools/bench_compare_lib):
+// name-driven metric classification, tolerance directions, missing-metric
+// handling, schema-version guard, and the rendered outputs.
+
+#include <gtest/gtest.h>
+
+#include "src/obs/json.h"
+#include "tools/bench_compare_lib.h"
+
+namespace cdpu {
+namespace tools {
+namespace {
+
+obs::Json MakeDoc(std::vector<std::pair<std::string, double>> gauges,
+                  int64_t schema_version = 1) {
+  obs::Json doc = obs::Json::Object();
+  doc["schema_version"] = schema_version;
+  doc["experiment"] = "unit";
+  obs::Json g = obs::Json::Object();
+  for (auto& [name, value] : gauges) {
+    g[name] = value;
+  }
+  obs::Json metrics = obs::Json::Object();
+  metrics["gauges"] = std::move(g);
+  doc["metrics"] = std::move(metrics);
+  return doc;
+}
+
+const MetricComparison* FindMetric(const CompareReport& r, const std::string& name) {
+  for (const MetricComparison& m : r.metrics) {
+    if (m.name == name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+TEST(ClassifyMetricTest, NameDrivenPolicies) {
+  EXPECT_EQ(ClassifyMetric("tenant0.mbps").direction, MetricDirection::kHigherBetter);
+  EXPECT_EQ(ClassifyMetric("svc.runtime.sim_gbps").direction,
+            MetricDirection::kHigherBetter);
+  EXPECT_EQ(ClassifyMetric("tenant0.p99_us").direction, MetricDirection::kLowerBetter);
+  EXPECT_EQ(ClassifyMetric("trace.phase.codec.mean_us").direction,
+            MetricDirection::kInformational);
+  EXPECT_EQ(ClassifyMetric("svc.runtime.max_inflight").direction,
+            MetricDirection::kInformational);
+}
+
+TEST(BenchCompareTest, IdenticalDocsPass) {
+  obs::Json doc = MakeDoc({{"a.mbps", 100.0}, {"a.p99_us", 500.0}});
+  Result<CompareReport> r = CompareBenchDocs(doc, doc);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->pass);
+  EXPECT_EQ(r->regressions(), 0u);
+  EXPECT_EQ(r->experiment, "unit");
+}
+
+TEST(BenchCompareTest, ThroughputDropBeyondToleranceFails) {
+  obs::Json base = MakeDoc({{"a.mbps", 100.0}});
+  Result<CompareReport> ok = CompareBenchDocs(base, MakeDoc({{"a.mbps", 90.0}}));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->pass);  // -10% is inside the 15% tolerance
+
+  Result<CompareReport> bad = CompareBenchDocs(base, MakeDoc({{"a.mbps", 80.0}}));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->pass);  // -20% is not
+  EXPECT_EQ(FindMetric(*bad, "a.mbps")->verdict, Verdict::kRegressed);
+
+  // Throughput gains never fail.
+  Result<CompareReport> faster = CompareBenchDocs(base, MakeDoc({{"a.mbps", 200.0}}));
+  ASSERT_TRUE(faster.ok());
+  EXPECT_TRUE(faster->pass);
+}
+
+TEST(BenchCompareTest, TailLatencyInflationBeyondToleranceFails) {
+  obs::Json base = MakeDoc({{"a.p99_us", 1000.0}});
+  Result<CompareReport> ok = CompareBenchDocs(base, MakeDoc({{"a.p99_us", 1150.0}}));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->pass);  // +15% is inside the 20% tolerance
+
+  Result<CompareReport> bad = CompareBenchDocs(base, MakeDoc({{"a.p99_us", 1300.0}}));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->pass);  // +30% is not
+
+  // Latency improvements never fail.
+  Result<CompareReport> faster = CompareBenchDocs(base, MakeDoc({{"a.p99_us", 100.0}}));
+  ASSERT_TRUE(faster.ok());
+  EXPECT_TRUE(faster->pass);
+}
+
+TEST(BenchCompareTest, MissingGatedMetricFails) {
+  obs::Json base = MakeDoc({{"a.mbps", 100.0}, {"note.mean_us", 5.0}});
+  Result<CompareReport> r = CompareBenchDocs(base, MakeDoc({{"note.mean_us", 5.0}}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->pass);
+  EXPECT_EQ(FindMetric(*r, "a.mbps")->verdict, Verdict::kMissing);
+}
+
+TEST(BenchCompareTest, MissingInformationalMetricDoesNotGate) {
+  obs::Json base = MakeDoc({{"a.mbps", 100.0}, {"note.mean_us", 5.0}});
+  Result<CompareReport> r = CompareBenchDocs(base, MakeDoc({{"a.mbps", 100.0}}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->pass);
+  EXPECT_EQ(FindMetric(*r, "note.mean_us")->verdict, Verdict::kMissing);
+}
+
+TEST(BenchCompareTest, CandidateOnlyMetricsAreInformational) {
+  obs::Json base = MakeDoc({{"a.mbps", 100.0}});
+  // Even a terrible-looking new gated metric cannot fail: there is no
+  // baseline to regress from.
+  Result<CompareReport> r =
+      CompareBenchDocs(base, MakeDoc({{"a.mbps", 100.0}, {"b.mbps", 0.001}}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->pass);
+  EXPECT_EQ(FindMetric(*r, "b.mbps")->verdict, Verdict::kNew);
+}
+
+TEST(BenchCompareTest, SchemaVersionMismatchIsAnError) {
+  obs::Json base = MakeDoc({{"a.mbps", 100.0}}, 1);
+  obs::Json cand = MakeDoc({{"a.mbps", 100.0}}, 2);
+  Result<CompareReport> r = CompareBenchDocs(base, cand);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BenchCompareTest, RenderedOutputsNameRegressions) {
+  obs::Json base = MakeDoc({{"a.mbps", 100.0}, {"a.p99_us", 1000.0}});
+  Result<CompareReport> r =
+      CompareBenchDocs(base, MakeDoc({{"a.mbps", 50.0}, {"a.p99_us", 1000.0}}));
+  ASSERT_TRUE(r.ok());
+  std::string human = RenderHuman(*r);
+  EXPECT_NE(human.find("FAIL"), std::string::npos);
+  EXPECT_NE(human.find("REGRESSED"), std::string::npos);
+  std::string md = RenderMarkdown(*r);
+  EXPECT_NE(md.find("| `a.mbps` |"), std::string::npos);
+  EXPECT_NE(md.find("**REGRESSED**"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace cdpu

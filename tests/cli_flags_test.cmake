@@ -1,0 +1,47 @@
+# Regression test for strict CLI flag parsing: every malformed invocation
+# must exit 2 (usage), never 0. Run via
+#   cmake -DCLI=<path-to-cdpu_cli> -P cli_flags_test.cmake
+
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<path to cdpu_cli>")
+endif()
+
+set(failures 0)
+
+function(expect_exit code)
+  # ARGN = the cdpu_cli argument list.
+  execute_process(COMMAND "${CLI}" ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL ${code})
+    message(SEND_ERROR "cdpu_cli ${ARGN}: expected exit ${code}, got ${rc}")
+    math(EXPR failures "${failures}+1")
+    set(failures ${failures} PARENT_SCOPE)
+  endif()
+endfunction()
+
+# Historically these exited 0 despite junk input.
+expect_exit(2 bench lz4 /dev/null not-a-number)
+expect_exit(2 bench lz4 /dev/null --bogus-flag)
+expect_exit(2 bench lz4 /dev/null 65536 --bogus-flag)
+expect_exit(2 entropy /dev/null junk-chunk)
+expect_exit(2 list extra-arg)
+
+# Unknown/malformed flags on the runtime subcommands.
+expect_exit(2 offload lz4 /dev/null --bogus-flag)
+expect_exit(2 offload lz4 /dev/null --threads=abc)
+expect_exit(2 offload lz4 /dev/null --trace-sample=1.5)
+expect_exit(2 offload lz4 /dev/null --trace-sample=abc)
+expect_exit(2 serve --bogus-flag)
+expect_exit(2 client --port=notaport)
+
+# No subcommand / unknown subcommand.
+expect_exit(2)
+expect_exit(2 frobnicate)
+
+# Sanity: a valid invocation still succeeds.
+expect_exit(0 list)
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} CLI flag-parsing check(s) failed")
+endif()

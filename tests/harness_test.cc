@@ -165,6 +165,46 @@ TEST(ExperimentSmokeTest, EveryExperimentProducesValidJsonAtQuickPreset) {
   }
 }
 
+// The live-trace breakdown must be self-consistent: the runtime phases are
+// contiguous per request, so the sum of per-phase means equals the measured
+// end-to-end mean (up to float error), and the p50 sum lands near the e2e
+// p50 (percentiles are not additive, hence the looser bound).
+TEST(Fig11LiveBreakdownTest, PhaseSumsMatchEndToEndLatency) {
+  DpzipCodec::RegisterWithFactory();
+  auto found = ExperimentRegistry::Global().Find("fig11_live_breakdown");
+  ASSERT_TRUE(found.ok());
+
+  obs::Reporter reporter;
+  reporter.SetRun((*found)->name, (*found)->title, (*found)->description, "quick");
+  ExperimentContext ctx(Preset::kQuick, &reporter);
+  (*found)->fn(ctx);
+
+  obs::Json metrics = reporter.metrics().ToJson();
+  const obs::Json* gauges = metrics.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  auto gauge = [&](const char* name) {
+    const obs::Json* g = gauges->Find(name);
+    EXPECT_NE(g, nullptr) << "missing gauge " << name;
+    return g != nullptr ? g->AsDouble() : 0.0;
+  };
+
+  double e2e_mean = gauge("trace.e2e_mean_us");
+  double mean_sum = gauge("trace.phase_mean_sum_us");
+  ASSERT_GT(e2e_mean, 0);
+  EXPECT_NEAR(mean_sum / e2e_mean, 1.0, 0.02);
+
+  double e2e_p50 = gauge("trace.e2e_p50_us");
+  double p50_sum = gauge("trace.phase_p50_sum_us");
+  ASSERT_GT(e2e_p50, 0);
+  EXPECT_NEAR(p50_sum / e2e_p50, 1.0, 0.10);
+
+  const obs::Json* counters = metrics.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::Json* complete = counters->Find("trace.requests_complete");
+  ASSERT_NE(complete, nullptr);
+  EXPECT_GT(complete->AsUint(), 0u);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace cdpu

@@ -1,0 +1,325 @@
+// Tests for the per-request tracing layer (src/trace): ring/buffer drop
+// accounting, per-writer ordering, deterministic sampling, the thread-local
+// codec-phase hooks, the breakdown aggregation pass (contiguous phase sums
+// vs end-to-end), the Chrome trace exporter, and a multi-threaded
+// writers-vs-collector run that the CI TSan job executes under
+// ThreadSanitizer.
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/json.h"
+#include "src/obs/report.h"
+#include "src/trace/breakdown.h"
+#include "src/trace/trace.h"
+
+namespace cdpu {
+namespace trace {
+namespace {
+
+TraceSinkOptions ManualOptions() {
+  TraceSinkOptions o;
+  o.start_collector = false;  // tests drive CollectOnce by hand
+  return o;
+}
+
+SpanRecord MakeSpan(uint64_t id, Phase phase, uint64_t start, uint64_t end,
+                    uint32_t tenant = 0, uint16_t label = 0) {
+  SpanRecord r;
+  r.request_id = id;
+  r.start_ns = start;
+  r.end_ns = end;
+  r.tenant = tenant;
+  r.label = label;
+  r.phase = phase;
+  return r;
+}
+
+TEST(TraceSinkTest, RingOverflowCountsDrops) {
+  TraceSinkOptions o = ManualOptions();
+  o.ring_capacity = 4;  // SpscRing rounds to a power of two and holds exactly that
+  TraceSink sink(o);
+  TraceSink::Writer* w = sink.RegisterWriter("t");
+  for (uint64_t i = 0; i < 10; ++i) {
+    w->Emit(MakeSpan(i + 1, Phase::kCodec, i, i + 1));
+  }
+  TraceCounters c = sink.counters();
+  EXPECT_EQ(c.emitted, 4u);
+  EXPECT_EQ(c.dropped_ring, 6u);
+
+  // Draining frees the ring; new emits land again.
+  EXPECT_EQ(sink.CollectOnce(), 4u);
+  w->Emit(MakeSpan(99, Phase::kCodec, 0, 1));
+  c = sink.counters();
+  EXPECT_EQ(c.emitted, 5u);
+  EXPECT_EQ(c.dropped_ring, 6u);
+}
+
+TEST(TraceSinkTest, BufferOverflowCountsDrops) {
+  TraceSinkOptions o = ManualOptions();
+  o.ring_capacity = 64;
+  o.buffer_capacity = 8;
+  TraceSink sink(o);
+  TraceSink::Writer* w = sink.RegisterWriter("t");
+  for (uint64_t i = 0; i < 20; ++i) {
+    w->Emit(MakeSpan(i + 1, Phase::kCodec, i, i + 1));
+  }
+  sink.CollectOnce();
+  TraceCounters c = sink.counters();
+  EXPECT_EQ(c.collected, 8u);
+  EXPECT_EQ(c.dropped_buffer, 12u);
+  EXPECT_EQ(sink.Snapshot().size(), 8u);
+}
+
+TEST(TraceSinkTest, PerWriterEmitOrderPreserved) {
+  TraceSink sink(ManualOptions());
+  TraceSink::Writer* w = sink.RegisterWriter("t");
+  for (uint64_t i = 0; i < 100; ++i) {
+    w->Emit(MakeSpan(i + 1, Phase::kCodec, i, i + 1));
+  }
+  sink.CollectOnce();
+  std::vector<SpanRecord> spans = sink.Snapshot();
+  ASSERT_EQ(spans.size(), 100u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].request_id, i + 1);
+  }
+}
+
+TEST(TraceSinkTest, SamplingIsDeterministicAndCounted) {
+  TraceSinkOptions all = ManualOptions();
+  all.sample_rate = 1.0;
+  TraceSink every(all);
+  uint64_t prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    uint64_t id = every.StartRequest();
+    EXPECT_GT(id, prev);  // nonzero and monotonic
+    prev = id;
+  }
+  EXPECT_EQ(every.counters().sampled, 50u);
+  EXPECT_EQ(every.counters().unsampled, 0u);
+
+  TraceSinkOptions none = ManualOptions();
+  none.sample_rate = 0.0;
+  TraceSink never(none);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(never.StartRequest(), 0u);
+  }
+  EXPECT_EQ(never.counters().unsampled, 50u);
+
+  // The decision is a pure function of the drawn id: two sinks at the same
+  // rate sample the same subset.
+  TraceSinkOptions half = ManualOptions();
+  half.sample_rate = 0.5;
+  TraceSink a(half);
+  TraceSink b(half);
+  uint64_t sampled = 0;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t ia = a.StartRequest();
+    uint64_t ib = b.StartRequest();
+    EXPECT_EQ(ia, ib);
+    sampled += ia != 0 ? 1 : 0;
+  }
+  EXPECT_GT(sampled, 50u);
+  EXPECT_LT(sampled, 150u);
+}
+
+TEST(TraceSinkTest, LabelInterningRoundTrips) {
+  TraceSink sink(ManualOptions());
+  uint16_t a = sink.InternLabel("lz4");
+  uint16_t b = sink.InternLabel("dpzip");
+  EXPECT_NE(a, 0);
+  EXPECT_NE(b, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(sink.InternLabel("lz4"), a);  // idempotent
+  EXPECT_EQ(sink.LabelName(a), "lz4");
+  EXPECT_EQ(sink.LabelName(b), "dpzip");
+  EXPECT_EQ(sink.LabelName(0), "");
+}
+
+TEST(TraceContextTest, CodecPhaseSpanIsNoOpWithoutContext) {
+  TraceSink sink(ManualOptions());
+  {
+    CodecPhaseSpan span(Phase::kCodecLz77);  // no context installed
+  }
+  sink.CollectOnce();
+  EXPECT_TRUE(sink.Snapshot().empty());
+  EXPECT_EQ(sink.counters().emitted, 0u);
+}
+
+TEST(TraceContextTest, CodecPhaseSpanEmitsUnderScopedContext) {
+  TraceSink sink(ManualOptions());
+  TraceSink::Writer* w = sink.RegisterWriter("t");
+  uint16_t label = sink.InternLabel("dpzip");
+  {
+    ScopedTraceContext ctx(w, 7, 3, label);
+    CodecPhaseSpan span(Phase::kCodecEntropy);
+  }
+  {
+    CodecPhaseSpan span(Phase::kCodecLz77);  // context restored: no-op again
+  }
+  sink.CollectOnce();
+  std::vector<SpanRecord> spans = sink.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].request_id, 7u);
+  EXPECT_EQ(spans[0].tenant, 3u);
+  EXPECT_EQ(spans[0].label, label);
+  EXPECT_EQ(spans[0].phase, Phase::kCodecEntropy);
+  EXPECT_GE(spans[0].end_ns, spans[0].start_ns);
+}
+
+// The TSan target: concurrent writer threads + the background collector +
+// StartRequest callers, all racing against Stop(). Any missing ordering in
+// the ring or counter paths shows up under ThreadSanitizer here.
+TEST(TraceSinkTest, ConcurrentWritersAndCollectorAccountExactly) {
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 5000;
+  TraceSinkOptions o;
+  o.ring_capacity = 256;  // small enough to force collector/ring overlap
+  o.collect_interval_us = 50;
+  TraceSink sink(o);
+
+  std::vector<TraceSink::Writer*> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.push_back(sink.RegisterWriter("w" + std::to_string(t)));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        uint64_t id = sink.StartRequest();
+        writers[t]->Emit(
+            MakeSpan(id, Phase::kCodec, i, i + 1, static_cast<uint32_t>(t)));
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  sink.Stop();
+
+  TraceCounters c = sink.counters();
+  EXPECT_EQ(c.sampled, static_cast<uint64_t>(kWriters) * kPerWriter);
+  // Every accepted record is either in the buffer or drop-counted; nothing
+  // vanishes.
+  EXPECT_EQ(c.emitted, c.collected + c.dropped_buffer);
+  EXPECT_EQ(c.emitted + c.dropped_ring,
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(sink.Snapshot().size(), c.collected);
+
+  // Per-writer order survives interleaved collection: for each tenant the
+  // start_ns sequence (the emit index) must be strictly increasing.
+  std::vector<SpanRecord> spans = sink.Snapshot();
+  uint64_t last_start[kWriters];
+  bool seen[kWriters] = {false};
+  for (const SpanRecord& r : spans) {
+    ASSERT_LT(r.tenant, static_cast<uint32_t>(kWriters));
+    if (seen[r.tenant]) {
+      EXPECT_GT(r.start_ns, last_start[r.tenant]);
+    }
+    last_start[r.tenant] = r.start_ns;
+    seen[r.tenant] = true;
+  }
+}
+
+TEST(BreakdownTest, ContiguousChainSumsToEndToEnd) {
+  TraceSink sink(ManualOptions());
+  uint16_t lz4 = sink.InternLabel("lz4");
+  std::vector<SpanRecord> spans;
+  // Two complete chains with known boundaries (ns).
+  for (uint64_t id : {1, 2}) {
+    uint64_t base = id * 1000;
+    spans.push_back(MakeSpan(id, Phase::kQueueSubmit, base, base + 10));
+    spans.push_back(MakeSpan(id, Phase::kQueueEngine, base + 10, base + 30));
+    spans.push_back(MakeSpan(id, Phase::kDevice, base + 30, base + 70));
+    spans.push_back(MakeSpan(id, Phase::kCodec, base + 70, base + 170, 0, lz4));
+    spans.push_back(MakeSpan(id, Phase::kComplete, base + 170, base + 200));
+    spans.push_back(MakeSpan(id, Phase::kCodecLz77, base + 80, base + 120, 0, lz4));
+  }
+  // One incomplete chain (kCodec missing: dropped record).
+  spans.push_back(MakeSpan(3, Phase::kQueueSubmit, 5000, 5010));
+  spans.push_back(MakeSpan(3, Phase::kComplete, 5170, 5200));
+
+  Breakdown b = BuildBreakdown(spans, &sink);
+  EXPECT_EQ(b.complete_requests, 2u);
+  EXPECT_EQ(b.incomplete_requests, 1u);
+  ASSERT_EQ(b.e2e_us.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.e2e_us.Mean(), 0.2);  // 200 ns
+  // Contiguous phases: the mean phase sum equals mean(e2e) exactly.
+  EXPECT_DOUBLE_EQ(b.phase_mean_sum_us(), 0.2);
+  ASSERT_EQ(b.phases.size(), 5u);
+  EXPECT_EQ(b.phases[0].phase, Phase::kQueueSubmit);
+  EXPECT_DOUBLE_EQ(b.phases[0].mean_us(), 0.01);
+  // Codec sub-phases are reported separately, not in the contiguous sum.
+  ASSERT_EQ(b.codec_phases.size(), 1u);
+  EXPECT_EQ(b.codec_phases[0].phase, Phase::kCodecLz77);
+  // The group view resolves the interned codec label.
+  ASSERT_EQ(b.groups.size(), 1u);
+  EXPECT_EQ(b.groups[0].codec, "lz4");
+  EXPECT_EQ(b.groups[0].requests, 2u);
+}
+
+TEST(BreakdownTest, ExportPublishesConsistencyGauges) {
+  TraceSink sink(ManualOptions());
+  std::vector<SpanRecord> spans;
+  spans.push_back(MakeSpan(1, Phase::kQueueSubmit, 0, 100));
+  spans.push_back(MakeSpan(1, Phase::kQueueEngine, 100, 200));
+  spans.push_back(MakeSpan(1, Phase::kDevice, 200, 300));
+  spans.push_back(MakeSpan(1, Phase::kCodec, 300, 400));
+  spans.push_back(MakeSpan(1, Phase::kComplete, 400, 500));
+  Breakdown b = BuildBreakdown(spans, &sink);
+
+  obs::Reporter reporter;
+  reporter.SetRun("trace_test", "t", "d", "test");
+  ExportBreakdown(b, sink.counters(), "trace.", &reporter);
+  obs::Json metrics = reporter.metrics().ToJson();
+  const obs::Json* gauges = metrics.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const obs::Json* e2e = gauges->Find("trace.e2e_mean_us");
+  const obs::Json* sum = gauges->Find("trace.phase_mean_sum_us");
+  ASSERT_NE(e2e, nullptr);
+  ASSERT_NE(sum, nullptr);
+  EXPECT_DOUBLE_EQ(e2e->AsDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(sum->AsDouble(), e2e->AsDouble());
+}
+
+TEST(ChromeTraceTest, WritesParseableEvents) {
+  TraceSink sink(ManualOptions());
+  uint16_t label = sink.InternLabel("lz4");
+  std::vector<SpanRecord> spans;
+  spans.push_back(MakeSpan(1, Phase::kQueueSubmit, 1000, 2000));
+  spans.push_back(MakeSpan(1, Phase::kCodec, 2000, 5000, 0, label));
+  std::string path = ::testing::TempDir() + "/trace_test_chrome.json";
+  ASSERT_TRUE(WriteChromeTrace(spans, &sink, path).ok());
+
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  Result<obs::Json> doc = obs::Json::Parse(text.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::Json* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  size_t complete_events = 0;
+  for (const obs::Json& e : events->items()) {
+    const obs::Json* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->AsString() == "X") {
+      ++complete_events;
+      EXPECT_NE(e.Find("ts"), nullptr);
+      EXPECT_NE(e.Find("dur"), nullptr);
+      EXPECT_NE(e.Find("name"), nullptr);
+    }
+  }
+  EXPECT_EQ(complete_events, spans.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace cdpu

@@ -1,0 +1,69 @@
+// CI perf-regression gate: compares a candidate BENCH_<name>.json against a
+// committed baseline and exits non-zero when a gated metric regressed.
+//
+//   bench_compare <baseline.json> <candidate.json> [--markdown=PATH]
+//
+// Exit codes: 0 = within tolerance, 1 = regression (or gated metric missing
+// from the candidate), 2 = usage / unreadable / malformed input.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "tools/bench_compare_lib.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare <baseline.json> <candidate.json> "
+               "[--markdown=PATH]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline;
+  std::string candidate;
+  std::string markdown_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--markdown=", 0) == 0) {
+      markdown_path = arg.substr(std::strlen("--markdown="));
+      if (markdown_path.empty()) {
+        return Usage();
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else if (baseline.empty()) {
+      baseline = arg;
+    } else if (candidate.empty()) {
+      candidate = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline.empty() || candidate.empty()) {
+    return Usage();
+  }
+
+  cdpu::Result<cdpu::tools::CompareReport> report =
+      cdpu::tools::CompareBenchFiles(baseline, candidate);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::fputs(cdpu::tools::RenderHuman(*report).c_str(), stdout);
+  if (!markdown_path.empty()) {
+    std::ofstream out(markdown_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bench_compare: cannot write %s\n", markdown_path.c_str());
+      return 2;
+    }
+    out << cdpu::tools::RenderMarkdown(*report);
+  }
+  return report->pass ? 0 : 1;
+}

@@ -1,0 +1,267 @@
+#include "tools/bench_compare_lib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cdpu {
+namespace tools {
+namespace {
+
+constexpr double kThroughputTolerance = 0.15;  // >15% drop fails
+constexpr double kTailLatencyTolerance = 0.20;  // >20% inflation fails
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool Contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+const obs::Json* FindGauges(const obs::Json& doc) {
+  const obs::Json* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return nullptr;
+  }
+  const obs::Json* gauges = metrics->Find("gauges");
+  if (gauges == nullptr || !gauges->is_object()) {
+    return nullptr;
+  }
+  return gauges;
+}
+
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string FormatDelta(const MetricComparison& m) {
+  if (m.verdict == Verdict::kMissing || m.verdict == Verdict::kNew) {
+    return "-";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", m.delta_pct);
+  return buf;
+}
+
+std::string GateLabel(const MetricPolicy& p) {
+  char buf[64];
+  switch (p.direction) {
+    case MetricDirection::kHigherBetter:
+      std::snprintf(buf, sizeof(buf), ">= -%.0f%%", p.tolerance * 100);
+      return buf;
+    case MetricDirection::kLowerBetter:
+      std::snprintf(buf, sizeof(buf), "<= +%.0f%%", p.tolerance * 100);
+      return buf;
+    case MetricDirection::kInformational:
+      return "info";
+  }
+  return "info";
+}
+
+}  // namespace
+
+MetricPolicy ClassifyMetric(const std::string& name) {
+  if (EndsWith(name, "mbps") || Contains(name, "gbps")) {
+    return {MetricDirection::kHigherBetter, kThroughputTolerance};
+  }
+  if (Contains(name, "p99")) {
+    return {MetricDirection::kLowerBetter, kTailLatencyTolerance};
+  }
+  return {MetricDirection::kInformational, 0};
+}
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kOk:
+      return "ok";
+    case Verdict::kRegressed:
+      return "REGRESSED";
+    case Verdict::kMissing:
+      return "MISSING";
+    case Verdict::kNew:
+      return "new";
+  }
+  return "?";
+}
+
+size_t CompareReport::regressions() const {
+  size_t n = 0;
+  for (const MetricComparison& m : metrics) {
+    if (m.verdict == Verdict::kRegressed || m.verdict == Verdict::kMissing) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Result<CompareReport> CompareBenchDocs(const obs::Json& baseline,
+                                       const obs::Json& candidate) {
+  const obs::Json* bv = baseline.Find("schema_version");
+  const obs::Json* cv = candidate.Find("schema_version");
+  if (bv == nullptr || cv == nullptr || !bv->is_number() || !cv->is_number()) {
+    return Status::CorruptData("bench_compare: missing schema_version");
+  }
+  if (bv->AsInt() != cv->AsInt()) {
+    std::ostringstream msg;
+    msg << "bench_compare: schema_version mismatch (baseline " << bv->AsInt()
+        << ", candidate " << cv->AsInt() << "); re-baseline instead of comparing";
+    return Status::InvalidArgument(msg.str());
+  }
+  const obs::Json* bg = FindGauges(baseline);
+  const obs::Json* cg = FindGauges(candidate);
+  if (bg == nullptr) {
+    return Status::CorruptData("bench_compare: baseline has no metrics.gauges");
+  }
+  if (cg == nullptr) {
+    return Status::CorruptData("bench_compare: candidate has no metrics.gauges");
+  }
+
+  CompareReport report;
+  const obs::Json* exp = baseline.Find("experiment");
+  if (exp != nullptr && exp->is_string()) {
+    report.experiment = exp->AsString();
+  }
+
+  // The baseline defines the gated set, in its own (insertion) order.
+  for (const auto& [name, value] : bg->members()) {
+    if (!value.is_number()) {
+      continue;
+    }
+    MetricComparison m;
+    m.name = name;
+    m.baseline = value.AsDouble();
+    m.policy = ClassifyMetric(name);
+    const obs::Json* cand = cg->Find(name);
+    if (cand == nullptr || !cand->is_number()) {
+      // A gated metric that vanished is a failure; an informational one is
+      // just noted as missing without gating.
+      m.verdict = Verdict::kMissing;
+      if (m.policy.direction != MetricDirection::kInformational) {
+        report.pass = false;
+      }
+      report.metrics.push_back(std::move(m));
+      continue;
+    }
+    m.candidate = cand->AsDouble();
+    if (m.baseline != 0) {
+      m.delta_pct = (m.candidate - m.baseline) / std::fabs(m.baseline) * 100.0;
+    }
+    double rel = m.baseline != 0
+                     ? (m.candidate - m.baseline) / std::fabs(m.baseline)
+                     : 0.0;
+    switch (m.policy.direction) {
+      case MetricDirection::kHigherBetter:
+        if (rel < -m.policy.tolerance) {
+          m.verdict = Verdict::kRegressed;
+          report.pass = false;
+        }
+        break;
+      case MetricDirection::kLowerBetter:
+        if (rel > m.policy.tolerance) {
+          m.verdict = Verdict::kRegressed;
+          report.pass = false;
+        }
+        break;
+      case MetricDirection::kInformational:
+        break;
+    }
+    report.metrics.push_back(std::move(m));
+  }
+
+  // Candidate-only metrics: informational, never gated.
+  for (const auto& [name, value] : cg->members()) {
+    if (!value.is_number() || bg->Find(name) != nullptr) {
+      continue;
+    }
+    MetricComparison m;
+    m.name = name;
+    m.candidate = value.AsDouble();
+    m.policy = ClassifyMetric(name);
+    m.verdict = Verdict::kNew;
+    report.metrics.push_back(std::move(m));
+  }
+  return report;
+}
+
+Result<CompareReport> CompareBenchFiles(const std::string& baseline_path,
+                                        const std::string& candidate_path) {
+  auto load = [](const std::string& path) -> Result<obs::Json> {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::Unavailable("bench_compare: cannot read " + path);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<obs::Json> doc = obs::Json::Parse(text.str());
+    if (!doc.ok()) {
+      return Status::CorruptData("bench_compare: " + path + ": " +
+                                 doc.status().message());
+    }
+    return doc;
+  };
+  Result<obs::Json> baseline = load(baseline_path);
+  if (!baseline.ok()) {
+    return baseline.status();
+  }
+  Result<obs::Json> candidate = load(candidate_path);
+  if (!candidate.ok()) {
+    return candidate.status();
+  }
+  return CompareBenchDocs(*baseline, *candidate);
+}
+
+std::string RenderHuman(const CompareReport& report) {
+  std::ostringstream out;
+  out << "perf gate: " << (report.experiment.empty() ? "?" : report.experiment)
+      << " — " << (report.pass ? "PASS" : "FAIL") << " (" << report.regressions()
+      << " regression(s))\n";
+  size_t name_w = 6;
+  for (const MetricComparison& m : report.metrics) {
+    name_w = std::max(name_w, m.name.size());
+  }
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-*s  %10s  %10s  %8s  %9s  %s\n",
+                static_cast<int>(name_w), "metric", "baseline", "candidate",
+                "delta", "gate", "verdict");
+  out << line;
+  for (const MetricComparison& m : report.metrics) {
+    std::snprintf(line, sizeof(line), "%-*s  %10s  %10s  %8s  %9s  %s\n",
+                  static_cast<int>(name_w), m.name.c_str(),
+                  m.verdict == Verdict::kNew ? "-" : FormatValue(m.baseline).c_str(),
+                  m.verdict == Verdict::kMissing ? "-" : FormatValue(m.candidate).c_str(),
+                  FormatDelta(m).c_str(), GateLabel(m.policy).c_str(),
+                  VerdictName(m.verdict));
+    out << line;
+  }
+  return out.str();
+}
+
+std::string RenderMarkdown(const CompareReport& report) {
+  std::ostringstream out;
+  out << "### Perf gate: " << (report.experiment.empty() ? "?" : report.experiment)
+      << " — " << (report.pass ? "✅ pass" : "❌ FAIL") << "\n\n";
+  out << "| metric | baseline | candidate | delta | gate | verdict |\n";
+  out << "|---|---:|---:|---:|---|---|\n";
+  for (const MetricComparison& m : report.metrics) {
+    out << "| `" << m.name << "` | "
+        << (m.verdict == Verdict::kNew ? "-" : FormatValue(m.baseline)) << " | "
+        << (m.verdict == Verdict::kMissing ? "-" : FormatValue(m.candidate))
+        << " | " << FormatDelta(m) << " | " << GateLabel(m.policy) << " | ";
+    if (m.verdict == Verdict::kRegressed || m.verdict == Verdict::kMissing) {
+      out << "**" << VerdictName(m.verdict) << "**";
+    } else {
+      out << VerdictName(m.verdict);
+    }
+    out << " |\n";
+  }
+  return out.str();
+}
+
+}  // namespace tools
+}  // namespace cdpu

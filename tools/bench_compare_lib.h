@@ -1,0 +1,81 @@
+// Perf-regression comparison between two BENCH_<name>.json files (the
+// schema-versioned output of the experiment harness). The gate is
+// name-driven: throughput gauges (ending in "mbps"/"gbps") must not drop
+// more than their tolerance below the baseline, tail-latency gauges
+// (containing "p99") must not inflate past theirs; every other metric is
+// reported but never gates. A gated metric present in the baseline but
+// missing from the candidate fails the comparison — silently losing a
+// metric is indistinguishable from regressing it.
+
+#ifndef TOOLS_BENCH_COMPARE_LIB_H_
+#define TOOLS_BENCH_COMPARE_LIB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/json.h"
+
+namespace cdpu {
+namespace tools {
+
+enum class MetricDirection : uint8_t {
+  kHigherBetter,    // throughput: regression = drop below baseline
+  kLowerBetter,     // tail latency: regression = inflation above baseline
+  kInformational,   // reported, never gated
+};
+
+struct MetricPolicy {
+  MetricDirection direction = MetricDirection::kInformational;
+  double tolerance = 0;  // allowed adverse relative change, e.g. 0.15 = 15%
+};
+
+// Name-based classification. Throughput: name ends with "mbps" or contains
+// "gbps" (15% tolerance). Tail latency: name contains "p99" (20%).
+MetricPolicy ClassifyMetric(const std::string& name);
+
+enum class Verdict : uint8_t {
+  kOk,       // within tolerance (or informational)
+  kRegressed,
+  kMissing,  // gated metric present in baseline, absent in candidate
+  kNew,      // metric only in candidate; informational
+};
+
+const char* VerdictName(Verdict v);
+
+struct MetricComparison {
+  std::string name;
+  double baseline = 0;
+  double candidate = 0;
+  double delta_pct = 0;  // (candidate - baseline) / baseline * 100
+  MetricPolicy policy;
+  Verdict verdict = Verdict::kOk;
+};
+
+struct CompareReport {
+  std::string experiment;  // from the baseline document
+  std::vector<MetricComparison> metrics;  // baseline order, then kNew extras
+  bool pass = true;
+
+  size_t regressions() const;
+};
+
+// Compares the "metrics"/"gauges" sections of two parsed BENCH documents.
+// The baseline defines the gated set; schema_version must match.
+Result<CompareReport> CompareBenchDocs(const obs::Json& baseline,
+                                       const obs::Json& candidate);
+
+// File front-end: reads + parses both paths, then CompareBenchDocs.
+Result<CompareReport> CompareBenchFiles(const std::string& baseline_path,
+                                        const std::string& candidate_path);
+
+// Human table (one row per metric, regressions flagged).
+std::string RenderHuman(const CompareReport& report);
+
+// GitHub-flavoured markdown table for the CI job summary.
+std::string RenderMarkdown(const CompareReport& report);
+
+}  // namespace tools
+}  // namespace cdpu
+
+#endif  // TOOLS_BENCH_COMPARE_LIB_H_

@@ -16,7 +16,7 @@
 // `offload` flags: --threads=N --batch=B --chunk=BYTES --qps=N
 //                  --device=qat8970|qat4xxx|dpzip|csd2000
 //                  --fault-rate=P --fault-kinds=verify,timeout,stall,reset
-//                  --fault-seed=S
+//                  --fault-seed=S --trace-out=PATH --trace-sample=P
 // It drives every chunk of <in> through the parallel offload runtime
 // (compress, then decompress + verify) with N client threads contending for
 // the modelled device's descriptor slots. --fault-rate enables the seeded
@@ -27,6 +27,13 @@
 //                --engines=N --max-inflight=N --greedy --tenants=N
 //                --max-sessions=N --max-seconds=S --port-file=PATH
 //                --fault-rate/--fault-kinds/--fault-seed (as `offload`)
+//                --trace-out=PATH --trace-sample=P
+//
+// `--trace-out`/`--trace-sample` (bench, offload, serve) enable per-request
+// tracing: on exit the live latency breakdown (per-phase queueing vs service
+// time) is printed, and the raw spans are written to PATH as Chrome
+// trace_event JSON (open in about:tracing / Perfetto). `--trace-sample`
+// alone enables tracing without the file.
 // It runs the epoll compression service over the offload runtime until
 // SIGINT/SIGTERM (or --max-seconds) and prints service + per-tenant stats
 // on shutdown. --port-file writes the bound port for scripted clients.
@@ -39,10 +46,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -54,10 +64,13 @@
 #include "src/fault/fault_plan.h"
 #include "src/hw/device_configs.h"
 #include "src/obs/format.h"
+#include "src/obs/report.h"
 #include "src/runtime/offload_runtime.h"
 #include "src/svc/client.h"
 #include "src/svc/server.h"
 #include "src/svc/wire.h"
+#include "src/trace/breakdown.h"
+#include "src/trace/trace.h"
 
 namespace {
 
@@ -87,20 +100,111 @@ int Usage() {
   std::fprintf(stderr,
                "usage: cdpu_cli compress|decompress <codec> <in> <out>\n"
                "       cdpu_cli bench <codec> <in> [chunk_bytes]\n"
+               "                [--trace-out=PATH] [--trace-sample=P]\n"
                "       cdpu_cli bench list|run|validate ...   (the cdpu_bench experiment driver)\n"
                "       cdpu_cli offload <codec> <in> [--threads=N] [--batch=B]\n"
                "                [--chunk=BYTES] [--qps=N] [--device=NAME]\n"
                "                [--fault-rate=P] [--fault-kinds=K,K,...] [--fault-seed=S]\n"
+               "                [--trace-out=PATH] [--trace-sample=P]\n"
                "       cdpu_cli serve [--host=A] [--port=N] [--device=NAME] [--engines=N]\n"
                "                [--max-inflight=N] [--greedy] [--tenants=N]\n"
                "                [--max-sessions=N] [--max-seconds=S] [--port-file=PATH]\n"
                "                [--fault-rate=P] [--fault-kinds=K,K,...] [--fault-seed=S]\n"
+               "                [--trace-out=PATH] [--trace-sample=P]\n"
                "       cdpu_cli client compress|decompress <codec> <in> <out>\n"
                "                [--host=A] [--port=N] [--tenant=T] [--retries=N]\n"
                "       cdpu_cli entropy <in> [chunk_bytes]\n"
                "       cdpu_cli list\n");
   return 2;
 }
+
+// Strict unsigned parse: the whole token must be decimal digits. (strtoull's
+// "parse what you can" behaviour let `bench <codec> <in> junk` run with a
+// zero chunk size and exit 0.)
+bool ParseUint(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0') {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  uint64_t v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDoubleValue(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Shared --trace-out / --trace-sample handling for bench/offload/serve.
+struct TraceArgs {
+  std::string out;      // Chrome trace path; may be empty with tracing on
+  double sample = 1.0;  // fraction of requests traced
+  bool enabled = false;
+
+  // Returns true if `arg` was one of the trace flags; *bad is set (with a
+  // message already printed) when its value does not parse.
+  bool Parse(const std::string& arg, bool* bad) {
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      out = arg.substr(12);
+      enabled = true;
+      return true;
+    }
+    if (arg.rfind("--trace-sample=", 0) == 0) {
+      if (!ParseDoubleValue(arg.c_str() + 15, &sample) || sample < 0.0 || sample > 1.0) {
+        std::fprintf(stderr, "--trace-sample must be a number in [0, 1]\n");
+        *bad = true;
+      }
+      enabled = true;
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<cdpu::trace::TraceSink> MakeSink() const {
+    if (!enabled) {
+      return nullptr;
+    }
+    cdpu::trace::TraceSinkOptions topts;
+    topts.sample_rate = sample;
+    return std::make_unique<cdpu::trace::TraceSink>(topts);
+  }
+
+  // Stops the sink, prints the live latency breakdown, and writes the Chrome
+  // trace if --trace-out was given. Returns nonzero on a write failure.
+  int Report(cdpu::trace::TraceSink* sink, const std::string& run_name) const {
+    sink->Stop();
+    std::vector<cdpu::trace::SpanRecord> spans = sink->Snapshot();
+    cdpu::trace::Breakdown breakdown = cdpu::trace::BuildBreakdown(spans, sink);
+    cdpu::obs::Reporter reporter;
+    reporter.SetRun(run_name, "Live latency breakdown",
+                    "per-request spans aggregated by phase", "cli");
+    cdpu::trace::ExportBreakdown(breakdown, sink->counters(), "trace.", &reporter);
+    reporter.PrintHuman();
+    if (!out.empty()) {
+      cdpu::Status st = cdpu::trace::WriteChromeTrace(spans, sink, out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "cannot write trace: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("chrome trace written to %s (%zu spans)\n", out.c_str(), spans.size());
+    }
+    return 0;
+  }
+};
 
 // Applies `rate` to every kind named in the comma-separated `kinds` list.
 bool ApplyFaultKinds(const std::string& kinds, double rate, cdpu::FaultPlan* plan) {
@@ -145,7 +249,8 @@ double NowSeconds() {
       .count();
 }
 
-int Bench(const std::string& codec_name, const std::string& path, size_t chunk) {
+int Bench(const std::string& codec_name, const std::string& path, size_t chunk,
+          const TraceArgs& trace_args) {
   std::unique_ptr<cdpu::Codec> codec = cdpu::MakeCodec(codec_name);
   if (codec == nullptr) {
     std::fprintf(stderr, "unknown codec: %s\n", codec_name.c_str());
@@ -160,6 +265,28 @@ int Bench(const std::string& codec_name, const std::string& path, size_t chunk) 
     chunk = data.size();
   }
 
+  // With tracing on, each compress/decompress call is a kCodec span (plus
+  // whatever sub-spans the codec's own LZ77/entropy hooks emit).
+  std::unique_ptr<cdpu::trace::TraceSink> sink = trace_args.MakeSink();
+  cdpu::trace::TraceSink::Writer* writer =
+      sink != nullptr ? sink->RegisterWriter("bench") : nullptr;
+  uint16_t label = sink != nullptr ? sink->InternLabel(codec->name()) : 0;
+  auto timed_call = [&](auto&& fn) {
+    uint64_t trace_id = sink != nullptr ? sink->StartRequest() : 0;
+    std::optional<cdpu::trace::ScopedTraceContext> tctx;
+    uint64_t span_start = 0;
+    if (trace_id != 0) {
+      tctx.emplace(writer, trace_id, 0, label);
+      span_start = cdpu::trace::NowNs();
+    }
+    auto result = fn();
+    if (trace_id != 0) {
+      cdpu::trace::EmitSpan(writer, trace_id, 0, label, cdpu::trace::Phase::kCodec,
+                            span_start, cdpu::trace::NowNs());
+    }
+    return result;
+  };
+
   uint64_t in_bytes = 0;
   uint64_t out_bytes = 0;
   double c_seconds = 0;
@@ -168,7 +295,7 @@ int Bench(const std::string& codec_name, const std::string& path, size_t chunk) 
     ByteSpan span(data.data() + off, chunk);
     ByteVec compressed;
     double t0 = NowSeconds();
-    auto c = codec->Compress(span, &compressed);
+    auto c = timed_call([&] { return codec->Compress(span, &compressed); });
     double t1 = NowSeconds();
     if (!c.ok()) {
       std::fprintf(stderr, "compress failed: %s\n", c.status().ToString().c_str());
@@ -176,7 +303,7 @@ int Bench(const std::string& codec_name, const std::string& path, size_t chunk) 
     }
     ByteVec restored;
     double t2 = NowSeconds();
-    auto d = codec->Decompress(compressed, &restored);
+    auto d = timed_call([&] { return codec->Decompress(compressed, &restored); });
     double t3 = NowSeconds();
     if (!d.ok() || !std::equal(restored.begin(), restored.end(), span.begin())) {
       std::fprintf(stderr, "round-trip FAILED at offset %zu\n", off);
@@ -193,15 +320,23 @@ int Bench(const std::string& codec_name, const std::string& path, size_t chunk) 
                   .c_str());
   std::printf("  compress    %s MB/s\n", cdpu::FmtMbps(in_bytes, c_seconds).c_str());
   std::printf("  decompress  %s MB/s\n", cdpu::FmtMbps(in_bytes, d_seconds).c_str());
+  if (sink != nullptr) {
+    return trace_args.Report(sink.get(), "bench_trace");
+  }
   return 0;
 }
 
-bool ParseFlag(const std::string& arg, const char* name, uint64_t* out) {
+// Returns true when `arg` is --<name>=...; *bad is set (with a message) when
+// the value is not a clean decimal number.
+bool ParseFlag(const std::string& arg, const char* name, uint64_t* out, bool* bad) {
   std::string prefix = std::string("--") + name + "=";
   if (arg.rfind(prefix, 0) != 0) {
     return false;
   }
-  *out = std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
+  if (!ParseUint(arg.c_str() + prefix.size(), out)) {
+    std::fprintf(stderr, "bad numeric value in %s\n", arg.c_str());
+    *bad = true;
+  }
   return true;
 }
 
@@ -215,11 +350,19 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   double fault_rate = 0.0;
   std::string fault_kinds = "verify,timeout,stall,reset";
   std::string device_name = "qat8970";
+  TraceArgs trace_args;
+  bool bad_flag = false;
   for (int i = first_flag; i < argc; ++i) {
     std::string arg = argv[i];
-    if (ParseFlag(arg, "threads", &threads) || ParseFlag(arg, "batch", &batch) ||
-        ParseFlag(arg, "chunk", &chunk) || ParseFlag(arg, "qps", &qps) ||
-        ParseFlag(arg, "fault-seed", &fault_seed)) {
+    if (ParseFlag(arg, "threads", &threads, &bad_flag) ||
+        ParseFlag(arg, "batch", &batch, &bad_flag) ||
+        ParseFlag(arg, "chunk", &chunk, &bad_flag) ||
+        ParseFlag(arg, "qps", &qps, &bad_flag) ||
+        ParseFlag(arg, "fault-seed", &fault_seed, &bad_flag) ||
+        trace_args.Parse(arg, &bad_flag)) {
+      if (bad_flag) {
+        return 2;
+      }
       continue;
     }
     if (arg.rfind("--device=", 0) == 0) {
@@ -227,9 +370,9 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
       continue;
     }
     if (arg.rfind("--fault-rate=", 0) == 0) {
-      fault_rate = std::strtod(arg.c_str() + 13, nullptr);
-      if (fault_rate < 0.0 || fault_rate > 1.0) {
-        std::fprintf(stderr, "--fault-rate must be in [0, 1]\n");
+      if (!ParseDoubleValue(arg.c_str() + 13, &fault_rate) || fault_rate < 0.0 ||
+          fault_rate > 1.0) {
+        std::fprintf(stderr, "--fault-rate must be a number in [0, 1]\n");
         return 2;
       }
       continue;
@@ -281,6 +424,8 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   if (fault_rate > 0.0 && !ApplyFaultKinds(fault_kinds, fault_rate, &opts.fault_plan)) {
     return 2;
   }
+  std::unique_ptr<cdpu::trace::TraceSink> sink = trace_args.MakeSink();
+  opts.trace_sink = sink.get();
   cdpu::OffloadRuntime runtime(opts);
 
   double t0 = NowSeconds();
@@ -365,6 +510,12 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
                 static_cast<unsigned long long>(s.unhealthy_transitions),
                 static_cast<unsigned long long>(s.reprobes));
   }
+  if (sink != nullptr) {
+    int rc = trace_args.Report(sink.get(), "offload_trace");
+    if (rc != 0) {
+      return rc;
+    }
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -385,13 +536,21 @@ int Serve(int argc, char** argv, int first_flag) {
   uint64_t max_sessions = 256;
   uint64_t max_seconds = 0;
   uint64_t fault_seed = 0x5eed;
+  TraceArgs trace_args;
+  bool bad_flag = false;
   for (int i = first_flag; i < argc; ++i) {
     std::string arg = argv[i];
-    if (ParseFlag(arg, "port", &port) || ParseFlag(arg, "engines", &engines) ||
-        ParseFlag(arg, "max-inflight", &max_inflight) || ParseFlag(arg, "tenants", &tenants) ||
-        ParseFlag(arg, "max-sessions", &max_sessions) ||
-        ParseFlag(arg, "max-seconds", &max_seconds) ||
-        ParseFlag(arg, "fault-seed", &fault_seed)) {
+    if (ParseFlag(arg, "port", &port, &bad_flag) ||
+        ParseFlag(arg, "engines", &engines, &bad_flag) ||
+        ParseFlag(arg, "max-inflight", &max_inflight, &bad_flag) ||
+        ParseFlag(arg, "tenants", &tenants, &bad_flag) ||
+        ParseFlag(arg, "max-sessions", &max_sessions, &bad_flag) ||
+        ParseFlag(arg, "max-seconds", &max_seconds, &bad_flag) ||
+        ParseFlag(arg, "fault-seed", &fault_seed, &bad_flag) ||
+        trace_args.Parse(arg, &bad_flag)) {
+      if (bad_flag) {
+        return 2;
+      }
       continue;
     }
     if (arg.rfind("--host=", 0) == 0) {
@@ -411,9 +570,9 @@ int Serve(int argc, char** argv, int first_flag) {
       continue;
     }
     if (arg.rfind("--fault-rate=", 0) == 0) {
-      fault_rate = std::strtod(arg.c_str() + 13, nullptr);
-      if (fault_rate < 0.0 || fault_rate > 1.0) {
-        std::fprintf(stderr, "--fault-rate must be in [0, 1]\n");
+      if (!ParseDoubleValue(arg.c_str() + 13, &fault_rate) || fault_rate < 0.0 ||
+          fault_rate > 1.0) {
+        std::fprintf(stderr, "--fault-rate must be a number in [0, 1]\n");
         return 2;
       }
       continue;
@@ -441,6 +600,8 @@ int Serve(int argc, char** argv, int first_flag) {
       !ApplyFaultKinds(fault_kinds, fault_rate, &opts.runtime.fault_plan)) {
     return 2;
   }
+  std::unique_ptr<cdpu::trace::TraceSink> sink = trace_args.MakeSink();
+  opts.trace_sink = sink.get();
 
   cdpu::svc::ServiceServer server(opts);
   cdpu::Status st = server.Start();
@@ -493,6 +654,9 @@ int Serve(int argc, char** argv, int first_flag) {
                 static_cast<unsigned long long>(s.runtime.retries),
                 static_cast<unsigned long long>(s.runtime.fallbacks));
   }
+  if (sink != nullptr) {
+    return trace_args.Report(sink.get(), "serve_trace");
+  }
   return 0;
 }
 
@@ -512,10 +676,15 @@ int Client(int argc, char** argv, int first_arg) {
   uint64_t port = 0;
   uint64_t tenant = 0;
   uint64_t retries = 8;
+  bool bad_flag = false;
   for (int i = first_arg + 4; i < argc; ++i) {
     std::string arg = argv[i];
-    if (ParseFlag(arg, "port", &port) || ParseFlag(arg, "tenant", &tenant) ||
-        ParseFlag(arg, "retries", &retries)) {
+    if (ParseFlag(arg, "port", &port, &bad_flag) ||
+        ParseFlag(arg, "tenant", &tenant, &bad_flag) ||
+        ParseFlag(arg, "retries", &retries, &bad_flag)) {
+      if (bad_flag) {
+        return 2;
+      }
       continue;
     }
     if (arg.rfind("--host=", 0) == 0) {
@@ -593,14 +762,22 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
 
   if (cmd == "list") {
+    if (argc != 2) {
+      return Usage();
+    }
     std::printf("deflate[-1|6|9] gzip[-1|6|9] zstd[-1..12] lz4 snappy dpzip\n");
     return 0;
   }
   if (cmd == "entropy") {
-    if (argc < 3) {
+    if (argc < 3 || argc > 4) {
       return Usage();
     }
-    return Entropy(argv[2], argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0);
+    uint64_t chunk = 0;
+    if (argc == 4 && !ParseUint(argv[3], &chunk)) {
+      std::fprintf(stderr, "bad chunk size: %s\n", argv[3]);
+      return Usage();
+    }
+    return Entropy(argv[2], chunk);
   }
   if (cmd == "bench") {
     if (argc < 3) {
@@ -616,7 +793,29 @@ int main(int argc, char** argv) {
     if (argc < 4) {
       return Usage();
     }
-    return Bench(argv[2], argv[3], argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0);
+    uint64_t chunk = 0;
+    TraceArgs trace_args;
+    bool bad_flag = false;
+    for (int i = 4; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (trace_args.Parse(arg, &bad_flag)) {
+        if (bad_flag) {
+          return 2;
+        }
+        continue;
+      }
+      // The only positional extra is the chunk size, and it must be numeric.
+      if (i == 4 && arg.rfind("--", 0) != 0) {
+        if (!ParseUint(arg.c_str(), &chunk)) {
+          std::fprintf(stderr, "bad chunk size: %s\n", arg.c_str());
+          return Usage();
+        }
+        continue;
+      }
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+    return Bench(argv[2], argv[3], chunk, trace_args);
   }
   if (cmd == "offload") {
     if (argc < 4) {
