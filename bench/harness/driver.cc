@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "bench/harness/experiment.h"
@@ -17,13 +18,20 @@ int Usage(const std::string& prog) {
                "usage: %s list\n"
                "       %s run <name>... [--preset=quick|paper] [--json=PATH]\n"
                "                [--out-dir=DIR] [--no-json] [--quiet]\n"
+               "                [--devices=NAME[:COUNT],...] [--placement=POLICY]\n"
                "       %s run --all [flags]\n"
                "       %s validate <file.json>...\n",
                prog.c_str(), prog.c_str(), prog.c_str(), prog.c_str());
   return 2;
 }
 
-int ListExperiments() {
+// `list` takes no operands; swallowing stray args here used to hide typos
+// like `list --all` (the flag parity bug this driver shares with cdpu_cli).
+int ListExperiments(const std::string& prog, const std::vector<std::string>& args) {
+  if (!args.empty()) {
+    std::fprintf(stderr, "unknown argument: %s\n", args.front().c_str());
+    return Usage(prog);
+  }
   const ExperimentRegistry& registry = ExperimentRegistry::Global();
   size_t width = 0;
   for (const ExperimentInfo* e : registry.All()) {
@@ -44,6 +52,9 @@ struct RunFlags {
   std::string out_dir;
   bool write_json = true;
   bool quiet = false;
+  std::vector<FleetDeviceSpec> devices;          // --devices override
+  std::optional<PlacementPolicy> placement;      // --placement override
+  std::string devices_arg;                       // verbatim, for run metadata
 };
 
 int RunOne(const ExperimentInfo& experiment, const RunFlags& flags) {
@@ -51,8 +62,18 @@ int RunOne(const ExperimentInfo& experiment, const RunFlags& flags) {
   reporter.SetRun(experiment.name, experiment.title, experiment.description,
                   PresetName(flags.preset));
   reporter.Meta("generator", "cdpu_bench");
+  if (!flags.devices.empty()) {
+    reporter.Meta("devices", flags.devices_arg);
+  }
+  if (flags.placement.has_value()) {
+    reporter.Meta("placement", PlacementPolicyName(*flags.placement));
+  }
 
   ExperimentContext ctx(flags.preset, &reporter);
+  ctx.SetDevices(flags.devices);
+  if (flags.placement.has_value()) {
+    ctx.SetPlacement(*flags.placement);
+  }
   auto start = std::chrono::steady_clock::now();
   experiment.fn(ctx);
   double wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -102,6 +123,23 @@ int RunCommand(const std::string& prog, const std::vector<std::string>& args) {
       flags.write_json = false;
     } else if (arg == "--quiet") {
       flags.quiet = true;
+    } else if (arg.rfind("--devices=", 0) == 0) {
+      flags.devices_arg = arg.substr(10);
+      Status s = ParseDeviceList(flags.devices_arg, &flags.devices);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--placement=", 0) == 0) {
+      PlacementPolicy policy;
+      if (!ParsePlacementPolicy(arg.substr(12), &policy)) {
+        std::fprintf(stderr,
+                     "unknown placement policy: %s "
+                     "(static|size-threshold|least-outstanding|ewma-service-rate)\n",
+                     arg.substr(12).c_str());
+        return 2;
+      }
+      flags.placement = policy;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage(prog);
@@ -151,6 +189,14 @@ Status CheckStringField(const obs::Json& doc, const char* key) {
 int ValidateCommand(const std::string& prog, const std::vector<std::string>& args) {
   if (args.empty()) {
     return Usage(prog);
+  }
+  // Anything flag-shaped is a mistake, not a file name: `validate --quiet
+  // x.json` used to fail with a misleading "cannot open --quiet".
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(prog);
+    }
   }
   int rc = 0;
   for (const std::string& path : args) {
@@ -238,7 +284,7 @@ int BenchMain(const std::string& prog, const std::vector<std::string>& args) {
   const std::string& cmd = args[0];
   std::vector<std::string> rest(args.begin() + 1, args.end());
   if (cmd == "list") {
-    return ListExperiments();
+    return ListExperiments(prog, rest);
   }
   if (cmd == "run") {
     return RunCommand(prog, rest);

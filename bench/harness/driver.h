@@ -4,8 +4,15 @@
 //   cdpu_bench list
 //   cdpu_bench run <name>... [--preset=quick|paper] [--json=PATH]
 //                            [--out-dir=DIR] [--no-json] [--quiet]
+//                            [--devices=NAME[:COUNT],...] [--placement=POLICY]
 //   cdpu_bench run --all [same flags]
 //   cdpu_bench validate <file.json>...
+//
+// Flag parsing is strict across every subcommand: unknown or flag-shaped
+// arguments print usage and exit 2 (same contract as cdpu_cli).
+// --devices/--placement are validated up front and handed to experiments
+// through ExperimentContext; fleet-driving experiments (placement_sweep)
+// honour them, the rest ignore them.
 //
 // Every run writes BENCH_<name>.json (schema obs::kSchemaVersion) next to
 // the working directory unless --out-dir/--json redirect it or --no-json

@@ -8,12 +8,14 @@
 #define BENCH_HARNESS_EXPERIMENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/obs/format.h"
 #include "src/obs/report.h"
+#include "src/runtime/placement.h"
 
 namespace cdpu {
 namespace bench {
@@ -48,9 +50,19 @@ class ExperimentContext {
   }
   void Note(std::string note) { reporter_->Note(std::move(note)); }
 
+  // Driver overrides from `run --devices=...` / `--placement=...`. Empty /
+  // nullopt when the flags were not given; fleet-driving experiments
+  // (placement_sweep) use them to swap the device mix or pin one policy.
+  const std::vector<FleetDeviceSpec>& devices() const { return devices_; }
+  const std::optional<PlacementPolicy>& placement() const { return placement_; }
+  void SetDevices(std::vector<FleetDeviceSpec> devices) { devices_ = std::move(devices); }
+  void SetPlacement(PlacementPolicy policy) { placement_ = policy; }
+
  private:
   Preset preset_;
   obs::Reporter* reporter_;
+  std::vector<FleetDeviceSpec> devices_;
+  std::optional<PlacementPolicy> placement_;
 };
 
 using ExperimentFn = void (*)(ExperimentContext&);

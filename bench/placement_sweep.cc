@@ -1,0 +1,208 @@
+// Placement-policy sweep (ISSUE 7): payload size x routing policy over a
+// heterogeneous device fleet, reproducing the Figure 8/9 crossover the
+// paper's placement discussion hangs on — small (setup-dominated) payloads
+// belong on the on-chip/CPU class, large payloads on the offload ASICs, and
+// the crossover sits where per-request setup cost is amortised.
+//
+// Default fleet: qat8970 (peripheral ASIC) + qat4xxx (on-chip) + cpu
+// (software), overridable with `run placement_sweep --devices=...`;
+// `--placement=POLICY` narrows the sweep to one policy. Every point drives
+// compress round trips through a FleetRuntime and reads the router's
+// per-device routed counters, so the shares reported here are exactly what
+// the service layer would do — not an analytic model of it.
+
+#include <chrono>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/harness/experiment.h"
+#include "src/hw/device_configs.h"
+#include "src/runtime/fleet.h"
+#include "src/runtime/placement.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+using bench::ExperimentContext;
+using obs::Column;
+
+constexpr double kRatio = 0.45;  // Silesia-like compressibility
+
+struct SweepPoint {
+  double mbps = 0;
+  double mean_wall_us = 0;
+  uint64_t jobs = 0;
+  uint64_t failed = 0;
+  // Share of jobs routed to the low-latency (on-chip/CPU) class vs the
+  // offload-ASIC class, straight from the router's counters.
+  double low_latency_share = 0;
+  std::vector<PlacementDeviceView> views;
+};
+
+std::vector<FleetDeviceSpec> DefaultFleet() {
+  std::vector<FleetDeviceSpec> specs;
+  Status s = ParseDeviceList("qat8970,qat4xxx,cpu", &specs);
+  (void)s;  // the literal list is valid by construction
+  return specs;
+}
+
+SweepPoint RunPoint(const std::vector<FleetDeviceSpec>& specs, PlacementPolicy policy,
+                    uint64_t payload_bytes, uint64_t jobs) {
+  FleetOptions opts;
+  opts.base.codec = "lz4";
+  opts.base.queue_pairs = 2;
+  opts.base.batch_size = 4;
+  opts.devices = specs;
+  opts.placement.policy = policy;
+  opts.placement.seed = 0x5eed + payload_bytes;
+  FleetRuntime runtime(opts);
+
+  ByteVec payload = GenerateWithRatio(kRatio, payload_bytes, 0x90 + payload_bytes);
+
+  double wall_us_sum = 0;
+  uint64_t failed = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  // Closed-loop with a fixed window of in-flight jobs: enough concurrency
+  // that least-outstanding/ewma have real queues to react to, bounded so a
+  // quick preset finishes in milliseconds.
+  constexpr size_t kWindow = 16;
+  std::vector<std::future<OffloadResult>> window;
+  uint64_t submitted = 0;
+  while (submitted < jobs || !window.empty()) {
+    while (submitted < jobs && window.size() < kWindow) {
+      OffloadRequest req;
+      req.op = CdpuOp::kCompress;
+      req.input = payload;
+      req.queue_pair = static_cast<uint32_t>(submitted % opts.base.queue_pairs);
+      window.push_back(runtime.Submit(std::move(req)));
+      ++submitted;
+    }
+    runtime.Flush(0);
+    runtime.Flush(1);
+    OffloadResult r = window.front().get();
+    window.erase(window.begin());
+    if (r.status.ok()) {
+      wall_us_sum += static_cast<double>(r.wall_latency_ns) / 1e3;
+    } else {
+      ++failed;
+    }
+  }
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  runtime.Shutdown(OffloadRuntime::ShutdownMode::kDrain);
+
+  SweepPoint point;
+  point.jobs = jobs;
+  point.failed = failed;
+  point.mbps = static_cast<double>(jobs * payload_bytes) / 1e6 /
+               (wall_seconds > 0 ? wall_seconds : 1);
+  uint64_t ok = jobs - failed;
+  point.mean_wall_us = ok > 0 ? wall_us_sum / static_cast<double>(ok) : 0;
+  point.views = runtime.router().SnapshotViews();
+  uint64_t low = 0, total = 0;
+  for (const PlacementDeviceView& v : point.views) {
+    total += v.routed;
+    if (PlacementRouter::IsLowLatencyClass(v.placement)) {
+      low += v.routed;
+    }
+  }
+  point.low_latency_share =
+      total > 0 ? static_cast<double>(low) / static_cast<double>(total) : 0;
+  return point;
+}
+
+std::string ShareString(const std::vector<PlacementDeviceView>& views) {
+  uint64_t total = 0;
+  for (const PlacementDeviceView& v : views) {
+    total += v.routed;
+  }
+  std::string out;
+  for (const PlacementDeviceView& v : views) {
+    if (!out.empty()) {
+      out += " ";
+    }
+    double pct = total > 0 ? 100.0 * static_cast<double>(v.routed) /
+                                 static_cast<double>(total)
+                           : 0;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s=%.0f%%", v.name.c_str(), pct);
+    out += buf;
+  }
+  return out;
+}
+
+void Run(ExperimentContext& ctx) {
+  std::vector<FleetDeviceSpec> specs =
+      ctx.devices().empty() ? DefaultFleet() : ctx.devices();
+
+  std::vector<PlacementPolicy> policies;
+  if (ctx.placement().has_value()) {
+    policies.push_back(*ctx.placement());
+  } else {
+    policies = {PlacementPolicy::kStatic, PlacementPolicy::kSizeThreshold,
+                PlacementPolicy::kLeastOutstanding, PlacementPolicy::kEwmaServiceRate};
+  }
+  std::vector<uint64_t> sizes =
+      ctx.quick() ? std::vector<uint64_t>{4096, 16384, 65536, 262144}
+                  : std::vector<uint64_t>{1024, 4096, 16384, 65536, 262144, 1048576};
+  const uint64_t jobs = ctx.Pick(96, 768);
+
+  std::string fleet_desc;
+  for (const FleetDeviceSpec& s : specs) {
+    fleet_desc += (fleet_desc.empty() ? "" : ",") + s.name;
+  }
+  ctx.Note("fleet: " + fleet_desc + "; " + std::to_string(jobs) +
+           " lz4 compress jobs per point, window 16");
+
+  obs::Table& matrix = ctx.AddTable(
+      "placement_matrix",
+      "Routed share + throughput by payload size x policy (fleet: " + fleet_desc + ")",
+      {Column("size_kb", "size KB", 0), Column("policy"), Column("mbps", "MB/s", 1),
+       Column("mean_us", "mean us", 1), Column("low_latency_share", "cpu/on-chip", 1, "%"),
+       Column("shares")});
+
+  // First payload size at which the offload-ASIC class carries the majority
+  // of traffic — the Fig 8/9 crossover, per policy.
+  obs::Table& crossover = ctx.AddTable(
+      "crossover", "ASIC-majority crossover point per policy",
+      {Column("policy"), Column("crossover_kb", "crossover KB"),
+       Column("asic_share_at_max", "asic share @max size", 1, "%")});
+
+  for (PlacementPolicy policy : policies) {
+    std::optional<uint64_t> crossover_bytes;
+    double asic_share_at_max = 0;
+    for (uint64_t size : sizes) {
+      SweepPoint p = RunPoint(specs, policy, size, jobs);
+      matrix.AddRow({static_cast<double>(size) / 1024.0, PlacementPolicyName(policy),
+                     p.mbps, p.mean_wall_us, p.low_latency_share * 100,
+                     ShareString(p.views)});
+      double asic_share = 1.0 - p.low_latency_share;
+      if (!crossover_bytes.has_value() && asic_share > 0.5) {
+        crossover_bytes = size;
+      }
+      if (size == sizes.back()) {
+        asic_share_at_max = asic_share;
+      }
+      ctx.metrics().Gauge("placement." + std::string(PlacementPolicyName(policy)) + "." +
+                              std::to_string(size) + ".low_latency_share",
+                          p.low_latency_share);
+    }
+    crossover.AddRow({PlacementPolicyName(policy),
+                      crossover_bytes.has_value()
+                          ? obs::Json(static_cast<double>(*crossover_bytes) / 1024.0)
+                          : obs::Json("none"),
+                      asic_share_at_max * 100});
+  }
+  crossover.AddNote(
+      "size-threshold crosses at its 16 KB threshold by construction; "
+      "least-outstanding/ewma cross where measured service rates do.");
+}
+
+CDPU_REGISTER_EXPERIMENT("placement_sweep", "Placement",
+                         "payload size x placement policy sweep over a device fleet", Run);
+
+}  // namespace
+}  // namespace cdpu

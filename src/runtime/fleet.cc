@@ -1,0 +1,160 @@
+#include "src/runtime/fleet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace cdpu {
+
+RuntimeStats MergeRuntimeStats(const std::vector<RuntimeStats>& parts) {
+  RuntimeStats m;
+  m.device_healthy = true;
+  bool first_arrival_set = false;
+  for (const RuntimeStats& s : parts) {
+    m.jobs_submitted += s.jobs_submitted;
+    m.jobs_completed += s.jobs_completed;
+    m.jobs_canceled += s.jobs_canceled;
+    m.jobs_failed += s.jobs_failed;
+    m.bytes_in += s.bytes_in;
+    m.bytes_out += s.bytes_out;
+    m.doorbells += s.doorbells;
+    m.max_inflight += s.max_inflight;  // members run concurrently: sum of HWMs
+    m.ceiling_delays += s.ceiling_delays;
+    m.faults_injected += s.faults_injected;
+    for (uint32_t k = 0; k < kNumFaultKinds; ++k) {
+      m.faults_by_kind[k] += s.faults_by_kind[k];
+    }
+    m.retries += s.retries;
+    m.fallbacks += s.fallbacks;
+    m.unhealthy_transitions += s.unhealthy_transitions;
+    m.reprobes += s.reprobes;
+    m.device_healthy = m.device_healthy && s.device_healthy;
+    m.wall_latency_us.Merge(s.wall_latency_us);
+    m.device_latency_us.Merge(s.device_latency_us);
+    m.engine_service_us.Merge(s.engine_service_us);
+    if (s.jobs_submitted > 0) {
+      if (!first_arrival_set || s.sim_first_arrival < m.sim_first_arrival) {
+        m.sim_first_arrival = s.sim_first_arrival;
+        first_arrival_set = true;
+      }
+    }
+    m.sim_makespan = std::max(m.sim_makespan, s.sim_makespan);
+  }
+  return m;
+}
+
+FleetRuntime::FleetRuntime(const FleetOptions& options)
+    : options_(options), router_(options.placement, options.devices) {
+  assert(!options_.devices.empty() && options_.devices.size() <= kMaxFleetDevices);
+  runtimes_.reserve(options_.devices.size());
+  for (const FleetDeviceSpec& spec : options_.devices) {
+    RuntimeOptions opt = options_.base;
+    opt.device = spec.config;
+    opt.fault_plan = spec.fault_plan;
+    opt.engine_threads = spec.engine_threads;
+    runtimes_.push_back(std::make_unique<OffloadRuntime>(opt));
+  }
+}
+
+FleetRuntime::~FleetRuntime() { Shutdown(OffloadRuntime::ShutdownMode::kDrain); }
+
+std::future<OffloadResult> FleetRuntime::Submit(OffloadRequest request) {
+  size_t slot;
+  if (request.device_slot != 0 && request.device_slot <= runtimes_.size()) {
+    // Caller pinned a member (probe/test traffic); keep router accounting
+    // symmetric with the routed path.
+    slot = request.device_slot - 1;
+    router_.NotePinned(slot);
+  } else {
+    uint64_t payload =
+        !request.input.empty() ? request.input.size() : request.model_bytes;
+    slot = router_.Route(payload);
+  }
+  request.device_slot = static_cast<uint8_t>(slot + 1);
+
+  OffloadRuntime* member = runtimes_[slot].get();
+  PlacementRouter* router = &router_;
+  OffloadCallback user_cb = std::move(request.callback);
+  // Completion feedback runs on the member's reaper thread: service-rate
+  // sample (bytes per wall-us) + the member's current health flag. A dead
+  // device's jobs complete via retries + CPU fallback with inflated wall
+  // latency, so its EWMA collapses and ewma-service-rate sheds its load.
+  request.callback = [router, member, slot,
+                      user_cb = std::move(user_cb)](const OffloadResult& r) {
+    router->OnComplete(slot, r.input_bytes, r.wall_latency_ns, member->healthy());
+    if (user_cb) {
+      user_cb(r);
+    }
+  };
+  return member->Submit(std::move(request));
+}
+
+void FleetRuntime::Flush(uint32_t queue_pair) {
+  for (auto& rt : runtimes_) {
+    rt->Flush(queue_pair);
+  }
+}
+
+void FleetRuntime::Drain() {
+  for (auto& rt : runtimes_) {
+    rt->Drain();
+  }
+}
+
+void FleetRuntime::Shutdown(OffloadRuntime::ShutdownMode mode) {
+  for (auto& rt : runtimes_) {
+    rt->Shutdown(mode);
+  }
+}
+
+FleetStats FleetRuntime::Snapshot() const {
+  FleetStats fs;
+  std::vector<PlacementDeviceView> views = router_.SnapshotViews();
+  std::vector<RuntimeStats> parts;
+  parts.reserve(runtimes_.size());
+  for (size_t i = 0; i < runtimes_.size(); ++i) {
+    FleetDeviceStats d;
+    d.name = options_.devices[i].name;
+    d.runtime = runtimes_[i]->Snapshot();
+    d.router = views[i];
+    parts.push_back(d.runtime);
+    fs.devices.push_back(std::move(d));
+  }
+  fs.merged = MergeRuntimeStats(parts);
+  return fs;
+}
+
+std::vector<std::string> FleetRuntime::DeviceNames() const {
+  std::vector<std::string> names;
+  names.reserve(options_.devices.size());
+  for (const FleetDeviceSpec& spec : options_.devices) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+bool FleetRuntime::SlotByName(const std::string& name, size_t* slot) const {
+  for (size_t i = 0; i < options_.devices.size(); ++i) {
+    if (options_.devices[i].name == name) {
+      *slot = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FleetRuntime::total_slots() const {
+  uint64_t total = 0;
+  for (const auto& rt : runtimes_) {
+    const RuntimeOptions& opt = rt->options();
+    uint64_t slots = opt.max_inflight > 0 ? opt.max_inflight : opt.device.queue_limit;
+    if (slots == 0) {
+      return std::numeric_limits<uint64_t>::max();  // an unbounded member
+    }
+    total += slots;
+  }
+  return total;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,104 @@
+// FleetRuntime: a heterogeneous fleet of OffloadRuntime instances behind a
+// PlacementRouter (ISSUE 7).
+//
+// Each fleet member is a full OffloadRuntime around one device model — its
+// own queue pairs, doorbells, engine/reaper threads, fault plan, and
+// unhealthy/re-probe health machine — so everything PR 1/2 built for a
+// single device applies per member unchanged. The fleet adds exactly one
+// decision on top: which member serves each job. Submit() asks the router
+// for a slot, stamps the 1-based slot into OffloadRequest::device_slot (so
+// trace spans and results carry the placement dimension), and wraps the
+// completion callback to feed service-rate + health observations back into
+// the router from the member's reaper thread.
+//
+// A single-device fleet behaves exactly like the wrapped runtime (the
+// router degenerates to slot 0; overhead is one mutexed counter bump per
+// job), so the service layer always runs on a fleet and the single-device
+// default path is just a fleet of one.
+
+#ifndef SRC_RUNTIME_FLEET_H_
+#define SRC_RUNTIME_FLEET_H_
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/offload_runtime.h"
+#include "src/runtime/placement.h"
+
+namespace cdpu {
+
+struct FleetOptions {
+  // Shared runtime knobs (codec, queue pairs, ring depth, retry policy,
+  // trace sink, ...). Per-member fields — device, fault_plan,
+  // engine_threads — are overridden from each FleetDeviceSpec; base.device
+  // and base.fault_plan are ignored.
+  RuntimeOptions base;
+  std::vector<FleetDeviceSpec> devices;  // >= 1, <= kMaxFleetDevices
+  PlacementOptions placement;
+};
+
+struct FleetDeviceStats {
+  std::string name;
+  RuntimeStats runtime;
+  PlacementDeviceView router;  // routed/outstanding/health/ewma view
+};
+
+struct FleetStats {
+  std::vector<FleetDeviceStats> devices;
+  RuntimeStats merged;  // all members combined (counters summed, stats merged)
+};
+
+// Combines per-member runtime stats: counters summed, RunningStats merged,
+// sim span widened, device_healthy = all healthy. Exposed for stats export
+// and tests.
+RuntimeStats MergeRuntimeStats(const std::vector<RuntimeStats>& parts);
+
+class FleetRuntime {
+ public:
+  explicit FleetRuntime(const FleetOptions& options);
+  ~FleetRuntime();
+
+  FleetRuntime(const FleetRuntime&) = delete;
+  FleetRuntime& operator=(const FleetRuntime&) = delete;
+
+  // Routes and submits one job. request.device_slot is overwritten with the
+  // chosen slot + 1; an explicit nonzero request.device_slot (1-based) pins
+  // the job to that member, bypassing the router (used by probes/tests).
+  std::future<OffloadResult> Submit(OffloadRequest request);
+
+  // Flushes the given queue pair on every member (a routed job may sit in
+  // any member's ring).
+  void Flush(uint32_t queue_pair);
+
+  void Drain();
+  void Shutdown(OffloadRuntime::ShutdownMode mode = OffloadRuntime::ShutdownMode::kDrain);
+
+  FleetStats Snapshot() const;
+
+  size_t device_count() const { return runtimes_.size(); }
+  std::vector<std::string> DeviceNames() const;
+  // Slot resolution for --fault-device style targeting; returns false when
+  // no member has that name.
+  bool SlotByName(const std::string& name, size_t* slot) const;
+
+  const FleetOptions& options() const { return options_; }
+  OffloadRuntime& runtime(size_t slot) { return *runtimes_[slot]; }
+  const OffloadRuntime& runtime(size_t slot) const { return *runtimes_[slot]; }
+  PlacementRouter& router() { return router_; }
+
+  // Total admission capacity across members: sum of each member's in-flight
+  // ceiling (max_inflight or device queue_limit). The service layer clamps
+  // its admission ceiling against this so Submit never blocks its loop.
+  uint64_t total_slots() const;
+
+ private:
+  FleetOptions options_;
+  PlacementRouter router_;
+  std::vector<std::unique_ptr<OffloadRuntime>> runtimes_;
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_RUNTIME_FLEET_H_

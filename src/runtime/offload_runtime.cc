@@ -110,6 +110,7 @@ std::future<OffloadResult> OffloadRuntime::Submit(OffloadRequest request) {
   }
   job->model_bytes = std::max<uint64_t>(payload, 1);
   job->enqueue_wall = clock_.Now();
+  job->result.device_slot = job->request.device_slot;
 
   if (options_.trace_sink != nullptr) {
     if (job->request.trace_id == kTraceNone) {
@@ -234,7 +235,8 @@ void OffloadRuntime::DispatcherLoop() {
         if (tw != nullptr && job->request.trace_id != 0) {
           job->t_dispatch_ns = trace::NowNs();
           EmitSpan(tw, job->request.trace_id, job->request.tenant, 0,
-                   trace::Phase::kQueueSubmit, job->t_enqueue_ns, job->t_dispatch_ns);
+                   trace::Phase::kQueueSubmit, job->t_enqueue_ns, job->t_dispatch_ns,
+                   job->request.device_slot);
         }
         if (st == State::kAborting) {
           CancelJob(job);
@@ -423,7 +425,8 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
     if (traced) {
       job->t_engine_ns = trace::NowNs();
       EmitSpan(tw, job->request.trace_id, job->request.tenant, 0,
-               trace::Phase::kQueueEngine, job->t_dispatch_ns, job->t_engine_ns);
+               trace::Phase::kQueueEngine, job->t_dispatch_ns, job->t_engine_ns,
+               job->request.device_slot);
     }
 
     RunDeviceAttempts(job);
@@ -431,7 +434,7 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
     if (traced) {
       job->t_device_ns = trace::NowNs();
       EmitSpan(tw, job->request.trace_id, job->request.tenant, 0, trace::Phase::kDevice,
-               job->t_engine_ns, job->t_device_ns);
+               job->t_engine_ns, job->t_device_ns, job->request.device_slot);
     }
 
     uint64_t t0 = clock_.Now();
@@ -463,7 +466,8 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
         // (LZ77 / entropy sub-spans) attribute to this request.
         std::optional<trace::ScopedTraceContext> tctx;
         if (traced) {
-          tctx.emplace(tw, job->request.trace_id, job->request.tenant, job->trace_label);
+          tctx.emplace(tw, job->request.trace_id, job->request.tenant, job->trace_label,
+                       job->request.device_slot);
         }
         Result<size_t> r = job->request.op == CdpuOp::kCompress
                                ? active->Compress(job->request.input, &job->result.output)
@@ -488,7 +492,8 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
     if (traced) {
       job->t_codec_ns = trace::NowNs();
       EmitSpan(tw, job->request.trace_id, job->request.tenant, job->trace_label,
-               trace::Phase::kCodec, job->t_device_ns, job->t_codec_ns);
+               trace::Phase::kCodec, job->t_device_ns, job->t_codec_ns,
+               job->request.device_slot);
     }
 
     PostCompletion(job);
@@ -529,7 +534,8 @@ void OffloadRuntime::ReaperLoop() {
         // lone queue_submit span leaves an incomplete chain by design.
         if (tw != nullptr && job->request.trace_id != 0 && job->t_codec_ns != 0) {
           EmitSpan(tw, job->request.trace_id, job->request.tenant, job->trace_label,
-                   trace::Phase::kComplete, job->t_codec_ns, trace::NowNs());
+                   trace::Phase::kComplete, job->t_codec_ns, trace::NowNs(),
+                   job->request.device_slot);
         }
         {
           std::lock_guard<std::mutex> lock(stats_mu_);

@@ -107,6 +107,9 @@ struct OffloadResult {
   bool ceiling_delayed = false;
   uint32_t attempts = 0;     // device submissions (0 = device bypassed)
   bool fell_back = false;    // completed on the CPU fallback path
+  // Fleet placement echo: the 1-based device slot that served the job
+  // (copied from OffloadRequest::device_slot). 0 = single-runtime caller.
+  uint8_t device_slot = 0;
 };
 
 using OffloadCallback = std::function<void(const OffloadResult&)>;
@@ -136,6 +139,10 @@ struct OffloadRequest {
   // shares one chain. `tenant` tags the breakdown's per-tenant grouping.
   uint64_t trace_id = 0;
   uint32_t tenant = 0;
+  // Set by FleetRuntime (1-based fleet slot) before handing the request to a
+  // member runtime: echoed into OffloadResult and stamped on every trace
+  // span so the breakdown splits per placement. 0 = untagged.
+  uint8_t device_slot = 0;
 };
 
 struct RuntimeStats {
@@ -200,6 +207,21 @@ class OffloadRuntime {
   RuntimeStats Snapshot() const;
   const RuntimeOptions& options() const { return options_; }
   const HostClock& clock() const { return clock_; }
+
+  // Cheap health/occupancy probes for placement routing (ISSUE 7). healthy()
+  // reflects the degradation state machine; outstanding() is
+  // submitted-but-not-yet-completed jobs (rings + in-flight + completion).
+  bool healthy() const {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    return device_healthy_;
+  }
+  uint64_t outstanding() const {
+    // Loads may race with concurrent completions; clamp so a transient
+    // completed > submitted read never wraps.
+    uint64_t submitted = jobs_submitted_.load(std::memory_order_acquire);
+    uint64_t completed = jobs_completed_.load(std::memory_order_acquire);
+    return submitted > completed ? submitted - completed : 0;
+  }
 
  private:
   struct Job;

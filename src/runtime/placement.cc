@@ -1,0 +1,347 @@
+#include "src/runtime/placement.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/hw/device_configs.h"
+
+namespace cdpu {
+
+bool ParsePlacementPolicy(const std::string& name, PlacementPolicy* out) {
+  if (name == "static") {
+    *out = PlacementPolicy::kStatic;
+  } else if (name == "size-threshold") {
+    *out = PlacementPolicy::kSizeThreshold;
+  } else if (name == "least-outstanding") {
+    *out = PlacementPolicy::kLeastOutstanding;
+  } else if (name == "ewma-service-rate") {
+    *out = PlacementPolicy::kEwmaServiceRate;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kStatic:
+      return "static";
+    case PlacementPolicy::kSizeThreshold:
+      return "size-threshold";
+    case PlacementPolicy::kLeastOutstanding:
+      return "least-outstanding";
+    case PlacementPolicy::kEwmaServiceRate:
+      return "ewma-service-rate";
+  }
+  return "unknown";
+}
+
+bool FleetDeviceByName(const std::string& name, CdpuConfig* out) {
+  if (name == "qat8970") {
+    *out = Qat8970Config();
+  } else if (name == "qat4xxx") {
+    *out = Qat4xxxConfig();
+  } else if (name == "dpzip") {
+    *out = DpzipCdpuConfig();
+  } else if (name == "csd2000") {
+    *out = Csd2000CdpuConfig();
+  } else if (name == "cpu" || name == "cpu-deflate") {
+    *out = CpuSoftwareConfig("deflate");
+  } else if (name == "cpu-zstd") {
+    *out = CpuSoftwareConfig("zstd");
+  } else if (name == "cpu-snappy") {
+    *out = CpuSoftwareConfig("snappy");
+  } else if (name == "cpu-lz4") {
+    *out = CpuSoftwareConfig("lz4");
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status ParseDeviceList(const std::string& spec, std::vector<FleetDeviceSpec>* out) {
+  out->clear();
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty device list");
+  }
+  struct Entry {
+    std::string preset;
+    uint64_t count = 1;
+  };
+  std::vector<Entry> entries;
+  size_t pos = 0;
+  uint64_t total = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string item =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) {
+      return Status::InvalidArgument("empty device entry in list: " + spec);
+    }
+    Entry e;
+    size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      e.preset = item;
+    } else {
+      e.preset = item.substr(0, colon);
+      std::string count_str = item.substr(colon + 1);
+      if (count_str.empty() ||
+          count_str.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::InvalidArgument("bad device count in entry: " + item);
+      }
+      e.count = std::stoull(count_str);
+      if (e.count == 0) {
+        return Status::InvalidArgument("device count must be >= 1: " + item);
+      }
+    }
+    CdpuConfig probe;
+    if (!FleetDeviceByName(e.preset, &probe)) {
+      return Status::InvalidArgument(
+          "unknown device: " + e.preset +
+          " (want qat8970|qat4xxx|dpzip|csd2000|cpu[-deflate|-zstd|-snappy|-lz4])");
+    }
+    total += e.count;
+    if (total > kMaxFleetDevices) {
+      return Status::InvalidArgument("too many devices (max " +
+                                     std::to_string(kMaxFleetDevices) + ")");
+    }
+    entries.push_back(std::move(e));
+  }
+
+  // Instances keep the bare preset name unless the preset appears more than
+  // once across the whole list; then every instance gets a ".<i>" suffix so
+  // names stay unique and stable.
+  std::vector<std::pair<std::string, uint64_t>> preset_totals;
+  for (const Entry& e : entries) {
+    auto it = std::find_if(preset_totals.begin(), preset_totals.end(),
+                           [&e](const auto& p) { return p.first == e.preset; });
+    if (it == preset_totals.end()) {
+      preset_totals.emplace_back(e.preset, e.count);
+    } else {
+      it->second += e.count;
+    }
+  }
+  std::vector<std::pair<std::string, uint64_t>> next_index = preset_totals;
+  for (auto& p : next_index) {
+    p.second = 0;
+  }
+  for (const Entry& e : entries) {
+    auto total_it = std::find_if(preset_totals.begin(), preset_totals.end(),
+                                 [&e](const auto& p) { return p.first == e.preset; });
+    auto idx_it = std::find_if(next_index.begin(), next_index.end(),
+                               [&e](const auto& p) { return p.first == e.preset; });
+    for (uint64_t i = 0; i < e.count; ++i) {
+      FleetDeviceSpec d;
+      FleetDeviceByName(e.preset, &d.config);
+      d.name = total_it->second > 1 ? e.preset + "." + std::to_string(idx_it->second)
+                                    : e.preset;
+      ++idx_it->second;
+      out->push_back(std::move(d));
+    }
+  }
+  return Status::Ok();
+}
+
+PlacementRouter::PlacementRouter(const PlacementOptions& options,
+                                 const std::vector<FleetDeviceSpec>& devices)
+    : options_(options), rng_(options.seed) {
+  assert(!devices.empty() && devices.size() <= kMaxFleetDevices);
+  devices_.reserve(devices.size());
+  for (const FleetDeviceSpec& spec : devices) {
+    DeviceState st;
+    st.name = spec.name;
+    st.placement = spec.config.placement;
+    // Analytic cold-start prior: aggregate streaming rate in bytes/us
+    // (1 GB/s ~= 1000 bytes/us), so ewma-service-rate starts out spreading
+    // load roughly proportionally to modelled capacity.
+    double engines = std::max<double>(spec.config.engines, 1);
+    st.prior_bytes_per_us = std::max(spec.config.compress_gbps * engines * 1000.0, 1.0);
+    devices_.push_back(std::move(st));
+  }
+  if (!options_.static_device.empty()) {
+    for (size_t i = 0; i < devices_.size(); ++i) {
+      if (devices_[i].name == options_.static_device) {
+        static_slot_ = i;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<size_t> PlacementRouter::HealthyLocked() const {
+  std::vector<size_t> healthy;
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i].healthy) {
+      healthy.push_back(i);
+    }
+  }
+  return healthy;
+}
+
+size_t PlacementRouter::LeastOutstandingLocked(const std::vector<size_t>& candidates) {
+  size_t best = candidates.front();
+  uint64_t best_out = devices_[best].outstanding;
+  // Rotate the scan start so perfect ties spread round-robin instead of
+  // always landing on the lowest slot.
+  size_t start = rr_tiebreak_++ % candidates.size();
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    size_t i = candidates[(start + k) % candidates.size()];
+    if (k == 0 || devices_[i].outstanding < best_out) {
+      best = i;
+      best_out = devices_[i].outstanding;
+    }
+  }
+  return best;
+}
+
+size_t PlacementRouter::RouteLocked(uint64_t payload_bytes) {
+  switch (options_.policy) {
+    case PlacementPolicy::kStatic: {
+      // Pin while the named device is healthy; fail over to the least
+      // loaded healthy member while it is degraded (the pin re-engages as
+      // soon as the health machine re-probes successfully).
+      if (devices_[static_slot_].healthy) {
+        return static_slot_;
+      }
+      std::vector<size_t> healthy = HealthyLocked();
+      if (!healthy.empty()) {
+        return LeastOutstandingLocked(healthy);
+      }
+      break;
+    }
+
+    case PlacementPolicy::kSizeThreshold: {
+      bool want_low_latency = payload_bytes < options_.size_threshold_bytes;
+      std::vector<size_t> in_class;
+      std::vector<size_t> out_of_class;
+      for (size_t i = 0; i < devices_.size(); ++i) {
+        if (!devices_[i].healthy) {
+          continue;
+        }
+        if (IsLowLatencyClass(devices_[i].placement) == want_low_latency) {
+          in_class.push_back(i);
+        } else {
+          out_of_class.push_back(i);
+        }
+      }
+      if (!in_class.empty()) {
+        return LeastOutstandingLocked(in_class);
+      }
+      if (!out_of_class.empty()) {
+        return LeastOutstandingLocked(out_of_class);
+      }
+      break;  // nothing healthy: fall through to the any-device path
+    }
+
+    case PlacementPolicy::kLeastOutstanding: {
+      std::vector<size_t> healthy = HealthyLocked();
+      if (!healthy.empty()) {
+        return LeastOutstandingLocked(healthy);
+      }
+      break;
+    }
+
+    case PlacementPolicy::kEwmaServiceRate: {
+      // Weighted random by measured service rate, with a weight floor so
+      // unhealthy / collapsed devices still see probe traffic and can earn
+      // their share back after recovery.
+      std::vector<double> weights(devices_.size());
+      double sum = 0;
+      double max_rate = 0;
+      for (const DeviceState& d : devices_) {
+        max_rate = std::max(
+            max_rate, d.ewma_bytes_per_us > 0 ? d.ewma_bytes_per_us : d.prior_bytes_per_us);
+      }
+      double floor = std::max(max_rate * options_.min_weight_fraction, 1e-9);
+      for (size_t i = 0; i < devices_.size(); ++i) {
+        const DeviceState& d = devices_[i];
+        double rate = d.ewma_bytes_per_us > 0 ? d.ewma_bytes_per_us : d.prior_bytes_per_us;
+        if (!d.healthy) {
+          rate = 0;  // floor-only probe traffic while degraded
+        }
+        weights[i] = std::max(rate, floor);
+        sum += weights[i];
+      }
+      double draw = std::uniform_real_distribution<double>(0.0, sum)(rng_);
+      for (size_t i = 0; i < weights.size(); ++i) {
+        draw -= weights[i];
+        if (draw <= 0) {
+          return i;
+        }
+      }
+      return weights.size() - 1;
+    }
+  }
+
+  // Fallback (no healthy device): least-outstanding over everyone, so load
+  // at least spreads while every member is degraded.
+  std::vector<size_t> all(devices_.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
+  }
+  return LeastOutstandingLocked(all);
+}
+
+size_t PlacementRouter::Route(uint64_t payload_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t slot = RouteLocked(payload_bytes);
+  ++devices_[slot].outstanding;
+  ++devices_[slot].routed;
+  return slot;
+}
+
+void PlacementRouter::OnComplete(size_t slot, uint64_t bytes, uint64_t wall_latency_ns,
+                                 bool healthy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot >= devices_.size()) {
+    return;
+  }
+  DeviceState& d = devices_[slot];
+  if (d.outstanding > 0) {
+    --d.outstanding;
+  }
+  d.healthy = healthy;
+  double us = static_cast<double>(wall_latency_ns) / 1e3;
+  if (us > 0) {
+    double rate = static_cast<double>(std::max<uint64_t>(bytes, 1)) / us;
+    d.ewma_bytes_per_us = d.ewma_bytes_per_us > 0
+                              ? options_.ewma_alpha * rate +
+                                    (1 - options_.ewma_alpha) * d.ewma_bytes_per_us
+                              : rate;
+  }
+}
+
+void PlacementRouter::NotePinned(size_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot < devices_.size()) {
+    ++devices_[slot].outstanding;
+    ++devices_[slot].routed;
+  }
+}
+
+void PlacementRouter::SetHealthy(size_t slot, bool healthy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot < devices_.size()) {
+    devices_[slot].healthy = healthy;
+  }
+}
+
+std::vector<PlacementDeviceView> PlacementRouter::SnapshotViews() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PlacementDeviceView> views;
+  views.reserve(devices_.size());
+  for (const DeviceState& d : devices_) {
+    PlacementDeviceView v;
+    v.name = d.name;
+    v.placement = d.placement;
+    v.healthy = d.healthy;
+    v.outstanding = d.outstanding;
+    v.routed = d.routed;
+    v.ewma_bytes_per_us = d.ewma_bytes_per_us;
+    views.push_back(std::move(v));
+  }
+  return views;
+}
+
+}  // namespace cdpu

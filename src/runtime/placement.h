@@ -1,0 +1,164 @@
+// Placement-aware routing across a heterogeneous device fleet (ISSUE 7).
+//
+// The paper's central claim is that *placement* — in-storage DPZip vs
+// peripheral QAT 8970 vs on-chip QAT 4xxx vs CPU software — decides which
+// engine wins at each payload size and load level (Figs 8-11). The
+// PlacementRouter makes that a runtime scheduling decision instead of a
+// build-time constant: FleetRuntime (src/runtime/fleet.h) asks it for a
+// device slot per job and feeds back dispatch/completion events so the
+// policies can react to live load and health.
+//
+// Policies:
+//   static            pin every job to one named device (baseline / A-B runs)
+//   size-threshold    payloads below the Fig 8/9 crossover go to the low-
+//                     setup-cost class (on-chip / CPU); larger payloads go to
+//                     the high-throughput ASIC class (peripheral/in-storage);
+//                     least-outstanding within the class
+//   least-outstanding join the healthy device with the fewest jobs in flight
+//   ewma-service-rate weighted-random by measured per-device service rate
+//                     (EWMA of bytes per wall-microsecond), so a degraded or
+//                     faulted device organically sheds load onto healthy ones
+//
+// The router is thread-safe (one mutex; routing is a few dozen ns of work
+// per multi-microsecond job) and deterministic for a fixed seed + event
+// order.
+
+#ifndef SRC_RUNTIME_PLACEMENT_H_
+#define SRC_RUNTIME_PLACEMENT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fault/fault_plan.h"
+#include "src/hw/cdpu_device.h"
+
+namespace cdpu {
+
+enum class PlacementPolicy : uint8_t {
+  kStatic = 0,
+  kSizeThreshold,
+  kLeastOutstanding,
+  kEwmaServiceRate,
+};
+
+// "static" / "size-threshold" / "least-outstanding" / "ewma-service-rate".
+bool ParsePlacementPolicy(const std::string& name, PlacementPolicy* out);
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+// One member of a device fleet: a named instance of a hardware preset (or
+// the CPU engine) with its own fault plan and engine-thread count.
+struct FleetDeviceSpec {
+  std::string name;  // unique instance name, e.g. "dpzip" or "qat8970.1"
+  CdpuConfig config;
+  FaultPlan fault_plan;         // per-device; default-constructed = no faults
+  uint32_t engine_threads = 0;  // 0 = config.engines
+};
+
+// Resolves a fleet device preset name to its CdpuConfig. Accepts the
+// hardware presets ("qat8970", "qat4xxx", "dpzip", "csd2000") plus the CPU
+// engine ("cpu" = cpu-deflate, and "cpu-deflate" / "cpu-zstd" /
+// "cpu-snappy" / "cpu-lz4").
+bool FleetDeviceByName(const std::string& name, CdpuConfig* out);
+
+// Parses a --devices list: "name[:count][,name[:count]...]", e.g.
+// "dpzip:2,qat4xxx,cpu". Count defaults to 1; instance names get a ".<i>"
+// suffix whenever the same preset appears more than once overall. At most
+// kMaxFleetDevices instances total.
+Status ParseDeviceList(const std::string& spec, std::vector<FleetDeviceSpec>* out);
+
+// Slots are uint8 (1-based in trace spans / OffloadRequest::device_slot).
+inline constexpr size_t kMaxFleetDevices = 64;
+
+struct PlacementOptions {
+  PlacementPolicy policy = PlacementPolicy::kLeastOutstanding;
+  // kStatic: instance name to pin to ("" = slot 0).
+  std::string static_device;
+  // kSizeThreshold: the Fig 8/9 crossover. Below this the setup-dominated
+  // regime favours on-chip/CPU placement; at/above it the streaming regime
+  // favours the ASIC paths.
+  uint64_t size_threshold_bytes = 16 * 1024;
+  // kEwmaServiceRate: smoothing factor for the per-device bytes/us EWMA and
+  // the weight floor that keeps probe traffic flowing to unhealthy/slow
+  // devices (so recovery is observable).
+  double ewma_alpha = 0.2;
+  double min_weight_fraction = 0.01;
+  uint64_t seed = 1;  // weighted-random draws (deterministic per seed)
+};
+
+// Live per-device view the router maintains (snapshot for stats/tests).
+struct PlacementDeviceView {
+  std::string name;
+  Placement placement = Placement::kPeripheral;
+  bool healthy = true;
+  uint64_t outstanding = 0;  // dispatched, not yet completed
+  uint64_t routed = 0;       // total jobs this router sent here
+  double ewma_bytes_per_us = 0.0;  // 0 until the first completion
+};
+
+class PlacementRouter {
+ public:
+  // `devices` supplies the static attributes (name, placement class, and an
+  // analytic service-rate prior so ewma-service-rate has sane cold-start
+  // weights). Must be non-empty and at most kMaxFleetDevices entries.
+  PlacementRouter(const PlacementOptions& options,
+                  const std::vector<FleetDeviceSpec>& devices);
+
+  // Picks a 0-based slot for a job of `payload_bytes` and counts it as
+  // dispatched (outstanding++). Thread-safe.
+  size_t Route(uint64_t payload_bytes);
+
+  // Completion feedback from the fleet: updates outstanding, the service-
+  // rate EWMA (bytes / wall-us), and the health flag the fleet read from the
+  // member runtime's degradation state machine.
+  void OnComplete(size_t slot, uint64_t bytes, uint64_t wall_latency_ns, bool healthy);
+
+  // Pinned dispatch (caller chose the slot, bypassing Route); keeps
+  // outstanding/routed accounting symmetric with OnComplete.
+  void NotePinned(size_t slot);
+
+  // Direct health override for callers that observe device state outside
+  // the completion path (tests, admin probes).
+  void SetHealthy(size_t slot, bool healthy);
+
+  std::vector<PlacementDeviceView> SnapshotViews() const;
+  const PlacementOptions& options() const { return options_; }
+  size_t device_count() const { return devices_.size(); }
+
+  // True for the placement classes that win the small-payload (setup-
+  // dominated) regime in Figs 8/9; the complement is the ASIC/offload class
+  // that wins once payloads amortise the submission path.
+  static bool IsLowLatencyClass(Placement p) {
+    return p == Placement::kOnChip || p == Placement::kCpuSoftware;
+  }
+
+ private:
+  struct DeviceState {
+    std::string name;
+    Placement placement = Placement::kPeripheral;
+    bool healthy = true;
+    uint64_t outstanding = 0;
+    uint64_t routed = 0;
+    double ewma_bytes_per_us = 0.0;  // 0 = no completion yet; use prior
+    double prior_bytes_per_us = 1.0;  // analytic engines x gbps cold-start
+  };
+
+  size_t RouteLocked(uint64_t payload_bytes);
+  size_t LeastOutstandingLocked(const std::vector<size_t>& candidates);
+  std::vector<size_t> HealthyLocked() const;
+
+  PlacementOptions options_;
+  size_t static_slot_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<DeviceState> devices_;  // guarded by mu_
+  std::mt19937_64 rng_;               // guarded by mu_
+  uint64_t rr_tiebreak_ = 0;          // guarded by mu_
+};
+
+}  // namespace cdpu
+
+#endif  // SRC_RUNTIME_PLACEMENT_H_

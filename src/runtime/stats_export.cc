@@ -40,4 +40,29 @@ void ExportRuntimeStats(const RuntimeStats& stats, const std::string& prefix,
   metrics->Gauge(prefix + "device_healthy", stats.device_healthy ? 1.0 : 0.0);
 }
 
+void ExportFleetStats(const FleetStats& stats, const std::string& prefix,
+                      obs::MetricSet* metrics) {
+  ExportRuntimeStats(stats.merged, prefix, metrics);
+  if (stats.devices.size() <= 1) {
+    return;
+  }
+  uint64_t routed_total = 0;
+  for (const FleetDeviceStats& d : stats.devices) {
+    routed_total += d.router.routed;
+  }
+  for (const FleetDeviceStats& d : stats.devices) {
+    const std::string dp = prefix + "device." + d.name + ".";
+    ExportRuntimeStats(d.runtime, dp, metrics);
+    metrics->Count(dp + "routed", d.router.routed);
+    metrics->Gauge(dp + "routed_share",
+                   routed_total > 0
+                       ? static_cast<double>(d.router.routed) /
+                             static_cast<double>(routed_total)
+                       : 0.0);
+    metrics->Gauge(dp + "outstanding", static_cast<double>(d.router.outstanding));
+    metrics->Gauge(dp + "healthy", d.router.healthy ? 1.0 : 0.0);
+    metrics->Gauge(dp + "ewma_bytes_per_us", d.router.ewma_bytes_per_us);
+  }
+}
+
 }  // namespace cdpu

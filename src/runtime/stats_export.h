@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/obs/metrics.h"
+#include "src/runtime/fleet.h"
 #include "src/runtime/offload_runtime.h"
 
 namespace cdpu {
@@ -20,6 +21,13 @@ namespace cdpu {
 // fault-free experiments stay uncluttered.
 void ExportRuntimeStats(const RuntimeStats& stats, const std::string& prefix,
                         obs::MetricSet* metrics);
+
+// Fleet view: the merged totals under `prefix` plus, when the fleet has
+// more than one member, per-device runtime stats under
+// `prefix + "device.<name>."` and router-side placement gauges (routed
+// share, outstanding, health, EWMA service rate).
+void ExportFleetStats(const FleetStats& stats, const std::string& prefix,
+                      obs::MetricSet* metrics);
 
 }  // namespace cdpu
 

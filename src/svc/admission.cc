@@ -12,7 +12,25 @@ AdmissionController::AdmissionController(const AdmissionOptions& options) : opti
       per_tenant_limit_ =
           std::max(1u, options_.max_inflight / std::max(1u, options_.expected_tenants));
     }
+    if (!options_.tenant_weights.empty() && options_.max_inflight > 0) {
+      double weight_sum = 0;
+      for (const auto& [tenant, w] : options_.tenant_weights) {
+        weight_sum += std::max(w, 0.0);
+      }
+      if (weight_sum > 0) {
+        for (const auto& [tenant, w] : options_.tenant_weights) {
+          double share = std::max(w, 0.0) / weight_sum;
+          weighted_limits_[tenant] = std::max(
+              1u, static_cast<uint32_t>(share * options_.max_inflight + 0.5));
+        }
+      }
+    }
   }
+}
+
+uint32_t AdmissionController::LimitFor(uint32_t tenant) const {
+  auto it = weighted_limits_.find(tenant);
+  return it != weighted_limits_.end() ? it->second : per_tenant_limit_;
 }
 
 Status AdmissionController::TryAdmit(uint32_t tenant, uint64_t bytes_in) {
@@ -23,7 +41,8 @@ Status AdmissionController::TryAdmit(uint32_t tenant, uint64_t bytes_in) {
     ++t.rejected;
     return Status::ResourceExhausted("service at in-flight ceiling");
   }
-  if (per_tenant_limit_ > 0 && t.inflight >= per_tenant_limit_) {
+  uint32_t limit = LimitFor(tenant);
+  if (limit > 0 && t.inflight >= limit) {
     ++t.rejected;
     return Status::ResourceExhausted("tenant at fair-share ceiling");
   }

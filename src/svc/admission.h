@@ -37,6 +37,11 @@ struct AdmissionOptions {
   // expected_tenants) — the equal-share split of the device queue depth.
   uint32_t per_tenant_inflight = 0;
   uint32_t expected_tenants = 4;
+  // Weighted-fair shares: tenant id -> relative weight (> 0). When
+  // non-empty, each listed tenant's cap is max(1, max_inflight * w / sum(w))
+  // — its proportional slice of the global ceiling — and unlisted tenants
+  // fall back to the equal-share cap above. Ignored in kUnarbitrated mode.
+  std::unordered_map<uint32_t, double> tenant_weights;
 };
 
 struct TenantSnapshot {
@@ -63,6 +68,9 @@ class AdmissionController {
 
   uint32_t inflight() const;
   uint32_t per_tenant_limit() const { return per_tenant_limit_; }
+  // The effective cap for one tenant (weighted slice when configured,
+  // equal-share otherwise; 0 = uncapped).
+  uint32_t LimitFor(uint32_t tenant) const;
   const AdmissionOptions& options() const { return options_; }
 
   // Tenants sorted by id.
@@ -71,6 +79,7 @@ class AdmissionController {
  private:
   AdmissionOptions options_;
   uint32_t per_tenant_limit_ = 0;  // 0 = uncapped (greedy mode)
+  std::unordered_map<uint32_t, uint32_t> weighted_limits_;  // precomputed caps
 
   mutable std::mutex mu_;
   uint32_t inflight_ = 0;

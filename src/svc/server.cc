@@ -94,21 +94,51 @@ Status ServiceServer::Start() {
   if (options_.trace_sink != nullptr && options_.runtime.trace_sink == nullptr) {
     options_.runtime.trace_sink = options_.trace_sink;
   }
-  runtime_ = std::make_unique<OffloadRuntime>(options_.runtime);
+  // The backing runtime is always a fleet; the pre-fleet single-device
+  // server is just a fleet of one built from options_.runtime.device.
+  FleetOptions fleet_opts;
+  fleet_opts.base = options_.runtime;
+  fleet_opts.placement = options_.placement;
+  if (options_.devices.empty()) {
+    FleetDeviceSpec spec;
+    spec.name = options_.runtime.device.name.empty() ? "device"
+                                                     : options_.runtime.device.name;
+    spec.config = options_.runtime.device;
+    spec.fault_plan = options_.runtime.fault_plan;
+    spec.engine_threads = options_.runtime.engine_threads;
+    fleet_opts.devices.push_back(std::move(spec));
+  } else {
+    fleet_opts.devices = options_.devices;
+  }
+  runtime_ = std::make_unique<FleetRuntime>(fleet_opts);
 
-  // Clamp the admission ceiling below what the runtime can absorb without
-  // Submit() blocking: its in-flight slots plus one submission ring. An
-  // unbounded runtime (queue_limit 0) still gets a finite service ceiling —
-  // "the server never queues unboundedly" is the service contract.
-  const RuntimeOptions& ro = runtime_->options();
-  uint32_t runtime_slots =
-      ro.max_inflight > 0 ? ro.max_inflight : ro.device.queue_limit;
+  // Clamp the admission ceiling below what the fleet can absorb without
+  // Submit() blocking. The worst case (e.g. `static` placement, or every
+  // other member unhealthy) sends all admitted work to one member, so the
+  // bound is the *smallest* member capacity: its in-flight slots plus one
+  // submission ring. An unbounded member (queue_limit 0) doesn't constrain
+  // the bound, but a fully unbounded fleet still gets a finite service
+  // ceiling — "the server never queues unboundedly" is the service contract.
+  uint64_t min_capacity = 0;
+  uint64_t min_slots = 0;
+  for (size_t i = 0; i < runtime_->device_count(); ++i) {
+    const RuntimeOptions& ro = runtime_->runtime(i).options();
+    uint64_t slots = ro.max_inflight > 0 ? ro.max_inflight : ro.device.queue_limit;
+    if (slots == 0) {
+      continue;  // unbounded member
+    }
+    if (min_capacity == 0 || slots + ro.ring_depth < min_capacity) {
+      min_capacity = slots + ro.ring_depth;
+      min_slots = slots;
+    }
+  }
   admission_ceiling_ = options_.admission.max_inflight;
   if (admission_ceiling_ == 0) {
-    admission_ceiling_ = runtime_slots > 0 ? runtime_slots : 1024;
+    admission_ceiling_ = min_slots > 0 ? static_cast<uint32_t>(min_slots) : 1024;
   }
-  if (runtime_slots > 0) {
-    admission_ceiling_ = std::min(admission_ceiling_, runtime_slots + ro.ring_depth);
+  if (min_capacity > 0) {
+    admission_ceiling_ =
+        std::min<uint64_t>(admission_ceiling_, min_capacity);
   }
   AdmissionOptions resolved = options_.admission;
   resolved.max_inflight = admission_ceiling_;
@@ -356,7 +386,8 @@ void ServiceServer::HandleRequest(Session* session, Frame&& frame, uint64_t deco
   req.op = (frame.flags & kFlagDecompress) != 0 ? CdpuOp::kDecompress : CdpuOp::kCompress;
   req.input = *payload;
   req.codec = codec_name;
-  req.queue_pair = static_cast<uint32_t>(session->id % runtime_->options().queue_pairs);
+  req.queue_pair =
+      static_cast<uint32_t>(session->id % runtime_->options().base.queue_pairs);
   if (trace_writer_ != nullptr) {
     // An unsampled request must stay unsampled downstream, not be re-rolled
     // by the runtime's own sampler.
@@ -505,7 +536,8 @@ ServiceStats ServiceServer::Snapshot() const {
     s.tenants = admission_->Snapshot();
   }
   if (runtime_ != nullptr) {
-    s.runtime = runtime_->Snapshot();
+    s.fleet = runtime_->Snapshot();
+    s.runtime = s.fleet.merged;
   }
   return s;
 }

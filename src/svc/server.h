@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/runtime/fleet.h"
 #include "src/runtime/offload_runtime.h"
 #include "src/svc/admission.h"
 #include "src/svc/wire.h"
@@ -58,8 +59,16 @@ struct ServerOptions {
   bool flush_every_request = true;
   // Device model, engine threads, fault plan and recovery policy for the
   // backing runtime. `runtime.codec` is a default only — every request
-  // names its own codec on the wire.
+  // names its own codec on the wire. With a multi-device fleet (below),
+  // these are the shared per-member knobs; runtime.device / runtime.
+  // fault_plan are overridden per member.
   RuntimeOptions runtime;
+  // Device fleet (ISSUE 7). Empty = a fleet of one built from
+  // runtime.device, which behaves exactly like the pre-fleet server. With
+  // more than one member, `placement` decides which device serves each
+  // request and per-device occupancy appears in ServiceStats::fleet.
+  std::vector<FleetDeviceSpec> devices;
+  PlacementOptions placement;
   // Optional end-to-end tracing (not owned; must outlive the server). The
   // event loop draws the trace id at frame decode, brackets the service-side
   // phases (wire_decode / admission / response), and passes the id through
@@ -81,7 +90,8 @@ struct ServiceStats {
   uint64_t bytes_rx = 0;           // raw socket bytes in
   uint64_t bytes_tx = 0;           // raw socket bytes out
   std::vector<TenantSnapshot> tenants;
-  RuntimeStats runtime;  // the backing OffloadRuntime's own counters
+  RuntimeStats runtime;  // merged counters across the backing fleet
+  FleetStats fleet;      // per-device runtime stats + router occupancy views
 };
 
 class ServiceServer {
@@ -149,7 +159,7 @@ class ServiceServer {
   ServerOptions options_;
   uint32_t admission_ceiling_ = 0;  // resolved + clamped global ceiling
   std::unique_ptr<AdmissionController> admission_;
-  std::unique_ptr<OffloadRuntime> runtime_;
+  std::unique_ptr<FleetRuntime> runtime_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

@@ -28,7 +28,15 @@ void ExportServiceStats(const ServiceStats& stats, const std::string& prefix,
     metrics->Count(tp + "bytes_out", t.bytes_out);
     metrics->Summary(tp + "wall_latency_us", obs::SummarizeRunningStats(t.wall_latency_us));
   }
-  ExportRuntimeStats(stats.runtime, prefix + "runtime.", metrics);
+  // Fleet export covers the merged runtime view plus, on multi-device
+  // fleets, per-device counters and router occupancy under
+  // runtime.device.<name>.* . A default-constructed fleet (no members) can
+  // only mean stats came from a pre-Start snapshot; fall back to `runtime`.
+  if (stats.fleet.devices.empty()) {
+    ExportRuntimeStats(stats.runtime, prefix + "runtime.", metrics);
+  } else {
+    ExportFleetStats(stats.fleet, prefix + "runtime.", metrics);
+  }
 }
 
 }  // namespace svc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <map>
 #include <unordered_map>
 
 namespace cdpu {
@@ -15,6 +16,17 @@ constexpr std::array<Phase, 5> kRuntimeChain = {
 
 double Us(uint64_t start_ns, uint64_t end_ns) {
   return end_ns >= start_ns ? static_cast<double>(end_ns - start_ns) / 1e3 : 0.0;
+}
+
+std::string DeviceSlotName(uint8_t slot, const std::vector<std::string>* names) {
+  if (slot == 0) {
+    return "";
+  }
+  size_t idx = static_cast<size_t>(slot) - 1;
+  if (names != nullptr && idx < names->size()) {
+    return (*names)[idx];
+  }
+  return "dev" + std::to_string(static_cast<unsigned>(slot));
 }
 
 }  // namespace
@@ -39,12 +51,16 @@ double Breakdown::phase_p50_sum_us() {
   return sum;
 }
 
-Breakdown BuildBreakdown(const std::vector<SpanRecord>& spans, const TraceSink* sink) {
+Breakdown BuildBreakdown(const std::vector<SpanRecord>& spans, const TraceSink* sink,
+                         const std::vector<std::string>* device_names) {
   Breakdown b;
   std::array<PhaseStats, kNumPhases> by_phase;
   for (uint32_t i = 0; i < kNumPhases; ++i) {
     by_phase[i].phase = static_cast<Phase>(i);
   }
+  // Per-device phase accumulators, keyed by 1-based fleet slot. Only spans
+  // tagged with a nonzero device feed these (single-device runs stay empty).
+  std::map<uint8_t, std::array<PhaseStats, kNumPhases>> dev_phases;
 
   // Per-request runtime chain for the end-to-end cross-check. Phases are
   // recorded per id; a chain is complete when every runtime phase appeared
@@ -55,6 +71,7 @@ Breakdown BuildBreakdown(const std::vector<SpanRecord>& spans, const TraceSink* 
     uint64_t end_ns = 0;    // complete end
     uint16_t label = 0;
     uint32_t tenant = 0;
+    uint8_t device = 0;  // 1-based fleet slot; 0 = untagged
   };
   std::unordered_map<uint64_t, Chain> chains;
 
@@ -69,9 +86,25 @@ Breakdown BuildBreakdown(const std::vector<SpanRecord>& spans, const TraceSink* 
     p.total_us += us;
     p.latency_us.Add(us);
 
+    if (r.device != 0) {
+      auto [it, inserted] = dev_phases.try_emplace(r.device);
+      if (inserted) {
+        for (uint32_t j = 0; j < kNumPhases; ++j) {
+          (it->second)[j].phase = static_cast<Phase>(j);
+        }
+      }
+      PhaseStats& dp = (it->second)[pi];
+      ++dp.count;
+      dp.total_us += us;
+      dp.latency_us.Add(us);
+    }
+
     if (IsRuntimePhase(r.phase) && r.request_id != 0) {
       Chain& c = chains[r.request_id];
       ++c.seen[pi];
+      if (r.device != 0) {
+        c.device = r.device;
+      }
       if (r.phase == Phase::kQueueSubmit) {
         c.start_ns = r.start_ns;
         c.tenant = r.tenant;
@@ -99,7 +132,8 @@ Breakdown BuildBreakdown(const std::vector<SpanRecord>& spans, const TraceSink* 
     }
   }
 
-  std::unordered_map<uint64_t, size_t> group_index;  // (label<<32|tenant) -> idx
+  std::unordered_map<uint64_t, size_t> group_index;  // (device<<48|label<<32|tenant) -> idx
+  std::map<uint8_t, DeviceBreakdown> dev_e2e;        // complete-chain e2e per slot
   for (auto& [id, c] : chains) {
     bool complete = true;
     for (Phase ph : kRuntimeChain) {
@@ -116,22 +150,47 @@ Breakdown BuildBreakdown(const std::vector<SpanRecord>& spans, const TraceSink* 
     double e2e = Us(c.start_ns, c.end_ns);
     b.e2e_us.Add(e2e);
 
-    uint64_t key = (static_cast<uint64_t>(c.label) << 32) | c.tenant;
+    uint64_t key = (static_cast<uint64_t>(c.device) << 48) |
+                   (static_cast<uint64_t>(c.label) << 32) | c.tenant;
     auto it = group_index.find(key);
     if (it == group_index.end()) {
       GroupStats g;
       g.codec = sink != nullptr ? sink->LabelName(c.label) : "";
       g.tenant = c.tenant;
+      g.device_slot = c.device;
+      g.device = DeviceSlotName(c.device, device_names);
       it = group_index.emplace(key, b.groups.size()).first;
       b.groups.push_back(std::move(g));
     }
     GroupStats& g = b.groups[it->second];
     ++g.requests;
     g.e2e_us.Add(e2e);
+
+    if (c.device != 0) {
+      DeviceBreakdown& d = dev_e2e[c.device];
+      d.slot = c.device;
+      ++d.requests;
+      d.e2e_us.Add(e2e);
+    }
   }
   std::sort(b.groups.begin(), b.groups.end(), [](const GroupStats& a, const GroupStats& c) {
+    if (a.device_slot != c.device_slot) {
+      return a.device_slot < c.device_slot;
+    }
     return a.codec != c.codec ? a.codec < c.codec : a.tenant < c.tenant;
   });
+
+  // Merge the per-device phase accumulators with the per-device e2e view
+  // (devices that only appear in incomplete chains still get phase rows).
+  for (auto& [slot, phases] : dev_phases) {
+    DeviceBreakdown& d = dev_e2e[slot];
+    d.slot = slot;
+    d.phases = std::move(phases);
+  }
+  for (auto& [slot, d] : dev_e2e) {
+    d.name = DeviceSlotName(slot, device_names);
+    b.devices.push_back(std::move(d));
+  }
   return b;
 }
 
@@ -181,14 +240,63 @@ void ExportBreakdown(Breakdown& b, const TraceCounters& counters,
   }
 
   if (!b.groups.empty()) {
+    bool any_device = false;
+    for (const GroupStats& g : b.groups) {
+      any_device = any_device || g.device_slot != 0;
+    }
+    std::vector<obs::Column> cols;
+    if (any_device) {
+      cols.push_back(obs::Column("device"));
+    }
+    cols.push_back(obs::Column("codec"));
+    cols.push_back(obs::Column("tenant", "tenant", 0));
+    cols.push_back(obs::Column("requests", "requests", 0));
+    cols.push_back(obs::Column("mean_us", "mean us", 1));
+    cols.push_back(obs::Column("p50_us", "p50 us", 1));
+    cols.push_back(obs::Column("p99_us", "p99 us", 1));
     obs::Table& groups = reporter->AddTable(
-        "trace_by_group", "End-to-end latency per (codec, tenant)",
-        {obs::Column("codec"), obs::Column("tenant", "tenant", 0),
-         obs::Column("requests", "requests", 0), obs::Column("mean_us", "mean us", 1),
-         obs::Column("p50_us", "p50 us", 1), obs::Column("p99_us", "p99 us", 1)});
+        "trace_by_group",
+        any_device ? "End-to-end latency per (device, codec, tenant)"
+                   : "End-to-end latency per (codec, tenant)",
+        std::move(cols));
     for (GroupStats& g : b.groups) {
-      groups.AddRow({g.codec.empty() ? "(default)" : g.codec, g.tenant, g.requests,
-                     g.e2e_us.Mean(), g.e2e_us.Percentile(50), g.e2e_us.Percentile(99)});
+      std::vector<obs::Json> row;
+      if (any_device) {
+        row.push_back(g.device.empty() ? "(none)" : g.device);
+      }
+      row.push_back(g.codec.empty() ? "(default)" : g.codec);
+      row.push_back(g.tenant);
+      row.push_back(g.requests);
+      row.push_back(g.e2e_us.Mean());
+      row.push_back(g.e2e_us.Percentile(50));
+      row.push_back(g.e2e_us.Percentile(99));
+      groups.AddRow(std::move(row));
+    }
+  }
+
+  if (!b.devices.empty()) {
+    // The per-placement Figure-11 split: one row per fleet device with the
+    // contiguous runtime-phase means side by side.
+    obs::Table& devices = reporter->AddTable(
+        "trace_by_device", "Latency breakdown per device (placement split)",
+        {obs::Column("device"), obs::Column("requests", "requests", 0),
+         obs::Column("e2e_mean_us", "e2e mean us", 1),
+         obs::Column("e2e_p99_us", "e2e p99 us", 1),
+         obs::Column("submit_us", "submit us", 1),
+         obs::Column("engine_us", "engine us", 1),
+         obs::Column("device_us", "device us", 1),
+         obs::Column("codec_us", "codec us", 1),
+         obs::Column("complete_us", "complete us", 1)});
+    for (DeviceBreakdown& d : b.devices) {
+      auto mean = [&d](Phase ph) { return d.phases[static_cast<uint32_t>(ph)].mean_us(); };
+      devices.AddRow({d.name, d.requests, d.e2e_us.empty() ? 0.0 : d.e2e_us.Mean(),
+                      d.e2e_us.empty() ? 0.0 : d.e2e_us.Percentile(99),
+                      mean(Phase::kQueueSubmit), mean(Phase::kQueueEngine),
+                      mean(Phase::kDevice), mean(Phase::kCodec), mean(Phase::kComplete)});
+      const std::string mp = metric_prefix + "device." + d.name + ".";
+      reporter->metrics().Gauge(mp + "requests", static_cast<double>(d.requests));
+      reporter->metrics().Gauge(mp + "e2e_mean_us", d.e2e_us.empty() ? 0.0 : d.e2e_us.Mean());
+      reporter->metrics().Gauge(mp + "device_mean_us", mean(Phase::kDevice));
     }
   }
 
@@ -262,6 +370,9 @@ Status WriteChromeTrace(const std::vector<SpanRecord>& spans, const TraceSink* s
     args["tenant"] = r.tenant;
     if (sink != nullptr && r.label != 0) {
       args["codec"] = sink->LabelName(r.label);
+    }
+    if (r.device != 0) {
+      args["device"] = static_cast<uint64_t>(r.device);
     }
     ev["args"] = std::move(args);
     events.push_back(std::move(ev));

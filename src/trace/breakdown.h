@@ -8,6 +8,7 @@
 #ifndef SRC_TRACE_BREAKDOWN_H_
 #define SRC_TRACE_BREAKDOWN_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -29,12 +30,24 @@ struct PhaseStats {
   double mean_us() const { return count > 0 ? total_us / static_cast<double>(count) : 0; }
 };
 
-// Per-(codec label, tenant) end-to-end view.
+// Per-(codec label, tenant, device) end-to-end view.
 struct GroupStats {
   std::string codec;  // resolved label name; "" when untagged
   uint32_t tenant = 0;
+  uint8_t device_slot = 0;  // 1-based fleet slot; 0 = untagged
+  std::string device;       // resolved device name; "" when untagged
   uint64_t requests = 0;
   SampleSet e2e_us;
+};
+
+// Per-device phase breakdown: the Figure-11 view split by placement. Only
+// populated when spans carry a nonzero device slot (fleet runs).
+struct DeviceBreakdown {
+  uint8_t slot = 0;
+  std::string name;  // resolved from the caller's name list; "dev<slot>" fallback
+  uint64_t requests = 0;  // complete runtime chains routed to this device
+  SampleSet e2e_us;
+  std::array<PhaseStats, kNumPhases> phases{};
 };
 
 struct Breakdown {
@@ -44,6 +57,7 @@ struct Breakdown {
   // inside kCodec and must not be double-counted in the contiguous sum.
   std::vector<PhaseStats> codec_phases;
   std::vector<GroupStats> groups;
+  std::vector<DeviceBreakdown> devices;  // sorted by slot; empty when untagged
 
   // Requests with a full contiguous runtime chain (queue_submit..complete).
   uint64_t complete_requests = 0;
@@ -61,14 +75,19 @@ struct Breakdown {
 };
 
 // Builds the breakdown from a span snapshot. `sink` resolves label names;
-// may be null (labels render as "").
-Breakdown BuildBreakdown(const std::vector<SpanRecord>& spans, const TraceSink* sink);
+// may be null (labels render as ""). `device_names`, when non-null, resolves
+// 1-based device slots to names (index slot-1), e.g. from
+// FleetRuntime::DeviceNames(); unresolvable slots render as "dev<slot>".
+Breakdown BuildBreakdown(const std::vector<SpanRecord>& spans, const TraceSink* sink,
+                         const std::vector<std::string>* device_names = nullptr);
 
 // Renders the breakdown into the Reporter: a "trace_phases" table, a
 // "trace_codec_phases" table (when codec sub-spans exist), a
-// "trace_by_group" table (when >1 group), a consistency table comparing
-// phase sums against measured end-to-end latency, and gauges under
-// `metric_prefix` (e.g. "trace.") for machine consumers.
+// "trace_by_group" table (when >1 group), a "trace_by_device" table (when
+// spans carry device slots — the per-placement Figure-11 split), a
+// consistency table comparing phase sums against measured end-to-end
+// latency, and gauges under `metric_prefix` (e.g. "trace.") for machine
+// consumers.
 void ExportBreakdown(Breakdown& breakdown, const TraceCounters& counters,
                      const std::string& metric_prefix, obs::Reporter* reporter);
 

@@ -79,7 +79,9 @@ struct SpanRecord {
   uint32_t tenant = 0;
   uint16_t label = 0;       // interned label (codec name etc.); 0 = none
   Phase phase = Phase::kQueueSubmit;
-  uint8_t flags = 0;        // reserved
+  // Placement dimension: 1-based fleet device slot (ISSUE 7), so the
+  // Figure-11 breakdown can split per device. 0 = single-device / untagged.
+  uint8_t device = 0;
 };
 static_assert(sizeof(SpanRecord) == 32, "span records are copied in bulk");
 
@@ -189,7 +191,8 @@ class TraceSink {
 
 // Convenience for instrumentation sites that already know the span bounds.
 inline void EmitSpan(TraceSink::Writer* w, uint64_t request_id, uint32_t tenant,
-                     uint16_t label, Phase phase, uint64_t start_ns, uint64_t end_ns) {
+                     uint16_t label, Phase phase, uint64_t start_ns, uint64_t end_ns,
+                     uint8_t device = 0) {
   SpanRecord r;
   r.request_id = request_id;
   r.start_ns = start_ns;
@@ -197,6 +200,7 @@ inline void EmitSpan(TraceSink::Writer* w, uint64_t request_id, uint32_t tenant,
   r.tenant = tenant;
   r.label = label;
   r.phase = phase;
+  r.device = device;
   w->Emit(r);
 }
 
@@ -210,6 +214,7 @@ struct ThreadTraceContext {
   uint64_t request_id = 0;
   uint32_t tenant = 0;
   uint16_t label = 0;
+  uint8_t device = 0;  // 1-based fleet device slot; 0 = untagged
 };
 
 // The calling thread's context slot (never null; writer null when inactive).
@@ -220,13 +225,14 @@ ThreadTraceContext* CurrentThreadTrace();
 class ScopedTraceContext {
  public:
   ScopedTraceContext(TraceSink::Writer* writer, uint64_t request_id, uint32_t tenant,
-                     uint16_t label) {
+                     uint16_t label, uint8_t device = 0) {
     ThreadTraceContext* slot = CurrentThreadTrace();
     saved_ = *slot;
     slot->writer = writer;
     slot->request_id = request_id;
     slot->tenant = tenant;
     slot->label = label;
+    slot->device = device;
   }
   ~ScopedTraceContext() { *CurrentThreadTrace() = saved_; }
 
@@ -260,6 +266,7 @@ class CodecPhaseSpan {
     r.tenant = ctx->tenant;
     r.label = ctx->label;
     r.phase = phase_;
+    r.device = ctx->device;
     ctx->writer->Emit(r);
   }
 

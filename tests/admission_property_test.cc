@@ -1,0 +1,196 @@
+// Property tests for AdmissionController weighted fairness (ISSUE 7
+// satellite): under randomized tenant weights and adversarial arrival
+// patterns, (1) the global in-flight ceiling is never exceeded, (2) no
+// tenant ever holds more than its weighted cap, and (3) under saturation
+// each tenant's admitted throughput converges to its weight share. All
+// randomness is seeded and every assertion carries the reproducing seed;
+// CDPU_FUZZ_ROUNDS multiplies the randomized rounds (nightly CI sets 50).
+
+#include "src/svc/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace cdpu {
+namespace svc {
+namespace {
+
+int FuzzRounds() {
+  const char* env = std::getenv("CDPU_FUZZ_ROUNDS");
+  if (env == nullptr) {
+    return 1;
+  }
+  int rounds = std::atoi(env);
+  return rounds > 0 ? rounds : 1;
+}
+
+// One admitted slot we still owe a Complete() for.
+struct Held {
+  uint32_t tenant;
+};
+
+TEST(AdmissionPropertyTest, WeightedLimitsMatchProportionalFormula) {
+  for (int round = 0; round < 20 * FuzzRounds(); ++round) {
+    uint64_t seed = 0xadA1 + round;
+    Rng rng(seed);
+    AdmissionOptions opts;
+    opts.max_inflight = 8 + static_cast<uint32_t>(rng.Uniform(120));
+    uint32_t tenants = 2 + static_cast<uint32_t>(rng.Uniform(6));
+    double sum = 0;
+    for (uint32_t t = 0; t < tenants; ++t) {
+      double w = 0.25 + rng.NextDouble() * 8.0;
+      opts.tenant_weights[t] = w;
+      sum += w;
+    }
+    AdmissionController ctl(opts);
+    for (uint32_t t = 0; t < tenants; ++t) {
+      uint32_t want = std::max(
+          1u, static_cast<uint32_t>(opts.tenant_weights[t] / sum * opts.max_inflight + 0.5));
+      EXPECT_EQ(ctl.LimitFor(t), want) << "seed=" << seed << " tenant=" << t;
+    }
+    // Unlisted tenants fall back to the equal-share cap.
+    EXPECT_EQ(ctl.LimitFor(999), ctl.per_tenant_limit()) << "seed=" << seed;
+  }
+}
+
+TEST(AdmissionPropertyTest, CeilingAndCapsHoldUnderAdversarialArrivals) {
+  for (int round = 0; round < 10 * FuzzRounds(); ++round) {
+    uint64_t seed = 0xcafe + round;
+    Rng rng(seed);
+    AdmissionOptions opts;
+    opts.max_inflight = 4 + static_cast<uint32_t>(rng.Uniform(60));
+    opts.expected_tenants = 4;
+    uint32_t tenants = 1 + static_cast<uint32_t>(rng.Uniform(8));
+    for (uint32_t t = 0; t < tenants; ++t) {
+      if (rng.Uniform(2) == 0) {  // leave some tenants unlisted
+        opts.tenant_weights[t] = 0.5 + rng.NextDouble() * 4.0;
+      }
+    }
+    AdmissionController ctl(opts);
+
+    std::vector<Held> held;
+    std::map<uint32_t, uint32_t> held_by_tenant;
+    for (int step = 0; step < 2000; ++step) {
+      if (rng.Uniform(3) != 0 || held.empty()) {
+        // Arrival burst from a random tenant (sometimes one nobody listed).
+        uint32_t tenant = static_cast<uint32_t>(rng.Uniform(tenants + 2));
+        uint64_t burst = 1 + rng.Uniform(8);
+        for (uint64_t i = 0; i < burst; ++i) {
+          if (ctl.TryAdmit(tenant, 512).ok()) {
+            held.push_back({tenant});
+            ++held_by_tenant[tenant];
+          }
+        }
+      } else {
+        // Random completion order, random outcome.
+        size_t idx = rng.Uniform(held.size());
+        std::swap(held[idx], held.back());
+        uint32_t tenant = held.back().tenant;
+        held.pop_back();
+        --held_by_tenant[tenant];
+        ctl.Complete(tenant, 256, 1000, rng.Uniform(10) != 0);
+      }
+      // Invariants after every step.
+      ASSERT_LE(ctl.inflight(), opts.max_inflight) << "seed=" << seed << " step=" << step;
+      ASSERT_EQ(ctl.inflight(), held.size()) << "seed=" << seed << " step=" << step;
+      for (const auto& [tenant, count] : held_by_tenant) {
+        uint32_t cap = ctl.LimitFor(tenant);
+        if (cap > 0) {
+          ASSERT_LE(count, cap) << "seed=" << seed << " step=" << step
+                                << " tenant=" << tenant;
+        }
+      }
+    }
+    // Drain and confirm the accounting returns to zero.
+    for (const Held& h : held) {
+      ctl.Complete(h.tenant, 0, 1000, true);
+    }
+    EXPECT_EQ(ctl.inflight(), 0u) << "seed=" << seed;
+  }
+}
+
+TEST(AdmissionPropertyTest, AdmittedShareConvergesToWeights) {
+  for (int round = 0; round < 5 * FuzzRounds(); ++round) {
+    uint64_t seed = 0xfa1e + round;
+    Rng rng(seed);
+    AdmissionOptions opts;
+    opts.max_inflight = 64;
+    constexpr uint32_t kTenants = 3;
+    double sum = 0;
+    for (uint32_t t = 0; t < kTenants; ++t) {
+      double w = 1.0 + rng.NextDouble() * 7.0;
+      opts.tenant_weights[t] = w;
+      sum += w;
+    }
+    AdmissionController ctl(opts);
+
+    // Closed-loop saturation: every tenant greedily refills to its cap,
+    // completions retire in random order at a uniform service rate. Under
+    // this load each tenant's admitted throughput is proportional to the
+    // slots it may hold, i.e. to its weight.
+    std::vector<Held> held;
+    for (int step = 0; step < 4000; ++step) {
+      for (uint32_t t = 0; t < kTenants; ++t) {
+        while (ctl.TryAdmit(t, 128).ok()) {
+          held.push_back({t});
+        }
+      }
+      // Retire a random quarter of the in-flight set.
+      size_t to_retire = std::max<size_t>(1, held.size() / 4);
+      for (size_t i = 0; i < to_retire && !held.empty(); ++i) {
+        size_t idx = rng.Uniform(held.size());
+        std::swap(held[idx], held.back());
+        ctl.Complete(held.back().tenant, 64, 1000, true);
+        held.pop_back();
+      }
+    }
+
+    std::vector<TenantSnapshot> snap = ctl.Snapshot();
+    ASSERT_EQ(snap.size(), kTenants);
+    uint64_t total_admitted = 0;
+    for (const TenantSnapshot& t : snap) {
+      total_admitted += t.admitted;
+    }
+    ASSERT_GT(total_admitted, 0u);
+    for (const TenantSnapshot& t : snap) {
+      // The cap rounds to an integer slot count, so compare against the
+      // achievable share (cap / sum-of-caps), not the raw weight ratio.
+      double cap_sum = 0;
+      for (uint32_t u = 0; u < kTenants; ++u) {
+        cap_sum += ctl.LimitFor(u);
+      }
+      double want = static_cast<double>(ctl.LimitFor(t.tenant)) / cap_sum;
+      double got = static_cast<double>(t.admitted) / static_cast<double>(total_admitted);
+      EXPECT_NEAR(got, want, 0.08) << "seed=" << seed << " tenant=" << t.tenant
+                                   << " weight=" << opts.tenant_weights[t.tenant];
+    }
+  }
+}
+
+TEST(AdmissionPropertyTest, UnarbitratedModeIgnoresWeights) {
+  AdmissionOptions opts;
+  opts.max_inflight = 16;
+  opts.arbitration = VfArbitration::kUnarbitrated;
+  opts.tenant_weights[0] = 1.0;
+  opts.tenant_weights[1] = 100.0;
+  AdmissionController ctl(opts);
+  EXPECT_EQ(ctl.LimitFor(0), 0u);  // uncapped
+  EXPECT_EQ(ctl.LimitFor(1), 0u);
+  // One greedy tenant can take the whole ceiling.
+  uint32_t admitted = 0;
+  while (ctl.TryAdmit(0, 64).ok()) {
+    ++admitted;
+  }
+  EXPECT_EQ(admitted, opts.max_inflight);
+  EXPECT_FALSE(ctl.TryAdmit(1, 64).ok());
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace cdpu

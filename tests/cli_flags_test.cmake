@@ -1,9 +1,14 @@
 # Regression test for strict CLI flag parsing: every malformed invocation
-# must exit 2 (usage), never 0. Run via
-#   cmake -DCLI=<path-to-cdpu_cli> -P cli_flags_test.cmake
+# must exit 2 (usage), never 0. Covers both front ends of the shared
+# driver — cdpu_cli and the cdpu_bench experiment driver. Run via
+#   cmake -DCLI=<path-to-cdpu_cli> -DBENCH=<path-to-cdpu_bench> \
+#         -P cli_flags_test.cmake
 
 if(NOT DEFINED CLI)
   message(FATAL_ERROR "pass -DCLI=<path to cdpu_cli>")
+endif()
+if(NOT DEFINED BENCH)
+  message(FATAL_ERROR "pass -DBENCH=<path to cdpu_bench>")
 endif()
 
 set(failures 0)
@@ -15,6 +20,18 @@ function(expect_exit code)
                   OUTPUT_QUIET ERROR_QUIET)
   if(NOT rc EQUAL ${code})
     message(SEND_ERROR "cdpu_cli ${ARGN}: expected exit ${code}, got ${rc}")
+    math(EXPR failures "${failures}+1")
+    set(failures ${failures} PARENT_SCOPE)
+  endif()
+endfunction()
+
+function(expect_bench_exit code)
+  # ARGN = the cdpu_bench argument list.
+  execute_process(COMMAND "${BENCH}" ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL ${code})
+    message(SEND_ERROR "cdpu_bench ${ARGN}: expected exit ${code}, got ${rc}")
     math(EXPR failures "${failures}+1")
     set(failures ${failures} PARENT_SCOPE)
   endif()
@@ -35,12 +52,47 @@ expect_exit(2 offload lz4 /dev/null --trace-sample=abc)
 expect_exit(2 serve --bogus-flag)
 expect_exit(2 client --port=notaport)
 
+# Fleet flags: malformed device lists / unknown policies.
+expect_exit(2 offload lz4 /dev/null --devices=)
+expect_exit(2 offload lz4 /dev/null --devices=nosuchdev)
+expect_exit(2 offload lz4 /dev/null --devices=qat8970:0)
+expect_exit(2 offload lz4 /dev/null --devices=qat8970:abc)
+expect_exit(2 offload lz4 /dev/null --devices=qat8970,,cpu)
+expect_exit(2 offload lz4 /dev/null --placement=round-robin)
+expect_exit(2 serve --devices=nosuchdev)
+expect_exit(2 serve --placement=bogus)
+
 # No subcommand / unknown subcommand.
 expect_exit(2)
 expect_exit(2 frobnicate)
 
 # Sanity: a valid invocation still succeeds.
 expect_exit(0 list)
+
+# The cdpu_bench driver (also reachable as `cdpu_cli bench run|...`) had the
+# same class of bug: `list` swallowed stray args, `validate` tried to open
+# flag-shaped args as files.
+expect_bench_exit(2)
+expect_bench_exit(2 frobnicate)
+expect_bench_exit(2 list --all)
+expect_bench_exit(2 list extra-arg)
+expect_bench_exit(2 run)
+expect_bench_exit(2 run nosuchexperiment)
+expect_bench_exit(2 run table01 --bogus-flag)
+expect_bench_exit(2 run table01 --preset=fast)
+expect_bench_exit(2 run table01 --devices=nosuchdev)
+expect_bench_exit(2 run table01 --placement=bogus)
+expect_bench_exit(2 run --all table01)
+expect_bench_exit(2 validate)
+expect_bench_exit(2 validate --quiet)
+expect_bench_exit(2 validate --no-such-flag some.json)
+
+# Sanity: the bench driver still lists cleanly, and the same matrix holds
+# through the cdpu_cli passthrough.
+expect_bench_exit(0 list)
+expect_exit(2 bench list --all)
+expect_exit(2 bench run table01 --bogus-flag)
+expect_exit(2 bench validate --quiet)
 
 if(failures GREATER 0)
   message(FATAL_ERROR "${failures} CLI flag-parsing check(s) failed")

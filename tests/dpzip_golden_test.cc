@@ -1,0 +1,82 @@
+// Bit-exact stability of the dpzip bitstream against committed golden
+// vectors (ISSUE 7 satellite). The dpzip format is this repo's own wire
+// format — nothing external cross-checks it — so an accidental encoder
+// change would silently orphan every previously written frame. These tests
+// pin the exact bytes: for each corpus case the freshly compressed output
+// must equal the committed vector, and the committed vector must decompress
+// back to the generated input.
+//
+// If a test here fails because you changed the bitstream ON PURPOSE,
+// regenerate the vectors and commit them with the encoder change:
+//   build/tools/dpzip_golden_gen tests/golden/dpzip
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tests/golden/dpzip_corpus.h"
+
+namespace cdpu {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(CDPU_GOLDEN_DIR) + "/dpzip/" + name + ".bin";
+}
+
+bool ReadVector(const std::string& path, ByteVec* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  out->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+class DpzipGoldenTest : public ::testing::TestWithParam<golden::GoldenCase> {};
+
+TEST_P(DpzipGoldenTest, CompressedOutputIsBitExact) {
+  const golden::GoldenCase& c = GetParam();
+  ByteVec want;
+  ASSERT_TRUE(ReadVector(GoldenPath(c.name), &want))
+      << "missing golden vector " << GoldenPath(c.name)
+      << " — regenerate with: build/tools/dpzip_golden_gen tests/golden/dpzip";
+
+  std::vector<uint8_t> input = golden::GenerateInput(c);
+  DpzipCodec codec = golden::MakeCaseCodec(c);
+  ByteVec got;
+  Result<size_t> r = codec.Compress(input, &got);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(got, want)
+      << "dpzip bitstream changed for corpus case \"" << c.name << "\" ("
+      << got.size() << " vs " << want.size() << " golden bytes). If this is an "
+      << "intentional format change, regenerate the vectors and commit them: "
+      << "build/tools/dpzip_golden_gen tests/golden/dpzip";
+}
+
+TEST_P(DpzipGoldenTest, CommittedVectorDecompressesToInput) {
+  const golden::GoldenCase& c = GetParam();
+  ByteVec vector;
+  ASSERT_TRUE(ReadVector(GoldenPath(c.name), &vector))
+      << "missing golden vector " << GoldenPath(c.name)
+      << " — regenerate with: build/tools/dpzip_golden_gen tests/golden/dpzip";
+
+  std::vector<uint8_t> input = golden::GenerateInput(c);
+  DpzipCodec codec = golden::MakeCaseCodec(c);
+  ByteVec out;
+  Result<size_t> r = codec.Decompress(vector, &out);
+  ASSERT_TRUE(r.ok()) << "committed vector for \"" << c.name
+                      << "\" no longer decodes: " << r.status().ToString()
+                      << " — the decoder broke compatibility with shipped frames";
+  EXPECT_EQ(out, ByteVec(input.begin(), input.end()))
+      << "decoder output diverged for corpus case \"" << c.name << "\"";
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, DpzipGoldenTest, ::testing::ValuesIn(golden::Corpus()),
+                         [](const ::testing::TestParamInfo<golden::GoldenCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace cdpu

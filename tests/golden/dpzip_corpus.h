@@ -1,0 +1,96 @@
+// The fixed corpus behind the committed dpzip golden vectors
+// (tests/golden/dpzip/*.bin). Shared by the regeneration tool
+// (tools/dpzip_golden_gen.cc) and the stability test
+// (tests/dpzip_golden_test.cc) so the two can never drift apart.
+//
+// Every case is a pure function of its (pattern, size, seed) triple plus
+// the codec configuration, so the corpus is reproducible on any host. If
+// you change the dpzip bitstream ON PURPOSE, regenerate with
+//   build/tools/dpzip_golden_gen tests/golden/dpzip
+// and commit the new .bin files alongside the encoder change.
+
+#ifndef TESTS_GOLDEN_DPZIP_CORPUS_H_
+#define TESTS_GOLDEN_DPZIP_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/dpzip_codec.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace golden {
+
+enum class Pattern : uint8_t {
+  kRatio,       // GenerateWithRatio(ratio, size, seed)
+  kRandom,      // incompressible: seeded uniform bytes (raw-bypass path)
+  kRunLength,   // long single-byte runs (max match lengths, distance 1)
+};
+
+struct GoldenCase {
+  const char* name;  // vector file is <name>.bin
+  Pattern pattern;
+  size_t size;
+  uint64_t seed;
+  double ratio;               // kRatio only
+  int level;                  // DpzipLz77ConfigForLevel
+  DpzipEntropyMode entropy;
+};
+
+inline std::vector<GoldenCase> Corpus() {
+  return {
+      {"empty", Pattern::kRatio, 0, 1, 0.5, 1, DpzipEntropyMode::kHuffman},
+      {"tiny_1b", Pattern::kRandom, 1, 2, 0, 1, DpzipEntropyMode::kHuffman},
+      {"ratio20_4k", Pattern::kRatio, 4096, 101, 0.20, 1, DpzipEntropyMode::kHuffman},
+      {"ratio45_16k", Pattern::kRatio, 16384, 102, 0.45, 1, DpzipEntropyMode::kHuffman},
+      {"ratio80_64k", Pattern::kRatio, 65536, 103, 0.80, 1, DpzipEntropyMode::kHuffman},
+      {"random_4k", Pattern::kRandom, 4096, 104, 0, 1, DpzipEntropyMode::kHuffman},
+      {"runlength_8k", Pattern::kRunLength, 8192, 105, 0, 1, DpzipEntropyMode::kHuffman},
+      {"level3_ratio45_16k", Pattern::kRatio, 16384, 102, 0.45, 3,
+       DpzipEntropyMode::kHuffman},
+      {"fse_ratio45_16k", Pattern::kRatio, 16384, 102, 0.45, 1, DpzipEntropyMode::kFse},
+  };
+}
+
+inline std::vector<uint8_t> GenerateInput(const GoldenCase& c) {
+  switch (c.pattern) {
+    case Pattern::kRatio:
+      return GenerateWithRatio(c.ratio, c.size, c.seed);
+    case Pattern::kRandom: {
+      Rng rng(c.seed);
+      std::vector<uint8_t> data(c.size);
+      for (uint8_t& b : data) {
+        b = rng.NextByte();
+      }
+      return data;
+    }
+    case Pattern::kRunLength: {
+      Rng rng(c.seed);
+      std::vector<uint8_t> data;
+      data.reserve(c.size);
+      while (data.size() < c.size) {
+        uint8_t value = rng.NextByte();
+        size_t run = 1 + rng.Uniform(300);
+        for (size_t i = 0; i < run && data.size() < c.size; ++i) {
+          data.push_back(value);
+        }
+      }
+      return data;
+    }
+  }
+  return {};
+}
+
+inline DpzipCodec MakeCaseCodec(const GoldenCase& c) {
+  DpzipCodecConfig config;
+  config.lz77 = DpzipLz77ConfigForLevel(c.level);
+  config.entropy = c.entropy;
+  return DpzipCodec(config);
+}
+
+}  // namespace golden
+}  // namespace cdpu
+
+#endif  // TESTS_GOLDEN_DPZIP_CORPUS_H_

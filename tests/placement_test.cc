@@ -1,0 +1,462 @@
+// Placement-aware multi-device scheduling (ISSUE 7): device-list parsing,
+// the four PlacementRouter policies, FleetRuntime end-to-end round trips
+// over a heterogeneous fleet, and — the acceptance bar — ewma-service-rate
+// rerouting >= 90% of traffic away from a fault-injected dead device with
+// no job lost, duplicated, or corrupted. The TSan CI job gates this binary.
+
+#include "src/runtime/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/crc32.h"
+#include "src/hw/device_configs.h"
+#include "src/runtime/fleet.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParseDeviceList / policy names
+
+TEST(ParseDeviceListTest, SingleDeviceKeepsBareName) {
+  std::vector<FleetDeviceSpec> specs;
+  ASSERT_TRUE(ParseDeviceList("qat8970", &specs).ok());
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].name, "qat8970");
+  EXPECT_EQ(specs[0].config.placement, Placement::kPeripheral);
+}
+
+TEST(ParseDeviceListTest, CountsExpandWithIndexedNames) {
+  std::vector<FleetDeviceSpec> specs;
+  ASSERT_TRUE(ParseDeviceList("dpzip:3,cpu", &specs).ok());
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "dpzip.0");
+  EXPECT_EQ(specs[1].name, "dpzip.1");
+  EXPECT_EQ(specs[2].name, "dpzip.2");
+  EXPECT_EQ(specs[3].name, "cpu");
+}
+
+TEST(ParseDeviceListTest, MixedFleetPreservesOrderAndConfigs) {
+  std::vector<FleetDeviceSpec> specs;
+  ASSERT_TRUE(ParseDeviceList("qat8970,qat4xxx,csd2000,cpu-zstd", &specs).ok());
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[1].config.placement, Placement::kOnChip);
+  EXPECT_EQ(specs[2].config.placement, Placement::kInStorage);
+  EXPECT_EQ(specs[3].config.placement, Placement::kCpuSoftware);
+}
+
+TEST(ParseDeviceListTest, RejectsMalformedLists) {
+  std::vector<FleetDeviceSpec> specs;
+  EXPECT_FALSE(ParseDeviceList("", &specs).ok());
+  EXPECT_FALSE(ParseDeviceList("nosuchdev", &specs).ok());
+  EXPECT_FALSE(ParseDeviceList("qat8970:0", &specs).ok());
+  EXPECT_FALSE(ParseDeviceList("qat8970:abc", &specs).ok());
+  EXPECT_FALSE(ParseDeviceList("qat8970,,cpu", &specs).ok());
+  EXPECT_FALSE(ParseDeviceList("dpzip:100", &specs).ok());  // over kMaxFleetDevices
+}
+
+TEST(PlacementPolicyTest, NamesRoundTrip) {
+  for (PlacementPolicy p :
+       {PlacementPolicy::kStatic, PlacementPolicy::kSizeThreshold,
+        PlacementPolicy::kLeastOutstanding, PlacementPolicy::kEwmaServiceRate}) {
+    PlacementPolicy parsed;
+    ASSERT_TRUE(ParsePlacementPolicy(PlacementPolicyName(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  PlacementPolicy parsed;
+  EXPECT_FALSE(ParsePlacementPolicy("round-robin", &parsed));
+  EXPECT_FALSE(ParsePlacementPolicy("", &parsed));
+}
+
+// ---------------------------------------------------------------------------
+// PlacementRouter unit tests (no runtime behind it)
+
+std::vector<FleetDeviceSpec> TestFleet() {
+  std::vector<FleetDeviceSpec> specs;
+  Status s = ParseDeviceList("qat8970,qat4xxx,cpu", &specs);
+  EXPECT_TRUE(s.ok());
+  return specs;
+}
+
+TEST(PlacementRouterTest, StaticPinsEverythingToNamedDevice) {
+  PlacementOptions opts;
+  opts.policy = PlacementPolicy::kStatic;
+  opts.static_device = "qat4xxx";
+  PlacementRouter router(opts, TestFleet());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(router.Route(4096 + 1000 * i), 1u);
+  }
+  std::vector<PlacementDeviceView> views = router.SnapshotViews();
+  EXPECT_EQ(views[1].routed, 32u);
+  EXPECT_EQ(views[0].routed + views[2].routed, 0u);
+}
+
+TEST(PlacementRouterTest, StaticFailsOverWhenPinnedDeviceUnhealthy) {
+  PlacementOptions opts;
+  opts.policy = PlacementPolicy::kStatic;
+  opts.static_device = "qat8970";
+  PlacementRouter router(opts, TestFleet());
+  router.SetHealthy(0, false);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NE(router.Route(4096), 0u);
+  }
+}
+
+TEST(PlacementRouterTest, SizeThresholdSplitsByClass) {
+  PlacementOptions opts;
+  opts.policy = PlacementPolicy::kSizeThreshold;
+  opts.size_threshold_bytes = 16 * 1024;
+  PlacementRouter router(opts, TestFleet());
+  // Small payloads land on the low-latency class (qat4xxx on-chip or cpu),
+  // large ones on the peripheral ASIC.
+  for (int i = 0; i < 32; ++i) {
+    size_t slot = router.Route(4096);
+    EXPECT_TRUE(slot == 1 || slot == 2) << slot;
+    router.OnComplete(slot, 4096, 1000, true);
+  }
+  for (int i = 0; i < 32; ++i) {
+    size_t slot = router.Route(64 * 1024);
+    EXPECT_EQ(slot, 0u);
+    router.OnComplete(slot, 64 * 1024, 1000, true);
+  }
+  // Exactly at the threshold counts as large.
+  EXPECT_EQ(router.Route(16 * 1024), 0u);
+}
+
+TEST(PlacementRouterTest, SizeThresholdFallsThroughWhenClassUnhealthy) {
+  PlacementOptions opts;
+  opts.policy = PlacementPolicy::kSizeThreshold;
+  PlacementRouter router(opts, TestFleet());
+  router.SetHealthy(1, false);
+  router.SetHealthy(2, false);
+  // Low-latency class dead: small payloads spill to the ASIC.
+  EXPECT_EQ(router.Route(1024), 0u);
+}
+
+TEST(PlacementRouterTest, LeastOutstandingTracksQueueDepth) {
+  PlacementOptions opts;
+  opts.policy = PlacementPolicy::kLeastOutstanding;
+  PlacementRouter router(opts, TestFleet());
+  // Load slot 0 and 1 with outstanding work; the next job must go to 2.
+  router.NotePinned(0);
+  router.NotePinned(0);
+  router.NotePinned(1);
+  EXPECT_EQ(router.Route(4096), 2u);
+  // Now 2 and 1 are tied at 1 outstanding; complete 0 fully and it wins.
+  router.OnComplete(0, 4096, 1000, true);
+  router.OnComplete(0, 4096, 1000, true);
+  EXPECT_EQ(router.Route(4096), 0u);
+}
+
+TEST(PlacementRouterTest, EwmaPrefersMeasuredFasterDevice) {
+  PlacementOptions opts;
+  opts.policy = PlacementPolicy::kEwmaServiceRate;
+  opts.seed = 7;
+  PlacementRouter router(opts, TestFleet());
+  // Feed completions: slot 2 is 100x faster than slots 0/1.
+  for (int i = 0; i < 50; ++i) {
+    router.OnComplete(0, 4096, 4096 * 1000, true);  // 0.001 bytes/us
+    router.OnComplete(1, 4096, 4096 * 1000, true);
+    router.OnComplete(2, 4096, 4096 * 10, true);    // 0.1 bytes/us
+  }
+  std::map<size_t, int> routed;
+  for (int i = 0; i < 1000; ++i) {
+    size_t slot = router.Route(4096);
+    ++routed[slot];
+    router.OnComplete(slot, 4096, slot == 2 ? 4096 * 10 : 4096 * 1000, true);
+  }
+  // Weighted draw: the fast device carries the overwhelming majority but the
+  // slow ones keep a probe trickle (min_weight_fraction).
+  EXPECT_GT(routed[2], 900);
+  EXPECT_GT(routed[0] + routed[1], 0);
+}
+
+TEST(PlacementRouterTest, EwmaCollapsesUnhealthyDeviceToProbeTraffic) {
+  PlacementOptions opts;
+  opts.policy = PlacementPolicy::kEwmaServiceRate;
+  opts.seed = 3;
+  PlacementRouter router(opts, TestFleet());
+  router.SetHealthy(0, false);
+  int to_dead = 0;
+  for (int i = 0; i < 1000; ++i) {
+    size_t slot = router.Route(4096);
+    if (slot == 0) {
+      ++to_dead;
+      router.OnComplete(slot, 4096, 1000, false);  // still degraded
+    } else {
+      router.OnComplete(slot, 4096, 1000, true);
+    }
+  }
+  // An unhealthy member keeps only the min_weight_fraction probe trickle,
+  // never a real share.
+  EXPECT_LT(to_dead, 100);
+}
+
+TEST(PlacementRouterTest, RouteIsThreadSafeAndConserving) {
+  PlacementOptions opts;
+  opts.policy = PlacementPolicy::kLeastOutstanding;
+  PlacementRouter router(opts, TestFleet());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&router] {
+      for (int i = 0; i < kPerThread; ++i) {
+        size_t slot = router.Route(4096);
+        router.OnComplete(slot, 4096, 1000, true);
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  uint64_t routed = 0;
+  for (const PlacementDeviceView& v : router.SnapshotViews()) {
+    routed += v.routed;
+    EXPECT_EQ(v.outstanding, 0u);
+  }
+  EXPECT_EQ(routed, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+// ---------------------------------------------------------------------------
+// FleetRuntime end-to-end
+
+TEST(FleetRuntimeTest, SingleDeviceFleetBehavesLikeRuntime) {
+  FleetOptions opts;
+  opts.base.codec = "lz4";
+  opts.base.queue_pairs = 2;
+  opts.base.batch_size = 2;
+  ASSERT_TRUE(ParseDeviceList("qat8970", &opts.devices).ok());
+  FleetRuntime runtime(opts);
+  EXPECT_EQ(runtime.device_count(), 1u);
+
+  ByteVec original = GenerateWithRatio(0.4, 8192, 42);
+  OffloadRequest req;
+  req.op = CdpuOp::kCompress;
+  req.input = original;
+  OffloadResult res = runtime.Submit(std::move(req)).get();
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_EQ(res.device_slot, 1u);  // 1-based slot echo
+
+  runtime.Shutdown();
+  FleetStats stats = runtime.Snapshot();
+  ASSERT_EQ(stats.devices.size(), 1u);
+  EXPECT_EQ(stats.merged.jobs_submitted, 1u);
+  EXPECT_EQ(stats.merged.jobs_completed, 1u);
+  EXPECT_EQ(stats.devices[0].router.routed, 1u);
+}
+
+TEST(FleetRuntimeTest, MultiDeviceRoundTripsNoLossNoDupNoCorruption) {
+  FleetOptions opts;
+  opts.base.codec = "zstd";
+  opts.base.queue_pairs = 2;
+  opts.base.batch_size = 4;
+  ASSERT_TRUE(ParseDeviceList("qat8970,qat4xxx,cpu", &opts.devices).ok());
+  opts.placement.policy = PlacementPolicy::kLeastOutstanding;
+  FleetRuntime runtime(opts);
+
+  constexpr int kThreads = 6;
+  constexpr int kJobsPerThread = 20;
+  std::atomic<int> corrupt{0};
+  std::atomic<int> failed{0};
+  std::atomic<uint64_t> completions{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        ByteVec original = GenerateWithRatio(0.3 + 0.02 * (i % 10), 4096 + 997 * (i % 7),
+                                             static_cast<uint64_t>(t * 101 + i));
+        uint32_t want_crc = Crc32(original);
+        OffloadRequest creq;
+        creq.op = CdpuOp::kCompress;
+        creq.input = original;
+        creq.queue_pair = static_cast<uint32_t>(t % 2);
+        creq.callback = [&completions](const OffloadResult&) { ++completions; };
+        OffloadResult cres = runtime.Submit(std::move(creq)).get();
+        if (!cres.status.ok()) {
+          ++failed;
+          continue;
+        }
+        EXPECT_GE(cres.device_slot, 1u);
+        EXPECT_LE(cres.device_slot, 3u);
+        OffloadRequest dreq;
+        dreq.op = CdpuOp::kDecompress;
+        dreq.input = cres.output;
+        dreq.ratio_hint = cres.ratio;
+        dreq.queue_pair = static_cast<uint32_t>(t % 2);
+        dreq.callback = [&completions](const OffloadResult&) { ++completions; };
+        OffloadResult dres = runtime.Submit(std::move(dreq)).get();
+        if (!dres.status.ok()) {
+          ++failed;
+        } else if (Crc32(dres.output) != want_crc) {
+          ++corrupt;
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) {
+    c.join();
+  }
+  runtime.Shutdown();
+
+  constexpr uint64_t kTotalJobs = static_cast<uint64_t>(kThreads) * kJobsPerThread * 2;
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_EQ(corrupt.load(), 0);
+  // No loss and no duplication: every job's user callback fired exactly
+  // once, and the merged counters account for every submission.
+  EXPECT_EQ(completions.load(), kTotalJobs);
+  FleetStats stats = runtime.Snapshot();
+  EXPECT_EQ(stats.merged.jobs_submitted, kTotalJobs);
+  EXPECT_EQ(stats.merged.jobs_completed, kTotalJobs);
+  EXPECT_EQ(stats.merged.jobs_failed, 0u);
+  uint64_t routed = 0;
+  for (const FleetDeviceStats& d : stats.devices) {
+    routed += d.router.routed;
+    EXPECT_EQ(d.router.outstanding, 0u);
+  }
+  EXPECT_EQ(routed, kTotalJobs);
+}
+
+TEST(FleetRuntimeTest, ExplicitSlotPinBypassesRouter) {
+  FleetOptions opts;
+  opts.base.codec = "lz4";
+  ASSERT_TRUE(ParseDeviceList("qat8970,cpu", &opts.devices).ok());
+  opts.placement.policy = PlacementPolicy::kStatic;
+  opts.placement.static_device = "qat8970";
+  FleetRuntime runtime(opts);
+
+  ByteVec payload = GenerateWithRatio(0.4, 4096, 7);
+  OffloadRequest req;
+  req.op = CdpuOp::kCompress;
+  req.input = payload;
+  req.device_slot = 2;  // pin to cpu although the policy pins to qat8970
+  OffloadResult res = runtime.Submit(std::move(req)).get();
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_EQ(res.device_slot, 2u);
+  runtime.Shutdown();
+  FleetStats stats = runtime.Snapshot();
+  EXPECT_EQ(stats.devices[1].router.routed, 1u);
+  EXPECT_EQ(stats.devices[0].router.routed, 0u);
+}
+
+TEST(FleetRuntimeTest, SlotByNameResolvesFleetMembers) {
+  FleetOptions opts;
+  opts.base.codec = "lz4";
+  ASSERT_TRUE(ParseDeviceList("dpzip:2,cpu", &opts.devices).ok());
+  FleetRuntime runtime(opts);
+  size_t slot = 0;
+  ASSERT_TRUE(runtime.SlotByName("dpzip.1", &slot));
+  EXPECT_EQ(slot, 1u);
+  ASSERT_TRUE(runtime.SlotByName("cpu", &slot));
+  EXPECT_EQ(slot, 2u);
+  EXPECT_FALSE(runtime.SlotByName("nosuch", &slot));
+  runtime.Shutdown();
+}
+
+// The ISSUE 7 acceptance bar: kill one fleet member with injected faults and
+// ewma-service-rate must shed >= 90% of traffic onto the healthy member —
+// while every job still completes exactly once with bit-exact output.
+TEST(FleetRuntimeTest, EwmaReroutesAwayFromFaultedDevice) {
+  FleetOptions opts;
+  opts.base.codec = "lz4";
+  opts.base.queue_pairs = 2;
+  opts.base.batch_size = 2;
+  opts.base.max_retries = 1;
+  opts.base.unhealthy_threshold = 2;
+  opts.base.reprobe_backoff_ns = 50ull * 1000 * 1000;  // stay degraded
+  ASSERT_TRUE(ParseDeviceList("qat8970,cpu", &opts.devices).ok());
+  // Every descriptor the qat8970 member accepts times out: the device is
+  // dead, jobs survive via retry + CPU fallback, and the member's health
+  // machine reports unhealthy to the router through the completion feedback.
+  opts.devices[0].fault_plan.period[static_cast<uint32_t>(FaultKind::kCompletionTimeout)] =
+      1;
+  opts.placement.policy = PlacementPolicy::kEwmaServiceRate;
+  opts.placement.seed = 11;
+  FleetRuntime runtime(opts);
+
+  ByteVec original = GenerateWithRatio(0.4, 16384, 99);
+  uint32_t want_crc = Crc32(original);
+  auto run_jobs = [&](int count) {
+    int failures = 0, corrupt = 0;
+    for (int i = 0; i < count; ++i) {
+      OffloadRequest creq;
+      creq.op = CdpuOp::kCompress;
+      creq.input = original;
+      creq.queue_pair = static_cast<uint32_t>(i % 2);
+      OffloadResult cres = runtime.Submit(std::move(creq)).get();
+      if (!cres.status.ok()) {
+        ++failures;
+        continue;
+      }
+      OffloadRequest dreq;
+      dreq.op = CdpuOp::kDecompress;
+      dreq.input = cres.output;
+      dreq.ratio_hint = cres.ratio;
+      dreq.queue_pair = static_cast<uint32_t>(i % 2);
+      OffloadResult dres = runtime.Submit(std::move(dreq)).get();
+      if (!dres.status.ok()) {
+        ++failures;
+      } else if (Crc32(dres.output) != want_crc) {
+        ++corrupt;
+      }
+    }
+    EXPECT_EQ(failures, 0);
+    EXPECT_EQ(corrupt, 0);
+  };
+
+  // Warm-up: let the router observe the dead member's (fallback-inflated)
+  // completions and its unhealthy flag.
+  run_jobs(20);
+  std::vector<PlacementDeviceView> warm = runtime.router().SnapshotViews();
+
+  constexpr int kMeasureJobs = 100;
+  run_jobs(kMeasureJobs);
+
+  std::vector<PlacementDeviceView> views = runtime.router().SnapshotViews();
+  uint64_t to_dead = views[0].routed - warm[0].routed;
+  uint64_t to_live = views[1].routed - warm[1].routed;
+  ASSERT_EQ(to_dead + to_live, static_cast<uint64_t>(kMeasureJobs) * 2);
+  EXPECT_GE(static_cast<double>(to_live) / static_cast<double>(to_dead + to_live), 0.9)
+      << "dead=" << to_dead << " live=" << to_live;
+
+  runtime.Shutdown();
+  FleetStats stats = runtime.Snapshot();
+  // Nothing lost or duplicated across the whole run, faults included.
+  EXPECT_EQ(stats.merged.jobs_submitted, stats.merged.jobs_completed);
+  EXPECT_EQ(stats.merged.jobs_failed, 0u);
+  EXPECT_FALSE(stats.devices[0].router.healthy);
+  EXPECT_TRUE(stats.devices[1].router.healthy);
+}
+
+TEST(MergeRuntimeStatsTest, SumsCountersAndMergesDistributions) {
+  RuntimeStats a;
+  a.jobs_submitted = 10;
+  a.jobs_completed = 10;
+  a.bytes_in = 1000;
+  a.wall_latency_us.Add(5.0);
+  a.device_healthy = true;
+  RuntimeStats b;
+  b.jobs_submitted = 4;
+  b.jobs_completed = 4;
+  b.bytes_in = 400;
+  b.wall_latency_us.Add(9.0);
+  b.device_healthy = false;
+  RuntimeStats merged = MergeRuntimeStats({a, b});
+  EXPECT_EQ(merged.jobs_submitted, 14u);
+  EXPECT_EQ(merged.bytes_in, 1400u);
+  EXPECT_EQ(merged.wall_latency_us.count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.wall_latency_us.mean(), 7.0);
+  EXPECT_FALSE(merged.device_healthy);
+}
+
+}  // namespace
+}  // namespace cdpu

@@ -1,0 +1,166 @@
+// Multi-device soak (ISSUE 7 satellite, ctest label "soak"): drive a
+// heterogeneous fleet under combined fault injection — all four fault kinds
+// at once — through every placement policy, and assert the only acceptable
+// outcome: no job lost, none duplicated, none corrupted, no failure leaking
+// past the retry + CPU-fallback recovery path.
+//
+// Wall-clock budget comes from CDPU_SOAK_SECONDS (total across policies);
+// the default is a few seconds so the tier-1 suite stays fast, and the
+// nightly CI job sets CDPU_SOAK_SECONDS=60 for the real soak.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/common/crc32.h"
+#include "src/runtime/fleet.h"
+#include "src/runtime/placement.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+double SoakSeconds() {
+  const char* env = std::getenv("CDPU_SOAK_SECONDS");
+  if (env == nullptr) {
+    return 2.0;
+  }
+  double s = std::atof(env);
+  return s > 0 ? s : 2.0;
+}
+
+struct SoakOutcome {
+  uint64_t jobs_submitted = 0;  // compress + decompress jobs we issued
+  uint64_t failures = 0;
+  uint64_t corruptions = 0;
+  uint64_t callbacks = 0;  // user completions observed (loss/dup detector)
+  FleetStats stats;
+};
+
+SoakOutcome SoakPolicy(PlacementPolicy policy, double seconds, uint64_t seed) {
+  FleetOptions opts;
+  opts.base.codec = "lz4";
+  opts.base.queue_pairs = 2;
+  opts.base.batch_size = 4;
+  Status s = ParseDeviceList("qat8970,qat4xxx,dpzip,cpu", &opts.devices);
+  EXPECT_TRUE(s.ok());
+  // Combined fault injection on every member: verify mismatches, completion
+  // timeouts, engine stalls and queue resets all at once. Rates sized so
+  // recovery is constantly exercised without every job degrading to the
+  // fallback path.
+  for (FleetDeviceSpec& spec : opts.devices) {
+    spec.fault_plan.seed = seed;
+    spec.fault_plan.SetAllRates(0.05);
+  }
+  opts.placement.policy = policy;
+  opts.placement.static_device = "qat4xxx";
+  opts.placement.seed = seed;
+  FleetRuntime runtime(opts);
+
+  constexpr int kClients = 4;
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> corruptions{0};
+  std::atomic<uint64_t> callbacks{0};
+  std::atomic<uint64_t> jobs{0};
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(seconds));
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      uint64_t i = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        ++i;
+        // Mixed payload sizes so size-threshold exercises both classes.
+        size_t size = (i % 3 == 0) ? 1024 + 256 * (i % 5) : 16384 + 4096 * (i % 4);
+        ByteVec original = GenerateWithRatio(0.3 + 0.05 * (i % 8), size,
+                                             seed + t * 7919 + i);
+        uint32_t want_crc = Crc32(original);
+        OffloadRequest creq;
+        creq.op = CdpuOp::kCompress;
+        creq.input = original;
+        creq.queue_pair = static_cast<uint32_t>(t % 2);
+        creq.callback = [&callbacks](const OffloadResult&) { ++callbacks; };
+        jobs.fetch_add(1, std::memory_order_relaxed);
+        OffloadResult cres = runtime.Submit(std::move(creq)).get();
+        if (!cres.status.ok()) {
+          ++failures;
+          continue;
+        }
+        OffloadRequest dreq;
+        dreq.op = CdpuOp::kDecompress;
+        dreq.input = cres.output;
+        dreq.ratio_hint = cres.ratio;
+        dreq.queue_pair = static_cast<uint32_t>(t % 2);
+        dreq.callback = [&callbacks](const OffloadResult&) { ++callbacks; };
+        jobs.fetch_add(1, std::memory_order_relaxed);
+        OffloadResult dres = runtime.Submit(std::move(dreq)).get();
+        if (!dres.status.ok()) {
+          ++failures;
+        } else if (Crc32(dres.output) != want_crc) {
+          ++corruptions;
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) {
+    c.join();
+  }
+  runtime.Shutdown();
+
+  SoakOutcome out;
+  out.jobs_submitted = jobs.load();
+  out.failures = failures.load();
+  out.corruptions = corruptions.load();
+  out.callbacks = callbacks.load();
+  out.stats = runtime.Snapshot();
+  return out;
+}
+
+class SoakTest : public ::testing::TestWithParam<PlacementPolicy> {};
+
+TEST_P(SoakTest, FaultedFleetLosesNothing) {
+  PlacementPolicy policy = GetParam();
+  // Split the total budget over the four per-policy soaks.
+  double seconds = SoakSeconds() / 4.0;
+  SoakOutcome out = SoakPolicy(policy, seconds, 0x50a7 + static_cast<uint64_t>(policy));
+  ASSERT_GT(out.jobs_submitted, 0u) << "soak window too short to submit anything";
+  EXPECT_EQ(out.failures, 0u) << "jobs failed past the recovery path";
+  EXPECT_EQ(out.corruptions, 0u) << "round trip returned corrupt data";
+  // No loss, no duplication: exactly one user completion per submitted job,
+  // and the merged fleet counters agree.
+  EXPECT_EQ(out.callbacks, out.jobs_submitted);
+  EXPECT_EQ(out.stats.merged.jobs_submitted, out.jobs_submitted);
+  EXPECT_EQ(out.stats.merged.jobs_completed, out.jobs_submitted);
+  EXPECT_EQ(out.stats.merged.jobs_failed, 0u);
+  // The fault plan really fired (otherwise this soak proves nothing).
+  EXPECT_GT(out.stats.merged.faults_injected, 0u);
+  uint64_t routed = 0;
+  for (const FleetDeviceStats& d : out.stats.devices) {
+    routed += d.router.routed;
+    EXPECT_EQ(d.router.outstanding, 0u) << d.name;
+  }
+  EXPECT_EQ(routed, out.jobs_submitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SoakTest,
+    ::testing::Values(PlacementPolicy::kStatic, PlacementPolicy::kSizeThreshold,
+                      PlacementPolicy::kLeastOutstanding,
+                      PlacementPolicy::kEwmaServiceRate),
+    [](const ::testing::TestParamInfo<PlacementPolicy>& info) {
+      std::string name = PlacementPolicyName(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace cdpu

@@ -15,6 +15,7 @@
 //
 // `offload` flags: --threads=N --batch=B --chunk=BYTES --qps=N
 //                  --device=qat8970|qat4xxx|dpzip|csd2000
+//                  --devices=name[:count],... --placement=POLICY
 //                  --fault-rate=P --fault-kinds=verify,timeout,stall,reset
 //                  --fault-seed=S --trace-out=PATH --trace-sample=P
 // It drives every chunk of <in> through the parallel offload runtime
@@ -22,8 +23,12 @@
 // the modelled device's descriptor slots. --fault-rate enables the seeded
 // fault injector on the listed kinds (default: all four); the recovery
 // policy (retry + CPU fallback) must still round-trip every chunk.
+// --devices builds a heterogeneous fleet (e.g. `--devices=qat8970:2,cpu`)
+// and --placement picks the routing policy:
+// static|size-threshold|least-outstanding|ewma-service-rate.
 //
 // `serve` flags: --host=A --port=N (0 = ephemeral) --device=NAME
+//                --devices=name[:count],... --placement=POLICY
 //                --engines=N --max-inflight=N --greedy --tenants=N
 //                --max-sessions=N --max-seconds=S --port-file=PATH
 //                --fault-rate/--fault-kinds/--fault-seed (as `offload`)
@@ -65,7 +70,9 @@
 #include "src/hw/device_configs.h"
 #include "src/obs/format.h"
 #include "src/obs/report.h"
+#include "src/runtime/fleet.h"
 #include "src/runtime/offload_runtime.h"
+#include "src/runtime/placement.h"
 #include "src/svc/client.h"
 #include "src/svc/server.h"
 #include "src/svc/wire.h"
@@ -104,9 +111,11 @@ int Usage() {
                "       cdpu_cli bench list|run|validate ...   (the cdpu_bench experiment driver)\n"
                "       cdpu_cli offload <codec> <in> [--threads=N] [--batch=B]\n"
                "                [--chunk=BYTES] [--qps=N] [--device=NAME]\n"
+               "                [--devices=NAME[:COUNT],...] [--placement=POLICY]\n"
                "                [--fault-rate=P] [--fault-kinds=K,K,...] [--fault-seed=S]\n"
                "                [--trace-out=PATH] [--trace-sample=P]\n"
                "       cdpu_cli serve [--host=A] [--port=N] [--device=NAME] [--engines=N]\n"
+               "                [--devices=NAME[:COUNT],...] [--placement=POLICY]\n"
                "                [--max-inflight=N] [--greedy] [--tenants=N]\n"
                "                [--max-sessions=N] [--max-seconds=S] [--port-file=PATH]\n"
                "                [--fault-rate=P] [--fault-kinds=K,K,...] [--fault-seed=S]\n"
@@ -185,10 +194,13 @@ struct TraceArgs {
 
   // Stops the sink, prints the live latency breakdown, and writes the Chrome
   // trace if --trace-out was given. Returns nonzero on a write failure.
-  int Report(cdpu::trace::TraceSink* sink, const std::string& run_name) const {
+  // `device_names` resolves fleet device slots in the per-placement split.
+  int Report(cdpu::trace::TraceSink* sink, const std::string& run_name,
+             const std::vector<std::string>& device_names = {}) const {
     sink->Stop();
     std::vector<cdpu::trace::SpanRecord> spans = sink->Snapshot();
-    cdpu::trace::Breakdown breakdown = cdpu::trace::BuildBreakdown(spans, sink);
+    cdpu::trace::Breakdown breakdown = cdpu::trace::BuildBreakdown(
+        spans, sink, device_names.empty() ? nullptr : &device_names);
     cdpu::obs::Reporter reporter;
     reporter.SetRun(run_name, "Live latency breakdown",
                     "per-request spans aggregated by phase", "cli");
@@ -228,19 +240,49 @@ bool ApplyFaultKinds(const std::string& kinds, double rate, cdpu::FaultPlan* pla
   return true;
 }
 
-bool DeviceByName(const std::string& name, cdpu::CdpuConfig* out) {
-  if (name == "qat8970") {
-    *out = cdpu::Qat8970Config();
-  } else if (name == "qat4xxx") {
-    *out = cdpu::Qat4xxxConfig();
-  } else if (name == "dpzip") {
-    *out = cdpu::DpzipCdpuConfig();
-  } else if (name == "csd2000") {
-    *out = cdpu::Csd2000CdpuConfig();
-  } else {
+// Shared --devices/--placement handling for offload/serve (ISSUE 7). An
+// empty `devices_list` degenerates to a fleet of one from `device_name`.
+bool BuildFleetSpecs(const std::string& devices_list, const std::string& device_name,
+                     std::vector<cdpu::FleetDeviceSpec>* specs) {
+  cdpu::Status st =
+      cdpu::ParseDeviceList(devices_list.empty() ? device_name : devices_list, specs);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return false;
   }
   return true;
+}
+
+std::string JoinDeviceNames(const std::vector<cdpu::FleetDeviceSpec>& specs) {
+  std::string joined;
+  for (const cdpu::FleetDeviceSpec& s : specs) {
+    if (!joined.empty()) {
+      joined += ",";
+    }
+    joined += s.name;
+  }
+  return joined;
+}
+
+// Per-device routed share + health, printed after a multi-device run.
+void PrintFleetDevices(const cdpu::FleetStats& fs) {
+  if (fs.devices.size() <= 1) {
+    return;
+  }
+  uint64_t routed_total = 0;
+  for (const cdpu::FleetDeviceStats& d : fs.devices) {
+    routed_total += d.router.routed;
+  }
+  std::printf("  placement           per-device routed share\n");
+  for (const cdpu::FleetDeviceStats& d : fs.devices) {
+    double share = routed_total > 0 ? 100.0 * static_cast<double>(d.router.routed) /
+                                          static_cast<double>(routed_total)
+                                    : 0.0;
+    std::printf("    %-14s %8llu jobs (%5.1f%%)  wall mean %8.1f us  %s\n",
+                d.name.c_str(), static_cast<unsigned long long>(d.router.routed), share,
+                d.runtime.wall_latency_us.mean(),
+                d.router.healthy ? "healthy" : "degraded");
+  }
 }
 
 double NowSeconds() {
@@ -350,6 +392,8 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   double fault_rate = 0.0;
   std::string fault_kinds = "verify,timeout,stall,reset";
   std::string device_name = "qat8970";
+  std::string devices_list;
+  std::string placement_name;
   TraceArgs trace_args;
   bool bad_flag = false;
   for (int i = first_flag; i < argc; ++i) {
@@ -367,6 +411,18 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
     }
     if (arg.rfind("--device=", 0) == 0) {
       device_name = arg.substr(9);
+      continue;
+    }
+    if (arg.rfind("--devices=", 0) == 0) {
+      devices_list = arg.substr(10);
+      if (devices_list.empty()) {
+        std::fprintf(stderr, "--devices requires a device list (name[:count],...)\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--placement=", 0) == 0) {
+      placement_name = arg.substr(12);
       continue;
     }
     if (arg.rfind("--fault-rate=", 0) == 0) {
@@ -389,9 +445,17 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
     return 2;
   }
 
-  cdpu::CdpuConfig device;
-  if (!DeviceByName(device_name, &device)) {
-    std::fprintf(stderr, "unknown device: %s\n", device_name.c_str());
+  std::vector<cdpu::FleetDeviceSpec> specs;
+  if (!BuildFleetSpecs(devices_list, device_name, &specs)) {
+    return 2;
+  }
+  cdpu::PlacementOptions placement;
+  if (!placement_name.empty() &&
+      !cdpu::ParsePlacementPolicy(placement_name, &placement.policy)) {
+    std::fprintf(stderr,
+                 "unknown placement policy: %s "
+                 "(static|size-threshold|least-outstanding|ewma-service-rate)\n",
+                 placement_name.c_str());
     return 2;
   }
 
@@ -414,19 +478,28 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   }
 
   cdpu::RuntimeOptions opts;
-  opts.device = device;
   opts.codec = codec_name;
   opts.queue_pairs = static_cast<uint32_t>(qps);
   opts.batch_size = static_cast<uint32_t>(batch);
-  opts.engine_threads = static_cast<uint32_t>(
-      std::max<uint64_t>(1, std::min<uint64_t>(threads, device.engines)));
   opts.fault_plan.seed = fault_seed;
   if (fault_rate > 0.0 && !ApplyFaultKinds(fault_kinds, fault_rate, &opts.fault_plan)) {
     return 2;
   }
   std::unique_ptr<cdpu::trace::TraceSink> sink = trace_args.MakeSink();
   opts.trace_sink = sink.get();
-  cdpu::OffloadRuntime runtime(opts);
+
+  cdpu::FleetOptions fleet_opts;
+  fleet_opts.base = opts;
+  fleet_opts.placement = placement;
+  for (cdpu::FleetDeviceSpec& spec : specs) {
+    spec.fault_plan = opts.fault_plan;  // CLI fault flags apply fleet-wide
+    if (specs.size() == 1) {
+      spec.engine_threads = static_cast<uint32_t>(
+          std::max<uint64_t>(1, std::min<uint64_t>(threads, spec.config.engines)));
+    }
+  }
+  fleet_opts.devices = specs;
+  cdpu::FleetRuntime runtime(fleet_opts);
 
   double t0 = NowSeconds();
   std::vector<std::thread> clients;
@@ -468,10 +541,15 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   for (uint64_t f : verify_failures) {
     failures += f;
   }
-  cdpu::RuntimeStats s = runtime.Snapshot();
+  cdpu::FleetStats fs = runtime.Snapshot();
+  cdpu::RuntimeStats s = fs.merged;
   std::printf("offload %s on %s via %s (%zu x %llu-byte chunks)\n", codec_name.c_str(),
-              path.c_str(), device.name.c_str(), chunks,
+              path.c_str(), JoinDeviceNames(specs).c_str(), chunks,
               static_cast<unsigned long long>(chunk));
+  if (specs.size() > 1) {
+    std::printf("  placement policy    %s\n",
+                cdpu::PlacementPolicyName(fleet_opts.placement.policy));
+  }
   std::printf("  threads/qps/batch   %llu / %llu / %llu\n",
               static_cast<unsigned long long>(threads), static_cast<unsigned long long>(qps),
               static_cast<unsigned long long>(batch));
@@ -491,9 +569,12 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
               s.doorbells == 0 ? 0.0
                                : static_cast<double>(s.jobs_completed) /
                                      static_cast<double>(s.doorbells));
+  uint32_t total_slots = 0;
+  for (const cdpu::FleetDeviceSpec& spec : specs) {
+    total_slots += spec.config.queue_limit;
+  }
   std::printf("  max in-flight       %llu of %u slots\n",
-              static_cast<unsigned long long>(s.max_inflight),
-              device.queue_limit == 0 ? 0u : device.queue_limit);
+              static_cast<unsigned long long>(s.max_inflight), total_slots);
   if (opts.fault_plan.enabled()) {
     std::printf("  faults injected     %llu (", static_cast<unsigned long long>(s.faults_injected));
     for (uint32_t k = 0; k < cdpu::kNumFaultKinds; ++k) {
@@ -510,8 +591,11 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
                 static_cast<unsigned long long>(s.unhealthy_transitions),
                 static_cast<unsigned long long>(s.reprobes));
   }
+  PrintFleetDevices(fs);
   if (sink != nullptr) {
-    int rc = trace_args.Report(sink.get(), "offload_trace");
+    int rc = trace_args.Report(sink.get(), "offload_trace",
+                               specs.size() > 1 ? runtime.DeviceNames()
+                                                : std::vector<std::string>{});
     if (rc != 0) {
       return rc;
     }
@@ -526,6 +610,8 @@ void HandleStopSignal(int) { g_stop_serving.store(true); }
 int Serve(int argc, char** argv, int first_flag) {
   cdpu::svc::ServerOptions opts;
   std::string device_name = "qat8970";
+  std::string devices_list;
+  std::string placement_name;
   std::string fault_kinds = "verify,timeout,stall,reset";
   std::string port_file;
   double fault_rate = 0.0;
@@ -561,6 +647,18 @@ int Serve(int argc, char** argv, int first_flag) {
       device_name = arg.substr(9);
       continue;
     }
+    if (arg.rfind("--devices=", 0) == 0) {
+      devices_list = arg.substr(10);
+      if (devices_list.empty()) {
+        std::fprintf(stderr, "--devices requires a device list (name[:count],...)\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--placement=", 0) == 0) {
+      placement_name = arg.substr(12);
+      continue;
+    }
     if (arg.rfind("--port-file=", 0) == 0) {
       port_file = arg.substr(12);
       continue;
@@ -584,10 +682,19 @@ int Serve(int argc, char** argv, int first_flag) {
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return Usage();
   }
-  if (!DeviceByName(device_name, &opts.runtime.device)) {
-    std::fprintf(stderr, "unknown device: %s\n", device_name.c_str());
+  std::vector<cdpu::FleetDeviceSpec> specs;
+  if (!BuildFleetSpecs(devices_list, device_name, &specs)) {
     return 2;
   }
+  if (!placement_name.empty() &&
+      !cdpu::ParsePlacementPolicy(placement_name, &opts.placement.policy)) {
+    std::fprintf(stderr,
+                 "unknown placement policy: %s "
+                 "(static|size-threshold|least-outstanding|ewma-service-rate)\n",
+                 placement_name.c_str());
+    return 2;
+  }
+  opts.runtime.device = specs[0].config;
   opts.port = static_cast<uint16_t>(port);
   opts.max_sessions = static_cast<uint32_t>(max_sessions);
   opts.admission.max_inflight = static_cast<uint32_t>(max_inflight);
@@ -600,6 +707,10 @@ int Serve(int argc, char** argv, int first_flag) {
       !ApplyFaultKinds(fault_kinds, fault_rate, &opts.runtime.fault_plan)) {
     return 2;
   }
+  for (cdpu::FleetDeviceSpec& spec : specs) {
+    spec.fault_plan = opts.runtime.fault_plan;  // fault flags apply fleet-wide
+  }
+  opts.devices = specs;
   std::unique_ptr<cdpu::trace::TraceSink> sink = trace_args.MakeSink();
   opts.trace_sink = sink.get();
 
@@ -613,8 +724,9 @@ int Serve(int argc, char** argv, int first_flag) {
     std::ofstream pf(port_file, std::ios::trunc);
     pf << server.port() << "\n";
   }
-  std::printf("serving on %s:%u (device %s, %s admission, ceiling auto)\n",
-              opts.bind_address.c_str(), server.port(), opts.runtime.device.name.c_str(),
+  std::printf("serving on %s:%u (devices %s, placement %s, %s admission, ceiling auto)\n",
+              opts.bind_address.c_str(), server.port(), JoinDeviceNames(specs).c_str(),
+              cdpu::PlacementPolicyName(opts.placement.policy),
               opts.admission.arbitration == cdpu::VfArbitration::kWeightedFair ? "fair"
                                                                                : "greedy");
   std::fflush(stdout);
@@ -654,8 +766,15 @@ int Serve(int argc, char** argv, int first_flag) {
                 static_cast<unsigned long long>(s.runtime.retries),
                 static_cast<unsigned long long>(s.runtime.fallbacks));
   }
+  PrintFleetDevices(s.fleet);
   if (sink != nullptr) {
-    return trace_args.Report(sink.get(), "serve_trace");
+    std::vector<std::string> names;
+    if (specs.size() > 1) {
+      for (const cdpu::FleetDeviceSpec& spec : specs) {
+        names.push_back(spec.name);
+      }
+    }
+    return trace_args.Report(sink.get(), "serve_trace", names);
   }
   return 0;
 }

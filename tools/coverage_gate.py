@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for the runtime + service layers (ISSUE 7 satellite).
+
+Consumes the .gcda files left behind by a CDPU_COVERAGE=ON build after a
+full ctest run, unions line coverage across translation units with
+`gcov --json-format --stdout`, and renders a per-file markdown summary.
+The gate fails (exit 1) when the combined line coverage of src/runtime +
+src/svc drops below the floor committed in tools/coverage_floor.txt.
+
+Usage:
+  python3 tools/coverage_gate.py --build-dir build-cov \
+      [--floor-file tools/coverage_floor.txt] [--summary-out summary.md] \
+      [--update-floor]
+
+No third-party dependencies: everything is stdlib + the gcov binary that
+ships with gcc. --update-floor rewrites the floor file from the measured
+value minus a 2-point noise allowance; run it locally when new suites
+legitimately raise coverage, and commit the result.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+GATED_PREFIXES = ("src/runtime/", "src/svc/")
+FLOOR_SLACK = 2.0  # points below measured when --update-floor rewrites
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def parse_json_stream(text):
+    """gcov --stdout may concatenate several JSON documents."""
+    decoder = json.JSONDecoder()
+    pos = 0
+    while pos < len(text):
+        while pos < len(text) and text[pos] in " \t\r\n":
+            pos += 1
+        if pos >= len(text):
+            break
+        try:
+            doc, end = decoder.raw_decode(text, pos)
+        except json.JSONDecodeError:
+            break
+        yield doc
+        pos = end
+
+
+def gated_path(raw):
+    """Maps a gcov-reported path onto its repo-relative src/... form."""
+    norm = os.path.normpath(raw).replace(os.sep, "/")
+    idx = norm.find("src/")
+    if idx < 0:
+        return None
+    rel = norm[idx:]
+    return rel if rel.startswith(GATED_PREFIXES) else None
+
+
+def collect(build_dir):
+    """file -> {line -> hit_count (max across TUs)}."""
+    coverage = {}
+    gcda_files = list(find_gcda(build_dir))
+    if not gcda_files:
+        sys.exit(f"no .gcda files under {build_dir} — was the build configured "
+                 "with -DCDPU_COVERAGE=ON and did ctest run?")
+    for gcda in gcda_files:
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout", os.path.basename(gcda)],
+            cwd=os.path.dirname(gcda), capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"warning: gcov failed on {gcda}: {proc.stderr.strip()}",
+                  file=sys.stderr)
+            continue
+        for doc in parse_json_stream(proc.stdout):
+            for f in doc.get("files", []):
+                rel = gated_path(f.get("file", ""))
+                if rel is None:
+                    continue
+                lines = coverage.setdefault(rel, {})
+                for line in f.get("lines", []):
+                    no = line.get("line_number")
+                    count = line.get("count", 0)
+                    if no is None:
+                        continue
+                    lines[no] = max(lines.get(no, 0), count)
+    return coverage
+
+
+def summarize(coverage):
+    rows = []
+    total_lines = total_covered = 0
+    for path in sorted(coverage):
+        lines = coverage[path]
+        n = len(lines)
+        covered = sum(1 for c in lines.values() if c > 0)
+        total_lines += n
+        total_covered += covered
+        rows.append((path, n, covered, 100.0 * covered / n if n else 100.0))
+    overall = 100.0 * total_covered / total_lines if total_lines else 0.0
+    return rows, total_lines, total_covered, overall
+
+
+def render_markdown(rows, total_lines, total_covered, overall, floor):
+    out = ["## Coverage gate: src/runtime + src/svc", "",
+           "| file | lines | covered | % |",
+           "| --- | ---: | ---: | ---: |"]
+    for path, n, covered, pct in rows:
+        out.append(f"| {path} | {n} | {covered} | {pct:.1f} |")
+    out.append(f"| **total** | **{total_lines}** | **{total_covered}** "
+               f"| **{overall:.1f}** |")
+    out.append("")
+    verdict = "meets" if overall >= floor else "is BELOW"
+    out.append(f"Line coverage **{overall:.1f}%** {verdict} the committed "
+               f"floor of **{floor:.1f}%** (tools/coverage_floor.txt).")
+    out.append("")
+    return "\n".join(out)
+
+
+def read_floor(path):
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            match = re.match(r"^(\d+(?:\.\d+)?)$", line)
+            if match:
+                return float(match.group(1))
+    sys.exit(f"no floor value found in {path}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--floor-file", default="tools/coverage_floor.txt")
+    ap.add_argument("--summary-out", default=None,
+                    help="append the markdown summary to this file "
+                         "(e.g. $GITHUB_STEP_SUMMARY)")
+    ap.add_argument("--update-floor", action="store_true",
+                    help=f"rewrite the floor file to measured - {FLOOR_SLACK} points")
+    args = ap.parse_args()
+
+    coverage = collect(args.build_dir)
+    if not coverage:
+        sys.exit("no coverage data for src/runtime or src/svc — "
+                 "did the gated tests run?")
+    rows, total_lines, total_covered, overall = summarize(coverage)
+
+    if args.update_floor:
+        floor = max(0.0, round(overall - FLOOR_SLACK, 1))
+        with open(args.floor_file, "w") as f:
+            f.write("# Line-coverage floor for src/runtime + src/svc, enforced by\n"
+                    "# tools/coverage_gate.py in the CI coverage job. Regenerate with\n"
+                    "#   python3 tools/coverage_gate.py --build-dir <cov-build> "
+                    "--update-floor\n"
+                    "# after a full ctest run when new suites raise coverage.\n"
+                    f"{floor}\n")
+        print(f"floor updated: {floor:.1f} (measured {overall:.1f})")
+
+    floor = read_floor(args.floor_file)
+    markdown = render_markdown(rows, total_lines, total_covered, overall, floor)
+    print(markdown)
+    if args.summary_out:
+        with open(args.summary_out, "a") as f:
+            f.write(markdown + "\n")
+
+    if overall < floor:
+        print(f"FAIL: {overall:.2f}% < floor {floor:.2f}%", file=sys.stderr)
+        return 1
+    print(f"OK: {overall:.2f}% >= floor {floor:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

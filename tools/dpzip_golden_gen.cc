@@ -1,0 +1,62 @@
+// Regenerates the committed dpzip golden vectors (tests/golden/dpzip/
+// *.bin) from the fixed corpus in tests/golden/dpzip_corpus.h. Run this
+// ONLY when the dpzip bitstream changes on purpose, then commit the new
+// vectors together with the encoder change:
+//
+//   build/tools/dpzip_golden_gen tests/golden/dpzip
+//
+// Each vector is verified to round-trip before it is written, so the tool
+// can never commit a vector the decoder rejects.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tests/golden/dpzip_corpus.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>  (normally tests/golden/dpzip)\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  int failures = 0;
+  for (const cdpu::golden::GoldenCase& c : cdpu::golden::Corpus()) {
+    std::vector<uint8_t> input = cdpu::golden::GenerateInput(c);
+    cdpu::DpzipCodec codec = cdpu::golden::MakeCaseCodec(c);
+    cdpu::ByteVec compressed;
+    cdpu::Result<size_t> cr = codec.Compress(input, &compressed);
+    if (!cr.ok()) {
+      std::fprintf(stderr, "%s: compress failed: %s\n", c.name,
+                   cr.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    cdpu::ByteVec roundtrip;
+    cdpu::Result<size_t> dr = codec.Decompress(compressed, &roundtrip);
+    if (!dr.ok() || roundtrip != input) {
+      std::fprintf(stderr, "%s: vector does not round-trip, refusing to write\n", c.name);
+      ++failures;
+      continue;
+    }
+    const std::string path = dir + "/" + c.name + ".bin";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot open %s\n", c.name, path.c_str());
+      ++failures;
+      continue;
+    }
+    out.write(reinterpret_cast<const char*>(compressed.data()),
+              static_cast<std::streamsize>(compressed.size()));
+    out.close();
+    std::printf("%-20s %6zu -> %6zu bytes  %s\n", c.name, input.size(), compressed.size(),
+                path.c_str());
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d vector(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}
