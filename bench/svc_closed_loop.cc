@@ -74,6 +74,10 @@ void Run(ExperimentContext& ctx) {
       ctx.quick() ? std::vector<std::string>{"zstd-1", "lz4"}
                   : std::vector<std::string>{"zstd-1", "lz4", "snappy"};
   const uint64_t requests_per_client = ctx.Pick(8, 64);
+  // Warm-up brings the pool/job/context freelists to steady state before the
+  // measured window — allocs_per_request then reports the floor the
+  // bench-smoke alloc gate holds, not first-touch slab growth.
+  const uint64_t warmup_per_client = ctx.Pick(8, 16);
 
   obs::Table& table = ctx.AddTable(
       "closed_loop",
@@ -81,7 +85,8 @@ void Run(ExperimentContext& ctx) {
       {Column("clients", "clients", 0), Column("payload", "payload"),
        Column("codec", "codec"), Column("mbps", "MB/s", 1),
        Column("p50_us", "p50 us", 1), Column("p99_us", "p99 us", 1),
-       Column("p999_us", "p999 us", 1), Column("busy", "BUSY", 0)});
+       Column("p999_us", "p999 us", 1), Column("busy", "BUSY", 0),
+       Column("allocs_req", "allocs/req", 3)});
 
   svc::LoadGenReport largest;  // the last sweep point exercises the most load
   for (uint32_t c : clients) {
@@ -92,6 +97,7 @@ void Run(ExperimentContext& ctx) {
         lopts.clients = c;
         lopts.tenants = 2;
         lopts.requests_per_client = requests_per_client;
+        lopts.warmup_requests_per_client = warmup_per_client;
         lopts.payload_bytes = payload;
         lopts.codec = codec;
         Result<svc::LoadGenReport> run = RunClosedLoop(lopts);
@@ -103,11 +109,14 @@ void Run(ExperimentContext& ctx) {
         table.AddRow({static_cast<double>(c), PayloadLabel(payload), codec,
                       report.throughput_mbps(), report.latency_us.Percentile(50),
                       report.latency_us.Percentile(99), report.latency_us.Percentile(99.9),
-                      static_cast<double>(report.busy_rejections)});
+                      static_cast<double>(report.busy_rejections),
+                      report.allocs_per_request()});
 
         const std::string key = "c" + std::to_string(c) + ".p" + PayloadLabel(payload) +
                                 "." + codec + ".";
         ctx.metrics().Gauge(key + "mbps", report.throughput_mbps());
+        ctx.metrics().Gauge(key + "allocs_per_request", report.allocs_per_request());
+        ctx.metrics().Gauge(key + "copies_per_request", report.copies_per_request());
         ctx.metrics().Count(key + "ok", report.requests_ok);
         ctx.metrics().Count(key + "failed", report.requests_failed);
         ctx.metrics().Count(key + "busy", report.busy_rejections);

@@ -1,5 +1,6 @@
 #include "src/codecs/codec.h"
 
+#include <cstring>
 #include <map>
 
 #include "src/codecs/deflate_codec.h"
@@ -7,6 +8,7 @@
 #include "src/codecs/lz4_codec.h"
 #include "src/codecs/mini_zstd.h"
 #include "src/codecs/snappy_codec.h"
+#include "src/trace/trace.h"
 
 namespace cdpu {
 namespace {
@@ -17,6 +19,50 @@ std::map<std::string, std::unique_ptr<Codec> (*)()>& Registry() {
 }
 
 }  // namespace
+
+namespace {
+
+// Shared staging buffer for the pooled sinks. Thread-local so concurrent
+// engine threads never contend; its capacity survives across calls, which is
+// what makes the pooled path allocation-free at steady state.
+thread_local ByteVec g_codec_scratch;
+
+Result<size_t> StageIntoPool(Result<size_t> produced, BufferPool* pool, IoBuf* out) {
+  if (!produced.ok()) {
+    return produced;
+  }
+  if (pool == nullptr) {
+    pool = &BufferPool::Default();
+  }
+  // A miss here means the output pool had no free segment and the request
+  // paid for slab growth (or an oversize heap block) inline; traced requests
+  // record that stall so it shows up in the latency breakdown.
+  const trace::ThreadTraceContext* tctx = trace::CurrentThreadTrace();
+  const uint64_t t0 = tctx->writer != nullptr ? trace::NowNs() : 0;
+  bool missed = false;
+  *out = pool->Allocate(g_codec_scratch.size(), &missed);
+  if (missed && t0 != 0) {
+    trace::EmitSpan(tctx->writer, tctx->request_id, tctx->tenant, tctx->label,
+                    trace::Phase::kAllocStall, t0, trace::NowNs(), tctx->device);
+  }
+  if (!g_codec_scratch.empty()) {
+    std::memcpy(out->data(), g_codec_scratch.data(), g_codec_scratch.size());
+    NotePayloadCopy(g_codec_scratch.size());
+  }
+  return produced;
+}
+
+}  // namespace
+
+Result<size_t> Codec::Compress(ByteSpan input, BufferPool* pool, IoBuf* out) {
+  g_codec_scratch.clear();
+  return StageIntoPool(Compress(input, &g_codec_scratch), pool, out);
+}
+
+Result<size_t> Codec::Decompress(ByteSpan input, BufferPool* pool, IoBuf* out) {
+  g_codec_scratch.clear();
+  return StageIntoPool(Decompress(input, &g_codec_scratch), pool, out);
+}
 
 double Codec::MeasureRatio(ByteSpan input) {
   if (input.empty()) {

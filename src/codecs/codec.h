@@ -12,11 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "src/common/iobuf.h"
 #include "src/common/status.h"
 
 namespace cdpu {
 
-using ByteSpan = std::span<const uint8_t>;
 using ByteVec = std::vector<uint8_t>;
 
 class Codec {
@@ -32,6 +32,15 @@ class Codec {
   // Decompresses `input` (one full compressed stream produced by Compress),
   // appending to `*out`. Returns the number of bytes appended.
   virtual Result<size_t> Decompress(ByteSpan input, ByteVec* out) = 0;
+
+  // Pooled-storage variants (non-virtual sinks over the ByteVec API): the
+  // result lands in a refcounted pool segment instead of a fresh ByteVec, so
+  // at steady state the call touches no allocator — the output is staged
+  // through a reused thread-local scratch (codecs size their output as they
+  // go, so a fixed-capacity segment cannot be the direct target) and copied
+  // once into `*out`. Returns the number of bytes produced.
+  Result<size_t> Compress(ByteSpan input, BufferPool* pool, IoBuf* out);
+  Result<size_t> Decompress(ByteSpan input, BufferPool* pool, IoBuf* out);
 
   // True if the stream format carries a payload checksum that Decompress
   // verifies (e.g. the gzip CRC-32 trailer). Formats without one may return

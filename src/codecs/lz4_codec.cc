@@ -70,7 +70,8 @@ Result<size_t> Lz4Codec::Compress(ByteSpan input, ByteVec* out) {
     return out->size() - start_size;
   }
 
-  std::vector<uint32_t> table(kHashSize, 0);  // position+1; 0 = empty
+  table_.assign(kHashSize, 0);  // position+1; 0 = empty
+  std::vector<uint32_t>& table = table_;
   size_t anchor = 0;
   size_t pos = 0;
   size_t match_limit = n - kMatchGuard;

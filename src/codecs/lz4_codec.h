@@ -6,6 +6,8 @@
 #ifndef SRC_CODECS_LZ4_CODEC_H_
 #define SRC_CODECS_LZ4_CODEC_H_
 
+#include <vector>
+
 #include "src/codecs/codec.h"
 
 namespace cdpu {
@@ -16,6 +18,12 @@ class Lz4Codec : public Codec {
 
   Result<size_t> Compress(ByteSpan input, ByteVec* out) override;
   Result<size_t> Decompress(ByteSpan input, ByteVec* out) override;
+
+ private:
+  // Hash-table scratch reused across Compress calls (codec instances are
+  // single-threaded; engine threads each own one), so the per-call 256 KiB
+  // allocation disappears from the offload hot path.
+  std::vector<uint32_t> table_;
 };
 
 }  // namespace cdpu

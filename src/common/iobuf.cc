@@ -1,0 +1,234 @@
+#include "src/common/iobuf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace cdpu {
+namespace {
+
+std::atomic<uint64_t> g_buffer_allocs{0};
+std::atomic<uint64_t> g_buffer_alloc_bytes{0};
+std::atomic<uint64_t> g_payload_copies{0};
+std::atomic<uint64_t> g_payload_copy_bytes{0};
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+MemPathCounters MemPathSnapshot() {
+  MemPathCounters c;
+  c.buffer_allocs = g_buffer_allocs.load(std::memory_order_relaxed);
+  c.buffer_alloc_bytes = g_buffer_alloc_bytes.load(std::memory_order_relaxed);
+  c.payload_copies = g_payload_copies.load(std::memory_order_relaxed);
+  c.payload_copy_bytes = g_payload_copy_bytes.load(std::memory_order_relaxed);
+  return c;
+}
+
+void NoteBufferAlloc(uint64_t bytes) {
+  g_buffer_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_buffer_alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void NotePayloadCopy(uint64_t bytes) {
+  g_payload_copies.fetch_add(1, std::memory_order_relaxed);
+  g_payload_copy_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void IoBuf::Reset() {
+  if (seg_ == nullptr) {
+    return;
+  }
+  internal::Segment* seg = seg_;
+  seg_ = nullptr;
+  offset_ = 0;
+  len_ = 0;
+  // Release order matters: acq_rel makes every write through this handle
+  // visible to whichever thread performs the final release and recycles the
+  // memory (the classic shared_ptr fence).
+  if (seg->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    seg->pool->Release(seg);
+  }
+}
+
+IoBuf IoBuf::Copy(ByteSpan bytes, BufferPool* pool) {
+  if (pool == nullptr) {
+    pool = &BufferPool::Default();
+  }
+  IoBuf buf = pool->Allocate(bytes.size());
+  if (!bytes.empty()) {
+    std::memcpy(buf.data(), bytes.data(), bytes.size());
+    NotePayloadCopy(bytes.size());
+  }
+  return buf;
+}
+
+IoBuf IoBuf::View(size_t offset, size_t len) const {
+  if (seg_ == nullptr) {
+    return IoBuf();
+  }
+  offset = std::min(offset, len_);
+  len = std::min(len, len_ - offset);
+  seg_->refs.fetch_add(1, std::memory_order_relaxed);
+  return IoBuf(seg_, offset_ + offset, len);
+}
+
+BufferPool::BufferPool(const PoolOptions& options) : options_(options) {
+  options_.min_segment_bytes = std::max<size_t>(64, RoundUpPow2(options_.min_segment_bytes));
+  options_.max_segment_bytes =
+      std::max(options_.min_segment_bytes, RoundUpPow2(options_.max_segment_bytes));
+  options_.segments_per_slab = std::max(1u, options_.segments_per_slab);
+  for (size_t bytes = options_.min_segment_bytes; bytes <= options_.max_segment_bytes;
+       bytes <<= 1) {
+    auto cls = std::make_unique<SizeClass>();
+    cls->bytes = bytes;
+    classes_.push_back(std::move(cls));
+  }
+}
+
+BufferPool::~BufferPool() {
+  // All IoBufs must be gone by now (see the lifetime contract in the
+  // header). The slab/segment arrays free themselves; this assert catches
+  // ordering bugs in debug builds before they become use-after-frees.
+  assert(outstanding_buffers_.load(std::memory_order_acquire) == 0);
+}
+
+internal::Segment* BufferPool::NewHeapSegment(size_t bytes) {
+  auto* seg = new internal::Segment;
+  seg->data = new uint8_t[bytes];
+  seg->capacity = bytes;
+  seg->pool = this;
+  seg->size_class = internal::Segment::kHeapClass;
+  NoteBufferAlloc(bytes);
+  return seg;
+}
+
+IoBuf BufferPool::Allocate(size_t bytes, bool* missed) {
+  if (missed != nullptr) {
+    *missed = false;
+  }
+  if (bytes == 0) {
+    return IoBuf();
+  }
+
+  internal::Segment* seg = nullptr;
+  if (!options_.pooling || bytes > options_.max_segment_bytes) {
+    if (options_.pooling) {
+      oversize_.fetch_add(1, std::memory_order_relaxed);
+    }
+    seg = NewHeapSegment(bytes);
+    if (missed != nullptr) {
+      *missed = true;
+    }
+  } else {
+    size_t ci = 0;
+    while (classes_[ci]->bytes < bytes) {
+      ++ci;
+    }
+    SizeClass& cls = *classes_[ci];
+    {
+      std::lock_guard<std::mutex> lock(cls.mu);
+      if (!cls.free.empty()) {
+        seg = cls.free.back();
+        cls.free.pop_back();
+        ++cls.hits;
+      } else {
+        ++cls.misses;
+      }
+    }
+    if (seg == nullptr) {
+      // Slab growth: carve segments_per_slab fresh segments, keep one, bank
+      // the rest. One backing allocation amortises across the whole batch.
+      const uint32_t n = options_.segments_per_slab;
+      auto data = std::make_unique<uint8_t[]>(cls.bytes * n);
+      auto segs = std::make_unique<internal::Segment[]>(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        segs[i].data = data.get() + static_cast<size_t>(i) * cls.bytes;
+        segs[i].capacity = cls.bytes;
+        segs[i].pool = this;
+        segs[i].size_class = static_cast<uint32_t>(ci);
+      }
+      seg = &segs[0];
+      {
+        std::lock_guard<std::mutex> lock(cls.mu);
+        for (uint32_t i = 1; i < n; ++i) {
+          cls.free.push_back(&segs[i]);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(slabs_mu_);
+        slabs_.push_back(std::move(data));
+        slab_segments_.push_back(std::move(segs));
+      }
+      slab_bytes_.fetch_add(static_cast<uint64_t>(cls.bytes) * n,
+                            std::memory_order_relaxed);
+      NoteBufferAlloc(static_cast<uint64_t>(cls.bytes) * n);
+      if (missed != nullptr) {
+        *missed = true;
+      }
+    }
+  }
+
+  seg->refs.store(1, std::memory_order_relaxed);
+  outstanding_buffers_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_bytes_.fetch_add(seg->capacity, std::memory_order_relaxed);
+  return IoBuf(seg, 0, bytes);
+}
+
+void BufferPool::Release(internal::Segment* seg) {
+  outstanding_buffers_.fetch_sub(1, std::memory_order_relaxed);
+  outstanding_bytes_.fetch_sub(seg->capacity, std::memory_order_relaxed);
+  if (seg->size_class == internal::Segment::kHeapClass) {
+    delete[] seg->data;
+    delete seg;
+    return;
+  }
+  SizeClass& cls = *classes_[seg->size_class];
+  std::lock_guard<std::mutex> lock(cls.mu);
+  cls.free.push_back(seg);
+}
+
+PoolStats BufferPool::Snapshot() const {
+  PoolStats s;
+  s.oversize = oversize_.load(std::memory_order_relaxed);
+  s.slab_bytes = slab_bytes_.load(std::memory_order_relaxed);
+  s.outstanding_buffers = outstanding_buffers_.load(std::memory_order_relaxed);
+  s.outstanding_bytes = outstanding_bytes_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(slabs_mu_);
+    s.slabs = slabs_.size();
+  }
+  s.classes.reserve(classes_.size());
+  for (const auto& cls : classes_) {
+    PoolClassStats c;
+    c.segment_bytes = cls->bytes;
+    std::lock_guard<std::mutex> lock(cls->mu);
+    c.hits = cls->hits;
+    c.misses = cls->misses;
+    c.free_segments = static_cast<uint32_t>(cls->free.size());
+    c.outstanding = static_cast<uint32_t>(
+        cls->misses * options_.segments_per_slab >= cls->free.size()
+            ? cls->misses * options_.segments_per_slab - cls->free.size()
+            : 0);
+    s.hits += c.hits;
+    s.misses += c.misses;
+    s.classes.push_back(c);
+  }
+  // Oversize allocations touched the heap too; fold them into the headline
+  // miss tally so hits/(hits+misses) reads as the true pool hit rate.
+  s.misses += s.oversize;
+  return s;
+}
+
+BufferPool& BufferPool::Default() {
+  static BufferPool* pool = new BufferPool();  // leaked: outlives all users
+  return *pool;
+}
+
+}  // namespace cdpu

@@ -1,0 +1,234 @@
+// Pooled, refcounted request buffers: the host-side answer to the paper's
+// data-movement findings (Figs 10/11 — for small blocks the offload cost is
+// dominated by staging around the accelerator, not the kernel). Every layer
+// of the request path (wire parse -> admission -> runtime -> codec ->
+// response write) used to copy the payload into a freshly allocated buffer;
+// this module gives them one slab-backed allocation to share instead.
+//
+//   BufferPool  — size-class freelists carved from slabs. Thread-safe:
+//                 a segment allocated on the epoll thread can be released by
+//                 an engine or reaper thread. Misses (slab growth) and
+//                 oversize fall-through allocations are counted so the
+//                 steady-state invariant ("the hot path never touches the
+//                 allocator") is observable, not aspirational.
+//   IoBuf       — refcounted handle over one contiguous segment. Copying an
+//                 IoBuf bumps a refcount; View() derives a cheap sub-range
+//                 sharing the same segment (how a parsed frame's payload
+//                 aliases the receive buffer). The last handle standing
+//                 returns the segment to its freelist.
+//
+// Lifetime contract: a BufferPool must outlive every IoBuf carved from it.
+// Components that own a pool declare it before the threads/objects that hold
+// buffers (members are destroyed in reverse order). BufferPool::Default()
+// is a process-lifetime pool for callers without a natural owner (client
+// connections, tests).
+
+#ifndef SRC_COMMON_IOBUF_H_
+#define SRC_COMMON_IOBUF_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace cdpu {
+
+using ByteSpan = std::span<const uint8_t>;
+
+class BufferPool;
+
+namespace internal {
+
+// Control block for one contiguous buffer. Pool-backed segments return to
+// their freelist on the last release; heap segments (oversize requests, or a
+// pool with pooling disabled) are freed outright. `refs` is the only field
+// mutated after allocation, so concurrent readers need no lock.
+struct Segment {
+  uint8_t* data = nullptr;
+  size_t capacity = 0;
+  std::atomic<uint32_t> refs{0};
+  BufferPool* pool = nullptr;   // owner; never null
+  uint32_t size_class = 0;      // kHeapClass = not pooled
+  static constexpr uint32_t kHeapClass = ~0u;
+};
+
+}  // namespace internal
+
+// Refcounted view/handle over a Segment sub-range. Copy = refcount bump;
+// destruction of the last handle releases the segment. Default-constructed
+// IoBufs are empty and never touch a pool.
+class IoBuf {
+ public:
+  IoBuf() = default;
+  IoBuf(const IoBuf& other) : seg_(other.seg_), offset_(other.offset_), len_(other.len_) {
+    if (seg_ != nullptr) {
+      seg_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  IoBuf& operator=(const IoBuf& other) {
+    if (this != &other) {
+      IoBuf tmp(other);
+      Swap(tmp);
+    }
+    return *this;
+  }
+  IoBuf(IoBuf&& other) noexcept
+      : seg_(other.seg_), offset_(other.offset_), len_(other.len_) {
+    other.seg_ = nullptr;
+    other.offset_ = 0;
+    other.len_ = 0;
+  }
+  IoBuf& operator=(IoBuf&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      Swap(other);
+    }
+    return *this;
+  }
+  ~IoBuf() { Reset(); }
+
+  // Releases this handle's reference. The segment returns to its pool when
+  // the last handle lets go, from whichever thread that happens to be.
+  void Reset();
+
+  // Allocates from `pool` (Default() when null) and copies `bytes` in.
+  static IoBuf Copy(ByteSpan bytes, BufferPool* pool = nullptr);
+
+  const uint8_t* data() const { return seg_ != nullptr ? seg_->data + offset_ : nullptr; }
+  uint8_t* data() { return seg_ != nullptr ? seg_->data + offset_ : nullptr; }
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  // Writable room from this handle's offset to the end of the segment
+  // (>= size(); the size-class rounds allocations up).
+  size_t capacity() const { return seg_ != nullptr ? seg_->capacity - offset_ : 0; }
+
+  ByteSpan span() const { return ByteSpan(data(), len_); }
+  operator ByteSpan() const { return span(); }
+  const uint8_t* begin() const { return data(); }
+  const uint8_t* end() const { return data() + len_; }
+
+  // Shrinks/extends the view in place; `n` must be <= capacity().
+  void Resize(size_t n) { len_ = n <= capacity() ? n : capacity(); }
+
+  // Sub-range sharing this segment's refcount. offset/len are clamped to
+  // this handle's view.
+  IoBuf View(size_t offset, size_t len) const;
+
+  // True when this handle is the only reference (safe to rewrite in place).
+  bool unique() const {
+    return seg_ != nullptr && seg_->refs.load(std::memory_order_acquire) == 1;
+  }
+
+ private:
+  friend class BufferPool;
+  IoBuf(internal::Segment* seg, size_t offset, size_t len)
+      : seg_(seg), offset_(offset), len_(len) {}
+  void Swap(IoBuf& other) {
+    std::swap(seg_, other.seg_);
+    std::swap(offset_, other.offset_);
+    std::swap(len_, other.len_);
+  }
+
+  internal::Segment* seg_ = nullptr;
+  size_t offset_ = 0;
+  size_t len_ = 0;
+};
+
+struct PoolClassStats {
+  size_t segment_bytes = 0;
+  uint64_t hits = 0;        // freelist pops
+  uint64_t misses = 0;      // slab growth allocations
+  uint32_t free_segments = 0;
+  uint32_t outstanding = 0;  // segments currently held by IoBufs
+};
+
+struct PoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;             // pooled-class allocations that grew a slab
+  uint64_t oversize = 0;           // direct heap segments above the largest class
+  uint64_t slabs = 0;
+  uint64_t slab_bytes = 0;         // total backing memory owned by the pool
+  uint64_t outstanding_buffers = 0;
+  uint64_t outstanding_bytes = 0;  // capacity held by live IoBufs
+  std::vector<PoolClassStats> classes;
+  bool touched() const { return hits + misses + oversize > 0; }
+};
+
+struct PoolOptions {
+  size_t min_segment_bytes = 4 * 1024;
+  size_t max_segment_bytes = 1024 * 1024;  // above this: direct heap, counted
+  uint32_t segments_per_slab = 16;
+  // When false every allocation goes straight to the heap (and every release
+  // frees). This is the "legacy" arm of the mem_path experiment: identical
+  // code path, pre-pool allocator behaviour.
+  bool pooling = true;
+};
+
+class BufferPool {
+ public:
+  explicit BufferPool(const PoolOptions& options = {});
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns a buffer with size() == bytes and capacity() >= bytes (rounded
+  // up to the size class). `missed` reports whether the allocator was
+  // touched (slab growth or oversize) — callers on a traced hot path emit an
+  // alloc-stall span when it fires. bytes == 0 yields an empty IoBuf.
+  IoBuf Allocate(size_t bytes, bool* missed = nullptr);
+
+  PoolStats Snapshot() const;
+  const PoolOptions& options() const { return options_; }
+
+  // Process-lifetime pool for callers without a natural owner.
+  static BufferPool& Default();
+
+ private:
+  friend class IoBuf;
+  struct SizeClass {
+    size_t bytes = 0;
+    mutable std::mutex mu;
+    std::vector<internal::Segment*> free;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  void Release(internal::Segment* seg);
+  internal::Segment* NewHeapSegment(size_t bytes);
+
+  PoolOptions options_;
+  std::vector<std::unique_ptr<SizeClass>> classes_;
+
+  mutable std::mutex slabs_mu_;
+  std::vector<std::unique_ptr<uint8_t[]>> slabs_;  // data backing
+  std::vector<std::unique_ptr<internal::Segment[]>> slab_segments_;
+  std::atomic<uint64_t> slab_bytes_{0};
+  std::atomic<uint64_t> oversize_{0};
+  std::atomic<uint64_t> outstanding_buffers_{0};
+  std::atomic<uint64_t> outstanding_bytes_{0};
+};
+
+// Process-wide data-path accounting, independent of which pool (or none) a
+// buffer came from. `buffer_allocs` counts acquisitions that touched the
+// allocator (pool misses, oversize and unpooled segments); `payload_copies`
+// counts the staging copies the layers still perform (parser re-home, codec
+// sink staging, legacy-mode frame copy-out). svc_closed_loop divides deltas
+// of these by measured requests to report allocs_per_request — the metric
+// the bench-smoke gate holds at the steady-state floor.
+struct MemPathCounters {
+  uint64_t buffer_allocs = 0;
+  uint64_t buffer_alloc_bytes = 0;
+  uint64_t payload_copies = 0;
+  uint64_t payload_copy_bytes = 0;
+};
+MemPathCounters MemPathSnapshot();
+void NoteBufferAlloc(uint64_t bytes);
+void NotePayloadCopy(uint64_t bytes);
+
+}  // namespace cdpu
+
+#endif  // SRC_COMMON_IOBUF_H_

@@ -44,22 +44,57 @@ RuntimeStats MergeRuntimeStats(const std::vector<RuntimeStats>& parts) {
   return m;
 }
 
+// Completion feedback runs on the member's reaper thread: service-rate
+// sample (bytes per wall-us) + the member's current health flag. A dead
+// device's jobs complete via retries + CPU fallback with inflated wall
+// latency, so its EWMA collapses and ewma-service-rate sheds its load.
+// Installed once per member as the runtime's completion observer — the
+// per-request path no longer wraps callbacks in a fresh std::function.
+struct FleetRuntime::MemberFeedback {
+  PlacementRouter* router = nullptr;
+  OffloadRuntime* member = nullptr;  // set right after the member is built
+  size_t slot = 0;
+  // A caller-supplied observer from FleetOptions::base, chained after ours.
+  void (*chained)(const OffloadResult&, void*) = nullptr;
+  void* chained_ctx = nullptr;
+
+  static void Observe(const OffloadResult& r, void* ctx) {
+    auto* fb = static_cast<MemberFeedback*>(ctx);
+    fb->router->OnComplete(fb->slot, r.input_bytes, r.wall_latency_ns,
+                           fb->member->healthy());
+    if (fb->chained != nullptr) {
+      fb->chained(r, fb->chained_ctx);
+    }
+  }
+};
+
 FleetRuntime::FleetRuntime(const FleetOptions& options)
     : options_(options), router_(options.placement, options.devices) {
   assert(!options_.devices.empty() && options_.devices.size() <= kMaxFleetDevices);
   runtimes_.reserve(options_.devices.size());
-  for (const FleetDeviceSpec& spec : options_.devices) {
+  feedback_.reserve(options_.devices.size());
+  for (size_t i = 0; i < options_.devices.size(); ++i) {
+    const FleetDeviceSpec& spec = options_.devices[i];
     RuntimeOptions opt = options_.base;
     opt.device = spec.config;
     opt.fault_plan = spec.fault_plan;
     opt.engine_threads = spec.engine_threads;
+    auto fb = std::make_unique<MemberFeedback>();
+    fb->router = &router_;
+    fb->slot = i;
+    fb->chained = options_.base.completion_observer;
+    fb->chained_ctx = options_.base.completion_observer_ctx;
+    opt.completion_observer = &MemberFeedback::Observe;
+    opt.completion_observer_ctx = fb.get();
     runtimes_.push_back(std::make_unique<OffloadRuntime>(opt));
+    fb->member = runtimes_.back().get();  // no job can complete before this
+    feedback_.push_back(std::move(fb));
   }
 }
 
 FleetRuntime::~FleetRuntime() { Shutdown(OffloadRuntime::ShutdownMode::kDrain); }
 
-std::future<OffloadResult> FleetRuntime::Submit(OffloadRequest request) {
+size_t FleetRuntime::RouteRequest(OffloadRequest& request) {
   size_t slot;
   if (request.device_slot != 0 && request.device_slot <= runtimes_.size()) {
     // Caller pinned a member (probe/test traffic); keep router accounting
@@ -67,27 +102,23 @@ std::future<OffloadResult> FleetRuntime::Submit(OffloadRequest request) {
     slot = request.device_slot - 1;
     router_.NotePinned(slot);
   } else {
-    uint64_t payload =
-        !request.input.empty() ? request.input.size() : request.model_bytes;
+    uint64_t payload = !request.input.empty()    ? request.input.size()
+                       : !request.input_buf.empty() ? request.input_buf.size()
+                                                    : request.model_bytes;
     slot = router_.Route(payload);
   }
   request.device_slot = static_cast<uint8_t>(slot + 1);
+  return slot;
+}
 
-  OffloadRuntime* member = runtimes_[slot].get();
-  PlacementRouter* router = &router_;
-  OffloadCallback user_cb = std::move(request.callback);
-  // Completion feedback runs on the member's reaper thread: service-rate
-  // sample (bytes per wall-us) + the member's current health flag. A dead
-  // device's jobs complete via retries + CPU fallback with inflated wall
-  // latency, so its EWMA collapses and ewma-service-rate sheds its load.
-  request.callback = [router, member, slot,
-                      user_cb = std::move(user_cb)](const OffloadResult& r) {
-    router->OnComplete(slot, r.input_bytes, r.wall_latency_ns, member->healthy());
-    if (user_cb) {
-      user_cb(r);
-    }
-  };
-  return member->Submit(std::move(request));
+std::future<OffloadResult> FleetRuntime::Submit(OffloadRequest request) {
+  size_t slot = RouteRequest(request);
+  return runtimes_[slot]->Submit(std::move(request));
+}
+
+void FleetRuntime::SubmitCallback(OffloadRequest request) {
+  size_t slot = RouteRequest(request);
+  runtimes_[slot]->SubmitCallback(std::move(request));
 }
 
 void FleetRuntime::Flush(uint32_t queue_pair) {

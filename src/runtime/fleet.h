@@ -68,6 +68,12 @@ class FleetRuntime {
   // the job to that member, bypassing the router (used by probes/tests).
   std::future<OffloadResult> Submit(OffloadRequest request);
 
+  // Callback-only routed submission (no future; see
+  // OffloadRuntime::SubmitCallback). Router feedback is delivered through a
+  // per-member completion observer installed at construction, so neither
+  // path wraps the request callback in a per-job std::function.
+  void SubmitCallback(OffloadRequest request);
+
   // Flushes the given queue pair on every member (a routed job may sit in
   // any member's ring).
   void Flush(uint32_t queue_pair);
@@ -94,8 +100,16 @@ class FleetRuntime {
   uint64_t total_slots() const;
 
  private:
+  // Per-member completion-observer context: routes service-rate + health
+  // feedback into the router from the member's reaper thread. One instance
+  // per member for the fleet's lifetime — no per-request state.
+  struct MemberFeedback;
+
+  size_t RouteRequest(OffloadRequest& request);
+
   FleetOptions options_;
   PlacementRouter router_;
+  std::vector<std::unique_ptr<MemberFeedback>> feedback_;
   std::vector<std::unique_ptr<OffloadRuntime>> runtimes_;
 };
 

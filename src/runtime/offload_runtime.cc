@@ -11,13 +11,20 @@ namespace {
 
 constexpr std::chrono::microseconds kPollSlice(500);
 
+// Job-descriptor freelist ceiling: far above any realistic in-flight count
+// (rings + slots), just a backstop against a pathological burst pinning
+// memory forever.
+constexpr size_t kJobPoolCap = 4096;
+
 using trace::EmitSpan;
 
 }  // namespace
 
 struct OffloadRuntime::Job {
   OffloadRequest request;
-  std::promise<OffloadResult> promise;
+  // Engaged only on the future-returning Submit() path; SubmitCallback jobs
+  // skip the promise's shared-state allocation entirely.
+  std::optional<std::promise<OffloadResult>> promise;
   OffloadResult result;
   uint64_t enqueue_wall = 0;
   uint64_t model_bytes = 0;  // payload size fed to the timing model
@@ -78,7 +85,15 @@ OffloadRuntime::OffloadRuntime(const RuntimeOptions& options)
   reaper_ = std::thread([this] { ReaperLoop(); });
 }
 
-OffloadRuntime::~OffloadRuntime() { Shutdown(ShutdownMode::kDrain); }
+OffloadRuntime::~OffloadRuntime() {
+  Shutdown(ShutdownMode::kDrain);
+  // All worker threads are joined; recycled descriptors hold no buffers
+  // (RecycleJob released them), so plain deletion is safe.
+  for (Job* job : job_pool_) {
+    delete job;
+  }
+  job_pool_.clear();
+}
 
 void OffloadRuntime::RingDoorbellLocked(QueuePair& qp) {
   if (qp.unflushed == 0) {
@@ -90,10 +105,22 @@ void OffloadRuntime::RingDoorbellLocked(QueuePair& qp) {
   dispatch_cv_.notify_one();
 }
 
-std::future<OffloadResult> OffloadRuntime::Submit(OffloadRequest request) {
-  Job* job = new Job;
+OffloadRuntime::Job* OffloadRuntime::PrepareJob(OffloadRequest&& request) {
+  Job* job = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(job_pool_mu_);
+    if (!job_pool_.empty()) {
+      job = job_pool_.back();
+      job_pool_.pop_back();
+    }
+  }
+  if (job == nullptr) {
+    job = new Job;
+  }
   job->request = std::move(request);
-  std::future<OffloadResult> fut = job->promise.get_future();
+  if (job->request.input.empty() && !job->request.input_buf.empty()) {
+    job->request.input = job->request.input_buf.span();
+  }
 
   uint32_t qpi = job->request.queue_pair % static_cast<uint32_t>(qps_.size());
   job->request.queue_pair = qpi;
@@ -122,20 +149,88 @@ std::future<OffloadResult> OffloadRuntime::Submit(OffloadRequest request) {
       job->t_enqueue_ns = trace::NowNs();
     }
   }
+  return job;
+}
 
-  QueuePair& qp = *qps_[qpi];
+void OffloadRuntime::FinishJob(Job* job) {
+  if (options_.completion_observer != nullptr) {
+    options_.completion_observer(job->result, options_.completion_observer_ctx);
+  }
+  if (job->request.on_complete != nullptr) {
+    job->request.on_complete(job->result, job->request.on_complete_ctx);
+  }
+  if (job->request.callback) {
+    job->request.callback(job->result);
+  }
+  if (job->promise.has_value()) {
+    job->promise->set_value(std::move(job->result));
+  }
+  RecycleJob(job);
+}
+
+void OffloadRuntime::RecycleJob(Job* job) {
+  // Reset to the default-constructed state but keep the big capacities
+  // (result.output, request.codec) so the next job reuses them. The IoBuf
+  // resets release the payload refcounts — this is the point where the
+  // input buffer a retried/fallback job was pinning finally lets go.
+  job->request.op = CdpuOp::kCompress;
+  job->request.codec.clear();
+  job->request.input = ByteSpan{};
+  job->request.input_buf.Reset();
+  job->request.model_bytes = 0;
+  job->request.ratio_hint = 0.5;
+  job->request.arrival = kAutoArrival;
+  job->request.queue_pair = 0;
+  job->request.callback = nullptr;
+  job->request.on_complete = nullptr;
+  job->request.on_complete_ctx = nullptr;
+  job->request.trace_id = 0;
+  job->request.tenant = 0;
+  job->request.device_slot = 0;
+  job->promise.reset();
+  job->result.status = Status::Ok();
+  job->result.output.clear();
+  job->result.output_buf.Reset();
+  job->result.input_bytes = 0;
+  job->result.output_bytes = 0;
+  job->result.ratio = 0.0;
+  job->result.sim_arrival = 0;
+  job->result.sim_completion = 0;
+  job->result.device_latency_ns = 0;
+  job->result.wall_latency_ns = 0;
+  job->result.ceiling_delayed = false;
+  job->result.attempts = 0;
+  job->result.fell_back = false;
+  job->result.device_slot = 0;
+  job->enqueue_wall = 0;
+  job->model_bytes = 0;
+  job->canceled = false;
+  job->trace_label = 0;
+  job->t_enqueue_ns = 0;
+  job->t_dispatch_ns = 0;
+  job->t_engine_ns = 0;
+  job->t_device_ns = 0;
+  job->t_codec_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(job_pool_mu_);
+    if (job_pool_.size() < kJobPoolCap) {
+      job_pool_.push_back(job);
+      return;
+    }
+  }
+  delete job;
+}
+
+void OffloadRuntime::EnqueueJob(Job* job) {
+  QueuePair& qp = *qps_[job->request.queue_pair];
   {
     std::unique_lock<std::mutex> lock(qp.producer_mu);
     for (;;) {
       if (state_.load() != State::kRunning) {
         lock.unlock();
         job->result.status = Status::Unavailable("offload runtime is shut down");
-        if (job->request.callback) {
-          job->request.callback(job->result);
-        }
-        job->promise.set_value(std::move(job->result));
-        delete job;
-        return fut;
+        FinishJob(job);
+        return;
       }
       if (qp.submit_ring.TryPush(job)) {
         break;
@@ -152,7 +247,18 @@ std::future<OffloadResult> OffloadRuntime::Submit(OffloadRequest request) {
       RingDoorbellLocked(qp);
     }
   }
+}
+
+std::future<OffloadResult> OffloadRuntime::Submit(OffloadRequest request) {
+  Job* job = PrepareJob(std::move(request));
+  job->promise.emplace();
+  std::future<OffloadResult> fut = job->promise->get_future();
+  EnqueueJob(job);
   return fut;
+}
+
+void OffloadRuntime::SubmitCallback(OffloadRequest request) {
+  EnqueueJob(PrepareJob(std::move(request)));
 }
 
 void OffloadRuntime::Flush(uint32_t queue_pair) {
@@ -469,11 +575,22 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
           tctx.emplace(tw, job->request.trace_id, job->request.tenant, job->trace_label,
                        job->request.device_slot);
         }
-        Result<size_t> r = job->request.op == CdpuOp::kCompress
-                               ? active->Compress(job->request.input, &job->result.output)
-                               : active->Decompress(job->request.input, &job->result.output);
+        Result<size_t> r = size_t{0};
+        if (options_.output_pool != nullptr) {
+          // Pooled sink: output lands in a refcounted segment; at steady
+          // state this recycles a warm segment instead of growing a ByteVec.
+          r = job->request.op == CdpuOp::kCompress
+                  ? active->Compress(job->request.input, options_.output_pool,
+                                     &job->result.output_buf)
+                  : active->Decompress(job->request.input, options_.output_pool,
+                                       &job->result.output_buf);
+        } else {
+          r = job->request.op == CdpuOp::kCompress
+                  ? active->Compress(job->request.input, &job->result.output)
+                  : active->Decompress(job->request.input, &job->result.output);
+        }
         if (r.ok()) {
-          out_bytes = job->result.output.size();
+          out_bytes = job->result.output_view().size();
         } else {
           job->result.status = r.status();
         }
@@ -550,11 +667,7 @@ void OffloadRuntime::ReaperLoop() {
             ++stats_.jobs_failed;
           }
         }
-        if (job->request.callback) {
-          job->request.callback(job->result);
-        }
-        job->promise.set_value(std::move(job->result));
-        delete job;
+        FinishJob(job);
         jobs_completed_.fetch_add(1, std::memory_order_relaxed);
         reaped_any = true;
       }

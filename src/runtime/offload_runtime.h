@@ -59,6 +59,8 @@
 
 namespace cdpu {
 
+struct OffloadResult;
+
 struct RuntimeOptions {
   CdpuConfig device;         // timing model; device.queue_limit is the ceiling
   std::string codec;         // codec for real byte work; empty = model-only
@@ -92,11 +94,30 @@ struct RuntimeOptions {
   // codec -> complete) plus nested codec sub-phases, and the sink's
   // sample_rate decides which jobs are traced.
   trace::TraceSink* trace_sink = nullptr;
+
+  // Pooled output buffers (ISSUE 8). When set, engine threads deliver codec
+  // output in OffloadResult::output_buf (a refcounted pool segment) via the
+  // pooled codec sink; when null the legacy ByteVec output is grown per job.
+  // Not owned; must outlive the runtime.
+  BufferPool* output_pool = nullptr;
+
+  // Runtime-wide completion hook, invoked on the reaper thread for every
+  // completed job before the job's own callbacks. Installed once at
+  // construction (FleetRuntime's router feedback lives here) so the hot path
+  // does not wrap each request callback in a fresh std::function. Not owned.
+  void (*completion_observer)(const OffloadResult&, void*) = nullptr;
+  void* completion_observer_ctx = nullptr;
 };
 
 struct OffloadResult {
   Status status;
-  ByteVec output;            // real-codec mode only
+  ByteVec output;            // real-codec mode, legacy (no output_pool) path
+  IoBuf output_buf;          // real-codec mode with RuntimeOptions::output_pool
+  // The produced bytes wherever they live. Callbacks that need to keep them
+  // past the callback copy `output_buf` (a refcount bump) when non-empty.
+  ByteSpan output_view() const {
+    return output_buf.empty() ? ByteSpan(output.data(), output.size()) : output_buf.span();
+  }
   uint64_t input_bytes = 0;
   uint64_t output_bytes = 0;
   double ratio = 0.0;        // achieved compressed/original (compress jobs)
@@ -127,11 +148,21 @@ struct OffloadRequest {
   // (engine, codec) pair.
   std::string codec;
   ByteSpan input{};          // real payload; may be empty in model-only jobs
+  // Owning payload handle (ISSUE 8). When set, the runtime reads the input
+  // from it (`input` may stay empty) and holds the refcount until the job's
+  // completion hooks have run — the fault path can retry and fall back to
+  // the CPU codec without the caller keeping the bytes alive.
+  IoBuf input_buf;
   uint64_t model_bytes = 0;  // payload size for the timing model when input is empty
   double ratio_hint = 0.5;   // expected compressed/original for the model
   SimNanos arrival = kAutoArrival;  // explicit sim arrival, or auto (wall clock)
   uint32_t queue_pair = 0;
   OffloadCallback callback;  // optional; runs on the reaper thread
+  // Allocation-free completion hook: runs on the reaper thread before
+  // `callback`. Hot paths prefer this — a raw function pointer plus a caller
+  // pooled context beats materialising a std::function closure per request.
+  void (*on_complete)(const OffloadResult&, void*) = nullptr;
+  void* on_complete_ctx = nullptr;
   // Tracing (ignored when RuntimeOptions::trace_sink is null). trace_id 0
   // asks the runtime to draw one from the sink's sampler in Submit();
   // callers that already opened a trace upstream (the network service spans
@@ -192,6 +223,13 @@ class OffloadRuntime {
   // kUnavailable.
   std::future<OffloadResult> Submit(OffloadRequest request);
 
+  // Callback-only submission: completion is delivered solely through
+  // on_complete / callback, no promise shared state is allocated, and the
+  // job descriptor comes from (and returns to) an internal freelist — the
+  // steady-state path touches no allocator. Same backpressure/shutdown
+  // behaviour as Submit().
+  void SubmitCallback(OffloadRequest request);
+
   // Rings the doorbell for descriptors accumulated below batch_size.
   void Flush(uint32_t queue_pair);
 
@@ -228,6 +266,13 @@ class OffloadRuntime {
   struct QueuePair;
 
   void RingDoorbellLocked(QueuePair& qp);  // requires qp.producer_mu
+  // Job descriptor pool: Submit threads acquire, the reaper recycles after
+  // delivery. Recycled jobs keep their ByteVec/string capacity, so a warm
+  // freelist makes submission allocation-free.
+  Job* PrepareJob(OffloadRequest&& request);
+  void EnqueueJob(Job* job);  // ring push w/ backpressure; fails jobs on shutdown
+  void FinishJob(Job* job);   // observer + callbacks + promise, then recycle
+  void RecycleJob(Job* job);
   void DispatcherLoop();
   void EngineLoop(uint32_t engine_index);
   void ReaperLoop();
@@ -276,6 +321,10 @@ class OffloadRuntime {
   bool device_healthy_ = true;         // guarded by health_mu_
   uint32_t consecutive_failures_ = 0;  // guarded by health_mu_
   SimNanos reprobe_at_ = 0;            // guarded by health_mu_
+
+  // Job descriptor freelist (bounded; overflow is deleted).
+  std::mutex job_pool_mu_;
+  std::vector<Job*> job_pool_;
 
   // Reaper wake-up + drain tracking.
   std::mutex reap_mu_;

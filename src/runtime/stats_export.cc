@@ -65,4 +65,42 @@ void ExportFleetStats(const FleetStats& stats, const std::string& prefix,
   }
 }
 
+void ExportPoolStats(const PoolStats& stats, const std::string& prefix,
+                     obs::MetricSet* metrics) {
+  if (!stats.touched()) {
+    return;
+  }
+  metrics->Count(prefix + "hits", stats.hits);
+  metrics->Count(prefix + "misses", stats.misses);
+  metrics->Count(prefix + "oversize", stats.oversize);
+  metrics->Gauge(prefix + "hit_rate",
+                 stats.hits + stats.misses > 0
+                     ? static_cast<double>(stats.hits) /
+                           static_cast<double>(stats.hits + stats.misses)
+                     : 0.0);
+  metrics->Gauge(prefix + "slabs", static_cast<double>(stats.slabs));
+  metrics->Gauge(prefix + "slab_bytes", static_cast<double>(stats.slab_bytes));
+  metrics->Gauge(prefix + "outstanding_buffers",
+                 static_cast<double>(stats.outstanding_buffers));
+  metrics->Gauge(prefix + "outstanding_bytes", static_cast<double>(stats.outstanding_bytes));
+  for (const PoolClassStats& c : stats.classes) {
+    if (c.hits + c.misses == 0) {
+      continue;  // untouched size classes would dominate the export
+    }
+    const std::string cp = prefix + "class." + std::to_string(c.segment_bytes) + ".";
+    metrics->Count(cp + "hits", c.hits);
+    metrics->Count(cp + "misses", c.misses);
+    metrics->Gauge(cp + "free_segments", static_cast<double>(c.free_segments));
+    metrics->Gauge(cp + "outstanding", static_cast<double>(c.outstanding));
+  }
+}
+
+void ExportMemPathCounters(const MemPathCounters& counters, const std::string& prefix,
+                           obs::MetricSet* metrics) {
+  metrics->Count(prefix + "buffer_allocs", counters.buffer_allocs);
+  metrics->Count(prefix + "buffer_alloc_bytes", counters.buffer_alloc_bytes);
+  metrics->Count(prefix + "payload_copies", counters.payload_copies);
+  metrics->Count(prefix + "payload_copy_bytes", counters.payload_copy_bytes);
+}
+
 }  // namespace cdpu

@@ -29,6 +29,17 @@ void ExportRuntimeStats(const RuntimeStats& stats, const std::string& prefix,
 void ExportFleetStats(const FleetStats& stats, const std::string& prefix,
                       obs::MetricSet* metrics);
 
+// Buffer-pool view (ISSUE 8): headline hit/miss/oversize counters, slab
+// inventory gauges and per-size-class occupancy under
+// `prefix + "class.<bytes>."`. Skipped entirely when the pool was never
+// touched, so pool-free runs stay uncluttered.
+void ExportPoolStats(const PoolStats& stats, const std::string& prefix,
+                     obs::MetricSet* metrics);
+
+// Process-wide data-path counters (buffer allocations + staging copies).
+void ExportMemPathCounters(const MemPathCounters& counters, const std::string& prefix,
+                           obs::MetricSet* metrics);
+
 }  // namespace cdpu
 
 #endif  // SRC_RUNTIME_STATS_EXPORT_H_

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -71,14 +72,36 @@ Result<std::unique_ptr<ServiceConnection>> ServiceConnection::Dial(const std::st
   return std::unique_ptr<ServiceConnection>(new ServiceConnection(fd));
 }
 
-Status ServiceConnection::Call(const Frame& request, Frame* response) {
+Status ServiceConnection::Call(const Frame& request, ByteSpan payload, Frame* response) {
   if (!healthy_) {
     return Status::Unavailable("connection poisoned by an earlier error");
   }
-  ByteVec wire = EncodeFrame(request);
+  uint8_t header[kHeaderBytes];
+  EncodeFrameHeader(request, payload, header);
+  const size_t total = kHeaderBytes + payload.size();
   size_t sent = 0;
-  while (sent < wire.size()) {
-    ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+  while (sent < total) {
+    iovec iov[2];
+    int iovcnt = 0;
+    if (sent < kHeaderBytes) {
+      iov[iovcnt].iov_base = header + sent;
+      iov[iovcnt].iov_len = kHeaderBytes - sent;
+      ++iovcnt;
+      if (!payload.empty()) {
+        iov[iovcnt].iov_base = const_cast<uint8_t*>(payload.data());
+        iov[iovcnt].iov_len = payload.size();
+        ++iovcnt;
+      }
+    } else {
+      size_t off = sent - kHeaderBytes;
+      iov[iovcnt].iov_base = const_cast<uint8_t*>(payload.data()) + off;
+      iov[iovcnt].iov_len = payload.size() - off;
+      ++iovcnt;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<size_t>(iovcnt);
+    ssize_t n = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) {
         continue;
@@ -89,7 +112,6 @@ Status ServiceConnection::Call(const Frame& request, Frame* response) {
     sent += static_cast<size_t>(n);
   }
 
-  uint8_t buf[64 * 1024];
   for (;;) {
     Frame frame;
     FrameParser::Event ev = parser_.Next(&frame);
@@ -106,9 +128,10 @@ Status ServiceConnection::Call(const Frame& request, Frame* response) {
       *response = std::move(frame);
       return Status::Ok();
     }
-    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    uint8_t* tail = parser_.WritableTail(16 * 1024);
+    ssize_t n = ::recv(fd_, tail, parser_.writable(), 0);
     if (n > 0) {
-      parser_.Feed(ByteSpan(buf, static_cast<size_t>(n)));
+      parser_.Commit(static_cast<size_t>(n));
       continue;
     }
     if (n < 0 && errno == EINTR) {
@@ -141,7 +164,8 @@ CallResult ServiceClient::Call(bool decompress, const std::string& codec_name,
   }
   request.flags = decompress ? kFlagDecompress : 0;
   request.tenant_id = options_.tenant;
-  request.payload.assign(payload.begin(), payload.end());
+  // The payload rides as the caller's span for the whole call (including
+  // BUSY retries) — the request path stages no client-side copy of it.
 
   uint64_t t0 = NowNs();
   Result<std::unique_ptr<ServiceConnection>> conn = Acquire();
@@ -154,7 +178,7 @@ CallResult ServiceClient::Call(bool decompress, const std::string& codec_name,
   for (uint32_t attempt = 0;; ++attempt) {
     request.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
     Frame response;
-    Status transport = connection->Call(request, &response);
+    Status transport = connection->Call(request, payload, &response);
     if (!transport.ok()) {
       result.status = transport;  // connection is poisoned; do not pool it
       result.wall_ns = NowNs() - t0;

@@ -39,10 +39,16 @@ class ServiceConnection {
   static Result<std::unique_ptr<ServiceConnection>> Dial(const std::string& host, uint16_t port,
                                                          uint64_t io_timeout_ms = 30'000);
 
-  // Writes `request` and blocks for the matching response (the protocol is
-  // strictly request/response per connection). Any transport or framing
-  // failure poisons the connection.
-  Status Call(const Frame& request, Frame* response);
+  // Writes `request` with `payload` as its body and blocks for the matching
+  // response (the protocol is strictly request/response per connection). The
+  // header is encoded into a stack buffer and sent together with the
+  // caller's payload span via scatter/gather — no flattened wire copy. Any
+  // transport or framing failure poisons the connection.
+  //
+  // The response frame's payload is a refcounted view into this connection's
+  // pooled receive segment; it stays valid after the connection is returned
+  // to the pool (the parser re-homes around live views).
+  Status Call(const Frame& request, ByteSpan payload, Frame* response);
 
   bool healthy() const { return healthy_; }
 
@@ -51,6 +57,9 @@ class ServiceConnection {
 
   int fd_;
   bool healthy_ = true;
+  // Receive scratch: the parser's pooled segment persists for the life of
+  // the connection, so pooled connections reuse it across calls instead of
+  // filling (and discarding) a fresh stack buffer per response.
   FrameParser parser_;
 };
 
@@ -69,7 +78,10 @@ struct ClientOptions {
 
 struct CallResult {
   Status status;             // OK, the server's error, or a transport error
-  ByteVec output;
+  // Refcounted view of the connection's receive buffer (zero-copy; converts
+  // to ByteSpan). Holding it pins one pool segment — callers that archive
+  // results long-term should copy out.
+  IoBuf output;
   uint32_t busy_retries = 0;  // BUSY responses absorbed before this outcome
   uint64_t wall_ns = 0;       // first submit to final response
 };

@@ -1,6 +1,7 @@
 #include "src/svc/loadgen.h"
 
 #include <algorithm>
+#include <barrier>
 #include <chrono>
 #include <map>
 #include <mutex>
@@ -21,6 +22,7 @@ struct WorkerOutcome {
   uint64_t busy = 0;
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
+  uint64_t calls = 0;  // measured wire calls (compress + verify decompress)
   SampleSet latency_us;
   uint32_t tenant = 0;
 };
@@ -47,7 +49,11 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
   std::vector<WorkerOutcome> outcomes(options.clients);
   std::vector<std::thread> workers;
   workers.reserve(options.clients);
-  auto t0 = std::chrono::steady_clock::now();
+  // Two barriers bracket the measured phase: the main thread snapshots the
+  // mem-path counters and starts the clock after every worker has finished
+  // warm-up, and before any worker issues a measured request.
+  std::barrier warmup_done(static_cast<std::ptrdiff_t>(options.clients) + 1);
+  std::barrier measure_start(static_cast<std::ptrdiff_t>(options.clients) + 1);
   for (uint32_t w = 0; w < options.clients; ++w) {
     workers.emplace_back([&, w] {
       WorkerOutcome& out = outcomes[w];
@@ -64,8 +70,17 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
 
       ByteVec payload =
           GenerateWithRatio(options.target_ratio, options.payload_bytes, options.seed + w);
+      for (uint64_t i = 0; i < options.warmup_requests_per_client; ++i) {
+        CallResult c = client.Compress(options.codec, payload);
+        if (c.status.ok() && options.verify) {
+          client.Decompress(options.codec, c.output);
+        }
+      }
+      warmup_done.arrive_and_wait();
+      measure_start.arrive_and_wait();
       for (uint64_t i = 0; i < options.requests_per_client; ++i) {
         CallResult c = client.Compress(options.codec, payload);
+        ++out.calls;
         out.busy += c.busy_retries;
         if (!c.status.ok()) {
           ++out.failed;
@@ -76,6 +91,7 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
         out.bytes_out += c.output.size();
         if (options.verify) {
           CallResult d = client.Decompress(options.codec, c.output);
+          ++out.calls;
           out.busy += d.busy_retries;
           if (!d.status.ok()) {
             ++out.failed;
@@ -91,6 +107,10 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
       }
     });
   }
+  warmup_done.arrive_and_wait();
+  MemPathCounters mem0 = MemPathSnapshot();
+  auto t0 = std::chrono::steady_clock::now();
+  measure_start.arrive_and_wait();
   for (std::thread& w : workers) {
     w.join();
   }
@@ -98,6 +118,11 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
   LoadGenReport report;
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  MemPathCounters mem1 = MemPathSnapshot();
+  report.mem_path.buffer_allocs = mem1.buffer_allocs - mem0.buffer_allocs;
+  report.mem_path.buffer_alloc_bytes = mem1.buffer_alloc_bytes - mem0.buffer_alloc_bytes;
+  report.mem_path.payload_copies = mem1.payload_copies - mem0.payload_copies;
+  report.mem_path.payload_copy_bytes = mem1.payload_copy_bytes - mem0.payload_copy_bytes;
   std::map<uint32_t, TenantLoadStats> tenants;
   for (WorkerOutcome& out : outcomes) {
     report.requests_ok += out.ok;
@@ -106,6 +131,7 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
     report.busy_rejections += out.busy;
     report.bytes_in += out.bytes_in;
     report.bytes_out += out.bytes_out;
+    report.measured_calls += out.calls;
     TenantLoadStats& t = tenants[out.tenant];
     t.tenant = out.tenant;
     t.ok += out.ok;

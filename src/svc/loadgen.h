@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/iobuf.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
 
@@ -31,6 +32,11 @@ struct LoadGenOptions {
   uint64_t seed = 0x10adULL;
   uint32_t busy_retries = 64;    // generous: closed-loop clients wait out BUSY
   uint64_t busy_backoff_us = 100;
+  // Unmeasured requests per client issued before the measured phase, so pool
+  // freelists / job freelists / codec scratch reach steady state first. The
+  // mem-path counters below are snapshotted after every client finishes
+  // warm-up (barrier) and again after the measured phase.
+  uint64_t warmup_requests_per_client = 0;
 };
 
 struct TenantLoadStats {
@@ -47,12 +53,28 @@ struct LoadGenReport {
   uint64_t busy_rejections = 0;   // BUSY responses absorbed by retries
   uint64_t bytes_in = 0;          // original payload bytes offered
   uint64_t bytes_out = 0;         // compressed bytes received
-  double wall_seconds = 0;
+  double wall_seconds = 0;        // measured phase only (excludes warm-up)
   SampleSet latency_us;           // per-compress client-observed latency
   std::vector<TenantLoadStats> tenants;
 
+  // Process-wide data-path counter deltas across the measured phase, and the
+  // wire calls (compress + verify decompress) that produced them. Only
+  // meaningful when server and loadgen share the process (loopback benches).
+  MemPathCounters mem_path;
+  uint64_t measured_calls = 0;
+
   double throughput_mbps() const {
     return wall_seconds > 0 ? static_cast<double>(bytes_in) / 1e6 / wall_seconds : 0;
+  }
+  double allocs_per_request() const {
+    return measured_calls > 0
+               ? static_cast<double>(mem_path.buffer_allocs) / static_cast<double>(measured_calls)
+               : 0;
+  }
+  double copies_per_request() const {
+    return measured_calls > 0
+               ? static_cast<double>(mem_path.payload_copies) / static_cast<double>(measured_calls)
+               : 0;
   }
 };
 

@@ -7,6 +7,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -34,9 +35,65 @@ Status Errno(const std::string& what) {
 
 }  // namespace
 
-ServiceServer::ServiceServer(const ServerOptions& options) : options_(options) {}
+ServiceServer::ServiceServer(const ServerOptions& options)
+    : options_(options), pool_(options.pool) {}
 
-ServiceServer::~ServiceServer() { Stop(); }
+ServiceServer::~ServiceServer() {
+  Stop();
+  for (RequestCtx* ctx : ctx_pool_) {
+    delete ctx;
+  }
+  ctx_pool_.clear();
+}
+
+ServiceServer::RequestCtx* ServiceServer::AcquireCtx() {
+  {
+    std::lock_guard<std::mutex> lock(ctx_pool_mu_);
+    if (!ctx_pool_.empty()) {
+      RequestCtx* ctx = ctx_pool_.back();
+      ctx_pool_.pop_back();
+      return ctx;
+    }
+  }
+  auto* ctx = new RequestCtx;
+  ctx->server = this;
+  return ctx;
+}
+
+void ServiceServer::RecycleCtx(RequestCtx* ctx) {
+  ctx->meta = Completion{};
+  std::lock_guard<std::mutex> lock(ctx_pool_mu_);
+  ctx_pool_.push_back(ctx);
+}
+
+// Runs on a member runtime's reaper thread.
+void ServiceServer::OnOffloadComplete(const OffloadResult& result, void* vctx) {
+  auto* ctx = static_cast<RequestCtx*>(vctx);
+  ServiceServer* self = ctx->server;
+  Completion c = std::move(ctx->meta);
+  self->RecycleCtx(ctx);
+  c.status = result.status;
+  if (!result.output_buf.empty()) {
+    c.output = result.output_buf;  // refcount bump; no copy
+  } else if (!result.output.empty()) {
+    // Legacy ByteVec output (runtime without an output pool).
+    c.output = IoBuf::Copy(result.output_view(), &self->pool_);
+  }
+  self->PostCompletion(std::move(c));
+}
+
+const std::string* ServiceServer::ResolveCodecName(uint8_t codec, uint8_t level) {
+  const uint16_t key = static_cast<uint16_t>((codec << 8) | level);
+  auto it = codec_names_.find(key);
+  if (it == codec_names_.end()) {
+    std::string name = WireCodecToName(codec, level);
+    if (!name.empty() && MakeCodec(name) == nullptr) {
+      name.clear();  // wire-valid but not buildable: cache as invalid
+    }
+    it = codec_names_.emplace(key, std::move(name)).first;
+  }
+  return it->second.empty() ? nullptr : &it->second;
+}
 
 Status ServiceServer::Start() {
   if (running_.load() || loop_.joinable()) {
@@ -98,6 +155,11 @@ Status ServiceServer::Start() {
   // server is just a fleet of one built from options_.runtime.device.
   FleetOptions fleet_opts;
   fleet_opts.base = options_.runtime;
+  if (fleet_opts.base.output_pool == nullptr) {
+    // Engine threads write codec output into the server's pool so the
+    // response path can hand the same segment to sendmsg without a copy.
+    fleet_opts.base.output_pool = &pool_;
+  }
   fleet_opts.placement = options_.placement;
   if (options_.devices.empty()) {
     FleetDeviceSpec spec;
@@ -260,7 +322,10 @@ void ServiceServer::HandleAccept() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     uint64_t id = next_session_id_.fetch_add(1);
-    auto session = std::make_unique<Session>(options_.max_payload);
+    // Legacy (pooling-off) mode also restores the pre-pool copy-out parse so
+    // the mem_path experiment's baseline arm measures the old copy count.
+    auto session = std::make_unique<Session>(options_.max_payload, &pool_,
+                                             /*copy_payloads=*/!pool_.options().pooling);
     session->id = id;
     session->fd = fd;
     epoll_event ev{};
@@ -277,48 +342,53 @@ void ServiceServer::HandleAccept() {
 }
 
 void ServiceServer::HandleReadable(Session* session) {
-  uint8_t buf[64 * 1024];
+  // recv() lands directly in the parser's pooled receive segment; decoded
+  // payloads become refcounted views into it, so the socket -> runtime path
+  // never stages bytes through a stack buffer. Frames are drained after
+  // every recv so the read cursor advances while the burst streams in — the
+  // segment recycles in place instead of accumulating the whole burst.
+  constexpr size_t kRecvChunk = 16 * 1024;
+  const uint64_t id = session->id;
   for (;;) {
-    ssize_t n = ::recv(session->fd, buf, sizeof(buf), 0);
+    uint8_t* tail = session->parser.WritableTail(kRecvChunk);
+    ssize_t n = ::recv(session->fd, tail, session->parser.writable(), 0);
     if (n > 0) {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         stats_.bytes_rx += static_cast<uint64_t>(n);
       }
-      session->parser.Feed(ByteSpan(buf, static_cast<size_t>(n)));
+      session->parser.Commit(static_cast<size_t>(n));
+      for (;;) {
+        uint64_t decode_start = trace_writer_ != nullptr ? trace::NowNs() : 0;
+        Frame frame;
+        FrameParser::Event ev = session->parser.Next(&frame);
+        if (ev == FrameParser::Event::kNeedMore) {
+          break;
+        }
+        if (ev == FrameParser::Event::kError) {
+          CloseSession(id, /*protocol_error=*/true);
+          return;
+        }
+        uint64_t decode_end = trace_writer_ != nullptr ? trace::NowNs() : 0;
+        HandleRequest(session, std::move(frame), decode_start, decode_end);
+        if (sessions_.find(id) == sessions_.end()) {
+          return;  // request handling closed the session
+        }
+      }
       continue;
     }
     if (n == 0) {
-      CloseSession(session->id, /*protocol_error=*/false);
+      CloseSession(id, /*protocol_error=*/false);
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      break;
+      return;
     }
     if (errno == EINTR) {
       continue;
     }
-    CloseSession(session->id, /*protocol_error=*/false);
+    CloseSession(id, /*protocol_error=*/false);
     return;
-  }
-
-  uint64_t id = session->id;
-  for (;;) {
-    uint64_t decode_start = trace_writer_ != nullptr ? trace::NowNs() : 0;
-    Frame frame;
-    FrameParser::Event ev = session->parser.Next(&frame);
-    if (ev == FrameParser::Event::kNeedMore) {
-      return;
-    }
-    if (ev == FrameParser::Event::kError) {
-      CloseSession(id, /*protocol_error=*/true);
-      return;
-    }
-    uint64_t decode_end = trace_writer_ != nullptr ? trace::NowNs() : 0;
-    HandleRequest(session, std::move(frame), decode_start, decode_end);
-    if (sessions_.find(id) == sessions_.end()) {
-      return;  // request handling closed the session
-    }
   }
 }
 
@@ -346,8 +416,8 @@ void ServiceServer::HandleRequest(Session* session, Frame&& frame, uint64_t deco
     }
   }
 
-  std::string codec_name = WireCodecToName(frame.codec, frame.level);
-  if (codec_name.empty() || MakeCodec(codec_name) == nullptr) {
+  const std::string* codec_name = ResolveCodecName(frame.codec, frame.level);
+  if (codec_name == nullptr) {
     Respond(session, frame.request_id, frame.tenant_id, frame.codec, frame.level, frame.flags,
             StatusCode::kInvalidArgument, {});
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -369,23 +439,22 @@ void ServiceServer::HandleRequest(Session* session, Frame&& frame, uint64_t deco
     return;
   }
 
-  // The payload must outlive Submit(): park it on the heap and let the
-  // completion callback reclaim it.
-  auto* payload = new ByteVec(std::move(frame.payload));
-  Completion meta;
-  meta.session_id = session->id;
-  meta.request_id = frame.request_id;
-  meta.tenant_id = frame.tenant_id;
-  meta.codec = frame.codec;
-  meta.level = frame.level;
-  meta.flags = frame.flags;
-  meta.enqueue_wall = NowNs();
-  meta.trace_id = trace_id;
+  RequestCtx* ctx = AcquireCtx();
+  ctx->meta.session_id = session->id;
+  ctx->meta.request_id = frame.request_id;
+  ctx->meta.tenant_id = frame.tenant_id;
+  ctx->meta.codec = frame.codec;
+  ctx->meta.level = frame.level;
+  ctx->meta.flags = frame.flags;
+  ctx->meta.enqueue_wall = NowNs();
+  ctx->meta.trace_id = trace_id;
 
   OffloadRequest req;
   req.op = (frame.flags & kFlagDecompress) != 0 ? CdpuOp::kDecompress : CdpuOp::kCompress;
-  req.input = *payload;
-  req.codec = codec_name;
+  // The payload view keeps the parser segment alive by refcount through
+  // queueing, device retries and CPU fallback — no heap parking, no copy.
+  req.input_buf = std::move(frame.payload);
+  req.codec = *codec_name;
   req.queue_pair =
       static_cast<uint32_t>(session->id % runtime_->options().base.queue_pairs);
   if (trace_writer_ != nullptr) {
@@ -394,15 +463,10 @@ void ServiceServer::HandleRequest(Session* session, Frame&& frame, uint64_t deco
     req.trace_id = trace_id != 0 ? trace_id : kTraceNone;
   }
   req.tenant = frame.tenant_id;
-  req.callback = [this, payload, meta](const OffloadResult& result) {
-    Completion c = meta;
-    c.status = result.status;
-    c.output = result.output;  // copy: the result object is reused for the future
-    delete payload;
-    PostCompletion(std::move(c));
-  };
+  req.on_complete = &ServiceServer::OnOffloadComplete;
+  req.on_complete_ctx = ctx;
   uint32_t qp = req.queue_pair;
-  runtime_->Submit(std::move(req));
+  runtime_->SubmitCallback(std::move(req));
   if (options_.flush_every_request) {
     runtime_->Flush(qp);
   }
@@ -418,7 +482,8 @@ void ServiceServer::PostCompletion(Completion&& completion) {
 }
 
 void ServiceServer::DrainCompletions() {
-  std::vector<Completion> batch;
+  std::vector<Completion>& batch = drain_scratch_;
+  batch.clear();  // destroys last round's entries, keeps capacity
   {
     std::lock_guard<std::mutex> lock(completion_mu_);
     batch.swap(completions_);
@@ -449,11 +514,12 @@ void ServiceServer::DrainCompletions() {
       }
     }
   }
+  batch.clear();  // release output refcounts now, not at the next drain
 }
 
 void ServiceServer::Respond(Session* session, uint64_t request_id, uint32_t tenant_id,
                             uint8_t codec, uint8_t level, uint16_t flags, StatusCode code,
-                            ByteVec payload) {
+                            IoBuf payload) {
   Frame response;
   response.type = FrameType::kResponse;
   response.codec = codec;
@@ -462,17 +528,40 @@ void ServiceServer::Respond(Session* session, uint64_t request_id, uint32_t tena
   response.flags = flags;
   response.request_id = request_id;
   response.tenant_id = tenant_id;
-  response.payload = std::move(payload);
-  session->outbox.push_back(EncodeFrame(response));
+  // Queue the header + a refcounted handle on the payload segment; the
+  // socket write gathers both without ever flattening them into one buffer.
+  session->outbox.emplace_back();
+  OutMsg& msg = session->outbox.back();
+  EncodeFrameHeader(response, payload.span(), msg.header.data());
+  msg.payload = std::move(payload);
   FlushOutbox(session);
 }
 
 void ServiceServer::FlushOutbox(Session* session) {
   while (!session->outbox.empty()) {
-    const ByteVec& front = session->outbox.front();
-    size_t remaining = front.size() - session->outbox_offset;
-    ssize_t n = ::send(session->fd, front.data() + session->outbox_offset, remaining,
-                       MSG_NOSIGNAL);
+    const OutMsg& front = session->outbox.front();
+    const size_t off = session->outbox_offset;
+    iovec iov[2];
+    int iovcnt = 0;
+    if (off < kHeaderBytes) {
+      iov[iovcnt].iov_base = const_cast<uint8_t*>(front.header.data()) + off;
+      iov[iovcnt].iov_len = kHeaderBytes - off;
+      ++iovcnt;
+      if (!front.payload.empty()) {
+        iov[iovcnt].iov_base = const_cast<uint8_t*>(front.payload.data());
+        iov[iovcnt].iov_len = front.payload.size();
+        ++iovcnt;
+      }
+    } else {
+      const size_t poff = off - kHeaderBytes;
+      iov[iovcnt].iov_base = const_cast<uint8_t*>(front.payload.data()) + poff;
+      iov[iovcnt].iov_len = front.payload.size() - poff;
+      ++iovcnt;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<size_t>(iovcnt);
+    ssize_t n = ::sendmsg(session->fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
@@ -539,6 +628,8 @@ ServiceStats ServiceServer::Snapshot() const {
     s.fleet = runtime_->Snapshot();
     s.runtime = s.fleet.merged;
   }
+  s.pool = pool_.Snapshot();
+  s.mem_path = MemPathSnapshot();
   return s;
 }
 

@@ -28,6 +28,7 @@
 #ifndef SRC_SVC_SERVER_H_
 #define SRC_SVC_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -51,6 +52,12 @@ struct ServerOptions {
   uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
   uint32_t max_sessions = 256;
   size_t max_payload = kMaxPayloadBytes;
+  // Request-path buffer pool (ISSUE 8): sizes the server-owned BufferPool
+  // that backs parser receive segments, request payloads and codec output.
+  // Setting pool.pooling=false keeps the identical code path but sends every
+  // buffer to the heap — the legacy arm of the mem_path experiment (payloads
+  // are then also copied out of the receive buffer, pre-pool behaviour).
+  PoolOptions pool;
   AdmissionOptions admission;
   // Ring the runtime doorbell after every submission instead of waiting for
   // a full batch or the coalescing window. A service answering closed-loop
@@ -92,6 +99,8 @@ struct ServiceStats {
   std::vector<TenantSnapshot> tenants;
   RuntimeStats runtime;  // merged counters across the backing fleet
   FleetStats fleet;      // per-device runtime stats + router occupancy views
+  PoolStats pool;        // server-owned buffer pool (hits/misses/occupancy)
+  MemPathCounters mem_path;  // process-wide data-path alloc/copy counters
 };
 
 class ServiceServer {
@@ -116,18 +125,31 @@ class ServiceServer {
   const ServerOptions& options() const { return options_; }
 
  private:
+  // One queued response: 40-byte header on the message itself, payload as a
+  // refcounted pool buffer. FlushOutbox writes both with one sendmsg
+  // (scatter/gather) — the response path never flattens header + payload
+  // into a staging ByteVec.
+  struct OutMsg {
+    std::array<uint8_t, kHeaderBytes> header;
+    IoBuf payload;
+    size_t size() const { return kHeaderBytes + payload.size(); }
+  };
+
   struct Session {
     uint64_t id = 0;
     int fd = -1;
     FrameParser parser;
-    std::deque<ByteVec> outbox;  // pending writes; front may be partially sent
+    std::deque<OutMsg> outbox;  // pending writes; front may be partially sent
     size_t outbox_offset = 0;
     bool want_write = false;
 
-    explicit Session(size_t max_payload) : parser(max_payload) {}
+    Session(size_t max_payload, BufferPool* pool, bool copy_payloads)
+        : parser(max_payload, pool, copy_payloads) {}
   };
 
-  // A completed offload job travelling reaper thread -> event loop.
+  // A completed offload job travelling reaper thread -> event loop. The
+  // output IoBuf shares the engine's pooled output segment (refcount bump,
+  // no copy).
   struct Completion {
     uint64_t session_id = 0;
     uint64_t request_id = 0;
@@ -138,8 +160,19 @@ class ServiceServer {
     uint64_t enqueue_wall = 0;
     uint64_t trace_id = 0;  // 0 = request not sampled
     Status status;
-    ByteVec output;
+    IoBuf output;
   };
+
+  // Pooled per-request context for the runtime's raw completion hook —
+  // replaces the per-request std::function closure (and its heap-parked
+  // payload copy) the pre-pool server allocated.
+  struct RequestCtx {
+    ServiceServer* server = nullptr;
+    Completion meta;
+  };
+  static void OnOffloadComplete(const OffloadResult& result, void* vctx);
+  RequestCtx* AcquireCtx();
+  void RecycleCtx(RequestCtx* ctx);
 
   void EventLoop();
   void HandleAccept();
@@ -149,17 +182,31 @@ class ServiceServer {
   void HandleRequest(Session* session, Frame&& frame, uint64_t decode_start,
                      uint64_t decode_end);
   void Respond(Session* session, uint64_t request_id, uint32_t tenant_id, uint8_t codec,
-               uint8_t level, uint16_t flags, StatusCode code, ByteVec payload);
+               uint8_t level, uint16_t flags, StatusCode code, IoBuf payload);
   void FlushOutbox(Session* session);
   void UpdateEpoll(Session* session);
   void CloseSession(uint64_t session_id, bool protocol_error);
   void DrainCompletions();
   void PostCompletion(Completion&& completion);
+  // Event-loop-only cache of wire (codec, level) -> factory name/validity,
+  // so the hot path neither rebuilds the name string nor constructs a codec
+  // instance per request.
+  const std::string* ResolveCodecName(uint8_t codec, uint8_t level);
 
   ServerOptions options_;
+  // Declared before the runtime/sessions that carve buffers from it:
+  // members are destroyed in reverse order, so the pool outlives every IoBuf.
+  BufferPool pool_;
   uint32_t admission_ceiling_ = 0;  // resolved + clamped global ceiling
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<FleetRuntime> runtime_;
+
+  // RequestCtx freelist (Acquire on the event loop, Recycle on reapers).
+  std::mutex ctx_pool_mu_;
+  std::vector<RequestCtx*> ctx_pool_;
+
+  // (codec << 8 | level) -> factory name; empty string = invalid combo.
+  std::unordered_map<uint16_t, std::string> codec_names_;  // event-loop only
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
@@ -173,9 +220,13 @@ class ServiceServer {
   std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
   trace::TraceSink::Writer* trace_writer_ = nullptr;  // event-loop thread only
 
-  // Reaper -> event loop handoff.
+  // Reaper -> event loop handoff. drain_scratch_ is the event loop's
+  // swap-back buffer: DrainCompletions exchanges it with completions_ under
+  // the lock, so both vectors keep their capacity and the steady-state
+  // handoff allocates nothing.
   std::mutex completion_mu_;
   std::vector<Completion> completions_;
+  std::vector<Completion> drain_scratch_;  // event-loop thread only
 
   // Counters shared with Snapshot().
   mutable std::mutex stats_mu_;

@@ -37,6 +37,8 @@ void ExportServiceStats(const ServiceStats& stats, const std::string& prefix,
   } else {
     ExportFleetStats(stats.fleet, prefix + "runtime.", metrics);
   }
+  ExportPoolStats(stats.pool, prefix + "pool.", metrics);
+  ExportMemPathCounters(stats.mem_path, prefix + "mem_path.", metrics);
 }
 
 }  // namespace svc

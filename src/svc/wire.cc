@@ -1,5 +1,6 @@
 #include "src/svc/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/crc32.h"
@@ -7,6 +8,11 @@
 namespace cdpu {
 namespace svc {
 namespace {
+
+// Default receive-segment size: big enough that a quick-preset request
+// (4 KB / 64 KB payloads) plus pipelined successors usually fit in one
+// segment, small enough that idle sessions don't pin much pool memory.
+constexpr size_t kParserSegmentBytes = 64 * 1024;
 
 void PutU16(uint8_t* p, uint16_t v) {
   p[0] = static_cast<uint8_t>(v);
@@ -112,22 +118,27 @@ std::string WireCodecToName(uint8_t codec, uint8_t level) {
   return "";
 }
 
+void EncodeFrameHeader(const Frame& frame, ByteSpan payload, uint8_t* out) {
+  std::memset(out, 0, kHeaderBytes);
+  PutU32(out + 0, kWireMagic);
+  out[4] = kWireVersion;
+  out[5] = static_cast<uint8_t>(frame.type);
+  out[6] = frame.codec;
+  out[7] = frame.level;
+  out[8] = frame.status;
+  out[9] = 0;
+  PutU16(out + 10, frame.flags);
+  PutU64(out + 12, frame.request_id);
+  PutU32(out + 20, frame.tenant_id);
+  PutU32(out + 24, static_cast<uint32_t>(payload.size()));
+  PutU32(out + 28, Crc32(payload));
+  PutU32(out + 32, Crc32(ByteSpan(out, 32)));
+  PutU32(out + 36, 0);
+}
+
 void AppendFrame(const Frame& frame, ByteVec* out) {
-  uint8_t header[kHeaderBytes] = {0};
-  PutU32(header + 0, kWireMagic);
-  header[4] = kWireVersion;
-  header[5] = static_cast<uint8_t>(frame.type);
-  header[6] = frame.codec;
-  header[7] = frame.level;
-  header[8] = frame.status;
-  header[9] = 0;
-  PutU16(header + 10, frame.flags);
-  PutU64(header + 12, frame.request_id);
-  PutU32(header + 20, frame.tenant_id);
-  PutU32(header + 24, static_cast<uint32_t>(frame.payload.size()));
-  PutU32(header + 28, Crc32(frame.payload));
-  PutU32(header + 32, Crc32(ByteSpan(header, 32)));
-  PutU32(header + 36, 0);
+  uint8_t header[kHeaderBytes];
+  EncodeFrameHeader(frame, frame.payload.span(), header);
   out->insert(out->end(), header, header + kHeaderBytes);
   out->insert(out->end(), frame.payload.begin(), frame.payload.end());
 }
@@ -139,17 +150,65 @@ ByteVec EncodeFrame(const Frame& frame) {
   return out;
 }
 
+FrameParser::FrameParser(size_t max_payload, BufferPool* pool, bool copy_payloads)
+    : max_payload_(max_payload),
+      pool_(pool != nullptr ? pool : &BufferPool::Default()),
+      copy_payloads_(copy_payloads) {}
+
+void FrameParser::EnsureWritable(size_t min_bytes) {
+  const size_t live = buffered();
+  // Fast paths: the tail already fits, or the whole segment is consumed and
+  // no outstanding payload view pins it — rewind the cursors in place.
+  if (buf_.capacity() != 0) {
+    if (live == 0 && buf_.unique()) {
+      rpos_ = 0;
+      wpos_ = 0;
+    }
+    if (buf_.capacity() - wpos_ >= min_bytes) {
+      return;
+    }
+  }
+  // Re-home: move the unconsumed remainder (at most one partial frame) into
+  // a fresh segment sized for the whole frame when the header already tells
+  // us how big it will be. The old segment stays alive — refcounted — until
+  // the last payload view into it is released.
+  size_t need = live + std::max(min_bytes, kParserSegmentBytes);
+  if (live >= kHeaderBytes) {
+    const uint8_t* h = buf_.data() + rpos_;
+    if (GetU32(h) == kWireMagic && h[4] == kWireVersion) {
+      const uint64_t frame_len =
+          kHeaderBytes + std::min<uint64_t>(GetU32(h + 24), max_payload_);
+      need = std::max<size_t>(need, static_cast<size_t>(frame_len));
+    }
+  }
+  IoBuf next = pool_->Allocate(need);
+  next.Resize(next.capacity());  // the parser addresses the full segment
+  if (live > 0) {
+    std::memcpy(next.data(), buf_.data() + rpos_, live);
+    NotePayloadCopy(live);  // re-home copies count against the memory path
+  }
+  buf_ = std::move(next);
+  rpos_ = 0;
+  wpos_ = live;
+}
+
+uint8_t* FrameParser::WritableTail(size_t min_bytes) {
+  EnsureWritable(std::max<size_t>(min_bytes, 1));
+  return buf_.data() + wpos_;
+}
+
+size_t FrameParser::writable() const {
+  return buf_.capacity() > wpos_ ? buf_.capacity() - wpos_ : 0;
+}
+
+void FrameParser::Commit(size_t n) { wpos_ += std::min(n, writable()); }
+
 void FrameParser::Feed(ByteSpan data) {
-  if (!error_.ok()) {
-    return;  // poisoned; drop everything
+  if (!error_.ok() || data.empty()) {
+    return;  // poisoned parsers drop everything
   }
-  // Compact the consumed prefix before growing: sessions that speak many
-  // small frames would otherwise accumulate an unbounded buffer.
-  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
-    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
-    pos_ = 0;
-  }
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  std::memcpy(WritableTail(data.size()), data.data(), data.size());
+  Commit(data.size());
 }
 
 FrameParser::Event FrameParser::Next(Frame* out) {
@@ -159,7 +218,7 @@ FrameParser::Event FrameParser::Next(Frame* out) {
   if (buffered() < kHeaderBytes) {
     return Event::kNeedMore;
   }
-  const uint8_t* h = buf_.data() + pos_;
+  const uint8_t* h = buf_.data() + rpos_;
   if (GetU32(h) != kWireMagic) {
     error_ = Status::CorruptData("bad frame magic");
     return Event::kError;
@@ -204,8 +263,12 @@ FrameParser::Event FrameParser::Next(Frame* out) {
   out->flags = GetU16(h + 10);
   out->request_id = GetU64(h + 12);
   out->tenant_id = GetU32(h + 20);
-  out->payload.assign(payload, payload + payload_len);
-  pos_ += kHeaderBytes + payload_len;
+  if (copy_payloads_) {
+    out->payload = IoBuf::Copy(ByteSpan(payload, payload_len), pool_);
+  } else {
+    out->payload = buf_.View(rpos_ + kHeaderBytes, payload_len);
+  }
+  rpos_ += kHeaderBytes + payload_len;
   return Event::kFrame;
 }
 

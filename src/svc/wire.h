@@ -28,6 +28,15 @@
 // well-formed request the server cannot satisfy (unknown codec, admission
 // BUSY, codec failure) gets a response frame carrying a non-OK status
 // instead.
+//
+// Memory path (ISSUE 8): the parser accumulates socket bytes in refcounted
+// pool segments and hands each decoded payload out as an IoBuf *view* into
+// the segment it arrived in — no per-frame copy. Callers recv() straight
+// into WritableTail()/Commit() to skip the staging copy entirely; Feed()
+// remains as the copying compatibility path. On the encode side
+// EncodeFrameHeader() emits just the 40-byte header so responses can be
+// written with scatter/gather I/O from the buffer the payload already
+// occupies.
 
 #ifndef SRC_SVC_WIRE_H_
 #define SRC_SVC_WIRE_H_
@@ -36,6 +45,7 @@
 #include <string>
 
 #include "src/codecs/codec.h"
+#include "src/common/iobuf.h"
 #include "src/common/status.h"
 
 namespace cdpu {
@@ -73,6 +83,10 @@ bool WireCodecFromName(const std::string& name, uint8_t* codec, uint8_t* level);
 std::string WireCodecToName(uint8_t codec, uint8_t level);
 
 // One decoded frame. `status` carries a StatusCode value on responses.
+// `payload` is a refcounted view into the parser's receive segment (or an
+// owned buffer on the encode side); holding it keeps the backing segment
+// alive, so the bytes stay valid across queueing, offload retries and the
+// response write without ever being copied.
 struct Frame {
   FrameType type = FrameType::kRequest;
   uint8_t codec = 0;
@@ -81,34 +95,59 @@ struct Frame {
   uint16_t flags = 0;
   uint64_t request_id = 0;
   uint32_t tenant_id = 0;
-  ByteVec payload;
+  IoBuf payload;
 };
 
-// Serialises `frame` (computing both CRCs) and appends it to `*out`.
+// Serialises the fixed header for `frame` over the given payload bytes
+// (computing both CRCs) into out[0, kHeaderBytes). The payload itself is
+// not written — pair the header with the payload via writev().
+void EncodeFrameHeader(const Frame& frame, ByteSpan payload, uint8_t* out);
+
+// Serialises `frame` (header + payload) and appends it to `*out`.
 void AppendFrame(const Frame& frame, ByteVec* out);
 ByteVec EncodeFrame(const Frame& frame);
 
-// Incremental frame decoder for a non-blocking byte stream. Feed() raw
-// socket bytes, then call Next() until it stops returning kFrame. Once a
+// Incremental frame decoder for a non-blocking byte stream. Ingest bytes
+// either zero-copy (recv into WritableTail(), then Commit()) or via the
+// copying Feed(); then call Next() until it stops returning kFrame. Once a
 // structural error is detected the parser is poisoned: every subsequent
 // Next() returns kError and the session must be dropped.
+//
+// Buffering is an offset cursor over one pooled segment: consuming a frame
+// advances the read cursor (O(1), never an erase), the segment is reused in
+// place once every outstanding payload view has been released, and when a
+// frame outgrows the remaining tail the unconsumed remainder (at most one
+// partial frame) is re-homed into a fresh segment — so a burst of pipelined
+// frames costs O(bytes), not O(frames * bytes).
 class FrameParser {
  public:
-  explicit FrameParser(size_t max_payload = kMaxPayloadBytes)
-      : max_payload_(max_payload < kMaxPayloadBytes ? max_payload : kMaxPayloadBytes) {}
+  explicit FrameParser(size_t max_payload = kMaxPayloadBytes, BufferPool* pool = nullptr,
+                       bool copy_payloads = false);
 
   void Feed(ByteSpan data);
+
+  // Zero-copy ingest: returns a pointer to at least min(min_bytes,
+  // max-frame-size) writable bytes, growing or re-homing the segment as
+  // needed; write into it and Commit() what was actually produced.
+  uint8_t* WritableTail(size_t min_bytes);
+  size_t writable() const;
+  void Commit(size_t n);
 
   enum class Event { kFrame, kNeedMore, kError };
   Event Next(Frame* out);
 
   const Status& error() const { return error_; }
-  size_t buffered() const { return buf_.size() - pos_; }
+  size_t buffered() const { return wpos_ - rpos_; }
 
  private:
+  void EnsureWritable(size_t min_bytes);
+
   size_t max_payload_;
-  ByteVec buf_;
-  size_t pos_ = 0;  // consumed prefix of buf_
+  BufferPool* pool_;
+  bool copy_payloads_;  // legacy mode: copy payloads out instead of viewing
+  IoBuf buf_;           // current receive segment (len == full capacity)
+  size_t rpos_ = 0;     // consumed prefix
+  size_t wpos_ = 0;     // committed bytes
   Status error_;
 };
 

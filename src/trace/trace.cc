@@ -27,6 +27,8 @@ const char* PhaseName(Phase phase) {
       return "complete";
     case Phase::kResponse:
       return "response";
+    case Phase::kAllocStall:
+      return "alloc_stall";
     case Phase::kNumPhases:
       break;
   }

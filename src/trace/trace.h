@@ -60,6 +60,7 @@ enum class Phase : uint8_t {
   kCodecEntropy,    // codec sub-span: Huffman/FSE coding
   kComplete,        // completion queue wait until the reaper posts the result
   kResponse,        // service: response encode + socket write
+  kAllocStall,      // nested: a pool miss forced a slab/heap allocation
   kNumPhases,
 };
 

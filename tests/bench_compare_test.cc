@@ -40,6 +40,11 @@ TEST(ClassifyMetricTest, NameDrivenPolicies) {
   EXPECT_EQ(ClassifyMetric("svc.runtime.sim_gbps").direction,
             MetricDirection::kHigherBetter);
   EXPECT_EQ(ClassifyMetric("tenant0.p99_us").direction, MetricDirection::kLowerBetter);
+  EXPECT_EQ(ClassifyMetric("trace.e2e_p99_us").direction, MetricDirection::kLowerBetter);
+  // Sub-span percentiles are breakdown diagnostics, not SLOs — too noisy on
+  // the quick preset to gate.
+  EXPECT_EQ(ClassifyMetric("trace.phase.codec.p99_us").direction,
+            MetricDirection::kInformational);
   EXPECT_EQ(ClassifyMetric("trace.phase.codec.mean_us").direction,
             MetricDirection::kInformational);
   EXPECT_EQ(ClassifyMetric("svc.runtime.max_inflight").direction,

@@ -1,0 +1,256 @@
+// Lifetime and recycling tests for the pooled buffer layer (ISSUE 8). These
+// run under ASan and TSan in CI: the cross-thread tests are the proof that a
+// segment allocated on one thread and released on another (the epoll ->
+// engine -> reaper relay the service performs per request) neither races nor
+// recycles memory early.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/iobuf.h"
+
+namespace cdpu {
+namespace {
+
+TEST(IoBufTest, AllocateRoundsUpToSizeClass) {
+  PoolOptions opts;
+  opts.min_segment_bytes = 4096;
+  opts.max_segment_bytes = 64 * 1024;
+  BufferPool pool(opts);
+
+  IoBuf a = pool.Allocate(100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a.capacity(), 4096u);  // rounded up to the smallest class
+  IoBuf b = pool.Allocate(4097);
+  EXPECT_EQ(b.capacity(), 8192u);
+
+  IoBuf empty = pool.Allocate(0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.data(), nullptr);
+  a.Reset();
+  b.Reset();
+}
+
+TEST(IoBufTest, RecycleReturnsSegmentToFreelist) {
+  BufferPool pool;
+  IoBuf a = pool.Allocate(1000);
+  const uint8_t* backing = a.data();
+  a.Reset();
+  // LIFO freelist: the very next same-class allocation reuses the segment.
+  IoBuf b = pool.Allocate(2000);
+  EXPECT_EQ(b.data(), backing);
+  PoolStats s = pool.Snapshot();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  b.Reset();
+  EXPECT_EQ(pool.Snapshot().outstanding_buffers, 0u);
+}
+
+TEST(IoBufTest, RefcountKeepsSegmentAliveThroughViews) {
+  BufferPool pool;
+  IoBuf view;
+  {
+    IoBuf whole = pool.Allocate(512);
+    std::memset(whole.data(), 0xAB, whole.size());
+    view = whole.View(100, 50);
+    EXPECT_FALSE(whole.unique());
+  }  // whole released; the view must still pin the segment
+  ASSERT_EQ(view.size(), 50u);
+  EXPECT_TRUE(view.unique());
+  for (uint8_t byte : view) {
+    ASSERT_EQ(byte, 0xAB);
+  }
+  EXPECT_EQ(pool.Snapshot().outstanding_buffers, 1u);
+  view.Reset();
+  EXPECT_EQ(pool.Snapshot().outstanding_buffers, 0u);
+}
+
+TEST(IoBufTest, DoubleResetIsSafe) {
+  BufferPool pool;
+  IoBuf a = pool.Allocate(64);
+  a.Reset();
+  a.Reset();  // second release on an empty handle must be a no-op
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(pool.Snapshot().outstanding_buffers, 0u);
+
+  // Copy + reset both: one segment, two handles, exactly one recycle.
+  IoBuf b = pool.Allocate(64);
+  IoBuf c = b;
+  b.Reset();
+  b.Reset();
+  EXPECT_EQ(pool.Snapshot().outstanding_buffers, 1u);
+  c.Reset();
+  EXPECT_EQ(pool.Snapshot().outstanding_buffers, 0u);
+}
+
+TEST(IoBufTest, SlabGrowthBanksWholeSlab) {
+  PoolOptions opts;
+  opts.segments_per_slab = 4;
+  BufferPool pool(opts);
+
+  MemPathCounters before = MemPathSnapshot();
+  std::vector<IoBuf> held;
+  for (int i = 0; i < 5; ++i) {  // 5th allocation forces a second slab
+    held.push_back(pool.Allocate(1024));
+  }
+  MemPathCounters after = MemPathSnapshot();
+  PoolStats s = pool.Snapshot();
+  EXPECT_EQ(s.slabs, 2u);
+  EXPECT_EQ(s.misses, 2u);  // one per slab growth — not one per allocation
+  EXPECT_EQ(s.hits, 3u);    // the banked segments of slab one
+  // The alloc counter moves per slab, not per buffer: 5 buffers, 2 allocs.
+  EXPECT_EQ(after.buffer_allocs - before.buffer_allocs, 2u);
+  held.clear();
+  EXPECT_EQ(pool.Snapshot().outstanding_buffers, 0u);
+  EXPECT_GT(pool.Snapshot().slab_bytes, 0u);  // backing memory is retained
+}
+
+TEST(IoBufTest, OversizeFallsThroughToHeapAndFrees) {
+  PoolOptions opts;
+  opts.max_segment_bytes = 64 * 1024;
+  BufferPool pool(opts);
+
+  bool missed = false;
+  IoBuf big = pool.Allocate(256 * 1024, &missed);
+  EXPECT_TRUE(missed);
+  EXPECT_EQ(big.size(), 256u * 1024u);
+  PoolStats s = pool.Snapshot();
+  EXPECT_EQ(s.oversize, 1u);
+  EXPECT_EQ(s.outstanding_buffers, 1u);
+  big.Reset();
+  s = pool.Snapshot();
+  EXPECT_EQ(s.outstanding_buffers, 0u);
+  EXPECT_EQ(s.slabs, 0u);  // never entered a freelist
+}
+
+TEST(IoBufTest, PoolingDisabledNeverRecycles) {
+  PoolOptions opts;
+  opts.pooling = false;
+  BufferPool pool(opts);
+
+  IoBuf a = pool.Allocate(4096);
+  const uint8_t* backing = a.data();
+  a.Reset();
+  IoBuf b = pool.Allocate(4096);
+  // The heap may or may not hand back the same address; the pool's own
+  // counters must show it never served a freelist hit.
+  (void)backing;
+  PoolStats s = pool.Snapshot();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.slabs, 0u);
+  b.Reset();
+  EXPECT_EQ(pool.Snapshot().outstanding_buffers, 0u);
+}
+
+TEST(IoBufTest, CopyStagesBytesAndCountsTheCopy) {
+  BufferPool pool;
+  std::vector<uint8_t> src(1000);
+  for (size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<uint8_t>(i * 7);
+  }
+  MemPathCounters before = MemPathSnapshot();
+  IoBuf copy = IoBuf::Copy(src, &pool);
+  MemPathCounters after = MemPathSnapshot();
+  ASSERT_EQ(copy.size(), src.size());
+  EXPECT_TRUE(std::equal(copy.begin(), copy.end(), src.begin()));
+  EXPECT_EQ(after.payload_copies - before.payload_copies, 1u);
+  EXPECT_EQ(after.payload_copy_bytes - before.payload_copy_bytes, src.size());
+  copy.Reset();
+}
+
+TEST(IoBufTest, ViewAndResizeClampToTheHandle) {
+  BufferPool pool;
+  IoBuf buf = pool.Allocate(100);
+  IoBuf past = buf.View(90, 50);
+  EXPECT_EQ(past.size(), 10u);  // clamped to the parent's view
+  IoBuf beyond = buf.View(200, 10);
+  EXPECT_EQ(beyond.size(), 0u);
+
+  buf.Resize(buf.capacity() + 1000);
+  EXPECT_EQ(buf.size(), buf.capacity());  // clamped, never past the segment
+  past.Reset();
+  beyond.Reset();
+  buf.Reset();
+}
+
+// Allocate on one thread, release on others — the service's actual relay
+// (epoll thread allocates the receive segment, an engine thread drops the
+// request view, the event loop drops the response view). TSan must see the
+// acq_rel handoff; ASan must see no early recycle. Each buffer carries a
+// per-iteration pattern that is verified just before the final release.
+TEST(IoBufTest, CrossThreadReleaseStress) {
+  BufferPool pool;
+  constexpr int kProducers = 2;
+  constexpr int kBuffersPerProducer = 2000;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<IoBuf> queue;
+  bool done = false;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kBuffersPerProducer; ++i) {
+        IoBuf buf = pool.Allocate(1024 + (i % 3) * 4096);
+        std::memset(buf.data(), static_cast<int>((p * 31 + i) & 0xFF), buf.size());
+        // A second handle released producer-side after the consumer may
+        // already hold the first: exercises concurrent non-final releases.
+        IoBuf extra = buf;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          queue.push_back(std::move(buf));
+        }
+        cv.notify_one();
+        extra.Reset();
+      }
+    });
+  }
+
+  std::thread consumer([&] {
+    int seen = 0;
+    while (seen < kProducers * kBuffersPerProducer) {
+      IoBuf buf;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !queue.empty() || done; });
+        if (queue.empty()) {
+          break;
+        }
+        buf = std::move(queue.front());
+        queue.pop_front();
+      }
+      ASSERT_FALSE(buf.empty());
+      const uint8_t expect = buf.data()[0];
+      for (size_t i = 1; i < buf.size(); i += 97) {
+        ASSERT_EQ(buf.data()[i], expect);
+      }
+      buf.Reset();
+      ++seen;
+    }
+  });
+
+  for (std::thread& t : producers) {
+    t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  cv.notify_all();
+  consumer.join();
+
+  PoolStats s = pool.Snapshot();
+  EXPECT_EQ(s.outstanding_buffers, 0u);
+  EXPECT_GT(s.hits, 0u);  // recycling across threads actually happened
+}
+
+}  // namespace
+}  // namespace cdpu

@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <future>
 #include <thread>
 #include <vector>
+
+#include "src/common/iobuf.h"
 
 #include "src/hw/device_configs.h"
 #include "src/workload/datagen.h"
@@ -301,6 +305,110 @@ TEST(OffloadRuntimeTest, ClosedLoopSimArrivalsSaturateDevice) {
   EXPECT_EQ(stats.jobs_completed, static_cast<uint64_t>(kThreads * kJobsPerThread));
   EXPECT_GT(stats.sim_gbps(), 0.0);
   EXPECT_GT(stats.device_latency_us.mean(), 0.0);
+}
+
+// ---------------------------------------------------- pooled buffers (ISSUE 8)
+
+// The buffer-lifetime guarantee behind the refactor: a request whose bytes
+// live ONLY in the pooled input_buf (no caller-side copy, ByteSpan left
+// empty) must survive aggressive fault injection — every verify-mismatch
+// retry and the terminal CPU fallback re-read the same segment, so a
+// premature release would corrupt or crash (ASan catches the use-after-free,
+// the decompress check catches silent corruption).
+TEST(OffloadRuntimeTest, PooledInputSurvivesRetriesAndFallback) {
+  BufferPool pool;
+  RuntimeOptions opts;
+  opts.device = SmallTestDevice(2, 16);
+  opts.codec = "lz4";
+  opts.engine_threads = 2;
+  opts.output_pool = &pool;
+  // Every device attempt reports a verify mismatch: each job burns all
+  // max_retries resubmissions and completes on the CPU fallback.
+  opts.fault_plan.seed = 0x5EEDull;
+  opts.fault_plan.rate[static_cast<uint32_t>(FaultKind::kVerifyMismatch)] = 1.0;
+  opts.max_retries = 2;
+  OffloadRuntime runtime(opts);
+
+  constexpr int kJobs = 32;
+  std::vector<ByteVec> originals;
+  std::vector<std::future<OffloadResult>> futures;
+  for (int i = 0; i < kJobs; ++i) {
+    originals.push_back(GenerateWithRatio(0.4, 4096 + 256 * (i % 5), 1000 + i));
+    OffloadRequest req;
+    req.op = CdpuOp::kCompress;
+    req.input_buf = IoBuf::Copy(originals.back(), &pool);
+    // No req.input span and no caller-held handle: the IoBuf moved into the
+    // request is the only reference. The runtime must keep it alive through
+    // two retries and the fallback.
+    futures.push_back(runtime.Submit(std::move(req)));
+  }
+  for (int i = 0; i < kJobs; ++i) {
+    OffloadResult cres = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(cres.status.ok()) << i << ": " << cres.status.ToString();
+    OffloadRequest dreq;
+    dreq.op = CdpuOp::kDecompress;
+    dreq.input_buf = cres.output_buf;  // refcount bump, still zero-copy
+    OffloadResult dres = runtime.Submit(std::move(dreq)).get();
+    ASSERT_TRUE(dres.status.ok()) << i;
+    ByteSpan out = dres.output_view();
+    ASSERT_EQ(out.size(), originals[static_cast<size_t>(i)].size()) << i;
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), originals[static_cast<size_t>(i)].begin()))
+        << "job " << i << " corrupted across retries + fallback";
+  }
+
+  runtime.Shutdown(OffloadRuntime::ShutdownMode::kDrain);
+  RuntimeStats stats = runtime.Snapshot();
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.fallbacks, 0u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+}
+
+// SubmitCallback: the promise-free path the service uses. Completion runs on
+// the reaper thread through a raw function pointer; output arrives as a
+// pooled buffer when output_pool is set.
+TEST(OffloadRuntimeTest, SubmitCallbackDeliversPooledOutput) {
+  BufferPool pool;
+  RuntimeOptions opts;
+  opts.device = SmallTestDevice(2, 16);
+  opts.codec = "lz4";
+  opts.engine_threads = 2;
+  opts.output_pool = &pool;
+  OffloadRuntime runtime(opts);
+
+  struct Ctx {
+    std::atomic<int> completed{0};
+    std::atomic<int> pooled{0};
+    std::atomic<int> failed{0};
+  } ctx;
+
+  constexpr int kJobs = 64;
+  ByteVec payload = GenerateWithRatio(0.5, 8192, 7);
+  for (int i = 0; i < kJobs; ++i) {
+    OffloadRequest req;
+    req.op = CdpuOp::kCompress;
+    req.input_buf = IoBuf::Copy(payload, &pool);
+    req.on_complete = [](const OffloadResult& r, void* vctx) {
+      auto* c = static_cast<Ctx*>(vctx);
+      if (!r.status.ok()) {
+        c->failed.fetch_add(1);
+      }
+      if (!r.output_buf.empty()) {
+        c->pooled.fetch_add(1);
+      }
+      c->completed.fetch_add(1);
+    };
+    req.on_complete_ctx = &ctx;
+    runtime.SubmitCallback(std::move(req));
+  }
+  runtime.Flush(0);
+  runtime.Drain();
+  runtime.Shutdown(OffloadRuntime::ShutdownMode::kDrain);
+
+  EXPECT_EQ(ctx.completed.load(), kJobs);
+  EXPECT_EQ(ctx.failed.load(), 0);
+  EXPECT_EQ(ctx.pooled.load(), kJobs);
+  // Jobs recycled their buffers on completion: nothing still holds the pool.
+  EXPECT_EQ(pool.Snapshot().outstanding_buffers, 0u);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -53,7 +54,9 @@ TEST(SvcLoopbackTest, EveryCodecRoundTripsBitExact) {
     EXPECT_FALSE(c.output.empty()) << codec;
     CallResult d = client.Decompress(codec, c.output);
     ASSERT_TRUE(d.status.ok()) << codec << ": " << d.status.ToString();
-    EXPECT_EQ(d.output, payload) << codec << " corrupted the payload";
+    ASSERT_EQ(d.output.size(), payload.size()) << codec;
+    EXPECT_TRUE(std::equal(d.output.begin(), d.output.end(), payload.begin()))
+        << codec << " corrupted the payload";
   }
   server.Stop();
   ServiceStats stats = server.Snapshot();
@@ -76,7 +79,8 @@ TEST(SvcLoopbackTest, EmptyAndTinyPayloads) {
     ASSERT_TRUE(c.status.ok()) << size << ": " << c.status.ToString();
     CallResult d = client.Decompress("zstd-1", c.output);
     ASSERT_TRUE(d.status.ok()) << size;
-    EXPECT_EQ(d.output, payload) << size;
+    ASSERT_EQ(d.output.size(), payload.size()) << size;
+    EXPECT_TRUE(std::equal(d.output.begin(), d.output.end(), payload.begin())) << size;
   }
   server.Stop();
 }
@@ -98,7 +102,7 @@ TEST(SvcLoopbackTest, UnknownCodecIsAnErrorResponseNotADrop) {
   bad.codec = kNumWireCodecs + 3;
   bad.request_id = 11;
   Frame response;
-  ASSERT_TRUE((*conn)->Call(bad, &response).ok());
+  ASSERT_TRUE((*conn)->Call(bad, ByteSpan(), &response).ok());
   EXPECT_EQ(response.status, static_cast<uint8_t>(StatusCode::kInvalidArgument));
   EXPECT_EQ(response.request_id, 11u);
 
@@ -111,8 +115,7 @@ TEST(SvcLoopbackTest, UnknownCodecIsAnErrorResponseNotADrop) {
   good.codec = codec;
   good.level = level;
   good.request_id = 12;
-  good.payload = payload;
-  ASSERT_TRUE((*conn)->Call(good, &response).ok());
+  ASSERT_TRUE((*conn)->Call(good, payload, &response).ok());
   EXPECT_EQ(response.status, static_cast<uint8_t>(StatusCode::kOk));
   EXPECT_EQ(response.request_id, 12u);
 
@@ -134,6 +137,10 @@ TEST(SvcLoopbackTest, BackpressureEngagesAndIsRetryable) {
   lopts.clients = 6;
   lopts.requests_per_client = 8;
   lopts.payload_bytes = 32 * 1024;
+  // With a ceiling of 1 every client spends most of the run waiting out
+  // BUSY; under TSan a 32K round trip stretches past 100 ms, so the default
+  // retry budget (~1 s of capped backoff) is too tight for the tail.
+  lopts.busy_retries = 256;
   Result<LoadGenReport> run = RunClosedLoop(lopts);
   ASSERT_TRUE(run.ok()) << run.status().ToString();
 
@@ -225,6 +232,64 @@ TEST(SvcLoopbackTest, FaultInjectedRunLosesNothing) {
   }
   EXPECT_EQ(admitted, completed);
   EXPECT_EQ(stats.requests_ok + stats.requests_failed, completed);
+}
+
+// The pooled data path at steady state: once freelists are warm (pool
+// segments, runtime jobs, request contexts, codec scratch), a measured
+// window of requests must not touch the allocator more than once per
+// request — the acceptance bar the bench-smoke gate also holds.
+TEST(SvcLoopbackTest, SteadyStateDataPathIsAllocationFree) {
+  ServerOptions sopts;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions lopts;
+  lopts.port = server.port();
+  lopts.clients = 2;
+  lopts.requests_per_client = 32;
+  lopts.warmup_requests_per_client = 16;
+  lopts.payload_bytes = 4096;
+  lopts.codec = "lz4";
+  Result<LoadGenReport> run = RunClosedLoop(lopts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->requests_failed, 0u);
+  EXPECT_EQ(run->verify_failures, 0u);
+  EXPECT_GT(run->measured_calls, 0u);
+  EXPECT_LE(run->allocs_per_request(), 1.0)
+      << run->mem_path.buffer_allocs << " allocs over " << run->measured_calls << " calls";
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  EXPECT_TRUE(stats.pool.touched());
+  EXPECT_GT(stats.pool.hits, 0u);  // recycling happened, not just slab growth
+  // Every session is closed and every completion drained: nothing still
+  // holds a server-pool segment.
+  EXPECT_EQ(stats.pool.outstanding_buffers, 0u);
+}
+
+// The legacy arm (pooling off) keeps the identical code path but sends every
+// buffer to the heap — it must still verify bit-exact round trips. This is
+// the baseline side of the mem_path experiment.
+TEST(SvcLoopbackTest, LegacyHeapArmStillRoundTrips) {
+  ServerOptions sopts;
+  sopts.pool.pooling = false;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions lopts;
+  lopts.port = server.port();
+  lopts.clients = 2;
+  lopts.requests_per_client = 16;
+  lopts.payload_bytes = 8192;
+  Result<LoadGenReport> run = RunClosedLoop(lopts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->requests_ok, 2u * 16u);
+  EXPECT_EQ(run->requests_failed, 0u);
+  EXPECT_EQ(run->verify_failures, 0u);
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  EXPECT_EQ(stats.pool.hits, 0u);  // nothing recycles when pooling is off
 }
 
 // Stop() with sessions still connected must not lose accounting: admission

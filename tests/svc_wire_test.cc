@@ -14,11 +14,14 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "src/common/iobuf.h"
 
 #include "src/common/rng.h"
 #include "src/svc/client.h"
@@ -48,8 +51,14 @@ Frame MakeRequest(uint64_t request_id, size_t payload_bytes, uint64_t seed) {
   f.request_id = request_id;
   f.tenant_id = static_cast<uint32_t>(seed % 7);
   ByteVec data = GenerateWithRatio(0.5, payload_bytes, seed);
-  f.payload.assign(data.begin(), data.end());
+  f.payload = IoBuf::Copy(data);
   return f;
+}
+
+// IoBuf has no operator== (it is a view handle); compare contents.
+void ExpectPayloadsEqual(const IoBuf& a, const IoBuf& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
 }
 
 void ExpectFramesEqual(const Frame& a, const Frame& b) {
@@ -60,7 +69,7 @@ void ExpectFramesEqual(const Frame& a, const Frame& b) {
   EXPECT_EQ(a.flags, b.flags);
   EXPECT_EQ(a.request_id, b.request_id);
   EXPECT_EQ(a.tenant_id, b.tenant_id);
-  EXPECT_EQ(a.payload, b.payload);
+  ExpectPayloadsEqual(a.payload, b.payload);
 }
 
 // ---------------------------------------------------------- encode/decode
@@ -120,6 +129,79 @@ TEST(SvcWireTest, ManyFramesOneBuffer) {
   }
   Frame out;
   EXPECT_EQ(parser.Next(&out), FrameParser::Event::kNeedMore);
+}
+
+// Regression for the old front-erase compaction: draining a pipelined burst
+// used to erase the consumed prefix on every frame, moving the remaining
+// bytes each time — O(n^2) bytes copied for n buffered frames. The cursor
+// parser must decode an already-buffered burst with zero additional copies
+// (payloads are views), so the whole burst costs at most the bytes fed.
+TEST(SvcWireTest, PipelinedBurstParsesInLinearBytes) {
+  ByteVec stream;
+  std::vector<Frame> frames;
+  const size_t kFrames = 512;
+  for (uint64_t i = 0; i < kFrames; ++i) {
+    frames.push_back(MakeRequest(i, 512 + (i % 7) * 64, i));
+    AppendFrame(frames.back(), &stream);
+  }
+
+  FrameParser parser;
+  MemPathCounters before = MemPathSnapshot();
+  parser.Feed(stream);  // one staging copy of the whole burst
+  for (const Frame& expected : frames) {
+    Frame out;
+    ASSERT_EQ(parser.Next(&out), FrameParser::Event::kFrame);
+    ExpectPayloadsEqual(expected.payload, out.payload);
+    out.payload.Reset();  // consumers release promptly; the parser may not rely on it
+  }
+  Frame out;
+  EXPECT_EQ(parser.Next(&out), FrameParser::Event::kNeedMore);
+  EXPECT_EQ(parser.buffered(), 0u);
+  MemPathCounters after = MemPathSnapshot();
+
+  // The erase-based parser copied ~kFrames^2/2 * frame_bytes here (hundreds
+  // of MB); the cursor parser's data-path copies are bounded by the single
+  // Feed staging of the stream itself.
+  EXPECT_LE(after.payload_copy_bytes - before.payload_copy_bytes, stream.size());
+}
+
+// The same burst arriving in socket-sized chunks with frames drained between
+// chunks (the event loop's recv -> drain cadence): copies stay bounded by the
+// bytes received, not by frames buffered.
+TEST(SvcWireTest, ChunkedBurstWithInterleavedDrainStaysLinear) {
+  ByteVec stream;
+  const size_t kFrames = 256;
+  std::vector<Frame> frames;
+  for (uint64_t i = 0; i < kFrames; ++i) {
+    frames.push_back(MakeRequest(i, 1024, i));
+    AppendFrame(frames.back(), &stream);
+  }
+
+  FrameParser parser;
+  MemPathCounters before = MemPathSnapshot();
+  size_t fed = 0;
+  size_t decoded = 0;
+  const size_t kChunk = 16 * 1024;
+  while (fed < stream.size()) {
+    size_t n = std::min(kChunk, stream.size() - fed);
+    uint8_t* tail = parser.WritableTail(n);
+    ASSERT_GE(parser.writable(), n);
+    std::memcpy(tail, stream.data() + fed, n);
+    parser.Commit(n);
+    fed += n;
+    Frame out;
+    while (parser.Next(&out) == FrameParser::Event::kFrame) {
+      ExpectPayloadsEqual(frames[decoded].payload, out.payload);
+      ++decoded;
+      out.payload.Reset();
+    }
+  }
+  EXPECT_EQ(decoded, kFrames);
+  MemPathCounters after = MemPathSnapshot();
+  // Only partial-frame re-homes copy; each is under one frame, and there are
+  // at most as many as chunks.
+  EXPECT_LE(after.payload_copy_bytes - before.payload_copy_bytes,
+            (stream.size() / kChunk + 1) * (kHeaderBytes + 1024));
 }
 
 TEST(SvcWireTest, CodecNamesRoundTrip) {
@@ -231,7 +313,7 @@ TEST(SvcWireFuzzTest, MutatedFramesNeverCrashOrMisparse) {
     if (ev == FrameParser::Event::kFrame) {
       // Both CRCs re-validated, so the flips cancelled out; the decoded
       // payload must be byte-identical to what was sent.
-      EXPECT_EQ(out.payload, in.payload) << "round " << round;
+      ExpectPayloadsEqual(out.payload, in.payload);
     } else {
       // kNeedMore is legal too: a flip inside payload_len can make the
       // header claim more bytes than were fed (CRC then rejects it later
@@ -387,7 +469,9 @@ TEST(SvcWireFuzzTest, MalformedSessionsNeverDisturbNeighbours) {
     ASSERT_TRUE(c.status.ok()) << "round " << round << ": " << c.status.ToString();
     CallResult d = good.Decompress("zstd-1", c.output);
     ASSERT_TRUE(d.status.ok()) << "round " << round;
-    ASSERT_EQ(d.output, payload) << "round " << round;
+    ASSERT_EQ(d.output.size(), payload.size()) << "round " << round;
+    ASSERT_TRUE(std::equal(d.output.begin(), d.output.end(), payload.begin()))
+        << "round " << round;
 
     // Flips that cancel out (or garbage that happens to parse) are legal;
     // everything else must close the evil session server-side.

@@ -1,0 +1,127 @@
+// alloc_gate: CI gate over the steady-state allocation metric (ISSUE 8).
+// Parses a BENCH_<name>.json document emitted by the experiment harness and
+// asserts that every gauge named "*.allocs_per_request" whose key matches
+// the row selector stays at or below the floor. A real JSON walk, not a
+// grep: a renamed or silently missing metric fails the gate instead of
+// passing vacuously.
+//
+//   alloc_gate <BENCH_json> [--match=<substr>] [--floor=<max>]
+//
+// Defaults gate the 4 KiB rows (--match=.p4K.) at the steady-state floor of
+// 1.0 allocator touches per request. Exit 0 = all matched rows hold, 2 =
+// usage/parse error, 1 = gate violated or no row matched.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/json.h"
+
+namespace {
+
+constexpr const char* kMetricSuffix = ".allocs_per_request";
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: alloc_gate <BENCH_json> [--match=<substr>] [--floor=<max>]\n"
+               "  gates every '*.allocs_per_request' gauge whose name contains\n"
+               "  <substr> (default '.p4K.') at <= <max> (default 1.0)\n");
+  return 2;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string match = ".p4K.";
+  double floor = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--match=", 0) == 0) {
+      match = arg.substr(8);
+    } else if (arg.rfind("--floor=", 0) == 0) {
+      char* end = nullptr;
+      floor = std::strtod(arg.c_str() + 8, &end);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "alloc_gate: bad --floor value: %s\n", arg.c_str());
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "alloc_gate: unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) {
+    return Usage();
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "alloc_gate: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  cdpu::Result<cdpu::obs::Json> parsed = cdpu::obs::Json::Parse(text.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "alloc_gate: %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  const cdpu::obs::Json& doc = parsed.value();
+  const cdpu::obs::Json* metrics = doc.Find("metrics");
+  const cdpu::obs::Json* gauges =
+      metrics != nullptr && metrics->is_object() ? metrics->Find("gauges") : nullptr;
+  if (gauges == nullptr || !gauges->is_object()) {
+    std::fprintf(stderr, "alloc_gate: %s has no metrics.gauges object\n", path.c_str());
+    return 2;
+  }
+
+  size_t matched = 0;
+  size_t violations = 0;
+  for (const auto& [name, value] : gauges->members()) {
+    if (!EndsWith(name, kMetricSuffix) || name.find(match) == std::string::npos) {
+      continue;
+    }
+    if (!value.is_number()) {
+      std::fprintf(stderr, "alloc_gate: FAIL %s is not numeric\n", name.c_str());
+      ++violations;
+      continue;
+    }
+    ++matched;
+    const double v = value.AsDouble();
+    const bool ok = v <= floor;
+    std::printf("alloc_gate: %-4s %-48s %8.3f (floor %.3f)\n", ok ? "ok" : "FAIL",
+                name.c_str(), v, floor);
+    if (!ok) {
+      ++violations;
+    }
+  }
+
+  if (matched == 0) {
+    std::fprintf(stderr,
+                 "alloc_gate: no gauge matching '*%s' with '%s' in %s — the metric was\n"
+                 "renamed or dropped; that fails the gate rather than passing it\n",
+                 kMetricSuffix, match.c_str(), path.c_str());
+    return 1;
+  }
+  if (violations > 0) {
+    std::fprintf(stderr, "alloc_gate: %zu of %zu gated rows above the floor\n", violations,
+                 matched);
+    return 1;
+  }
+  std::printf("alloc_gate: %zu rows at or below the steady-state floor\n", matched);
+  return 0;
+}

@@ -93,7 +93,7 @@ bool ReadFile(const std::string& path, ByteVec* out) {
   return true;
 }
 
-bool WriteFile(const std::string& path, const ByteVec& data) {
+bool WriteFile(const std::string& path, ByteSpan data) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return false;
@@ -755,6 +755,18 @@ int Serve(int argc, char** argv, int first_flag) {
   std::printf("  socket bytes        %llu rx, %llu tx\n",
               static_cast<unsigned long long>(s.bytes_rx),
               static_cast<unsigned long long>(s.bytes_tx));
+  if (s.pool.touched()) {
+    const double denom = static_cast<double>(s.pool.hits + s.pool.misses);
+    std::printf("  buffer pool         %llu hits, %llu misses, %llu oversize (%.1f%% hit)\n",
+                static_cast<unsigned long long>(s.pool.hits),
+                static_cast<unsigned long long>(s.pool.misses),
+                static_cast<unsigned long long>(s.pool.oversize),
+                denom > 0 ? 100.0 * static_cast<double>(s.pool.hits) / denom : 0.0);
+    std::printf("  pool memory         %llu slabs, %.1f MiB banked, %llu buffers outstanding\n",
+                static_cast<unsigned long long>(s.pool.slabs),
+                static_cast<double>(s.pool.slab_bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(s.pool.outstanding_buffers));
+  }
   for (const cdpu::svc::TenantSnapshot& t : s.tenants) {
     std::printf("  tenant %-4u         %llu admitted, %llu busy, mean %.1f us\n", t.tenant,
                 static_cast<unsigned long long>(t.admitted),
