@@ -1,0 +1,271 @@
+// adaptive_policy: the ISSUE 9 acceptance experiment. A mixed corpus from
+// the datagen entropy dial (all three compressibility classes, including
+// fully incompressible chunks) is pushed through the compression service
+// under four policy arms: every fixed candidate codec, AUTO (profile +
+// bypass + model-driven selection) and bypass-only (STORE detection with a
+// fixed default for everything else). Reports per-arm and per-(arm, class)
+// throughput, achieved ratio and p99, the AUTO routing shares per class,
+// and the headline gauges the CI bench-smoke greps:
+//   adaptive.bypass_share          — fraction of AUTO requests STOREd
+//   adaptive.auto_vs_fixed_best    — AUTO MB/s over the best fixed arm's
+//   adaptive.auto_vs_fixed_worst   — AUTO MB/s over the worst fixed arm's
+//
+// Throughput here is bytes offered over summed client-observed compress
+// latency (not wall clock), so arm comparisons are stable under CI
+// scheduling noise.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness/experiment.h"
+#include "src/common/stats.h"
+#include "src/svc/client.h"
+#include "src/svc/server.h"
+#include "src/svc/stats_export.h"
+#include "src/svc/wire.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+using bench::ExperimentContext;
+using obs::Column;
+
+constexpr const char* kClasses[] = {"low", "mid", "high"};
+
+struct ClassAgg {
+  uint64_t requests = 0;
+  uint64_t stored = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  double latency_us_sum = 0;
+  SampleSet latency_us;
+  std::map<std::string, uint64_t> routed;  // echoed codec ("store" for bypass)
+
+  double mbps() const {
+    return latency_us_sum > 0 ? static_cast<double>(bytes_in) / latency_us_sum : 0;
+  }
+  double ratio() const {
+    return bytes_in > 0 ? static_cast<double>(bytes_out) / static_cast<double>(bytes_in) : 0;
+  }
+};
+
+struct ArmResult {
+  std::string arm;
+  ClassAgg total;
+  std::map<std::string, ClassAgg> per_class;
+  uint64_t verify_failures = 0;
+};
+
+// Pushes every corpus chunk through the service once on `threads` clients
+// (chunk i on thread i % threads, so the per-class mix is identical across
+// arms) and verifies each round trip through the codec the response names.
+ArmResult RunArm(uint16_t port, const std::string& codec, uint32_t threads,
+                 const std::vector<MixedChunk>& corpus) {
+  ArmResult result;
+  result.arm = codec;
+  std::vector<ArmResult> partials(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (uint32_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      ArmResult& out = partials[w];
+      svc::ClientOptions copts;
+      copts.port = port;
+      copts.busy_retries = 64;
+      svc::ServiceClient client(copts);
+      for (size_t i = w; i < corpus.size(); i += threads) {
+        const MixedChunk& chunk = corpus[i];
+        svc::CallResult c = client.Compress(codec, chunk.data);
+        if (!c.status.ok()) {
+          ++out.verify_failures;
+          continue;
+        }
+        const std::string routed =
+            c.stored() ? "store" : svc::WireCodecToName(c.codec, c.level);
+        ClassAgg& agg = out.per_class[chunk.klass];
+        ++agg.requests;
+        agg.stored += c.stored() ? 1 : 0;
+        agg.bytes_in += chunk.data.size();
+        agg.bytes_out += c.output.size();
+        const double us = static_cast<double>(c.wall_ns) / 1e3;
+        agg.latency_us_sum += us;
+        agg.latency_us.Add(us);
+        ++agg.routed[routed];
+
+        svc::CallResult d =
+            c.stored() ? client.DecompressStored(c.output) : client.Decompress(routed, c.output);
+        if (!d.status.ok() || d.output.size() != chunk.data.size() ||
+            !std::equal(d.output.begin(), d.output.end(), chunk.data.begin())) {
+          ++out.verify_failures;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  for (ArmResult& p : partials) {
+    result.verify_failures += p.verify_failures;
+    for (auto& [klass, agg] : p.per_class) {
+      ClassAgg& into = result.per_class[klass];
+      into.requests += agg.requests;
+      into.stored += agg.stored;
+      into.bytes_in += agg.bytes_in;
+      into.bytes_out += agg.bytes_out;
+      into.latency_us_sum += agg.latency_us_sum;
+      for (double s : agg.latency_us.samples()) {
+        into.latency_us.Add(s);
+      }
+      for (auto& [codec_name, n] : agg.routed) {
+        into.routed[codec_name] += n;
+      }
+    }
+  }
+  for (auto& [klass, agg] : result.per_class) {
+    result.total.requests += agg.requests;
+    result.total.stored += agg.stored;
+    result.total.bytes_in += agg.bytes_in;
+    result.total.bytes_out += agg.bytes_out;
+    result.total.latency_us_sum += agg.latency_us_sum;
+    for (double s : agg.latency_us.samples()) {
+      result.total.latency_us.Add(s);
+    }
+  }
+  return result;
+}
+
+void Run(ExperimentContext& ctx) {
+  const std::vector<std::string> fixed_arms = {"lz4", "snappy", "zstd-1", "zstd-3"};
+  const uint32_t threads = 2;
+  const size_t chunk_bytes = ctx.quick() ? 32 * 1024 : 64 * 1024;
+  // Multiple of the 5-point entropy dial so every class keeps the same share.
+  const size_t chunks = ctx.Pick(30, 150);
+  std::vector<MixedChunk> corpus = GenerateMixedCorpus(chunks, chunk_bytes, /*seed=*/0xADA9);
+  // Model warm-up for the AUTO arm (and identical extra load for fairness):
+  // one dial cycle fed to every arm before its measured pass.
+  std::vector<MixedChunk> warmup(corpus.begin(), corpus.begin() + std::min<size_t>(5, chunks));
+
+  svc::ServerOptions sopts;
+  sopts.adapt.candidates = fixed_arms;
+  svc::ServiceServer server(sopts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    ctx.Note("service failed to start: " + started.ToString());
+    return;
+  }
+
+  std::vector<ArmResult> arms;
+  for (const std::string& arm : fixed_arms) {
+    RunArm(server.port(), arm, threads, warmup);
+    arms.push_back(RunArm(server.port(), arm, threads, corpus));
+  }
+  RunArm(server.port(), "auto", threads, warmup);
+  arms.push_back(RunArm(server.port(), "auto", threads, corpus));
+  server.Stop();
+  svc::ServiceStats auto_stats = server.Snapshot();
+
+  // The bypass-only arm runs on its own server so mode is a clean variable.
+  svc::ServerOptions bopts;
+  bopts.adapt.mode = adapt::AdaptMode::kBypassOnly;
+  svc::ServiceServer bypass_server(bopts);
+  if (bypass_server.Start().ok()) {
+    RunArm(bypass_server.port(), "auto", threads, warmup);
+    ArmResult bypass = RunArm(bypass_server.port(), "auto", threads, corpus);
+    bypass.arm = "bypass-only";
+    arms.push_back(std::move(bypass));
+    bypass_server.Stop();
+  }
+
+  obs::Table& table = ctx.AddTable(
+      "policy_arms", "Mixed entropy-dial corpus under each policy arm",
+      {Column("arm", "arm"), Column("mbps", "MB/s", 1), Column("ratio", "ratio", 3),
+       Column("p99_us", "p99 us", 1), Column("stored_share", "stored", 3),
+       Column("verify_fail", "verify fail", 0)});
+  for (const ArmResult& arm : arms) {
+    SampleSet latency = arm.total.latency_us;
+    table.AddRow({arm.arm, arm.total.mbps(), arm.total.ratio(), latency.Percentile(99),
+                  arm.total.requests > 0 ? static_cast<double>(arm.total.stored) /
+                                               static_cast<double>(arm.total.requests)
+                                         : 0,
+                  static_cast<double>(arm.verify_failures)});
+    const std::string key = "arm." + arm.arm + ".";
+    ctx.metrics().Gauge(key + "mbps", arm.total.mbps());
+    ctx.metrics().Gauge(key + "ratio", arm.total.ratio());
+    ctx.metrics().Gauge(key + "p99_us", latency.Percentile(99));
+    ctx.metrics().Count(key + "verify_failures", arm.verify_failures);
+  }
+
+  obs::Table& routing = ctx.AddTable(
+      "per_class", "Per-(arm, entropy class) throughput, ratio and routing",
+      {Column("arm", "arm"), Column("class", "class"), Column("mbps", "MB/s", 1),
+       Column("ratio", "ratio", 3), Column("p99_us", "p99 us", 1),
+       Column("routed", "routed to")});
+  for (const ArmResult& arm : arms) {
+    for (const char* klass : kClasses) {
+      auto it = arm.per_class.find(klass);
+      if (it == arm.per_class.end()) {
+        continue;
+      }
+      const ClassAgg& agg = it->second;
+      std::string routed;
+      for (const auto& [codec_name, n] : agg.routed) {
+        if (!routed.empty()) {
+          routed += " ";
+        }
+        routed += codec_name + ":" + std::to_string(n);
+      }
+      SampleSet latency = agg.latency_us;
+      routing.AddRow({arm.arm, std::string(klass), agg.mbps(), agg.ratio(),
+                      latency.Percentile(99), routed});
+      const std::string key = "arm." + arm.arm + ".class." + klass + ".";
+      ctx.metrics().Gauge(key + "mbps", agg.mbps());
+      ctx.metrics().Gauge(key + "ratio", agg.ratio());
+      for (const auto& [codec_name, n] : agg.routed) {
+        ctx.metrics().Count(key + "routed." + codec_name, n);
+      }
+    }
+  }
+
+  // Headline acceptance gauges. Fixed-best/worst are chosen by measured
+  // throughput on THIS corpus, so the comparison self-calibrates.
+  const ArmResult* auto_arm = nullptr;
+  double best_fixed = 0;
+  double worst_fixed = 0;
+  for (const ArmResult& arm : arms) {
+    if (arm.arm == "auto") {
+      auto_arm = &arm;
+    }
+    if (std::find(fixed_arms.begin(), fixed_arms.end(), arm.arm) != fixed_arms.end()) {
+      const double mbps = arm.total.mbps();
+      best_fixed = std::max(best_fixed, mbps);
+      worst_fixed = worst_fixed == 0 ? mbps : std::min(worst_fixed, mbps);
+    }
+  }
+  if (auto_arm != nullptr && best_fixed > 0 && worst_fixed > 0) {
+    const double auto_mbps = auto_arm->total.mbps();
+    const double bypass_share =
+        auto_arm->total.requests > 0 ? static_cast<double>(auto_arm->total.stored) /
+                                           static_cast<double>(auto_arm->total.requests)
+                                     : 0;
+    ctx.metrics().Gauge("adaptive.bypass_share", bypass_share);
+    ctx.metrics().Gauge("adaptive.auto_vs_fixed_best", auto_mbps / best_fixed);
+    ctx.metrics().Gauge("adaptive.auto_vs_fixed_worst", auto_mbps / worst_fixed);
+  }
+  ExportServiceStats(auto_stats, "svc.", &ctx.metrics());
+
+  ctx.Note("Every request is verified by a decompress + byte compare through the codec\n"
+           "the response names (the stored passthrough for bypassed chunks). Fixed-best\n"
+           "and fixed-worst are picked by measured MB/s on this corpus, not by prior.");
+}
+
+CDPU_REGISTER_EXPERIMENT("adaptive_policy", "Adaptive compression policy",
+                         "Entropy-dial corpus x policy arms: fixed codecs vs AUTO vs "
+                         "bypass-only, with per-class routing shares",
+                         Run);
+
+}  // namespace
+}  // namespace cdpu

@@ -1,0 +1,307 @@
+#include "src/adapt/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/codecs/codec.h"
+
+namespace cdpu {
+namespace adapt {
+namespace {
+
+// Entropy-class boundaries (bits/byte). Text/db data profiles well under
+// 3 bits; mixed binary sits in the middle band; near-random payloads that
+// still fail the bypass gate land in the high band.
+constexpr double kLowClassCeiling = 3.0;
+constexpr double kHighClassFloor = 6.5;
+
+// Analytic priors for the repo's software codecs, per entropy class:
+// throughput in bytes/us and expected compressed/original ratio. These only
+// have to rank codecs sensibly on a cold model — completion telemetry
+// overwrites them via the EWMAs within a few dozen requests. Byte-shuffling
+// codecs (lz4/snappy) are fast and match-hungry; the zstd levels trade
+// throughput for entropy coding; deflate/gzip are the slow full-pipeline
+// baselines.
+struct CodecPrior {
+  const char* prefix;  // matched against the factory name's stem
+  double tput[kNumEntropyClasses];
+  double ratio[kNumEntropyClasses];
+};
+
+constexpr CodecPrior kPriors[] = {
+    {"lz4", {150.0, 120.0, 90.0}, {0.45, 0.70, 1.00}},
+    {"snappy", {130.0, 105.0, 80.0}, {0.50, 0.72, 1.00}},
+    {"zstd-1", {60.0, 50.0, 40.0}, {0.35, 0.60, 0.98}},
+    {"zstd-2", {50.0, 42.0, 34.0}, {0.33, 0.58, 0.98}},
+    {"zstd-3", {40.0, 34.0, 28.0}, {0.31, 0.56, 0.98}},
+    {"zstd", {60.0, 50.0, 40.0}, {0.35, 0.60, 0.98}},
+    {"dpzip", {45.0, 40.0, 35.0}, {0.34, 0.58, 0.98}},
+    {"deflate", {18.0, 15.0, 12.0}, {0.33, 0.58, 0.99}},
+    {"gzip", {18.0, 15.0, 12.0}, {0.33, 0.58, 0.99}},
+};
+
+// Generic fallback for names with no tabled prior.
+constexpr CodecPrior kDefaultPrior = {"", {30.0, 25.0, 20.0}, {0.40, 0.65, 1.00}};
+
+const CodecPrior& PriorFor(const std::string& name) {
+  // Longest-prefix match so "zstd-3" beats "zstd".
+  const CodecPrior* best = &kDefaultPrior;
+  size_t best_len = 0;
+  for (const CodecPrior& p : kPriors) {
+    const size_t len = std::char_traits<char>::length(p.prefix);
+    if (len > best_len && name.compare(0, len, p.prefix) == 0) {
+      best = &p;
+      best_len = len;
+    }
+  }
+  return *best;
+}
+
+// Utility weights: score = w_tput * ln(bytes/us) + w_ratio * ln(1/ratio).
+// In log space a 2x throughput gain and a 2x ratio gain are worth the same
+// under kBalanced; the biased modes discount one axis to a quarter.
+void BiasWeights(AdaptBias bias, double* w_tput, double* w_ratio) {
+  switch (bias) {
+    case AdaptBias::kThroughput:
+      *w_tput = 1.0;
+      *w_ratio = 0.25;
+      return;
+    case AdaptBias::kRatio:
+      *w_tput = 0.25;
+      *w_ratio = 1.0;
+      return;
+    case AdaptBias::kBalanced:
+      break;
+  }
+  *w_tput = 1.0;
+  *w_ratio = 1.0;
+}
+
+}  // namespace
+
+uint8_t EntropyClassOf(double entropy_bits) {
+  if (entropy_bits < kLowClassCeiling) {
+    return 0;
+  }
+  return entropy_bits < kHighClassFloor ? 1 : 2;
+}
+
+const char* EntropyClassName(uint8_t entropy_class) {
+  switch (entropy_class) {
+    case 0:
+      return "low";
+    case 1:
+      return "mid";
+    case 2:
+      return "high";
+    default:
+      return "none";
+  }
+}
+
+const char* AdaptBiasName(AdaptBias bias) {
+  switch (bias) {
+    case AdaptBias::kThroughput:
+      return "throughput";
+    case AdaptBias::kRatio:
+      return "ratio";
+    case AdaptBias::kBalanced:
+      break;
+  }
+  return "balanced";
+}
+
+bool ParseAdaptBias(const std::string& name, AdaptBias* bias) {
+  if (name == "throughput") {
+    *bias = AdaptBias::kThroughput;
+    return true;
+  }
+  if (name == "balanced") {
+    *bias = AdaptBias::kBalanced;
+    return true;
+  }
+  if (name == "ratio") {
+    *bias = AdaptBias::kRatio;
+    return true;
+  }
+  return false;
+}
+
+AdaptivePolicyEngine::AdaptivePolicyEngine(const AdaptOptions& options) : options_(options) {
+  options_.probe_bytes = std::clamp(options_.probe_bytes, kMinProbeBytes, kMaxProbeBytes);
+  options_.ewma_alpha = std::clamp(options_.ewma_alpha, 0.01, 1.0);
+  if (MakeCodec(options_.default_codec) == nullptr) {
+    options_.default_codec = "zstd-1";
+  }
+  std::vector<std::string> pool = options_.candidates;
+  pool.push_back(options_.default_codec);  // the default always has a model row
+  for (const std::string& name : pool) {
+    if (MakeCodec(name) == nullptr) {
+      continue;
+    }
+    bool seen = false;
+    for (const Candidate& c : candidates_) {
+      seen = seen || c.name == name;
+    }
+    if (seen) {
+      continue;
+    }
+    Candidate c;
+    c.name = name;
+    const CodecPrior& prior = PriorFor(name);
+    for (uint8_t k = 0; k < kNumEntropyClasses; ++k) {
+      c.tput[k] = prior.tput[k];
+      c.ratio[k] = prior.ratio[k];
+    }
+    candidates_.push_back(std::move(c));
+  }
+  options_.candidates.clear();
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    options_.candidates.push_back(candidates_[i].name);
+    if (candidates_[i].name == options_.default_codec) {
+      default_index_ = i;
+    }
+  }
+}
+
+AdaptBias AdaptivePolicyEngine::BiasFor(uint32_t tenant) const {
+  for (const TenantBiasHint& hint : options_.tenant_bias) {
+    if (hint.tenant == tenant) {
+      return hint.bias;
+    }
+  }
+  return options_.bias;
+}
+
+AdaptDecision AdaptivePolicyEngine::DefaultDecision() const {
+  AdaptDecision d;
+  d.action = AdaptAction::kCompress;
+  d.codec = options_.default_codec;
+  d.profile_skipped = true;
+  d.ratio_estimate = candidates_[default_index_].ratio[1];
+  return d;
+}
+
+size_t AdaptivePolicyEngine::PickCandidateLocked(uint8_t entropy_class,
+                                                 AdaptBias bias) const {
+  double w_tput = 1.0;
+  double w_ratio = 1.0;
+  BiasWeights(bias, &w_tput, &w_ratio);
+  size_t best = default_index_;
+  double best_score = -1e300;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const Candidate& c = candidates_[i];
+    const double tput = std::max(c.tput[entropy_class], 1e-6);
+    const double ratio = std::clamp(c.ratio[entropy_class], 1e-3, 4.0);
+    const double score = w_tput * std::log(tput) - w_ratio * std::log(ratio);
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+AdaptDecision AdaptivePolicyEngine::Decide(ByteSpan payload, uint32_t tenant) {
+  if (!options_.enabled || payload.size() < options_.min_profile_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++decisions_;
+    ++profile_skipped_;
+    return DefaultDecision();
+  }
+
+  // Profile outside the lock: the probe is the expensive part and touches
+  // only the caller's payload.
+  const PayloadProfile profile = ProfilePayload(payload, options_.probe_bytes);
+
+  AdaptDecision d;
+  d.entropy_bits = profile.entropy_bits;
+  d.match_rate = profile.match_rate;
+  d.entropy_class = EntropyClassOf(profile.entropy_bits);
+  d.profile_ns = profile.profile_ns;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++decisions_;
+  ++profiled_;
+  profile_ns_total_ += profile.profile_ns;
+
+  if (profile.entropy_bits >= options_.bypass_entropy_bits &&
+      profile.match_rate <= options_.bypass_match_rate) {
+    d.action = AdaptAction::kStore;
+    d.ratio_estimate = 1.0;
+    ++bypassed_;
+    bypass_bytes_ += payload.size();
+    return d;
+  }
+
+  const size_t pick = options_.mode == AdaptMode::kBypassOnly
+                          ? default_index_
+                          : PickCandidateLocked(d.entropy_class, BiasFor(tenant));
+  Candidate& c = candidates_[pick];
+  ++c.chosen;
+  d.action = AdaptAction::kCompress;
+  d.codec = c.name;
+  d.ratio_estimate = std::clamp(c.ratio[d.entropy_class], 0.05, 1.5);
+  return d;
+}
+
+void AdaptivePolicyEngine::OnCompletion(std::string_view codec, uint8_t entropy_class,
+                                        uint64_t input_bytes, uint64_t output_bytes,
+                                        uint64_t wall_ns) {
+  if (input_bytes == 0 || output_bytes == 0 || wall_ns == 0) {
+    return;
+  }
+  const double bytes_per_us =
+      static_cast<double>(input_bytes) / (static_cast<double>(wall_ns) / 1e3);
+  const double ratio = static_cast<double>(output_bytes) / static_cast<double>(input_bytes);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const double a = options_.ewma_alpha;
+  for (Candidate& c : candidates_) {
+    if (c.name != codec) {
+      continue;
+    }
+    ++feedback_;
+    ++c.feedback;
+    if (entropy_class < kNumEntropyClasses) {
+      c.tput[entropy_class] = (1 - a) * c.tput[entropy_class] + a * bytes_per_us;
+      c.ratio[entropy_class] = (1 - a) * c.ratio[entropy_class] + a * ratio;
+    } else {
+      // Fixed-codec traffic carries no profile class: it still tells us how
+      // fast this codec runs here, so nudge every class's throughput, but
+      // leave the per-class ratios alone (mixing classes would corrupt them).
+      for (uint8_t k = 0; k < kNumEntropyClasses; ++k) {
+        c.tput[k] = (1 - a) * c.tput[k] + a * bytes_per_us;
+      }
+    }
+    return;
+  }
+}
+
+AdaptStats AdaptivePolicyEngine::Snapshot() const {
+  AdaptStats s;
+  std::lock_guard<std::mutex> lock(mu_);
+  s.decisions = decisions_;
+  s.profiled = profiled_;
+  s.profile_skipped = profile_skipped_;
+  s.bypassed = bypassed_;
+  s.bypass_bytes = bypass_bytes_;
+  s.feedback = feedback_;
+  s.profile_ns_total = profile_ns_total_;
+  s.codecs.reserve(candidates_.size());
+  for (const Candidate& c : candidates_) {
+    AdaptCodecStats cs;
+    cs.codec = c.name;
+    cs.chosen = c.chosen;
+    cs.feedback = c.feedback;
+    for (uint8_t k = 0; k < kNumEntropyClasses; ++k) {
+      cs.throughput_bytes_per_us[k] = c.tput[k];
+      cs.ratio[k] = c.ratio[k];
+    }
+    s.codecs.push_back(std::move(cs));
+  }
+  return s;
+}
+
+}  // namespace adapt
+}  // namespace cdpu

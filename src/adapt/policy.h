@@ -1,0 +1,177 @@
+// AdaptivePolicyEngine (ISSUE 9): per-request, data-aware codec policy.
+//
+// For every AUTO request the engine (1) profiles a bounded prefix of the
+// payload (src/adapt/profile.h), (2) bypasses incompressible data with a
+// STORE decision — no codec runs at all, the service echoes the payload with
+// a wire-visible flag — and (3) picks codec+level for the rest from an
+// online cost model: per-(codec, entropy-class) EWMAs of throughput
+// (bytes/us) and achieved ratio, seeded from analytic priors and fed by
+// completion telemetry the offload runtime already produces. A bias knob
+// (global or per-tenant) tilts the utility score toward throughput or ratio.
+//
+// Threading: Decide() runs on submitter threads (the service event loop, or
+// any caller of OffloadRuntime::Submit); OnCompletion() runs on runtime
+// reaper threads. Payload profiling happens outside the lock — only the
+// model read/update is serialised, so the critical section is a few dozen
+// doubles.
+
+#ifndef SRC_ADAPT_POLICY_H_
+#define SRC_ADAPT_POLICY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/adapt/profile.h"
+#include "src/common/iobuf.h"
+
+namespace cdpu {
+namespace adapt {
+
+// Payload compressibility classes, keyed by sampled entropy. The cost model
+// keeps one ratio/throughput EWMA pair per (codec, class) because a codec's
+// achieved ratio on text says nothing about its ratio on near-random data.
+inline constexpr uint8_t kNumEntropyClasses = 3;  // low / mid / high
+inline constexpr uint8_t kEntropyClassNone = 0xFF;
+
+uint8_t EntropyClassOf(double entropy_bits);
+const char* EntropyClassName(uint8_t entropy_class);
+
+enum class AdaptBias : uint8_t {
+  kThroughput = 0,  // tilt toward bytes/us (latency-sensitive tenants)
+  kBalanced = 1,
+  kRatio = 2,  // tilt toward achieved ratio (capacity-sensitive tenants)
+};
+
+const char* AdaptBiasName(AdaptBias bias);
+bool ParseAdaptBias(const std::string& name, AdaptBias* bias);
+
+enum class AdaptMode : uint8_t {
+  kAuto = 0,        // bypass + codec/level selection
+  kBypassOnly = 1,  // bypass incompressible; everything else -> default codec
+};
+
+struct TenantBiasHint {
+  uint32_t tenant = 0;
+  AdaptBias bias = AdaptBias::kBalanced;
+};
+
+struct AdaptOptions {
+  // Disabled: every AUTO request resolves to default_codec with the
+  // PROFILE_SKIPPED flag — no profiling, no bypass, no model.
+  bool enabled = true;
+  AdaptMode mode = AdaptMode::kAuto;
+  // Profile window (clamped to [kMinProbeBytes, kMaxProbeBytes]).
+  size_t probe_bytes = 8 * 1024;
+  // Payloads below this skip profiling entirely (the probe would cost a
+  // meaningful fraction of such a request) and take default_codec with the
+  // PROFILE_SKIPPED flag.
+  size_t min_profile_bytes = 512;
+  // STORE bypass gate: entropy at/above AND match rate at/below. Uniform
+  // random data profiles at ~8.0 bits and ~0 match rate; real compressible
+  // data fails at least one of the two.
+  double bypass_entropy_bits = 7.2;
+  double bypass_match_rate = 0.05;
+  // Resolution for profile-skipped payloads and for kBypassOnly mode.
+  std::string default_codec = "zstd-1";
+  // Codec pool the cost model selects from. Names MakeCodec rejects are
+  // dropped at construction; an empty surviving set falls back to
+  // {default_codec}. (Layers with extra constraints — the service needs
+  // wire-mappable names — validate before constructing the engine.)
+  std::vector<std::string> candidates = {"lz4", "snappy", "zstd-1", "zstd-3"};
+  AdaptBias bias = AdaptBias::kBalanced;
+  std::vector<TenantBiasHint> tenant_bias;  // per-tenant override of `bias`
+  // EWMA smoothing for completion feedback, in (0, 1]; higher = faster
+  // adaptation to the live workload, lower = stickier priors.
+  double ewma_alpha = 0.2;
+};
+
+enum class AdaptAction : uint8_t {
+  kCompress = 0,
+  kStore = 1,  // incompressible: pass through, no codec work
+};
+
+struct AdaptDecision {
+  AdaptAction action = AdaptAction::kCompress;
+  std::string codec;  // factory name; empty on kStore
+  uint8_t entropy_class = kEntropyClassNone;
+  bool profile_skipped = false;
+  double entropy_bits = 0.0;
+  double match_rate = 0.0;
+  double ratio_estimate = 0.5;  // model's expected compressed/original
+  uint64_t profile_ns = 0;
+};
+
+struct AdaptCodecStats {
+  std::string codec;
+  uint64_t chosen = 0;    // AUTO decisions routed to this codec
+  uint64_t feedback = 0;  // completion samples absorbed
+  double throughput_bytes_per_us[kNumEntropyClasses] = {0, 0, 0};
+  double ratio[kNumEntropyClasses] = {0, 0, 0};
+};
+
+struct AdaptStats {
+  uint64_t decisions = 0;        // Decide() calls
+  uint64_t profiled = 0;         // decisions that ran the profile probe
+  uint64_t profile_skipped = 0;  // disabled engine or sub-threshold payload
+  uint64_t bypassed = 0;         // kStore decisions
+  uint64_t bypass_bytes = 0;     // payload bytes answered via STORE
+  uint64_t feedback = 0;         // OnCompletion samples absorbed
+  uint64_t profile_ns_total = 0;
+  std::vector<AdaptCodecStats> codecs;
+};
+
+class AdaptivePolicyEngine {
+ public:
+  explicit AdaptivePolicyEngine(const AdaptOptions& options);
+
+  AdaptivePolicyEngine(const AdaptivePolicyEngine&) = delete;
+  AdaptivePolicyEngine& operator=(const AdaptivePolicyEngine&) = delete;
+
+  // Profiles `payload` and decides STORE vs codec+level. Thread-safe.
+  AdaptDecision Decide(ByteSpan payload, uint32_t tenant = 0);
+
+  // Completion telemetry: a compress job finished on `codec` turning
+  // input_bytes into output_bytes over wall_ns. entropy_class is the class
+  // the decision recorded (kEntropyClassNone for fixed-codec traffic, which
+  // still feeds the throughput EWMAs of every class). Thread-safe; unknown
+  // codec names are ignored.
+  void OnCompletion(std::string_view codec, uint8_t entropy_class, uint64_t input_bytes,
+                    uint64_t output_bytes, uint64_t wall_ns);
+
+  AdaptStats Snapshot() const;
+  const AdaptOptions& options() const { return options_; }
+
+ private:
+  struct Candidate {
+    std::string name;
+    double tput[kNumEntropyClasses] = {0, 0, 0};   // EWMA bytes/us
+    double ratio[kNumEntropyClasses] = {0, 0, 0};  // EWMA compressed/original
+    uint64_t chosen = 0;
+    uint64_t feedback = 0;
+  };
+
+  AdaptBias BiasFor(uint32_t tenant) const;
+  AdaptDecision DefaultDecision() const;
+  size_t PickCandidateLocked(uint8_t entropy_class, AdaptBias bias) const;
+
+  AdaptOptions options_;
+  size_t default_index_ = 0;  // candidates_ slot backing default_codec
+
+  mutable std::mutex mu_;
+  std::vector<Candidate> candidates_;
+  uint64_t decisions_ = 0;
+  uint64_t profiled_ = 0;
+  uint64_t profile_skipped_ = 0;
+  uint64_t bypassed_ = 0;
+  uint64_t bypass_bytes_ = 0;
+  uint64_t feedback_ = 0;
+  uint64_t profile_ns_total_ = 0;
+};
+
+}  // namespace adapt
+}  // namespace cdpu
+
+#endif  // SRC_ADAPT_POLICY_H_

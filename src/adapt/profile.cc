@@ -1,0 +1,74 @@
+#include "src/adapt/profile.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "src/codecs/entropy.h"
+
+namespace cdpu {
+namespace adapt {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Probe stride 2: half the gram positions are sampled, which keeps the probe
+// well under the entropy pass's cost while still seeing every match of
+// length >= 5.
+constexpr size_t kProbeStride = 2;
+constexpr uint32_t kTableBits = 10;
+constexpr uint32_t kEmptySlot = ~uint32_t{0};
+
+}  // namespace
+
+PayloadProfile ProfilePayload(ByteSpan payload, size_t probe_bytes) {
+  PayloadProfile profile;
+  const uint64_t t0 = NowNs();
+  probe_bytes = std::clamp(probe_bytes, kMinProbeBytes, kMaxProbeBytes);
+  const size_t n = std::min(payload.size(), probe_bytes);
+  profile.sampled_bytes = n;
+  if (n == 0) {
+    profile.profile_ns = NowNs() - t0;
+    return profile;
+  }
+
+  profile.entropy_bits = ShannonEntropy(payload.subspan(0, n));
+
+  if (n >= 8) {
+    // Fibonacci-hash each sampled 4-byte gram into a small position table; a
+    // hit whose stored gram compares equal is (a prefix of) an LZ match.
+    uint32_t table[1u << kTableBits];
+    std::memset(table, 0xFF, sizeof(table));
+    const uint8_t* base = payload.data();
+    uint64_t probes = 0;
+    uint64_t hits = 0;
+    for (size_t i = 0; i + 4 <= n; i += kProbeStride) {
+      const uint32_t gram = Load32(base + i);
+      const uint32_t slot = (gram * 2654435761u) >> (32 - kTableBits);
+      const uint32_t prev = table[slot];
+      if (prev != kEmptySlot && Load32(base + prev) == gram) {
+        ++hits;
+      }
+      table[slot] = static_cast<uint32_t>(i);
+      ++probes;
+    }
+    if (probes > 0) {
+      profile.match_rate = static_cast<double>(hits) / static_cast<double>(probes);
+    }
+  }
+  profile.profile_ns = NowNs() - t0;
+  return profile;
+}
+
+}  // namespace adapt
+}  // namespace cdpu

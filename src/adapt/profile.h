@@ -1,0 +1,46 @@
+// Cheap online compressibility profiling (ISSUE 9). The paper's profiling
+// insight is that the payoff of a compression offload depends on the data
+// actually flowing through it; this probe estimates that payoff from a
+// bounded prefix so the policy engine can decide *whether* and *how* to
+// compress before any codec runs.
+//
+// Two signals, both O(probe_bytes) with small constants:
+//   - sampled Shannon entropy (bits/byte) over the prefix: how hard the
+//     entropy-coding stage will work. Uniform random data sits at ~8.0.
+//   - LZ match rate: the fraction of probed 4-byte grams that hash-hit an
+//     earlier identical gram in the prefix — a proxy for how much the match
+//     stage can remove. Random data scores ~0; text scores high.
+//
+// The probe window is clamped to [kMinProbeBytes, kMaxProbeBytes] (the
+// paper-motivated 4-16 KiB band) so profiling cost stays a small, bounded
+// slice of request wall time regardless of payload size.
+
+#ifndef SRC_ADAPT_PROFILE_H_
+#define SRC_ADAPT_PROFILE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/iobuf.h"
+
+namespace cdpu {
+namespace adapt {
+
+inline constexpr size_t kMinProbeBytes = 4 * 1024;
+inline constexpr size_t kMaxProbeBytes = 16 * 1024;
+
+struct PayloadProfile {
+  double entropy_bits = 0.0;  // sampled Shannon entropy, [0, 8]
+  double match_rate = 0.0;    // 4-byte-gram hash-probe hit rate, [0, 1]
+  size_t sampled_bytes = 0;   // prefix actually probed
+  uint64_t profile_ns = 0;    // wall time spent profiling
+};
+
+// Profiles the first min(payload.size(), clamp(probe_bytes)) bytes.
+// Empty payloads return an all-zero profile.
+PayloadProfile ProfilePayload(ByteSpan payload, size_t probe_bytes);
+
+}  // namespace adapt
+}  // namespace cdpu
+
+#endif  // SRC_ADAPT_PROFILE_H_

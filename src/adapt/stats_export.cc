@@ -1,0 +1,28 @@
+#include "src/adapt/stats_export.h"
+
+namespace cdpu {
+namespace adapt {
+
+void ExportAdaptStats(const AdaptStats& stats, const std::string& prefix,
+                      obs::MetricSet* metrics) {
+  metrics->Count(prefix + "decisions", stats.decisions);
+  metrics->Count(prefix + "profiled", stats.profiled);
+  metrics->Count(prefix + "profile_skipped", stats.profile_skipped);
+  metrics->Count(prefix + "bypassed", stats.bypassed);
+  metrics->Count(prefix + "bypass_bytes", stats.bypass_bytes);
+  metrics->Count(prefix + "feedback", stats.feedback);
+  metrics->Count(prefix + "profile_ns_total", stats.profile_ns_total);
+  for (const AdaptCodecStats& c : stats.codecs) {
+    const std::string cp = prefix + "codec." + c.codec + ".";
+    metrics->Count(cp + "chosen", c.chosen);
+    metrics->Count(cp + "feedback", c.feedback);
+    for (uint8_t k = 0; k < kNumEntropyClasses; ++k) {
+      const std::string kp = cp + EntropyClassName(k) + ".";
+      metrics->Gauge(kp + "throughput_bytes_per_us", c.throughput_bytes_per_us[k]);
+      metrics->Gauge(kp + "ratio", c.ratio[k]);
+    }
+  }
+}
+
+}  // namespace adapt
+}  // namespace cdpu

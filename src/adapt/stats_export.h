@@ -1,0 +1,27 @@
+// Bridges AdaptStats into the obs metric model, the same way
+// src/svc/stats_export.h bridges ServiceStats. The serve CLI and bench
+// experiments export these under "svc.adapt.*" so routing shares and model
+// state land in BENCH_*.json.
+
+#ifndef SRC_ADAPT_STATS_EXPORT_H_
+#define SRC_ADAPT_STATS_EXPORT_H_
+
+#include <string>
+
+#include "src/adapt/policy.h"
+#include "src/obs/metrics.h"
+
+namespace cdpu {
+namespace adapt {
+
+// Exports every AdaptStats field under `prefix` (e.g. "svc.adapt."): the
+// decision/bypass/feedback counters plus, per candidate codec, chosen and
+// feedback counts and the live per-class throughput/ratio EWMAs under
+// "<prefix>codec.<name>.".
+void ExportAdaptStats(const AdaptStats& stats, const std::string& prefix,
+                      obs::MetricSet* metrics);
+
+}  // namespace adapt
+}  // namespace cdpu
+
+#endif  // SRC_ADAPT_STATS_EXPORT_H_

@@ -52,6 +52,26 @@ Result<size_t> StageIntoPool(Result<size_t> produced, BufferPool* pool, IoBuf* o
   return produced;
 }
 
+// Passthrough codec backing STORE bypass decisions (ISSUE 9): "compression"
+// is an identity copy at ratio 1.0. It exists so the offload runtime can
+// route an incompressible payload through the normal job path (device model,
+// retries, telemetry) without any match/entropy work. Deliberately has no
+// wire id — on the wire STORE is a response *flag*, not a codec.
+class StoreCodec final : public Codec {
+ public:
+  std::string name() const override { return "store"; }
+
+  Result<size_t> Compress(ByteSpan input, ByteVec* out) override {
+    out->insert(out->end(), input.begin(), input.end());
+    return input.size();
+  }
+
+  Result<size_t> Decompress(ByteSpan input, ByteVec* out) override {
+    out->insert(out->end(), input.begin(), input.end());
+    return input.size();
+  }
+};
+
 }  // namespace
 
 Result<size_t> Codec::Compress(ByteSpan input, BufferPool* pool, IoBuf* out) {
@@ -95,6 +115,9 @@ std::unique_ptr<Codec> MakeCodec(const std::string& name) {
   }
   if (name == "lz4") {
     return std::make_unique<Lz4Codec>();
+  }
+  if (name == "store") {
+    return std::make_unique<StoreCodec>();
   }
   if (name == "snappy") {
     return std::make_unique<SnappyCodec>();

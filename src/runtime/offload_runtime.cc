@@ -6,6 +6,8 @@
 #include <optional>
 #include <unordered_map>
 
+#include "src/adapt/policy.h"
+
 namespace cdpu {
 namespace {
 
@@ -122,6 +124,29 @@ OffloadRuntime::Job* OffloadRuntime::PrepareJob(OffloadRequest&& request) {
     job->request.input = job->request.input_buf.span();
   }
 
+  // Resolve the "auto" pseudo-codec before the job enters any queue: the
+  // engine profiles the payload on the submitter's thread and the job
+  // carries a concrete codec from here on (incompressible payloads ride the
+  // "store" passthrough). Without an engine, "auto" degrades to the
+  // runtime's configured codec.
+  if (job->request.codec == "auto") {
+    if (options_.adapt_engine != nullptr && job->request.op == CdpuOp::kCompress) {
+      const adapt::AdaptDecision d =
+          options_.adapt_engine->Decide(job->request.input, job->request.tenant);
+      job->request.adapt_class = d.entropy_class;
+      if (d.action == adapt::AdaptAction::kStore) {
+        job->request.codec = "store";
+        job->request.ratio_hint = 1.0;
+      } else {
+        job->request.codec = d.codec;
+        job->request.ratio_hint = d.ratio_estimate;
+      }
+    } else {
+      job->request.codec.clear();
+    }
+  }
+  job->result.codec_used = job->request.codec;
+
   uint32_t qpi = job->request.queue_pair % static_cast<uint32_t>(qps_.size());
   job->request.queue_pair = qpi;
 
@@ -153,6 +178,24 @@ OffloadRuntime::Job* OffloadRuntime::PrepareJob(OffloadRequest&& request) {
 }
 
 void OffloadRuntime::FinishJob(Job* job) {
+  // Completion telemetry for the adaptive cost model: every successful
+  // compress job reports (codec, entropy class, bytes in/out, wall time)
+  // from the reaper thread. This is the single feed point — the service
+  // layer must not feed again for the same request.
+  if (options_.adapt_engine != nullptr && !job->canceled && job->result.status.ok() &&
+      job->request.op == CdpuOp::kCompress && job->result.output_bytes > 0) {
+    const std::string& codec_used =
+        !job->request.codec.empty()
+            ? job->request.codec
+            : (job->result.fell_back && !options_.fallback_codec.empty()
+                   ? options_.fallback_codec
+                   : options_.codec);
+    if (!codec_used.empty()) {
+      options_.adapt_engine->OnCompletion(codec_used, job->request.adapt_class,
+                                          job->result.input_bytes, job->result.output_bytes,
+                                          job->result.wall_latency_ns);
+    }
+  }
   if (options_.completion_observer != nullptr) {
     options_.completion_observer(job->result, options_.completion_observer_ctx);
   }
@@ -187,10 +230,12 @@ void OffloadRuntime::RecycleJob(Job* job) {
   job->request.trace_id = 0;
   job->request.tenant = 0;
   job->request.device_slot = 0;
+  job->request.adapt_class = adapt::kEntropyClassNone;
   job->promise.reset();
   job->result.status = Status::Ok();
   job->result.output.clear();
   job->result.output_buf.Reset();
+  job->result.codec_used.clear();
   job->result.input_bytes = 0;
   job->result.output_bytes = 0;
   job->result.ratio = 0.0;

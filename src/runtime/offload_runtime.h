@@ -59,6 +59,10 @@
 
 namespace cdpu {
 
+namespace adapt {
+class AdaptivePolicyEngine;
+}  // namespace adapt
+
 struct OffloadResult;
 
 struct RuntimeOptions {
@@ -107,6 +111,14 @@ struct RuntimeOptions {
   // does not wrap each request callback in a fresh std::function. Not owned.
   void (*completion_observer)(const OffloadResult&, void*) = nullptr;
   void* completion_observer_ctx = nullptr;
+
+  // Adaptive policy engine (ISSUE 9). Not owned; must outlive the runtime.
+  // When set, a request naming the pseudo-codec "auto" is resolved in
+  // PrepareJob — the engine profiles the payload and rewrites the request to
+  // the codec it picks ("store" for incompressible payloads) — and every
+  // successful compress completion feeds the engine's cost model from the
+  // reaper thread. When null, "auto" falls back to RuntimeOptions::codec.
+  adapt::AdaptivePolicyEngine* adapt_engine = nullptr;
 };
 
 struct OffloadResult {
@@ -120,6 +132,10 @@ struct OffloadResult {
   }
   uint64_t input_bytes = 0;
   uint64_t output_bytes = 0;
+  // Codec that served the job: the request's override after AUTO resolution
+  // ("store" for bypassed payloads), or empty when the runtime default ran.
+  // An AUTO caller decompresses with exactly this name.
+  std::string codec_used;
   double ratio = 0.0;        // achieved compressed/original (compress jobs)
   SimNanos sim_arrival = 0;
   SimNanos sim_completion = 0;
@@ -174,6 +190,12 @@ struct OffloadRequest {
   // member runtime: echoed into OffloadResult and stamped on every trace
   // span so the breakdown splits per placement. 0 = untagged.
   uint8_t device_slot = 0;
+  // Entropy class the adaptive policy recorded for this payload
+  // (adapt::kEntropyClassNone when nothing profiled it). Routed back with
+  // the completion so the engine updates the right per-class EWMA. Set by
+  // PrepareJob's AUTO resolution, or by the service when it decided
+  // upstream.
+  uint8_t adapt_class = 0xFF;
 };
 
 struct RuntimeStats {

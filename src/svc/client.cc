@@ -163,6 +163,19 @@ CallResult ServiceClient::Call(bool decompress, const std::string& codec_name,
     return result;
   }
   request.flags = decompress ? kFlagDecompress : 0;
+  return DoCall(request, payload);
+}
+
+CallResult ServiceClient::DecompressStored(ByteSpan payload) {
+  Frame request;
+  request.type = FrameType::kRequest;
+  request.codec = static_cast<uint8_t>(WireCodec::kAuto);
+  request.flags = kFlagDecompress | kFlagStored;
+  return DoCall(request, payload);
+}
+
+CallResult ServiceClient::DoCall(Frame& request, ByteSpan payload) {
+  CallResult result;
   request.tenant_id = options_.tenant;
   // The payload rides as the caller's span for the whole call (including
   // BUSY retries) — the request path stages no client-side copy of it.
@@ -195,6 +208,9 @@ CallResult ServiceClient::Call(bool decompress, const std::string& codec_name,
     }
     result.status = server;
     result.output = std::move(response.payload);
+    result.codec = response.codec;
+    result.level = response.level;
+    result.flags = response.flags;
     result.wall_ns = NowNs() - t0;
     Release(std::move(connection));
     return result;

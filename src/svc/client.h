@@ -82,6 +82,15 @@ struct CallResult {
   // to ByteSpan). Holding it pins one pool segment — callers that archive
   // results long-term should copy out.
   IoBuf output;
+  // Response header echo. For AUTO requests `codec`/`level` name the codec
+  // the server's policy actually ran (kAuto if STOREd); stored() means the
+  // payload came back verbatim and must be decompressed via
+  // DecompressStored(), not a codec.
+  uint8_t codec = 0;
+  uint8_t level = 0;
+  uint16_t flags = 0;
+  bool stored() const { return (flags & kFlagStored) != 0; }
+  bool profile_skipped() const { return (flags & kFlagProfileSkipped) != 0; }
   uint32_t busy_retries = 0;  // BUSY responses absorbed before this outcome
   uint64_t wall_ns = 0;       // first submit to final response
 };
@@ -94,14 +103,21 @@ class ServiceClient {
   ServiceClient(const ServiceClient&) = delete;
   ServiceClient& operator=(const ServiceClient&) = delete;
 
-  // `codec_name` is a factory name ("zstd-3", "lz4", ...).
+  // `codec_name` is a factory name ("zstd-3", "lz4", ...) or "auto" to let
+  // the server's adaptive policy pick (compress only; check
+  // CallResult::stored() on the way back).
   CallResult Compress(const std::string& codec_name, ByteSpan payload);
   CallResult Decompress(const std::string& codec_name, ByteSpan payload);
+
+  // Recovers the original bytes of a STOREd compress result (one whose
+  // response carried kFlagStored): the server echoes the payload verbatim.
+  CallResult DecompressStored(ByteSpan payload);
 
   const ClientOptions& options() const { return options_; }
 
  private:
   CallResult Call(bool decompress, const std::string& codec_name, ByteSpan payload);
+  CallResult DoCall(Frame& request, ByteSpan payload);
   Result<std::unique_ptr<ServiceConnection>> Acquire();
   void Release(std::unique_ptr<ServiceConnection> connection);
 

@@ -20,6 +20,7 @@ struct WorkerOutcome {
   uint64_t failed = 0;
   uint64_t verify_failures = 0;
   uint64_t busy = 0;
+  uint64_t stored = 0;
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
   uint64_t calls = 0;  // measured wire calls (compress + verify decompress)
@@ -33,8 +34,15 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
   if (options.clients == 0 || options.requests_per_client == 0) {
     return Status::InvalidArgument("clients and requests_per_client must be positive");
   }
-  if (MakeCodec(options.codec) == nullptr) {
-    return Status::InvalidArgument("unknown codec: " + options.codec);
+  // Wire-name validation (not MakeCodec): the server resolves the codec, and
+  // the pseudo-codec "auto" is a valid request even though no local codec
+  // instance backs it.
+  {
+    uint8_t wc = 0;
+    uint8_t wl = 0;
+    if (!WireCodecFromName(options.codec, &wc, &wl)) {
+      return Status::InvalidArgument("unknown codec: " + options.codec);
+    }
   }
 
   // Fail fast if the server is unreachable, before spawning threads.
@@ -70,10 +78,20 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
 
       ByteVec payload =
           GenerateWithRatio(options.target_ratio, options.payload_bytes, options.seed + w);
+      // Verify with what the server actually did: STOREd results round-trip
+      // through the passthrough, AUTO results through the echoed codec.
+      auto verify_decompress = [&](const CallResult& c) {
+        if (c.stored()) {
+          return client.DecompressStored(c.output);
+        }
+        std::string echoed = WireCodecToName(c.codec, c.level);
+        return client.Decompress(echoed.empty() ? options.codec : echoed, c.output);
+      };
+
       for (uint64_t i = 0; i < options.warmup_requests_per_client; ++i) {
         CallResult c = client.Compress(options.codec, payload);
         if (c.status.ok() && options.verify) {
-          client.Decompress(options.codec, c.output);
+          verify_decompress(c);
         }
       }
       warmup_done.arrive_and_wait();
@@ -89,8 +107,11 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
         out.latency_us.Add(static_cast<double>(c.wall_ns) / 1e3);
         out.bytes_in += payload.size();
         out.bytes_out += c.output.size();
+        if (c.stored()) {
+          ++out.stored;
+        }
         if (options.verify) {
-          CallResult d = client.Decompress(options.codec, c.output);
+          CallResult d = verify_decompress(c);
           ++out.calls;
           out.busy += d.busy_retries;
           if (!d.status.ok()) {
@@ -129,6 +150,7 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
     report.requests_failed += out.failed;
     report.verify_failures += out.verify_failures;
     report.busy_rejections += out.busy;
+    report.requests_stored += out.stored;
     report.bytes_in += out.bytes_in;
     report.bytes_out += out.bytes_out;
     report.measured_calls += out.calls;

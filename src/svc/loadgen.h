@@ -51,6 +51,7 @@ struct LoadGenReport {
   uint64_t requests_failed = 0;   // terminal errors (incl. terminal BUSY)
   uint64_t verify_failures = 0;   // decompressed bytes differed
   uint64_t busy_rejections = 0;   // BUSY responses absorbed by retries
+  uint64_t requests_stored = 0;   // responses carrying the STORE bypass flag
   uint64_t bytes_in = 0;          // original payload bytes offered
   uint64_t bytes_out = 0;         // compressed bytes received
   double wall_seconds = 0;        // measured phase only (excludes warm-up)

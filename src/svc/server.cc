@@ -95,6 +95,28 @@ const std::string* ServiceServer::ResolveCodecName(uint8_t codec, uint8_t level)
   return it->second.empty() ? nullptr : &it->second;
 }
 
+namespace {
+constexpr uint16_t kInvalidWireId = 0xFFFF;
+}  // namespace
+
+bool ServiceServer::WireIdForName(const std::string& name, uint8_t* codec, uint8_t* level) {
+  auto it = wire_ids_.find(name);
+  if (it == wire_ids_.end()) {
+    uint8_t c = 0;
+    uint8_t l = 0;
+    const uint16_t packed = WireCodecFromName(name, &c, &l)
+                                ? static_cast<uint16_t>((c << 8) | l)
+                                : kInvalidWireId;
+    it = wire_ids_.emplace(name, packed).first;
+  }
+  if (it->second == kInvalidWireId) {
+    return false;
+  }
+  *codec = static_cast<uint8_t>(it->second >> 8);
+  *level = static_cast<uint8_t>(it->second & 0xFF);
+  return true;
+}
+
 Status ServiceServer::Start() {
   if (running_.load() || loop_.joinable()) {
     return Status::Internal("server already started");
@@ -151,10 +173,33 @@ Status ServiceServer::Start() {
   if (options_.trace_sink != nullptr && options_.runtime.trace_sink == nullptr) {
     options_.runtime.trace_sink = options_.trace_sink;
   }
+  // Adaptive policy engine: construct with only wire-mappable, buildable
+  // candidates — a decision must be expressible as a response (codec, level)
+  // pair. The engine itself additionally drops MakeCodec-invalid names.
+  {
+    adapt::AdaptOptions aopts = options_.adapt;
+    uint8_t wc = 0;
+    uint8_t wl = 0;
+    std::vector<std::string> mappable;
+    for (const std::string& name : aopts.candidates) {
+      if (WireCodecFromName(name, &wc, &wl) && name != "auto") {
+        mappable.push_back(name);
+      }
+    }
+    aopts.candidates = std::move(mappable);
+    if (!WireCodecFromName(aopts.default_codec, &wc, &wl) || aopts.default_codec == "auto") {
+      aopts.default_codec = "zstd-1";
+    }
+    adapt_ = std::make_unique<adapt::AdaptivePolicyEngine>(aopts);
+  }
+
   // The backing runtime is always a fleet; the pre-fleet single-device
   // server is just a fleet of one built from options_.runtime.device.
   FleetOptions fleet_opts;
   fleet_opts.base = options_.runtime;
+  // Reaper threads feed completion telemetry back into the cost model; the
+  // server resolves AUTO itself, so members never see the "auto" name.
+  fleet_opts.base.adapt_engine = adapt_.get();
   if (fleet_opts.base.output_pool == nullptr) {
     // Engine threads write codec output into the server's pool so the
     // response path can hand the same segment to sendmsg without a copy.
@@ -416,7 +461,86 @@ void ServiceServer::HandleRequest(Session* session, Frame&& frame, uint64_t deco
     }
   }
 
-  const std::string* codec_name = ResolveCodecName(frame.codec, frame.level);
+  const bool decompress = (frame.flags & kFlagDecompress) != 0;
+
+  // STOREd payloads decompress to themselves: a decompress request carrying
+  // kFlagStored is answered from the event loop with the payload echoed
+  // verbatim (refcount bump) — no codec, no runtime job.
+  if (decompress && (frame.flags & kFlagStored) != 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_ok;
+      ++stats_.stored_passthrough;
+    }
+    Respond(session, frame.request_id, frame.tenant_id, frame.codec, frame.level, frame.flags,
+            StatusCode::kOk, std::move(frame.payload));
+    return;
+  }
+  if ((frame.flags & kFlagStored) != 0) {
+    // kFlagStored is meaningless on a compress request.
+    Respond(session, frame.request_id, frame.tenant_id, frame.codec, frame.level, frame.flags,
+            StatusCode::kInvalidArgument, {});
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests_failed;
+    return;
+  }
+
+  // What the response will echo; AUTO rewrites these to the selected codec.
+  uint8_t wire_codec = frame.codec;
+  uint8_t wire_level = frame.level;
+  uint16_t response_flags = frame.flags;
+  uint8_t adapt_class = adapt::kEntropyClassNone;
+  double ratio_hint = 0.0;  // 0 = leave the runtime default
+  std::string auto_codec;   // factory name the policy picked (AUTO only)
+
+  if (frame.codec == static_cast<uint8_t>(WireCodec::kAuto)) {
+    if (decompress || frame.level != 0) {
+      // AUTO names no concrete stream format, so it cannot decompress, and
+      // it carries no levels — the engine picks those.
+      Respond(session, frame.request_id, frame.tenant_id, frame.codec, frame.level,
+              frame.flags, StatusCode::kInvalidArgument, {});
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_failed;
+      return;
+    }
+    const uint64_t adapt_start = trace_id != 0 ? trace::NowNs() : 0;
+    adapt::AdaptDecision decision = adapt_->Decide(frame.payload.span(), frame.tenant_id);
+    if (trace_id != 0) {
+      trace::EmitSpan(trace_writer_, trace_id, frame.tenant_id, 0,
+                      trace::Phase::kAdaptProfile, adapt_start, trace::NowNs());
+    }
+    if (decision.action == adapt::AdaptAction::kStore) {
+      // Incompressible: answer immediately with the payload echoed and the
+      // STORE flag set — zero codec work, zero runtime jobs; the only
+      // wire-visible expansion is the fixed response header.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.requests_ok;
+        ++stats_.requests_stored;
+      }
+      Respond(session, frame.request_id, frame.tenant_id, frame.codec, 0,
+              static_cast<uint16_t>(frame.flags | kFlagStored), StatusCode::kOk,
+              std::move(frame.payload));
+      return;
+    }
+    if (!WireIdForName(decision.codec, &wire_codec, &wire_level)) {
+      // Candidates are wire-validated at Start(); reaching this is a bug.
+      Respond(session, frame.request_id, frame.tenant_id, frame.codec, frame.level,
+              frame.flags, StatusCode::kInternal, {});
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_failed;
+      return;
+    }
+    if (decision.profile_skipped) {
+      response_flags |= kFlagProfileSkipped;
+    }
+    adapt_class = decision.entropy_class;
+    ratio_hint = decision.ratio_estimate;
+    auto_codec = std::move(decision.codec);
+  }
+
+  const std::string* codec_name =
+      !auto_codec.empty() ? &auto_codec : ResolveCodecName(wire_codec, wire_level);
   if (codec_name == nullptr) {
     Respond(session, frame.request_id, frame.tenant_id, frame.codec, frame.level, frame.flags,
             StatusCode::kInvalidArgument, {});
@@ -443,18 +567,22 @@ void ServiceServer::HandleRequest(Session* session, Frame&& frame, uint64_t deco
   ctx->meta.session_id = session->id;
   ctx->meta.request_id = frame.request_id;
   ctx->meta.tenant_id = frame.tenant_id;
-  ctx->meta.codec = frame.codec;
-  ctx->meta.level = frame.level;
-  ctx->meta.flags = frame.flags;
+  ctx->meta.codec = wire_codec;
+  ctx->meta.level = wire_level;
+  ctx->meta.flags = response_flags;
   ctx->meta.enqueue_wall = NowNs();
   ctx->meta.trace_id = trace_id;
 
   OffloadRequest req;
-  req.op = (frame.flags & kFlagDecompress) != 0 ? CdpuOp::kDecompress : CdpuOp::kCompress;
+  req.op = decompress ? CdpuOp::kDecompress : CdpuOp::kCompress;
   // The payload view keeps the parser segment alive by refcount through
   // queueing, device retries and CPU fallback — no heap parking, no copy.
   req.input_buf = std::move(frame.payload);
   req.codec = *codec_name;
+  req.adapt_class = adapt_class;
+  if (ratio_hint > 0.0) {
+    req.ratio_hint = ratio_hint;  // the model sizes timing off the estimate
+  }
   req.queue_pair =
       static_cast<uint32_t>(session->id % runtime_->options().base.queue_pairs);
   if (trace_writer_ != nullptr) {
@@ -630,6 +758,9 @@ ServiceStats ServiceServer::Snapshot() const {
   }
   s.pool = pool_.Snapshot();
   s.mem_path = MemPathSnapshot();
+  if (adapt_ != nullptr) {
+    s.adapt = adapt_->Snapshot();
+  }
   return s;
 }
 

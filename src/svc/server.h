@@ -39,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/adapt/policy.h"
 #include "src/runtime/fleet.h"
 #include "src/runtime/offload_runtime.h"
 #include "src/svc/admission.h"
@@ -76,6 +77,13 @@ struct ServerOptions {
   // request and per-device occupancy appears in ServiceStats::fleet.
   std::vector<FleetDeviceSpec> devices;
   PlacementOptions placement;
+  // Adaptive compression policy (ISSUE 9) for requests naming the AUTO
+  // wire codec: payload profiling, incompressible STORE bypass and online
+  // codec/level selection. The engine is always constructed; adapt.enabled
+  // = false degrades AUTO to adapt.default_codec with the PROFILE_SKIPPED
+  // response flag. Candidate codecs that are not wire-mappable are dropped
+  // at Start() (a STORE response must be able to echo a concrete codec id).
+  adapt::AdaptOptions adapt;
   // Optional end-to-end tracing (not owned; must outlive the server). The
   // event loop draws the trace id at frame decode, brackets the service-side
   // phases (wire_decode / admission / response), and passes the id through
@@ -94,9 +102,12 @@ struct ServiceStats {
   uint64_t requests_busy = 0;      // admission rejections (wire BUSY)
   uint64_t requests_failed = 0;    // non-OK completions (bad codec, codec error)
   uint64_t responses_dropped = 0;  // session closed before its completion
+  uint64_t requests_stored = 0;      // AUTO requests answered via STORE bypass
+  uint64_t stored_passthrough = 0;   // decompress requests for STOREd payloads
   uint64_t bytes_rx = 0;           // raw socket bytes in
   uint64_t bytes_tx = 0;           // raw socket bytes out
   std::vector<TenantSnapshot> tenants;
+  adapt::AdaptStats adapt;  // policy-engine counters + live cost model
   RuntimeStats runtime;  // merged counters across the backing fleet
   FleetStats fleet;      // per-device runtime stats + router occupancy views
   PoolStats pool;        // server-owned buffer pool (hits/misses/occupancy)
@@ -192,6 +203,10 @@ class ServiceServer {
   // so the hot path neither rebuilds the name string nor constructs a codec
   // instance per request.
   const std::string* ResolveCodecName(uint8_t codec, uint8_t level);
+  // Inverse cache for AUTO decisions: factory name -> packed
+  // (codec << 8 | level). Returns false for non-wire-mappable names (the
+  // engine's candidates are pre-validated, so that indicates a bug upstream).
+  bool WireIdForName(const std::string& name, uint8_t* codec, uint8_t* level);
 
   ServerOptions options_;
   // Declared before the runtime/sessions that carve buffers from it:
@@ -199,6 +214,9 @@ class ServiceServer {
   BufferPool pool_;
   uint32_t admission_ceiling_ = 0;  // resolved + clamped global ceiling
   std::unique_ptr<AdmissionController> admission_;
+  // Declared before the fleet: member runtimes hold a raw adapt_engine
+  // pointer and feed it from their reaper threads until destroyed.
+  std::unique_ptr<adapt::AdaptivePolicyEngine> adapt_;
   std::unique_ptr<FleetRuntime> runtime_;
 
   // RequestCtx freelist (Acquire on the event loop, Recycle on reapers).
@@ -207,6 +225,8 @@ class ServiceServer {
 
   // (codec << 8 | level) -> factory name; empty string = invalid combo.
   std::unordered_map<uint16_t, std::string> codec_names_;  // event-loop only
+  // factory name -> packed (codec << 8 | level); kInvalidWireId = unmappable.
+  std::unordered_map<std::string, uint16_t> wire_ids_;  // event-loop only
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

@@ -1,5 +1,6 @@
 #include "src/svc/stats_export.h"
 
+#include "src/adapt/stats_export.h"
 #include "src/runtime/stats_export.h"
 
 namespace cdpu {
@@ -16,8 +17,11 @@ void ExportServiceStats(const ServiceStats& stats, const std::string& prefix,
   metrics->Count(prefix + "requests_busy", stats.requests_busy);
   metrics->Count(prefix + "requests_failed", stats.requests_failed);
   metrics->Count(prefix + "responses_dropped", stats.responses_dropped);
+  metrics->Count(prefix + "requests_stored", stats.requests_stored);
+  metrics->Count(prefix + "stored_passthrough", stats.stored_passthrough);
   metrics->Count(prefix + "bytes_rx", stats.bytes_rx);
   metrics->Count(prefix + "bytes_tx", stats.bytes_tx);
+  adapt::ExportAdaptStats(stats.adapt, prefix + "adapt.", metrics);
   for (const TenantSnapshot& t : stats.tenants) {
     const std::string tp = prefix + "tenant" + std::to_string(t.tenant) + ".";
     metrics->Count(tp + "admitted", t.admitted);

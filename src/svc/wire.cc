@@ -66,6 +66,7 @@ constexpr CodecNameEntry kCodecNames[] = {
     {WireCodec::kLz4, "lz4", false, 0, 0},
     {WireCodec::kSnappy, "snappy", false, 0, 0},
     {WireCodec::kDpzip, "dpzip", false, 0, 0},
+    {WireCodec::kAuto, "auto", false, 0, 0},  // pseudo-codec, not a factory name
 };
 
 }  // namespace
@@ -237,6 +238,11 @@ FrameParser::Event FrameParser::Next(Frame* out) {
     error_ = Status::InvalidArgument("nonzero reserved header bytes");
     return Event::kError;
   }
+  const uint16_t flags = GetU16(h + 10);
+  if ((flags & ~kKnownFlagsMask) != 0) {
+    error_ = Status::InvalidArgument("unknown flag bits " + std::to_string(flags));
+    return Event::kError;
+  }
   const uint32_t payload_len = GetU32(h + 24);
   if (payload_len > max_payload_) {
     error_ = Status::ResourceExhausted("frame payload " + std::to_string(payload_len) +
@@ -260,7 +266,7 @@ FrameParser::Event FrameParser::Next(Frame* out) {
   out->codec = h[6];
   out->level = h[7];
   out->status = h[8];
-  out->flags = GetU16(h + 10);
+  out->flags = flags;
   out->request_id = GetU64(h + 12);
   out->tenant_id = GetU32(h + 20);
   if (copy_payloads_) {

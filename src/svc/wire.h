@@ -10,7 +10,8 @@
 //   7       1     level        codec level, 0 = codec default
 //   8       1     status       StatusCode (responses; 0 in requests)
 //   9       1     reserved     must be 0
-//   10      2     flags        bit 0 = decompress (default is compress)
+//   10      2     flags        bit 0 = decompress, bit 1 = stored,
+//                              bit 2 = profile skipped; others must be 0
 //   12      8     request_id   client-chosen, echoed verbatim
 //   20      4     tenant_id    admission/accounting identity
 //   24      4     payload_len  payload bytes following the header
@@ -22,8 +23,9 @@
 // All multi-byte fields are little-endian. The header CRC lets the parser
 // reject a corrupted or misaligned header before trusting payload_len; the
 // payload CRC catches payload corruption end-to-end. A frame that fails any
-// structural check (magic, version, type, reserved bytes, oversized
-// payload, either CRC) is a *protocol error*: the server drops the session,
+// structural check (magic, version, type, reserved bytes, unknown flag
+// bits, oversized payload, either CRC) is a *protocol error*: the server
+// drops the session,
 // because nothing downstream of a bad length field can be trusted. A
 // well-formed request the server cannot satisfy (unknown codec, admission
 // BUSY, codec failure) gets a response frame carrying a non-OK status
@@ -52,7 +54,10 @@ namespace cdpu {
 namespace svc {
 
 inline constexpr uint32_t kWireMagic = 0x5A504443;  // "CDPZ"
-inline constexpr uint8_t kWireVersion = 1;
+// v2 (ISSUE 9): AUTO codec id, STORE/PROFILE_SKIPPED response flags, and a
+// known-flags structural check (unknown flag bits poison the session the
+// same way nonzero reserved bytes do).
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kHeaderBytes = 40;
 // Hard payload ceiling; ServerOptions/FrameParser may tighten it further.
 inline constexpr size_t kMaxPayloadBytes = 64u * 1024 * 1024;
@@ -68,14 +73,26 @@ enum class WireCodec : uint8_t {
   kLz4 = 3,
   kSnappy = 4,
   kDpzip = 5,
+  // v2: "pick for me". The server's adaptive policy engine profiles the
+  // payload and either compresses with the codec it selects (echoed in the
+  // response codec/level bytes) or stores it verbatim with kFlagStored set.
+  // Only valid on compress requests with level 0.
+  kAuto = 6,
 };
-inline constexpr uint8_t kNumWireCodecs = 6;
+inline constexpr uint8_t kNumWireCodecs = 7;
 
-// Request flag bits.
+// Flag bits. kFlagDecompress is a request flag; kFlagStored travels both
+// ways (responses mark STORE-bypassed payloads with it, and a decompress
+// request carrying it asks for the stored payload back verbatim);
+// kFlagProfileSkipped is response-only telemetry. Any other bit set is a
+// structural protocol error (v2).
 inline constexpr uint16_t kFlagDecompress = 1u << 0;
+inline constexpr uint16_t kFlagStored = 1u << 1;
+inline constexpr uint16_t kFlagProfileSkipped = 1u << 2;
+inline constexpr uint16_t kKnownFlagsMask = kFlagDecompress | kFlagStored | kFlagProfileSkipped;
 
-// Maps a factory codec name ("zstd-3", "deflate", "lz4", ...) to its wire
-// (codec, level) pair. Returns false for names MakeCodec would reject.
+// Maps a codec name ("zstd-3", "deflate", "lz4", ..., or the pseudo-codec
+// "auto") to its wire (codec, level) pair. Returns false for any other name.
 bool WireCodecFromName(const std::string& name, uint8_t* codec, uint8_t* level);
 
 // Inverse mapping; returns "" for out-of-range codec ids. level 0 yields

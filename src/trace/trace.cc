@@ -11,6 +11,8 @@ const char* PhaseName(Phase phase) {
       return "wire_decode";
     case Phase::kAdmission:
       return "admission";
+    case Phase::kAdaptProfile:
+      return "adapt_profile";
     case Phase::kQueueSubmit:
       return "queue_submit";
     case Phase::kQueueEngine:

@@ -52,6 +52,7 @@ inline uint64_t NowNs() {
 enum class Phase : uint8_t {
   kWireDecode = 0,  // service: frame parse (header/payload CRC + copy)
   kAdmission,       // service: admission-controller decision
+  kAdaptProfile,    // service: adaptive-policy payload probe + decision
   kQueueSubmit,     // submit ring + doorbell coalescing wait
   kQueueEngine,     // in-flight slot wait + engine work-queue wait
   kDevice,          // device-model attempts incl. retry backoff (wall time)

@@ -294,4 +294,21 @@ std::vector<uint8_t> GenerateWithEntropy(double bits_per_byte, size_t size, uint
   return out;
 }
 
+std::vector<MixedChunk> GenerateMixedCorpus(size_t chunks, size_t chunk_bytes, uint64_t seed) {
+  // Entropy dial covering all three policy classes; 8.0 is uniform random so
+  // the incompressible-bypass path always has work.
+  static constexpr double kDial[] = {0.8, 2.4, 4.0, 5.6, 8.0};
+  static constexpr size_t kDialLen = sizeof(kDial) / sizeof(kDial[0]);
+  std::vector<MixedChunk> out;
+  out.reserve(chunks);
+  for (size_t i = 0; i < chunks; ++i) {
+    MixedChunk chunk;
+    chunk.entropy_bits = kDial[i % kDialLen];
+    chunk.klass = chunk.entropy_bits < 3.0 ? "low" : (chunk.entropy_bits < 6.5 ? "mid" : "high");
+    chunk.data = GenerateWithEntropy(chunk.entropy_bits, chunk_bytes, seed + i);
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
 }  // namespace cdpu

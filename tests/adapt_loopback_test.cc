@@ -1,0 +1,273 @@
+// End-to-end loopback tests for the adaptive policy engine behind the wire
+// (ISSUE 9): AUTO requests route per payload, incompressible data is STOREd
+// with zero codec work and zero runtime jobs, stored frames decompress via
+// the passthrough, fixed-codec traffic never pays the profiler, the AUTO
+// rejection matrix holds, and the fault-injected AUTO run loses nothing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fault/fault_plan.h"
+#include "src/hw/device_configs.h"
+#include "src/svc/client.h"
+#include "src/svc/loadgen.h"
+#include "src/svc/server.h"
+#include "src/svc/wire.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace svc {
+namespace {
+
+int FuzzRounds() {
+  const char* env = std::getenv("CDPU_FUZZ_ROUNDS");
+  if (env == nullptr) {
+    return 1;
+  }
+  int rounds = std::atoi(env);
+  return rounds > 0 ? rounds : 1;
+}
+
+ByteVec RandomBytes(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  ByteVec data(size);
+  for (uint8_t& b : data) {
+    b = rng.NextByte();
+  }
+  return data;
+}
+
+TEST(AdaptLoopbackTest, AutoRoutesCompressibleDataToARealCodec) {
+  ServerOptions sopts;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ClientOptions copts;
+  copts.port = server.port();
+  ServiceClient client(copts);
+
+  ByteVec payload(GenerateTextLike(96 * 1024, 51));
+  CallResult c = client.Compress("auto", payload);
+  ASSERT_TRUE(c.status.ok()) << c.status.ToString();
+  EXPECT_FALSE(c.stored());
+  EXPECT_LT(c.output.size(), payload.size());  // actually compressed
+
+  // The response names the codec the policy picked; decompressing with
+  // exactly that name must round-trip.
+  std::string chosen = WireCodecToName(c.codec, c.level);
+  ASSERT_FALSE(chosen.empty());
+  EXPECT_NE(chosen, "auto");
+  CallResult d = client.Decompress(chosen, c.output);
+  ASSERT_TRUE(d.status.ok()) << d.status.ToString();
+  ASSERT_EQ(d.output.size(), payload.size());
+  EXPECT_TRUE(std::equal(d.output.begin(), d.output.end(), payload.begin()));
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  EXPECT_EQ(stats.adapt.decisions, 1u);
+  EXPECT_EQ(stats.adapt.profiled, 1u);
+  EXPECT_EQ(stats.adapt.bypassed, 0u);
+  EXPECT_EQ(stats.requests_failed, 0u);
+}
+
+// The acceptance bar: incompressible AUTO payloads are STOREd — the response
+// payload is byte-identical (expansion is the 40-byte frame header only,
+// well under the 2% ceiling), the STORE flag is wire-visible, and the
+// offload runtime saw ZERO jobs: no codec ran anywhere.
+TEST(AdaptLoopbackTest, IncompressibleDataIsStoredWithZeroCodecWork) {
+  ServerOptions sopts;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ClientOptions copts;
+  copts.port = server.port();
+  ServiceClient client(copts);
+
+  constexpr size_t kPayload = 64 * 1024;
+  ByteVec payload = RandomBytes(kPayload, 52);
+  CallResult c = client.Compress("auto", payload);
+  ASSERT_TRUE(c.status.ok()) << c.status.ToString();
+  EXPECT_TRUE(c.stored());
+  // Identity payload: zero expansion beyond framing. 40-byte header on a
+  // 64 KiB payload is 0.06% — the <=2% overhead criterion with margin.
+  ASSERT_EQ(c.output.size(), payload.size());
+  EXPECT_TRUE(std::equal(c.output.begin(), c.output.end(), payload.begin()));
+  static_assert(kHeaderBytes * 100 <= 2 * kPayload, "header overhead exceeds 2% bound");
+
+  // A stored frame decompresses through the passthrough.
+  CallResult d = client.DecompressStored(c.output);
+  ASSERT_TRUE(d.status.ok()) << d.status.ToString();
+  EXPECT_TRUE(d.stored());
+  ASSERT_EQ(d.output.size(), payload.size());
+  EXPECT_TRUE(std::equal(d.output.begin(), d.output.end(), payload.begin()));
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  EXPECT_EQ(stats.adapt.bypassed, 1u);
+  EXPECT_EQ(stats.adapt.bypass_bytes, payload.size());
+  EXPECT_EQ(stats.requests_stored, 1u);
+  EXPECT_EQ(stats.stored_passthrough, 1u);
+  // The load never reached the offload runtime: zero jobs submitted.
+  EXPECT_EQ(stats.runtime.jobs_submitted, 0u);
+  EXPECT_EQ(stats.requests_failed, 0u);
+}
+
+// Fixed-codec requests must take a zero-overhead fast path around the
+// profiler: the engine exists, but explicit codecs never consult it.
+TEST(AdaptLoopbackTest, FixedCodecRequestsNeverPayTheProfiler) {
+  ServerOptions sopts;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ClientOptions copts;
+  copts.port = server.port();
+  ServiceClient client(copts);
+
+  ByteVec payload(GenerateTextLike(32 * 1024, 53));
+  for (const char* codec : {"lz4", "snappy", "zstd-1"}) {
+    CallResult c = client.Compress(codec, payload);
+    ASSERT_TRUE(c.status.ok()) << codec;
+    EXPECT_FALSE(c.stored());
+    CallResult d = client.Decompress(codec, c.output);
+    ASSERT_TRUE(d.status.ok()) << codec;
+    EXPECT_TRUE(std::equal(d.output.begin(), d.output.end(), payload.begin())) << codec;
+  }
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  EXPECT_EQ(stats.adapt.decisions, 0u);
+  EXPECT_EQ(stats.adapt.profiled, 0u);
+  EXPECT_EQ(stats.adapt.profile_skipped, 0u);
+  EXPECT_EQ(stats.requests_stored, 0u);
+}
+
+TEST(AdaptLoopbackTest, AutoRejectionMatrix) {
+  ServerOptions sopts;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ClientOptions copts;
+  copts.port = server.port();
+  ServiceClient client(copts);
+
+  ByteVec payload(GenerateTextLike(8 * 1024, 54));
+  // AUTO + decompress is meaningless: the stored passthrough carries its own
+  // flag, and a compressed frame names its concrete codec. The server must
+  // answer with a semantic error, not a poisoned session — the same
+  // connection keeps working afterwards.
+  CallResult d = client.Decompress("auto", payload);
+  EXPECT_FALSE(d.status.ok());
+
+  CallResult c = client.Compress("auto", payload);
+  EXPECT_TRUE(c.status.ok()) << c.status.ToString();
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  EXPECT_GE(stats.requests_failed, 1u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(AdaptLoopbackTest, DisabledEngineDegradesAutoToDefaultCodec) {
+  ServerOptions sopts;
+  sopts.adapt.enabled = false;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ClientOptions copts;
+  copts.port = server.port();
+  ServiceClient client(copts);
+
+  // Even incompressible data is NOT bypassed when the engine is off.
+  ByteVec payload = RandomBytes(32 * 1024, 55);
+  CallResult c = client.Compress("auto", payload);
+  ASSERT_TRUE(c.status.ok()) << c.status.ToString();
+  EXPECT_FALSE(c.stored());
+  EXPECT_TRUE(c.profile_skipped());
+  std::string chosen = WireCodecToName(c.codec, c.level);
+  EXPECT_EQ(chosen, sopts.adapt.default_codec);
+  CallResult d = client.Decompress(chosen, c.output);
+  ASSERT_TRUE(d.status.ok());
+  EXPECT_TRUE(std::equal(d.output.begin(), d.output.end(), payload.begin()));
+
+  server.Stop();
+  EXPECT_EQ(server.Snapshot().adapt.profiled, 0u);
+}
+
+// AUTO under a mixed closed loop: compressible traffic routes to real
+// codecs, incompressible traffic is STOREd, and every round trip verifies.
+TEST(AdaptLoopbackTest, MixedAutoClosedLoopVerifiesEverything) {
+  ServerOptions sopts;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Half the clients offer compressible payloads, half incompressible.
+  LoadGenOptions compressible;
+  compressible.port = server.port();
+  compressible.clients = 2;
+  compressible.requests_per_client = 8 * FuzzRounds();
+  compressible.payload_bytes = 24 * 1024;
+  compressible.codec = "auto";
+  compressible.target_ratio = 0.4;
+  Result<LoadGenReport> a = RunClosedLoop(compressible);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  LoadGenOptions incompressible = compressible;
+  incompressible.target_ratio = 1.0;  // uniform random payloads
+  Result<LoadGenReport> b = RunClosedLoop(incompressible);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  server.Stop();
+  const uint64_t per_run = 2u * compressible.requests_per_client;
+  EXPECT_EQ(a->requests_ok, per_run);
+  EXPECT_EQ(a->verify_failures, 0u);
+  EXPECT_EQ(a->requests_stored, 0u);  // 0.4-ratio data must not bypass
+  EXPECT_LT(a->bytes_out, a->bytes_in);
+
+  EXPECT_EQ(b->requests_ok, per_run);
+  EXPECT_EQ(b->verify_failures, 0u);
+  EXPECT_EQ(b->requests_stored, per_run);  // random data always bypasses
+  EXPECT_EQ(b->bytes_out, b->bytes_in);    // identity passthrough
+
+  ServiceStats stats = server.Snapshot();
+  EXPECT_EQ(stats.adapt.bypassed, per_run);
+  EXPECT_EQ(stats.requests_failed, 0u);
+}
+
+// Fault-fuzz on the AUTO path: the policy picks real codecs while the fault
+// injector fires inside the runtime; retry/CPU-fallback must stay invisible
+// at the wire — nothing lost, duplicated or corrupted.
+TEST(AdaptLoopbackTest, FaultInjectedAutoRunLosesNothing) {
+  ServerOptions sopts;
+  sopts.runtime.device = Qat8970Config();
+  sopts.runtime.fault_plan.seed = 0xADA7ull;
+  for (uint32_t kind = 0; kind < kNumFaultKinds; ++kind) {
+    sopts.runtime.fault_plan.rate[kind] = 0.05;
+  }
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions lopts;
+  lopts.port = server.port();
+  lopts.clients = 6;
+  lopts.tenants = 3;
+  lopts.requests_per_client = 12 * FuzzRounds();
+  lopts.payload_bytes = 24 * 1024;
+  lopts.codec = "auto";
+  lopts.target_ratio = 0.4;
+  Result<LoadGenReport> run = RunClosedLoop(lopts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  EXPECT_GT(stats.runtime.faults_injected, 0u);
+  EXPECT_EQ(run->requests_ok, 6u * lopts.requests_per_client);
+  EXPECT_EQ(run->requests_failed, 0u);
+  EXPECT_EQ(run->verify_failures, 0u);
+  EXPECT_EQ(stats.responses_dropped, 0u);
+  // Completion telemetry flowed back into the model throughout the run.
+  EXPECT_GT(stats.adapt.feedback, 0u);
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace cdpu

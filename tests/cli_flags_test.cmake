@@ -52,6 +52,19 @@ expect_exit(2 offload lz4 /dev/null --trace-sample=abc)
 expect_exit(2 serve --bogus-flag)
 expect_exit(2 client --port=notaport)
 
+# Unknown codec names must exit 2 with usage on every front end that names
+# one, including the serve/adapt knobs ("auto" is a request-side pseudo-codec
+# and is NOT valid as a server default or model candidate).
+expect_exit(2 offload nosuchcodec /dev/null)
+expect_exit(2 client compress nosuchcodec /dev/null /dev/null --port=1)
+expect_exit(2 serve --codec=nosuchcodec)
+expect_exit(2 serve --codec=auto)
+expect_exit(2 serve --adapt-candidates=lz4,nosuchcodec)
+expect_exit(2 serve --adapt-candidates=)
+expect_exit(2 serve --adapt-mode=bogus)
+expect_exit(2 serve --adapt-bias=speed)
+expect_exit(2 serve --adapt-probe=abc)
+
 # Fleet flags: malformed device lists / unknown policies.
 expect_exit(2 offload lz4 /dev/null --devices=)
 expect_exit(2 offload lz4 /dev/null --devices=nosuchdev)

@@ -1,0 +1,98 @@
+// Bit-exact stability of the lz4 and snappy bitstreams against committed
+// golden vectors, mirroring the dpzip discipline (dpzip_golden_test.cc).
+// These two formats are produced by this repo's own encoders and consumed by
+// stored frames written years apart, so an accidental encoder change would
+// silently orphan old data. For each (codec, corpus case) pair the freshly
+// compressed output must equal the committed vector, and the committed
+// vector must decompress back to the generated input.
+//
+// If a test here fails because you changed an encoder ON PURPOSE, regenerate
+// the vectors and commit them with the encoder change:
+//   build/tools/codec_golden_gen tests/golden
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/codecs/codec.h"
+#include "tests/golden/codec_corpus.h"
+
+namespace cdpu {
+namespace {
+
+std::string GoldenPath(const std::string& codec, const std::string& name) {
+  return std::string(CDPU_GOLDEN_DIR) + "/" + codec + "/" + name + ".bin";
+}
+
+bool ReadVector(const std::string& path, ByteVec* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  out->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+using CaseParam = std::tuple<std::string, golden::CodecGoldenCase>;
+
+class CodecGoldenTest : public ::testing::TestWithParam<CaseParam> {};
+
+TEST_P(CodecGoldenTest, CompressedOutputIsBitExact) {
+  const auto& [codec_name, c] = GetParam();
+  ByteVec want;
+  ASSERT_TRUE(ReadVector(GoldenPath(codec_name, c.name), &want))
+      << "missing golden vector " << GoldenPath(codec_name, c.name)
+      << " — regenerate with: build/tools/codec_golden_gen tests/golden";
+
+  std::vector<uint8_t> input = golden::GenerateCodecInput(c);
+  std::unique_ptr<Codec> codec = MakeCodec(codec_name);
+  ASSERT_NE(codec, nullptr);
+  ByteVec got;
+  Result<size_t> r = codec->Compress(input, &got);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(got, want) << codec_name << " bitstream changed for corpus case \"" << c.name
+                       << "\" (" << got.size() << " vs " << want.size()
+                       << " golden bytes). If this is an intentional format change, "
+                       << "regenerate the vectors and commit them: "
+                       << "build/tools/codec_golden_gen tests/golden";
+}
+
+TEST_P(CodecGoldenTest, CommittedVectorDecompressesToInput) {
+  const auto& [codec_name, c] = GetParam();
+  ByteVec vector;
+  ASSERT_TRUE(ReadVector(GoldenPath(codec_name, c.name), &vector))
+      << "missing golden vector " << GoldenPath(codec_name, c.name);
+
+  std::vector<uint8_t> input = golden::GenerateCodecInput(c);
+  std::unique_ptr<Codec> codec = MakeCodec(codec_name);
+  ASSERT_NE(codec, nullptr);
+  ByteVec out;
+  Result<size_t> r = codec->Decompress(vector, &out);
+  ASSERT_TRUE(r.ok()) << codec_name << "/" << c.name
+                      << ": committed vector no longer decodes: " << r.status().ToString();
+  EXPECT_EQ(out.size(), input.size());
+  EXPECT_EQ(out, ByteVec(input.begin(), input.end()));
+}
+
+std::vector<CaseParam> AllCases() {
+  std::vector<CaseParam> cases;
+  for (const std::string& codec : golden::GoldenCodecs()) {
+    for (const golden::CodecGoldenCase& c : golden::CodecCorpus()) {
+      cases.emplace_back(codec, c);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecGoldenTest, ::testing::ValuesIn(AllCases()),
+                         [](const ::testing::TestParamInfo<CaseParam>& info) {
+                           return std::get<0>(info.param) + "_" +
+                                  std::get<1>(info.param).name;
+                         });
+
+}  // namespace
+}  // namespace cdpu

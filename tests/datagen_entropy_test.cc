@@ -1,0 +1,95 @@
+// The adaptive policy engine trusts the datagen entropy dial: the bench's
+// "mixed corpus" chunks are labelled low/mid/high by their *requested*
+// bits-per-byte, and the acceptance criteria compare per-class routing
+// against those labels. These tests pin the dial itself — the realised
+// Shannon entropy of GenerateWithEntropy output must track the request —
+// and the GenerateMixedCorpus labelling on top of it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/codecs/entropy.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace {
+
+double MeasuredEntropy(const std::vector<uint8_t>& data) { return ShannonEntropy(data); }
+
+TEST(DatagenEntropyTest, RealisedEntropyTracksRequestedBitsPerByte) {
+  // 64 KiB is enough sample mass that the realised entropy of the
+  // mixing-distribution draw concentrates near its expectation.
+  constexpr size_t kSize = 64 * 1024;
+  for (double target : {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}) {
+    std::vector<uint8_t> data = GenerateWithEntropy(target, kSize, /*seed=*/91);
+    ASSERT_EQ(data.size(), kSize);
+    const double got = MeasuredEntropy(data);
+    EXPECT_NEAR(got, target, 0.35) << "requested " << target << " bits/byte";
+  }
+}
+
+TEST(DatagenEntropyTest, FullDialIsIncompressible) {
+  std::vector<uint8_t> data = GenerateWithEntropy(8.0, 64 * 1024, /*seed=*/92);
+  EXPECT_GT(MeasuredEntropy(data), 7.9);
+}
+
+TEST(DatagenEntropyTest, ZeroDialIsConstant) {
+  std::vector<uint8_t> data = GenerateWithEntropy(0.0, 4096, /*seed=*/93);
+  EXPECT_LT(MeasuredEntropy(data), 0.1);
+}
+
+TEST(DatagenEntropyTest, GeneratorIsDeterministicInSeed) {
+  std::vector<uint8_t> a = GenerateWithEntropy(3.5, 8192, /*seed=*/7);
+  std::vector<uint8_t> b = GenerateWithEntropy(3.5, 8192, /*seed=*/7);
+  std::vector<uint8_t> c = GenerateWithEntropy(3.5, 8192, /*seed=*/8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(DatagenEntropyTest, MixedCorpusCoversAllClasses) {
+  std::vector<MixedChunk> corpus = GenerateMixedCorpus(/*chunks=*/10, /*chunk_bytes=*/16384,
+                                                       /*seed=*/44);
+  ASSERT_EQ(corpus.size(), 10u);
+  size_t low = 0;
+  size_t mid = 0;
+  size_t high = 0;
+  for (const MixedChunk& chunk : corpus) {
+    ASSERT_EQ(chunk.data.size(), 16384u);
+    if (chunk.klass == "low") {
+      ++low;
+    } else if (chunk.klass == "mid") {
+      ++mid;
+    } else if (chunk.klass == "high") {
+      ++high;
+    } else {
+      FAIL() << "unknown class label " << chunk.klass;
+    }
+    // The label must agree with the engine's class boundaries applied to the
+    // *requested* dial setting...
+    const char* expect = chunk.entropy_bits < 3.0   ? "low"
+                         : chunk.entropy_bits < 6.5 ? "mid"
+                                                    : "high";
+    EXPECT_EQ(chunk.klass, expect);
+    // ...and the realised entropy must actually land in that class's range.
+    const double got = MeasuredEntropy(chunk.data);
+    EXPECT_NEAR(got, chunk.entropy_bits, 0.35);
+  }
+  EXPECT_GT(low, 0u);
+  EXPECT_GT(mid, 0u);
+  EXPECT_GT(high, 0u);
+}
+
+TEST(DatagenEntropyTest, MixedCorpusChunksAreIndependentOfCount) {
+  // Chunk i depends only on (seed, i): generating a longer corpus must not
+  // perturb earlier chunks, so subranges are reproducible.
+  std::vector<MixedChunk> small = GenerateMixedCorpus(3, 4096, /*seed=*/5);
+  std::vector<MixedChunk> large = GenerateMixedCorpus(8, 4096, /*seed=*/5);
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i].data, large[i].data) << "chunk " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cdpu

@@ -1,0 +1,94 @@
+// The fixed corpus behind the committed lz4/snappy golden vectors
+// (tests/golden/lz4/*.bin, tests/golden/snappy/*.bin). Shared by the
+// regeneration tool (tools/codec_golden_gen.cc) and the stability test
+// (tests/codec_golden_test.cc) so the two can never drift apart — the same
+// discipline tests/golden/dpzip_corpus.h applies to the dpzip bitstream.
+//
+// Every case is a pure function of its (pattern, size, seed) triple, so the
+// corpus is reproducible on any host. If you change an encoder's output
+// ON PURPOSE, regenerate with
+//   build/tools/codec_golden_gen tests/golden
+// and commit the new .bin files alongside the encoder change.
+
+#ifndef TESTS_GOLDEN_CODEC_CORPUS_H_
+#define TESTS_GOLDEN_CODEC_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/datagen.h"
+
+namespace cdpu {
+namespace golden {
+
+// The byte-stable codecs covered by committed vectors. dpzip has its own
+// corpus (dpzip_corpus.h); zstd/deflate levels are deliberately excluded —
+// their output is an implementation detail we only pin via round-trip and
+// differential tests.
+inline std::vector<std::string> GoldenCodecs() { return {"lz4", "snappy"}; }
+
+enum class CodecPattern : uint8_t {
+  kRatio,       // GenerateWithRatio(ratio, size, seed)
+  kRandom,      // incompressible: seeded uniform bytes (literal-run path)
+  kRunLength,   // long single-byte runs (max match lengths, distance 1)
+  kText,        // GenerateTextLike: realistic literal/match interleaving
+};
+
+struct CodecGoldenCase {
+  const char* name;  // vector file is <codec>/<name>.bin
+  CodecPattern pattern;
+  size_t size;
+  uint64_t seed;
+  double ratio;  // kRatio only
+};
+
+inline std::vector<CodecGoldenCase> CodecCorpus() {
+  return {
+      {"empty", CodecPattern::kRatio, 0, 1, 0.5},
+      {"tiny_1b", CodecPattern::kRandom, 1, 2, 0},
+      {"ratio20_4k", CodecPattern::kRatio, 4096, 101, 0.20},
+      {"ratio45_16k", CodecPattern::kRatio, 16384, 102, 0.45},
+      {"ratio80_64k", CodecPattern::kRatio, 65536, 103, 0.80},
+      {"random_4k", CodecPattern::kRandom, 4096, 104, 0},
+      {"runlength_8k", CodecPattern::kRunLength, 8192, 105, 0},
+      {"text_16k", CodecPattern::kText, 16384, 106, 0},
+  };
+}
+
+inline std::vector<uint8_t> GenerateCodecInput(const CodecGoldenCase& c) {
+  switch (c.pattern) {
+    case CodecPattern::kRatio:
+      return GenerateWithRatio(c.ratio, c.size, c.seed);
+    case CodecPattern::kRandom: {
+      Rng rng(c.seed);
+      std::vector<uint8_t> data(c.size);
+      for (uint8_t& b : data) {
+        b = rng.NextByte();
+      }
+      return data;
+    }
+    case CodecPattern::kRunLength: {
+      Rng rng(c.seed);
+      std::vector<uint8_t> data;
+      data.reserve(c.size);
+      while (data.size() < c.size) {
+        uint8_t value = rng.NextByte();
+        size_t run = 1 + rng.Uniform(300);
+        for (size_t i = 0; i < run && data.size() < c.size; ++i) {
+          data.push_back(value);
+        }
+      }
+      return data;
+    }
+    case CodecPattern::kText:
+      return GenerateTextLike(c.size, c.seed);
+  }
+  return {};
+}
+
+}  // namespace golden
+}  // namespace cdpu
+
+#endif  // TESTS_GOLDEN_CODEC_CORPUS_H_

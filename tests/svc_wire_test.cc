@@ -206,7 +206,7 @@ TEST(SvcWireTest, ChunkedBurstWithInterleavedDrainStaysLinear) {
 
 TEST(SvcWireTest, CodecNamesRoundTrip) {
   for (const char* name : {"deflate", "deflate-1", "deflate-9", "gzip", "gzip-6", "zstd",
-                           "zstd-1", "zstd-12", "lz4", "snappy", "dpzip"}) {
+                           "zstd-1", "zstd-12", "lz4", "snappy", "dpzip", "auto"}) {
     uint8_t codec = 0;
     uint8_t level = 0;
     ASSERT_TRUE(WireCodecFromName(name, &codec, &level)) << name;
@@ -247,6 +247,28 @@ TEST(SvcWireTest, RejectsBadVersion) { ExpectHeaderRejected(4, 0x10); }
 TEST(SvcWireTest, RejectsBadType) { ExpectHeaderRejected(5, 0x40); }
 TEST(SvcWireTest, RejectsReservedByte) { ExpectHeaderRejected(9, 0x01); }
 TEST(SvcWireTest, RejectsReservedTail) { ExpectHeaderRejected(36, 0x01); }
+TEST(SvcWireTest, RejectsUnknownFlagBitsLow) { ExpectHeaderRejected(10, 0x08); }
+TEST(SvcWireTest, RejectsUnknownFlagBitsHigh) { ExpectHeaderRejected(11, 0x80); }
+
+TEST(SvcWireTest, RejectsV1Frames) {
+  // kWireVersion moved 1 -> 2 with the adaptive-policy flag bits; a v1
+  // client must be refused at the version check, before any CRC math.
+  ExpectHeaderRejected(4, kWireVersion ^ 1);
+}
+
+TEST(SvcWireTest, AcceptsKnownFlagCombinations) {
+  for (uint16_t flags : {uint16_t{0}, kFlagDecompress, kFlagStored, kFlagProfileSkipped,
+                         static_cast<uint16_t>(kFlagDecompress | kFlagStored),
+                         kKnownFlagsMask}) {
+    Frame in = MakeRequest(1, 128, 21);
+    in.flags = flags;
+    FrameParser parser;
+    parser.Feed(EncodeFrame(in));
+    Frame out;
+    ASSERT_EQ(parser.Next(&out), FrameParser::Event::kFrame) << "flags " << flags;
+    EXPECT_EQ(out.flags, flags);
+  }
+}
 TEST(SvcWireTest, RejectsHeaderCrcMismatch) {
   // Flip a payload_len bit without fixing the header CRC.
   ExpectHeaderRejected(24, 0x01);

@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "bench/harness/driver.h"
+#include "src/adapt/policy.h"
 #include "src/codecs/codec.h"
 #include "src/codecs/entropy.h"
 #include "src/core/dpzip_codec.h"
@@ -109,7 +110,7 @@ int Usage() {
                "       cdpu_cli bench <codec> <in> [chunk_bytes]\n"
                "                [--trace-out=PATH] [--trace-sample=P]\n"
                "       cdpu_cli bench list|run|validate ...   (the cdpu_bench experiment driver)\n"
-               "       cdpu_cli offload <codec> <in> [--threads=N] [--batch=B]\n"
+               "       cdpu_cli offload <codec>|auto <in> [--threads=N] [--batch=B]\n"
                "                [--chunk=BYTES] [--qps=N] [--device=NAME]\n"
                "                [--devices=NAME[:COUNT],...] [--placement=POLICY]\n"
                "                [--fault-rate=P] [--fault-kinds=K,K,...] [--fault-seed=S]\n"
@@ -119,8 +120,11 @@ int Usage() {
                "                [--max-inflight=N] [--greedy] [--tenants=N]\n"
                "                [--max-sessions=N] [--max-seconds=S] [--port-file=PATH]\n"
                "                [--fault-rate=P] [--fault-kinds=K,K,...] [--fault-seed=S]\n"
+               "                [--codec=NAME] [--adapt-off] [--adapt-mode=auto|bypass-only]\n"
+               "                [--adapt-bias=throughput|balanced|ratio] [--adapt-probe=BYTES]\n"
+               "                [--adapt-candidates=NAME,NAME,...]\n"
                "                [--trace-out=PATH] [--trace-sample=P]\n"
-               "       cdpu_cli client compress|decompress <codec> <in> <out>\n"
+               "       cdpu_cli client compress|decompress <codec>|auto <in> <out>\n"
                "                [--host=A] [--port=N] [--tenant=T] [--retries=N]\n"
                "       cdpu_cli entropy <in> [chunk_bytes]\n"
                "       cdpu_cli list\n");
@@ -459,7 +463,8 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
     return 2;
   }
 
-  if (cdpu::MakeCodec(codec_name) == nullptr) {
+  const bool auto_codec = codec_name == "auto";
+  if (!auto_codec && cdpu::MakeCodec(codec_name) == nullptr) {
     std::fprintf(stderr, "unknown codec: %s\n", codec_name.c_str());
     return 2;
   }
@@ -478,7 +483,7 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   }
 
   cdpu::RuntimeOptions opts;
-  opts.codec = codec_name;
+  opts.codec = auto_codec ? "zstd-1" : codec_name;  // concrete runtime default
   opts.queue_pairs = static_cast<uint32_t>(qps);
   opts.batch_size = static_cast<uint32_t>(batch);
   opts.fault_plan.seed = fault_seed;
@@ -487,6 +492,14 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
   }
   std::unique_ptr<cdpu::trace::TraceSink> sink = trace_args.MakeSink();
   opts.trace_sink = sink.get();
+  // AUTO: every request names the "auto" pseudo-codec and the runtime's
+  // policy engine resolves it per payload (declared before the runtime so it
+  // outlives the reaper threads feeding it).
+  std::unique_ptr<cdpu::adapt::AdaptivePolicyEngine> adapt_engine;
+  if (auto_codec) {
+    adapt_engine = std::make_unique<cdpu::adapt::AdaptivePolicyEngine>(cdpu::adapt::AdaptOptions{});
+    opts.adapt_engine = adapt_engine.get();
+  }
 
   cdpu::FleetOptions fleet_opts;
   fleet_opts.base = opts;
@@ -510,6 +523,9 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
         ByteSpan span(data.data() + c * chunk, chunk);
         cdpu::OffloadRequest creq;
         creq.op = cdpu::CdpuOp::kCompress;
+        if (auto_codec) {
+          creq.codec = "auto";
+        }
         creq.input = span;
         creq.queue_pair = static_cast<uint32_t>(t % qps);
         cdpu::OffloadResult cres = runtime.Submit(std::move(creq)).get();
@@ -519,6 +535,7 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
         }
         cdpu::OffloadRequest dreq;
         dreq.op = cdpu::CdpuOp::kDecompress;
+        dreq.codec = cres.codec_used;  // AUTO: whatever the policy picked
         dreq.input = cres.output;
         dreq.ratio_hint = cres.ratio;
         dreq.queue_pair = static_cast<uint32_t>(t % qps);
@@ -591,6 +608,21 @@ int Offload(const std::string& codec_name, const std::string& path, int argc, ch
                 static_cast<unsigned long long>(s.unhealthy_transitions),
                 static_cast<unsigned long long>(s.reprobes));
   }
+  if (adapt_engine != nullptr) {
+    const cdpu::adapt::AdaptStats as = adapt_engine->Snapshot();
+    std::printf("  adapt               %llu decisions (%llu profiled), %llu bypassed, "
+                "%llu feedback\n",
+                static_cast<unsigned long long>(as.decisions),
+                static_cast<unsigned long long>(as.profiled),
+                static_cast<unsigned long long>(as.bypassed),
+                static_cast<unsigned long long>(as.feedback));
+    for (const cdpu::adapt::AdaptCodecStats& c : as.codecs) {
+      if (c.chosen > 0) {
+        std::printf("    codec %-10s    %llu chosen\n", c.codec.c_str(),
+                    static_cast<unsigned long long>(c.chosen));
+      }
+    }
+  }
   PrintFleetDevices(fs);
   if (sink != nullptr) {
     int rc = trace_args.Report(sink.get(), "offload_trace",
@@ -614,8 +646,11 @@ int Serve(int argc, char** argv, int first_flag) {
   std::string placement_name;
   std::string fault_kinds = "verify,timeout,stall,reset";
   std::string port_file;
+  std::string serve_codec;
+  std::string adapt_candidates;
   double fault_rate = 0.0;
   uint64_t port = 0;
+  uint64_t adapt_probe = 0;
   uint64_t engines = 0;
   uint64_t max_inflight = 0;
   uint64_t tenants = 4;
@@ -633,6 +668,7 @@ int Serve(int argc, char** argv, int first_flag) {
         ParseFlag(arg, "max-sessions", &max_sessions, &bad_flag) ||
         ParseFlag(arg, "max-seconds", &max_seconds, &bad_flag) ||
         ParseFlag(arg, "fault-seed", &fault_seed, &bad_flag) ||
+        ParseFlag(arg, "adapt-probe", &adapt_probe, &bad_flag) ||
         trace_args.Parse(arg, &bad_flag)) {
       if (bad_flag) {
         return 2;
@@ -679,8 +715,84 @@ int Serve(int argc, char** argv, int first_flag) {
       fault_kinds = arg.substr(14);
       continue;
     }
+    if (arg.rfind("--codec=", 0) == 0) {
+      serve_codec = arg.substr(8);
+      continue;
+    }
+    if (arg == "--adapt-off") {
+      opts.adapt.enabled = false;
+      continue;
+    }
+    if (arg.rfind("--adapt-mode=", 0) == 0) {
+      const std::string mode = arg.substr(13);
+      if (mode == "auto") {
+        opts.adapt.mode = cdpu::adapt::AdaptMode::kAuto;
+      } else if (mode == "bypass-only") {
+        opts.adapt.mode = cdpu::adapt::AdaptMode::kBypassOnly;
+      } else {
+        std::fprintf(stderr, "unknown adapt mode: %s (auto|bypass-only)\n", mode.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--adapt-bias=", 0) == 0) {
+      if (!cdpu::adapt::ParseAdaptBias(arg.substr(13), &opts.adapt.bias)) {
+        std::fprintf(stderr, "unknown adapt bias: %s (throughput|balanced|ratio)\n",
+                     arg.c_str() + 13);
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--adapt-candidates=", 0) == 0) {
+      adapt_candidates = arg.substr(19);
+      if (adapt_candidates.empty()) {
+        std::fprintf(stderr, "--adapt-candidates requires a codec list (name,name,...)\n");
+        return 2;
+      }
+      continue;
+    }
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return Usage();
+  }
+  if (!serve_codec.empty()) {
+    uint8_t wc = 0;
+    uint8_t wl = 0;
+    if (serve_codec == "auto" || !cdpu::svc::WireCodecFromName(serve_codec, &wc, &wl) ||
+        cdpu::MakeCodec(serve_codec) == nullptr) {
+      std::fprintf(stderr, "unknown codec: %s\n", serve_codec.c_str());
+      return Usage();
+    }
+    opts.runtime.codec = serve_codec;
+    opts.adapt.default_codec = serve_codec;
+  }
+  if (adapt_probe > 0) {
+    opts.adapt.probe_bytes = static_cast<size_t>(adapt_probe);
+  }
+  if (!adapt_candidates.empty()) {
+    opts.adapt.candidates.clear();
+    size_t start = 0;
+    while (start <= adapt_candidates.size()) {
+      size_t comma = adapt_candidates.find(',', start);
+      if (comma == std::string::npos) {
+        comma = adapt_candidates.size();
+      }
+      std::string name = adapt_candidates.substr(start, comma - start);
+      if (!name.empty()) {
+        uint8_t wc = 0;
+        uint8_t wl = 0;
+        if (name == "auto" || !cdpu::svc::WireCodecFromName(name, &wc, &wl) ||
+            cdpu::MakeCodec(name) == nullptr) {
+          std::fprintf(stderr, "unknown codec in --adapt-candidates: %s\n", name.c_str());
+          return Usage();
+        }
+        opts.adapt.candidates.push_back(std::move(name));
+      }
+      start = comma + 1;
+    }
+    if (opts.adapt.candidates.empty()) {
+      std::fprintf(stderr, "--adapt-candidates requires a codec list (name,name,...)\n");
+      return 2;
+    }
   }
   std::vector<cdpu::FleetDeviceSpec> specs;
   if (!BuildFleetSpecs(devices_list, device_name, &specs)) {
@@ -778,6 +890,23 @@ int Serve(int argc, char** argv, int first_flag) {
                 static_cast<unsigned long long>(s.runtime.retries),
                 static_cast<unsigned long long>(s.runtime.fallbacks));
   }
+  if (s.adapt.decisions > 0 || s.requests_stored > 0) {
+    std::printf("  adapt               %llu decisions (%llu profiled, %llu skipped), "
+                "%llu bypassed (%.1f MiB), %llu feedback\n",
+                static_cast<unsigned long long>(s.adapt.decisions),
+                static_cast<unsigned long long>(s.adapt.profiled),
+                static_cast<unsigned long long>(s.adapt.profile_skipped),
+                static_cast<unsigned long long>(s.adapt.bypassed),
+                static_cast<double>(s.adapt.bypass_bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(s.adapt.feedback));
+    for (const cdpu::adapt::AdaptCodecStats& c : s.adapt.codecs) {
+      if (c.chosen > 0 || c.feedback > 0) {
+        std::printf("    codec %-10s    %llu chosen, %llu feedback\n", c.codec.c_str(),
+                    static_cast<unsigned long long>(c.chosen),
+                    static_cast<unsigned long long>(c.feedback));
+      }
+    }
+  }
   PrintFleetDevices(s.fleet);
   if (sink != nullptr) {
     std::vector<std::string> names;
@@ -837,7 +966,7 @@ int Client(int argc, char** argv, int first_arg) {
   uint8_t level = 0;
   if (!cdpu::svc::WireCodecFromName(codec_name, &codec_id, &level)) {
     std::fprintf(stderr, "unknown codec: %s\n", codec_name.c_str());
-    return 2;
+    return Usage();
   }
   ByteVec in;
   if (!ReadFile(in_path, &in)) {
@@ -863,6 +992,12 @@ int Client(int argc, char** argv, int first_arg) {
               r.busy_retries > 0
                   ? (" (" + std::to_string(r.busy_retries) + " BUSY retries)").c_str()
                   : "");
+  if (op == "compress" && codec_name == "auto") {
+    const std::string resolved =
+        r.stored() ? "store" : cdpu::svc::WireCodecToName(r.codec, r.level);
+    std::printf("  auto -> %s%s\n", resolved.c_str(),
+                r.profile_skipped() ? " (profile skipped)" : "");
+  }
   return 0;
 }
 
@@ -896,7 +1031,7 @@ int main(int argc, char** argv) {
     if (argc != 2) {
       return Usage();
     }
-    std::printf("deflate[-1|6|9] gzip[-1|6|9] zstd[-1..12] lz4 snappy dpzip\n");
+    std::printf("deflate[-1|6|9] gzip[-1|6|9] zstd[-1..12] lz4 snappy dpzip store auto\n");
     return 0;
   }
   if (cmd == "entropy") {

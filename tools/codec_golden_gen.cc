@@ -1,0 +1,72 @@
+// Regenerates the committed lz4/snappy golden vectors (tests/golden/
+// <codec>/*.bin) from the fixed corpus in tests/golden/codec_corpus.h. Run
+// this ONLY when an encoder's byte output changes on purpose, then commit
+// the new vectors together with the encoder change:
+//
+//   build/tools/codec_golden_gen tests/golden
+//
+// Each vector is verified to round-trip before it is written, so the tool
+// can never commit a vector the decoder rejects.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/codecs/codec.h"
+#include "tests/golden/codec_corpus.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <golden-dir>  (normally tests/golden)\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  int failures = 0;
+  for (const std::string& codec_name : cdpu::golden::GoldenCodecs()) {
+    std::unique_ptr<cdpu::Codec> codec = cdpu::MakeCodec(codec_name);
+    if (codec == nullptr) {
+      std::fprintf(stderr, "%s: MakeCodec failed\n", codec_name.c_str());
+      ++failures;
+      continue;
+    }
+    for (const cdpu::golden::CodecGoldenCase& c : cdpu::golden::CodecCorpus()) {
+      std::vector<uint8_t> input = cdpu::golden::GenerateCodecInput(c);
+      cdpu::ByteVec compressed;
+      cdpu::Result<size_t> cr = codec->Compress(input, &compressed);
+      if (!cr.ok()) {
+        std::fprintf(stderr, "%s/%s: compress failed: %s\n", codec_name.c_str(), c.name,
+                     cr.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      cdpu::ByteVec roundtrip;
+      cdpu::Result<size_t> dr = codec->Decompress(compressed, &roundtrip);
+      if (!dr.ok() || roundtrip != input) {
+        std::fprintf(stderr, "%s/%s: vector does not round-trip, refusing to write\n",
+                     codec_name.c_str(), c.name);
+        ++failures;
+        continue;
+      }
+      const std::string path = dir + "/" + codec_name + "/" + c.name + ".bin";
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "%s/%s: cannot open %s\n", codec_name.c_str(), c.name,
+                     path.c_str());
+        ++failures;
+        continue;
+      }
+      out.write(reinterpret_cast<const char*>(compressed.data()),
+                static_cast<std::streamsize>(compressed.size()));
+      out.close();
+      std::printf("%-8s %-20s %6zu -> %6zu bytes  %s\n", codec_name.c_str(), c.name,
+                  input.size(), compressed.size(), path.c_str());
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d vector(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}
