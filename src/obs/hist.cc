@@ -1,0 +1,107 @@
+#include "src/obs/hist.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdpu {
+namespace obs {
+
+namespace {
+
+// Bucket representative: midpoint, which halves the worst-case error vs
+// reporting either edge. Exact (width-1) buckets return the value itself.
+uint64_t BucketMid(size_t idx) {
+  const uint64_t low = HistBucketing::BucketLow(idx);
+  const uint64_t high = HistBucketing::BucketHigh(idx);
+  return low + (high - low) / 2;
+}
+
+}  // namespace
+
+size_t HistogramSnapshot::nonzero_buckets() const {
+  size_t n = 0;
+  for (uint64_t c : counts_) n += (c != 0) ? 1 : 0;
+  return n;
+}
+
+uint64_t HistogramSnapshot::min_value() const {
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) return BucketMid(i);
+  }
+  return 0;
+}
+
+uint64_t HistogramSnapshot::max_value() const {
+  for (size_t i = counts_.size(); i > 0; --i) {
+    if (counts_[i - 1] != 0) return BucketMid(i - 1);
+  }
+  return 0;
+}
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Rank of the target sample, 1-based: the smallest k with
+  // cumulative(k) >= ceil(p/100 * count), clamped into [1, count].
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  target = std::min(count_, std::max<uint64_t>(1, target));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) return BucketMid(i);
+  }
+  return max_value();
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d;
+  d.count_ = count_ >= earlier.count_ ? count_ - earlier.count_ : 0;
+  d.sum_ = sum_ >= earlier.sum_ ? sum_ - earlier.sum_ : 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    d.counts_[i] =
+        counts_[i] >= earlier.counts_[i] ? counts_[i] - earlier.counts_[i] : 0;
+  }
+  return d;
+}
+
+Json HistogramSnapshot::ToJson(double scale_divisor) const {
+  const double s = scale_divisor > 0 ? scale_divisor : 1.0;
+  Json j = Json::Object();
+  j["count"] = count_;
+  j["sum"] = static_cast<double>(sum_) / s;
+  j["mean"] = mean() / s;
+  j["p50"] = static_cast<double>(Percentile(50)) / s;
+  j["p90"] = static_cast<double>(Percentile(90)) / s;
+  j["p99"] = static_cast<double>(Percentile(99)) / s;
+  j["p999"] = static_cast<double>(Percentile(99.9)) / s;
+  j["max"] = static_cast<double>(max_value()) / s;
+  j["nonzero_buckets"] = static_cast<uint64_t>(nonzero_buckets());
+  return j;
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  uint64_t total = 0;
+  for (size_t i = 0; i < HistBucketing::kNumBuckets; ++i) {
+    const uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    snap.counts_[i] = c;
+    total += c;
+  }
+  // Derive count from the bucket totals (not the count_ atomic) so the
+  // snapshot is internally consistent for Percentile() even while recorders
+  // are mid-Record.
+  snap.count_ = total;
+  snap.sum_ = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace cdpu

@@ -1,0 +1,156 @@
+// Always-on, lock-free log-linear latency histograms (HdrHistogram-style
+// bucketing). A LatencyHistogram is a fixed-size array of relaxed atomic
+// counters: Record() is two fetch_adds and never allocates, so it is cheap
+// enough to leave armed on every hot path (per-request e2e latency,
+// per-device service time, queue wait). Snapshot() produces a plain-value
+// HistogramSnapshot that can be merged across threads/devices, diffed into
+// per-window deltas for the snapshot ring, and queried for percentiles.
+//
+// Bucket geometry: values below kSubBuckets (= 2^kSubBucketBits) map to a
+// bucket of width 1 (exact). Above that, each power-of-two range is split
+// into kSubBuckets/2 equal sub-buckets, so the relative quantization error
+// is bounded by 2^(1-kSubBucketBits) (~1.6% with 7 sub-bucket bits).
+// Values are unit-agnostic; the svc/runtime hot paths record nanoseconds.
+
+#ifndef SRC_OBS_HIST_H_
+#define SRC_OBS_HIST_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace cdpu {
+namespace obs {
+
+// Shared bucket geometry for LatencyHistogram and HistogramSnapshot.
+struct HistBucketing {
+  static constexpr uint32_t kSubBucketBits = 7;
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBucketBits;  // 128
+  static constexpr uint64_t kSubBucketHalf = kSubBuckets / 2;
+  // bucket_index (the power-of-two group) ranges over [0, 64 - bits]; group 0
+  // holds the kSubBuckets exact values, every later group contributes
+  // kSubBuckets/2 sub-buckets.
+  static constexpr size_t kNumBuckets =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBucketHalf;
+  // Worst-case relative error of a bucket representative vs the true value.
+  static constexpr double kMaxRelativeError =
+      1.0 / static_cast<double>(kSubBucketHalf);
+
+  // Maps a value to its bucket slot. Total order preserving: v1 <= v2 implies
+  // BucketIndex(v1) <= BucketIndex(v2).
+  static constexpr size_t BucketIndex(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<size_t>(v);
+    const uint32_t group =
+        static_cast<uint32_t>(std::bit_width(v)) - kSubBucketBits;
+    const uint64_t sub = v >> group;  // in [kSubBucketHalf, kSubBuckets)
+    return static_cast<size_t>(kSubBuckets + (group - 1) * kSubBucketHalf +
+                               (sub - kSubBucketHalf));
+  }
+
+  // Smallest value mapping to bucket `idx`.
+  static constexpr uint64_t BucketLow(size_t idx) {
+    if (idx < kSubBuckets) return idx;
+    const uint64_t group = (idx - kSubBuckets) / kSubBucketHalf + 1;
+    const uint64_t sub = (idx - kSubBuckets) % kSubBucketHalf + kSubBucketHalf;
+    return sub << group;
+  }
+
+  // Largest value mapping to bucket `idx`.
+  static constexpr uint64_t BucketHigh(size_t idx) {
+    if (idx < kSubBuckets) return idx;
+    const uint64_t group = (idx - kSubBuckets) / kSubBucketHalf + 1;
+    const uint64_t sub = (idx - kSubBuckets) % kSubBucketHalf + kSubBucketHalf;
+    const uint64_t low = sub << group;
+    const uint64_t width = 1ull << group;
+    // Saturate at the top of the 64-bit range instead of wrapping.
+    return (low > ~uint64_t{0} - (width - 1)) ? ~uint64_t{0} : low + width - 1;
+  }
+};
+
+// Immutable point-in-time copy of a histogram: plain uint64 counts, safe to
+// copy, merge, diff, and query off the recording threads.
+class HistogramSnapshot {
+ public:
+  HistogramSnapshot() : counts_(HistBucketing::kNumBuckets, 0) {}
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  // Number of buckets with at least one recording (the `hist_buckets`
+  // sanity gauge: 0 means nothing was recorded, huge means unit confusion).
+  size_t nonzero_buckets() const;
+
+  // Smallest / largest nonzero bucket representative; 0 when empty.
+  uint64_t min_value() const;
+  uint64_t max_value() const;
+
+  // Percentile in [0, 100]; returns the representative (midpoint) of the
+  // bucket containing the p-th ranked recording, accurate to within
+  // HistBucketing::kMaxRelativeError of the true sample. 0 when empty.
+  uint64_t Percentile(double p) const;
+
+  // Accumulates `other` into this snapshot (associative + commutative).
+  void Merge(const HistogramSnapshot& other);
+
+  // Returns this - earlier (per-bucket saturating), for windowed deltas in
+  // the snapshot ring. `earlier` must be an older snapshot of the same
+  // histogram (counts are monotone).
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
+
+  // {"count":..,"sum":..,"p50":..,"p90":..,"p99":..,"p999":..,"max":..,
+  //  "nonzero_buckets":..} — values scaled by 1/scale_divisor (e.g. 1000.0
+  // renders nanosecond recordings as microseconds). Sum/percentiles become
+  // doubles under scaling.
+  Json ToJson(double scale_divisor = 1.0) const;
+
+ private:
+  friend class LatencyHistogram;
+
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  std::vector<uint64_t> counts_;
+};
+
+// The live, recordable histogram. Fixed memory (~30 KiB), no locks: Record()
+// is wait-free and safe from any number of threads concurrently with
+// Snapshot(). Not copyable; share by pointer.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(uint64_t value) {
+    counts_[HistBucketing::BucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Relaxed-load copy of the current state. Concurrent recorders may be
+  // mid-Record, so count()/sum() and the bucket totals can transiently
+  // disagree by in-flight recordings; each recording is never lost or
+  // double-counted across successive snapshots.
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> counts_[HistBucketing::kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace obs
+}  // namespace cdpu
+
+#endif  // SRC_OBS_HIST_H_

@@ -1,0 +1,254 @@
+#include "src/obs/prom.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace cdpu {
+namespace obs {
+
+namespace {
+
+struct Sample {
+  std::string labels;  // rendered, e.g. tenant="7" (no braces), may be empty
+  std::string suffix;  // appended to the family name, e.g. "_count"
+  std::string value;
+};
+
+struct Family {
+  std::string name;
+  std::string type;  // "counter" | "gauge" | "summary"
+  std::vector<Sample> samples;
+};
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string FormatValue(const Json& v) {
+  if (v.kind() == Json::Kind::kUint || v.kind() == Json::Kind::kInt) {
+    char buf[32];
+    if (v.kind() == Json::Kind::kUint) {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(v.AsUint()));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(v.AsInt()));
+    }
+    return buf;
+  }
+  return FormatDouble(v.AsDouble());
+}
+
+void SplitDotted(const std::string& dotted, std::vector<std::string>* out) {
+  std::string cur;
+  for (char c : dotted) {
+    if (c == '.') {
+      out->push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out->push_back(cur);
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// Splits a dotted metric path into a family name + rendered label pairs,
+// lifting the well-known id-carrying segments into labels (see prom.h).
+void ExtractLabels(const std::string& dotted, std::string* family,
+                   std::string* labels) {
+  std::vector<std::string> segs;
+  SplitDotted(dotted, &segs);
+  std::vector<std::string> kept;
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    const std::string& s = segs[i];
+    const bool has_metric_after = i + 1 < segs.size();
+    if (s.size() > 6 && s.rfind("tenant", 0) == 0 &&
+        AllDigits(s.substr(6))) {
+      kept.push_back("tenant");
+      pairs.emplace_back("tenant", s.substr(6));
+      continue;
+    }
+    // "<selector>.<id>.<more...>": the id segment becomes a label.
+    if (has_metric_after && i + 2 < segs.size()) {
+      if (s == "device" || (s == "codec" && i > 0 && segs[i - 1] == "adapt")) {
+        kept.push_back(s);
+        pairs.emplace_back(s, segs[i + 1]);
+        ++i;
+        continue;
+      }
+      if (s == "class" && AllDigits(segs[i + 1])) {
+        kept.push_back(s);
+        pairs.emplace_back("class", segs[i + 1]);
+        ++i;
+        continue;
+      }
+    }
+    kept.push_back(s);
+  }
+  std::string joined;
+  for (size_t i = 0; i < kept.size(); ++i) {
+    if (i) joined.push_back('.');
+    joined += kept[i];
+  }
+  *family = PromName(joined);
+  labels->clear();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (i) labels->push_back(',');
+    *labels += pairs[i].first + "=\"" + EscapeLabelValue(pairs[i].second) + "\"";
+  }
+}
+
+Family* FindOrAddFamily(std::vector<Family>* families, const std::string& name,
+                        const std::string& type) {
+  for (Family& f : *families) {
+    if (f.name == name) return &f;
+  }
+  families->push_back(Family{name, type, {}});
+  return &families->back();
+}
+
+// "p50" -> "0.5", "p999" -> "0.999"; empty when not a quantile field.
+std::string QuantileOf(const std::string& field) {
+  if (field.size() < 2 || field[0] != 'p' || !AllDigits(field.substr(1))) {
+    return "";
+  }
+  std::string q = "0.";
+  q += field.substr(1);
+  // Trim trailing zeros ("p50" -> 0.5, not 0.50) but keep one digit.
+  while (q.size() > 3 && q.back() == '0') q.pop_back();
+  return q;
+}
+
+void AddSummary(const std::string& dotted, const Json& obj,
+                std::vector<Family>* families) {
+  std::string family, labels;
+  ExtractLabels(dotted, &family, &labels);
+  Family* f = FindOrAddFamily(families, family, "summary");
+  bool have_sum = false;
+  double count = 0, mean = 0;
+  bool have_count = false, have_mean = false;
+  for (const auto& [field, v] : obj.members()) {
+    if (v.is_null()) continue;
+    const std::string q = QuantileOf(field);
+    if (!q.empty()) {
+      std::string ql = labels.empty() ? "" : labels + ",";
+      ql += "quantile=\"" + q + "\"";
+      f->samples.push_back(Sample{ql, "", FormatValue(v)});
+      continue;
+    }
+    if (field == "count") {
+      have_count = true;
+      count = v.AsDouble();
+      f->samples.push_back(Sample{labels, "_count", FormatValue(v)});
+      continue;
+    }
+    if (field == "sum") {
+      have_sum = true;
+      f->samples.push_back(Sample{labels, "_sum", FormatValue(v)});
+      continue;
+    }
+    if (field == "mean") {
+      have_mean = true;
+      mean = v.AsDouble();
+    }
+    // Auxiliary fields (mean/stddev/min/max/nonzero_buckets) become their
+    // own gauge families so the summary family stays spec-clean.
+    Family* aux = FindOrAddFamily(families, family + "_" + field, "gauge");
+    aux->samples.push_back(Sample{labels, "", FormatValue(v)});
+  }
+  if (!have_sum && have_count && have_mean && std::isfinite(mean)) {
+    f->samples.push_back(Sample{labels, "_sum", FormatDouble(mean * count)});
+  }
+  if (!have_count) {
+    f->samples.push_back(Sample{labels, "_count", "0"});
+  }
+}
+
+void AddScalarSection(const Json* section, const std::string& type,
+                      std::vector<Family>* families) {
+  if (section == nullptr || !section->is_object()) return;
+  for (const auto& [name, v] : section->members()) {
+    if (v.is_null() || !v.is_number()) continue;
+    std::string family, labels;
+    ExtractLabels(name, &family, &labels);
+    Family* f = FindOrAddFamily(families, family, type);
+    f->samples.push_back(Sample{labels, "", FormatValue(v)});
+  }
+}
+
+}  // namespace
+
+std::string PromName(const std::string& dotted) {
+  std::string out;
+  out.reserve(dotted.size());
+  for (char c : dotted) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out.empty() ? "_" : out;
+}
+
+std::string RenderPrometheus(const Json& metrics) {
+  if (!metrics.is_object()) return "";
+  std::vector<Family> families;
+  AddScalarSection(metrics.Find("counters"), "counter", &families);
+  AddScalarSection(metrics.Find("gauges"), "gauge", &families);
+  AddScalarSection(metrics.Find("timers_us"), "gauge", &families);
+  if (const Json* series = metrics.Find("series");
+      series != nullptr && series->is_object()) {
+    for (const auto& [name, obj] : series->members()) {
+      if (obj.is_object()) AddSummary(name, obj, &families);
+    }
+  }
+  std::string out;
+  for (const Family& f : families) {
+    if (f.samples.empty()) continue;
+    out += "# TYPE " + f.name + " " + f.type + "\n";
+    for (const Sample& s : f.samples) {
+      out += f.name + s.suffix;
+      if (!s.labels.empty()) out += "{" + s.labels + "}";
+      out += " " + s.value + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cdpu

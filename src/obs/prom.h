@@ -1,0 +1,40 @@
+// Prometheus text exposition (format v0.0.4) for MetricSet JSON documents.
+//
+// RenderPrometheus() consumes the {"counters","gauges","timers_us","series"}
+// document produced by MetricSet::ToJson() (and served over the wire by the
+// svc stats frame) and renders one sample family per metric:
+//   - dotted names are sanitised to [a-zA-Z0-9_:] (dots become underscores)
+//   - well-known path segments become labels instead of name fragments:
+//       svc.tenant7.bytes_in            -> svc_tenant_bytes_in{tenant="7"}
+//       svc.runtime.device.qat.jobs_ok  -> svc_runtime_device_jobs_ok{device="qat"}
+//       svc.adapt.codec.lz4.chosen      -> svc_adapt_codec_chosen{codec="lz4"}
+//       svc.pool.class.4096.hits        -> svc_pool_class_hits{class="4096"}
+//   - counters render as TYPE counter, gauges/timers as TYPE gauge
+//   - series/summary objects render as TYPE summary with quantile-labelled
+//     samples (p50 -> quantile="0.5", ...), plus _count/_sum and auxiliary
+//     _mean/_min/_max gauge families.
+// Samples of one family are grouped under a single # TYPE header, as the
+// format requires.
+
+#ifndef SRC_OBS_PROM_H_
+#define SRC_OBS_PROM_H_
+
+#include <string>
+
+#include "src/obs/json.h"
+
+namespace cdpu {
+namespace obs {
+
+// Sanitises a dotted metric path into a legal Prometheus metric name.
+std::string PromName(const std::string& dotted);
+
+// Renders a MetricSet::ToJson() document (optionally wrapped beneath other
+// keys — only the four known sections are consumed) as exposition text.
+// Returns "" when `metrics` carries none of the known sections.
+std::string RenderPrometheus(const Json& metrics);
+
+}  // namespace obs
+}  // namespace cdpu
+
+#endif  // SRC_OBS_PROM_H_

@@ -33,6 +33,9 @@ RuntimeStats MergeRuntimeStats(const std::vector<RuntimeStats>& parts) {
     m.wall_latency_us.Merge(s.wall_latency_us);
     m.device_latency_us.Merge(s.device_latency_us);
     m.engine_service_us.Merge(s.engine_service_us);
+    m.wall_hist.Merge(s.wall_hist);
+    m.device_hist.Merge(s.device_hist);
+    m.queue_wait_hist.Merge(s.queue_wait_hist);
     if (s.jobs_submitted > 0) {
       if (!first_arrival_set || s.sim_first_arrival < m.sim_first_arrival) {
         m.sim_first_arrival = s.sim_first_arrival;

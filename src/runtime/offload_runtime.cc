@@ -572,6 +572,14 @@ void OffloadRuntime::EngineLoop(uint32_t engine_index) {
       engine_queue_.pop_front();
     }
 
+    {
+      // Queue wait = submit to engine pickup, on the same clock the reaper
+      // uses for wall latency. One clock read + a wait-free Record per job.
+      const uint64_t picked_up = clock_.Now();
+      queue_wait_hist_.Record(picked_up > job->enqueue_wall
+                                  ? picked_up - job->enqueue_wall
+                                  : 0);
+    }
     const bool traced = tw != nullptr && job->request.trace_id != 0;
     if (traced) {
       job->t_engine_ns = trace::NowNs();
@@ -692,6 +700,10 @@ void OffloadRuntime::ReaperLoop() {
           qp->completions.pop_front();
         }
         job->result.wall_latency_ns = clock_.Now() - job->enqueue_wall;
+        wall_hist_.Record(job->result.wall_latency_ns);
+        if (!job->canceled && !job->result.fell_back) {
+          device_hist_.Record(job->result.device_latency_ns);
+        }
         // Canceled jobs never reached an engine (t_codec_ns == 0): their
         // lone queue_submit span leaves an incomplete chain by design.
         if (tw != nullptr && job->request.trace_id != 0 && job->t_codec_ns != 0) {
@@ -789,6 +801,9 @@ RuntimeStats OffloadRuntime::Snapshot() const {
     s.faults_by_kind[k] = injector_.injected(static_cast<FaultKind>(k));
   }
   s.faults_injected = injector_.total_injected();
+  s.wall_hist = wall_hist_.Snapshot();
+  s.device_hist = device_hist_.Snapshot();
+  s.queue_wait_hist = queue_wait_hist_.Snapshot();
   s.retries = retries_.load(std::memory_order_relaxed);
   s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
   s.unhealthy_transitions = unhealthy_transitions_.load(std::memory_order_relaxed);

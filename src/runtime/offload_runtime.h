@@ -53,6 +53,7 @@
 #include "src/common/status.h"
 #include "src/fault/fault_plan.h"
 #include "src/hw/shared_queue.h"
+#include "src/obs/hist.h"
 #include "src/runtime/spsc_ring.h"
 #include "src/sim/host_clock.h"
 #include "src/trace/trace.h"
@@ -219,6 +220,13 @@ struct RuntimeStats {
   RunningStats wall_latency_us;    // measured submit-to-completion
   RunningStats device_latency_us;  // simulated submit-to-completion
   RunningStats engine_service_us;  // per-engine-thread codec time, merged
+  // Always-on log-linear histograms (ISSUE 10), recorded in nanoseconds on
+  // the runtime's own threads: submit-to-completion wall latency, simulated
+  // device service time, and submit-to-engine-pickup queue wait. Mergeable
+  // across fleet members; percentiles come from HistogramSnapshot.
+  obs::HistogramSnapshot wall_hist;
+  obs::HistogramSnapshot device_hist;
+  obs::HistogramSnapshot queue_wait_hist;
   SimNanos sim_first_arrival = 0;
   SimNanos sim_makespan = 0;  // latest simulated completion
   // Simulated device throughput over the span covered by admitted requests.
@@ -359,6 +367,11 @@ class OffloadRuntime {
   RuntimeStats stats_;
   bool first_arrival_set_ = false;  // guarded by stats_mu_
   AtomicThroughput throughput_;
+  // Always-on latency histograms: wait-free relaxed-atomic recording, so the
+  // reaper/engine hot paths touch them outside stats_mu_.
+  obs::LatencyHistogram wall_hist_;
+  obs::LatencyHistogram device_hist_;
+  obs::LatencyHistogram queue_wait_hist_;
   std::atomic<uint64_t> jobs_submitted_{0};
   std::atomic<uint64_t> jobs_completed_{0};
   std::atomic<uint64_t> doorbells_{0};

@@ -21,6 +21,19 @@ void ExportRuntimeStats(const RuntimeStats& stats, const std::string& prefix,
     metrics->Summary(prefix + "engine_service_us",
                      obs::SummarizeRunningStats(stats.engine_service_us));
   }
+  // Histogram-sourced percentiles (ISSUE 10), rendered in microseconds (the
+  // histograms record nanoseconds). Exported alongside the RunningStats
+  // summaries: same count, but these add exact-bucket p50/p90/p99/p999.
+  if (stats.wall_hist.count() > 0) {
+    metrics->Summary(prefix + "wall_hist_us", stats.wall_hist.ToJson(1e3));
+  }
+  if (stats.device_hist.count() > 0) {
+    metrics->Summary(prefix + "device_hist_us", stats.device_hist.ToJson(1e3));
+  }
+  if (stats.queue_wait_hist.count() > 0) {
+    metrics->Summary(prefix + "queue_wait_hist_us",
+                     stats.queue_wait_hist.ToJson(1e3));
+  }
 
   bool fault_path_touched = stats.faults_injected > 0 || stats.retries > 0 ||
                             stats.fallbacks > 0 || stats.unhealthy_transitions > 0 ||

@@ -120,7 +120,12 @@ Status ServiceConnection::Call(const Frame& request, ByteSpan payload, Frame* re
       return parser_.error();
     }
     if (ev == FrameParser::Event::kFrame) {
-      if (frame.type != FrameType::kResponse || frame.request_id != request.request_id) {
+      // A stats request must come back as a stats response; anything else
+      // pairs with the ordinary response type.
+      const FrameType want = request.type == FrameType::kStatsRequest
+                                 ? FrameType::kStatsResponse
+                                 : FrameType::kResponse;
+      if (frame.type != want || frame.request_id != request.request_id) {
         healthy_ = false;
         return Status::Internal("response does not match request " +
                                 std::to_string(request.request_id));
@@ -164,6 +169,32 @@ CallResult ServiceClient::Call(bool decompress, const std::string& codec_name,
   }
   request.flags = decompress ? kFlagDecompress : 0;
   return DoCall(request, payload);
+}
+
+Result<std::string> ServiceClient::FetchStats() {
+  Frame request;
+  request.type = FrameType::kStatsRequest;
+  request.tenant_id = options_.tenant;
+  Result<std::unique_ptr<ServiceConnection>> conn = Acquire();
+  if (!conn.ok()) {
+    return conn.status();
+  }
+  std::unique_ptr<ServiceConnection> connection = std::move(conn.value());
+  request.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  Frame response;
+  Status transport = connection->Call(request, ByteSpan(), &response);
+  if (!transport.ok()) {
+    return transport;  // connection is poisoned; do not pool it
+  }
+  Status server = FromWireStatus(response.status);
+  if (!server.ok()) {
+    Release(std::move(connection));
+    return server;
+  }
+  std::string json(reinterpret_cast<const char*>(response.payload.data()),
+                   response.payload.size());
+  Release(std::move(connection));
+  return json;
 }
 
 CallResult ServiceClient::DecompressStored(ByteSpan payload) {

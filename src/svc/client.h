@@ -113,6 +113,12 @@ class ServiceClient {
   // response carried kFlagStored): the server echoes the payload verbatim.
   CallResult DecompressStored(ByteSpan payload);
 
+  // One-shot telemetry scrape (ISSUE 10): sends an in-band kStatsRequest and
+  // returns the server's JSON snapshot document (global + per-tenant +
+  // per-device + adapt + pool + trace gauges, plus the window ring). BUSY
+  // never applies — the server answers from its event loop.
+  Result<std::string> FetchStats();
+
   const ClientOptions& options() const { return options_; }
 
  private:

@@ -55,6 +55,9 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
   }
 
   std::vector<WorkerOutcome> outcomes(options.clients);
+  // One shared always-on histogram for the measured phase: recording is a
+  // couple of relaxed fetch_adds, so all workers write into it directly.
+  obs::LatencyHistogram latency_hist;
   std::vector<std::thread> workers;
   workers.reserve(options.clients);
   // Two barriers bracket the measured phase: the main thread snapshots the
@@ -105,6 +108,7 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
           continue;
         }
         out.latency_us.Add(static_cast<double>(c.wall_ns) / 1e3);
+        latency_hist.Record(c.wall_ns);
         out.bytes_in += payload.size();
         out.bytes_out += c.output.size();
         if (c.stored()) {
@@ -137,6 +141,7 @@ Result<LoadGenReport> RunClosedLoop(const LoadGenOptions& options) {
   }
 
   LoadGenReport report;
+  report.latency_hist = latency_hist.Snapshot();
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   MemPathCounters mem1 = MemPathSnapshot();

@@ -15,6 +15,7 @@
 #include "src/common/iobuf.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/obs/hist.h"
 
 namespace cdpu {
 namespace svc {
@@ -56,6 +57,11 @@ struct LoadGenReport {
   uint64_t bytes_out = 0;         // compressed bytes received
   double wall_seconds = 0;        // measured phase only (excludes warm-up)
   SampleSet latency_us;           // per-compress client-observed latency
+  // Histogram view of the same compress latencies (ISSUE 10), recorded in
+  // nanoseconds into one shared lock-free histogram as the workers run —
+  // the tail percentiles (p999) come from here, exact to the bucket bound,
+  // instead of from the sample vector.
+  obs::HistogramSnapshot latency_hist;
   std::vector<TenantLoadStats> tenants;
 
   // Process-wide data-path counter deltas across the measured phase, and the

@@ -15,6 +15,10 @@
 #include <chrono>
 #include <cstring>
 
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/svc/stats_export.h"
+
 namespace cdpu {
 namespace svc {
 namespace {
@@ -299,6 +303,8 @@ void ServiceServer::EventLoop() {
   if (options_.trace_sink != nullptr) {
     trace_writer_ = options_.trace_sink->RegisterWriter("svc-loop");
   }
+  // Prime the snapshot ring cursor so the first window delta starts here.
+  window_start_ns_ = NowNs();
   while (!stopping_.load(std::memory_order_acquire)) {
     int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 100);
     if (n < 0) {
@@ -307,6 +313,8 @@ void ServiceServer::EventLoop() {
       }
       break;
     }
+    // The epoll timeout bounds capture jitter to ~100ms past the window.
+    MaybeCaptureStatsWindow(NowNs());
     for (int i = 0; i < n; ++i) {
       uint64_t tag = events[i].data.u64;
       if (tag == kListenTag) {
@@ -439,15 +447,20 @@ void ServiceServer::HandleReadable(Session* session) {
 
 void ServiceServer::HandleRequest(Session* session, Frame&& frame, uint64_t decode_start,
                                   uint64_t decode_end) {
+  if (frame.type == FrameType::kStatsRequest) {
+    HandleStatsRequest(session, frame);
+    return;
+  }
+  if (frame.type != FrameType::kRequest) {
+    // Structurally valid but semantically impossible from a client (servers
+    // never receive response frames); treat it like a protocol violation
+    // rather than guessing at intent.
+    CloseSession(session->id, /*protocol_error=*/true);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.requests_received;
-  }
-  if (frame.type != FrameType::kRequest) {
-    // Structurally valid but semantically impossible from a client; treat it
-    // like a protocol violation rather than guessing at intent.
-    CloseSession(session->id, /*protocol_error=*/true);
-    return;
   }
 
   // Sampling decision for the whole request chain: the id drawn here rides
@@ -617,8 +630,9 @@ void ServiceServer::DrainCompletions() {
     batch.swap(completions_);
   }
   for (Completion& c : batch) {
-    admission_->Complete(c.tenant_id, c.output.size(), NowNs() - c.enqueue_wall,
-                         c.status.ok());
+    const uint64_t e2e_ns = NowNs() - c.enqueue_wall;
+    e2e_hist_.Record(e2e_ns);
+    admission_->Complete(c.tenant_id, c.output.size(), e2e_ns, c.status.ok());
     auto it = sessions_.find(c.session_id);
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -645,6 +659,115 @@ void ServiceServer::DrainCompletions() {
   batch.clear();  // release output refcounts now, not at the next drain
 }
 
+void ServiceServer::MaybeCaptureStatsWindow(uint64_t now_ns) {
+  const uint64_t window_ns = uint64_t{options_.stats_window_ms} * 1000000ull;
+  if (window_ns == 0 || now_ns - window_start_ns_ < window_ns) {
+    return;
+  }
+  ServiceStats snap = Snapshot();
+  // Current cumulative values for the delta cursor.
+  StatsWindow cum;
+  cum.start_ns = window_start_ns_;
+  cum.end_ns = now_ns;
+  cum.requests_ok = snap.requests_ok;
+  cum.requests_failed = snap.requests_failed;
+  cum.requests_busy = snap.requests_busy;
+  cum.bytes_rx = snap.bytes_rx;
+  cum.bytes_tx = snap.bytes_tx;
+  cum.e2e = snap.e2e_hist;
+
+  StatsWindow delta;
+  delta.start_ns = window_start_ns_;
+  delta.end_ns = now_ns;
+  delta.requests_ok = cum.requests_ok - window_prev_.requests_ok;
+  delta.requests_failed = cum.requests_failed - window_prev_.requests_failed;
+  delta.requests_busy = cum.requests_busy - window_prev_.requests_busy;
+  delta.bytes_rx = cum.bytes_rx - window_prev_.bytes_rx;
+  delta.bytes_tx = cum.bytes_tx - window_prev_.bytes_tx;
+  delta.e2e = cum.e2e.DeltaSince(window_prev_.e2e);
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    windows_.push_back(std::move(delta));
+    const size_t keep = std::max<uint32_t>(1, options_.stats_windows);
+    while (windows_.size() > keep) {
+      windows_.pop_front();
+    }
+  }
+  window_prev_ = std::move(cum);
+  window_start_ns_ = now_ns;
+}
+
+const std::string& ServiceServer::StatsJson() {
+  // Memoise the rendered document briefly so a scrape storm (or `top` with a
+  // short refresh) costs one render per 50ms, not one per request.
+  constexpr uint64_t kMemoNs = 50ull * 1000 * 1000;
+  const uint64_t now = NowNs();
+  if (!stats_json_.empty() && now - stats_json_ns_ < kMemoNs) {
+    return stats_json_;
+  }
+  // Cumulative counters are snapshotted fresh at render time (we are on the
+  // event loop; Snapshot() is a handful of mutexed copies) — only the
+  // short-window rates come from the tick-driven ring.
+  ServiceStats snap = Snapshot();
+  const uint64_t captured_ns = now;
+  std::vector<StatsWindow> windows;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    windows.assign(windows_.begin(), windows_.end());
+  }
+  obs::MetricSet metrics;
+  ExportServiceStats(snap, "svc.", &metrics);
+  obs::Json doc = obs::Json::Object();
+  doc["schema"] = "cdpu.svc.stats.v1";
+  doc["wire_version"] = static_cast<uint64_t>(kWireVersion);
+  doc["captured_ns"] = captured_ns;
+  doc["age_ms"] = captured_ns > 0 ? static_cast<double>(now - captured_ns) / 1e6 : 0.0;
+  doc["window_ms"] = static_cast<uint64_t>(options_.stats_window_ms);
+  doc["metrics"] = metrics.ToJson();
+  obs::Json warr = obs::Json::Array();
+  for (const StatsWindow& w : windows) {
+    obs::Json jw = obs::Json::Object();
+    const double secs =
+        w.end_ns > w.start_ns ? static_cast<double>(w.end_ns - w.start_ns) / 1e9 : 0.0;
+    jw["seconds"] = secs;
+    jw["requests_ok"] = w.requests_ok;
+    jw["requests_failed"] = w.requests_failed;
+    jw["requests_busy"] = w.requests_busy;
+    jw["rps"] = secs > 0 ? static_cast<double>(w.requests_ok) / secs : 0.0;
+    jw["rx_mbps"] = secs > 0 ? static_cast<double>(w.bytes_rx) / 1e6 / secs : 0.0;
+    jw["tx_mbps"] = secs > 0 ? static_cast<double>(w.bytes_tx) / 1e6 / secs : 0.0;
+    if (w.e2e.count() > 0) {
+      jw["e2e_us"] = w.e2e.ToJson(1e3);
+    }
+    warr.push_back(std::move(jw));
+  }
+  doc["windows"] = std::move(warr);
+  stats_json_ = doc.Dump();
+  stats_json_ns_ = now;
+  return stats_json_;
+}
+
+void ServiceServer::HandleStatsRequest(Session* session, const Frame& frame) {
+  // Semantic checks: a stats request carries nothing but its request id and
+  // tenant. Violations get an error stats response, not a session drop —
+  // the frame was structurally sound, so the session survives.
+  if (!frame.payload.empty() || frame.flags != 0 || frame.codec != 0 ||
+      frame.level != 0 || frame.status != 0) {
+    RespondStats(session, frame.request_id, frame.tenant_id,
+                 StatusCode::kInvalidArgument, {});
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.stats_requests;
+  }
+  const std::string& json = StatsJson();
+  IoBuf payload = IoBuf::Copy(
+      ByteSpan(reinterpret_cast<const uint8_t*>(json.data()), json.size()), &pool_);
+  RespondStats(session, frame.request_id, frame.tenant_id, StatusCode::kOk,
+               std::move(payload));
+}
+
 void ServiceServer::Respond(Session* session, uint64_t request_id, uint32_t tenant_id,
                             uint8_t codec, uint8_t level, uint16_t flags, StatusCode code,
                             IoBuf payload) {
@@ -658,6 +781,20 @@ void ServiceServer::Respond(Session* session, uint64_t request_id, uint32_t tena
   response.tenant_id = tenant_id;
   // Queue the header + a refcounted handle on the payload segment; the
   // socket write gathers both without ever flattening them into one buffer.
+  session->outbox.emplace_back();
+  OutMsg& msg = session->outbox.back();
+  EncodeFrameHeader(response, payload.span(), msg.header.data());
+  msg.payload = std::move(payload);
+  FlushOutbox(session);
+}
+
+void ServiceServer::RespondStats(Session* session, uint64_t request_id, uint32_t tenant_id,
+                                 StatusCode code, IoBuf payload) {
+  Frame response;
+  response.type = FrameType::kStatsResponse;
+  response.status = static_cast<uint8_t>(code);
+  response.request_id = request_id;
+  response.tenant_id = tenant_id;
   session->outbox.emplace_back();
   OutMsg& msg = session->outbox.back();
   EncodeFrameHeader(response, payload.span(), msg.header.data());
@@ -760,6 +897,11 @@ ServiceStats ServiceServer::Snapshot() const {
   s.mem_path = MemPathSnapshot();
   if (adapt_ != nullptr) {
     s.adapt = adapt_->Snapshot();
+  }
+  s.e2e_hist = e2e_hist_.Snapshot();
+  if (options_.trace_sink != nullptr) {
+    s.trace_enabled = true;
+    s.trace_counters = options_.trace_sink->counters();
   }
   return s;
 }

@@ -90,6 +90,13 @@ struct ServerOptions {
   // the OffloadRequest so the runtime's spans join the same chain. Also
   // propagated to runtime.trace_sink if that is unset.
   trace::TraceSink* trace_sink = nullptr;
+  // Telemetry snapshot ring (ISSUE 10): the event loop captures a stats
+  // window every stats_window_ms into a ring of the last stats_windows
+  // deltas (request/byte rates + an e2e latency histogram delta), and
+  // refreshes the cached cumulative snapshot that in-band kStatsRequest
+  // frames are answered from — a scrape never reaches past the event loop.
+  uint32_t stats_window_ms = 500;
+  uint32_t stats_windows = 16;
 };
 
 struct ServiceStats {
@@ -104,8 +111,17 @@ struct ServiceStats {
   uint64_t responses_dropped = 0;  // session closed before its completion
   uint64_t requests_stored = 0;      // AUTO requests answered via STORE bypass
   uint64_t stored_passthrough = 0;   // decompress requests for STOREd payloads
+  uint64_t stats_requests = 0;     // in-band kStatsRequest frames served
   uint64_t bytes_rx = 0;           // raw socket bytes in
   uint64_t bytes_tx = 0;           // raw socket bytes out
+  // Always-on end-to-end latency histogram (admission -> response queue,
+  // nanoseconds), recorded as completions drain on the event loop.
+  obs::HistogramSnapshot e2e_hist;
+  // Trace-plane drop/overflow telemetry (zeroes + disabled when no
+  // TraceSink is wired), so collector losses are visible in stats_export
+  // instead of only inside src/trace internals.
+  bool trace_enabled = false;
+  trace::TraceCounters trace_counters;
   std::vector<TenantSnapshot> tenants;
   adapt::AdaptStats adapt;  // policy-engine counters + live cost model
   RuntimeStats runtime;  // merged counters across the backing fleet
@@ -185,6 +201,20 @@ class ServiceServer {
   RequestCtx* AcquireCtx();
   void RecycleCtx(RequestCtx* ctx);
 
+  // One captured telemetry window: counter deltas plus an e2e histogram
+  // delta over [start_ns, end_ns). The ring holds the most recent
+  // options_.stats_windows of these.
+  struct StatsWindow {
+    uint64_t start_ns = 0;
+    uint64_t end_ns = 0;
+    uint64_t requests_ok = 0;
+    uint64_t requests_failed = 0;
+    uint64_t requests_busy = 0;
+    uint64_t bytes_rx = 0;
+    uint64_t bytes_tx = 0;
+    obs::HistogramSnapshot e2e;
+  };
+
   void EventLoop();
   void HandleAccept();
   void HandleReadable(Session* session);
@@ -192,8 +222,21 @@ class ServiceServer {
   // copy) in the trace::NowNs domain; both 0 when tracing is off.
   void HandleRequest(Session* session, Frame&& frame, uint64_t decode_start,
                      uint64_t decode_end);
+  // In-band telemetry (ISSUE 10): semantic validation + JSON snapshot
+  // response for a kStatsRequest frame. Event-loop thread only.
+  void HandleStatsRequest(Session* session, const Frame& frame);
+  // Captures a StatsWindow + refreshes the cached cumulative snapshot when
+  // the current window has elapsed. Event-loop thread only.
+  void MaybeCaptureStatsWindow(uint64_t now_ns);
+  // Renders the stats JSON document from the cached snapshot + window ring
+  // (never touching runtime threads); memoised for ~50ms so scrape storms
+  // cost one render. Event-loop thread only.
+  const std::string& StatsJson();
   void Respond(Session* session, uint64_t request_id, uint32_t tenant_id, uint8_t codec,
                uint8_t level, uint16_t flags, StatusCode code, IoBuf payload);
+  // Queues a kStatsResponse frame (JSON payload, or empty on error).
+  void RespondStats(Session* session, uint64_t request_id, uint32_t tenant_id,
+                    StatusCode code, IoBuf payload);
   void FlushOutbox(Session* session);
   void UpdateEpoll(Session* session);
   void CloseSession(uint64_t session_id, bool protocol_error);
@@ -251,6 +294,21 @@ class ServiceServer {
   // Counters shared with Snapshot().
   mutable std::mutex stats_mu_;
   ServiceStats stats_;
+
+  // Always-on e2e latency histogram: recorded on the event loop as
+  // completions drain (wait-free, outside stats_mu_).
+  obs::LatencyHistogram e2e_hist_;
+
+  // Snapshot ring of short-window deltas. Written by the event loop at
+  // window boundaries; ring_mu_ lets readers on other threads copy the ring
+  // without racing the capture.
+  mutable std::mutex ring_mu_;
+  std::deque<StatsWindow> windows_;       // guarded by ring_mu_
+  // Event-loop-only capture cursor (previous cumulative values) + JSON memo.
+  uint64_t window_start_ns_ = 0;
+  StatsWindow window_prev_;               // cumulative counters at last capture
+  std::string stats_json_;
+  uint64_t stats_json_ns_ = 0;
 
   std::thread loop_;
   std::mutex stop_mu_;  // serialises Stop() callers

@@ -19,8 +19,29 @@ void ExportServiceStats(const ServiceStats& stats, const std::string& prefix,
   metrics->Count(prefix + "responses_dropped", stats.responses_dropped);
   metrics->Count(prefix + "requests_stored", stats.requests_stored);
   metrics->Count(prefix + "stored_passthrough", stats.stored_passthrough);
+  metrics->Count(prefix + "stats_requests", stats.stats_requests);
   metrics->Count(prefix + "bytes_rx", stats.bytes_rx);
   metrics->Count(prefix + "bytes_tx", stats.bytes_tx);
+  // Always-on e2e latency histogram (ISSUE 10), nanoseconds on the wire,
+  // exported in microseconds next to the per-tenant RunningStats summaries.
+  if (stats.e2e_hist.count() > 0) {
+    metrics->Summary(prefix + "e2e_hist_us", stats.e2e_hist.ToJson(1e3));
+  }
+  // Trace-plane loss telemetry: collector drops were previously visible only
+  // inside src/trace. Exported whenever a sink is wired, even at zero, so
+  // dashboards can alert on the counter existing-and-rising.
+  if (stats.trace_enabled) {
+    const trace::TraceCounters& tc = stats.trace_counters;
+    metrics->Count(prefix + "trace.spans_emitted", tc.emitted);
+    metrics->Count(prefix + "trace.spans_dropped", tc.dropped_ring + tc.dropped_buffer);
+    metrics->Count(prefix + "trace.spans_dropped_ring", tc.dropped_ring);
+    metrics->Count(prefix + "trace.spans_dropped_buffer", tc.dropped_buffer);
+    metrics->Count(prefix + "trace.spans_collected", tc.collected);
+    metrics->Count(prefix + "trace.requests_sampled", tc.sampled);
+    metrics->Count(prefix + "trace.requests_unsampled", tc.unsampled);
+    metrics->Gauge(prefix + "trace.buffer_high_water",
+                   static_cast<double>(tc.buffer_high_water));
+  }
   adapt::ExportAdaptStats(stats.adapt, prefix + "adapt.", metrics);
   for (const TenantSnapshot& t : stats.tenants) {
     const std::string tp = prefix + "tenant" + std::to_string(t.tenant) + ".";

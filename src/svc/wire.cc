@@ -176,7 +176,7 @@ void FrameParser::EnsureWritable(size_t min_bytes) {
   size_t need = live + std::max(min_bytes, kParserSegmentBytes);
   if (live >= kHeaderBytes) {
     const uint8_t* h = buf_.data() + rpos_;
-    if (GetU32(h) == kWireMagic && h[4] == kWireVersion) {
+    if (GetU32(h) == kWireMagic && h[4] >= kMinWireVersion && h[4] <= kWireVersion) {
       const uint64_t frame_len =
           kHeaderBytes + std::min<uint64_t>(GetU32(h + 24), max_payload_);
       need = std::max<size_t>(need, static_cast<size_t>(frame_len));
@@ -224,13 +224,13 @@ FrameParser::Event FrameParser::Next(Frame* out) {
     error_ = Status::CorruptData("bad frame magic");
     return Event::kError;
   }
-  if (h[4] != kWireVersion) {
+  if (h[4] < kMinWireVersion || h[4] > kWireVersion) {
     error_ = Status::InvalidArgument("unsupported wire version " + std::to_string(h[4]));
     return Event::kError;
   }
   const uint8_t type = h[5];
-  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
-      type != static_cast<uint8_t>(FrameType::kResponse)) {
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kStatsResponse)) {
     error_ = Status::InvalidArgument("unknown frame type " + std::to_string(type));
     return Event::kError;
   }

@@ -4,8 +4,9 @@
 //
 //   offset  size  field
 //   0       4     magic        0x5A504443 ("CDPZ", little-endian)
-//   4       1     version      kWireVersion
-//   5       1     type         1 = request, 2 = response
+//   4       1     version      in [kMinWireVersion, kWireVersion]
+//   5       1     type         1 = request, 2 = response,
+//                              3 = stats request, 4 = stats response
 //   6       1     codec        WireCodec id (echoed in responses)
 //   7       1     level        codec level, 0 = codec default
 //   8       1     status       StatusCode (responses; 0 in requests)
@@ -57,12 +58,25 @@ inline constexpr uint32_t kWireMagic = 0x5A504443;  // "CDPZ"
 // v2 (ISSUE 9): AUTO codec id, STORE/PROFILE_SKIPPED response flags, and a
 // known-flags structural check (unknown flag bits poison the session the
 // same way nonzero reserved bytes do).
-inline constexpr uint8_t kWireVersion = 2;
+// v3 (ISSUE 10): in-band stats introspection — the kStatsRequest /
+// kStatsResponse frame pair. The header layout is unchanged, so the parser
+// accepts the whole [kMinWireVersion, kWireVersion] range and v2 clients
+// keep working untouched; v1 frames are still a structural error.
+inline constexpr uint8_t kWireVersion = 3;
+inline constexpr uint8_t kMinWireVersion = 2;
 inline constexpr size_t kHeaderBytes = 40;
 // Hard payload ceiling; ServerOptions/FrameParser may tighten it further.
 inline constexpr size_t kMaxPayloadBytes = 64u * 1024 * 1024;
 
-enum class FrameType : uint8_t { kRequest = 1, kResponse = 2 };
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  // v3: live telemetry. A stats request carries no payload (codec/level/
+  // flags/status must all be 0 — violations get an error kStatsResponse,
+  // not a session drop); the response payload is a JSON snapshot document.
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+};
 
 // Stable wire ids for the codec suite. Levels ride in the separate `level`
 // byte so e.g. deflate-1 and deflate-9 share an id.

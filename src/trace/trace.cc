@@ -138,6 +138,7 @@ size_t TraceSink::CollectOnce() {
       }
     }
   }
+  buffer_high_water_ = std::max<uint64_t>(buffer_high_water_, buffer_.size());
   return moved;
 }
 
@@ -175,6 +176,7 @@ TraceCounters TraceSink::counters() const {
     std::lock_guard<std::mutex> lock(buffer_mu_);
     c.dropped_buffer = dropped_buffer_;
     c.collected = collected_;
+    c.buffer_high_water = buffer_high_water_;
   }
   c.sampled = sampled_.load(std::memory_order_relaxed);
   c.unsampled = unsampled_.load(std::memory_order_relaxed);

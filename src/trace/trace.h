@@ -105,6 +105,9 @@ struct TraceCounters {
   uint64_t collected = 0;       // records moved into the central buffer
   uint64_t sampled = 0;         // requests that drew a trace id
   uint64_t unsampled = 0;       // requests skipped by the sampler
+  // Peak central-buffer occupancy (records) seen by any collector sweep:
+  // how close the bounded buffer came to dropping under this run's load.
+  uint64_t buffer_high_water = 0;
 };
 
 class TraceSink {
@@ -182,8 +185,9 @@ class TraceSink {
 
   mutable std::mutex buffer_mu_;
   std::vector<SpanRecord> buffer_;
-  uint64_t dropped_buffer_ = 0;  // guarded by buffer_mu_
-  uint64_t collected_ = 0;       // guarded by buffer_mu_
+  uint64_t dropped_buffer_ = 0;     // guarded by buffer_mu_
+  uint64_t collected_ = 0;          // guarded by buffer_mu_
+  uint64_t buffer_high_water_ = 0;  // guarded by buffer_mu_
 
   std::mutex collect_mu_;  // serialises CollectOnce callers
   std::atomic<bool> stopping_{false};

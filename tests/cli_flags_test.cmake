@@ -52,6 +52,20 @@ expect_exit(2 offload lz4 /dev/null --trace-sample=abc)
 expect_exit(2 serve --bogus-flag)
 expect_exit(2 client --port=notaport)
 
+# The telemetry scrape commands (ISSUE 10): missing host, missing port,
+# malformed numeric flags and unknown flags all exit 2.
+expect_exit(2 stats)
+expect_exit(2 stats 127.0.0.1)
+expect_exit(2 stats 127.0.0.1 --bogus-flag)
+expect_exit(2 stats 127.0.0.1 --port=notaport)
+expect_exit(2 stats --port=1)
+expect_exit(2 top)
+expect_exit(2 top 127.0.0.1)
+expect_exit(2 top --port=notaport)
+expect_exit(2 top 127.0.0.1 --port=1 --interval-ms=abc)
+expect_exit(2 top 127.0.0.1 --port=1 --interval-ms=0)
+expect_exit(2 top 127.0.0.1 --port=1 --bogus-flag)
+
 # Unknown codec names must exit 2 with usage on every front end that names
 # one, including the serve/adapt knobs ("auto" is a request-side pseudo-codec
 # and is NOT valid as a server default or model candidate).

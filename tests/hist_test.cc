@@ -1,0 +1,246 @@
+// Always-on log-linear latency histograms (ISSUE 10): bucket geometry
+// exactness at every boundary, merge/delta algebra, the percentile error
+// bound against a sorted-sample oracle, and concurrent recorders racing a
+// snapshotter (the TSan configuration runs this test too).
+
+#include "src/obs/hist.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cdpu {
+namespace obs {
+namespace {
+
+using B = HistBucketing;
+
+TEST(HistBucketing, ValuesBelowSubBucketsAreExact) {
+  for (uint64_t v = 0; v < B::kSubBuckets; ++v) {
+    const size_t idx = B::BucketIndex(v);
+    EXPECT_EQ(idx, static_cast<size_t>(v));
+    EXPECT_EQ(B::BucketLow(idx), v);
+    EXPECT_EQ(B::BucketHigh(idx), v);
+  }
+}
+
+TEST(HistBucketing, BoundariesRoundTripForEveryBucket) {
+  for (size_t idx = 0; idx < B::kNumBuckets; ++idx) {
+    const uint64_t low = B::BucketLow(idx);
+    const uint64_t high = B::BucketHigh(idx);
+    ASSERT_LE(low, high) << idx;
+    EXPECT_EQ(B::BucketIndex(low), idx) << "low of bucket " << idx;
+    EXPECT_EQ(B::BucketIndex(high), idx) << "high of bucket " << idx;
+    if (idx + 1 < B::kNumBuckets && high != ~uint64_t{0}) {
+      // The first value past this bucket's top belongs to the next bucket:
+      // the geometry has no gaps and no overlaps.
+      EXPECT_EQ(B::BucketIndex(high + 1), idx + 1) << "bucket " << idx;
+      EXPECT_EQ(B::BucketLow(idx + 1), high + 1) << "bucket " << idx;
+    }
+  }
+}
+
+TEST(HistBucketing, ExtremesStayInRange) {
+  EXPECT_EQ(B::BucketIndex(0), 0u);
+  EXPECT_EQ(B::BucketIndex(~uint64_t{0}), B::kNumBuckets - 1);
+  // The top bucket's upper bound saturates instead of wrapping.
+  EXPECT_EQ(B::BucketHigh(B::kNumBuckets - 1), ~uint64_t{0});
+}
+
+TEST(HistBucketing, IndexIsMonotone) {
+  // Order preservation sampled across the whole range, including the
+  // power-of-two boundaries where the group changes.
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t a = rng() >> (rng() % 64);
+    const uint64_t b = rng() >> (rng() % 64);
+    if (a <= b) {
+      EXPECT_LE(B::BucketIndex(a), B::BucketIndex(b)) << a << " vs " << b;
+    } else {
+      EXPECT_GE(B::BucketIndex(a), B::BucketIndex(b)) << a << " vs " << b;
+    }
+  }
+  for (uint32_t shift = B::kSubBucketBits; shift < 63; ++shift) {
+    const uint64_t edge = 1ull << shift;
+    EXPECT_EQ(B::BucketIndex(edge - 1) + 1, B::BucketIndex(edge)) << shift;
+  }
+}
+
+TEST(HistogramSnapshot, EmptyIsAllZero) {
+  LatencyHistogram h;
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.sum(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.nonzero_buckets(), 0u);
+  EXPECT_EQ(s.min_value(), 0u);
+  EXPECT_EQ(s.max_value(), 0u);
+  EXPECT_EQ(s.Percentile(50), 0u);
+}
+
+TEST(HistogramSnapshot, BasicStats) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.sum(), 60u);
+  EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+  EXPECT_EQ(s.nonzero_buckets(), 3u);
+  EXPECT_EQ(s.min_value(), 10u);
+  EXPECT_EQ(s.max_value(), 30u);
+  // Sub-bucket values are exact, so percentiles are too.
+  EXPECT_EQ(s.Percentile(0), 10u);
+  EXPECT_EQ(s.Percentile(50), 20u);
+  EXPECT_EQ(s.Percentile(100), 30u);
+}
+
+TEST(HistogramSnapshot, PercentileMatchesSortedOracleWithinBound) {
+  // A skewed latency-like distribution spanning several powers of two —
+  // exactly where the log-linear quantization is coarsest.
+  std::mt19937_64 rng(0x1517);
+  std::lognormal_distribution<double> dist(10.0, 1.5);
+  LatencyHistogram h;
+  std::vector<uint64_t> samples;
+  samples.reserve(20'000);
+  for (int i = 0; i < 20'000; ++i) {
+    const uint64_t v = static_cast<uint64_t>(dist(rng)) + 1;
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  HistogramSnapshot s = h.Snapshot();
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    // Same rank definition as the histogram: the ceil(p% * n)-th recording.
+    size_t rank = static_cast<size_t>(
+        std::max<double>(1.0, std::ceil(p / 100.0 * static_cast<double>(samples.size()))));
+    rank = std::min(rank, samples.size());
+    const double oracle = static_cast<double>(samples[rank - 1]);
+    const double got = static_cast<double>(s.Percentile(p));
+    EXPECT_NEAR(got, oracle, oracle * B::kMaxRelativeError + 1.0)
+        << "p" << p << ": oracle " << oracle << " got " << got;
+  }
+}
+
+HistogramSnapshot Fill(uint64_t seed, int n) {
+  LatencyHistogram h;
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < n; ++i) {
+    h.Record(rng() >> (rng() % 50));
+  }
+  return h.Snapshot();
+}
+
+TEST(HistogramSnapshot, MergeIsAssociativeAndCommutative) {
+  const HistogramSnapshot a = Fill(1, 500);
+  const HistogramSnapshot b = Fill(2, 700);
+  const HistogramSnapshot c = Fill(3, 900);
+
+  HistogramSnapshot ab_c = a;  // (a + b) + c
+  ab_c.Merge(b);
+  ab_c.Merge(c);
+  HistogramSnapshot bc = b;  // a + (b + c)
+  bc.Merge(c);
+  HistogramSnapshot a_bc = a;
+  a_bc.Merge(bc);
+  HistogramSnapshot cba = c;  // c + b + a
+  cba.Merge(b);
+  cba.Merge(a);
+
+  EXPECT_EQ(ab_c.count(), a.count() + b.count() + c.count());
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+  EXPECT_EQ(ab_c.sum(), a_bc.sum());
+  EXPECT_EQ(ab_c.counts(), a_bc.counts());
+  EXPECT_EQ(ab_c.counts(), cba.counts());
+  EXPECT_EQ(ab_c.sum(), cba.sum());
+}
+
+TEST(HistogramSnapshot, DeltaSinceInvertsMerge) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Record(v * 37);
+  }
+  const HistogramSnapshot before = h.Snapshot();
+  for (uint64_t v = 1; v <= 50; ++v) {
+    h.Record(v * 9001);
+  }
+  const HistogramSnapshot after = h.Snapshot();
+
+  const HistogramSnapshot delta = after.DeltaSince(before);
+  EXPECT_EQ(delta.count(), 50u);
+  HistogramSnapshot rebuilt = before;
+  rebuilt.Merge(delta);
+  EXPECT_EQ(rebuilt.count(), after.count());
+  EXPECT_EQ(rebuilt.sum(), after.sum());
+  EXPECT_EQ(rebuilt.counts(), after.counts());
+}
+
+TEST(HistogramSnapshot, ToJsonShapeAndScaling) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.Record(2000);  // e.g. 2000 ns = 2 us
+  }
+  const Json j = h.Snapshot().ToJson(1e3);
+  ASSERT_TRUE(j.is_object());
+  for (const char* key :
+       {"count", "sum", "mean", "p50", "p90", "p99", "p999", "max", "nonzero_buckets"}) {
+    EXPECT_NE(j.Find(key), nullptr) << key;
+  }
+  EXPECT_EQ(j.Find("count")->AsUint(), 1000u);
+  EXPECT_NEAR(j.Find("p50")->AsDouble(), 2.0, 2.0 * B::kMaxRelativeError);
+  EXPECT_NEAR(j.Find("mean")->AsDouble(), 2.0, 2.0 * B::kMaxRelativeError);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordersAndSnapshotter) {
+  // 4 recorder threads race a snapshotter taking rolling snapshots. Under
+  // TSan this is the data-race check for the relaxed-atomic design; under
+  // any build it checks no recording is lost and snapshots stay monotone.
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50'000;
+  LatencyHistogram h;
+  std::atomic<bool> done{false};
+  std::thread snapshotter([&] {
+    uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      HistogramSnapshot s = h.Snapshot();
+      EXPECT_GE(s.count(), last);  // bucket totals never go backwards
+      last = s.count();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&, t] {
+      std::mt19937_64 rng(static_cast<uint64_t>(t) + 1);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(rng() >> (rng() % 40));
+      }
+    });
+  }
+  for (std::thread& r : recorders) {
+    r.join();
+  }
+  done.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : s.counts()) {
+    bucket_total += c;
+  }
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cdpu

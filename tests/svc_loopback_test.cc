@@ -8,15 +8,25 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/crc32.h"
 #include "src/core/dpzip_codec.h"
 #include "src/fault/fault_plan.h"
 #include "src/hw/device_configs.h"
+#include "src/obs/json.h"
 #include "src/svc/client.h"
 #include "src/svc/loadgen.h"
 #include "src/svc/server.h"
@@ -290,6 +300,211 @@ TEST(SvcLoopbackTest, LegacyHeapArmStillRoundTrips) {
   server.Stop();
   ServiceStats stats = server.Snapshot();
   EXPECT_EQ(stats.pool.hits, 0u);  // nothing recycles when pooling is off
+}
+
+// ------------------------------------------------ in-band stats (ISSUE 10)
+
+// Digs a named counter out of a parsed stats document; 0 when absent.
+uint64_t DocCounter(const obs::Json& doc, const std::string& name) {
+  const obs::Json* metrics = doc.Find("metrics");
+  if (metrics == nullptr) {
+    return 0;
+  }
+  const obs::Json* counters = metrics->Find("counters");
+  if (counters == nullptr) {
+    return 0;
+  }
+  const obs::Json* v = counters->Find(name);
+  return v == nullptr ? 0 : v->AsUint();
+}
+
+// A stats scrape taken while the closed loop is running must parse, carry
+// the per-tenant and runtime series, and — because counters are monotone —
+// never exceed the authoritative exit-time snapshot.
+TEST(SvcLoopbackTest, StatsScrapeUnderLoadReconcilesWithExitDump) {
+  ServerOptions sopts;
+  sopts.admission.expected_tenants = 2;
+  sopts.stats_window_ms = 50;  // fast ring turnover so the test sees windows
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions lopts;
+  lopts.port = server.port();
+  lopts.clients = 4;
+  lopts.tenants = 2;
+  lopts.requests_per_client = 24 * FuzzRounds();
+  lopts.payload_bytes = 16 * 1024;
+  Result<LoadGenReport> run = Status::Internal("loadgen thread never ran");
+  std::thread load([&] { run = RunClosedLoop(lopts); });
+
+  // Scrape mid-run: must be parseable JSON with the advertised schema.
+  ClientOptions copts;
+  copts.port = server.port();
+  ServiceClient scraper(copts);
+  obs::Json mid;
+  bool got_mid = false;
+  for (int attempt = 0; attempt < 50 && !got_mid; ++attempt) {
+    Result<std::string> fetched = scraper.FetchStats();
+    ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+    Result<obs::Json> parsed = obs::Json::Parse(fetched.value());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    mid = std::move(parsed).value();
+    // Keep scraping until the load is actually visible in the snapshot.
+    got_mid = DocCounter(mid, "svc.requests_ok") > 0;
+    if (!got_mid) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(got_mid) << "no load ever showed up in a scrape";
+  const obs::Json* schema = mid.Find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->AsString(), "cdpu.svc.stats.v1");
+  const obs::Json* windows = mid.Find("windows");
+  ASSERT_NE(windows, nullptr);
+  EXPECT_TRUE(windows->is_array());
+
+  load.join();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->requests_failed, 0u);
+  EXPECT_EQ(run->verify_failures, 0u);
+
+  server.Stop();
+  ServiceStats exit_stats = server.Snapshot();
+  // Monotone counters: the mid-run scrape can never be ahead of the exit
+  // dump, and the exit dump must account for every wire call the loadgen
+  // made (compress + verify decompress per round trip).
+  EXPECT_LE(DocCounter(mid, "svc.requests_ok"), exit_stats.requests_ok);
+  EXPECT_LE(DocCounter(mid, "svc.bytes_rx"), exit_stats.bytes_rx);
+  EXPECT_LE(DocCounter(mid, "svc.requests_received"), exit_stats.requests_received);
+  EXPECT_EQ(exit_stats.requests_ok, 2u * run->requests_ok);
+  EXPECT_GE(exit_stats.stats_requests, 1u);
+  // The always-on e2e histogram saw every completion the admission plane
+  // accounted for.
+  uint64_t completed = 0;
+  for (const TenantSnapshot& t : exit_stats.tenants) {
+    completed += t.completed;
+  }
+  EXPECT_EQ(exit_stats.e2e_hist.count(), completed);
+  // stats traffic is accounted separately from the data path.
+  EXPECT_EQ(exit_stats.requests_received, exit_stats.requests_ok + exit_stats.requests_failed +
+                                              exit_stats.requests_busy);
+}
+
+// A stats request violating the frame contract (payload bytes, stray codec
+// or flag bits) earns an error kStatsResponse — the session survives and
+// serves both a clean scrape and a compress afterwards.
+TEST(SvcLoopbackTest, MalformedStatsFrameIsAnErrorResponseNotADrop) {
+  ServerOptions sopts;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<std::unique_ptr<ServiceConnection>> conn =
+      ServiceConnection::Dial("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+
+  // Semantically malformed: a stats request carrying payload bytes.
+  ByteVec junk = GenerateWithRatio(0.5, 64, 23);
+  Frame bad;
+  bad.type = FrameType::kStatsRequest;
+  bad.request_id = 31;
+  Frame response;
+  ASSERT_TRUE((*conn)->Call(bad, junk, &response).ok());
+  EXPECT_EQ(response.type, FrameType::kStatsResponse);
+  EXPECT_EQ(response.status, static_cast<uint8_t>(StatusCode::kInvalidArgument));
+  EXPECT_EQ(response.request_id, 31u);
+
+  // Same for stray codec/flag bytes.
+  Frame bad2;
+  bad2.type = FrameType::kStatsRequest;
+  bad2.codec = 2;
+  bad2.flags = kFlagDecompress;
+  bad2.request_id = 32;
+  ASSERT_TRUE((*conn)->Call(bad2, ByteSpan(), &response).ok());
+  EXPECT_EQ(response.status, static_cast<uint8_t>(StatusCode::kInvalidArgument));
+
+  // The session is intact: a clean stats request returns the JSON document.
+  Frame good;
+  good.type = FrameType::kStatsRequest;
+  good.request_id = 33;
+  ASSERT_TRUE((*conn)->Call(good, ByteSpan(), &response).ok());
+  EXPECT_EQ(response.status, static_cast<uint8_t>(StatusCode::kOk));
+  std::string json(reinterpret_cast<const char*>(response.payload.data()),
+                   response.payload.size());
+  Result<obs::Json> parsed = obs::Json::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  response.payload.Reset();
+
+  // ...and still compresses.
+  ByteVec payload = GenerateWithRatio(0.5, 4096, 29);
+  Frame req;
+  req.type = FrameType::kRequest;
+  uint8_t codec = 0;
+  uint8_t level = 0;
+  ASSERT_TRUE(WireCodecFromName("lz4", &codec, &level));
+  req.codec = codec;
+  req.level = level;
+  req.request_id = 34;
+  ASSERT_TRUE((*conn)->Call(req, payload, &response).ok());
+  EXPECT_EQ(response.status, static_cast<uint8_t>(StatusCode::kOk));
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  EXPECT_EQ(stats.protocol_errors, 0u);  // semantic errors, not session drops
+  EXPECT_EQ(stats.stats_requests, 1u);   // only the clean scrape counted
+}
+
+// An old v1 client is refused at the structural layer — its session drops
+// cleanly (counted as a protocol error) while a current client on another
+// session keeps round-tripping.
+TEST(SvcLoopbackTest, OldVersionClientIsDroppedCleanly) {
+  ServerOptions sopts;
+  ServiceServer server(sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Hand-roll a v1 frame: stamp the version byte and re-seal the header CRC
+  // so only the version check can reject it.
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.codec = 2;
+  f.request_id = 41;
+  ByteVec encoded = EncodeFrame(f);
+  encoded[4] = 1;
+  const uint32_t crc = Crc32(ByteSpan(encoded.data(), 32));
+  std::memcpy(encoded.data() + 32, &crc, sizeof(crc));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::send(fd, encoded.data(), encoded.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(encoded.size()));
+  // The server must close the session without answering.
+  uint8_t buf[64];
+  ssize_t n;
+  do {
+    n = ::recv(fd, buf, sizeof(buf), 0);
+  } while (n > 0);
+  EXPECT_LE(n, 0);
+  ::close(fd);
+
+  // A neighbouring v-current client is untouched.
+  ClientOptions copts;
+  copts.port = server.port();
+  ServiceClient client(copts);
+  ByteVec payload = GenerateWithRatio(0.5, 8192, 43);
+  CallResult c = client.Compress("zstd-1", payload);
+  ASSERT_TRUE(c.status.ok()) << c.status.ToString();
+  CallResult d = client.Decompress("zstd-1", c.output);
+  ASSERT_TRUE(d.status.ok());
+  EXPECT_TRUE(std::equal(d.output.begin(), d.output.end(), payload.begin()));
+
+  server.Stop();
+  ServiceStats stats = server.Snapshot();
+  EXPECT_EQ(stats.protocol_errors, 1u);
+  EXPECT_EQ(stats.requests_ok, 2u);
 }
 
 // Stop() with sessions still connected must not lose accounting: admission

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/crc32.h"
 #include "src/common/iobuf.h"
 
 #include "src/common/rng.h"
@@ -251,9 +252,90 @@ TEST(SvcWireTest, RejectsUnknownFlagBitsLow) { ExpectHeaderRejected(10, 0x08); }
 TEST(SvcWireTest, RejectsUnknownFlagBitsHigh) { ExpectHeaderRejected(11, 0x80); }
 
 TEST(SvcWireTest, RejectsV1Frames) {
-  // kWireVersion moved 1 -> 2 with the adaptive-policy flag bits; a v1
-  // client must be refused at the version check, before any CRC math.
+  // The version floor is kMinWireVersion = 2 (the adaptive-policy flag
+  // bits); a v1 client must be refused at the version check, before any
+  // CRC math.
   ExpectHeaderRejected(4, kWireVersion ^ 1);
+}
+
+// Patches the version byte of an encoded frame and re-seals the header CRC,
+// producing a structurally valid frame claiming that version.
+ByteVec WithVersion(ByteVec encoded, uint8_t version) {
+  encoded[4] = version;
+  const uint32_t crc = Crc32(ByteSpan(encoded.data(), 32));
+  encoded[32] = static_cast<uint8_t>(crc);
+  encoded[33] = static_cast<uint8_t>(crc >> 8);
+  encoded[34] = static_cast<uint8_t>(crc >> 16);
+  encoded[35] = static_cast<uint8_t>(crc >> 24);
+  return encoded;
+}
+
+TEST(SvcWireTest, AcceptsWholeSupportedVersionRange) {
+  // v3 added the stats frames without touching the header layout, so every
+  // version in [kMinWireVersion, kWireVersion] must parse — an un-upgraded
+  // v2 client keeps working against a v3 server.
+  Frame in = MakeRequest(11, 256, 5);
+  for (uint8_t v = kMinWireVersion; v <= kWireVersion; ++v) {
+    FrameParser parser;
+    parser.Feed(WithVersion(EncodeFrame(in), v));
+    Frame out;
+    ASSERT_EQ(parser.Next(&out), FrameParser::Event::kFrame) << "version " << int{v};
+    ExpectFramesEqual(in, out);
+  }
+}
+
+TEST(SvcWireTest, RejectsVersionsOutsideRange) {
+  Frame in = MakeRequest(12, 256, 6);
+  for (uint8_t v : {uint8_t{0}, uint8_t{1}, static_cast<uint8_t>(kWireVersion + 1),
+                    uint8_t{0xFF}}) {
+    FrameParser parser;
+    parser.Feed(WithVersion(EncodeFrame(in), v));
+    Frame out;
+    EXPECT_EQ(parser.Next(&out), FrameParser::Event::kError) << "version " << int{v};
+  }
+}
+
+TEST(SvcWireTest, StatsFrameTypesAreStructurallyValid) {
+  // The v3 stats pair must clear the parser's structural checks: an empty
+  // stats request and a JSON-bearing stats response both round-trip.
+  Frame req;
+  req.type = FrameType::kStatsRequest;
+  req.request_id = 77;
+  req.tenant_id = 3;
+  FrameParser parser;
+  parser.Feed(EncodeFrame(req));
+  Frame out;
+  ASSERT_EQ(parser.Next(&out), FrameParser::Event::kFrame);
+  EXPECT_EQ(out.type, FrameType::kStatsRequest);
+  EXPECT_EQ(out.request_id, 77u);
+  EXPECT_EQ(out.payload.size(), 0u);
+
+  Frame resp;
+  resp.type = FrameType::kStatsResponse;
+  resp.request_id = 77;
+  const char kDoc[] = "{\"schema\":\"cdpu.svc.stats.v1\"}";
+  resp.payload = IoBuf::Copy(ByteSpan(reinterpret_cast<const uint8_t*>(kDoc),
+                                      sizeof(kDoc) - 1));
+  parser.Feed(EncodeFrame(resp));
+  ASSERT_EQ(parser.Next(&out), FrameParser::Event::kFrame);
+  EXPECT_EQ(out.type, FrameType::kStatsResponse);
+  ExpectPayloadsEqual(resp.payload, out.payload);
+}
+
+TEST(SvcWireTest, RejectsTypePastStatsResponse) {
+  // Type 5 is the first unassigned id after the v3 additions.
+  Frame in = MakeRequest(13, 64, 7);
+  ByteVec encoded = EncodeFrame(in);
+  encoded[5] = 5;
+  const uint32_t crc = Crc32(ByteSpan(encoded.data(), 32));
+  encoded[32] = static_cast<uint8_t>(crc);
+  encoded[33] = static_cast<uint8_t>(crc >> 8);
+  encoded[34] = static_cast<uint8_t>(crc >> 16);
+  encoded[35] = static_cast<uint8_t>(crc >> 24);
+  FrameParser parser;
+  parser.Feed(encoded);
+  Frame out;
+  EXPECT_EQ(parser.Next(&out), FrameParser::Event::kError);
 }
 
 TEST(SvcWireTest, AcceptsKnownFlagCombinations) {

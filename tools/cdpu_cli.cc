@@ -8,6 +8,8 @@
 //   cdpu_cli offload    <codec> <in> [flags]   threaded offload-runtime drive
 //   cdpu_cli serve      [flags]                compression service endpoint
 //   cdpu_cli client     compress|decompress <codec> <in> <out> [flags]
+//   cdpu_cli stats      <host> --port=N [flags] one-shot telemetry scrape
+//   cdpu_cli top        <host> --port=N [flags] live service dashboard
 //   cdpu_cli entropy    <in> [chunk]           Shannon entropy profile
 //   cdpu_cli list                              available codecs
 //
@@ -46,10 +48,21 @@
 // `client` flags: --host=A --port=N --tenant=T --retries=N
 // One compress/decompress round trip over a real TCP socket; the output
 // file carries the server's response payload.
+//
+// `stats` sends one in-band kStatsRequest to a running server and prints the
+// JSON snapshot; --prom re-renders the metrics section as Prometheus text
+// exposition (v0.0.4) for scrapers. `top` refreshes the same scrape every
+// --interval-ms and renders a live dashboard: service rates + latency
+// percentiles from the window ring, per-tenant MB/s from consecutive scrape
+// deltas, per-device occupancy/health, and adapt codec routing shares.
+// Neither touches the server's data path — the scrape is answered from the
+// event loop's cached snapshot.
 
 #include <csignal>
+#include <unistd.h>
 
 #include <algorithm>
+#include <map>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -70,7 +83,10 @@
 #include "src/fault/fault_plan.h"
 #include "src/hw/device_configs.h"
 #include "src/obs/format.h"
+#include "src/obs/json.h"
+#include "src/obs/prom.h"
 #include "src/obs/report.h"
+#include "src/obs/table.h"
 #include "src/runtime/fleet.h"
 #include "src/runtime/offload_runtime.h"
 #include "src/runtime/placement.h"
@@ -126,6 +142,8 @@ int Usage() {
                "                [--trace-out=PATH] [--trace-sample=P]\n"
                "       cdpu_cli client compress|decompress <codec>|auto <in> <out>\n"
                "                [--host=A] [--port=N] [--tenant=T] [--retries=N]\n"
+               "       cdpu_cli stats <host> --port=N [--tenant=T] [--prom]\n"
+               "       cdpu_cli top <host> --port=N [--interval-ms=MS] [--count=N]\n"
                "       cdpu_cli entropy <in> [chunk_bytes]\n"
                "       cdpu_cli list\n");
   return 2;
@@ -1001,6 +1019,394 @@ int Client(int argc, char** argv, int first_arg) {
   return 0;
 }
 
+// Shared positional-host + flag parsing for the scrape commands. Returns
+// false (with a message printed) when the command line is malformed.
+bool ParseScrapeTarget(int argc, char** argv, int first_arg, const char* cmd,
+                       std::string* host, int* flags_start) {
+  if (argc < first_arg + 1 || std::strncmp(argv[first_arg], "--", 2) == 0) {
+    std::fprintf(stderr, "%s needs a host (IPv4 literal)\n", cmd);
+    return false;
+  }
+  *host = argv[first_arg];
+  *flags_start = first_arg + 1;
+  return true;
+}
+
+int Stats(int argc, char** argv, int first_arg) {
+  std::string host;
+  int flags_start = 0;
+  if (!ParseScrapeTarget(argc, argv, first_arg, "stats", &host, &flags_start)) {
+    return Usage();
+  }
+  uint64_t port = 0;
+  uint64_t tenant = 0;
+  bool prom = false;
+  bool bad_flag = false;
+  for (int i = flags_start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (ParseFlag(arg, "port", &port, &bad_flag) ||
+        ParseFlag(arg, "tenant", &tenant, &bad_flag)) {
+      if (bad_flag) {
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--prom") {
+      prom = true;
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    return Usage();
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "stats needs --port=N\n");
+    return 2;
+  }
+  cdpu::svc::ClientOptions copts;
+  copts.host = host;
+  copts.port = static_cast<uint16_t>(port);
+  copts.tenant = static_cast<uint32_t>(tenant);
+  cdpu::svc::ServiceClient client(copts);
+  cdpu::Result<std::string> fetched = client.FetchStats();
+  if (!fetched.ok()) {
+    std::fprintf(stderr, "stats scrape failed: %s\n", fetched.status().ToString().c_str());
+    return 1;
+  }
+  if (!prom) {
+    // The server's document is already JSON; print it verbatim so scripted
+    // consumers see exactly the wire payload.
+    std::printf("%s\n", fetched.value().c_str());
+    return 0;
+  }
+  cdpu::Result<cdpu::obs::Json> doc = cdpu::obs::Json::Parse(fetched.value());
+  if (!doc.ok()) {
+    std::fprintf(stderr, "server returned unparseable JSON: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  const cdpu::obs::Json* metrics = doc.value().Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    std::fprintf(stderr, "stats document has no metrics section\n");
+    return 1;
+  }
+  std::fputs(cdpu::obs::RenderPrometheus(*metrics).c_str(), stdout);
+  return 0;
+}
+
+// Pulls the flat counter/gauge maps out of a parsed stats document.
+void ExtractMetricMaps(const cdpu::obs::Json& doc,
+                       std::map<std::string, uint64_t>* counters,
+                       std::map<std::string, double>* gauges,
+                       const cdpu::obs::Json** series) {
+  *series = nullptr;
+  const cdpu::obs::Json* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return;
+  }
+  if (const cdpu::obs::Json* c = metrics->Find("counters"); c != nullptr && c->is_object()) {
+    for (const auto& [k, v] : c->members()) {
+      (*counters)[k] = v.AsUint();
+    }
+  }
+  if (const cdpu::obs::Json* g = metrics->Find("gauges"); g != nullptr && g->is_object()) {
+    for (const auto& [k, v] : g->members()) {
+      (*gauges)[k] = v.AsDouble();
+    }
+  }
+  if (const cdpu::obs::Json* s = metrics->Find("series"); s != nullptr && s->is_object()) {
+    *series = s;
+  }
+}
+
+double SeriesField(const cdpu::obs::Json* series, const std::string& name,
+                   const char* field) {
+  if (series == nullptr) {
+    return 0;
+  }
+  const cdpu::obs::Json* s = series->Find(name);
+  if (s == nullptr || !s->is_object()) {
+    return 0;
+  }
+  const cdpu::obs::Json* f = s->Find(field);
+  return f != nullptr && f->is_number() ? f->AsDouble() : 0;
+}
+
+// One dashboard refresh. `prev_counters`/`prev_ns` are the previous scrape
+// (empty/0 on the first tick — rate columns show 0 until there is a delta).
+void RenderTop(const std::string& addr, const cdpu::obs::Json& doc,
+               const std::map<std::string, uint64_t>& counters,
+               const std::map<std::string, double>& gauges,
+               const cdpu::obs::Json* series,
+               const std::map<std::string, uint64_t>& prev_counters, uint64_t prev_ns,
+               uint64_t captured_ns) {
+  auto counter = [&](const std::string& k) -> uint64_t {
+    auto it = counters.find(k);
+    return it == counters.end() ? 0 : it->second;
+  };
+  auto gauge = [&](const std::string& k) -> double {
+    auto it = gauges.find(k);
+    return it == gauges.end() ? 0 : it->second;
+  };
+  const double elapsed =
+      prev_ns != 0 && captured_ns > prev_ns ? static_cast<double>(captured_ns - prev_ns) / 1e9
+                                            : 0;
+  auto rate_mbps = [&](const std::string& k) -> double {
+    if (elapsed <= 0) {
+      return 0;
+    }
+    auto it = prev_counters.find(k);
+    const uint64_t prev = it == prev_counters.end() ? 0 : it->second;
+    const uint64_t now = counter(k);
+    return now > prev ? static_cast<double>(now - prev) / 1e6 / elapsed : 0;
+  };
+
+  const cdpu::obs::Json* age = doc.Find("age_ms");
+  const cdpu::obs::Json* window_ms = doc.Find("window_ms");
+  std::printf("cdpu top — %s    window %.1fs    snapshot age %llums\n", addr.c_str(),
+              window_ms != nullptr ? window_ms->AsDouble() / 1e3 : 0,
+              age != nullptr ? static_cast<unsigned long long>(age->AsUint()) : 0ULL);
+
+  // Live rates come from the server's own window ring (delta windows captured
+  // on the event loop), not from client-side diffing — the latest window is
+  // the freshest complete one.
+  const cdpu::obs::Json* windows = doc.Find("windows");
+  double rps = 0;
+  double rx_mbps = 0;
+  double tx_mbps = 0;
+  const cdpu::obs::Json* win_e2e = nullptr;
+  if (windows != nullptr && windows->is_array() && windows->size() > 0) {
+    const cdpu::obs::Json& last = windows->at(windows->size() - 1);
+    if (const cdpu::obs::Json* v = last.Find("rps")) rps = v->AsDouble();
+    if (const cdpu::obs::Json* v = last.Find("rx_mbps")) rx_mbps = v->AsDouble();
+    if (const cdpu::obs::Json* v = last.Find("tx_mbps")) tx_mbps = v->AsDouble();
+    win_e2e = last.Find("e2e_us");
+  }
+  std::printf("service  %8.1f req/s   rx %7.1f MB/s   tx %7.1f MB/s   sessions %llu\n", rps,
+              rx_mbps, tx_mbps,
+              static_cast<unsigned long long>(counter("svc.sessions_accepted") -
+                                              counter("svc.sessions_closed")));
+  std::printf("totals   ok %llu   failed %llu   busy %llu   stored %llu   scrapes %llu\n",
+              static_cast<unsigned long long>(counter("svc.requests_ok")),
+              static_cast<unsigned long long>(counter("svc.requests_failed")),
+              static_cast<unsigned long long>(counter("svc.requests_busy")),
+              static_cast<unsigned long long>(counter("svc.requests_stored")),
+              static_cast<unsigned long long>(counter("svc.stats_requests")));
+
+  // Latency percentiles: prefer the freshest window's histogram delta; an
+  // idle window has no samples, so fall back to the cumulative histogram.
+  auto e2e_field = [&](const char* field) -> double {
+    if (win_e2e != nullptr && win_e2e->is_object()) {
+      if (const cdpu::obs::Json* f = win_e2e->Find(field); f != nullptr && f->is_number()) {
+        return f->AsDouble();
+      }
+    }
+    return SeriesField(series, "svc.e2e_hist_us", field);
+  };
+  std::printf("e2e lat  p50 %9.1f us   p90 %9.1f us   p99 %9.1f us   p999 %9.1f us%s\n",
+              e2e_field("p50"), e2e_field("p90"), e2e_field("p99"), e2e_field("p999"),
+              win_e2e != nullptr && win_e2e->is_object() ? "  (window)" : "  (cumulative)");
+
+  // Per-tenant: completed/bytes totals are cumulative counters; MB/s is this
+  // client's scrape-to-scrape delta.
+  cdpu::obs::Table tenants("tenants", "",
+                           {cdpu::obs::Column("tenant", "tenant", 0),
+                            cdpu::obs::Column("completed", "completed", 0),
+                            cdpu::obs::Column("rejected", "busy", 0),
+                            cdpu::obs::Column("mbps", "MB/s in", 1),
+                            cdpu::obs::Column("mean_us", "mean us", 1)});
+  for (const auto& [key, value] : counters) {
+    constexpr const char kPrefix[] = "svc.tenant";
+    if (key.rfind(kPrefix, 0) != 0) {
+      continue;
+    }
+    const size_t id_start = sizeof(kPrefix) - 1;
+    const size_t dot = key.find('.', id_start);
+    if (dot == std::string::npos || key.substr(dot + 1) != "admitted") {
+      continue;  // one row per tenant, keyed off its admitted counter
+    }
+    const std::string id = key.substr(id_start, dot - id_start);
+    const std::string tp = std::string(kPrefix) + id + ".";
+    tenants.AddRow({id, counter(tp + "completed"), counter(tp + "rejected"),
+                    rate_mbps(tp + "bytes_in"),
+                    SeriesField(series, tp + "wall_latency_us", "mean")});
+  }
+  if (tenants.row_count() > 0) {
+    std::printf("\n");
+    tenants.Print();
+  }
+
+  // Per-device occupancy + health (multi-device fleets export under
+  // svc.runtime.device.<name>.*; a single device only has the merged view).
+  cdpu::obs::Table devices("devices", "",
+                           {cdpu::obs::Column("device", "device"),
+                            cdpu::obs::Column("routed", "routed", 0),
+                            cdpu::obs::Column("share", "share", 1, "%"),
+                            cdpu::obs::Column("outstanding", "outstanding", 0),
+                            cdpu::obs::Column("p99_us", "wall p99 us", 1),
+                            cdpu::obs::Column("health", "health")});
+  constexpr const char kDevPrefix[] = "svc.runtime.device.";
+  for (const auto& [key, value] : gauges) {
+    if (key.rfind(kDevPrefix, 0) != 0) {
+      continue;
+    }
+    const size_t name_start = sizeof(kDevPrefix) - 1;
+    const size_t dot = key.find('.', name_start);
+    if (dot == std::string::npos || key.substr(dot + 1) != "outstanding") {
+      continue;  // one row per device, keyed off its occupancy gauge
+    }
+    const std::string name = key.substr(name_start, dot - name_start);
+    const std::string dp = std::string(kDevPrefix) + name + ".";
+    devices.AddRow({name, counter(dp + "routed"), gauge(dp + "routed_share") * 100.0,
+                    gauge(dp + "outstanding"),
+                    SeriesField(series, dp + "wall_hist_us", "p99"),
+                    gauge(dp + "healthy") != 0 ? "healthy" : "DEGRADED"});
+  }
+  if (devices.row_count() == 0 && counters.count("svc.runtime.jobs_completed") > 0) {
+    // Single-device runtimes export no per-device occupancy gauge; current
+    // outstanding is the submit/retire counter difference.
+    const uint64_t retired = counter("svc.runtime.jobs_completed") +
+                             counter("svc.runtime.jobs_failed") +
+                             counter("svc.runtime.jobs_canceled");
+    const uint64_t submitted = counter("svc.runtime.jobs_submitted");
+    devices.AddRow({"(merged)", counter("svc.runtime.jobs_completed"), 100.0,
+                    static_cast<double>(submitted > retired ? submitted - retired : 0),
+                    SeriesField(series, "svc.runtime.wall_hist_us", "p99"),
+                    gauge("svc.runtime.device_healthy") != 0 ||
+                            counters.count("svc.runtime.faults_injected") == 0
+                        ? "healthy"
+                        : "DEGRADED"});
+  }
+  if (devices.row_count() > 0) {
+    std::printf("\n");
+    devices.Print();
+  }
+
+  // Adapt routing shares: which codec the AUTO policy picked, as a fraction
+  // of all decisions (the STORE bypass rides as its own line).
+  uint64_t decisions = counter("svc.adapt.decisions");
+  if (decisions > 0) {
+    std::printf("\nadapt routing (%llu decisions): ",
+                static_cast<unsigned long long>(decisions));
+    bool first = true;
+    for (const auto& [key, value] : counters) {
+      constexpr const char kAdaptPrefix[] = "svc.adapt.codec.";
+      if (key.rfind(kAdaptPrefix, 0) != 0 || value == 0) {
+        continue;
+      }
+      const size_t name_start = sizeof(kAdaptPrefix) - 1;
+      const size_t dot = key.find('.', name_start);
+      if (dot == std::string::npos || key.substr(dot + 1) != "chosen") {
+        continue;
+      }
+      std::printf("%s%s %.1f%%", first ? "" : "  ",
+                  key.substr(name_start, dot - name_start).c_str(),
+                  100.0 * static_cast<double>(value) / static_cast<double>(decisions));
+      first = false;
+    }
+    const uint64_t bypassed = counter("svc.adapt.bypassed");
+    if (bypassed > 0) {
+      std::printf("%sstore %.1f%%", first ? "" : "  ",
+                  100.0 * static_cast<double>(bypassed) / static_cast<double>(decisions));
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+int Top(int argc, char** argv, int first_arg) {
+  std::string host;
+  int flags_start = 0;
+  if (!ParseScrapeTarget(argc, argv, first_arg, "top", &host, &flags_start)) {
+    return Usage();
+  }
+  uint64_t port = 0;
+  uint64_t tenant = 0;
+  uint64_t interval_ms = 1000;
+  uint64_t count = 0;  // 0 = refresh until SIGINT
+  bool bad_flag = false;
+  for (int i = flags_start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (ParseFlag(arg, "port", &port, &bad_flag) ||
+        ParseFlag(arg, "tenant", &tenant, &bad_flag) ||
+        ParseFlag(arg, "interval-ms", &interval_ms, &bad_flag) ||
+        ParseFlag(arg, "count", &count, &bad_flag)) {
+      if (bad_flag) {
+        return 2;
+      }
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    return Usage();
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "top needs --port=N\n");
+    return 2;
+  }
+  if (interval_ms == 0) {
+    std::fprintf(stderr, "--interval-ms must be positive\n");
+    return 2;
+  }
+
+  cdpu::svc::ClientOptions copts;
+  copts.host = host;
+  copts.port = static_cast<uint16_t>(port);
+  copts.tenant = static_cast<uint32_t>(tenant);
+  cdpu::svc::ServiceClient client(copts);
+  const std::string addr = host + ":" + std::to_string(port);
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  std::map<std::string, uint64_t> prev_counters;
+  uint64_t prev_ns = 0;
+  uint64_t ticks = 0;
+  int consecutive_failures = 0;
+  while (!g_stop_serving.load()) {
+    cdpu::Result<std::string> fetched = client.FetchStats();
+    if (!fetched.ok()) {
+      // A transient failure (server restarting, connection dropped) gets a
+      // couple of retries before the dashboard gives up.
+      if (++consecutive_failures >= 3) {
+        std::fprintf(stderr, "top: scrape failed: %s\n",
+                     fetched.status().ToString().c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      continue;
+    }
+    consecutive_failures = 0;
+    cdpu::Result<cdpu::obs::Json> parsed = cdpu::obs::Json::Parse(fetched.value());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "top: server returned unparseable JSON: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    const cdpu::obs::Json& doc = parsed.value();
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    const cdpu::obs::Json* series = nullptr;
+    ExtractMetricMaps(doc, &counters, &gauges, &series);
+    const cdpu::obs::Json* cap = doc.Find("captured_ns");
+    const uint64_t captured_ns = cap != nullptr ? cap->AsUint() : 0;
+
+    if (tty) {
+      std::printf("\033[H\033[2J");  // home + clear: classic top(1) refresh
+    } else if (ticks > 0) {
+      std::printf("\n");
+    }
+    RenderTop(addr, doc, counters, gauges, series, prev_counters, prev_ns, captured_ns);
+    prev_counters = std::move(counters);
+    prev_ns = captured_ns;
+
+    ++ticks;
+    if (count > 0 && ticks >= count) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
+
 int Entropy(const std::string& path, size_t chunk) {
   ByteVec data;
   if (!ReadFile(path, &data)) {
@@ -1094,6 +1500,12 @@ int main(int argc, char** argv) {
   }
   if (cmd == "client") {
     return Client(argc, argv, 2);
+  }
+  if (cmd == "stats") {
+    return Stats(argc, argv, 2);
+  }
+  if (cmd == "top") {
+    return Top(argc, argv, 2);
   }
   if (cmd != "compress" && cmd != "decompress") {
     return Usage();
